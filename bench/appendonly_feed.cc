@@ -1,0 +1,93 @@
+// Experiment E9 — the §6.2 append-only model (satellite feed with standing
+// orders). Sweeps the read rate between images and reports SA-feed vs
+// DA-feed costs, plus the live check that each feed manager's accounting is
+// identical to the corresponding DOM algorithm's on the mapped schedule.
+
+#include <iostream>
+
+#include "objalloc/analysis/report.h"
+#include "objalloc/appendonly/feed.h"
+#include "objalloc/appendonly/feed_manager.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/util/csv.h"
+#include "objalloc/util/rng.h"
+
+namespace {
+
+objalloc::appendonly::FeedSchedule MakeFeed(int stations, int images,
+                                            double reads_per_image,
+                                            uint64_t seed) {
+  objalloc::util::Rng rng(seed);
+  objalloc::appendonly::FeedSchedule feed(stations);
+  for (int image = 0; image < images; ++image) {
+    feed.AppendGenerate(static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(stations))));
+    int pulls = static_cast<int>(reads_per_image);
+    if (rng.NextDouble() < reads_per_image - pulls) ++pulls;
+    for (int k = 0; k < pulls; ++k) {
+      feed.AppendRead(static_cast<int>(
+          rng.NextBounded(static_cast<uint64_t>(stations))));
+    }
+  }
+  return feed;
+}
+
+}  // namespace
+
+int main() {
+  using namespace objalloc;
+  using namespace objalloc::analysis;
+
+  const int kStations = 12;
+  const appendonly::ProcessorSet kOrders{0, 1};
+  model::CostModel sc = model::CostModel::StationaryComputing(0.3, 1.2);
+
+  PrintExperimentHeader(std::cout, "E9",
+                        "Append-only satellite feed (§6.2): standing-order "
+                        "policies vs read rate (12 stations, t=2, 200 "
+                        "images)");
+
+  util::Table table({"reads_per_image", "SA_feed_cost", "DA_feed_cost",
+                     "winner", "SA==SA_DOM", "DA==DA_DOM"});
+  bool equivalence = true;
+  for (double rate : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    appendonly::FeedSchedule feed = MakeFeed(kStations, 200, rate, 42);
+    appendonly::StaticFeedManager sa_feed(kOrders);
+    appendonly::DynamicFeedManager da_feed(kOrders);
+    model::CostBreakdown sa_traffic = sa_feed.Run(feed);
+    model::CostBreakdown da_traffic = da_feed.Run(feed);
+
+    model::Schedule mapped = feed.ToObjectSchedule();
+    core::StaticAllocation sa;
+    core::DynamicAllocation da;
+    bool sa_eq =
+        core::RunWithCost(sa, sc, mapped, kOrders).breakdown == sa_traffic;
+    bool da_eq =
+        core::RunWithCost(da, sc, mapped, kOrders).breakdown == da_traffic;
+    equivalence = equivalence && sa_eq && da_eq;
+
+    table.AddRow()
+        .Cell(rate, 1)
+        .Cell(sa_traffic.Cost(sc), 1)
+        .Cell(da_traffic.Cost(sc), 1)
+        .Cell(sa_traffic.Cost(sc) <= da_traffic.Cost(sc) ? "SA" : "DA")
+        .Cell(sa_eq ? "EXACT" : "MISMATCH")
+        .Cell(da_eq ? "EXACT" : "MISMATCH");
+  }
+  table.WriteAligned(std::cout);
+  std::cout << "\n(low read rates favor SA's fixed orders — every image is "
+               "pushed to t stations regardless; higher read rates favor "
+               "DA's temporary orders, which turn repeat readers local)\n\n";
+
+  PrintPaperVsMeasured(std::cout,
+                       "the allocation results apply verbatim to the "
+                       "append-only model (§6.2)",
+                       equivalence
+                           ? "feed-manager accounting identical to the DOM "
+                             "algorithms at every read rate"
+                           : "equivalence broken",
+                       equivalence);
+  return equivalence ? 0 : 1;
+}

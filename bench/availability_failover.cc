@@ -1,0 +1,87 @@
+// Experiment E8 — availability under failures (§2): the paper proposes that
+// DA handle an F-member failure by degrading to quorum consensus via a
+// missing-writes transition. This bench crashes processors mid-schedule and
+// reports, per protocol: requests served, requests refused, stale reads
+// (must be zero), failovers, and traffic.
+//
+// Expected shape: strict-ROWA SA refuses every write while any scheme
+// member is down; DA fails over once and keeps serving; quorum consensus
+// sails through minority crashes at a higher steady-state message cost.
+
+#include <iostream>
+
+#include "objalloc/sim/simulator.h"
+#include "objalloc/util/csv.h"
+#include "objalloc/workload/uniform.h"
+
+int main() {
+  using namespace objalloc;
+
+  const int kProcessors = 7;
+  const model::ProcessorSet kInitial{0, 1};
+  model::CostModel sc = model::CostModel::StationaryComputing(0.5, 1.0);
+
+  std::cout << "\n==== E8: availability under failures (n=7, t=2, "
+               "crash F-member 0 at request 100, recover at 300; crash "
+               "processor 4 at 350, recover at 450) ====\n\n";
+
+  workload::UniformWorkload uniform(0.7);
+  model::Schedule schedule = uniform.Generate(kProcessors, 500, 77);
+
+  sim::FailurePlan plan;
+  plan.events.push_back(sim::FailureEvent::Crash(100, 0));
+  plan.events.push_back(sim::FailureEvent::Recover(300, 0));
+  plan.events.push_back(sim::FailureEvent::Crash(350, 4));
+  plan.events.push_back(sim::FailureEvent::Recover(450, 4));
+
+  util::Table table({"protocol", "served", "unavailable", "stale_reads",
+                     "failovers", "ctrl_msgs", "data_msgs", "io_ops",
+                     "total_cost"});
+  bool da_ok = false, sa_blocks = false, fresh = true;
+  for (auto kind : {sim::ProtocolKind::kStatic, sim::ProtocolKind::kDynamic,
+                    sim::ProtocolKind::kQuorum}) {
+    sim::SimulatorOptions options;
+    options.protocol = kind;
+    options.num_processors = kProcessors;
+    options.initial_scheme = kInitial;
+    sim::Simulator simulator(options);
+    auto report = simulator.RunSchedule(schedule, plan);
+
+    const char* name = kind == sim::ProtocolKind::kStatic
+                           ? "SA (strict ROWA)"
+                           : kind == sim::ProtocolKind::kDynamic
+                                 ? "DA (+quorum failover)"
+                                 : "Quorum consensus";
+    table.AddRow()
+        .Cell(name)
+        .Cell(report.served)
+        .Cell(report.unavailable)
+        .Cell(report.stale_reads)
+        .Cell(report.metrics.failovers)
+        .Cell(report.metrics.control_messages)
+        .Cell(report.metrics.data_messages)
+        .Cell(report.metrics.io_ops)
+        .Cell(report.metrics.Cost(sc), 1);
+
+    fresh = fresh && report.stale_reads == 0;
+    if (kind == sim::ProtocolKind::kDynamic) {
+      // DA refuses only requests issued *by* crashed processors.
+      da_ok = report.unavailable <= 60 && report.metrics.failovers >= 1;
+    }
+    if (kind == sim::ProtocolKind::kStatic) {
+      sa_blocks = report.unavailable > 50;  // all writes during the outage
+    }
+  }
+  table.WriteAligned(std::cout);
+
+  std::cout << "\n  paper:    DA degrades to quorum consensus on an "
+               "F-member failure and keeps serving (§2)\n";
+  std::cout << "  measured: DA " << (da_ok ? "kept serving" : "DID NOT")
+            << " with zero stale reads; strict-ROWA SA "
+            << (sa_blocks ? "blocked its writes" : "did not block")
+            << " during the outage\n";
+  std::cout << "  verdict:  "
+            << (da_ok && sa_blocks && fresh ? "REPRODUCED" : "NOT REPRODUCED")
+            << "\n";
+  return da_ok && sa_blocks && fresh ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Experiment E1 — Figure 1 (stationary computing): the regions of the
+// (cd, cc) plane where static (SA) or dynamic (DA) allocation is superior.
+//
+// The paper derives the regions analytically: DA superior for cd > 1
+// (Theorems 1+3), SA superior for cc + cd < 0.5 (Theorem 1 + Prop. 2), the
+// rest unknown (the gap between DA's upper and lower bounds). This harness
+// prints the analytic map, then *measures* worst-case ratios against the
+// exact offline OPT over an adversarial ensemble at every grid point and
+// prints the empirical winner map plus the full per-point table.
+
+#include <iostream>
+
+#include "objalloc/analysis/region_map.h"
+#include "objalloc/analysis/report.h"
+
+int main() {
+  using namespace objalloc;
+  using namespace objalloc::analysis;
+
+  RegionSweepOptions options = RegionSweepOptions::PaperGrid(/*mobile=*/false);
+  options.ratio.num_processors = 7;
+  options.ratio.schedule_length = 140;
+  options.ratio.seeds_per_generator = 3;
+
+  PrintExperimentHeader(std::cout, "E1 / Figure 1",
+                        "SA vs DA superiority regions, stationary computing");
+  std::cout << "grid: " << options.cd_values.size() << " cd values x "
+            << options.cc_values.size() << " cc values; n="
+            << options.ratio.num_processors
+            << " t=" << options.ratio.t
+            << " len=" << options.ratio.schedule_length
+            << " seeds/gen=" << options.ratio.seeds_per_generator
+            << " base_seed=0x" << std::hex << options.ratio.base_seed
+            << std::dec << "\n\n";
+
+  std::cout << "Analytic regions (the paper's Figure 1):\n"
+            << RenderAnalyticMap(options) << "\n";
+
+  auto points = SweepRegions(options);
+
+  std::cout << "Empirical winner (worst measured ratio vs exact OPT):\n"
+            << RenderEmpiricalMap(options, points) << "\n";
+
+  util::Table table = RegionTable(points);
+  table.WriteAligned(std::cout);
+
+  int decided = 0, consistent = 0;
+  for (const RegionPoint& p : points) {
+    if (p.analytic == Region::kSaSuperior ||
+        p.analytic == Region::kDaSuperior) {
+      ++decided;
+      consistent += p.analytic == p.empirical ? 1 : 0;
+    }
+  }
+  std::cout << "\n";
+  PrintPaperVsMeasured(
+      std::cout,
+      "cd>1 => DA superior; cc+cd<0.5 => SA superior (Figure 1)",
+      std::to_string(consistent) + "/" + std::to_string(decided) +
+          " analytically decided grid points match the measured winner",
+      consistent == decided);
+  return consistent == decided ? 0 : 1;
+}

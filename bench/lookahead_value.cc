@@ -1,0 +1,93 @@
+// Experiment E18 (extension) — the value of future knowledge. §1.4 splits
+// DOM algorithms into offline (knows all future requests) and online (knows
+// none); this bench charts the spectrum in between with the
+// receding-horizon allocator: how much of the online-vs-offline gap does
+// each unit of lookahead close?
+
+#include <iostream>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/lookahead_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/util/csv.h"
+#include "objalloc/util/stats.h"
+#include "objalloc/workload/ensemble.h"
+
+int main() {
+  using namespace objalloc;
+
+  const int n = 6, t = 2;
+  const size_t kLength = 80;
+  model::CostModel sc = model::CostModel::StationaryComputing(0.25, 1.0);
+  const model::ProcessorSet initial = model::ProcessorSet::FirstN(t);
+
+  std::cout << "\n==== E18: the value of lookahead (n=6, t=2, SC cc=0.25 "
+               "cd=1.0; mean cost ratio vs exact OPT over the worst-case "
+               "ensemble) ====\n\n";
+
+  auto generators = workload::WorstCaseEnsemble(t);
+  const int kSeeds = 2;
+
+  util::Table table({"algorithm", "mean_ratio", "worst_ratio"});
+  auto measure = [&](auto make_algorithm, const std::string& label) {
+    util::RunningStats ratios;
+    for (const auto& generator : generators) {
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        model::Schedule schedule = generator->Generate(
+            n, kLength, static_cast<uint64_t>(seed) * 77);
+        double opt = opt::ExactOptCost(sc, schedule, initial);
+        if (opt == 0) continue;
+        double cost = make_algorithm(schedule);
+        ratios.Add(cost / opt);
+      }
+    }
+    table.AddRow().Cell(label).Cell(ratios.mean(), 4).Cell(ratios.max(), 4);
+    return ratios.mean();
+  };
+
+  core::StaticAllocation sa;
+  measure(
+      [&](const model::Schedule& schedule) {
+        return core::RunWithCost(sa, sc, schedule, initial).cost;
+      },
+      "SA (online)");
+  core::DynamicAllocation da;
+  double online = measure(
+      [&](const model::Schedule& schedule) {
+        return core::RunWithCost(da, sc, schedule, initial).cost;
+      },
+      "DA (online)");
+
+  double last = online;
+  for (int k : {1, 2, 4, 8, 16, 32}) {
+    last = measure(
+        [&](const model::Schedule& schedule) {
+          core::LookaheadAllocation lookahead(sc, k);
+          lookahead.Prime(schedule);
+          return core::RunWithCost(lookahead, sc, schedule, initial).cost;
+        },
+        "Lookahead(" + std::to_string(k) + ")");
+  }
+  measure(
+      [&](const model::Schedule& schedule) {
+        core::LookaheadAllocation oracle(sc,
+                                         static_cast<int>(schedule.size()));
+        oracle.Prime(schedule);
+        return core::RunWithCost(oracle, sc, schedule, initial).cost;
+      },
+      "Offline OPT (full)");
+  table.WriteAligned(std::cout);
+
+  bool converged = last < 1.02;
+  std::cout << "\n  paper:    offline knowledge makes dynamic allocation "
+               "optimal (§1.3/§1.4); online algorithms pay a bounded "
+               "competitive premium\n";
+  std::cout << "  measured: the mean ratio falls from the online level "
+               "toward 1.0 as the horizon grows (Lookahead(32): "
+            << util::FormatDouble(last, 4) << ")\n";
+  std::cout << "  verdict:  " << (converged ? "REPRODUCED" : "NOT REPRODUCED")
+            << "\n";
+  return converged ? 0 : 1;
+}

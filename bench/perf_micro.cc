@@ -1,0 +1,120 @@
+// Experiment E11 — engineering microbenchmarks (google-benchmark): online
+// step throughput of the DOM algorithms, exact-OPT DP scaling in the system
+// size, the polynomial brackets, and simulator request throughput. Not a
+// paper artifact; documents the library's own performance envelope.
+
+#include <benchmark/benchmark.h>
+
+#include "objalloc/core/adaptive_allocation.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/opt/interval_opt.h"
+#include "objalloc/opt/relaxation_lower_bound.h"
+#include "objalloc/sim/simulator.h"
+#include "objalloc/workload/uniform.h"
+
+namespace {
+
+using namespace objalloc;
+
+model::Schedule MakeSchedule(int n, size_t length) {
+  workload::UniformWorkload uniform(0.7);
+  return uniform.Generate(n, length, 1234);
+}
+
+void BM_SaOnlineRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  model::Schedule schedule = MakeSchedule(n, 1000);
+  model::CostModel sc = model::CostModel::StationaryComputing(0.5, 1.0);
+  for (auto _ : state) {
+    core::StaticAllocation sa;
+    benchmark::DoNotOptimize(
+        core::RunWithCost(sa, sc, schedule, model::ProcessorSet{0, 1}).cost);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SaOnlineRun)->Arg(8)->Arg(32);
+
+void BM_DaOnlineRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  model::Schedule schedule = MakeSchedule(n, 1000);
+  model::CostModel sc = model::CostModel::StationaryComputing(0.5, 1.0);
+  for (auto _ : state) {
+    core::DynamicAllocation da;
+    benchmark::DoNotOptimize(
+        core::RunWithCost(da, sc, schedule, model::ProcessorSet{0, 1}).cost);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DaOnlineRun)->Arg(8)->Arg(32);
+
+void BM_AdaptiveOnlineRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  model::Schedule schedule = MakeSchedule(n, 1000);
+  model::CostModel sc = model::CostModel::StationaryComputing(0.5, 1.0);
+  for (auto _ : state) {
+    core::AdaptiveAllocation adaptive(sc, core::AdaptiveOptions{});
+    benchmark::DoNotOptimize(
+        core::RunWithCost(adaptive, sc, schedule, model::ProcessorSet{0, 1})
+            .cost);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_AdaptiveOnlineRun)->Arg(8)->Arg(32);
+
+// Exponential in n: the DP over allocation schemes.
+void BM_ExactOptDp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  model::Schedule schedule = MakeSchedule(n, 200);
+  model::CostModel sc = model::CostModel::StationaryComputing(0.5, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::ExactOptCost(sc, schedule, model::ProcessorSet{0, 1}));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_ExactOptDp)->DenseRange(6, 14, 2);
+
+void BM_RelaxationLowerBound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  model::Schedule schedule = MakeSchedule(n, 1000);
+  model::CostModel sc = model::CostModel::StationaryComputing(0.5, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::RelaxationLowerBound(sc, schedule, model::ProcessorSet{0, 1}));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RelaxationLowerBound)->Arg(16)->Arg(48);
+
+void BM_IntervalOpt(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  model::Schedule schedule = MakeSchedule(n, 1000);
+  model::CostModel sc = model::CostModel::StationaryComputing(0.5, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::IntervalOptCost(sc, schedule, model::ProcessorSet{0, 1}));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_IntervalOpt)->Arg(16)->Arg(48);
+
+void BM_SimulatorRequests(benchmark::State& state) {
+  const bool dynamic = state.range(0) != 0;
+  model::Schedule schedule = MakeSchedule(16, 1000);
+  for (auto _ : state) {
+    sim::SimulatorOptions options;
+    options.protocol =
+        dynamic ? sim::ProtocolKind::kDynamic : sim::ProtocolKind::kStatic;
+    options.num_processors = 16;
+    options.initial_scheme = model::ProcessorSet{0, 1};
+    sim::Simulator simulator(options);
+    benchmark::DoNotOptimize(simulator.RunSchedule(schedule).served);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorRequests)->Arg(0)->Arg(1);
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Experiment E15 (extension) — heterogeneous networks (§6's extension
+// discussion): the same allocation policies evaluated under weighted
+// topologies. Two scenarios:
+//
+//   * two clusters joined by an expensive WAN link (inter multiplier 4x):
+//     readers in the far cluster punish SA per read; DA amortizes the link
+//     once per joiner per write interval; the topology-aware DA variant
+//     additionally fetches from a same-cluster replica when one exists;
+//   * a base-station star (spoke-to-spoke relayed at 2x, fast center disk):
+//     the paper's own mobile scenario, where placing F at the base station
+//     is exactly what DA's natural configuration suggests (§2).
+
+#include <iostream>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/core/topology_aware.h"
+#include "objalloc/model/topology.h"
+#include "objalloc/util/csv.h"
+#include "objalloc/util/rng.h"
+
+namespace {
+
+using namespace objalloc;
+
+// Readers mostly in cluster 1 (processors >= split); writers near the core.
+model::Schedule ClusterWorkload(int n, int split, size_t length,
+                                uint64_t seed) {
+  util::Rng rng(seed);
+  model::Schedule schedule(n);
+  for (size_t k = 0; k < length; ++k) {
+    if (rng.NextBernoulli(0.85)) {
+      auto reader = static_cast<util::ProcessorId>(
+          split + static_cast<int>(rng.NextBounded(
+                      static_cast<uint64_t>(n - split))));
+      schedule.AppendRead(reader);
+    } else {
+      schedule.AppendWrite(static_cast<util::ProcessorId>(
+          rng.NextBounded(static_cast<uint64_t>(split))));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+int main() {
+  using namespace objalloc;
+
+  const int n = 10;
+  const model::ProcessorSet initial{0, 1};
+  model::CostModel sc = model::CostModel::StationaryComputing(0.25, 1.0);
+
+  std::cout << "\n==== E15: heterogeneous-network scenarios (n=10, t=2, SC "
+               "cc=0.25 cd=1.0) ====\n\n";
+
+  struct Scenario {
+    std::string label;
+    model::NetworkTopology topology;
+    model::Schedule schedule;
+  };
+  Scenario scenarios[] = {
+      {"two clusters, 4x WAN link, far-cluster readers",
+       model::NetworkTopology::TwoClusters(n, 5, 4.0),
+       ClusterWorkload(n, 5, 800, 1)},
+      {"base-station star, relayed spokes, fast center disk",
+       model::NetworkTopology::Star(n, 0, 0.5),
+       ClusterWorkload(n, 1, 800, 2)},
+  };
+
+  util::Table table({"scenario", "SA", "DA", "TopoDA", "TopoDA_gain_vs_DA"});
+  bool topo_never_worse = true;
+  for (Scenario& scenario : scenarios) {
+    core::StaticAllocation sa;
+    core::DynamicAllocation da;
+    core::TopologyAwareAllocation topo(scenario.topology);
+
+    auto weighted = [&](core::DomAlgorithm& algorithm) {
+      model::AllocationSchedule allocation =
+          core::RunAlgorithm(algorithm, scenario.schedule, initial);
+      return model::WeightedScheduleCost(sc, scenario.topology, allocation);
+    };
+    double sa_cost = weighted(sa);
+    double da_cost = weighted(da);
+    double topo_cost = weighted(topo);
+    topo_never_worse = topo_never_worse && topo_cost <= da_cost * 1.001;
+    table.AddRow()
+        .Cell(scenario.label)
+        .Cell(sa_cost, 1)
+        .Cell(da_cost, 1)
+        .Cell(topo_cost, 1)
+        .Cell(da_cost / topo_cost, 3);
+  }
+  table.WriteAligned(std::cout);
+
+  std::cout << "\n  paper:    the model extends beyond homogeneous networks "
+               "(§6); F belongs at the base station (§2)\n";
+  std::cout << "  measured: topology-aware DA "
+            << (topo_never_worse ? "never loses to" : "can lose to")
+            << " plain DA and both beat SA on far-cluster reads\n";
+  std::cout << "  verdict:  "
+            << (topo_never_worse ? "REPRODUCED" : "NOT REPRODUCED") << "\n";
+  return topo_never_worse ? 0 : 1;
+}

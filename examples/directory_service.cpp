@@ -1,0 +1,91 @@
+// Directory service: thousands of user-location records (the paper's §1.1
+// mobile-communication motivation, "an identification will be associated
+// with a user, rather than with a physical location"), each an independent
+// replicated object managed through the multi-object ObjectManager. Heavily
+// called users are read from everywhere; their location objects benefit from
+// dynamic allocation, while write-churned records do not suffer under it.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "objalloc/core/object_manager.h"
+#include "objalloc/workload/multi_object.h"
+
+int main() {
+  using namespace objalloc;
+
+  const int kCells = 12;     // base stations / location servers
+  const int kUsers = 200;    // tracked users = objects
+  const size_t kEvents = 20000;
+  model::CostModel mc = model::CostModel::MobileComputing(0.5, 1.0);
+
+  workload::MultiObjectOptions options;
+  options.num_processors = kCells;
+  options.num_objects = kUsers;
+  options.length = kEvents;
+  options.popularity_skew = 1.0;      // a few celebrities get most calls
+  options.min_read_fraction = 0.55;   // movers: mostly location updates
+  options.max_read_fraction = 0.98;   // celebrities: mostly lookups
+  workload::MultiObjectTrace trace =
+      workload::GenerateMultiObjectTrace(options, /*seed=*/20260704);
+
+  auto run = [&](core::AlgorithmKind kind) {
+    core::ObjectManager manager(kCells, mc);
+    core::ObjectConfig config;
+    config.initial_scheme = model::ProcessorSet{0, 1};  // two home servers
+    config.algorithm = kind;
+    for (int user = 0; user < kUsers; ++user) {
+      auto status = manager.AddObject(user, config);
+      OBJALLOC_CHECK(status.ok()) << status.ToString();
+    }
+    for (const auto& event : trace.events) {
+      auto cost = manager.Serve(event.object, event.request);
+      OBJALLOC_CHECK(cost.ok()) << cost.status().ToString();
+    }
+    return manager;
+  };
+
+  core::ObjectManager sa = run(core::AlgorithmKind::kStatic);
+  core::ObjectManager da = run(core::AlgorithmKind::kDynamic);
+
+  std::printf("Location directory, %d cells, %d users, %zu events (%s)\n\n",
+              kCells, kUsers, kEvents, mc.ToString().c_str());
+  std::printf("%-28s %14s %14s\n", "policy", "wireless msgs",
+              "total tariff");
+  auto sa_traffic = sa.TotalBreakdown();
+  auto da_traffic = da.TotalBreakdown();
+  std::printf("%-28s %14lld %14.1f\n", "SA (fixed home servers)",
+              static_cast<long long>(sa_traffic.control_messages +
+                                     sa_traffic.data_messages),
+              sa.TotalCost());
+  std::printf("%-28s %14lld %14.1f\n", "DA (caching + invalidation)",
+              static_cast<long long>(da_traffic.control_messages +
+                                     da_traffic.data_messages),
+              da.TotalCost());
+
+  // Which users gained the most from dynamic allocation?
+  std::vector<std::pair<double, int>> gains;
+  for (int user = 0; user < kUsers; ++user) {
+    auto sa_stats = sa.StatsFor(user);
+    auto da_stats = da.StatsFor(user);
+    if (sa_stats->requests == 0) continue;
+    gains.push_back({sa_stats->breakdown.Cost(mc) -
+                         da_stats->breakdown.Cost(mc),
+                     user});
+  }
+  std::sort(gains.rbegin(), gains.rend());
+  std::printf("\nbiggest per-user tariff savings from DA:\n");
+  for (size_t k = 0; k < 5 && k < gains.size(); ++k) {
+    auto stats = da.StatsFor(gains[k].second);
+    std::printf("  user %3d: saved %7.1f over %lld requests (replicas now at "
+                "%s)\n",
+                gains[k].second, gains[k].first,
+                static_cast<long long>(stats->requests),
+                stats->scheme.ToString().c_str());
+  }
+  std::printf("\nDA wins on lookup-heavy celebrity records and ties on "
+              "update-heavy movers\n(Figure 2: in mobile computing DA is "
+              "never the wrong choice).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Electronic publishing scenario (§1.1): a document co-authored and read
+// from many sites, under the stationary-computing cost model. The editorial
+// "hot set" shifts over time (different chapters, different teams), which is
+// exactly the *regular* pattern of §5.1 where a convergent (adaptive)
+// allocator can track the optimum — while DA keeps its worst-case guarantee
+// and SA pays remote costs for every reader outside its fixed scheme.
+
+#include <cstdio>
+
+#include "objalloc/core/adaptive_allocation.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/opt/interval_opt.h"
+#include "objalloc/opt/relaxation_lower_bound.h"
+#include "objalloc/workload/regime.h"
+#include "objalloc/workload/uniform.h"
+
+int main() {
+  using namespace objalloc;
+
+  const int kSites = 16;  // too many for the exact OPT: use the brackets
+  const model::ProcessorSet kInitial{0, 1};
+  model::CostModel sc = model::CostModel::StationaryComputing(0.2, 1.0);
+
+  std::printf("Electronic publishing (SC model, %s), %d sites\n\n",
+              sc.ToString().c_str(), kSites);
+
+  struct Scenario {
+    const char* name;
+    model::Schedule schedule;
+  };
+  workload::RegimeWorkload editorial(/*regime_length=*/250, /*hot_set_size=*/3,
+                                     /*read_ratio=*/0.85);
+  workload::UniformWorkload chaotic(/*read_ratio=*/0.85);
+  Scenario scenarios[] = {
+      {"editorial shifts (regular)", editorial.Generate(kSites, 1000, 7)},
+      {"world-wide chaos (irregular)", chaotic.Generate(kSites, 1000, 7)},
+  };
+
+  for (const Scenario& scenario : scenarios) {
+    core::StaticAllocation sa;
+    core::DynamicAllocation da;
+    core::AdaptiveAllocation adaptive(sc, core::AdaptiveOptions{});
+
+    double sa_cost =
+        core::RunWithCost(sa, sc, scenario.schedule, kInitial).cost;
+    double da_cost =
+        core::RunWithCost(da, sc, scenario.schedule, kInitial).cost;
+    double adaptive_cost =
+        core::RunWithCost(adaptive, sc, scenario.schedule, kInitial).cost;
+    // OPT is intractable at 16 sites; bracket it.
+    double lower = opt::RelaxationLowerBound(sc, scenario.schedule, kInitial);
+    double upper = opt::IntervalOptCost(sc, scenario.schedule, kInitial);
+
+    std::printf("workload: %s\n", scenario.name);
+    std::printf("  SA        %9.1f\n", sa_cost);
+    std::printf("  DA        %9.1f\n", da_cost);
+    std::printf("  Adaptive  %9.1f   (convergent extension, cf. §5.1)\n",
+                adaptive_cost);
+    std::printf("  OPT in    [%7.1f, %7.1f]   (relaxation / interval bounds)\n\n",
+                lower, upper);
+  }
+
+  std::printf(
+      "On the regular editorial pattern the adaptive allocator converges to\n"
+      "each regime's hot set; on chaotic traffic DA's competitive guarantee\n"
+      "is what protects you (§5.1: neither dominates the other).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Mobile computing scenario (the paper's motivating application, §1.1 and
+// §2): the replicated object is a mobile user's *location record*. The
+// user's handset updates it as the user moves (writes); calls to the user
+// trigger location lookups from other cells (reads). Under wireless
+// charging the I/O cost is irrelevant — only messages cost money — which is
+// the MC cost model (cio = 0).
+//
+// The paper's natural choice: t = 2 with F = {base station}, so every
+// movement update is written locally on the handset and propagated to the
+// base station, which invalidates the cached copies at the other cells.
+//
+// The run shows Figure 2's conclusion: SA's cost ratio against OPT grows
+// with the call volume, while DA stays within its (2 + 3cc/cd) factor.
+
+#include <cstdio>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/model/schedule.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/util/rng.h"
+
+namespace {
+
+// One day of traffic: the handset (processor `kHandset`) occasionally
+// moves; calls arrive via random cells that must read the latest location.
+objalloc::model::Schedule MakeDay(int processors, int handset, size_t events,
+                                  double move_probability, uint64_t seed) {
+  objalloc::util::Rng rng(seed);
+  objalloc::model::Schedule schedule(processors);
+  for (size_t i = 0; i < events; ++i) {
+    if (rng.NextBernoulli(move_probability)) {
+      schedule.AppendWrite(handset);  // the user moved
+    } else {
+      // An incoming call: some cell looks the user up.
+      auto cell = static_cast<int>(
+          rng.NextBounded(static_cast<uint64_t>(processors)));
+      schedule.AppendRead(cell);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+int main() {
+  using namespace objalloc;
+
+  // Processor 0: base station (the core set F). Processor 1: the handset.
+  // Processors 2..7: other cells that receive calls for the user.
+  const int kProcessors = 8;
+  const int kHandset = 1;
+  const model::ProcessorSet kInitial{0, 1};  // F = {0}, p = 1
+
+  // Wireless tariffs: a control message costs 1 unit, a location record
+  // transfer 2 units; disk I/O is free on-device (MC model).
+  model::CostModel mc = model::CostModel::MobileComputing(1.0, 2.0);
+
+  std::printf("Mobile location tracking (MC model, %s)\n",
+              mc.ToString().c_str());
+  std::printf("base station = processor 0 (F), handset = processor %d (p)\n\n",
+              kHandset);
+  std::printf("%-10s %-10s %-10s %-10s %-8s %-8s\n", "calls/day", "SA-cost",
+              "DA-cost", "OPT-cost", "SA/OPT", "DA/OPT");
+
+  for (size_t events : {50u, 100u, 200u, 400u}) {
+    model::Schedule day =
+        MakeDay(kProcessors, kHandset, events, /*move_probability=*/0.15,
+                /*seed=*/events);
+    core::StaticAllocation sa;
+    core::DynamicAllocation da;
+    double sa_cost = core::RunWithCost(sa, mc, day, kInitial).cost;
+    double da_cost = core::RunWithCost(da, mc, day, kInitial).cost;
+    double opt_cost = opt::ExactOptCost(mc, day, kInitial);
+    std::printf("%-10zu %-10.1f %-10.1f %-10.1f %-8.3f %-8.3f\n", events,
+                sa_cost, da_cost, opt_cost, sa_cost / opt_cost,
+                da_cost / opt_cost);
+  }
+
+  std::printf(
+      "\nDA caches the location at calling cells and invalidates them on "
+      "movement;\nSA re-fetches on every call. In mobile computing DA is "
+      "strictly superior\n(Figure 2): its ratio stays bounded while SA's "
+      "grows with call volume.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Satellite image feed (§6.2): a satellite transmits one image per minute;
+// each image is received at some earth station and must be stored at >= t
+// stations for reliability; stations read the *latest* image at arbitrary
+// times. SA = a fixed set of t permanent standing orders; DA = t-1 permanent
+// standing orders plus temporary standing orders that are cancelled when the
+// next image arrives.
+//
+// The example also demonstrates the paper's equivalence claim: the feed
+// managers' accumulated costs coincide exactly with the SA/DA DOM algorithms
+// run on the corresponding read/write schedule.
+
+#include <cstdio>
+
+#include "objalloc/appendonly/feed.h"
+#include "objalloc/appendonly/feed_manager.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/util/rng.h"
+
+int main() {
+  using namespace objalloc;
+
+  const int kStations = 10;
+  const appendonly::ProcessorSet kOrders{0, 1};  // t = 2
+  model::CostModel sc = model::CostModel::StationaryComputing(0.3, 1.2);
+
+  // A few hours of operation: images arrive steadily; analysts at varying
+  // stations pull the latest image in bursts.
+  util::Rng rng(2026);
+  appendonly::FeedSchedule feed(kStations);
+  for (int minute = 0; minute < 300; ++minute) {
+    // The downlink rotates among three receiver stations.
+    feed.AppendGenerate(static_cast<int>(minute % 3));
+    // Between images, analysts fetch the latest picture.
+    int pulls = static_cast<int>(rng.NextBounded(4));
+    for (int k = 0; k < pulls; ++k) {
+      feed.AppendRead(static_cast<int>(rng.NextBounded(kStations)));
+    }
+  }
+
+  appendonly::StaticFeedManager sa_feed(kOrders);
+  appendonly::DynamicFeedManager da_feed(kOrders);
+  model::CostBreakdown sa_traffic = sa_feed.Run(feed);
+  model::CostBreakdown da_traffic = da_feed.Run(feed);
+
+  std::printf("Satellite feed, %zu events (images + reads), t = %d\n\n",
+              feed.size(), kOrders.Size());
+  std::printf("%-22s %10s %10s %10s %12s\n", "policy", "ctrl-msgs",
+              "data-msgs", "disk-I/O", "total cost");
+  std::printf("%-22s %10lld %10lld %10lld %12.1f\n", "SA (fixed orders)",
+              static_cast<long long>(sa_traffic.control_messages),
+              static_cast<long long>(sa_traffic.data_messages),
+              static_cast<long long>(sa_traffic.io_ops), sa_traffic.Cost(sc));
+  std::printf("%-22s %10lld %10lld %10lld %12.1f\n", "DA (temp. orders)",
+              static_cast<long long>(da_traffic.control_messages),
+              static_cast<long long>(da_traffic.data_messages),
+              static_cast<long long>(da_traffic.io_ops), da_traffic.Cost(sc));
+
+  // The §6.2 equivalence, checked live: run the DOM algorithms on the
+  // mapped schedule (generate -> write, read-latest -> read).
+  model::Schedule mapped = feed.ToObjectSchedule();
+  core::StaticAllocation sa;
+  core::DynamicAllocation da;
+  auto sa_dom = core::RunWithCost(sa, sc, mapped, kOrders).breakdown;
+  auto da_dom = core::RunWithCost(da, sc, mapped, kOrders).breakdown;
+  std::printf("\nequivalence with the DOM algorithms (§6.2): SA %s, DA %s\n",
+              sa_dom == sa_traffic ? "EXACT" : "MISMATCH",
+              da_dom == da_traffic ? "EXACT" : "MISMATCH");
+  return 0;
+}

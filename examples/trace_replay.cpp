@@ -1,0 +1,144 @@
+// Trace replay tool: run any algorithm over a schedule trace file and print
+// the cost report — the command-line face of the library.
+//
+//   trace_replay <trace-file> [--algorithm sa|da|counter|quorum|adaptive]
+//                [--cc 0.25] [--cd 1.0] [--mobile] [--t 2] [--opt]
+//
+// With --opt (small systems only) the exact offline optimum and the
+// resulting competitive ratio are printed as well. Without a trace file, a
+// demo trace is generated and its path printed, so the quickstart works out
+// of the box.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "objalloc/core/adaptive_allocation.h"
+#include "objalloc/core/counter_replication.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/quorum_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/workload/trace_io.h"
+#include "objalloc/workload/uniform.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace objalloc;
+
+  std::string path;
+  std::string algorithm_name = "da";
+  double cc = 0.25, cd = 1.0;
+  bool mobile = false, run_opt = false;
+  int t = 2;
+
+  for (int arg = 1; arg < argc; ++arg) {
+    std::string flag = argv[arg];
+    auto next_value = [&]() -> const char* {
+      return arg + 1 < argc ? argv[++arg] : nullptr;
+    };
+    if (flag == "--algorithm") {
+      const char* value = next_value();
+      if (value == nullptr) return Fail("--algorithm needs a value");
+      algorithm_name = value;
+    } else if (flag == "--cc") {
+      const char* value = next_value();
+      if (value == nullptr) return Fail("--cc needs a value");
+      cc = std::atof(value);
+    } else if (flag == "--cd") {
+      const char* value = next_value();
+      if (value == nullptr) return Fail("--cd needs a value");
+      cd = std::atof(value);
+    } else if (flag == "--t") {
+      const char* value = next_value();
+      if (value == nullptr) return Fail("--t needs a value");
+      t = std::atoi(value);
+    } else if (flag == "--mobile") {
+      mobile = true;
+    } else if (flag == "--opt") {
+      run_opt = true;
+    } else if (flag.rfind("--", 0) == 0) {
+      return Fail("unknown flag " + flag);
+    } else {
+      path = flag;
+    }
+  }
+
+  if (path.empty()) {
+    // Demo mode: generate and replay a sample trace.
+    path = "/tmp/objalloc_demo_trace.txt";
+    workload::UniformWorkload uniform(0.75);
+    util::Status status =
+        workload::WriteTraceFile(uniform.Generate(8, 300, 1), path);
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("(no trace given: wrote a demo trace to %s)\n\n",
+                path.c_str());
+  }
+
+  auto trace = workload::ReadTraceFile(path);
+  if (!trace.ok()) return Fail(trace.status().ToString());
+  const model::Schedule& schedule = *trace;
+  if (t < 1 || t > schedule.num_processors()) return Fail("bad t");
+
+  model::CostModel cost_model = mobile
+                                    ? model::CostModel::MobileComputing(cc, cd)
+                                    : model::CostModel::StationaryComputing(
+                                          cc, cd);
+  util::Status valid = cost_model.Validate();
+  if (!valid.ok()) return Fail(valid.ToString());
+
+  std::unique_ptr<core::DomAlgorithm> algorithm;
+  if (algorithm_name == "sa") {
+    algorithm = std::make_unique<core::StaticAllocation>();
+  } else if (algorithm_name == "da") {
+    algorithm = std::make_unique<core::DynamicAllocation>();
+  } else if (algorithm_name == "counter") {
+    algorithm = std::make_unique<core::CounterReplication>(
+        core::CounterReplicationOptions{});
+  } else if (algorithm_name == "quorum") {
+    algorithm = std::make_unique<core::QuorumAllocation>(
+        core::QuorumAllocationOptions{});
+  } else if (algorithm_name == "adaptive") {
+    algorithm = std::make_unique<core::AdaptiveAllocation>(
+        cost_model, core::AdaptiveOptions{});
+  } else {
+    return Fail("unknown algorithm " + algorithm_name);
+  }
+
+  model::ProcessorSet initial = model::ProcessorSet::FirstN(t);
+  core::RunResult result =
+      core::RunWithCost(*algorithm, cost_model, schedule, initial);
+
+  std::printf("trace      : %s\n", path.c_str());
+  std::printf("requests   : %zu (%zu reads, %zu writes) over %d processors\n",
+              schedule.size(), schedule.CountReads(), schedule.CountWrites(),
+              schedule.num_processors());
+  std::printf("cost model : %s\n", cost_model.ToString().c_str());
+  std::printf("algorithm  : %s (t = %d)\n\n", algorithm->name().c_str(), t);
+  std::printf("total cost : %.3f\n", result.cost);
+  std::printf("breakdown  : %s\n", result.breakdown.ToString().c_str());
+  std::printf("final scheme: %s\n",
+              result.allocation.FinalScheme().ToString().c_str());
+
+  if (run_opt) {
+    if (schedule.num_processors() > opt::kMaxExactOptProcessors) {
+      return Fail("--opt is limited to small systems (exact DP)");
+    }
+    double opt_cost = opt::ExactOptCost(cost_model, schedule, initial);
+    std::printf("OPT cost   : %.3f\n", opt_cost);
+    if (opt_cost > 0) {
+      std::printf("ratio      : %.4f\n", result.cost / opt_cost);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "objalloc/analysis/adversarial_search.h"
+
+#include <vector>
+
+#include "objalloc/analysis/competitive.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/util/logging.h"
+#include "objalloc/util/rng.h"
+#include "objalloc/workload/adversary.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::analysis {
+
+namespace {
+
+using model::Request;
+using model::Schedule;
+
+Schedule Mutate(const Schedule& schedule, size_t max_length,
+                util::Rng& rng) {
+  std::vector<Request> requests = schedule.requests();
+  const int n = schedule.num_processors();
+  auto random_request = [&]() {
+    auto p = static_cast<util::ProcessorId>(
+        rng.NextBounded(static_cast<uint64_t>(n)));
+    return rng.NextBernoulli(0.7) ? Request::Read(p) : Request::Write(p);
+  };
+  switch (rng.NextBounded(5)) {
+    case 0: {  // flip a request's kind
+      if (requests.empty()) break;
+      Request& victim = requests[rng.NextBounded(requests.size())];
+      victim.kind = victim.is_read() ? model::RequestKind::kWrite
+                                     : model::RequestKind::kRead;
+      break;
+    }
+    case 1: {  // retarget an issuer
+      if (requests.empty()) break;
+      Request& victim = requests[rng.NextBounded(requests.size())];
+      victim.processor = static_cast<util::ProcessorId>(
+          rng.NextBounded(static_cast<uint64_t>(n)));
+      break;
+    }
+    case 2: {  // insert
+      if (requests.size() >= max_length) break;
+      size_t at = rng.NextBounded(requests.size() + 1);
+      requests.insert(requests.begin() + static_cast<ptrdiff_t>(at),
+                      random_request());
+      break;
+    }
+    case 3: {  // delete
+      if (requests.size() <= 2) break;
+      size_t at = rng.NextBounded(requests.size());
+      requests.erase(requests.begin() + static_cast<ptrdiff_t>(at));
+      break;
+    }
+    case 4: {  // duplicate a short block (amplifies whatever hurts)
+      if (requests.empty() || requests.size() + 4 > max_length) break;
+      size_t at = rng.NextBounded(requests.size());
+      size_t block = 1 + rng.NextBounded(4);
+      block = std::min(block, requests.size() - at);
+      std::vector<Request> copy(requests.begin() + static_cast<ptrdiff_t>(at),
+                                requests.begin() +
+                                    static_cast<ptrdiff_t>(at + block));
+      requests.insert(requests.begin() + static_cast<ptrdiff_t>(at + block),
+                      copy.begin(), copy.end());
+      break;
+    }
+  }
+  return Schedule(n, std::move(requests));
+}
+
+}  // namespace
+
+util::Status SearchOptions::Validate() const {
+  if (num_processors < 3 || num_processors > opt::kMaxExactOptProcessors) {
+    return util::Status::InvalidArgument(
+        "search needs 3 <= n <= exact-OPT limit");
+  }
+  if (t < 2 || t >= num_processors) {
+    return util::Status::InvalidArgument("need 2 <= t < n");
+  }
+  if (schedule_length < 2 || schedule_length > max_length) {
+    return util::Status::InvalidArgument("bad length bounds");
+  }
+  if (iterations <= 0 || restarts <= 0) {
+    return util::Status::InvalidArgument("empty search");
+  }
+  return util::Status::Ok();
+}
+
+SearchResult FindAdversarialSchedule(core::DomAlgorithm& algorithm,
+                                     const model::CostModel& cost_model,
+                                     const SearchOptions& options) {
+  OBJALLOC_CHECK(options.Validate().ok()) << options.Validate().ToString();
+  OBJALLOC_CHECK(cost_model.Validate().ok());
+  const model::ProcessorSet initial =
+      model::ProcessorSet::FirstN(options.t);
+  util::Rng rng(options.seed);
+
+  SearchResult result;
+  result.best_schedule = Schedule(options.num_processors);
+
+  auto evaluate = [&](const Schedule& schedule) {
+    ++result.evaluations;
+    if (schedule.empty()) return 0.0;
+    return RatioOnSchedule(algorithm, cost_model, schedule, initial);
+  };
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    // Seeds: the known nemeses plus a random mix, one per restart.
+    Schedule current(options.num_processors);
+    switch (restart % 3) {
+      case 0:
+        current = workload::DaNemesis(options.t, 4).Generate(
+            options.num_processors, options.schedule_length, rng.Next());
+        break;
+      case 1:
+        current = workload::SaNemesis(options.t).Generate(
+            options.num_processors, options.schedule_length, rng.Next());
+        break;
+      default:
+        current = workload::UniformWorkload(0.7).Generate(
+            options.num_processors, options.schedule_length, rng.Next());
+        break;
+    }
+    double current_ratio = evaluate(current);
+    if (current_ratio > result.best_ratio) {
+      result.best_ratio = current_ratio;
+      result.best_schedule = current;
+    }
+    for (int iteration = 0; iteration < options.iterations; ++iteration) {
+      Schedule candidate = Mutate(current, options.max_length, rng);
+      double ratio = evaluate(candidate);
+      if (ratio >= current_ratio) {  // plateau moves keep the climb alive
+        current = std::move(candidate);
+        current_ratio = ratio;
+        if (ratio > result.best_ratio) {
+          result.best_ratio = ratio;
+          result.best_schedule = current;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace objalloc::analysis

@@ -1,0 +1,50 @@
+// Adversarial schedule search: a randomized hill climber that *maximizes*
+// an online algorithm's cost ratio against the exact offline OPT by
+// mutating schedules (flip a request's kind, retarget its issuer, insert,
+// delete, or duplicate a request).
+//
+// Purpose: the paper's Figure 1 leaves an "Unknown" band because DA's lower
+// bound (1.5) and upper bound (2 + 2cc) do not meet; the search probes that
+// gap empirically — the best schedule found is a *certified* lower bound on
+// DA's competitive factor at that (cc, cd) (the ratio is measured against
+// the exact OPT), while the theorems cap it from above.
+
+#ifndef OBJALLOC_ANALYSIS_ADVERSARIAL_SEARCH_H_
+#define OBJALLOC_ANALYSIS_ADVERSARIAL_SEARCH_H_
+
+#include <string>
+
+#include "objalloc/core/dom_algorithm.h"
+#include "objalloc/model/cost_model.h"
+#include "objalloc/model/schedule.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::analysis {
+
+struct SearchOptions {
+  int num_processors = 6;   // small: the exact OPT runs per candidate
+  int t = 2;
+  size_t schedule_length = 60;  // initial length; mutations may grow it
+  size_t max_length = 120;
+  int iterations = 400;      // mutation attempts
+  int restarts = 3;          // independent climbs from fresh seeds
+  uint64_t seed = 0xadae;
+
+  util::Status Validate() const;
+};
+
+struct SearchResult {
+  double best_ratio = 0;
+  model::Schedule best_schedule{1};
+  int64_t evaluations = 0;
+};
+
+// Climbs toward the schedule maximizing COST_alg / COST_OPT for `algorithm`
+// under `cost_model`. The algorithm object is Reset per evaluation.
+SearchResult FindAdversarialSchedule(core::DomAlgorithm& algorithm,
+                                     const model::CostModel& cost_model,
+                                     const SearchOptions& options);
+
+}  // namespace objalloc::analysis
+
+#endif  // OBJALLOC_ANALYSIS_ADVERSARIAL_SEARCH_H_

@@ -1,0 +1,89 @@
+#include "objalloc/analysis/competitive.h"
+
+#include <limits>
+
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/util/logging.h"
+
+namespace objalloc::analysis {
+
+util::Status RatioOptions::Validate() const {
+  if (num_processors < 2 || num_processors > util::kMaxProcessors) {
+    return util::Status::InvalidArgument("num_processors out of range");
+  }
+  if (t < 2 || t >= num_processors) {
+    return util::Status::InvalidArgument(
+        "t must satisfy 2 <= t < num_processors");
+  }
+  if (num_processors > opt::kMaxExactOptProcessors) {
+    return util::Status::InvalidArgument(
+        "exact OPT is limited to small systems; reduce num_processors");
+  }
+  if (schedule_length == 0 || seeds_per_generator <= 0) {
+    return util::Status::InvalidArgument("empty measurement");
+  }
+  return util::Status::Ok();
+}
+
+double RatioOnSchedule(DomAlgorithm& algorithm, const CostModel& cost_model,
+                       const Schedule& schedule,
+                       ProcessorSet initial_scheme) {
+  core::RunResult run =
+      core::RunWithCost(algorithm, cost_model, schedule, initial_scheme);
+  double opt_cost = opt::ExactOptCost(cost_model, schedule, initial_scheme);
+  if (opt_cost == 0) {
+    return run.cost == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return run.cost / opt_cost;
+}
+
+RatioSummary MeasureCompetitiveRatio(
+    DomAlgorithm& algorithm, const CostModel& cost_model,
+    const std::vector<std::unique_ptr<workload::ScheduleGenerator>>&
+        generators,
+    const RatioOptions& options) {
+  OBJALLOC_CHECK(options.Validate().ok()) << options.Validate().ToString();
+  OBJALLOC_CHECK(cost_model.Validate().ok()) << cost_model.ToString();
+
+  const ProcessorSet initial = ProcessorSet::FirstN(options.t);
+  RatioSummary summary;
+  summary.algorithm = algorithm.name();
+  summary.cost_model = cost_model;
+  summary.worst.ratio = -1;
+  double ratio_sum = 0;
+
+  uint64_t seed_state = options.base_seed;
+  for (const auto& generator : generators) {
+    for (int s = 0; s < options.seeds_per_generator; ++s) {
+      const uint64_t seed = util::SplitMix64(seed_state);
+      Schedule schedule = generator->Generate(
+          options.num_processors, options.schedule_length, seed);
+      if (schedule.empty()) continue;
+
+      core::RunResult run =
+          core::RunWithCost(algorithm, cost_model, schedule, initial);
+      double opt_cost = opt::ExactOptCost(cost_model, schedule, initial);
+
+      RatioSample sample;
+      sample.generator = generator->name();
+      sample.seed = seed;
+      sample.algorithm_cost = run.cost;
+      sample.opt_cost = opt_cost;
+      if (opt_cost == 0) {
+        sample.ratio = run.cost == 0
+                           ? 1.0
+                           : std::numeric_limits<double>::infinity();
+      } else {
+        sample.ratio = run.cost / opt_cost;
+      }
+      ratio_sum += sample.ratio;
+      if (sample.ratio > summary.worst.ratio) summary.worst = sample;
+      summary.samples.push_back(std::move(sample));
+    }
+  }
+  OBJALLOC_CHECK(!summary.samples.empty());
+  summary.mean_ratio = ratio_sum / static_cast<double>(summary.samples.size());
+  return summary;
+}
+
+}  // namespace objalloc::analysis

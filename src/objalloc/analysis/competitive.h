@@ -1,0 +1,74 @@
+// Empirical competitive-ratio measurement (§4.1).
+//
+// An algorithm A is α-competitive when COST_A(I, ψ) <= α * COST_OPT(I, ψ) + β
+// for every schedule ψ. We estimate the competitive factor of an online
+// algorithm by maximizing the measured ratio COST_A / COST_OPT over an
+// ensemble of adversarial and random schedules, with OPT computed exactly by
+// the subset DP. For systems too large for the exact DP, bracket ratios are
+// reported against the relaxation lower bound (overestimates the ratio) and
+// the interval heuristic (underestimates it).
+
+#ifndef OBJALLOC_ANALYSIS_COMPETITIVE_H_
+#define OBJALLOC_ANALYSIS_COMPETITIVE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "objalloc/core/dom_algorithm.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/model/cost_model.h"
+#include "objalloc/workload/generator.h"
+
+namespace objalloc::analysis {
+
+using core::DomAlgorithm;
+using model::CostModel;
+using model::ProcessorSet;
+using model::Schedule;
+
+struct RatioOptions {
+  int num_processors = 8;
+  int t = 2;  // availability threshold; initial scheme is {0..t-1}
+  size_t schedule_length = 160;
+  int seeds_per_generator = 4;
+  uint64_t base_seed = 0x0b7a110c2026ULL;
+
+  util::Status Validate() const;
+};
+
+// One measured schedule.
+struct RatioSample {
+  std::string generator;
+  uint64_t seed = 0;
+  double algorithm_cost = 0;
+  double opt_cost = 0;
+  double ratio = 0;
+};
+
+struct RatioSummary {
+  std::string algorithm;
+  CostModel cost_model;
+  std::vector<RatioSample> samples;
+  RatioSample worst;   // maximal ratio
+  double mean_ratio = 0;
+};
+
+// Ratio of `algorithm` to the exact OPT on one schedule. OPT cost of zero
+// (possible only in MC when every request is served locally for free) is
+// treated as ratio 1 when the algorithm's cost is also zero, and +inf
+// otherwise.
+double RatioOnSchedule(DomAlgorithm& algorithm, const CostModel& cost_model,
+                       const Schedule& schedule, ProcessorSet initial_scheme);
+
+// Maximizes the ratio over `generators` x seeds. The initial scheme is
+// {0..t-1} as the adversaries assume.
+RatioSummary MeasureCompetitiveRatio(
+    DomAlgorithm& algorithm, const CostModel& cost_model,
+    const std::vector<std::unique_ptr<workload::ScheduleGenerator>>&
+        generators,
+    const RatioOptions& options);
+
+}  // namespace objalloc::analysis
+
+#endif  // OBJALLOC_ANALYSIS_COMPETITIVE_H_

@@ -1,0 +1,161 @@
+#include "objalloc/analysis/region_map.h"
+
+#include <cmath>
+#include <limits>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/util/ascii_plot.h"
+#include "objalloc/util/logging.h"
+#include "objalloc/workload/ensemble.h"
+
+namespace objalloc::analysis {
+
+namespace {
+
+double SafeRatio(double cost, double opt_cost) {
+  if (opt_cost == 0) {
+    return cost == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return cost / opt_cost;
+}
+
+std::string RatioLabel(double ratio) {
+  if (std::isinf(ratio)) return "inf";
+  return util::FormatDouble(ratio, 3);
+}
+
+}  // namespace
+
+RegionSweepOptions RegionSweepOptions::PaperGrid(bool mobile) {
+  RegionSweepOptions options;
+  options.mobile = mobile;
+  options.cd_values = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7,
+                       0.9,  1.1, 1.4, 1.7, 2.0};
+  options.cc_values = {0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0};
+  return options;
+}
+
+std::vector<RegionPoint> SweepRegions(const RegionSweepOptions& options) {
+  OBJALLOC_CHECK(options.ratio.Validate().ok())
+      << options.ratio.Validate().ToString();
+  const ProcessorSet initial = ProcessorSet::FirstN(options.ratio.t);
+  auto generators = workload::WorstCaseEnsemble(options.ratio.t);
+
+  std::vector<RegionPoint> points;
+  for (double cd : options.cd_values) {
+    for (double cc : options.cc_values) {
+      if (cc > cd) continue;  // cannot be true
+      const CostModel cost_model = options.mobile
+                                       ? CostModel::MobileComputing(cc, cd)
+                                       : CostModel::StationaryComputing(cc, cd);
+      RegionPoint point;
+      point.cc = cc;
+      point.cd = cd;
+      point.analytic = Classify(cost_model);
+
+      core::StaticAllocation sa;
+      core::DynamicAllocation da;
+      double sa_worst = 0, da_worst = 0, sa_sum = 0, da_sum = 0;
+      int count = 0;
+      uint64_t seed_state = options.ratio.base_seed;
+      for (const auto& generator : generators) {
+        for (int s = 0; s < options.ratio.seeds_per_generator; ++s) {
+          const uint64_t seed = util::SplitMix64(seed_state);
+          Schedule schedule =
+              generator->Generate(options.ratio.num_processors,
+                                  options.ratio.schedule_length, seed);
+          // One OPT evaluation serves both algorithms.
+          double opt_cost =
+              opt::ExactOptCost(cost_model, schedule, initial);
+          double sa_cost =
+              core::RunWithCost(sa, cost_model, schedule, initial).cost;
+          double da_cost =
+              core::RunWithCost(da, cost_model, schedule, initial).cost;
+          double sa_ratio = SafeRatio(sa_cost, opt_cost);
+          double da_ratio = SafeRatio(da_cost, opt_cost);
+          sa_worst = std::max(sa_worst, sa_ratio);
+          da_worst = std::max(da_worst, da_ratio);
+          sa_sum += sa_ratio;
+          da_sum += da_ratio;
+          ++count;
+        }
+      }
+      point.sa_worst_ratio = sa_worst;
+      point.da_worst_ratio = da_worst;
+      point.sa_mean_ratio = sa_sum / count;
+      point.da_mean_ratio = da_sum / count;
+      point.empirical = sa_worst <= da_worst ? Region::kSaSuperior
+                                             : Region::kDaSuperior;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+util::Table RegionTable(const std::vector<RegionPoint>& points) {
+  util::Table table({"cd", "cc", "analytic", "SA_worst", "DA_worst",
+                     "SA_mean", "DA_mean", "empirical_winner", "consistent"});
+  for (const RegionPoint& p : points) {
+    // Consistency: wherever the paper decides a winner, the measurement
+    // must agree; in the unknown band any winner is consistent.
+    bool consistent = true;
+    if (p.analytic == Region::kSaSuperior ||
+        p.analytic == Region::kDaSuperior) {
+      consistent = p.analytic == p.empirical;
+    }
+    table.AddRow()
+        .Cell(p.cd, 2)
+        .Cell(p.cc, 2)
+        .Cell(RegionToString(p.analytic))
+        .Cell(RatioLabel(p.sa_worst_ratio))
+        .Cell(RatioLabel(p.da_worst_ratio))
+        .Cell(RatioLabel(p.sa_mean_ratio))
+        .Cell(RatioLabel(p.da_mean_ratio))
+        .Cell(RegionToString(p.empirical))
+        .Cell(consistent ? "yes" : "NO");
+  }
+  return table;
+}
+
+std::string RenderAnalyticMap(const RegionSweepOptions& options) {
+  const double x_hi = options.cd_values.back() * 1.05;
+  const double y_hi = options.cc_values.back() * 1.05;
+  util::RegionPlot plot(0, x_hi, 0, y_hi, 60, 16);
+  plot.AddLegend('S', "SA superior");
+  plot.AddLegend('D', "DA superior");
+  plot.AddLegend('?', "unknown");
+  plot.AddLegend('x', "cannot be true (cc > cd)");
+  const bool mobile = options.mobile;
+  return plot.Render([mobile](double x, double y) {
+    return RegionSymbol(mobile ? ClassifyMobile(y, x)
+                               : ClassifyStationary(y, x));
+  });
+}
+
+std::string RenderEmpiricalMap(const RegionSweepOptions& options,
+                               const std::vector<RegionPoint>& points) {
+  const double x_hi = options.cd_values.back() * 1.05;
+  const double y_hi = options.cc_values.back() * 1.05;
+  util::RegionPlot plot(0, x_hi, 0, y_hi, 60, 16);
+  plot.AddLegend('S', "SA measured better");
+  plot.AddLegend('D', "DA measured better");
+  plot.AddLegend('x', "cannot be true (cc > cd)");
+  return plot.Render([&points](double x, double y) {
+    if (y > x) return 'x';
+    // Nearest measured grid point.
+    double best_dist = std::numeric_limits<double>::infinity();
+    Region region = Region::kUnknown;
+    for (const RegionPoint& p : points) {
+      double dist = (p.cd - x) * (p.cd - x) + (p.cc - y) * (p.cc - y);
+      if (dist < best_dist) {
+        best_dist = dist;
+        region = p.empirical;
+      }
+    }
+    return RegionSymbol(region);
+  });
+}
+
+}  // namespace objalloc::analysis

@@ -1,0 +1,56 @@
+// Region sweeps reproducing Figure 1 (SC) and Figure 2 (MC): for a grid of
+// (cd, cc) points, measure the worst-case cost ratios of SA and DA against
+// the exact OPT over an adversarial ensemble, decide the empirical winner,
+// and compare with the paper's analytic classification.
+
+#ifndef OBJALLOC_ANALYSIS_REGION_MAP_H_
+#define OBJALLOC_ANALYSIS_REGION_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "objalloc/analysis/competitive.h"
+#include "objalloc/analysis/theorems.h"
+#include "objalloc/util/csv.h"
+
+namespace objalloc::analysis {
+
+struct RegionPoint {
+  double cc = 0;
+  double cd = 0;
+  Region analytic = Region::kUnknown;
+  double sa_worst_ratio = 0;  // +inf possible in MC
+  double da_worst_ratio = 0;
+  double sa_mean_ratio = 0;
+  double da_mean_ratio = 0;
+  // Which algorithm measured better (smaller worst ratio) at this point.
+  Region empirical = Region::kUnknown;
+};
+
+struct RegionSweepOptions {
+  bool mobile = false;            // false: Figure 1 (SC); true: Figure 2 (MC)
+  std::vector<double> cd_values;  // x axis
+  std::vector<double> cc_values;  // y axis; points with cc > cd are skipped
+  RatioOptions ratio;
+
+  // The paper's figures span cd in [0, 2], cc in [0, 1+].
+  static RegionSweepOptions PaperGrid(bool mobile);
+};
+
+// Runs the sweep. Each grid point measures SA and DA over the worst-case
+// ensemble, sharing one exact-OPT computation per schedule.
+std::vector<RegionPoint> SweepRegions(const RegionSweepOptions& options);
+
+// One row per grid point: cd, cc, analytic region, worst/mean ratios,
+// empirical winner, agreement flag.
+util::Table RegionTable(const std::vector<RegionPoint>& points);
+
+// Two ASCII maps in the paper's layout (y = cc up, x = cd right): the
+// analytic regions and the empirically measured winners.
+std::string RenderAnalyticMap(const RegionSweepOptions& options);
+std::string RenderEmpiricalMap(const RegionSweepOptions& options,
+                               const std::vector<RegionPoint>& points);
+
+}  // namespace objalloc::analysis
+
+#endif  // OBJALLOC_ANALYSIS_REGION_MAP_H_

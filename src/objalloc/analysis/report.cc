@@ -1,0 +1,18 @@
+#include "objalloc/analysis/report.h"
+
+namespace objalloc::analysis {
+
+void PrintExperimentHeader(std::ostream& os, const std::string& id,
+                           const std::string& title) {
+  os << "\n==== " << id << ": " << title << " ====\n";
+}
+
+void PrintPaperVsMeasured(std::ostream& os, const std::string& claim,
+                          const std::string& measured, bool reproduced) {
+  os << "  paper:    " << claim << "\n";
+  os << "  measured: " << measured << "\n";
+  os << "  verdict:  " << (reproduced ? "REPRODUCED" : "NOT REPRODUCED")
+     << "\n";
+}
+
+}  // namespace objalloc::analysis

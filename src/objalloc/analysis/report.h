@@ -1,0 +1,22 @@
+// Reporting helpers shared by the bench harnesses: consistent experiment
+// headers and paper-vs-measured verdict lines.
+
+#ifndef OBJALLOC_ANALYSIS_REPORT_H_
+#define OBJALLOC_ANALYSIS_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+namespace objalloc::analysis {
+
+// "==== <id>: <title> ====" banner plus free-form context lines.
+void PrintExperimentHeader(std::ostream& os, const std::string& id,
+                           const std::string& title);
+
+// "  paper: <claim>" / "  measured: <result>" / "  verdict: REPRODUCED|..."
+void PrintPaperVsMeasured(std::ostream& os, const std::string& claim,
+                          const std::string& measured, bool reproduced);
+
+}  // namespace objalloc::analysis
+
+#endif  // OBJALLOC_ANALYSIS_REPORT_H_

@@ -1,0 +1,231 @@
+#include "objalloc/analysis/steady_state.h"
+
+#include <cmath>
+#include <vector>
+
+#include "objalloc/util/logging.h"
+#include "objalloc/util/processor_set.h"
+
+namespace objalloc::analysis {
+
+namespace {
+
+// DA's scheme under the symmetric workload, by symmetry of the outsiders,
+// is captured by (p's role, number of outsider replicas m):
+//   A: p is the floating member            scheme = F ∪ {p} ∪ J,  |J| = m
+//   B: p holds no copy                     scheme = F ∪ J,        |J| = m >= 1
+//   C: p re-joined as a saving reader      scheme = F ∪ {p} ∪ J,  |J| = m >= 1
+// (in B and C the floating member is one of the m outsiders).
+struct DaChain {
+  int out;           // outsiders: n - t
+  int states;        // 3 * (out + 1), addressed by Index()
+  double rho;        // read fraction
+  int n, t;
+  double cio, cc, cd;
+
+  int Index(int kind, int m) const { return kind * (out + 1) + m; }
+
+  double read_local() const { return cio; }
+  double read_remote_save() const { return cc + 2 * cio + cd; }
+  double write_base() const { return (t - 1) * cd + t * cio; }
+};
+
+// Accumulates transitions: probability `prob` of moving to state `next`
+// with request cost `cost`.
+struct Transition {
+  int next;
+  double prob;
+  double cost;
+};
+
+void StateTransitions(const DaChain& chain, int kind, int m,
+                      std::vector<Transition>& out_transitions) {
+  out_transitions.clear();
+  const double rho = chain.rho;
+  const double n = chain.n;
+  const int out = chain.out;
+  const int t = chain.t;
+  const double write_base = chain.write_base();
+  auto add = [&](int next, double prob, double cost) {
+    if (prob > 0) out_transitions.push_back({next, prob, cost});
+  };
+
+  if (kind == 0) {  // A: p floating, members = t + m
+    add(chain.Index(0, m), rho * (t + m) / n, chain.read_local());
+    if (m < out) {
+      add(chain.Index(0, m + 1), rho * (out - m) / n,
+          chain.read_remote_save());
+    }
+    // Write by the core (F or p): scheme resets to F ∪ {p}.
+    add(chain.Index(0, 0), (1 - rho) * t / n, m * chain.cc + write_base);
+    // Write by an outsider q: p plus the joiners other than q invalidate.
+    if (out > 0) {
+      double expected_inval = 1 + m - static_cast<double>(m) / out;
+      add(chain.Index(1, 1), (1 - rho) * out / n,
+          expected_inval * chain.cc + write_base);
+    }
+    return;
+  }
+
+  if (kind == 1) {  // B: p evicted, members = t - 1 + m, m >= 1
+    add(chain.Index(1, m), rho * (t - 1 + m) / n, chain.read_local());
+    // p reads and re-joins.
+    add(chain.Index(2, m), rho * 1 / n, chain.read_remote_save());
+    if (m < out) {
+      add(chain.Index(1, m + 1), rho * (out - m) / n,
+          chain.read_remote_save());
+    }
+    // Write by F or by p: X = F ∪ {p}, the m outsiders invalidate.
+    add(chain.Index(0, 0), (1 - rho) * t / n, m * chain.cc + write_base);
+    // Write by an outsider q (member with probability m/out).
+    double expected_inval = m - static_cast<double>(m) / out;
+    add(chain.Index(1, 1), (1 - rho) * out / n,
+        expected_inval * chain.cc + write_base);
+    return;
+  }
+
+  // C: p re-joined as a reader, members = t + m, m >= 1.
+  add(chain.Index(2, m), rho * (t + m) / n, chain.read_local());
+  if (m < out) {
+    add(chain.Index(2, m + 1), rho * (out - m) / n,
+        chain.read_remote_save());
+  }
+  add(chain.Index(0, 0), (1 - rho) * t / n, m * chain.cc + write_base);
+  double expected_inval = 1 + m - static_cast<double>(m) / out;
+  add(chain.Index(1, 1), (1 - rho) * out / n,
+      expected_inval * chain.cc + write_base);
+}
+
+}  // namespace
+
+util::Status SymmetricWorkload::Validate(int t) const {
+  if (num_processors < 2 || num_processors > util::kMaxProcessors) {
+    return util::Status::InvalidArgument("num_processors out of range");
+  }
+  if (read_fraction < 0 || read_fraction > 1) {
+    return util::Status::InvalidArgument("read_fraction outside [0, 1]");
+  }
+  if (t < 2 || t >= num_processors) {
+    return util::Status::InvalidArgument("need 2 <= t < num_processors");
+  }
+  return util::Status::Ok();
+}
+
+double SaExpectedCostPerRequest(const model::CostModel& cost_model,
+                                const SymmetricWorkload& workload, int t) {
+  OBJALLOC_CHECK(workload.Validate(t).ok());
+  OBJALLOC_CHECK(cost_model.Validate().ok());
+  const double n = workload.num_processors;
+  const double rho = workload.read_fraction;
+  const double cio = cost_model.io, cc = cost_model.control,
+               cd = cost_model.data;
+  const double member = t / n;
+  double read_cost = member * cio + (1 - member) * (cc + cio + cd);
+  // Write by a member: (t-1) transfers + t outputs; by a non-member: t of
+  // each. No invalidations (the scheme never changes).
+  double write_cost = member * ((t - 1) * cd + t * cio) +
+                      (1 - member) * (t * (cd + cio));
+  return rho * read_cost + (1 - rho) * write_cost;
+}
+
+double DaExpectedCostPerRequest(const model::CostModel& cost_model,
+                                const SymmetricWorkload& workload, int t) {
+  OBJALLOC_CHECK(workload.Validate(t).ok());
+  OBJALLOC_CHECK(cost_model.Validate().ok());
+  DaChain chain;
+  chain.n = workload.num_processors;
+  chain.t = t;
+  chain.out = chain.n - t;
+  chain.states = 3 * (chain.out + 1);
+  chain.rho = workload.read_fraction;
+  chain.cio = cost_model.io;
+  chain.cc = cost_model.control;
+  chain.cd = cost_model.data;
+
+  // Stationary distribution by power iteration from the initial state A_0.
+  std::vector<double> pi(static_cast<size_t>(chain.states), 0.0);
+  pi[static_cast<size_t>(chain.Index(0, 0))] = 1.0;
+  std::vector<double> next(pi.size());
+  std::vector<Transition> transitions;
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (int kind = 0; kind < 3; ++kind) {
+      for (int m = (kind == 0 ? 0 : 1); m <= chain.out; ++m) {
+        double mass = pi[static_cast<size_t>(chain.Index(kind, m))];
+        if (mass == 0) continue;
+        StateTransitions(chain, kind, m, transitions);
+        for (const Transition& tr : transitions) {
+          next[static_cast<size_t>(tr.next)] += mass * tr.prob;
+        }
+      }
+    }
+    double delta = 0;
+    for (size_t s = 0; s < pi.size(); ++s) {
+      delta += std::fabs(next[s] - pi[s]);
+    }
+    pi.swap(next);
+    if (delta < 1e-13) break;
+  }
+
+  double expected = 0;
+  for (int kind = 0; kind < 3; ++kind) {
+    for (int m = (kind == 0 ? 0 : 1); m <= chain.out; ++m) {
+      double mass = pi[static_cast<size_t>(chain.Index(kind, m))];
+      if (mass == 0) continue;
+      StateTransitions(chain, kind, m, transitions);
+      for (const Transition& tr : transitions) {
+        expected += mass * tr.prob * tr.cost;
+      }
+    }
+  }
+  return expected;
+}
+
+ReadFractionInterval SaFavorableReadFractions(
+    const model::CostModel& cost_model, int num_processors, int t) {
+  auto gap = [&](double rho) {
+    SymmetricWorkload workload{num_processors, rho};
+    return DaExpectedCostPerRequest(cost_model, workload, t) -
+           SaExpectedCostPerRequest(cost_model, workload, t);
+  };
+  // Scan for the SA-favorable band (gap > 0), then refine its edges by
+  // bisection. The band is an interval in practice (gap rises through the
+  // join-churn middle and falls toward the read-heavy end).
+  constexpr int kGrid = 64;
+  int first = -1, last = -1;
+  for (int k = 0; k <= kGrid; ++k) {
+    double rho = static_cast<double>(k) / kGrid;
+    if (gap(rho) > 0) {
+      if (first < 0) first = k;
+      last = k;
+    }
+  }
+  ReadFractionInterval interval;
+  if (first < 0) return interval;  // DA dominates everywhere
+  interval.empty = false;
+
+  auto bisect = [&](double lo, double hi, bool rising) {
+    // Finds the sign change in (lo, hi); `rising` means gap(lo) <= 0 < gap(hi).
+    for (int iter = 0; iter < 50; ++iter) {
+      double mid = (lo + hi) / 2;
+      bool positive = gap(mid) > 0;
+      if (positive == rising) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    return (lo + hi) / 2;
+  };
+  interval.lo = first == 0
+                    ? 0.0
+                    : bisect((first - 1.0) / kGrid,
+                             static_cast<double>(first) / kGrid, true);
+  interval.hi = last == kGrid
+                    ? 1.0
+                    : bisect(static_cast<double>(last) / kGrid,
+                             (last + 1.0) / kGrid, false);
+  return interval;
+}
+
+}  // namespace objalloc::analysis

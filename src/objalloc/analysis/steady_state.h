@@ -1,0 +1,58 @@
+// Average-case (steady-state) cost analysis — a complement to the paper's
+// worst-case competitive analysis, for the symmetric workload model:
+// requests are i.i.d., a read with probability `read_fraction`, issued by a
+// uniformly random processor.
+//
+//   * SA has a closed-form expected cost per request (the scheme is fixed).
+//   * DA's allocation scheme evolves; under the symmetric workload it forms
+//     a finite Markov chain over states (who the floating member is: p as
+//     the core floater, p evicted, or p re-joined as a reader) x (number of
+//     outsider replicas). The expected cost per request is computed from
+//     the chain's stationary distribution — exactly, not by simulation.
+//
+// The test suite validates both predictions against long-run averages of
+// the actual algorithms, and the steady_state bench prints the resulting
+// SA/DA break-even read fractions across the (cc, cd) plane.
+
+#ifndef OBJALLOC_ANALYSIS_STEADY_STATE_H_
+#define OBJALLOC_ANALYSIS_STEADY_STATE_H_
+
+#include "objalloc/model/cost_model.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::analysis {
+
+struct SymmetricWorkload {
+  int num_processors = 8;
+  double read_fraction = 0.8;  // probability a request is a read
+
+  util::Status Validate(int t) const;
+};
+
+// Expected cost per request of read-one-write-all SA with a fixed scheme of
+// size t (closed form).
+double SaExpectedCostPerRequest(const model::CostModel& cost_model,
+                                const SymmetricWorkload& workload, int t);
+
+// Expected cost per request of DA with |F| = t-1, from the stationary
+// distribution of its scheme-evolution Markov chain.
+double DaExpectedCostPerRequest(const model::CostModel& cost_model,
+                                const SymmetricWorkload& workload, int t);
+
+// The read-fraction band where SA's expected cost is below DA's. The gap
+// DA - SA is generally *not* monotone: DA is cheaper at both extremes (an
+// outside write stores the new version at the writer, saving one transfer
+// versus read-one-write-all; saving-reads make read-dominated traffic
+// local), while SA can win in the mixed middle where frequent writes turn
+// DA's saving-reads into join-churn. Empty when DA dominates everywhere.
+struct ReadFractionInterval {
+  double lo = 0;
+  double hi = 0;
+  bool empty = true;
+};
+ReadFractionInterval SaFavorableReadFractions(
+    const model::CostModel& cost_model, int num_processors, int t);
+
+}  // namespace objalloc::analysis
+
+#endif  // OBJALLOC_ANALYSIS_STEADY_STATE_H_

@@ -1,0 +1,75 @@
+#include "objalloc/analysis/theorems.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::analysis {
+
+std::optional<double> SaCompetitiveFactor(const CostModel& cost_model) {
+  if (cost_model.is_mobile()) return std::nullopt;  // Proposition 3
+  // Theorem 1 (with cio normalized into the cc/cd units).
+  return 1.0 + (cost_model.control + cost_model.data) / cost_model.io;
+}
+
+double DaCompetitiveFactor(const CostModel& cost_model) {
+  const double cc = cost_model.control;
+  const double cd = cost_model.data;
+  if (cost_model.is_mobile()) {
+    if (cd == 0) return 1.0;  // all costs are zero
+    return 2.0 + 3.0 * cc / cd;  // Theorem 4
+  }
+  const double cio = cost_model.io;
+  if (cd > cio) return 2.0 + cc / cio;  // Theorem 3
+  return 2.0 + 2.0 * cc / cio;          // Theorem 2
+}
+
+const char* RegionToString(Region region) {
+  switch (region) {
+    case Region::kCannotBeTrue:
+      return "cannot-be-true";
+    case Region::kSaSuperior:
+      return "SA-superior";
+    case Region::kDaSuperior:
+      return "DA-superior";
+    case Region::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+char RegionSymbol(Region region) {
+  switch (region) {
+    case Region::kCannotBeTrue:
+      return 'x';
+    case Region::kSaSuperior:
+      return 'S';
+    case Region::kDaSuperior:
+      return 'D';
+    case Region::kUnknown:
+      return '?';
+  }
+  return '.';
+}
+
+Region ClassifyStationary(double cc, double cd) {
+  if (cc > cd) return Region::kCannotBeTrue;
+  if (cd > 1.0) return Region::kDaSuperior;
+  if (cc + cd < 0.5) return Region::kSaSuperior;
+  return Region::kUnknown;
+}
+
+Region ClassifyMobile(double cc, double cd) {
+  if (cc > cd) return Region::kCannotBeTrue;
+  return Region::kDaSuperior;
+}
+
+Region Classify(const CostModel& cost_model) {
+  OBJALLOC_CHECK(cost_model.Validate().ok());
+  if (cost_model.is_mobile()) {
+    return ClassifyMobile(cost_model.control, cost_model.data);
+  }
+  // Normalize by cio so the SC classification matches the paper's cio = 1.
+  return ClassifyStationary(cost_model.control / cost_model.io,
+                            cost_model.data / cost_model.io);
+}
+
+}  // namespace objalloc::analysis

@@ -1,0 +1,58 @@
+// The paper's analytic results (Theorems 1-4, Propositions 1-3) as code:
+// competitive factors, superiority regions, and the Figure 1 / Figure 2
+// classification. Every constant here is checked against measured ratios by
+// the test suite and the bench harness.
+
+#ifndef OBJALLOC_ANALYSIS_THEOREMS_H_
+#define OBJALLOC_ANALYSIS_THEOREMS_H_
+
+#include <optional>
+#include <string>
+
+#include "objalloc/model/cost_model.h"
+
+namespace objalloc::analysis {
+
+using model::CostModel;
+
+// Theorem 1: SA is (1 + cc + cd)-competitive in SC — and this is tight
+// (Proposition 1). In MC, SA is not competitive (Proposition 3), so the
+// factor is unbounded; returns nullopt.
+std::optional<double> SaCompetitiveFactor(const CostModel& cost_model);
+
+// Theorem 2 / Theorem 3: DA is (2 + 2cc)-competitive in SC, improved to
+// (2 + cc) when cd > cio. Theorem 4: DA is (2 + 3*cc/cd)-competitive in MC
+// (at most 5 since cc <= cd); cc = cd = 0 in MC means every schedule is
+// free, reported as factor 1.
+double DaCompetitiveFactor(const CostModel& cost_model);
+
+// Proposition 2: DA is not alpha-competitive for alpha < 1.5.
+inline constexpr double kDaLowerBound = 1.5;
+
+// The regions of the (cd, cc) plane in Figures 1 and 2.
+enum class Region {
+  kCannotBeTrue,  // cc > cd: a data message carries strictly more
+  kSaSuperior,    // SA's upper bound beats DA's lower bound
+  kDaSuperior,    // DA's upper bound beats SA's (tight) lower bound
+  kUnknown,       // the gap between DA's bounds leaves the order open
+};
+
+const char* RegionToString(Region region);
+char RegionSymbol(Region region);
+
+// Figure 1 (stationary computing):
+//   cc > cd        -> kCannotBeTrue
+//   cd > 1         -> kDaSuperior   (1 + cc + cd > 2 + cc, Theorems 1, 3)
+//   cc + cd < 0.5  -> kSaSuperior   (1 + cc + cd < 1.5, Prop. 2)
+//   otherwise      -> kUnknown
+Region ClassifyStationary(double cc, double cd);
+
+// Figure 2 (mobile computing): DA is superior whenever cc <= cd (SA is not
+// competitive at all, Proposition 3 + Theorem 4).
+Region ClassifyMobile(double cc, double cd);
+
+Region Classify(const CostModel& cost_model);
+
+}  // namespace objalloc::analysis
+
+#endif  // OBJALLOC_ANALYSIS_THEOREMS_H_

@@ -1,0 +1,30 @@
+#include "objalloc/appendonly/feed.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::appendonly {
+
+FeedSchedule::FeedSchedule(int num_stations) : num_stations_(num_stations) {
+  OBJALLOC_CHECK_GT(num_stations, 0);
+  OBJALLOC_CHECK_LE(num_stations, util::kMaxProcessors);
+}
+
+void FeedSchedule::Append(FeedEvent event) {
+  OBJALLOC_CHECK_GE(event.station, 0);
+  OBJALLOC_CHECK_LT(event.station, num_stations_);
+  events_.push_back(event);
+}
+
+model::Schedule FeedSchedule::ToObjectSchedule() const {
+  model::Schedule schedule(num_stations_);
+  for (const FeedEvent& event : events_) {
+    if (event.kind == FeedEventKind::kGenerate) {
+      schedule.AppendWrite(event.station);
+    } else {
+      schedule.AppendRead(event.station);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace objalloc::appendonly

@@ -1,0 +1,62 @@
+// The append-only distributed-database model of §6.2: a sequence of objects
+// (e.g. satellite images, one per minute) generated at earth stations; each
+// object must be stored at >= t processors for reliability; stations read
+// the *latest* object in the sequence at arbitrary points in time.
+//
+// The paper observes that the allocation results apply verbatim: generating
+// the next object plays the role of a write (it obsoletes the previous
+// object), and reading the latest object plays the role of a read. The
+// test suite verifies this equivalence between the feed managers here and
+// the SA/DA algorithms, cost-for-cost.
+
+#ifndef OBJALLOC_APPENDONLY_FEED_H_
+#define OBJALLOC_APPENDONLY_FEED_H_
+
+#include <string>
+#include <vector>
+
+#include "objalloc/model/schedule.h"
+#include "objalloc/util/processor_set.h"
+
+namespace objalloc::appendonly {
+
+using util::ProcessorId;
+
+enum class FeedEventKind {
+  kGenerate,  // a station produces the next object in the sequence
+  kRead,      // a station needs the latest object
+};
+
+struct FeedEvent {
+  FeedEventKind kind = FeedEventKind::kRead;
+  ProcessorId station = 0;
+
+  static FeedEvent Generate(ProcessorId s) {
+    return {FeedEventKind::kGenerate, s};
+  }
+  static FeedEvent Read(ProcessorId s) { return {FeedEventKind::kRead, s}; }
+};
+
+class FeedSchedule {
+ public:
+  explicit FeedSchedule(int num_stations);
+
+  void Append(FeedEvent event);
+  void AppendGenerate(ProcessorId s) { Append(FeedEvent::Generate(s)); }
+  void AppendRead(ProcessorId s) { Append(FeedEvent::Read(s)); }
+
+  int num_stations() const { return num_stations_; }
+  size_t size() const { return events_.size(); }
+  const FeedEvent& operator[](size_t i) const { return events_[i]; }
+
+  // The §6.2 mapping: generate -> write, read-latest -> read.
+  model::Schedule ToObjectSchedule() const;
+
+ private:
+  int num_stations_;
+  std::vector<FeedEvent> events_;
+};
+
+}  // namespace objalloc::appendonly
+
+#endif  // OBJALLOC_APPENDONLY_FEED_H_

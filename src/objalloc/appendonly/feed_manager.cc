@@ -1,0 +1,79 @@
+#include "objalloc/appendonly/feed_manager.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::appendonly {
+
+CostBreakdown FeedManager::Run(const FeedSchedule& schedule) {
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const FeedEvent& event = schedule[i];
+    if (event.kind == FeedEventKind::kGenerate) {
+      OnGenerate(event.station);
+    } else {
+      OnRead(event.station);
+    }
+  }
+  return breakdown_;
+}
+
+StaticFeedManager::StaticFeedManager(ProcessorSet standing_orders)
+    : q_(standing_orders) {
+  OBJALLOC_CHECK(!standing_orders.Empty());
+}
+
+void StaticFeedManager::OnGenerate(ProcessorId station) {
+  // The new object is transmitted to every standing-order station (the
+  // generator keeps its copy locally if it is one of them) and stored there.
+  breakdown_.data_messages += q_.WithErased(station).Size();
+  breakdown_.io_ops += q_.Size();
+}
+
+void StaticFeedManager::OnRead(ProcessorId station) {
+  if (q_.Contains(station)) {
+    breakdown_.io_ops += 1;  // local input
+    return;
+  }
+  // On-demand: request to one standing-order station, input there, transfer.
+  breakdown_.control_messages += 1;
+  breakdown_.io_ops += 1;
+  breakdown_.data_messages += 1;
+}
+
+DynamicFeedManager::DynamicFeedManager(ProcessorSet initial_holders) {
+  OBJALLOC_CHECK_GE(initial_holders.Size(), 2);
+  auto members = initial_holders.ToVector();
+  p_ = members.back();
+  f_ = initial_holders.WithErased(p_);
+  holders_ = initial_holders;
+}
+
+void DynamicFeedManager::OnGenerate(ProcessorId station) {
+  // The new object goes to the permanent standing orders plus the generator
+  // (plus p when the generator already holds a permanent order, keeping t
+  // copies); every temporary standing order from the previous object is
+  // cancelled with one control message.
+  ProcessorSet next = (f_.Contains(station) || station == p_)
+                          ? f_.WithInserted(p_)
+                          : f_.WithInserted(station);
+  breakdown_.control_messages +=
+      holders_.Minus(next).WithErased(station).Size();
+  breakdown_.data_messages += next.WithErased(station).Size();
+  breakdown_.io_ops += next.Size();
+  holders_ = next;
+}
+
+void DynamicFeedManager::OnRead(ProcessorId station) {
+  if (holders_.Contains(station)) {
+    breakdown_.io_ops += 1;  // the latest object is already local
+    return;
+  }
+  // Temporary standing order: request, input at an F station, transfer,
+  // and store locally (the extra I/O of a saving-read).
+  breakdown_.control_messages += 1;
+  breakdown_.io_ops += 1;
+  breakdown_.data_messages += 1;
+  breakdown_.io_ops += 1;
+  holders_.Insert(station);
+}
+
+}  // namespace objalloc::appendonly

@@ -1,0 +1,81 @@
+// Feed managers: SA and DA reformulated as standing-order policies (§6.2).
+//
+//   * StaticFeedManager — a fixed set Q of t stations holds permanent
+//     standing orders; every generated object is transmitted to Q; other
+//     stations issue on-demand reads.
+//   * DynamicFeedManager — t-1 stations (F) hold permanent standing orders;
+//     a station that needs the latest object issues a *temporary* standing
+//     order (it receives and stores the object); temporary orders are
+//     cancelled (an invalidation control message) when the next object in
+//     the sequence arrives.
+//
+// These are deliberately independent implementations (not wrappers over
+// core::StaticAllocation / core::DynamicAllocation); the test suite checks
+// that their cost accounting matches the DOM algorithms verbatim under the
+// §6.2 mapping, which is the paper's claim.
+
+#ifndef OBJALLOC_APPENDONLY_FEED_MANAGER_H_
+#define OBJALLOC_APPENDONLY_FEED_MANAGER_H_
+
+#include <string>
+
+#include "objalloc/appendonly/feed.h"
+#include "objalloc/model/cost_evaluator.h"
+
+namespace objalloc::appendonly {
+
+using model::CostBreakdown;
+using util::ProcessorSet;
+
+class FeedManager {
+ public:
+  virtual ~FeedManager() = default;
+  virtual std::string name() const = 0;
+
+  virtual void OnGenerate(ProcessorId station) = 0;
+  virtual void OnRead(ProcessorId station) = 0;
+
+  // Accumulated traffic/I/O since construction.
+  const CostBreakdown& breakdown() const { return breakdown_; }
+
+  // Convenience: replay a whole feed schedule.
+  CostBreakdown Run(const FeedSchedule& schedule);
+
+ protected:
+  CostBreakdown breakdown_;
+};
+
+class StaticFeedManager final : public FeedManager {
+ public:
+  // `standing_orders` is Q; |Q| = t.
+  explicit StaticFeedManager(ProcessorSet standing_orders);
+
+  std::string name() const override { return "SA-feed"; }
+  void OnGenerate(ProcessorId station) override;
+  void OnRead(ProcessorId station) override;
+
+ private:
+  ProcessorSet q_;
+};
+
+class DynamicFeedManager final : public FeedManager {
+ public:
+  // `initial_holders` is F ∪ {p} with the library's usual split (p =
+  // largest member).
+  explicit DynamicFeedManager(ProcessorSet initial_holders);
+
+  std::string name() const override { return "DA-feed"; }
+  void OnGenerate(ProcessorId station) override;
+  void OnRead(ProcessorId station) override;
+
+  ProcessorSet holders() const { return holders_; }
+
+ private:
+  ProcessorSet f_;         // permanent standing orders
+  ProcessorId p_;          // availability backstop
+  ProcessorSet holders_;   // stations currently holding the latest object
+};
+
+}  // namespace objalloc::appendonly
+
+#endif  // OBJALLOC_APPENDONLY_FEED_MANAGER_H_

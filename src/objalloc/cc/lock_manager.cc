@@ -1,0 +1,154 @@
+#include "objalloc/cc/lock_manager.h"
+
+#include <algorithm>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::cc {
+
+std::set<TransactionId> LockManager::Blockers(const LockState& state,
+                                              TransactionId txn,
+                                              size_t waiters_ahead) const {
+  std::set<TransactionId> blockers;
+  for (TransactionId holder : state.holders) {
+    if (holder != txn) blockers.insert(holder);
+  }
+  // A FIFO waiter also waits (transitively) on everything ahead of it; the
+  // edge to its *immediate predecessor* captures that chain, keeping the
+  // graph linear in the queue length. Upgrades jump the queue and wait on
+  // the holders only.
+  const bool upgrading = state.holders.count(txn) > 0;
+  if (!upgrading && waiters_ahead > 0) {
+    const LockState::Waiter& predecessor = state.queue[waiters_ahead - 1];
+    if (predecessor.txn != txn) blockers.insert(predecessor.txn);
+  }
+  return blockers;
+}
+
+bool LockManager::WaitsForTransitively(TransactionId from,
+                                       TransactionId to) const {
+  std::vector<TransactionId> stack = {from};
+  std::set<TransactionId> seen;
+  while (!stack.empty()) {
+    TransactionId current = stack.back();
+    stack.pop_back();
+    if (current == to) return true;
+    if (!seen.insert(current).second) continue;
+    auto it = wait_for_.find(current);
+    if (it == wait_for_.end()) continue;
+    for (TransactionId next : it->second) stack.push_back(next);
+  }
+  return false;
+}
+
+LockOutcome LockManager::Acquire(TransactionId txn, ObjectId object,
+                                 LockMode mode) {
+  OBJALLOC_CHECK(!IsWaiting(txn)) << "blocked transaction cannot request";
+  LockState& state = locks_[object];
+  const bool holds = state.holders.count(txn) > 0;
+
+  if (holds) {
+    if (mode == LockMode::kShared || state.mode == LockMode::kExclusive) {
+      return LockOutcome::kGranted;  // already strong enough
+    }
+    // Shared -> exclusive upgrade.
+    if (state.holders.size() == 1) {
+      state.mode = LockMode::kExclusive;
+      return LockOutcome::kGranted;
+    }
+  } else if (state.holders.empty() && state.queue.empty()) {
+    state.mode = mode;
+    state.holders.insert(txn);
+    return LockOutcome::kGranted;
+  } else if (mode == LockMode::kShared &&
+             state.mode == LockMode::kShared && !state.holders.empty() &&
+             state.queue.empty()) {
+    state.holders.insert(txn);
+    return LockOutcome::kGranted;
+  }
+
+  // Must wait: deadlock check first (requester is the victim).
+  std::set<TransactionId> blockers =
+      Blockers(state, txn, state.queue.size());
+  OBJALLOC_CHECK(!blockers.empty());
+  for (TransactionId blocker : blockers) {
+    if (WaitsForTransitively(blocker, txn)) {
+      return LockOutcome::kDeadlock;
+    }
+  }
+  if (holds) {
+    // Upgrade requests jump to the head of the queue.
+    state.queue.push_front(LockState::Waiter{txn, mode});
+  } else {
+    state.queue.push_back(LockState::Waiter{txn, mode});
+  }
+  wait_for_[txn] = std::move(blockers);
+  return LockOutcome::kWaiting;
+}
+
+void LockManager::PromoteWaiters(ObjectId object,
+                                 std::vector<TransactionId>* newly_granted) {
+  auto it = locks_.find(object);
+  if (it == locks_.end()) return;
+  LockState& state = it->second;
+  while (!state.queue.empty()) {
+    const LockState::Waiter head = state.queue.front();
+    const bool upgrade = state.holders.count(head.txn) > 0;
+    bool grantable = false;
+    if (upgrade) {
+      grantable = state.holders.size() == 1;
+      if (grantable) state.mode = LockMode::kExclusive;
+    } else if (state.holders.empty()) {
+      grantable = true;
+      state.mode = head.mode;
+      state.holders.insert(head.txn);
+    } else if (head.mode == LockMode::kShared &&
+               state.mode == LockMode::kShared) {
+      grantable = true;
+      state.holders.insert(head.txn);
+    }
+    if (!grantable) break;
+    state.queue.pop_front();
+    wait_for_.erase(head.txn);
+    newly_granted->push_back(head.txn);
+  }
+  // Refresh the wait-for edges of the waiters left behind: their original
+  // blockers may be gone, and stale-empty edge sets would blind the cycle
+  // detector. Each waiter waits only on holders and the waiters ahead of
+  // it (never behind — that would fabricate cycles).
+  for (size_t position = 0; position < state.queue.size(); ++position) {
+    const LockState::Waiter& waiter = state.queue[position];
+    wait_for_[waiter.txn] = Blockers(state, waiter.txn, position);
+  }
+}
+
+std::vector<TransactionId> LockManager::ReleaseAll(TransactionId txn) {
+  std::vector<TransactionId> newly_granted;
+  std::vector<ObjectId> touched;
+  for (auto& [object, state] : locks_) {
+    bool changed = state.holders.erase(txn) > 0;
+    auto is_txn = [txn](const LockState::Waiter& waiter) {
+      return waiter.txn == txn;
+    };
+    auto removed =
+        std::remove_if(state.queue.begin(), state.queue.end(), is_txn);
+    changed = changed || removed != state.queue.end();
+    state.queue.erase(removed, state.queue.end());
+    if (changed) touched.push_back(object);
+  }
+  wait_for_.erase(txn);
+  for (auto& [waiter, blockers] : wait_for_) blockers.erase(txn);
+  for (ObjectId object : touched) PromoteWaiters(object, &newly_granted);
+  return newly_granted;
+}
+
+bool LockManager::Holds(TransactionId txn, ObjectId object) const {
+  auto it = locks_.find(object);
+  return it != locks_.end() && it->second.holders.count(txn) > 0;
+}
+
+bool LockManager::IsWaiting(TransactionId txn) const {
+  return wait_for_.count(txn) > 0;
+}
+
+}  // namespace objalloc::cc

@@ -1,0 +1,71 @@
+// LockManager — per-object shared/exclusive locks with FIFO waiting and
+// wait-for-graph deadlock detection. Used by the Serializer to implement
+// strict two-phase locking.
+
+#ifndef OBJALLOC_CC_LOCK_MANAGER_H_
+#define OBJALLOC_CC_LOCK_MANAGER_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "objalloc/cc/transaction.h"
+
+namespace objalloc::cc {
+
+enum class LockMode { kShared, kExclusive };
+
+enum class LockOutcome {
+  kGranted,   // the lock is held
+  kWaiting,   // enqueued behind conflicting holders/waiters
+  kDeadlock,  // granting would close a wait-for cycle: the caller must abort
+};
+
+class LockManager {
+ public:
+  LockManager() = default;
+
+  // Requests `mode` on `object` for `txn`. Shared locks are compatible with
+  // each other; a held shared lock upgrades to exclusive when `txn` is the
+  // sole holder. Returns kDeadlock when enqueueing would create a cycle in
+  // the wait-for graph (the requester is chosen as the victim).
+  LockOutcome Acquire(TransactionId txn, ObjectId object, LockMode mode);
+
+  // Drops every lock and waiting request of `txn` (commit or abort), then
+  // grants whatever now-compatible waiters are at the head of each queue.
+  // Returns the transactions that acquired a lock as a result.
+  std::vector<TransactionId> ReleaseAll(TransactionId txn);
+
+  bool Holds(TransactionId txn, ObjectId object) const;
+  bool IsWaiting(TransactionId txn) const;
+
+ private:
+  struct LockState {
+    LockMode mode = LockMode::kShared;
+    std::set<TransactionId> holders;
+    struct Waiter {
+      TransactionId txn;
+      LockMode mode;
+    };
+    std::deque<Waiter> queue;
+  };
+
+  // The transactions `txn` waits for: the holders plus (unless upgrading)
+  // the first `waiters_ahead` queued requests.
+  std::set<TransactionId> Blockers(const LockState& state, TransactionId txn,
+                                   size_t waiters_ahead) const;
+  // True if `from` can reach `to` in the wait-for graph.
+  bool WaitsForTransitively(TransactionId from, TransactionId to) const;
+  // Grants head-of-queue waiters that have become compatible.
+  void PromoteWaiters(ObjectId object,
+                      std::vector<TransactionId>* newly_granted);
+
+  std::map<ObjectId, LockState> locks_;
+  // wait_for_[t] = transactions t is currently waiting on.
+  std::map<TransactionId, std::set<TransactionId>> wait_for_;
+};
+
+}  // namespace objalloc::cc
+
+#endif  // OBJALLOC_CC_LOCK_MANAGER_H_

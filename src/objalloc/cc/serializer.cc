@@ -1,0 +1,164 @@
+#include "objalloc/cc/serializer.h"
+
+#include <algorithm>
+
+#include "objalloc/util/logging.h"
+#include "objalloc/util/rng.h"
+
+namespace objalloc::cc {
+
+namespace {
+
+enum class TxnStatus { kReady, kBlocked, kCommitted };
+
+struct TxnState {
+  const Transaction* txn = nullptr;
+  TxnStatus status = TxnStatus::kReady;
+  size_t pc = 0;  // next operation index
+  bool pending_granted = false;  // the blocked-on lock arrived
+  int retries = 0;
+  // (global grant sequence, operation) of this attempt.
+  std::vector<std::pair<int64_t, Operation>> granted_ops;
+};
+
+}  // namespace
+
+Serializer::Serializer(int num_processors)
+    : num_processors_(num_processors) {
+  OBJALLOC_CHECK_GT(num_processors, 0);
+  OBJALLOC_CHECK_LE(num_processors, util::kMaxProcessors);
+}
+
+SerializerResult Serializer::Run(
+    const std::vector<Transaction>& transactions, uint64_t seed) {
+  for (const Transaction& txn : transactions) {
+    OBJALLOC_CHECK_GE(txn.processor, 0);
+    OBJALLOC_CHECK_LT(txn.processor, num_processors_);
+    OBJALLOC_CHECK(!txn.operations.empty())
+        << "empty transaction " << txn.id;
+  }
+  // Ids must be unique: they key the lock tables and wait-for graph.
+  {
+    std::vector<TransactionId> ids;
+    for (const Transaction& txn : transactions) ids.push_back(txn.id);
+    std::sort(ids.begin(), ids.end());
+    OBJALLOC_CHECK(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+        << "duplicate transaction ids";
+  }
+
+  util::Rng rng(seed);
+  LockManager locks;
+  std::vector<TxnState> states(transactions.size());
+  std::map<TransactionId, size_t> index;
+  for (size_t k = 0; k < transactions.size(); ++k) {
+    states[k].txn = &transactions[k];
+    index[transactions[k].id] = k;
+  }
+
+  SerializerResult result;
+  int64_t grant_seq = 0;
+  size_t committed = 0;
+  int64_t guard = 0;
+  const int64_t max_steps =
+      static_cast<int64_t>(transactions.size() + 1) * 10000;
+
+  while (committed < transactions.size()) {
+    OBJALLOC_CHECK_LT(++guard, max_steps) << "serializer livelock";
+    // Pick a random ready transaction.
+    std::vector<size_t> ready;
+    for (size_t k = 0; k < states.size(); ++k) {
+      if (states[k].status == TxnStatus::kReady) ready.push_back(k);
+    }
+    OBJALLOC_CHECK(!ready.empty()) << "all transactions blocked: the "
+                                      "deadlock detector missed a cycle";
+    TxnState& state = states[ready[rng.NextBounded(ready.size())]];
+    const Transaction& txn = *state.txn;
+
+    if (state.pending_granted) {
+      // The lock we were blocked on arrived while we slept.
+      state.pending_granted = false;
+      state.granted_ops.emplace_back(grant_seq++,
+                                     txn.operations[state.pc]);
+      ++state.pc;
+    }
+
+    if (state.pc == txn.operations.size()) {
+      // Commit: the buffered operations become final; release locks and
+      // wake promoted waiters.
+      state.status = TxnStatus::kCommitted;
+      ++committed;
+      for (TransactionId woken : locks.ReleaseAll(txn.id)) {
+        TxnState& waiter = states[index.at(woken)];
+        OBJALLOC_CHECK(waiter.status == TxnStatus::kBlocked);
+        waiter.status = TxnStatus::kReady;
+        waiter.pending_granted = true;
+      }
+      continue;
+    }
+
+    const Operation& op = txn.operations[state.pc];
+    // Update-lock escalation: a read on an object this transaction will
+    // write later takes the exclusive lock immediately — the classic cure
+    // for upgrade deadlocks (two shared holders both converting).
+    bool writes_later = op.is_write();
+    for (size_t k = state.pc + 1; !writes_later && k < txn.operations.size();
+         ++k) {
+      writes_later = txn.operations[k].is_write() &&
+                     txn.operations[k].object == op.object;
+    }
+    LockOutcome outcome = locks.Acquire(
+        txn.id, op.object,
+        writes_later ? LockMode::kExclusive : LockMode::kShared);
+    switch (outcome) {
+      case LockOutcome::kGranted:
+        state.granted_ops.emplace_back(grant_seq++, op);
+        ++state.pc;
+        break;
+      case LockOutcome::kWaiting:
+        state.status = TxnStatus::kBlocked;
+        break;
+      case LockOutcome::kDeadlock: {
+        // Victim: roll back this attempt entirely and retry later.
+        ++result.deadlock_aborts;
+        OBJALLOC_CHECK_LT(++state.retries, 1000)
+            << "transaction " << txn.id << " starves";
+        state.pc = 0;
+        state.granted_ops.clear();
+        state.pending_granted = false;
+        for (TransactionId woken : locks.ReleaseAll(txn.id)) {
+          TxnState& waiter = states[index.at(woken)];
+          OBJALLOC_CHECK(waiter.status == TxnStatus::kBlocked);
+          waiter.status = TxnStatus::kReady;
+          waiter.pending_granted = true;
+        }
+        break;
+      }
+    }
+  }
+
+  // Assemble per-object schedules in global grant order (conflicting
+  // operations respect 2PL order; concurrent reads land in an arbitrary
+  // but fixed order, which §3.1 permits).
+  std::vector<std::tuple<int64_t, ObjectId, model::Request>> all_ops;
+  for (const TxnState& state : states) {
+    for (const auto& [sequence, operation] : state.granted_ops) {
+      all_ops.emplace_back(
+          sequence, operation.object,
+          model::Request{operation.kind, state.txn->processor});
+    }
+  }
+  std::sort(all_ops.begin(), all_ops.end(),
+            [](const auto& a, const auto& b) {
+              return std::get<0>(a) < std::get<0>(b);
+            });
+  for (const auto& [sequence, object, request] : all_ops) {
+    (void)sequence;
+    auto [it, inserted] =
+        result.schedules.try_emplace(object, num_processors_);
+    it->second.Append(request);
+  }
+  result.committed = committed;
+  return result;
+}
+
+}  // namespace objalloc::cc

@@ -1,0 +1,47 @@
+// Serializer — strict two-phase locking over a batch of transactions,
+// producing the per-object read/write schedules that the allocation layer
+// consumes (§3.1's "ordered by some concurrency-control mechanism").
+//
+// Execution model: transactions run concurrently under a seeded random
+// interleaving; each operation takes a shared (read) or exclusive (write)
+// lock before executing; locks are held to commit (strict 2PL), so the
+// emitted per-object operation orders are conflict-serializable. Deadlock
+// victims (detected on the wait-for graph) abort, release everything, and
+// retry from the start.
+
+#ifndef OBJALLOC_CC_SERIALIZER_H_
+#define OBJALLOC_CC_SERIALIZER_H_
+
+#include <map>
+#include <vector>
+
+#include "objalloc/cc/lock_manager.h"
+#include "objalloc/cc/transaction.h"
+#include "objalloc/model/schedule.h"
+
+namespace objalloc::cc {
+
+struct SerializerResult {
+  // Committed operations per object, in lock-grant (execution) order; the
+  // input to one DOM algorithm instance per object.
+  std::map<ObjectId, model::Schedule> schedules;
+  size_t committed = 0;
+  int64_t deadlock_aborts = 0;
+};
+
+class Serializer {
+ public:
+  explicit Serializer(int num_processors);
+
+  // Runs the batch to completion (every transaction commits, possibly
+  // after deadlock retries). Deterministic for a given seed.
+  SerializerResult Run(const std::vector<Transaction>& transactions,
+                       uint64_t seed);
+
+ private:
+  int num_processors_;
+};
+
+}  // namespace objalloc::cc
+
+#endif  // OBJALLOC_CC_SERIALIZER_H_

@@ -1,0 +1,18 @@
+#include "objalloc/cc/transaction.h"
+
+#include <sstream>
+
+namespace objalloc::cc {
+
+std::string Transaction::ToString() const {
+  std::ostringstream os;
+  os << "T" << id << "@" << processor << "[";
+  for (size_t k = 0; k < operations.size(); ++k) {
+    if (k != 0) os << " ";
+    os << (operations[k].is_write() ? "w" : "r") << operations[k].object;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace objalloc::cc

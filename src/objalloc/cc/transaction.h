@@ -1,0 +1,44 @@
+// Transactions — the workload source above the allocation layer. The paper
+// assumes read-write requests arrive already serialized ("this set is
+// usually ordered by some concurrency-control mechanism", §3.1); this
+// module provides that mechanism: transactions declare operations on
+// objects, and the Serializer runs strict two-phase locking to produce the
+// per-object schedules the DOM algorithms consume.
+
+#ifndef OBJALLOC_CC_TRANSACTION_H_
+#define OBJALLOC_CC_TRANSACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "objalloc/model/request.h"
+
+namespace objalloc::cc {
+
+using ObjectId = int64_t;
+using TransactionId = int64_t;
+
+struct Operation {
+  ObjectId object = 0;
+  model::RequestKind kind = model::RequestKind::kRead;
+
+  static Operation Read(ObjectId object) {
+    return {object, model::RequestKind::kRead};
+  }
+  static Operation Write(ObjectId object) {
+    return {object, model::RequestKind::kWrite};
+  }
+  bool is_write() const { return kind == model::RequestKind::kWrite; }
+};
+
+struct Transaction {
+  TransactionId id = 0;
+  model::ProcessorId processor = 0;  // the issuing site
+  std::vector<Operation> operations;
+
+  std::string ToString() const;
+};
+
+}  // namespace objalloc::cc
+
+#endif  // OBJALLOC_CC_TRANSACTION_H_

@@ -1,0 +1,99 @@
+#include "objalloc/core/adaptive_allocation.h"
+
+#include <algorithm>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::core {
+
+AdaptiveAllocation::AdaptiveAllocation(const model::CostModel& model,
+                                       AdaptiveOptions options)
+    : model_(model), options_(options) {
+  OBJALLOC_CHECK(model.Validate().ok()) << model.ToString();
+  OBJALLOC_CHECK(options.Validate().ok());
+}
+
+void AdaptiveAllocation::Reset(int num_processors,
+                               ProcessorSet initial_scheme) {
+  OBJALLOC_CHECK(!initial_scheme.Empty());
+  OBJALLOC_CHECK(
+      initial_scheme.IsSubsetOf(ProcessorSet::FirstN(num_processors)));
+  num_processors_ = num_processors;
+  t_ = initial_scheme.Size();
+  scheme_ = initial_scheme;
+  window_.clear();
+  read_counts_.assign(static_cast<size_t>(num_processors), 0.0);
+  write_count_ = 0;
+}
+
+void AdaptiveAllocation::Observe(const Request& request) {
+  window_.push_back(request);
+  if (request.is_read()) {
+    read_counts_[static_cast<size_t>(request.processor)] += 1;
+  } else {
+    write_count_ += 1;
+  }
+  if (static_cast<int>(window_.size()) > options_.window_size) {
+    const Request& old = window_.front();
+    if (old.is_read()) {
+      read_counts_[static_cast<size_t>(old.processor)] -= 1;
+    } else {
+      write_count_ -= 1;
+    }
+    window_.pop_front();
+  }
+}
+
+Decision AdaptiveAllocation::Step(const Request& request) {
+  OBJALLOC_CHECK_GT(num_processors_, 0) << "Step before Reset";
+  Observe(request);
+  const ProcessorId i = request.processor;
+
+  if (request.is_read()) {
+    if (scheme_.Contains(i)) {
+      return Decision{ProcessorSet::Singleton(i), false};
+    }
+    // The source must be a current scheme member (legality).
+    const ProcessorId source = scheme_.First();
+    // Expansion test: with R_i windowed reads by i and W windowed writes,
+    // i's expected reads per write save (cc + cd) each if i holds a copy;
+    // holding one costs cio now and one invalidation (cc) at the next write.
+    double reads_per_write = WindowReadsBy(i) / std::max(write_count_, 1.0);
+    bool expand = reads_per_write * (model_.control + model_.data) >
+                  model_.io + model_.control;
+    if (write_count_ == 0) expand = true;  // no writes observed: copies are free
+    if (expand) scheme_.Insert(i);
+    return Decision{ProcessorSet::Singleton(source), expand};
+  }
+
+  // Write: keep members whose windowed read rate pays for the (cd + cio)
+  // refresh; always include the writer; pad with the heaviest readers to t.
+  ProcessorSet keep = ProcessorSet::Singleton(i);
+  for (ProcessorId member : scheme_.ToVector()) {
+    if (member == i) continue;
+    double reads_per_write =
+        WindowReadsBy(member) / std::max(write_count_, 1.0);
+    if (reads_per_write * (model_.control + model_.data) >
+        model_.data + model_.io) {
+      keep.Insert(member);
+    }
+  }
+  if (keep.Size() < t_) {
+    std::vector<ProcessorId> candidates;
+    for (ProcessorId p = 0; p < num_processors_; ++p) {
+      if (!keep.Contains(p)) candidates.push_back(p);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](ProcessorId a, ProcessorId b) {
+                       return WindowReadsBy(a) > WindowReadsBy(b);
+                     });
+    for (ProcessorId p : candidates) {
+      if (keep.Size() >= t_) break;
+      keep.Insert(p);
+    }
+  }
+  scheme_ = keep;
+  return Decision{keep, false};
+}
+
+}  // namespace objalloc::core

@@ -1,0 +1,71 @@
+// AdaptiveAllocation — a *convergent* (rather than competitive) dynamic
+// allocator, built as an extension for the §5.1 discussion: convergent
+// algorithms track the recent read-write pattern and move the allocation
+// scheme toward the optimum for that pattern, excelling on regular workloads
+// and degrading on chaotic ones (where DA's worst-case guarantee wins).
+// It is inspired by the expansion/contraction tests of Wolfson & Jajodia
+// [27, 28] but adapted to this paper's unified I/O + communication cost model
+// and t-availability constraint.
+//
+// Mechanics (all changes flow through legal DOM decisions):
+//   * A sliding window keeps per-processor read counts and the write count.
+//   * Read by a non-member i: fetched remotely; converted into a saving-read
+//     iff the windowed expansion test predicts a net benefit — i's reads per
+//     write would save (cc + cd) each, against cio now plus cc invalidation
+//     at the next write.
+//   * Write by j: the new execution set keeps the members whose windowed
+//     read rate justifies the (cd + cio) refresh cost, always includes j,
+//     and is padded with the heaviest readers up to size t.
+
+#ifndef OBJALLOC_CORE_ADAPTIVE_ALLOCATION_H_
+#define OBJALLOC_CORE_ADAPTIVE_ALLOCATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "objalloc/core/dom_algorithm.h"
+#include "objalloc/model/cost_model.h"
+
+namespace objalloc::core {
+
+struct AdaptiveOptions {
+  // Number of trailing requests whose statistics drive the tests.
+  int window_size = 64;
+
+  util::Status Validate() const {
+    if (window_size <= 0) {
+      return util::Status::InvalidArgument("window_size must be positive");
+    }
+    return util::Status::Ok();
+  }
+};
+
+class AdaptiveAllocation final : public DomAlgorithm {
+ public:
+  AdaptiveAllocation(const model::CostModel& model, AdaptiveOptions options);
+
+  std::string name() const override { return "Adaptive"; }
+  void Reset(int num_processors, ProcessorSet initial_scheme) override;
+  Decision Step(const Request& request) override;
+
+  ProcessorSet scheme() const { return scheme_; }
+
+ private:
+  void Observe(const Request& request);
+  double WindowReadsBy(ProcessorId p) const { return read_counts_[static_cast<size_t>(p)]; }
+
+  model::CostModel model_;
+  AdaptiveOptions options_;
+
+  int num_processors_ = 0;
+  int t_ = 0;
+  ProcessorSet scheme_;
+  std::deque<Request> window_;
+  std::vector<double> read_counts_;  // per processor, within the window
+  double write_count_ = 0;           // within the window
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_ADAPTIVE_ALLOCATION_H_

@@ -1,0 +1,78 @@
+#include "objalloc/core/counter_replication.h"
+
+#include <algorithm>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::core {
+
+CounterReplication::CounterReplication(CounterReplicationOptions options)
+    : options_(options) {
+  OBJALLOC_CHECK(options.Validate().ok());
+}
+
+void CounterReplication::Reset(int num_processors,
+                               ProcessorSet initial_scheme) {
+  OBJALLOC_CHECK(!initial_scheme.Empty());
+  OBJALLOC_CHECK(
+      initial_scheme.IsSubsetOf(ProcessorSet::FirstN(num_processors)));
+  num_processors_ = num_processors;
+  t_ = initial_scheme.Size();
+  scheme_ = initial_scheme;
+  counters_.assign(static_cast<size_t>(num_processors), 0);
+  for (ProcessorId member : initial_scheme.ToVector()) {
+    counters_[static_cast<size_t>(member)] = options_.lifetime;
+  }
+}
+
+Decision CounterReplication::Step(const Request& request) {
+  OBJALLOC_CHECK_GT(num_processors_, 0) << "Step before Reset";
+  const ProcessorId i = request.processor;
+
+  if (request.is_read()) {
+    counters_[static_cast<size_t>(i)] = options_.lifetime;
+    if (scheme_.Contains(i)) {
+      return Decision{ProcessorSet::Singleton(i), false};
+    }
+    ProcessorId source = scheme_.First();
+    scheme_.Insert(i);
+    return Decision{ProcessorSet::Singleton(source), true};
+  }
+
+  // Write: age the other replicas, evict the expired (respecting t).
+  ProcessorSet keep = ProcessorSet::Singleton(i);
+  std::vector<ProcessorId> survivors;
+  for (ProcessorId member : scheme_.ToVector()) {
+    if (member == i) continue;
+    int& counter = counters_[static_cast<size_t>(member)];
+    counter = std::max(0, counter - 1);
+    if (counter > 0) {
+      keep.Insert(member);
+    } else {
+      survivors.push_back(member);  // eviction candidate, may be padded back
+    }
+  }
+  if (keep.Size() < t_) {
+    // Retain the expired members with the most recent activity first (their
+    // counters are all zero; fall back to id order for determinism).
+    for (ProcessorId member : survivors) {
+      if (keep.Size() >= t_) break;
+      keep.Insert(member);
+      counters_[static_cast<size_t>(member)] = 1;
+    }
+    for (ProcessorId p = 0; p < num_processors_ && keep.Size() < t_; ++p) {
+      if (!keep.Contains(p)) {
+        keep.Insert(p);
+        counters_[static_cast<size_t>(p)] = 1;
+      }
+    }
+  }
+  counters_[static_cast<size_t>(i)] = options_.lifetime;
+  for (ProcessorId p = 0; p < num_processors_; ++p) {
+    if (!keep.Contains(p)) counters_[static_cast<size_t>(p)] = 0;
+  }
+  scheme_ = keep;
+  return Decision{keep, false};
+}
+
+}  // namespace objalloc::core

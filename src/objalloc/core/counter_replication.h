@@ -1,0 +1,65 @@
+// CounterReplication — a counter-based dynamic replication policy in the
+// spirit of the authors' earlier CDDR algorithm ([17], ICDE'93), which was
+// designed for a communication-only model. §5.1 of the paper remarks that
+// CDDR "is not competitive when the I/O cost and the availability
+// constraints are taken into consideration" — this implementation exists so
+// the benches can measure exactly that claim against DA in the unified
+// model.
+//
+// Policy (ski-rental style hysteresis):
+//   * every replica carries a counter, reset to `lifetime` when its holder
+//     reads;
+//   * a read by a non-holder joins the scheme (saving-read) with a fresh
+//     counter;
+//   * a write decrements every other holder's counter and evicts the
+//     expired ones — but never below the availability threshold t (the
+//     survivors with the highest counters are retained).
+//
+// Unlike DA, a heavy reader keeps its replica across up to `lifetime`
+// writes; unlike SA, the replica set tracks the access pattern.
+
+#ifndef OBJALLOC_CORE_COUNTER_REPLICATION_H_
+#define OBJALLOC_CORE_COUNTER_REPLICATION_H_
+
+#include <vector>
+
+#include "objalloc/core/dom_algorithm.h"
+
+namespace objalloc::core {
+
+struct CounterReplicationOptions {
+  // Writes a replica survives without an intervening local read.
+  int lifetime = 2;
+
+  util::Status Validate() const {
+    if (lifetime < 1) {
+      return util::Status::InvalidArgument("lifetime must be >= 1");
+    }
+    return util::Status::Ok();
+  }
+};
+
+class CounterReplication final : public DomAlgorithm {
+ public:
+  explicit CounterReplication(CounterReplicationOptions options);
+
+  std::string name() const override { return "Counter"; }
+  void Reset(int num_processors, ProcessorSet initial_scheme) override;
+  Decision Step(const Request& request) override;
+
+  ProcessorSet scheme() const { return scheme_; }
+  int CounterOf(ProcessorId p) const {
+    return counters_[static_cast<size_t>(p)];
+  }
+
+ private:
+  CounterReplicationOptions options_;
+  int num_processors_ = 0;
+  int t_ = 0;
+  ProcessorSet scheme_;
+  std::vector<int> counters_;  // 0 for non-holders
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_COUNTER_REPLICATION_H_

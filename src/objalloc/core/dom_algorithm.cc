@@ -1,0 +1,36 @@
+#include "objalloc/core/dom_algorithm.h"
+
+#include "objalloc/core/adaptive_allocation.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/util/logging.h"
+
+namespace objalloc::core {
+
+const char* AlgorithmKindToString(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kStatic:
+      return "SA";
+    case AlgorithmKind::kDynamic:
+      return "DA";
+    case AlgorithmKind::kAdaptive:
+      return "Adaptive";
+  }
+  return "?";
+}
+
+std::unique_ptr<DomAlgorithm> CreateAlgorithm(AlgorithmKind kind,
+                                              const model::CostModel& model) {
+  switch (kind) {
+    case AlgorithmKind::kStatic:
+      return std::make_unique<StaticAllocation>();
+    case AlgorithmKind::kDynamic:
+      return std::make_unique<DynamicAllocation>();
+    case AlgorithmKind::kAdaptive:
+      return std::make_unique<AdaptiveAllocation>(model, AdaptiveOptions{});
+  }
+  OBJALLOC_CHECK(false) << "unknown algorithm kind";
+  return nullptr;
+}
+
+}  // namespace objalloc::core

@@ -1,0 +1,65 @@
+#include "objalloc/core/dynamic_allocation.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::core {
+
+void DynamicAllocation::Reset(int num_processors,
+                              ProcessorSet initial_scheme) {
+  OBJALLOC_CHECK_GE(initial_scheme.Size(), 2)
+      << "DA needs t >= 2 (a non-empty core set F plus the floating p)";
+  OBJALLOC_CHECK(
+      initial_scheme.IsSubsetOf(ProcessorSet::FirstN(num_processors)));
+  // F is the initial scheme minus its largest member; p is that member.
+  // Any split of size (t-1, 1) is valid; this one is deterministic.
+  auto members = initial_scheme.ToVector();
+  p_ = members.back();
+  f_ = initial_scheme.WithErased(p_);
+  scheme_ = initial_scheme;
+  join_lists_.assign(members.size() - 1, ProcessorSet());
+  next_f_index_ = 0;
+}
+
+Decision DynamicAllocation::Step(const Request& request) {
+  OBJALLOC_CHECK(!f_.Empty()) << "Step before Reset";
+  const ProcessorId i = request.processor;
+
+  if (request.is_read()) {
+    if (scheme_.Contains(i)) {
+      return Decision{ProcessorSet::Singleton(i), false};
+    }
+    // Non-data processor: fetch from an F member (round-robin across F so no
+    // single member's join-list grows unboundedly) and save the copy.
+    auto f_members = f_.ToVector();
+    size_t idx = static_cast<size_t>(next_f_index_) % f_members.size();
+    next_f_index_ = static_cast<int>((idx + 1) % f_members.size());
+    join_lists_[idx].Insert(i);
+    scheme_.Insert(i);
+    return Decision{ProcessorSet::Singleton(f_members[idx]), true};
+  }
+
+  // Write: propagate to F plus the writer (plus p when the writer is in
+  // F ∪ {p}, to keep the scheme at size t); everything else is invalidated.
+  ProcessorSet x = f_.Contains(i) || i == p_ ? f_.WithInserted(p_)
+                                             : f_.WithInserted(i);
+  scheme_ = x;
+  for (ProcessorSet& jl : join_lists_) jl.Clear();
+  return Decision{x, false};
+}
+
+ProcessorSet DynamicAllocation::JoinedSinceLastWrite() const {
+  ProcessorSet joined;
+  for (const ProcessorSet& jl : join_lists_) joined = joined.Union(jl);
+  return joined;
+}
+
+ProcessorSet DynamicAllocation::JoinListOf(ProcessorId u) const {
+  auto f_members = f_.ToVector();
+  for (size_t k = 0; k < f_members.size(); ++k) {
+    if (f_members[k] == u) return join_lists_[k];
+  }
+  OBJALLOC_CHECK(false) << "processor " << u << " is not in F";
+  return ProcessorSet();
+}
+
+}  // namespace objalloc::core

@@ -1,0 +1,60 @@
+// DA — the paper's dynamic allocation algorithm (§4.2.2).
+//
+// DA fixes a core set F of size t-1 and a floating processor p not in F; the
+// initial allocation scheme is F ∪ {p}. The processors of F always hold the
+// latest version.
+//   * read by a data processor      -> {i}, local input,
+//   * read by a non-data processor  -> {u} for some u in F, converted into a
+//     saving-read (the reader joins the scheme; u records the reader in its
+//     join-list so it can later invalidate it),
+//   * write by j in F ∪ {p}         -> execution set F ∪ {p},
+//   * write by j outside            -> execution set F ∪ {j},
+// and every write invalidates all other copies (the execution set becomes the
+// new scheme). Each F member sends 'invalidate' control messages to the
+// processors in its join-list, except the writer.
+//
+// This class tracks the join-lists explicitly — they are what makes the
+// distributed implementation possible without any global view — and exposes
+// them so tests and the message-passing simulator can cross-check the
+// invalidation traffic against the analytic |Y \ X \ {writer}| * cc term.
+
+#ifndef OBJALLOC_CORE_DYNAMIC_ALLOCATION_H_
+#define OBJALLOC_CORE_DYNAMIC_ALLOCATION_H_
+
+#include <vector>
+
+#include "objalloc/core/dom_algorithm.h"
+
+namespace objalloc::core {
+
+class DynamicAllocation final : public DomAlgorithm {
+ public:
+  DynamicAllocation() = default;
+
+  std::string name() const override { return "DA"; }
+  void Reset(int num_processors, ProcessorSet initial_scheme) override;
+  Decision Step(const Request& request) override;
+
+  ProcessorSet core_set() const { return f_; }          // F
+  ProcessorId floating_processor() const { return p_; }  // p
+  ProcessorSet scheme() const { return scheme_; }
+
+  // Union of all F members' join-lists (processors that joined the scheme by
+  // saving-reads since the last write).
+  ProcessorSet JoinedSinceLastWrite() const;
+
+  // The join-list of F member `u` (readers that fetched from u).
+  ProcessorSet JoinListOf(ProcessorId u) const;
+
+ private:
+  ProcessorSet f_;
+  ProcessorId p_ = -1;
+  ProcessorSet scheme_;
+  // join_lists_[k] is the join-list of the k-th member of F (sorted order).
+  std::vector<ProcessorSet> join_lists_;
+  int next_f_index_ = 0;  // round-robin choice of the F member serving a read
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_DYNAMIC_ALLOCATION_H_

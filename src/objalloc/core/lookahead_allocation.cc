@@ -1,0 +1,60 @@
+#include "objalloc/core/lookahead_allocation.h"
+
+#include <algorithm>
+
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/util/logging.h"
+
+namespace objalloc::core {
+
+LookaheadAllocation::LookaheadAllocation(const model::CostModel& cost_model,
+                                         int lookahead)
+    : cost_model_(cost_model), lookahead_(lookahead) {
+  OBJALLOC_CHECK(cost_model.Validate().ok()) << cost_model.ToString();
+  OBJALLOC_CHECK_GE(lookahead, 1);
+}
+
+void LookaheadAllocation::Prime(const model::Schedule& schedule) {
+  primed_ = &schedule;
+  position_ = 0;
+}
+
+std::string LookaheadAllocation::name() const {
+  return "Lookahead(" + std::to_string(lookahead_) + ")";
+}
+
+void LookaheadAllocation::Reset(int num_processors,
+                                ProcessorSet initial_scheme) {
+  OBJALLOC_CHECK(primed_ != nullptr) << "Prime() before Reset()";
+  OBJALLOC_CHECK_EQ(primed_->num_processors(), num_processors);
+  OBJALLOC_CHECK(!initial_scheme.Empty());
+  position_ = 0;
+  t_ = initial_scheme.Size();
+  scheme_ = initial_scheme;
+}
+
+Decision LookaheadAllocation::Step(const Request& request) {
+  OBJALLOC_CHECK(primed_ != nullptr && position_ < primed_->size())
+      << "stepped past the primed schedule";
+  const Request& expected = (*primed_)[position_];
+  OBJALLOC_CHECK(expected == request)
+      << "driver replayed a different schedule at position " << position_;
+
+  // Receding horizon: plan optimally for the visible window and keep the
+  // first decision.
+  const size_t window_end =
+      std::min(position_ + static_cast<size_t>(lookahead_), primed_->size());
+  model::Schedule window(primed_->num_processors());
+  for (size_t k = position_; k < window_end; ++k) {
+    window.Append((*primed_)[k]);
+  }
+  model::AllocationSchedule plan = opt::ExactOptScheduleWithThreshold(
+      cost_model_, window, scheme_, t_);
+  const model::AllocatedRequest& first = plan[0];
+
+  scheme_ = model::NextScheme(scheme_, first);
+  ++position_;
+  return Decision{first.execution_set, first.is_saving_read()};
+}
+
+}  // namespace objalloc::core

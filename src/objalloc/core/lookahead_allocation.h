@@ -1,0 +1,51 @@
+// LookaheadAllocation — a *semi-online* allocator charting the knowledge
+// spectrum of §1.4 between the paper's two extremes: an online DOM
+// algorithm (no future knowledge; DA, SA) and the offline OPT (all of it).
+// With lookahead k, each request is decided by solving the exact allocation
+// DP over the window of the next k requests (receding horizon) and keeping
+// only the first decision.
+//
+//   k = 1  ≡ greedy myopic cost minimization,
+//   k → schedule length ≡ the offline OPT.
+//
+// Because the window must be *peeked*, the schedule is supplied up front
+// via Prime(); Step() then verifies the driver feeds the same requests.
+// The bench (E18) measures how much competitive ratio each unit of
+// lookahead buys.
+
+#ifndef OBJALLOC_CORE_LOOKAHEAD_ALLOCATION_H_
+#define OBJALLOC_CORE_LOOKAHEAD_ALLOCATION_H_
+
+#include <optional>
+
+#include "objalloc/core/dom_algorithm.h"
+#include "objalloc/model/cost_model.h"
+#include "objalloc/model/schedule.h"
+
+namespace objalloc::core {
+
+class LookaheadAllocation final : public DomAlgorithm {
+ public:
+  // `lookahead` >= 1 requests visible (including the current one).
+  LookaheadAllocation(const model::CostModel& cost_model, int lookahead);
+
+  // Supplies the request stream the driver will replay. Must be called
+  // before Reset()/Step().
+  void Prime(const model::Schedule& schedule);
+
+  std::string name() const override;
+  void Reset(int num_processors, ProcessorSet initial_scheme) override;
+  Decision Step(const Request& request) override;
+
+ private:
+  model::CostModel cost_model_;
+  int lookahead_;
+  const model::Schedule* primed_ = nullptr;
+  size_t position_ = 0;
+  int t_ = 0;
+  ProcessorSet scheme_;
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_LOOKAHEAD_ALLOCATION_H_

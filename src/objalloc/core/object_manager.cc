@@ -1,0 +1,87 @@
+#include "objalloc/core/object_manager.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::core {
+
+ObjectManager::ObjectManager(int num_processors,
+                             const model::CostModel& cost_model)
+    : num_processors_(num_processors), cost_model_(cost_model) {
+  OBJALLOC_CHECK_GT(num_processors, 0);
+  OBJALLOC_CHECK_LE(num_processors, util::kMaxProcessors);
+  OBJALLOC_CHECK(cost_model.Validate().ok()) << cost_model.ToString();
+}
+
+util::Status ObjectManager::AddObject(ObjectId id,
+                                      const ObjectConfig& config) {
+  if (objects_.count(id) > 0) {
+    return util::Status::InvalidArgument("duplicate object id " +
+                                         std::to_string(id));
+  }
+  if (config.initial_scheme.Empty() ||
+      !config.initial_scheme.IsSubsetOf(
+          ProcessorSet::FirstN(num_processors_))) {
+    return util::Status::InvalidArgument("bad initial scheme for object " +
+                                         std::to_string(id));
+  }
+  if (config.algorithm == AlgorithmKind::kDynamic &&
+      config.initial_scheme.Size() < 2) {
+    return util::Status::InvalidArgument(
+        "dynamic allocation needs at least two initial copies");
+  }
+  ObjectState state;
+  state.algorithm = CreateAlgorithm(config.algorithm, cost_model_);
+  state.algorithm->Reset(num_processors_, config.initial_scheme);
+  state.t = config.initial_scheme.Size();
+  state.scheme = config.initial_scheme;
+  state.stats.scheme = config.initial_scheme;
+  objects_.emplace(id, std::move(state));
+  return util::Status::Ok();
+}
+
+util::StatusOr<double> ObjectManager::Serve(ObjectId id,
+                                            const Request& request) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return util::Status::NotFound("unknown object " + std::to_string(id));
+  }
+  if (request.processor < 0 || request.processor >= num_processors_) {
+    return util::Status::OutOfRange("processor out of range");
+  }
+  ObjectState& state = it->second;
+  Decision decision = state.algorithm->Step(request);
+  model::AllocatedRequest entry{request, decision.execution_set,
+                                request.is_read() && decision.saving};
+  model::CostBreakdown breakdown =
+      model::RequestBreakdown(entry, state.scheme);
+  state.scheme = model::NextScheme(state.scheme, entry);
+  OBJALLOC_CHECK_GE(state.scheme.Size(), state.t)
+      << "algorithm violated the availability threshold of object " << id;
+  state.stats.requests += 1;
+  state.stats.breakdown += breakdown;
+  state.stats.scheme = state.scheme;
+  return breakdown.Cost(cost_model_);
+}
+
+util::StatusOr<ObjectManager::ObjectStats> ObjectManager::StatsFor(
+    ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return util::Status::NotFound("unknown object " + std::to_string(id));
+  }
+  return it->second.stats;
+}
+
+model::CostBreakdown ObjectManager::TotalBreakdown() const {
+  model::CostBreakdown total;
+  for (const auto& [id, state] : objects_) total += state.stats.breakdown;
+  return total;
+}
+
+int64_t ObjectManager::TotalRequests() const {
+  int64_t total = 0;
+  for (const auto& [id, state] : objects_) total += state.stats.requests;
+  return total;
+}
+
+}  // namespace objalloc::core

@@ -1,0 +1,67 @@
+// ObjectManager — the multi-object layer a deployment actually uses. The
+// paper analyzes the allocation of a single object (§3.1); a database holds
+// many, each with its own access pattern, allocation scheme, and (possibly)
+// its own DOM algorithm. The manager routes an interleaved request stream
+// to per-object algorithm instances and aggregates the cost accounting.
+
+#ifndef OBJALLOC_CORE_OBJECT_MANAGER_H_
+#define OBJALLOC_CORE_OBJECT_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "objalloc/core/dom_algorithm.h"
+#include "objalloc/model/cost_evaluator.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::core {
+
+using ObjectId = int64_t;
+
+struct ObjectConfig {
+  ProcessorSet initial_scheme;               // also fixes t
+  AlgorithmKind algorithm = AlgorithmKind::kDynamic;
+};
+
+class ObjectManager {
+ public:
+  ObjectManager(int num_processors, const model::CostModel& cost_model);
+
+  // Registers an object. Fails on duplicate ids, empty or out-of-range
+  // schemes, and algorithm/threshold mismatches (DA needs t >= 2).
+  util::Status AddObject(ObjectId id, const ObjectConfig& config);
+
+  bool HasObject(ObjectId id) const { return objects_.count(id) > 0; }
+  size_t object_count() const { return objects_.size(); }
+
+  // Serves one request against one object, returning the request's cost.
+  util::StatusOr<double> Serve(ObjectId id, const Request& request);
+
+  // Per-object and aggregate accounting.
+  struct ObjectStats {
+    int64_t requests = 0;
+    model::CostBreakdown breakdown;
+    ProcessorSet scheme;  // current allocation scheme
+  };
+  util::StatusOr<ObjectStats> StatsFor(ObjectId id) const;
+  model::CostBreakdown TotalBreakdown() const;
+  double TotalCost() const { return TotalBreakdown().Cost(cost_model_); }
+  int64_t TotalRequests() const;
+
+ private:
+  struct ObjectState {
+    std::unique_ptr<DomAlgorithm> algorithm;
+    int t = 0;
+    ProcessorSet scheme;
+    ObjectStats stats;
+  };
+
+  int num_processors_;
+  model::CostModel cost_model_;
+  std::map<ObjectId, ObjectState> objects_;
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_OBJECT_MANAGER_H_

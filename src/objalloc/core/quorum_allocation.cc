@@ -1,0 +1,69 @@
+#include "objalloc/core/quorum_allocation.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::core {
+
+util::Status QuorumAllocationOptions::ValidateFor(int num_processors,
+                                                  int t) const {
+  int r = read_quorum > 0 ? read_quorum : num_processors / 2 + 1;
+  int w = write_quorum > 0 ? write_quorum : num_processors / 2 + 1;
+  if (r < 1 || r > num_processors || w < 1 || w > num_processors) {
+    return util::Status::InvalidArgument("quorum sizes out of range");
+  }
+  if (r + w <= num_processors) {
+    return util::Status::InvalidArgument(
+        "read and write quorums must intersect (r + w > n)");
+  }
+  if (w < t) {
+    return util::Status::InvalidArgument(
+        "write quorum below the availability threshold");
+  }
+  return util::Status::Ok();
+}
+
+QuorumAllocation::QuorumAllocation(QuorumAllocationOptions options)
+    : options_(options) {}
+
+void QuorumAllocation::Reset(int num_processors,
+                             ProcessorSet initial_scheme) {
+  OBJALLOC_CHECK(!initial_scheme.Empty());
+  OBJALLOC_CHECK(
+      initial_scheme.IsSubsetOf(ProcessorSet::FirstN(num_processors)));
+  util::Status status =
+      options_.ValidateFor(num_processors, initial_scheme.Size());
+  OBJALLOC_CHECK(status.ok()) << status.ToString();
+  num_processors_ = num_processors;
+  r_ = options_.read_quorum > 0 ? options_.read_quorum
+                                : num_processors / 2 + 1;
+  w_ = options_.write_quorum > 0 ? options_.write_quorum
+                                 : num_processors / 2 + 1;
+  cursor_ = 0;
+  scheme_ = initial_scheme;
+}
+
+ProcessorSet QuorumAllocation::RotatingQuorum(int count,
+                                              ProcessorId must_include) {
+  ProcessorSet quorum = ProcessorSet::Singleton(must_include);
+  while (quorum.Size() < count) {
+    auto candidate = static_cast<ProcessorId>(cursor_);
+    cursor_ = (cursor_ + 1) % num_processors_;
+    quorum.Insert(candidate);
+  }
+  return quorum;
+}
+
+Decision QuorumAllocation::Step(const Request& request) {
+  OBJALLOC_CHECK_GT(num_processors_, 0) << "Step before Reset";
+  if (request.is_read()) {
+    // Poll r copies; anchoring the quorum on a current scheme member makes
+    // the read legal (it sees the latest version) for any r, as the
+    // version-timestamp comparison would in the real protocol.
+    return Decision{RotatingQuorum(r_, scheme_.First()), false};
+  }
+  ProcessorSet x = RotatingQuorum(w_, request.processor);
+  scheme_ = x;
+  return Decision{x, false};
+}
+
+}  // namespace objalloc::core

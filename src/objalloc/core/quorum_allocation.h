@@ -1,0 +1,58 @@
+// QuorumAllocation — static quorum-consensus voting (Gifford [14] /
+// Thomas [25]) expressed as a DOM algorithm in the paper's model, as the
+// §3.1 footnote describes: "in quorum consensus, a read request retrieves a
+// number of copies that have a read-quorum (and then discards all of them,
+// except the one with the most recent time-stamp)".
+//
+//   * a read's execution set is any r processors (it inputs the object at
+//     each and keeps the newest) — legality is structural: r + w > n means
+//     every r-set intersects every w-set, in particular the latest write's;
+//   * a write's execution set is the writer plus w-1 further processors,
+//     rotated round-robin to spread storage.
+//
+// This is the classical static alternative to read-one-write-all: reads pay
+// r-fold, writes only w-fold (instead of n-fold / scheme-wide). The benches
+// use it as a second baseline against SA and DA.
+
+#ifndef OBJALLOC_CORE_QUORUM_ALLOCATION_H_
+#define OBJALLOC_CORE_QUORUM_ALLOCATION_H_
+
+#include "objalloc/core/dom_algorithm.h"
+
+namespace objalloc::core {
+
+struct QuorumAllocationOptions {
+  int read_quorum = 0;   // r; 0 = majority of n
+  int write_quorum = 0;  // w; 0 = majority of n
+
+  // Checks 1 <= r, t <= w <= n and r + w > n once n and t are known.
+  util::Status ValidateFor(int num_processors, int t) const;
+};
+
+class QuorumAllocation final : public DomAlgorithm {
+ public:
+  explicit QuorumAllocation(QuorumAllocationOptions options);
+
+  std::string name() const override { return "QuorumVoting"; }
+  void Reset(int num_processors, ProcessorSet initial_scheme) override;
+  Decision Step(const Request& request) override;
+
+  int read_quorum() const { return r_; }
+  int write_quorum() const { return w_; }
+
+ private:
+  // The next `count`-processor window starting at the rotation cursor,
+  // always including `must_include`.
+  ProcessorSet RotatingQuorum(int count, ProcessorId must_include);
+
+  QuorumAllocationOptions options_;
+  int num_processors_ = 0;
+  int r_ = 0;
+  int w_ = 0;
+  int cursor_ = 0;
+  ProcessorSet scheme_;  // the latest write quorum
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_QUORUM_ALLOCATION_H_

@@ -1,0 +1,37 @@
+#include "objalloc/core/runner.h"
+
+#include "objalloc/model/legality.h"
+#include "objalloc/util/logging.h"
+
+namespace objalloc::core {
+
+model::AllocationSchedule RunAlgorithm(DomAlgorithm& algorithm,
+                                       const model::Schedule& schedule,
+                                       ProcessorSet initial_scheme) {
+  algorithm.Reset(schedule.num_processors(), initial_scheme);
+  model::AllocationSchedule allocation(schedule.num_processors(),
+                                       initial_scheme);
+  for (const Request& request : schedule.requests()) {
+    Decision decision = algorithm.Step(request);
+    allocation.Append(request, decision.execution_set,
+                      request.is_read() && decision.saving);
+  }
+  util::Status status =
+      model::CheckLegalAndTAvailable(allocation, initial_scheme.Size());
+  OBJALLOC_CHECK(status.ok()) << algorithm.name() << " produced an invalid "
+                              << "allocation schedule: " << status.ToString();
+  return allocation;
+}
+
+RunResult RunWithCost(DomAlgorithm& algorithm,
+                      const model::CostModel& cost_model,
+                      const model::Schedule& schedule,
+                      ProcessorSet initial_scheme) {
+  model::AllocationSchedule allocation =
+      RunAlgorithm(algorithm, schedule, initial_scheme);
+  model::CostBreakdown breakdown = model::ScheduleBreakdown(allocation);
+  double cost = breakdown.Cost(cost_model);
+  return RunResult{std::move(allocation), breakdown, cost};
+}
+
+}  // namespace objalloc::core

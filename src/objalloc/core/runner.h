@@ -1,0 +1,34 @@
+// Drives a schedule through an online DOM algorithm, producing a costed,
+// validated allocation schedule.
+
+#ifndef OBJALLOC_CORE_RUNNER_H_
+#define OBJALLOC_CORE_RUNNER_H_
+
+#include "objalloc/core/dom_algorithm.h"
+#include "objalloc/model/cost_evaluator.h"
+#include "objalloc/model/schedule.h"
+
+namespace objalloc::core {
+
+struct RunResult {
+  model::AllocationSchedule allocation;
+  model::CostBreakdown breakdown;
+  double cost = 0;
+};
+
+// Runs `algorithm` over `schedule` from `initial_scheme`, checking after the
+// fact that the produced allocation schedule is legal and t-available for
+// t = |initial_scheme| (a violation is a bug in the algorithm and aborts).
+model::AllocationSchedule RunAlgorithm(DomAlgorithm& algorithm,
+                                       const model::Schedule& schedule,
+                                       ProcessorSet initial_scheme);
+
+// RunAlgorithm plus cost evaluation under `cost_model`.
+RunResult RunWithCost(DomAlgorithm& algorithm,
+                      const model::CostModel& cost_model,
+                      const model::Schedule& schedule,
+                      ProcessorSet initial_scheme);
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_RUNNER_H_

@@ -1,0 +1,31 @@
+// SA — the traditional read-one-write-all static allocation algorithm
+// (§4.2.1). The allocation scheme is pinned to the initial scheme Q:
+//   * read by i in Q     -> execution set {i} (local input),
+//   * read by i not in Q -> execution set {some member of Q},
+//   * write              -> execution set Q (propagate to all of Q).
+// SA never uses saving-reads, so the scheme stays Q forever.
+
+#ifndef OBJALLOC_CORE_STATIC_ALLOCATION_H_
+#define OBJALLOC_CORE_STATIC_ALLOCATION_H_
+
+#include "objalloc/core/dom_algorithm.h"
+
+namespace objalloc::core {
+
+class StaticAllocation final : public DomAlgorithm {
+ public:
+  StaticAllocation() = default;
+
+  std::string name() const override { return "SA"; }
+  void Reset(int num_processors, ProcessorSet initial_scheme) override;
+  Decision Step(const Request& request) override;
+
+  ProcessorSet scheme() const { return scheme_; }
+
+ private:
+  ProcessorSet scheme_;
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_STATIC_ALLOCATION_H_

@@ -1,0 +1,78 @@
+#include "objalloc/core/topology_aware.h"
+
+#include <limits>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::core {
+
+TopologyAwareAllocation::TopologyAwareAllocation(
+    model::NetworkTopology topology)
+    : topology_(std::move(topology)) {}
+
+double TopologyAwareAllocation::Centrality(ProcessorId candidate) const {
+  double total = 0;
+  for (ProcessorId other = 0; other < topology_.num_processors(); ++other) {
+    if (other == candidate) continue;
+    total += topology_.MessageMultiplier(candidate, other);
+  }
+  return total;
+}
+
+void TopologyAwareAllocation::Reset(int num_processors,
+                                    ProcessorSet initial_scheme) {
+  OBJALLOC_CHECK_EQ(num_processors, topology_.num_processors());
+  OBJALLOC_CHECK_GE(initial_scheme.Size(), 2)
+      << "needs t >= 2, like DynamicAllocation";
+  OBJALLOC_CHECK(
+      initial_scheme.IsSubsetOf(ProcessorSet::FirstN(num_processors)));
+  // The floating member is the least central processor of the initial
+  // scheme: F — which every write must refresh — stays on the cheap links.
+  // Ties resolve to the largest id, matching DynamicAllocation's split so
+  // the uniform topology degenerates to DA exactly.
+  ProcessorId least_central = initial_scheme.First();
+  double worst = -1;
+  for (ProcessorId member : initial_scheme.ToVector()) {
+    double score = Centrality(member);
+    if (score >= worst) {
+      worst = score;
+      least_central = member;
+    }
+  }
+  p_ = least_central;
+  f_ = initial_scheme.WithErased(p_);
+  scheme_ = initial_scheme;
+}
+
+ProcessorId TopologyAwareAllocation::NearestSchemeMember(
+    ProcessorId reader) const {
+  ProcessorId best = scheme_.First();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (ProcessorId member : scheme_.ToVector()) {
+    double cost = topology_.MessageMultiplier(reader, member);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = member;
+    }
+  }
+  return best;
+}
+
+Decision TopologyAwareAllocation::Step(const Request& request) {
+  OBJALLOC_CHECK(!f_.Empty()) << "Step before Reset";
+  const ProcessorId i = request.processor;
+  if (request.is_read()) {
+    if (scheme_.Contains(i)) {
+      return Decision{ProcessorSet::Singleton(i), false};
+    }
+    ProcessorId source = NearestSchemeMember(i);
+    scheme_.Insert(i);
+    return Decision{ProcessorSet::Singleton(source), true};
+  }
+  ProcessorSet x = (f_.Contains(i) || i == p_) ? f_.WithInserted(p_)
+                                               : f_.WithInserted(i);
+  scheme_ = x;
+  return Decision{x, false};
+}
+
+}  // namespace objalloc::core

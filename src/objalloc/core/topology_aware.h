@@ -1,0 +1,48 @@
+// TopologyAwareAllocation — DA generalized for heterogeneous networks
+// (§6's "extension to other models"): identical scheme dynamics (core set F,
+// floating member, saving-reads, write-all-to-F invalidation), but
+//   * the core set F is placed on the topologically most *central*
+//     processors of the initial scheme (minimum total message multiplier to
+//     the rest of the system), and
+//   * a non-member read fetches from the *nearest* current scheme member
+//     rather than from an arbitrary member of F.
+//
+// On a uniform topology every choice costs the same, so the algorithm
+// degenerates to DA exactly (the tests check cost equality); on clustered
+// or star networks it avoids the expensive links whenever a nearby replica
+// exists.
+
+#ifndef OBJALLOC_CORE_TOPOLOGY_AWARE_H_
+#define OBJALLOC_CORE_TOPOLOGY_AWARE_H_
+
+#include "objalloc/core/dom_algorithm.h"
+#include "objalloc/model/topology.h"
+
+namespace objalloc::core {
+
+class TopologyAwareAllocation final : public DomAlgorithm {
+ public:
+  explicit TopologyAwareAllocation(model::NetworkTopology topology);
+
+  std::string name() const override { return "TopoDA"; }
+  void Reset(int num_processors, ProcessorSet initial_scheme) override;
+  Decision Step(const Request& request) override;
+
+  ProcessorSet core_set() const { return f_; }
+  ProcessorId floating_processor() const { return p_; }
+  ProcessorSet scheme() const { return scheme_; }
+
+ private:
+  // Sum of message multipliers from `candidate` to every other processor.
+  double Centrality(ProcessorId candidate) const;
+  ProcessorId NearestSchemeMember(ProcessorId reader) const;
+
+  model::NetworkTopology topology_;
+  ProcessorSet f_;
+  ProcessorId p_ = -1;
+  ProcessorSet scheme_;
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_TOPOLOGY_AWARE_H_

@@ -1,0 +1,68 @@
+#include "objalloc/model/allocation_schedule.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::model {
+
+std::string AllocatedRequest::ToString() const {
+  std::string out = is_saving_read() ? "R" : (request.is_read() ? "r" : "w");
+  out += std::to_string(request.processor);
+  out += execution_set.ToString();
+  return out;
+}
+
+AllocationSchedule::AllocationSchedule(int num_processors,
+                                       ProcessorSet initial_scheme)
+    : num_processors_(num_processors), initial_scheme_(initial_scheme) {
+  OBJALLOC_CHECK_GT(num_processors, 0);
+  OBJALLOC_CHECK_LE(num_processors, util::kMaxProcessors);
+  OBJALLOC_CHECK(
+      initial_scheme.IsSubsetOf(ProcessorSet::FirstN(num_processors)))
+      << "initial scheme " << initial_scheme.ToString()
+      << " outside the system";
+  OBJALLOC_CHECK(!initial_scheme.Empty());
+}
+
+ProcessorSet NextScheme(ProcessorSet scheme, const AllocatedRequest& entry) {
+  if (entry.request.is_write()) return entry.execution_set;
+  if (entry.is_saving_read()) {
+    return scheme.WithInserted(entry.request.processor);
+  }
+  return scheme;
+}
+
+void AllocationSchedule::Append(Request request, ProcessorSet execution_set,
+                                bool saving) {
+  OBJALLOC_CHECK_LT(request.processor, num_processors_);
+  OBJALLOC_CHECK(
+      execution_set.IsSubsetOf(ProcessorSet::FirstN(num_processors_)))
+      << "execution set outside the system";
+  OBJALLOC_CHECK(!saving || request.is_read()) << "only reads can be saving";
+  AllocatedRequest entry{request, execution_set, saving};
+  ProcessorSet prev = schemes_.empty() ? initial_scheme_ : schemes_.back();
+  entries_.push_back(entry);
+  schemes_.push_back(NextScheme(prev, entry));
+}
+
+ProcessorSet AllocationSchedule::SchemeAt(size_t i) const {
+  OBJALLOC_CHECK_LE(i, entries_.size());
+  if (i == 0) return initial_scheme_;
+  return schemes_[i - 1];
+}
+
+Schedule AllocationSchedule::ToSchedule() const {
+  Schedule schedule(num_processors_);
+  for (const AllocatedRequest& e : entries_) schedule.Append(e.request);
+  return schedule;
+}
+
+std::string AllocationSchedule::ToString() const {
+  std::string out = "I=" + initial_scheme_.ToString() + " :";
+  for (const AllocatedRequest& e : entries_) {
+    out += " ";
+    out += e.ToString();
+  }
+  return out;
+}
+
+}  // namespace objalloc::model

@@ -1,0 +1,77 @@
+// Allocation schedules (§3.1): a schedule in which every request carries an
+// *execution set* and some reads are converted into *saving-reads*.
+//
+// The allocation scheme (the set of processors holding the latest version in
+// their local database) evolves deterministically:
+//   * a write with execution set X replaces the scheme with X,
+//   * a saving-read by processor i adds i to the scheme,
+//   * a plain read leaves the scheme unchanged.
+
+#ifndef OBJALLOC_MODEL_ALLOCATION_SCHEDULE_H_
+#define OBJALLOC_MODEL_ALLOCATION_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "objalloc/model/request.h"
+#include "objalloc/model/schedule.h"
+#include "objalloc/util/processor_set.h"
+
+namespace objalloc::model {
+
+using util::ProcessorSet;
+
+// A request together with the decisions a DOM algorithm made for it.
+struct AllocatedRequest {
+  Request request;
+  ProcessorSet execution_set;
+  // Only meaningful for reads; a saving-read stores the object in the
+  // reader's local database, joining the allocation scheme.
+  bool saving = false;
+
+  bool is_saving_read() const { return request.is_read() && saving; }
+
+  // "r4{1,2}" or "R4{1,2}" for a saving-read (the paper's underline).
+  std::string ToString() const;
+};
+
+class AllocationSchedule {
+ public:
+  // `initial_scheme` is the allocation scheme before the first request.
+  AllocationSchedule(int num_processors, ProcessorSet initial_scheme);
+
+  // Appends a request with its decisions. Reads may set `saving`.
+  void Append(Request request, ProcessorSet execution_set, bool saving = false);
+
+  int num_processors() const { return num_processors_; }
+  ProcessorSet initial_scheme() const { return initial_scheme_; }
+  size_t size() const { return entries_.size(); }
+  const AllocatedRequest& operator[](size_t i) const { return entries_[i]; }
+  const std::vector<AllocatedRequest>& entries() const { return entries_; }
+
+  // Allocation scheme *at* request i (right before executing it).
+  // SchemeAt(size()) is the scheme after the last request.
+  ProcessorSet SchemeAt(size_t i) const;
+
+  // Scheme after the whole schedule (== SchemeAt(size())).
+  ProcessorSet FinalScheme() const { return SchemeAt(entries_.size()); }
+
+  // The corresponding plain schedule: drops execution sets and saving marks.
+  Schedule ToSchedule() const;
+
+  std::string ToString() const;
+
+ private:
+  int num_processors_;
+  ProcessorSet initial_scheme_;
+  std::vector<AllocatedRequest> entries_;
+  // schemes_[i] == scheme after entry i (cached during Append).
+  std::vector<ProcessorSet> schemes_;
+};
+
+// Applies the scheme-transition rule for one request.
+ProcessorSet NextScheme(ProcessorSet scheme, const AllocatedRequest& entry);
+
+}  // namespace objalloc::model
+
+#endif  // OBJALLOC_MODEL_ALLOCATION_SCHEDULE_H_

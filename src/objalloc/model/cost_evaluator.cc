@@ -1,0 +1,72 @@
+#include "objalloc/model/cost_evaluator.h"
+
+#include <sstream>
+
+namespace objalloc::model {
+
+CostBreakdown& CostBreakdown::operator+=(const CostBreakdown& other) {
+  control_messages += other.control_messages;
+  data_messages += other.data_messages;
+  io_ops += other.io_ops;
+  return *this;
+}
+
+std::string CostBreakdown::ToString() const {
+  std::ostringstream os;
+  os << "{ctrl=" << control_messages << ", data=" << data_messages
+     << ", io=" << io_ops << "}";
+  return os.str();
+}
+
+bool operator==(const CostBreakdown& a, const CostBreakdown& b) {
+  return a.control_messages == b.control_messages &&
+         a.data_messages == b.data_messages && a.io_ops == b.io_ops;
+}
+
+CostBreakdown RequestBreakdown(const AllocatedRequest& entry,
+                               ProcessorSet scheme) {
+  const ProcessorId i = entry.request.processor;
+  const ProcessorSet x = entry.execution_set;
+  CostBreakdown out;
+  if (entry.request.is_read()) {
+    // Request messages to, and object transfers from, every member of X
+    // other than the reader itself; one input at each member of X.
+    const int64_t remote = x.WithErased(i).Size();
+    out.control_messages = remote;
+    out.data_messages = remote;
+    out.io_ops = x.Size();
+    if (entry.saving) ++out.io_ops;  // extra output at the reader's database
+  } else {
+    // Invalidations to stale copies (the writer needs none for itself);
+    // object transfers to every member of X other than the writer; one
+    // output at each member of X.
+    out.control_messages = scheme.Minus(x).WithErased(i).Size();
+    out.data_messages = x.WithErased(i).Size();
+    out.io_ops = x.Size();
+  }
+  return out;
+}
+
+double RequestCost(const CostModel& model, const AllocatedRequest& entry,
+                   ProcessorSet scheme) {
+  return RequestBreakdown(entry, scheme).Cost(model);
+}
+
+CostBreakdown ScheduleBreakdown(const AllocationSchedule& schedule) {
+  CostBreakdown total;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    total += RequestBreakdown(schedule[i], schedule.SchemeAt(i));
+  }
+  return total;
+}
+
+double ScheduleCost(const CostModel& model,
+                    const AllocationSchedule& schedule) {
+  double total = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    total += RequestCost(model, schedule[i], schedule.SchemeAt(i));
+  }
+  return total;
+}
+
+}  // namespace objalloc::model

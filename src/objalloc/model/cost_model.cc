@@ -1,0 +1,30 @@
+#include "objalloc/model/cost_model.h"
+
+#include <sstream>
+
+namespace objalloc::model {
+
+util::Status CostModel::Validate() const {
+  if (io < 0 || control < 0 || data < 0) {
+    return util::Status::InvalidArgument("cost components must be >= 0");
+  }
+  if (control > data) {
+    return util::Status::InvalidArgument(
+        "cc > cd cannot be true: a data message carries the control fields "
+        "plus the object content");
+  }
+  return util::Status::Ok();
+}
+
+std::string CostModel::ToString() const {
+  std::ostringstream os;
+  os << (is_mobile() ? "MC" : "SC") << "{cio=" << io << ", cc=" << control
+     << ", cd=" << data << "}";
+  return os.str();
+}
+
+bool operator==(const CostModel& a, const CostModel& b) {
+  return a.io == b.io && a.control == b.control && a.data == b.data;
+}
+
+}  // namespace objalloc::model

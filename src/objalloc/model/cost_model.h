@@ -1,0 +1,50 @@
+// The paper's cost model (§3.2, §3.3).
+//
+// Servicing a request incurs:
+//   * cio per local-database input/output of the object,
+//   * cc  per control message (read request, invalidate),
+//   * cd  per data message (object transfer).
+//
+// The *stationary computing* (SC) model normalizes cio = 1; the *mobile
+// computing* (MC) model sets cio = 0 because wireless communication charges
+// dominate and local I/O carries no out-of-pocket expense. A data message can
+// never cost less than a control message (cc <= cd): the control message
+// carries only the object id and operation, the data message additionally
+// carries the object content.
+
+#ifndef OBJALLOC_MODEL_COST_MODEL_H_
+#define OBJALLOC_MODEL_COST_MODEL_H_
+
+#include <string>
+
+#include "objalloc/util/status.h"
+
+namespace objalloc::model {
+
+struct CostModel {
+  double io = 1.0;       // cio: local database input/output
+  double control = 0.0;  // cc: control message
+  double data = 0.0;     // cd: data message
+
+  // SC model: cio normalized to 1 (§4.2).
+  static CostModel StationaryComputing(double cc, double cd) {
+    return CostModel{1.0, cc, cd};
+  }
+  // MC model: cio = 0 (§3.3).
+  static CostModel MobileComputing(double cc, double cd) {
+    return CostModel{0.0, cc, cd};
+  }
+
+  bool is_mobile() const { return io == 0.0; }
+
+  // Rejects negative costs and cc > cd ("cannot be true" in Figures 1-2).
+  util::Status Validate() const;
+
+  std::string ToString() const;
+};
+
+bool operator==(const CostModel& a, const CostModel& b);
+
+}  // namespace objalloc::model
+
+#endif  // OBJALLOC_MODEL_COST_MODEL_H_

@@ -1,0 +1,44 @@
+#include "objalloc/model/legality.h"
+
+#include <string>
+
+namespace objalloc::model {
+
+util::Status CheckLegal(const AllocationSchedule& schedule) {
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const AllocatedRequest& entry = schedule[i];
+    if (entry.execution_set.Empty()) {
+      return util::Status::FailedPrecondition(
+          "empty execution set at request " + std::to_string(i) + " (" +
+          entry.request.ToString() + ")");
+    }
+    if (entry.request.is_read() &&
+        !entry.execution_set.Intersects(schedule.SchemeAt(i))) {
+      return util::Status::FailedPrecondition(
+          "illegal read at request " + std::to_string(i) + ": execution set " +
+          entry.execution_set.ToString() + " misses scheme " +
+          schedule.SchemeAt(i).ToString());
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status CheckTAvailable(const AllocationSchedule& schedule, int t) {
+  for (size_t i = 0; i <= schedule.size(); ++i) {
+    if (schedule.SchemeAt(i).Size() < t) {
+      return util::Status::FailedPrecondition(
+          "t-availability violated at position " + std::to_string(i) +
+          ": scheme " + schedule.SchemeAt(i).ToString() + " smaller than t=" +
+          std::to_string(t));
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status CheckLegalAndTAvailable(const AllocationSchedule& schedule,
+                                     int t) {
+  OBJALLOC_RETURN_IF_ERROR(CheckLegal(schedule));
+  return CheckTAvailable(schedule, t);
+}
+
+}  // namespace objalloc::model

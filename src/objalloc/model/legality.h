@@ -1,0 +1,29 @@
+// Legality and t-availability checking (§3.1).
+//
+// A legal allocation schedule is one where every read's execution set
+// intersects the allocation scheme at that read (the read reaches a processor
+// holding the latest version). The t-available constraint requires the
+// allocation scheme to have at least t members at every request.
+
+#ifndef OBJALLOC_MODEL_LEGALITY_H_
+#define OBJALLOC_MODEL_LEGALITY_H_
+
+#include "objalloc/model/allocation_schedule.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::model {
+
+// Verifies legality: non-empty execution sets; every read's execution set
+// intersects the scheme at the read.
+util::Status CheckLegal(const AllocationSchedule& schedule);
+
+// Verifies the t-available constraint: |scheme| >= t at every request and
+// after the final request.
+util::Status CheckTAvailable(const AllocationSchedule& schedule, int t);
+
+// Both checks.
+util::Status CheckLegalAndTAvailable(const AllocationSchedule& schedule, int t);
+
+}  // namespace objalloc::model
+
+#endif  // OBJALLOC_MODEL_LEGALITY_H_

@@ -1,0 +1,13 @@
+#include "objalloc/model/request.h"
+
+namespace objalloc::model {
+
+std::string Request::ToString() const {
+  return (is_read() ? "r" : "w") + std::to_string(processor);
+}
+
+bool operator==(const Request& a, const Request& b) {
+  return a.kind == b.kind && a.processor == b.processor;
+}
+
+}  // namespace objalloc::model

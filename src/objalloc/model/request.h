@@ -1,0 +1,36 @@
+// Read/write requests — the atoms of a schedule (§3.1).
+
+#ifndef OBJALLOC_MODEL_REQUEST_H_
+#define OBJALLOC_MODEL_REQUEST_H_
+
+#include <string>
+
+#include "objalloc/util/processor_set.h"
+
+namespace objalloc::model {
+
+using util::ProcessorId;
+
+enum class RequestKind { kRead, kWrite };
+
+// A single request: `r3` is a read issued by processor 3, `w1` a write by
+// processor 1.
+struct Request {
+  RequestKind kind = RequestKind::kRead;
+  ProcessorId processor = 0;
+
+  static Request Read(ProcessorId p) { return {RequestKind::kRead, p}; }
+  static Request Write(ProcessorId p) { return {RequestKind::kWrite, p}; }
+
+  bool is_read() const { return kind == RequestKind::kRead; }
+  bool is_write() const { return kind == RequestKind::kWrite; }
+
+  // "r3" / "w1".
+  std::string ToString() const;
+};
+
+bool operator==(const Request& a, const Request& b);
+
+}  // namespace objalloc::model
+
+#endif  // OBJALLOC_MODEL_REQUEST_H_

@@ -1,0 +1,75 @@
+#include "objalloc/model/schedule.h"
+
+#include <sstream>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::model {
+
+Schedule::Schedule(int num_processors) : num_processors_(num_processors) {
+  OBJALLOC_CHECK_GT(num_processors, 0);
+  OBJALLOC_CHECK_LE(num_processors, util::kMaxProcessors);
+}
+
+Schedule::Schedule(int num_processors, std::vector<Request> requests)
+    : Schedule(num_processors) {
+  for (Request& r : requests) Append(r);
+}
+
+util::StatusOr<Schedule> Schedule::Parse(int num_processors,
+                                         const std::string& text) {
+  if (num_processors <= 0 || num_processors > util::kMaxProcessors) {
+    return util::Status::InvalidArgument("num_processors out of range");
+  }
+  Schedule schedule(num_processors);
+  std::istringstream is(text);
+  std::string token;
+  while (is >> token) {
+    if (token.size() < 2 || (token[0] != 'r' && token[0] != 'w')) {
+      return util::Status::InvalidArgument("bad request token: " + token);
+    }
+    int id = 0;
+    for (size_t i = 1; i < token.size(); ++i) {
+      if (token[i] < '0' || token[i] > '9') {
+        return util::Status::InvalidArgument("bad processor id in: " + token);
+      }
+      id = id * 10 + (token[i] - '0');
+      if (id >= util::kMaxProcessors) break;
+    }
+    if (id >= num_processors) {
+      return util::Status::OutOfRange("processor id too large in: " + token);
+    }
+    schedule.Append(token[0] == 'r' ? Request::Read(id) : Request::Write(id));
+  }
+  return schedule;
+}
+
+void Schedule::Append(Request request) {
+  OBJALLOC_CHECK_GE(request.processor, 0);
+  OBJALLOC_CHECK_LT(request.processor, num_processors_);
+  requests_.push_back(request);
+}
+
+size_t Schedule::CountReads() const {
+  size_t count = 0;
+  for (const Request& r : requests_) count += r.is_read() ? 1 : 0;
+  return count;
+}
+
+size_t Schedule::CountWrites() const { return size() - CountReads(); }
+
+std::string Schedule::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    if (i != 0) out += " ";
+    out += requests_[i].ToString();
+  }
+  return out;
+}
+
+bool operator==(const Schedule& a, const Schedule& b) {
+  return a.num_processors() == b.num_processors() &&
+         a.requests() == b.requests();
+}
+
+}  // namespace objalloc::model

@@ -1,0 +1,52 @@
+// A schedule is a finite sequence of read/write requests to the single
+// object, each issued by a processor, totally ordered by the (external)
+// concurrency-control mechanism (§3.1).
+
+#ifndef OBJALLOC_MODEL_SCHEDULE_H_
+#define OBJALLOC_MODEL_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "objalloc/model/request.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::model {
+
+class Schedule {
+ public:
+  // `num_processors` is the size of the distributed system; all request
+  // issuers must be < num_processors.
+  explicit Schedule(int num_processors);
+  Schedule(int num_processors, std::vector<Request> requests);
+
+  // Parses "w2 r4 w3 r1 r2" (whitespace-separated, 'r'/'w' + decimal id).
+  static util::StatusOr<Schedule> Parse(int num_processors,
+                                        const std::string& text);
+
+  void Append(Request request);
+  void AppendRead(ProcessorId p) { Append(Request::Read(p)); }
+  void AppendWrite(ProcessorId p) { Append(Request::Write(p)); }
+
+  int num_processors() const { return num_processors_; }
+  size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+  const Request& operator[](size_t i) const { return requests_[i]; }
+  const std::vector<Request>& requests() const { return requests_; }
+
+  size_t CountReads() const;
+  size_t CountWrites() const;
+
+  // "w2 r4 w3 r1 r2".
+  std::string ToString() const;
+
+ private:
+  int num_processors_;
+  std::vector<Request> requests_;
+};
+
+bool operator==(const Schedule& a, const Schedule& b);
+
+}  // namespace objalloc::model
+
+#endif  // OBJALLOC_MODEL_SCHEDULE_H_

@@ -1,0 +1,130 @@
+#include "objalloc/model/topology.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::model {
+
+NetworkTopology::NetworkTopology(int num_processors)
+    : num_processors_(num_processors),
+      message_(static_cast<size_t>(num_processors) *
+                   static_cast<size_t>(num_processors),
+               1.0),
+      io_(static_cast<size_t>(num_processors), 1.0) {
+  OBJALLOC_CHECK_GT(num_processors, 0);
+  OBJALLOC_CHECK_LE(num_processors, util::kMaxProcessors);
+}
+
+NetworkTopology NetworkTopology::Uniform(int num_processors) {
+  return NetworkTopology(num_processors);
+}
+
+NetworkTopology NetworkTopology::TwoClusters(int num_processors, int split,
+                                             double inter) {
+  OBJALLOC_CHECK_GT(split, 0);
+  OBJALLOC_CHECK_LT(split, num_processors);
+  OBJALLOC_CHECK_GE(inter, 1.0);
+  NetworkTopology topology(num_processors);
+  for (ProcessorId a = 0; a < num_processors; ++a) {
+    for (ProcessorId b = a + 1; b < num_processors; ++b) {
+      if ((a < split) != (b < split)) {
+        topology.SetMessageMultiplier(a, b, inter);
+      }
+    }
+  }
+  return topology;
+}
+
+NetworkTopology NetworkTopology::Star(int num_processors, ProcessorId center,
+                                      double center_io) {
+  OBJALLOC_CHECK_GE(center, 0);
+  OBJALLOC_CHECK_LT(center, num_processors);
+  OBJALLOC_CHECK_GT(center_io, 0.0);
+  NetworkTopology topology(num_processors);
+  for (ProcessorId a = 0; a < num_processors; ++a) {
+    for (ProcessorId b = a + 1; b < num_processors; ++b) {
+      if (a != center && b != center) {
+        topology.SetMessageMultiplier(a, b, 2.0);  // relayed via the center
+      }
+    }
+  }
+  topology.SetIoMultiplier(center, center_io);
+  return topology;
+}
+
+size_t NetworkTopology::PairIndex(ProcessorId a, ProcessorId b) const {
+  OBJALLOC_CHECK_GE(a, 0);
+  OBJALLOC_CHECK_LT(a, num_processors_);
+  OBJALLOC_CHECK_GE(b, 0);
+  OBJALLOC_CHECK_LT(b, num_processors_);
+  return static_cast<size_t>(a) * static_cast<size_t>(num_processors_) +
+         static_cast<size_t>(b);
+}
+
+double NetworkTopology::MessageMultiplier(ProcessorId from,
+                                          ProcessorId to) const {
+  return message_[PairIndex(from, to)];
+}
+
+void NetworkTopology::SetMessageMultiplier(ProcessorId from, ProcessorId to,
+                                           double multiplier) {
+  OBJALLOC_CHECK_GT(multiplier, 0.0);
+  message_[PairIndex(from, to)] = multiplier;
+  message_[PairIndex(to, from)] = multiplier;
+}
+
+double NetworkTopology::IoMultiplier(ProcessorId p) const {
+  OBJALLOC_CHECK_GE(p, 0);
+  OBJALLOC_CHECK_LT(p, num_processors_);
+  return io_[static_cast<size_t>(p)];
+}
+
+void NetworkTopology::SetIoMultiplier(ProcessorId p, double multiplier) {
+  OBJALLOC_CHECK_GT(multiplier, 0.0);
+  OBJALLOC_CHECK_GE(p, 0);
+  OBJALLOC_CHECK_LT(p, num_processors_);
+  io_[static_cast<size_t>(p)] = multiplier;
+}
+
+double WeightedRequestCost(const CostModel& cost_model,
+                           const NetworkTopology& topology,
+                           const AllocatedRequest& entry,
+                           ProcessorSet scheme) {
+  const ProcessorId i = entry.request.processor;
+  const ProcessorSet x = entry.execution_set;
+  double cost = 0;
+  if (entry.request.is_read()) {
+    for (ProcessorId y : x.ToVector()) {
+      cost += cost_model.io * topology.IoMultiplier(y);
+      if (y != i) {
+        double pair = topology.MessageMultiplier(i, y);
+        cost += (cost_model.control + cost_model.data) * pair;
+      }
+    }
+    if (entry.saving) cost += cost_model.io * topology.IoMultiplier(i);
+    return cost;
+  }
+  for (ProcessorId y : x.ToVector()) {
+    cost += cost_model.io * topology.IoMultiplier(y);
+    if (y != i) {
+      cost += cost_model.data * topology.MessageMultiplier(i, y);
+    }
+  }
+  for (ProcessorId stale : scheme.Minus(x).WithErased(i).ToVector()) {
+    cost += cost_model.control * topology.MessageMultiplier(i, stale);
+  }
+  return cost;
+}
+
+double WeightedScheduleCost(const CostModel& cost_model,
+                            const NetworkTopology& topology,
+                            const AllocationSchedule& schedule) {
+  OBJALLOC_CHECK_EQ(topology.num_processors(), schedule.num_processors());
+  double total = 0;
+  for (size_t k = 0; k < schedule.size(); ++k) {
+    total += WeightedRequestCost(cost_model, topology, schedule[k],
+                                 schedule.SchemeAt(k));
+  }
+  return total;
+}
+
+}  // namespace objalloc::model

@@ -1,0 +1,74 @@
+// Heterogeneous-network extension (§6.1 discusses extending the results
+// beyond the homogeneous model; the wireless scenario of §1.2 already has
+// two message classes in spirit). A NetworkTopology scales the homogeneous
+// cost model per processor pair (message multipliers) and per processor
+// (I/O multiplier), so one can express two-cluster WANs, base-station stars,
+// or slow-disk nodes.
+//
+// WeightedScheduleCost evaluates an allocation schedule under a topology.
+// Attribution choices (documented, cost-neutral in the homogeneous case):
+// read traffic flows between the reader and each execution-set member;
+// write transfers flow from the writer; invalidations are attributed to the
+// writer-to-stale-copy pairs (in DA they are physically sent by F members —
+// with a homogeneous core this distinction does not change totals, and the
+// evaluator keeps the model simple).
+
+#ifndef OBJALLOC_MODEL_TOPOLOGY_H_
+#define OBJALLOC_MODEL_TOPOLOGY_H_
+
+#include <vector>
+
+#include "objalloc/model/allocation_schedule.h"
+#include "objalloc/model/cost_model.h"
+
+namespace objalloc::model {
+
+class NetworkTopology {
+ public:
+  explicit NetworkTopology(int num_processors);
+
+  // Homogeneous: all multipliers 1 (recovers the paper's model exactly).
+  static NetworkTopology Uniform(int num_processors);
+  // Processors below `split` form cluster 0, the rest cluster 1;
+  // intra-cluster messages cost 1x, inter-cluster `inter` x.
+  static NetworkTopology TwoClusters(int num_processors, int split,
+                                     double inter);
+  // Star: every message to/from a non-center processor pays `spoke` x
+  // unless it involves `center` directly... i.e. center<->spoke costs 1x,
+  // spoke<->spoke costs 2x (relayed via the center), center I/O costs
+  // `center_io` x (a beefy server may be cheaper).
+  static NetworkTopology Star(int num_processors, ProcessorId center,
+                              double center_io);
+
+  int num_processors() const { return num_processors_; }
+
+  double MessageMultiplier(ProcessorId from, ProcessorId to) const;
+  void SetMessageMultiplier(ProcessorId from, ProcessorId to,
+                            double multiplier);  // symmetric
+
+  double IoMultiplier(ProcessorId p) const;
+  void SetIoMultiplier(ProcessorId p, double multiplier);
+
+ private:
+  size_t PairIndex(ProcessorId a, ProcessorId b) const;
+
+  int num_processors_;
+  std::vector<double> message_;  // n*n, symmetric
+  std::vector<double> io_;
+};
+
+// Cost of one allocated request under `topology` (scheme = allocation
+// scheme at the request).
+double WeightedRequestCost(const CostModel& cost_model,
+                           const NetworkTopology& topology,
+                           const AllocatedRequest& entry,
+                           ProcessorSet scheme);
+
+// Cost of a whole allocation schedule under `topology`.
+double WeightedScheduleCost(const CostModel& cost_model,
+                            const NetworkTopology& topology,
+                            const AllocationSchedule& schedule);
+
+}  // namespace objalloc::model
+
+#endif  // OBJALLOC_MODEL_TOPOLOGY_H_

@@ -1,0 +1,199 @@
+#include "objalloc/opt/exact_opt.h"
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::opt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int Popcount(uint32_t mask) { return std::popcount(mask); }
+
+// Core DP. When `parents` is non-null, records for every request index and
+// every reachable state the predecessor state mask (for reconstruction).
+double RunDp(const CostModel& cost_model, const Schedule& schedule,
+             ProcessorSet initial_scheme, int t,
+             std::vector<std::vector<uint32_t>>* parents) {
+  OBJALLOC_CHECK(cost_model.Validate().ok()) << cost_model.ToString();
+  const int n = schedule.num_processors();
+  OBJALLOC_CHECK_LE(n, kMaxExactOptProcessors)
+      << "exact OPT is exponential in the number of processors";
+  OBJALLOC_CHECK_GE(t, 1);
+  OBJALLOC_CHECK_LE(t, initial_scheme.Size())
+      << "initial scheme must satisfy the availability threshold";
+  const size_t num_states = size_t{1} << n;
+  const uint32_t initial = static_cast<uint32_t>(initial_scheme.mask());
+  const double cc = cost_model.control;
+  const double cd = cost_model.data;
+  const double cio = cost_model.io;
+
+  std::vector<double> dp(num_states, kInf);
+  dp[initial] = 0;
+  std::vector<double> dp_next(num_states);
+  std::vector<double> c(num_states), a(num_states);
+  // Argmin tracking for reconstruction of write transitions.
+  std::vector<uint32_t> c_from, a_from;
+  if (parents != nullptr) {
+    parents->assign(schedule.size(), {});
+    c_from.resize(num_states);
+    a_from.resize(num_states);
+  }
+
+  for (size_t step = 0; step < schedule.size(); ++step) {
+    const model::Request& req = schedule[step];
+    const uint32_t i_bit = uint32_t{1} << req.processor;
+    std::vector<uint32_t>* parent =
+        parents != nullptr ? &(*parents)[step] : nullptr;
+    if (parent != nullptr) parent->assign(num_states, 0);
+
+    if (req.is_read()) {
+      std::fill(dp_next.begin(), dp_next.end(), kInf);
+      const double remote_read = cc + cio + cd;
+      const double saving_read = cc + 2 * cio + cd;
+      for (uint32_t s = 0; s < num_states; ++s) {
+        if (dp[s] == kInf) continue;
+        const bool local = (s & i_bit) != 0;
+        // Plain read: scheme unchanged.
+        double stay = dp[s] + (local ? cio : remote_read);
+        if (stay < dp_next[s]) {
+          dp_next[s] = stay;
+          if (parent != nullptr) (*parent)[s] = s;
+        }
+        // Saving-read: reader joins the scheme.
+        if (!local) {
+          double join = dp[s] + saving_read;
+          if (join < dp_next[s | i_bit]) {
+            dp_next[s | i_bit] = join;
+            if (parent != nullptr) (*parent)[s | i_bit] = s;
+          }
+        }
+      }
+    } else {
+      // Write transition via the two lattice sweeps described in the header.
+      // C[Z] = min over Y ⊇ Z of dp[Y] + cc*|Y \ Z|.
+      c = dp;
+      if (parent != nullptr) {
+        for (uint32_t z = 0; z < num_states; ++z) c_from[z] = z;
+      }
+      for (int j = 0; j < n; ++j) {
+        const uint32_t j_bit = uint32_t{1} << j;
+        for (uint32_t z = 0; z < num_states; ++z) {
+          if ((z & j_bit) != 0) continue;
+          double via = c[z | j_bit] + cc;
+          if (via < c[z]) {
+            c[z] = via;
+            if (parent != nullptr) c_from[z] = c_from[z | j_bit];
+          }
+        }
+      }
+      // A[T] = min over Z ⊆ T of C[Z].
+      a = c;
+      if (parent != nullptr) a_from = c_from;
+      for (int j = 0; j < n; ++j) {
+        const uint32_t j_bit = uint32_t{1} << j;
+        for (uint32_t tmask = 0; tmask < num_states; ++tmask) {
+          if ((tmask & j_bit) == 0) continue;
+          double via = a[tmask ^ j_bit];
+          if (via < a[tmask]) {
+            a[tmask] = via;
+            if (parent != nullptr) a_from[tmask] = a_from[tmask ^ j_bit];
+          }
+        }
+      }
+      std::fill(dp_next.begin(), dp_next.end(), kInf);
+      for (uint32_t x = 1; x < num_states; ++x) {
+        if (Popcount(x) < t) continue;
+        const double base = a[x | i_bit];
+        if (base == kInf) continue;
+        const int transfers = Popcount(x & ~i_bit);
+        dp_next[x] =
+            base + cd * transfers + cio * Popcount(x);
+        if (parent != nullptr) (*parent)[x] = a_from[x | i_bit];
+      }
+    }
+    dp.swap(dp_next);
+  }
+
+  double best = kInf;
+  for (uint32_t s = 0; s < num_states; ++s) best = std::min(best, dp[s]);
+  OBJALLOC_CHECK_LT(best, kInf) << "no feasible allocation schedule";
+  if (parents != nullptr) {
+    // Record the final argmin in the first slot of a sentinel row.
+    uint32_t final_state = 0;
+    for (uint32_t s = 0; s < num_states; ++s) {
+      if (dp[s] == best) {
+        final_state = s;
+        break;
+      }
+    }
+    parents->push_back(std::vector<uint32_t>{final_state});
+  }
+  return best;
+}
+
+}  // namespace
+
+double ExactOptCost(const CostModel& cost_model, const Schedule& schedule,
+                    ProcessorSet initial_scheme) {
+  return ExactOptCostWithThreshold(cost_model, schedule, initial_scheme,
+                                   initial_scheme.Size());
+}
+
+double ExactOptCostWithThreshold(const CostModel& cost_model,
+                                 const Schedule& schedule,
+                                 ProcessorSet initial_scheme, int t) {
+  return RunDp(cost_model, schedule, initial_scheme, t, nullptr);
+}
+
+AllocationSchedule ExactOptSchedule(const CostModel& cost_model,
+                                    const Schedule& schedule,
+                                    ProcessorSet initial_scheme) {
+  return ExactOptScheduleWithThreshold(cost_model, schedule, initial_scheme,
+                                       initial_scheme.Size());
+}
+
+AllocationSchedule ExactOptScheduleWithThreshold(const CostModel& cost_model,
+                                                 const Schedule& schedule,
+                                                 ProcessorSet initial_scheme,
+                                                 int t) {
+  const int n = schedule.num_processors();
+  OBJALLOC_CHECK_LE(n, kMaxExactOptReconstructProcessors)
+      << "reconstruction stores one mask per (request, state)";
+  std::vector<std::vector<uint32_t>> parents;
+  RunDp(cost_model, schedule, initial_scheme, t, &parents);
+
+  // Walk the parent chain backwards from the recorded final state.
+  OBJALLOC_CHECK_EQ(parents.size(), schedule.size() + 1);
+  std::vector<uint32_t> states(schedule.size() + 1);
+  states[schedule.size()] = parents.back()[0];
+  for (size_t step = schedule.size(); step-- > 0;) {
+    states[step] = parents[step][states[step + 1]];
+  }
+  OBJALLOC_CHECK_EQ(states[0], static_cast<uint32_t>(initial_scheme.mask()));
+
+  AllocationSchedule allocation(n, initial_scheme);
+  for (size_t step = 0; step < schedule.size(); ++step) {
+    const model::Request& req = schedule[step];
+    const ProcessorSet before(uint64_t{states[step]});
+    const ProcessorSet after(uint64_t{states[step + 1]});
+    if (req.is_write()) {
+      allocation.Append(req, after);
+    } else if (before.Contains(req.processor)) {
+      allocation.Append(req, ProcessorSet::Singleton(req.processor));
+    } else {
+      // Remote read from any holder (homogeneous network: pick the first);
+      // a grown scheme means the DP chose a saving-read.
+      const bool saving = after != before;
+      allocation.Append(req, ProcessorSet::Singleton(before.First()), saving);
+    }
+  }
+  return allocation;
+}
+
+}  // namespace objalloc::opt

@@ -1,0 +1,114 @@
+#include "objalloc/opt/interval_opt.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "objalloc/model/cost_evaluator.h"
+#include "objalloc/util/logging.h"
+
+namespace objalloc::opt {
+
+using model::AllocationSchedule;
+using model::CostModel;
+using model::ProcessorSet;
+using model::Request;
+using model::Schedule;
+using util::ProcessorId;
+
+namespace {
+
+// Read counts per processor in requests [begin, end) of `schedule`.
+std::vector<int> IntervalReadCounts(const Schedule& schedule, size_t begin,
+                                    size_t end) {
+  std::vector<int> counts(static_cast<size_t>(schedule.num_processors()), 0);
+  for (size_t k = begin; k < end && k < schedule.size(); ++k) {
+    if (schedule[k].is_read()) {
+      ++counts[static_cast<size_t>(schedule[k].processor)];
+    }
+  }
+  return counts;
+}
+
+size_t NextWriteAfter(const Schedule& schedule, size_t index) {
+  for (size_t k = index + 1; k < schedule.size(); ++k) {
+    if (schedule[k].is_write()) return k;
+  }
+  return schedule.size();
+}
+
+}  // namespace
+
+AllocationSchedule IntervalOptSchedule(const CostModel& cost_model,
+                                       const Schedule& schedule,
+                                       ProcessorSet initial_scheme) {
+  OBJALLOC_CHECK(cost_model.Validate().ok()) << cost_model.ToString();
+  const int t = initial_scheme.Size();
+  const double cc = cost_model.control;
+  const double cd = cost_model.data;
+  const double cio = cost_model.io;
+
+  AllocationSchedule allocation(schedule.num_processors(), initial_scheme);
+  ProcessorSet scheme = initial_scheme;
+
+  for (size_t index = 0; index < schedule.size(); ++index) {
+    const Request& req = schedule[index];
+    if (req.is_write()) {
+      const ProcessorId i = req.processor;
+      const size_t next_write = NextWriteAfter(schedule, index);
+      std::vector<int> reads =
+          IntervalReadCounts(schedule, index + 1, next_write);
+      ProcessorSet x = ProcessorSet::Singleton(i);
+      for (ProcessorId j = 0; j < schedule.num_processors(); ++j) {
+        if (j == i) continue;
+        const int k = reads[static_cast<size_t>(j)];
+        if (k == 0) continue;
+        const double include = cd + cio + k * cio;
+        const double save_on_first = cc + cd + 2 * cio + (k - 1) * cio;
+        const double always_remote = k * (cc + cio + cd);
+        if (include <= std::min(save_on_first, always_remote)) x.Insert(j);
+      }
+      // Pad to the availability threshold, preferring current members: a
+      // retained member costs the same push but saves one invalidation.
+      if (x.Size() < t) {
+        for (ProcessorId j : scheme.ToVector()) {
+          if (x.Size() >= t) break;
+          x.Insert(j);
+        }
+        for (ProcessorId j = 0; j < schedule.num_processors() && x.Size() < t;
+             ++j) {
+          x.Insert(j);
+        }
+      }
+      allocation.Append(req, x);
+      scheme = x;
+      continue;
+    }
+
+    const ProcessorId j = req.processor;
+    if (scheme.Contains(j)) {
+      allocation.Append(req, ProcessorSet::Singleton(j));
+      continue;
+    }
+    // Remote read: decide saving by comparing with the remaining reads by j
+    // before the next write (counting this one).
+    const size_t next_write = NextWriteAfter(schedule, index);
+    int k = 0;
+    for (size_t m = index; m < next_write; ++m) {
+      if (schedule[m].is_read() && schedule[m].processor == j) ++k;
+    }
+    const double save_now = cc + cd + 2 * cio + (k - 1) * cio;
+    const double stay_remote = k * (cc + cio + cd);
+    const bool saving = save_now < stay_remote;
+    allocation.Append(req, ProcessorSet::Singleton(scheme.First()), saving);
+    if (saving) scheme.Insert(j);
+  }
+  return allocation;
+}
+
+double IntervalOptCost(const CostModel& cost_model, const Schedule& schedule,
+                       ProcessorSet initial_scheme) {
+  return model::ScheduleCost(
+      cost_model, IntervalOptSchedule(cost_model, schedule, initial_scheme));
+}
+
+}  // namespace objalloc::opt

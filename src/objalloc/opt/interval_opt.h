@@ -1,0 +1,37 @@
+// IntervalOpt — an offline *heuristic* that exploits the write-interval
+// structure of the problem: between two consecutive writes the scheme can
+// only grow (saving-reads), and a write resets it. Because it outputs some
+// legal, t-available allocation schedule, its cost is an UPPER bound on OPT;
+// together with RelaxationLowerBound it brackets OPT when the exact DP is
+// intractable (large n).
+//
+// Decisions:
+//   * Write w^i: the execution set contains i, every processor whose reads in
+//     the upcoming interval make a pushed copy cheaper than fetching
+//     (include: cd + cio + k*cio  vs  save-on-first-read: cc + cd + 2cio +
+//     (k-1)*cio  vs  always-remote: k*(cc + cio + cd)), padded to size t —
+//     preferring current scheme members, whose retention avoids an
+//     invalidation message.
+//   * Read r^j from outside the scheme: saving iff j reads again before the
+//     next write and saving is cheaper than repeated remote reads.
+
+#ifndef OBJALLOC_OPT_INTERVAL_OPT_H_
+#define OBJALLOC_OPT_INTERVAL_OPT_H_
+
+#include "objalloc/model/allocation_schedule.h"
+#include "objalloc/model/cost_model.h"
+#include "objalloc/model/schedule.h"
+
+namespace objalloc::opt {
+
+model::AllocationSchedule IntervalOptSchedule(
+    const model::CostModel& cost_model, const model::Schedule& schedule,
+    model::ProcessorSet initial_scheme);
+
+double IntervalOptCost(const model::CostModel& cost_model,
+                       const model::Schedule& schedule,
+                       model::ProcessorSet initial_scheme);
+
+}  // namespace objalloc::opt
+
+#endif  // OBJALLOC_OPT_INTERVAL_OPT_H_

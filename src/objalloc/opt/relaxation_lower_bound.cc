@@ -1,0 +1,61 @@
+#include "objalloc/opt/relaxation_lower_bound.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::opt {
+
+using model::CostModel;
+using model::Request;
+using model::Schedule;
+using util::ProcessorId;
+using util::ProcessorSet;
+
+double RelaxationLowerBound(const CostModel& cost_model,
+                            const Schedule& schedule,
+                            ProcessorSet initial_scheme) {
+  OBJALLOC_CHECK(cost_model.Validate().ok()) << cost_model.ToString();
+  const double cc = cost_model.control;
+  const double cd = cost_model.data;
+  const double cio = cost_model.io;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  double total = 0;
+  for (ProcessorId j = 0; j < schedule.num_processors(); ++j) {
+    // has[0]: minimal cost so far with j not holding a copy; has[1]: holding.
+    double no_copy = initial_scheme.Contains(j) ? kInf : 0;
+    double copy = initial_scheme.Contains(j) ? 0 : kInf;
+    for (const Request& req : schedule.requests()) {
+      if (req.is_write()) {
+        double next_no, next_copy;
+        if (req.processor == j) {
+          // The writer pays cio to keep a copy; dropping its own stale copy
+          // needs no invalidation message.
+          next_no = std::min(no_copy, copy);
+          next_copy = std::min(no_copy, copy) + cio;
+        } else {
+          // A pushed copy costs cd + cio; dropping a held copy costs one
+          // invalidation (cc).
+          next_copy = std::min(no_copy, copy) + cd + cio;
+          next_no = std::min(no_copy, copy + cc);
+        }
+        no_copy = next_no;
+        copy = next_copy;
+      } else if (req.processor == j) {
+        // Read by j: local input, or remote fetch with optional save.
+        double next_copy = std::min(copy + cio,
+                                    no_copy + cc + 2 * cio + cd);
+        double next_no = no_copy + cc + cio + cd;
+        no_copy = next_no;
+        copy = next_copy;
+      }
+      // Reads by other processors do not charge j.
+    }
+    total += std::min(no_copy, copy);
+  }
+  return total;
+}
+
+}  // namespace objalloc::opt

@@ -1,0 +1,33 @@
+// RelaxationLowerBound — a polynomial-time LOWER bound on OPT.
+//
+// The paper's cost function decomposes exactly into per-processor terms:
+//   write w^i with execution set X, scheme Y:
+//     each j in X \ {i} contributes cd + cio; the writer contributes cio if
+//     i in X; each j in Y \ X \ {i} contributes cc (invalidation);
+//   read r^j:
+//     cio if j holds a copy; cc + cio + cd otherwise (+ cio when saving).
+//
+// Relaxing (a) the t-availability constraint and (b) the coupling between
+// processors (each processor chooses its own copy/no-copy trajectory
+// independently) yields a sum of independent 2-state dynamic programs, one
+// per processor, each O(schedule length). Any legal t-available allocation
+// schedule induces feasible trajectories with exactly the decomposed cost
+// (singleton reads; larger read execution sets only cost more), so the bound
+// is valid: RelaxationLowerBound <= OPT <= IntervalOpt.
+
+#ifndef OBJALLOC_OPT_RELAXATION_LOWER_BOUND_H_
+#define OBJALLOC_OPT_RELAXATION_LOWER_BOUND_H_
+
+#include "objalloc/model/cost_model.h"
+#include "objalloc/model/schedule.h"
+#include "objalloc/util/processor_set.h"
+
+namespace objalloc::opt {
+
+double RelaxationLowerBound(const model::CostModel& cost_model,
+                            const model::Schedule& schedule,
+                            util::ProcessorSet initial_scheme);
+
+}  // namespace objalloc::opt
+
+#endif  // OBJALLOC_OPT_RELAXATION_LOWER_BOUND_H_

@@ -1,0 +1,117 @@
+#include "objalloc/opt/weighted_opt.h"
+
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/util/logging.h"
+
+namespace objalloc::opt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double WeightedExactOptCost(const model::CostModel& cost_model,
+                            const model::NetworkTopology& topology,
+                            const model::Schedule& schedule,
+                            util::ProcessorSet initial_scheme) {
+  OBJALLOC_CHECK(cost_model.Validate().ok()) << cost_model.ToString();
+  OBJALLOC_CHECK_EQ(topology.num_processors(), schedule.num_processors());
+  const int n = schedule.num_processors();
+  OBJALLOC_CHECK_LE(n, kMaxExactOptProcessors);
+  const int t = initial_scheme.Size();
+  OBJALLOC_CHECK_GE(t, 1);
+  const size_t num_states = size_t{1} << n;
+  const double cc = cost_model.control;
+  const double cd = cost_model.data;
+  const double cio = cost_model.io;
+
+  std::vector<double> dp(num_states, kInf);
+  dp[static_cast<uint32_t>(initial_scheme.mask())] = 0;
+  std::vector<double> dp_next(num_states), c(num_states), a(num_states);
+
+  for (size_t step = 0; step < schedule.size(); ++step) {
+    const model::Request& req = schedule[step];
+    const int i = req.processor;
+    const uint32_t i_bit = uint32_t{1} << i;
+
+    if (req.is_read()) {
+      std::fill(dp_next.begin(), dp_next.end(), kInf);
+      for (uint32_t s = 0; s < num_states; ++s) {
+        if (dp[s] == kInf) continue;
+        if ((s & i_bit) != 0) {
+          double stay = dp[s] + cio * topology.IoMultiplier(i);
+          if (stay < dp_next[s]) dp_next[s] = stay;
+          continue;
+        }
+        // Cheapest source in the scheme.
+        double fetch = kInf;
+        uint32_t members = s;
+        while (members != 0) {
+          int y = std::countr_zero(members);
+          members &= members - 1;
+          fetch = std::min(fetch,
+                           (cc + cd) * topology.MessageMultiplier(i, y) +
+                               cio * topology.IoMultiplier(y));
+        }
+        double stay = dp[s] + fetch;
+        if (stay < dp_next[s]) dp_next[s] = stay;
+        double join = dp[s] + fetch + cio * topology.IoMultiplier(i);
+        if (join < dp_next[s | i_bit]) dp_next[s | i_bit] = join;
+      }
+    } else {
+      // Per-bit invalidation weights for this writer.
+      std::vector<double> inval(static_cast<size_t>(n), 0.0);
+      for (int j = 0; j < n; ++j) {
+        if (j != i) inval[static_cast<size_t>(j)] =
+            cc * topology.MessageMultiplier(i, j);
+      }
+      // C[Z] = min over Y ⊇ Z of dp[Y] + sum of inval over Y \ Z.
+      c = dp;
+      for (int j = 0; j < n; ++j) {
+        const uint32_t j_bit = uint32_t{1} << j;
+        const double weight = inval[static_cast<size_t>(j)];
+        for (uint32_t z = 0; z < num_states; ++z) {
+          if ((z & j_bit) != 0) continue;
+          double via = c[z | j_bit] + weight;
+          if (via < c[z]) c[z] = via;
+        }
+      }
+      // A[T] = min over Z ⊆ T of C[Z].
+      a = c;
+      for (int j = 0; j < n; ++j) {
+        const uint32_t j_bit = uint32_t{1} << j;
+        for (uint32_t tmask = 0; tmask < num_states; ++tmask) {
+          if ((tmask & j_bit) == 0) continue;
+          double via = a[tmask ^ j_bit];
+          if (via < a[tmask]) a[tmask] = via;
+        }
+      }
+      std::fill(dp_next.begin(), dp_next.end(), kInf);
+      for (uint32_t x = 1; x < num_states; ++x) {
+        if (std::popcount(x) < t) continue;
+        const double base = a[x | i_bit];
+        if (base == kInf) continue;
+        double transfer = 0;
+        uint32_t members = x;
+        while (members != 0) {
+          int j = std::countr_zero(members);
+          members &= members - 1;
+          transfer += cio * topology.IoMultiplier(j);
+          if (j != i) transfer += cd * topology.MessageMultiplier(i, j);
+        }
+        dp_next[x] = base + transfer;
+      }
+    }
+    dp.swap(dp_next);
+  }
+
+  double best = kInf;
+  for (uint32_t s = 0; s < num_states; ++s) best = std::min(best, dp[s]);
+  OBJALLOC_CHECK_LT(best, kInf) << "no feasible allocation schedule";
+  return best;
+}
+
+}  // namespace objalloc::opt

@@ -1,0 +1,35 @@
+// WeightedExactOpt — the optimal offline t-available allocation under a
+// heterogeneous NetworkTopology (the §6 extension), generalizing the
+// homogeneous subset DP of exact_opt.h.
+//
+// The same O(n·2^n)-per-write lattice sweeps apply because the write
+// transition's invalidation penalty is additive per stale processor:
+//   cost(Y -> X, writer i) = Σ_{j∈Y\X\{i}} cc·w(i,j)
+//                          + Σ_{j∈X\{i}}  cd·w(i,j) + Σ_{j∈X} cio·u(j)
+// so C[Z] = min_{Y⊇Z} dp[Y] + Σ_{j∈Y\Z} a_j is computed by a per-bit sweep
+// with bit weight a_j = cc·w(i,j), and A[T] = min_{Z⊆T} C[Z] as before.
+// Reads additionally choose the cheapest source in the scheme (O(n) per
+// state).
+
+#ifndef OBJALLOC_OPT_WEIGHTED_OPT_H_
+#define OBJALLOC_OPT_WEIGHTED_OPT_H_
+
+#include "objalloc/model/cost_model.h"
+#include "objalloc/model/schedule.h"
+#include "objalloc/model/topology.h"
+#include "objalloc/util/processor_set.h"
+
+namespace objalloc::opt {
+
+// Minimum cost over all legal, t-available allocation schedules for
+// `schedule` from `initial_scheme` (t = |initial_scheme|), under
+// `topology`-weighted costs. Exponential in the processor count; guarded by
+// kMaxExactOptProcessors like the homogeneous DP.
+double WeightedExactOptCost(const model::CostModel& cost_model,
+                            const model::NetworkTopology& topology,
+                            const model::Schedule& schedule,
+                            util::ProcessorSet initial_scheme);
+
+}  // namespace objalloc::opt
+
+#endif  // OBJALLOC_OPT_WEIGHTED_OPT_H_

@@ -1,0 +1,241 @@
+#include "objalloc/sim/da_protocol.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::sim {
+
+DaNode::DaNode(ProcessorId id, int num_processors, Network* network,
+               LocalDatabase* db, SimMetrics* metrics, QuorumConfig quorum,
+               util::ProcessorSet initial_scheme)
+    : QuorumNode(id, num_processors, network, db, metrics, quorum) {
+  OBJALLOC_CHECK_GE(initial_scheme.Size(), 2);
+  auto members = initial_scheme.ToVector();
+  p_ = members.back();
+  f_ = initial_scheme.WithErased(p_);
+  am_f_ = f_.Contains(id);
+  floating_ = p_;
+}
+
+util::ProcessorSet DaNode::WriteExecutionSet(ProcessorId writer) const {
+  return (f_.Contains(writer) || writer == p_) ? f_.WithInserted(p_)
+                                               : f_.WithInserted(writer);
+}
+
+void DaNode::DoStartRead() {
+  if (mode_ == Mode::kQuorum) {
+    QuorumNode::DoStartRead();
+    return;
+  }
+  if (db_->has_copy()) {
+    LocalDatabase::Record record = db_->Get();
+    CompleteRead(record.version, record.value);
+    return;
+  }
+  // Fetch-and-save from an F member; id-based choice spreads join-lists.
+  auto f_members = f_.ToVector();
+  ProcessorId source =
+      f_members[static_cast<size_t>(id_) % f_members.size()];
+  if (!network_->Send(Message{MessageType::kReadRequest, id_, source,
+                              /*version=*/-1, 0, /*origin=*/id_})) {
+    // A member of F is down: degrade to quorum consensus (§2).
+    BeginFailover();
+  }
+}
+
+void DaNode::DoStartWrite() {
+  if (mode_ == Mode::kQuorum) {
+    QuorumNode::DoStartWrite();
+    return;
+  }
+  // Propagate to F (and to p when the writer is in F ∪ {p}); any
+  // unreachable target means the availability constraint cannot be met in
+  // normal mode, so the system degrades.
+  util::ProcessorSet x = WriteExecutionSet(id_);
+  bool degraded = false;
+  for (ProcessorId target : x.ToVector()) {
+    if (target == id_) continue;
+    if (!network_->Send(Message{MessageType::kObjectPropagate, id_, target,
+                                pending_version_, pending_value_,
+                                /*origin=*/id_})) {
+      degraded = true;
+    }
+  }
+  if (degraded) {
+    BeginFailover();
+    return;
+  }
+  db_->Put(pending_version_, pending_value_);
+  if (am_f_) SendInvalidations(id_);
+  CompleteWrite();
+}
+
+void DaNode::SendInvalidations(ProcessorId writer) {
+  util::ProcessorSet x = WriteExecutionSet(writer);
+  for (ProcessorId joiner : join_list_.ToVector()) {
+    if (joiner == writer || x.Contains(joiner)) continue;
+    network_->Send(Message{MessageType::kInvalidate, id_, joiner,
+                           /*version=*/-1, 0, /*origin=*/writer});
+  }
+  join_list_.Clear();
+  if (id_ == f_.First()) {
+    if (floating_ >= 0 && floating_ != writer && !x.Contains(floating_)) {
+      network_->Send(Message{MessageType::kInvalidate, id_, floating_,
+                             /*version=*/-1, 0, /*origin=*/writer});
+    }
+    floating_ = (f_.Contains(writer) || writer == p_) ? p_ : writer;
+  }
+}
+
+void DaNode::BeginFailover() {
+  ++metrics_->failovers;
+  mode_ = Mode::kQuorum;
+  // Tell every processor to stop trusting normal-mode local copies. FIFO
+  // delivery guarantees the switch arrives before any quorum traffic.
+  for (ProcessorId q = 0; q < num_processors_; ++q) {
+    if (q == id_) continue;
+    network_->Send(Message{MessageType::kModeSwitch, id_, q,
+                           /*version=*/-1, 0, /*origin=*/id_});
+  }
+  // Missing-writes recovery: find the latest surviving version.
+  phase_ = Phase::kRecoverScan;
+  BroadcastVersionQuery();
+}
+
+void DaNode::FinishRecovery(int64_t version, uint64_t value,
+                            bool have_locally) {
+  // Install the recovered version on a write quorum so every later quorum
+  // read intersects it; superseded when the pending operation is itself a
+  // write (the new version makes the old one obsolete).
+  if (pending_op_ == OpKind::kWrite) {
+    int pushed = 0;
+    for (const VersionReply& reply : replies_) {
+      if (pushed >= config_.write_quorum - 1) break;
+      network_->Send(Message{MessageType::kObjectPropagate, id_, reply.from,
+                             pending_version_, pending_value_,
+                             /*origin=*/id_});
+      ++pushed;
+    }
+    db_->Put(pending_version_, pending_value_);
+    phase_ = Phase::kIdle;
+    CompleteWrite();
+    return;
+  }
+  if (!have_locally) db_->Put(version, value);
+  int pushed = 0;
+  for (const VersionReply& reply : replies_) {
+    if (pushed >= config_.write_quorum - 1) break;
+    network_->Send(Message{MessageType::kObjectPropagate, id_, reply.from,
+                           version, value, /*origin=*/id_});
+    ++pushed;
+  }
+  phase_ = Phase::kIdle;
+  CompleteRead(version, value);
+}
+
+void DaNode::HandleMessage(const Message& msg) {
+  if (mode_ == Mode::kQuorum) {
+    switch (msg.type) {
+      case MessageType::kModeSwitch:
+        return;  // already degraded
+      case MessageType::kInvalidate:
+        db_->Invalidate();  // straggling normal-mode invalidation
+        return;
+      case MessageType::kObjectReply:
+        if (phase_ == Phase::kRecoverFetch) {
+          FinishRecovery(msg.version, msg.value, /*have_locally=*/false);
+          return;
+        }
+        break;
+      default:
+        break;
+    }
+    OBJALLOC_CHECK(HandleQuorumMessage(msg))
+        << "DA(quorum) got unexpected " << msg.ToString();
+    return;
+  }
+
+  switch (msg.type) {
+    case MessageType::kReadRequest: {
+      // DA read service: only F members are addressed in normal mode.
+      OBJALLOC_CHECK(am_f_) << "normal-mode read request at non-F node "
+                            << id_;
+      LocalDatabase::Record record = db_->Get();
+      join_list_.Insert(msg.src);
+      network_->Send(Message{MessageType::kObjectReply, id_, msg.src,
+                             record.version, record.value, /*origin=*/id_});
+      return;
+    }
+    case MessageType::kObjectReply:
+      // Reply to our saving-read: store the copy, joining the scheme.
+      db_->Put(msg.version, msg.value);
+      CompleteRead(msg.version, msg.value);
+      return;
+    case MessageType::kObjectPropagate:
+      db_->Put(msg.version, msg.value);
+      if (am_f_) SendInvalidations(msg.origin);
+      return;
+    case MessageType::kInvalidate:
+      db_->Invalidate();
+      return;
+    case MessageType::kModeSwitch:
+      mode_ = Mode::kQuorum;
+      return;
+    case MessageType::kVersionQuery:
+    case MessageType::kVersionReply:
+      // Quorum traffic from a node that degraded before our kModeSwitch
+      // arrived; answer statelessly.
+      OBJALLOC_CHECK(HandleQuorumMessage(msg));
+      return;
+    default:
+      OBJALLOC_CHECK(false) << "DA node got unexpected " << msg.ToString();
+  }
+}
+
+bool DaNode::OnTimeout() {
+  if (mode_ == Mode::kNormal) return false;
+  if (phase_ == Phase::kRecoverScan) {
+    // Quiescent: every reachable processor has answered the recovery scan.
+    // Installing needs a write quorum (self included).
+    if (static_cast<int>(replies_.size()) + 1 < config_.write_quorum) {
+      phase_ = Phase::kIdle;
+      return false;
+    }
+    int64_t best_version = db_->has_copy() ? db_->version() : -1;
+    ProcessorId best_holder = db_->has_copy() ? id_ : -1;
+    for (const VersionReply& reply : replies_) {
+      if (reply.version > best_version) {
+        best_version = reply.version;
+        best_holder = reply.from;
+      }
+    }
+    if (best_holder < 0) {
+      phase_ = Phase::kIdle;
+      return false;  // every surviving copy lost: unavailable
+    }
+    if (best_holder == id_) {
+      LocalDatabase::Record record = db_->Get();
+      FinishRecovery(record.version, record.value, /*have_locally=*/true);
+      return true;
+    }
+    phase_ = Phase::kRecoverFetch;
+    if (!network_->Send(Message{MessageType::kReadRequest, id_, best_holder,
+                                /*version=*/-1, 0, /*origin=*/id_})) {
+      phase_ = Phase::kIdle;
+      return false;
+    }
+    return true;
+  }
+  return QuorumNode::OnTimeout();
+}
+
+void DaNode::OnRecover() {
+  // In normal mode the local copy cannot be trusted (invalidations may have
+  // been missed while down); in quorum mode version comparisons make it
+  // safe to keep (the simulator synchronizes the mode before this hook).
+  if (mode_ == Mode::kNormal) db_->Invalidate();
+  join_list_.Clear();
+  // The floating-member bookkeeping cannot be trusted after downtime.
+  if (id_ == f_.First()) floating_ = -1;
+}
+
+}  // namespace objalloc::sim

@@ -1,0 +1,78 @@
+// DaNode — the dynamic allocation protocol endpoint (§4.2.2), with the
+// failure handling the paper sketches in §2: when a member of the core set F
+// (or the floating processor p during a core write) is unreachable, the
+// system transitions to quorum consensus; the transition runs a
+// missing-writes style recovery (version scan -> fetch latest survivor ->
+// install on a write quorum) so that subsequent quorum operations see every
+// committed version.
+//
+// Normal-mode behaviour matches the analytic DA cost model exactly
+// (message-for-message, I/O-for-I/O):
+//   * F members keep join-lists of the readers they served; on a write they
+//     invalidate exactly the stale copies Y \ X \ {writer};
+//   * the first member of F additionally tracks the current floating member
+//     (p, or the last outside writer) and invalidates it on scheme changes.
+//
+// The failover broadcast (kModeSwitch) reaches every alive node before any
+// quorum message does (FIFO), so no node keeps serving stale local reads in
+// normal mode after the system degrades; processors that were down receive
+// the mode via a recovery handshake (see Simulator::Recover).
+
+#ifndef OBJALLOC_SIM_DA_PROTOCOL_H_
+#define OBJALLOC_SIM_DA_PROTOCOL_H_
+
+#include <vector>
+
+#include "objalloc/sim/quorum_protocol.h"
+#include "objalloc/util/processor_set.h"
+
+namespace objalloc::sim {
+
+class DaNode final : public QuorumNode {
+ public:
+  // `initial_scheme` is F ∪ {p}; the split follows the core library's
+  // convention (p = largest member) so simulator runs are comparable with
+  // core::DynamicAllocation runs.
+  DaNode(ProcessorId id, int num_processors, Network* network,
+         LocalDatabase* db, SimMetrics* metrics, QuorumConfig quorum,
+         util::ProcessorSet initial_scheme);
+
+  void HandleMessage(const Message& msg) override;
+  bool OnTimeout() override;
+  void OnRecover() override;
+
+  bool in_quorum_mode() const { return mode_ == Mode::kQuorum; }
+  // Used by the simulator's recovery handshake when the rest of the system
+  // has already degraded to quorum consensus.
+  void ForceQuorumMode() { mode_ = Mode::kQuorum; }
+
+  util::ProcessorSet join_list() const { return join_list_; }
+
+ protected:
+  void DoStartRead() override;
+  void DoStartWrite() override;
+
+ private:
+  enum class Mode { kNormal, kQuorum };
+
+  // The execution set DA assigns to a write by `writer` (§4.2.2).
+  util::ProcessorSet WriteExecutionSet(ProcessorId writer) const;
+  // Invalidation duties of an F member after a write by `writer`.
+  void SendInvalidations(ProcessorId writer);
+  // Transition to quorum consensus; the pending operation resumes after the
+  // missing-writes recovery completes.
+  void BeginFailover();
+  // Recovery finished with the latest surviving version in hand.
+  void FinishRecovery(int64_t version, uint64_t value, bool have_locally);
+
+  Mode mode_ = Mode::kNormal;
+  util::ProcessorSet f_;      // core set F
+  ProcessorId p_ = -1;        // floating processor
+  bool am_f_ = false;
+  util::ProcessorSet join_list_;  // F members only
+  ProcessorId floating_ = -1;     // tracked by the first member of F
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_DA_PROTOCOL_H_

@@ -1,0 +1,51 @@
+// DurableObjectStore — the stable storage behind a processor's local
+// database: the paper's "local database that resides on disk" made literal.
+//
+// One fixed-size record per file:
+//   magic (4) | valid flag (1) | pad (3) | version (8) | value (8) | crc (4)
+//
+// Writes are crash-atomic via the classic temp-file + rename protocol; the
+// CRC covers everything before it, so torn or corrupted records are detected
+// at load and reported, never silently served.
+
+#ifndef OBJALLOC_SIM_DURABLE_STORE_H_
+#define OBJALLOC_SIM_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "objalloc/util/status.h"
+
+namespace objalloc::sim {
+
+class DurableObjectStore {
+ public:
+  // Binds the store to `path` (the file need not exist yet).
+  explicit DurableObjectStore(std::string path);
+
+  struct Snapshot {
+    bool present = false;  // a record exists on disk
+    bool valid = false;    // the copy is catalogued as current
+    int64_t version = -1;
+    uint64_t value = 0;
+  };
+
+  // Atomically replaces the on-disk record.
+  util::Status Persist(int64_t version, uint64_t value, bool valid);
+
+  // Loads and verifies the record. A missing file yields a Snapshot with
+  // present = false; a malformed or corrupt record is an error.
+  util::StatusOr<Snapshot> Load() const;
+
+  // Removes the record (used by test teardown).
+  util::Status Remove();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_DURABLE_STORE_H_

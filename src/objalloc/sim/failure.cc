@@ -1,0 +1,17 @@
+#include "objalloc/sim/failure.h"
+
+namespace objalloc::sim {
+
+bool FailurePlan::IsValid(int num_processors) const {
+  size_t last = 0;
+  for (const FailureEvent& event : events) {
+    if (event.before_request < last) return false;
+    if (event.processor < 0 || event.processor >= num_processors) {
+      return false;
+    }
+    last = event.before_request;
+  }
+  return true;
+}
+
+}  // namespace objalloc::sim

@@ -1,0 +1,39 @@
+// Failure plans: crash/recover events injected between requests of a
+// schedule run.
+
+#ifndef OBJALLOC_SIM_FAILURE_H_
+#define OBJALLOC_SIM_FAILURE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "objalloc/util/processor_set.h"
+
+namespace objalloc::sim {
+
+struct FailureEvent {
+  // The event fires immediately before the request with this index is
+  // submitted; an index >= schedule length fires after the last request.
+  size_t before_request = 0;
+  util::ProcessorId processor = 0;
+  bool crash = true;  // false = recover
+
+  static FailureEvent Crash(size_t before_request, util::ProcessorId p) {
+    return FailureEvent{before_request, p, true};
+  }
+  static FailureEvent Recover(size_t before_request, util::ProcessorId p) {
+    return FailureEvent{before_request, p, false};
+  }
+};
+
+struct FailurePlan {
+  std::vector<FailureEvent> events;  // must be sorted by before_request
+
+  bool empty() const { return events.empty(); }
+  // Validates ordering and processor ranges.
+  bool IsValid(int num_processors) const;
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_FAILURE_H_

@@ -1,0 +1,81 @@
+#include "objalloc/sim/local_database.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::sim {
+
+void LocalDatabase::ChargeIo() {
+  ++metrics_->io_ops;
+  if (clocks_ != nullptr) clocks_->Advance(owner_, clocks_->model().io);
+}
+
+void LocalDatabase::PersistThrough() {
+  if (durable_ == nullptr) return;
+  util::Status status =
+      durable_->Persist(record_.version, record_.value, valid_);
+  OBJALLOC_CHECK(status.ok()) << "durable write failed: "
+                              << status.ToString();
+}
+
+void LocalDatabase::Put(int64_t version, uint64_t value) {
+  ChargeIo();
+  before_image_ = record_;
+  before_image_valid_ = valid_;
+  record_ = Record{version, value};
+  valid_ = true;
+  PersistThrough();
+}
+
+LocalDatabase::Record LocalDatabase::Get() {
+  OBJALLOC_CHECK(valid_) << "Get on an invalid local copy";
+  ChargeIo();
+  return record_;
+}
+
+void LocalDatabase::Invalidate() {
+  valid_ = false;
+  PersistThrough();
+}
+
+void LocalDatabase::RevertAbortedWrite(int64_t version) {
+  if (!valid_ || record_.version != version) return;
+  ChargeIo();
+  record_ = before_image_;
+  valid_ = before_image_valid_;
+  PersistThrough();
+}
+
+void LocalDatabase::SeedInitial(int64_t version, uint64_t value) {
+  record_ = Record{version, value};
+  valid_ = true;
+  PersistThrough();
+}
+
+void LocalDatabase::AttachDurable(DurableObjectStore* store) {
+  durable_ = store;
+  PersistThrough();
+}
+
+void LocalDatabase::LoseVolatileState() {
+  record_ = Record{};
+  valid_ = false;
+  before_image_ = Record{};
+  before_image_valid_ = false;
+}
+
+util::Status LocalDatabase::RecoverFromDurable() {
+  if (durable_ == nullptr) {
+    return util::Status::FailedPrecondition("no durable store attached");
+  }
+  auto snapshot = durable_->Load();
+  if (!snapshot.ok()) return snapshot.status();
+  if (snapshot->present) {
+    record_ = Record{snapshot->version, snapshot->value};
+    valid_ = snapshot->valid;
+  } else {
+    valid_ = false;
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace objalloc::sim

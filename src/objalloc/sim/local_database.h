@@ -1,0 +1,87 @@
+// A processor's local database: the single replicated object on stable
+// storage. Every Get/Put is one I/O operation of the cost model;
+// invalidation only flips a catalog bit (the paper's write cost charges no
+// I/O for invalidated processors).
+
+#ifndef OBJALLOC_SIM_LOCAL_DATABASE_H_
+#define OBJALLOC_SIM_LOCAL_DATABASE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "objalloc/sim/durable_store.h"
+#include "objalloc/sim/latency.h"
+#include "objalloc/sim/metrics.h"
+
+namespace objalloc::sim {
+
+class LocalDatabase {
+ public:
+  // `clocks` may be null (no latency accounting); `owner` is the processor
+  // whose clock each I/O occupies.
+  LocalDatabase(SimMetrics* metrics, VirtualClocks* clocks,
+                ProcessorId owner)
+      : metrics_(metrics), clocks_(clocks), owner_(owner) {}
+
+  struct Record {
+    int64_t version = -1;
+    uint64_t value = 0;
+  };
+
+  // Writes the object to stable storage (one I/O) and marks the copy valid.
+  void Put(int64_t version, uint64_t value);
+
+  // Installs the pre-existing initial copy (simulation setup; no I/O is
+  // charged, matching the analytic model's treatment of the initial
+  // allocation scheme).
+  void SeedInitial(int64_t version, uint64_t value);
+
+  // Reads the object from stable storage (one I/O). The copy must be valid.
+  Record Get();
+
+  // Drops the catalog entry; the stale bytes stay on disk at no I/O cost.
+  void Invalidate();
+
+  // Rolls back an aborted write: if the current record carries `version`,
+  // restores the before-image kept by the last Put (one I/O, as for any
+  // undo-log application). No-op when the versions do not match.
+  void RevertAbortedWrite(int64_t version);
+
+  // Catalog checks (in-memory, free).
+  bool has_copy() const { return valid_; }
+  int64_t version() const { return record_.version; }
+
+  // --- Durability (optional) -------------------------------------------
+  // When a DurableObjectStore is attached, every Put / Invalidate / seed is
+  // written through to disk; crash/recovery can then be modeled honestly:
+  // the volatile image is lost but the store survives.
+  void AttachDurable(DurableObjectStore* store);
+
+  // Crash: the in-memory image is gone (the on-disk record is not).
+  void LoseVolatileState();
+
+  // Recovery: reload the catalog and record from the durable store. It is
+  // the *protocol's* job to decide whether the reloaded copy may be
+  // trusted (quorum mode: yes, versions are compared; DA normal mode: no,
+  // invalidations may have been missed).
+  util::Status RecoverFromDurable();
+
+ private:
+  void ChargeIo();
+  void PersistThrough();
+
+  SimMetrics* metrics_;
+  VirtualClocks* clocks_;
+  ProcessorId owner_;
+  DurableObjectStore* durable_ = nullptr;
+  Record record_;
+  bool valid_ = false;
+  // Before-image for aborted-write rollback (undo log, one entry deep —
+  // requests are serialized, so one in-flight write at a time).
+  Record before_image_;
+  bool before_image_valid_ = false;
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_LOCAL_DATABASE_H_

@@ -1,0 +1,39 @@
+#include "objalloc/sim/message.h"
+
+#include <sstream>
+
+namespace objalloc::sim {
+
+bool IsDataMessage(MessageType type) {
+  return type == MessageType::kObjectReply ||
+         type == MessageType::kObjectPropagate;
+}
+
+const char* MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kReadRequest:
+      return "READ_REQUEST";
+    case MessageType::kInvalidate:
+      return "INVALIDATE";
+    case MessageType::kVersionQuery:
+      return "VERSION_QUERY";
+    case MessageType::kVersionReply:
+      return "VERSION_REPLY";
+    case MessageType::kModeSwitch:
+      return "MODE_SWITCH";
+    case MessageType::kObjectReply:
+      return "OBJECT_REPLY";
+    case MessageType::kObjectPropagate:
+      return "OBJECT_PROPAGATE";
+  }
+  return "?";
+}
+
+std::string Message::ToString() const {
+  std::ostringstream os;
+  os << MessageTypeToString(type) << " " << src << "->" << dst
+     << " v=" << version << " origin=" << origin;
+  return os.str();
+}
+
+}  // namespace objalloc::sim

@@ -1,0 +1,54 @@
+// Message vocabulary of the simulated protocols. Control messages carry only
+// identifiers (object id, operation, version); the kObject* messages carry
+// the object content and are the data messages of the cost model.
+
+#ifndef OBJALLOC_SIM_MESSAGE_H_
+#define OBJALLOC_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "objalloc/util/processor_set.h"
+
+namespace objalloc::sim {
+
+using util::ProcessorId;
+
+enum class MessageType : uint8_t {
+  // -- control messages --
+  kReadRequest,    // "send me the latest object"
+  kInvalidate,     // "your copy is obsolete" (DA write path)
+  kVersionQuery,   // quorum: "what version do you hold?"
+  kVersionReply,   // quorum: the answer (version, or -1 for no copy)
+  kModeSwitch,     // DA failover: "switch to quorum-consensus mode"
+  // -- data messages --
+  kObjectReply,    // object content answering a kReadRequest
+  kObjectPropagate,  // object content pushed by a write
+};
+
+// True for messages that carry the object content (cost cd); false for
+// control messages (cost cc).
+bool IsDataMessage(MessageType type);
+const char* MessageTypeToString(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::kReadRequest;
+  ProcessorId src = -1;
+  ProcessorId dst = -1;
+  // Object payload / version info (kObject*, kVersionReply).
+  int64_t version = -1;
+  uint64_t value = 0;
+  // The processor on whose behalf the message travels: the original writer
+  // for kObjectPropagate / kInvalidate (receivers must not invalidate the
+  // writer), the original reader for relayed requests.
+  ProcessorId origin = -1;
+  // Virtual send time, stamped by the network from the sender's clock (the
+  // latency model; senders never set this themselves).
+  double time = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_MESSAGE_H_

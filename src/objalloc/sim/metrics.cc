@@ -1,0 +1,17 @@
+#include "objalloc/sim/metrics.h"
+
+#include <sstream>
+
+namespace objalloc::sim {
+
+std::string SimMetrics::ToString() const {
+  std::ostringstream os;
+  os << "{ctrl=" << control_messages << ", data=" << data_messages
+     << ", io=" << io_ops << ", dropped=" << dropped_messages
+     << ", failovers=" << failovers
+     << ", unavailable=" << unavailable_requests
+     << ", stale=" << stale_reads << "}";
+  return os.str();
+}
+
+}  // namespace objalloc::sim

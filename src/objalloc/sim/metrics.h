@@ -1,0 +1,40 @@
+// Traffic and I/O accounting for the message-passing simulator. In
+// failure-free runs the (control, data, io) counts must equal the analytic
+// CostBreakdown of the allocation schedule the protocol implements — the
+// integration tests enforce this count-for-count.
+
+#ifndef OBJALLOC_SIM_METRICS_H_
+#define OBJALLOC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "objalloc/model/cost_evaluator.h"
+
+namespace objalloc::sim {
+
+struct SimMetrics {
+  int64_t control_messages = 0;
+  int64_t data_messages = 0;
+  int64_t io_ops = 0;
+
+  // Failure bookkeeping.
+  int64_t dropped_messages = 0;      // sent to a crashed processor
+  int64_t failovers = 0;             // DA -> quorum mode transitions
+  int64_t unavailable_requests = 0;  // requests that could not be served
+  int64_t stale_reads = 0;           // reads that returned an old version
+
+  model::CostBreakdown ToBreakdown() const {
+    return model::CostBreakdown{control_messages, data_messages, io_ops};
+  }
+
+  double Cost(const model::CostModel& cost_model) const {
+    return ToBreakdown().Cost(cost_model);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_METRICS_H_

@@ -1,0 +1,88 @@
+#include "objalloc/sim/network.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::sim {
+
+Network::Network(int num_processors, SimMetrics* metrics,
+                 VirtualClocks* clocks)
+    : num_processors_(num_processors),
+      metrics_(metrics),
+      clocks_(clocks),
+      crashed_(static_cast<size_t>(num_processors), false) {
+  OBJALLOC_CHECK_GT(num_processors, 0);
+}
+
+void Network::SetDeliveryHandler(std::function<void(const Message&)> handler) {
+  handler_ = std::move(handler);
+}
+
+void Network::SetCrashed(ProcessorId p, bool crashed) {
+  OBJALLOC_CHECK_GE(p, 0);
+  OBJALLOC_CHECK_LT(p, num_processors_);
+  crashed_[static_cast<size_t>(p)] = crashed;
+}
+
+bool Network::IsCrashed(ProcessorId p) const {
+  OBJALLOC_CHECK_GE(p, 0);
+  OBJALLOC_CHECK_LT(p, num_processors_);
+  return crashed_[static_cast<size_t>(p)];
+}
+
+int Network::AliveCount() const {
+  int alive = 0;
+  for (bool c : crashed_) alive += c ? 0 : 1;
+  return alive;
+}
+
+bool Network::Send(Message msg) {
+  OBJALLOC_CHECK_NE(msg.src, msg.dst) << "self-messages are local operations";
+  OBJALLOC_CHECK_GE(msg.dst, 0);
+  OBJALLOC_CHECK_LT(msg.dst, num_processors_);
+  OBJALLOC_CHECK(!IsCrashed(msg.src)) << "crashed sender " << msg.src;
+  if (IsDataMessage(msg.type)) {
+    ++metrics_->data_messages;
+  } else {
+    ++metrics_->control_messages;
+  }
+  if (clocks_ != nullptr) msg.time = clocks_->Of(msg.src);
+  const bool delivered = !IsCrashed(msg.dst);
+  if (tracing_) {
+    if (trace_.size() >= trace_capacity_) {
+      trace_.erase(trace_.begin());
+    }
+    trace_.push_back(TraceEntry{msg, delivered});
+  }
+  if (!delivered) {
+    ++metrics_->dropped_messages;
+    return false;
+  }
+  queue_.push_back(msg);
+  return true;
+}
+
+void Network::EnableTrace(size_t capacity) {
+  tracing_ = true;
+  trace_capacity_ = capacity == 0 ? 1 : capacity;
+  trace_.reserve(trace_capacity_);
+}
+
+void Network::DrainAll() {
+  OBJALLOC_CHECK(handler_ != nullptr) << "no delivery handler installed";
+  while (!queue_.empty()) {
+    Message msg = queue_.front();
+    queue_.pop_front();
+    // The destination may have crashed after the message was queued.
+    if (IsCrashed(msg.dst)) {
+      ++metrics_->dropped_messages;
+      continue;
+    }
+    if (clocks_ != nullptr) {
+      clocks_->ObserveArrival(
+          msg.dst, msg.time + clocks_->model().ForMessage(msg.type));
+    }
+    handler_(msg);
+  }
+}
+
+}  // namespace objalloc::sim

@@ -1,0 +1,68 @@
+// Point-to-point network with FIFO delivery, per-type cost accounting and
+// crash-aware drops. The paper assumes a homogeneous point-to-point network
+// (no broadcast primitive): every message between two distinct processors is
+// counted individually.
+
+#ifndef OBJALLOC_SIM_NETWORK_H_
+#define OBJALLOC_SIM_NETWORK_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "objalloc/sim/latency.h"
+#include "objalloc/sim/message.h"
+#include "objalloc/sim/metrics.h"
+
+namespace objalloc::sim {
+
+class Network {
+ public:
+  // `clocks` may be null (no latency accounting).
+  Network(int num_processors, SimMetrics* metrics, VirtualClocks* clocks);
+
+  // Routes delivered messages to the destination node.
+  void SetDeliveryHandler(std::function<void(const Message&)> handler);
+
+  void SetCrashed(ProcessorId p, bool crashed);
+  bool IsCrashed(ProcessorId p) const;
+  int AliveCount() const;
+
+  // Enqueues `msg` and charges its cost (the sender pays for the
+  // transmission whether or not the destination is up — a wireless uplink
+  // message is billed on send). Returns false when the destination is
+  // crashed: the message is dropped and the *sender observes the failure*
+  // (models a delivery timeout without simulating clocks).
+  bool Send(Message msg);
+
+  // Delivers queued messages in FIFO order until quiescent. Handlers may
+  // send further messages; those are delivered in the same drain.
+  void DrainAll();
+
+  bool HasPending() const { return !queue_.empty(); }
+
+  // --- Message tracing (tests / debugging) ------------------------------
+  struct TraceEntry {
+    Message message;
+    bool delivered = false;  // false: destination was down
+  };
+  // Starts recording every Send (bounded; older entries are dropped).
+  void EnableTrace(size_t capacity = 1024);
+  void ClearTrace() { trace_.clear(); }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+ private:
+  int num_processors_;
+  SimMetrics* metrics_;
+  VirtualClocks* clocks_;
+  std::function<void(const Message&)> handler_;
+  std::vector<bool> crashed_;
+  std::deque<Message> queue_;
+  bool tracing_ = false;
+  size_t trace_capacity_ = 0;
+  std::vector<TraceEntry> trace_;
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_NETWORK_H_

@@ -1,0 +1,52 @@
+#include "objalloc/sim/processor.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::sim {
+
+Node::Node(ProcessorId id, int num_processors, Network* network,
+           LocalDatabase* db, SimMetrics* metrics)
+    : id_(id),
+      num_processors_(num_processors),
+      network_(network),
+      db_(db),
+      metrics_(metrics) {
+  OBJALLOC_CHECK_GE(id, 0);
+  OBJALLOC_CHECK_LT(id, num_processors);
+}
+
+void Node::BeginRead() {
+  OBJALLOC_CHECK(done_) << "operation already in flight at node " << id_;
+  done_ = false;
+  pending_op_ = OpKind::kRead;
+  DoStartRead();
+}
+
+void Node::BeginWrite(int64_t version, uint64_t value) {
+  OBJALLOC_CHECK(done_) << "operation already in flight at node " << id_;
+  done_ = false;
+  pending_op_ = OpKind::kWrite;
+  pending_version_ = version;
+  pending_value_ = value;
+  DoStartWrite();
+}
+
+void Node::CompleteRead(int64_t version, uint64_t value) {
+  OBJALLOC_CHECK(!done_);
+  OBJALLOC_CHECK(pending_op_ == OpKind::kRead);
+  done_ = true;
+  pending_op_ = OpKind::kNone;
+  result_version_ = version;
+  result_value_ = value;
+}
+
+void Node::CompleteWrite() {
+  OBJALLOC_CHECK(!done_);
+  OBJALLOC_CHECK(pending_op_ == OpKind::kWrite);
+  done_ = true;
+  pending_op_ = OpKind::kNone;
+  result_version_ = pending_version_;
+  result_value_ = pending_value_;
+}
+
+}  // namespace objalloc::sim

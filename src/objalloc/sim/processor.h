@@ -1,0 +1,90 @@
+// Node: the per-processor protocol endpoint. A node owns its local database,
+// reacts to delivered messages, and services locally issued read/write
+// requests asynchronously — the simulator pumps the network until the
+// operation completes or times out.
+//
+// Requests are serialized by the (external) concurrency control, so at most
+// one operation is in flight system-wide; the distributed character of the
+// protocols lives in the per-node state (join-lists, version catalogs, mode
+// flags) and in the explicit messages, which are what the cost model counts.
+
+#ifndef OBJALLOC_SIM_PROCESSOR_H_
+#define OBJALLOC_SIM_PROCESSOR_H_
+
+#include <cstdint>
+
+#include "objalloc/sim/local_database.h"
+#include "objalloc/sim/message.h"
+#include "objalloc/sim/network.h"
+
+namespace objalloc::sim {
+
+class Node {
+ public:
+  Node(ProcessorId id, int num_processors, Network* network,
+       LocalDatabase* db, SimMetrics* metrics);
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Message delivery (invoked by the network drain).
+  virtual void HandleMessage(const Message& msg) = 0;
+
+  // Begins servicing a locally issued request; the simulator then drains the
+  // network and, while the operation is still pending, calls OnTimeout().
+  void BeginRead();
+  void BeginWrite(int64_t version, uint64_t value);
+
+  // Called when the network is quiescent but the operation has not
+  // completed (models expiry of a delivery timeout). Returns false when the
+  // node gives up — the request is unavailable.
+  virtual bool OnTimeout() { return false; }
+
+  // Crash/recovery hooks driven by the simulator. Recovery invalidates the
+  // local copy: a recovering processor cannot trust a replica it may have
+  // missed invalidations for.
+  virtual void OnCrash() {}
+  virtual void OnRecover() { db_->Invalidate(); }
+
+  // Abandons the pending operation (the simulator records it unavailable).
+  void AbortOp() {
+    done_ = true;
+    pending_op_ = OpKind::kNone;
+  }
+
+  bool op_done() const { return done_; }
+  int64_t result_version() const { return result_version_; }
+  uint64_t result_value() const { return result_value_; }
+
+  ProcessorId id() const { return id_; }
+
+ protected:
+  enum class OpKind { kNone, kRead, kWrite };
+
+  // Protocol-specific request entry points.
+  virtual void DoStartRead() = 0;
+  virtual void DoStartWrite() = 0;
+
+  void CompleteRead(int64_t version, uint64_t value);
+  void CompleteWrite();
+
+  ProcessorId id_;
+  int num_processors_;
+  Network* network_;
+  LocalDatabase* db_;
+  SimMetrics* metrics_;
+
+  OpKind pending_op_ = OpKind::kNone;
+  int64_t pending_version_ = -1;  // write being serviced
+  uint64_t pending_value_ = 0;
+
+ private:
+  bool done_ = true;
+  int64_t result_version_ = -1;
+  uint64_t result_value_ = 0;
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_PROCESSOR_H_

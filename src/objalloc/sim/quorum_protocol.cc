@@ -1,0 +1,163 @@
+#include "objalloc/sim/quorum_protocol.h"
+
+#include <algorithm>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::sim {
+
+QuorumConfig QuorumConfig::MajorityFor(int num_processors) {
+  QuorumConfig config;
+  config.read_quorum = num_processors / 2 + 1;
+  config.write_quorum = num_processors / 2 + 1;
+  return config;
+}
+
+QuorumNode::QuorumNode(ProcessorId id, int num_processors, Network* network,
+                       LocalDatabase* db, SimMetrics* metrics,
+                       QuorumConfig config)
+    : Node(id, num_processors, network, db, metrics), config_(config) {
+  if (config_.read_quorum <= 0) {
+    config_.read_quorum = num_processors / 2 + 1;
+  }
+  if (config_.write_quorum <= 0) {
+    config_.write_quorum = num_processors / 2 + 1;
+  }
+  OBJALLOC_CHECK_GT(config_.read_quorum + config_.write_quorum,
+                    num_processors)
+      << "read and write quorums must intersect";
+  OBJALLOC_CHECK_LE(config_.read_quorum, num_processors);
+  OBJALLOC_CHECK_LE(config_.write_quorum, num_processors);
+}
+
+void QuorumNode::BroadcastVersionQuery() {
+  replies_.clear();
+  for (ProcessorId p = 0; p < num_processors_; ++p) {
+    if (p == id_) continue;
+    network_->Send(Message{MessageType::kVersionQuery, id_, p,
+                           /*version=*/-1, 0, /*origin=*/id_});
+  }
+}
+
+void QuorumNode::DoStartRead() {
+  phase_ = Phase::kReadScan;
+  BroadcastVersionQuery();
+}
+
+void QuorumNode::DoStartWrite() {
+  phase_ = Phase::kWriteScan;
+  BroadcastVersionQuery();
+}
+
+bool QuorumNode::FinishReadScan() {
+  // Self participates in the quorum for free (its catalog is local).
+  if (static_cast<int>(replies_.size()) + 1 < config_.read_quorum) {
+    phase_ = Phase::kIdle;
+    return false;
+  }
+  int64_t best_version = db_->has_copy() ? db_->version() : -1;
+  ProcessorId best_holder = db_->has_copy() ? id_ : -1;
+  for (const VersionReply& reply : replies_) {
+    if (reply.version > best_version) {
+      best_version = reply.version;
+      best_holder = reply.from;
+    }
+  }
+  if (best_holder < 0) {
+    // No copy anywhere in the quorum: the object is lost to this quorum.
+    phase_ = Phase::kIdle;
+    return false;
+  }
+  if (best_holder == id_) {
+    LocalDatabase::Record record = db_->Get();
+    phase_ = Phase::kIdle;
+    CompleteRead(record.version, record.value);
+    return true;
+  }
+  phase_ = Phase::kReadFetch;
+  network_->Send(Message{MessageType::kReadRequest, id_, best_holder,
+                         /*version=*/-1, 0, /*origin=*/id_});
+  return true;
+}
+
+bool QuorumNode::FinishWriteScan() {
+  // The responders are the processors known reachable; commit requires a
+  // write quorum including self.
+  if (static_cast<int>(replies_.size()) + 1 < config_.write_quorum) {
+    phase_ = Phase::kIdle;
+    return false;
+  }
+  int pushed = 0;
+  for (const VersionReply& reply : replies_) {
+    if (pushed >= config_.write_quorum - 1) break;
+    network_->Send(Message{MessageType::kObjectPropagate, id_, reply.from,
+                           pending_version_, pending_value_,
+                           /*origin=*/id_});
+    ++pushed;
+  }
+  db_->Put(pending_version_, pending_value_);
+  phase_ = Phase::kIdle;
+  CompleteWrite();
+  return true;
+}
+
+bool QuorumNode::HandleQuorumMessage(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kVersionQuery:
+      network_->Send(Message{MessageType::kVersionReply, id_, msg.src,
+                             db_->has_copy() ? db_->version() : -1, 0,
+                             /*origin=*/id_});
+      return true;
+    case MessageType::kVersionReply:
+      if (phase_ == Phase::kReadScan || phase_ == Phase::kWriteScan ||
+          phase_ == Phase::kRecoverScan) {
+        replies_.push_back(VersionReply{msg.src, msg.version});
+      }
+      return true;
+    case MessageType::kReadRequest: {
+      OBJALLOC_CHECK(db_->has_copy())
+          << "quorum fetch addressed a node without a copy";
+      LocalDatabase::Record record = db_->Get();
+      network_->Send(Message{MessageType::kObjectReply, id_, msg.src,
+                             record.version, record.value, /*origin=*/id_});
+      return true;
+    }
+    case MessageType::kObjectReply:
+      if (phase_ == Phase::kReadFetch) {
+        // Version-maximum read; the fetched copy is not saved (the quorum
+        // footnote in §3.1: copies are discarded except the newest).
+        phase_ = Phase::kIdle;
+        CompleteRead(msg.version, msg.value);
+        return true;
+      }
+      return false;
+    case MessageType::kObjectPropagate:
+      db_->Put(msg.version, msg.value);
+      return true;
+    default:
+      return false;
+  }
+}
+
+void QuorumNode::HandleMessage(const Message& msg) {
+  OBJALLOC_CHECK(HandleQuorumMessage(msg))
+      << "quorum node got unexpected " << msg.ToString();
+}
+
+bool QuorumNode::OnTimeout() {
+  // Quiescence after a scan means every reachable processor has replied.
+  switch (phase_) {
+    case Phase::kReadScan:
+      return FinishReadScan();
+    case Phase::kWriteScan:
+      return FinishWriteScan();
+    case Phase::kReadFetch:
+    case Phase::kIdle:
+    case Phase::kRecoverScan:   // DA-only phases, handled in DaNode
+    case Phase::kRecoverFetch:
+      return false;  // fetch target crashed mid-operation, or nothing to do
+  }
+  return false;
+}
+
+}  // namespace objalloc::sim

@@ -1,0 +1,80 @@
+// QuorumNode — quorum-consensus replication with version timestamps
+// (Gifford weighted voting / Thomas majority consensus, the paper's [14, 25]).
+// DA resorts to this protocol when a member of its core set F fails (§2);
+// it is also usable standalone as a baseline.
+//
+// Reads: version-query all other processors (control messages); once a read
+// quorum of responses (including self) is assembled, fetch the object from
+// the holder of the highest version (request + data transfer). Writes:
+// version-query as an aliveness/ordering round, then push the new version to
+// a write quorum. With read quorum r and write quorum w, r + w > n
+// guarantees every read quorum intersects every committed write quorum, so
+// version-maximum reads are always fresh.
+
+#ifndef OBJALLOC_SIM_QUORUM_PROTOCOL_H_
+#define OBJALLOC_SIM_QUORUM_PROTOCOL_H_
+
+#include <vector>
+
+#include "objalloc/sim/processor.h"
+
+namespace objalloc::sim {
+
+struct QuorumConfig {
+  int read_quorum = 0;   // r; 0 = majority
+  int write_quorum = 0;  // w; 0 = majority
+
+  // Resolves defaults for an n-processor system and checks r + w > n.
+  static QuorumConfig MajorityFor(int num_processors);
+};
+
+class QuorumNode : public Node {
+ public:
+  QuorumNode(ProcessorId id, int num_processors, Network* network,
+             LocalDatabase* db, SimMetrics* metrics, QuorumConfig config);
+
+  void HandleMessage(const Message& msg) override;
+  bool OnTimeout() override;
+
+  // A recovered quorum node keeps its (possibly stale) copy: every read
+  // compares version timestamps across a quorum, so an old survivor can
+  // never be served as fresh — and it remains useful as a version holder.
+  void OnRecover() override {}
+
+ protected:
+  void DoStartRead() override;
+  void DoStartWrite() override;
+
+  // Shared with DaNode's failover path: answers version queries and read
+  // requests statelessly.
+  bool HandleQuorumMessage(const Message& msg);
+
+  enum class Phase {
+    kIdle,
+    kReadScan,     // collecting version replies for a read
+    kReadFetch,    // fetching the object from the freshest holder
+    kWriteScan,    // collecting version replies for a write
+    kRecoverScan,  // DA failover: missing-writes version scan
+    kRecoverFetch, // DA failover: fetching the latest surviving version
+  };
+
+  struct VersionReply {
+    ProcessorId from;
+    int64_t version;
+  };
+
+  void BroadcastVersionQuery();
+  // Read-scan completion: picks the freshest holder and fetches (or serves
+  // locally). Returns false if the quorum cannot be assembled.
+  bool FinishReadScan();
+  // Write-scan completion: pushes the pending version to a write quorum.
+  bool FinishWriteScan();
+
+  QuorumConfig config_;
+  Phase phase_ = Phase::kIdle;
+  std::vector<VersionReply> replies_;
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_QUORUM_PROTOCOL_H_

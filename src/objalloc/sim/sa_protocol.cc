@@ -1,0 +1,106 @@
+#include "objalloc/sim/sa_protocol.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::sim {
+
+SaNode::SaNode(ProcessorId id, int num_processors, Network* network,
+               LocalDatabase* db, SimMetrics* metrics,
+               util::ProcessorSet scheme)
+    : Node(id, num_processors, network, db, metrics),
+      scheme_(scheme),
+      members_(scheme.ToVector()) {
+  OBJALLOC_CHECK(!scheme.Empty());
+}
+
+void SaNode::DoStartRead() {
+  if (scheme_.Contains(id_) && db_->has_copy()) {
+    LocalDatabase::Record record = db_->Get();
+    CompleteRead(record.version, record.value);
+    return;
+  }
+  next_source_ = 0;
+  // If no member is reachable the operation stays pending and the simulator
+  // records it unavailable after OnTimeout() finds nothing left to try.
+  TryNextSource();
+}
+
+bool SaNode::TryNextSource() {
+  while (next_source_ < members_.size()) {
+    ProcessorId target = members_[next_source_++];
+    if (target == id_) continue;  // own copy already found invalid
+    if (network_->Send(Message{MessageType::kReadRequest, id_, target,
+                               /*version=*/-1, /*value=*/0,
+                               /*origin=*/id_})) {
+      return true;
+    }
+    // Target crashed: the send timed out; fall through to the next member.
+  }
+  return false;
+}
+
+void SaNode::DoStartWrite() {
+  // Strict read-one-write-ALL: every member of Q must receive the new
+  // version. Abort and roll back if any member is unreachable.
+  std::vector<ProcessorId> reached;
+  for (ProcessorId member : members_) {
+    if (member == id_) continue;
+    if (!network_->Send(Message{MessageType::kObjectPropagate, id_, member,
+                                pending_version_, pending_value_,
+                                /*origin=*/id_})) {
+      for (ProcessorId undo : reached) {
+        network_->Send(Message{MessageType::kInvalidate, id_, undo,
+                               pending_version_, 0, /*origin=*/id_});
+      }
+      // Leave the operation pending; OnTimeout reports it unavailable.
+      return;
+    }
+    reached.push_back(member);
+  }
+  if (scheme_.Contains(id_)) db_->Put(pending_version_, pending_value_);
+  CompleteWrite();
+}
+
+void SaNode::HandleMessage(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kReadRequest: {
+      if (!db_->has_copy()) {
+        // NACK: tell the reader to try another member (version -1).
+        network_->Send(Message{MessageType::kVersionReply, id_, msg.src,
+                               /*version=*/-1, 0, /*origin=*/id_});
+        return;
+      }
+      LocalDatabase::Record record = db_->Get();
+      network_->Send(Message{MessageType::kObjectReply, id_, msg.src,
+                             record.version, record.value, /*origin=*/id_});
+      return;
+    }
+    case MessageType::kObjectReply:
+      // The reply to our pending remote read; SA never saves the copy.
+      CompleteRead(msg.version, msg.value);
+      return;
+    case MessageType::kVersionReply:
+      // NACK from a member without a valid copy: try the next one.
+      TryNextSource();
+      return;
+    case MessageType::kObjectPropagate:
+      db_->Put(msg.version, msg.value);
+      return;
+    case MessageType::kInvalidate:
+      // Rollback of an aborted write: restore the before-image so the
+      // previously committed version stays readable.
+      db_->RevertAbortedWrite(msg.version);
+      return;
+    default:
+      OBJALLOC_CHECK(false) << "SA node got unexpected " << msg.ToString();
+  }
+}
+
+bool SaNode::OnTimeout() {
+  // A pending read may still have untried members; a pending write has
+  // already aborted.
+  if (pending_op_ == OpKind::kRead) return TryNextSource();
+  return false;
+}
+
+}  // namespace objalloc::sim

@@ -1,0 +1,49 @@
+// SaNode — the static read-one-write-all protocol endpoint (§4.2.1).
+//
+// Normal operation matches the analytic SA cost exactly: local reads are one
+// I/O; remote reads are request + input + transfer; writes propagate the
+// object to every member of the fixed scheme Q.
+//
+// Failure behaviour (the paper leaves SA's failure handling implicit; strict
+// ROWA is the textbook semantics):
+//   * reads retry the members of Q in id order and fail only when none is
+//     reachable (or none holds a valid copy);
+//   * a write aborts as soon as any member of Q is unreachable — the
+//     members already reached are told to roll the new version back
+//     (invalidate), so no phantom version survives an aborted write.
+
+#ifndef OBJALLOC_SIM_SA_PROTOCOL_H_
+#define OBJALLOC_SIM_SA_PROTOCOL_H_
+
+#include <vector>
+
+#include "objalloc/sim/processor.h"
+#include "objalloc/util/processor_set.h"
+
+namespace objalloc::sim {
+
+class SaNode final : public Node {
+ public:
+  SaNode(ProcessorId id, int num_processors, Network* network,
+         LocalDatabase* db, SimMetrics* metrics, util::ProcessorSet scheme);
+
+  void HandleMessage(const Message& msg) override;
+  bool OnTimeout() override;
+
+ protected:
+  void DoStartRead() override;
+  void DoStartWrite() override;
+
+ private:
+  // Sends the read request to the next untried member of Q; false when
+  // every member has been tried.
+  bool TryNextSource();
+
+  util::ProcessorSet scheme_;              // Q
+  std::vector<ProcessorId> members_;       // Q in id order
+  size_t next_source_ = 0;                 // retry cursor for the pending read
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_SA_PROTOCOL_H_

@@ -1,0 +1,201 @@
+#include "objalloc/sim/simulator.h"
+
+#include "objalloc/sim/da_protocol.h"
+#include "objalloc/sim/sa_protocol.h"
+#include "objalloc/util/logging.h"
+
+namespace objalloc::sim {
+
+util::Status SimulatorOptions::Validate() const {
+  if (num_processors < 2 || num_processors > util::kMaxProcessors) {
+    return util::Status::InvalidArgument("num_processors out of range");
+  }
+  if (initial_scheme.Empty() ||
+      !initial_scheme.IsSubsetOf(
+          util::ProcessorSet::FirstN(num_processors))) {
+    return util::Status::InvalidArgument("bad initial scheme");
+  }
+  if (protocol == ProtocolKind::kDynamic && initial_scheme.Size() < 2) {
+    return util::Status::InvalidArgument("DA needs |initial scheme| >= 2");
+  }
+  return util::Status::Ok();
+}
+
+Simulator::Simulator(const SimulatorOptions& options)
+    : options_(options),
+      clocks_(options.num_processors, options.latency),
+      network_(options.num_processors, &metrics_, &clocks_) {
+  util::Status status = options.Validate();
+  OBJALLOC_CHECK(status.ok()) << status.ToString();
+
+  const int n = options.num_processors;
+  databases_.reserve(static_cast<size_t>(n));
+  nodes_.reserve(static_cast<size_t>(n));
+  for (util::ProcessorId p = 0; p < n; ++p) {
+    databases_.push_back(
+        std::make_unique<LocalDatabase>(&metrics_, &clocks_, p));
+    if (!options.durable_dir.empty()) {
+      stores_.push_back(std::make_unique<DurableObjectStore>(
+          options.durable_dir + "/object_p" + std::to_string(p) + ".bin"));
+      stores_.back()->Remove();  // a fresh run starts from a clean disk
+      databases_.back()->AttachDurable(stores_.back().get());
+    }
+    if (options.initial_scheme.Contains(p)) {
+      databases_.back()->SeedInitial(/*version=*/0, /*value=*/0);
+    }
+  }
+  for (util::ProcessorId p = 0; p < n; ++p) {
+    LocalDatabase* db = databases_[static_cast<size_t>(p)].get();
+    switch (options.protocol) {
+      case ProtocolKind::kStatic:
+        nodes_.push_back(std::make_unique<SaNode>(
+            p, n, &network_, db, &metrics_, options.initial_scheme));
+        break;
+      case ProtocolKind::kDynamic:
+        nodes_.push_back(std::make_unique<DaNode>(p, n, &network_, db,
+                                                  &metrics_, options.quorum,
+                                                  options.initial_scheme));
+        break;
+      case ProtocolKind::kQuorum:
+        nodes_.push_back(std::make_unique<QuorumNode>(
+            p, n, &network_, db, &metrics_, options.quorum));
+        break;
+    }
+  }
+  network_.SetDeliveryHandler([this](const Message& msg) {
+    nodes_[static_cast<size_t>(msg.dst)]->HandleMessage(msg);
+  });
+}
+
+void Simulator::Crash(util::ProcessorId p) {
+  OBJALLOC_CHECK(!network_.IsCrashed(p)) << "processor already down";
+  network_.SetCrashed(p, true);
+  if (!stores_.empty()) {
+    // With real durable storage, a crash loses the volatile image; the
+    // on-disk record survives for recovery.
+    databases_[static_cast<size_t>(p)]->LoseVolatileState();
+  }
+  nodes_[static_cast<size_t>(p)]->OnCrash();
+}
+
+void Simulator::Recover(util::ProcessorId p) {
+  OBJALLOC_CHECK(network_.IsCrashed(p)) << "processor is not down";
+  network_.SetCrashed(p, false);
+  if (!stores_.empty()) {
+    util::Status status =
+        databases_[static_cast<size_t>(p)]->RecoverFromDurable();
+    OBJALLOC_CHECK(status.ok()) << status.ToString();
+  }
+  if (options_.protocol == ProtocolKind::kDynamic) {
+    // Status handshake with a live peer before the protocol's recovery
+    // hook: if the system degraded to quorum consensus while we were down,
+    // adopt that mode first (two control messages) so the hook can decide
+    // whether the reloaded copy is trustworthy.
+    for (util::ProcessorId q = 0; q < options_.num_processors; ++q) {
+      if (q == p || network_.IsCrashed(q)) continue;
+      auto* peer = static_cast<DaNode*>(nodes_[static_cast<size_t>(q)].get());
+      metrics_.control_messages += 2;
+      if (peer->in_quorum_mode()) {
+        static_cast<DaNode*>(nodes_[static_cast<size_t>(p)].get())
+            ->ForceQuorumMode();
+      }
+      break;
+    }
+  }
+  nodes_[static_cast<size_t>(p)]->OnRecover();
+}
+
+bool Simulator::PumpUntilDone(util::ProcessorId p) {
+  Node* node = nodes_[static_cast<size_t>(p)].get();
+  network_.DrainAll();
+  int guard = 0;
+  while (!node->op_done()) {
+    if (!node->OnTimeout()) break;
+    network_.DrainAll();
+    OBJALLOC_CHECK_LT(++guard, 64) << "protocol livelock at node " << p;
+  }
+  if (!node->op_done()) {
+    node->AbortOp();
+    ++metrics_.unavailable_requests;
+    return false;
+  }
+  return true;
+}
+
+RequestOutcome Simulator::SubmitRead(util::ProcessorId p) {
+  RequestOutcome outcome;
+  if (network_.IsCrashed(p)) {
+    ++metrics_.unavailable_requests;
+    return outcome;
+  }
+  Node* node = nodes_[static_cast<size_t>(p)].get();
+  clocks_.ResetAll();
+  node->BeginRead();
+  if (!PumpUntilDone(p)) return outcome;
+  outcome.ok = true;
+  outcome.latency = clocks_.MaxClock();
+  outcome.version = node->result_version();
+  outcome.value = node->result_value();
+  if (outcome.version != latest_version_) {
+    outcome.stale = true;
+    ++metrics_.stale_reads;
+  }
+  return outcome;
+}
+
+RequestOutcome Simulator::SubmitWrite(util::ProcessorId p, uint64_t value) {
+  RequestOutcome outcome;
+  if (network_.IsCrashed(p)) {
+    ++metrics_.unavailable_requests;
+    return outcome;
+  }
+  const int64_t version = latest_version_ + 1;
+  Node* node = nodes_[static_cast<size_t>(p)].get();
+  clocks_.ResetAll();
+  node->BeginWrite(version, value);
+  if (!PumpUntilDone(p)) return outcome;
+  latest_version_ = version;
+  outcome.ok = true;
+  outcome.latency = clocks_.MaxClock();
+  outcome.version = version;
+  outcome.value = value;
+  return outcome;
+}
+
+Simulator::RunReport Simulator::RunSchedule(const model::Schedule& schedule,
+                                            const FailurePlan& plan) {
+  OBJALLOC_CHECK(plan.IsValid(options_.num_processors));
+  OBJALLOC_CHECK_EQ(schedule.num_processors(), options_.num_processors);
+  RunReport report;
+  size_t next_event = 0;
+  for (size_t index = 0; index <= schedule.size(); ++index) {
+    while (next_event < plan.events.size() &&
+           plan.events[next_event].before_request == index) {
+      const FailureEvent& event = plan.events[next_event++];
+      if (event.crash) {
+        Crash(event.processor);
+      } else {
+        Recover(event.processor);
+      }
+    }
+    if (index == schedule.size()) break;
+    const model::Request& request = schedule[index];
+    RequestOutcome outcome =
+        request.is_read()
+            ? SubmitRead(request.processor)
+            : SubmitWrite(request.processor,
+                          /*value=*/static_cast<uint64_t>(index) + 1);
+    if (outcome.ok) {
+      ++report.served;
+      if (outcome.stale) ++report.stale_reads;
+      (request.is_read() ? report.read_latency : report.write_latency)
+          .Add(outcome.latency);
+    } else {
+      ++report.unavailable;
+    }
+  }
+  report.metrics = metrics_;
+  return report;
+}
+
+}  // namespace objalloc::sim

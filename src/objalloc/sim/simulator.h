@@ -1,0 +1,117 @@
+// Simulator: wires processors, local databases, the network and a protocol
+// together; serializes requests (the paper's concurrency-control
+// assumption); stamps write versions; and validates the freshness invariant
+// (each committed read returns the latest committed version).
+
+#ifndef OBJALLOC_SIM_SIMULATOR_H_
+#define OBJALLOC_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "objalloc/model/schedule.h"
+#include "objalloc/sim/failure.h"
+#include "objalloc/sim/latency.h"
+#include "objalloc/sim/network.h"
+#include "objalloc/sim/processor.h"
+#include "objalloc/sim/quorum_protocol.h"
+#include "objalloc/util/stats.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::sim {
+
+enum class ProtocolKind {
+  kStatic,   // SA: read-one-write-all over the initial scheme
+  kDynamic,  // DA with quorum failover
+  kQuorum,   // quorum consensus from the start
+};
+
+struct SimulatorOptions {
+  ProtocolKind protocol = ProtocolKind::kDynamic;
+  int num_processors = 8;
+  util::ProcessorSet initial_scheme = util::ProcessorSet({0, 1});
+  QuorumConfig quorum;   // zeros = majority
+  LatencyModel latency;  // virtual-time parameters (see latency.h)
+  // When non-empty, each processor's local database is backed by a
+  // crash-atomic on-disk record under this directory (durable_store.h):
+  // crashing loses the volatile image, recovery reloads from disk.
+  std::string durable_dir;
+
+  util::Status Validate() const;
+};
+
+struct RequestOutcome {
+  bool ok = false;       // request served
+  bool stale = false;    // a read returned an outdated version
+  int64_t version = -1;
+  uint64_t value = 0;
+  // Virtual service latency: the time until the request fully settled
+  // (reply delivered, every pushed replica durable, invalidations applied).
+  double latency = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const SimulatorOptions& options);
+
+  // Failure injection; crashing wipes nothing but drops traffic, recovery
+  // re-admits the processor with an invalidated local copy (plus a status
+  // handshake if the system has degraded to quorum mode).
+  void Crash(util::ProcessorId p);
+  void Recover(util::ProcessorId p);
+  bool IsCrashed(util::ProcessorId p) const { return network_.IsCrashed(p); }
+
+  // Serialized request execution. Requests from crashed processors are
+  // rejected as unavailable.
+  RequestOutcome SubmitRead(util::ProcessorId p);
+  RequestOutcome SubmitWrite(util::ProcessorId p, uint64_t value);
+
+  const SimMetrics& metrics() const { return metrics_; }
+  int64_t latest_version() const { return latest_version_; }
+  const LocalDatabase& database(util::ProcessorId p) const {
+    return *databases_[static_cast<size_t>(p)];
+  }
+
+  // Message tracing (see Network::EnableTrace): records every transmission
+  // so tests can assert exact protocol sequences.
+  void EnableMessageTrace(size_t capacity = 1024) {
+    network_.EnableTrace(capacity);
+  }
+  void ClearMessageTrace() { network_.ClearTrace(); }
+  const std::vector<Network::TraceEntry>& message_trace() const {
+    return network_.trace();
+  }
+
+  struct RunReport {
+    int64_t served = 0;
+    int64_t unavailable = 0;
+    int64_t stale_reads = 0;
+    SimMetrics metrics;
+    // Service-latency distributions of served requests (virtual time).
+    util::PercentileTracker read_latency;
+    util::PercentileTracker write_latency;
+  };
+
+  // Replays `schedule`, firing `plan` events at their positions. Write
+  // values are derived from the request index.
+  RunReport RunSchedule(const model::Schedule& schedule,
+                        const FailurePlan& plan = FailurePlan{});
+
+ private:
+  // Pumps the network and timeout hooks until node `p` completes or gives
+  // up; false means the request is unavailable.
+  bool PumpUntilDone(util::ProcessorId p);
+
+  SimulatorOptions options_;
+  SimMetrics metrics_;
+  VirtualClocks clocks_;
+  Network network_;
+  std::vector<std::unique_ptr<DurableObjectStore>> stores_;
+  std::vector<std::unique_ptr<LocalDatabase>> databases_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int64_t latest_version_ = 0;
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_SIMULATOR_H_

@@ -1,0 +1,56 @@
+#include "objalloc/util/ascii_plot.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::util {
+
+RegionPlot::RegionPlot(double x_lo, double x_hi, double y_lo, double y_hi,
+                       int cols, int rows)
+    : x_lo_(x_lo), x_hi_(x_hi), y_lo_(y_lo), y_hi_(y_hi), cols_(cols),
+      rows_(rows) {
+  OBJALLOC_CHECK_LT(x_lo, x_hi);
+  OBJALLOC_CHECK_LT(y_lo, y_hi);
+  OBJALLOC_CHECK_GT(cols, 1);
+  OBJALLOC_CHECK_GT(rows, 1);
+}
+
+void RegionPlot::AddLegend(char symbol, const std::string& meaning) {
+  legend_.emplace_back(symbol, meaning);
+}
+
+std::string RegionPlot::Render(
+    const std::function<char(double x, double y)>& classify) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  for (int r = rows_ - 1; r >= 0; --r) {
+    double y = y_lo_ + (y_hi_ - y_lo_) * (static_cast<double>(r) + 0.5) /
+                           static_cast<double>(rows_);
+    os << std::setw(6) << y << " |";
+    for (int c = 0; c < cols_; ++c) {
+      double x = x_lo_ + (x_hi_ - x_lo_) * (static_cast<double>(c) + 0.5) /
+                             static_cast<double>(cols_);
+      os << classify(x, y);
+    }
+    os << "\n";
+  }
+  os << std::setw(6) << "" << " +" << std::string(static_cast<size_t>(cols_), '-')
+     << "\n";
+  os << std::setw(8) << "" << std::setw(0) << x_lo_ << std::string(
+            static_cast<size_t>(cols_) > 12 ? static_cast<size_t>(cols_) - 8
+                                            : 4,
+            ' ')
+     << x_hi_ << "\n";
+  if (!legend_.empty()) {
+    os << "legend:";
+    for (const auto& [sym, meaning] : legend_) {
+      os << "  '" << sym << "' " << meaning;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace objalloc::util

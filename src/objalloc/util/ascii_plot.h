@@ -1,0 +1,37 @@
+// ASCII renderer for 2-D region maps — used to reproduce the paper's
+// Figure 1 and Figure 2, which partition the (cd, cc) plane into regions
+// ("SA superior", "DA superior", "Unknown", "Cannot be true").
+
+#ifndef OBJALLOC_UTIL_ASCII_PLOT_H_
+#define OBJALLOC_UTIL_ASCII_PLOT_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace objalloc::util {
+
+// Renders a grid over [x_lo, x_hi] x [y_lo, y_hi]. `classify(x, y)` returns
+// the single character to draw at that point; y grows upward (last row is
+// y_lo), matching the paper's axes (x = cd, y = cc).
+class RegionPlot {
+ public:
+  RegionPlot(double x_lo, double x_hi, double y_lo, double y_hi, int cols,
+             int rows);
+
+  // Adds a legend line such as "S  SA superior".
+  void AddLegend(char symbol, const std::string& meaning);
+
+  std::string Render(
+      const std::function<char(double x, double y)>& classify) const;
+
+ private:
+  double x_lo_, x_hi_, y_lo_, y_hi_;
+  int cols_, rows_;
+  std::vector<std::pair<char, std::string>> legend_;
+};
+
+}  // namespace objalloc::util
+
+#endif  // OBJALLOC_UTIL_ASCII_PLOT_H_

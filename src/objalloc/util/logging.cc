@@ -1,0 +1,14 @@
+#include "objalloc/util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace objalloc::util {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[%s:%d] %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace objalloc::util

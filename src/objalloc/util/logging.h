@@ -1,0 +1,73 @@
+// Minimal logging and invariant-checking support.
+//
+// OBJALLOC_CHECK(cond) aborts with a message when `cond` is false. It is used
+// for *programming errors* (broken invariants); fallible operations driven by
+// user input return util::Status instead (see status.h).
+
+#ifndef OBJALLOC_UTIL_LOGGING_H_
+#define OBJALLOC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace objalloc::util {
+
+// Terminates the process after printing `message` with source location.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const std::string& message);
+
+namespace internal_logging {
+
+// Accumulates a failure message via operator<< and aborts on destruction.
+// Usage: OBJALLOC_CHECK(x > 0) << "x was " << x;
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line) {
+    stream_ << "CHECK failed: " << condition << " ";
+  }
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+}  // namespace objalloc::util
+
+#define OBJALLOC_CHECK(condition)                                       \
+  if (condition) {                                                      \
+  } else /* NOLINT */                                                   \
+    ::objalloc::util::internal_logging::CheckMessageBuilder(__FILE__,   \
+                                                            __LINE__,   \
+                                                            #condition)
+
+#define OBJALLOC_CHECK_EQ(a, b) \
+  OBJALLOC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OBJALLOC_CHECK_NE(a, b) \
+  OBJALLOC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OBJALLOC_CHECK_LE(a, b) \
+  OBJALLOC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OBJALLOC_CHECK_LT(a, b) \
+  OBJALLOC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OBJALLOC_CHECK_GE(a, b) \
+  OBJALLOC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define OBJALLOC_CHECK_GT(a, b) \
+  OBJALLOC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // OBJALLOC_UTIL_LOGGING_H_

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library takes an explicit 64-bit seed so
+// experiments are reproducible; benches print the seeds they use. The
+// generator is xoshiro256** seeded via splitmix64 (the reference seeding
+// procedure), which is fast, high-quality, and has a tiny state.
+
+#ifndef OBJALLOC_UTIL_RNG_H_
+#define OBJALLOC_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace objalloc::util {
+
+// Stateless splitmix64 step; used for seeding and for hashing seeds.
+uint64_t SplitMix64(uint64_t& state);
+
+// xoshiro256** PRNG. Copyable; copies evolve independently.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  // unbiased multiply-shift rejection method.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  // Samples an index according to non-negative `weights` (not necessarily
+  // normalized). Requires at least one strictly positive weight.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  // Returns a fresh generator whose stream is independent of this one;
+  // useful for handing sub-seeds to parallel components.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipf(n, theta) sampler over {0, ..., n-1} using the standard CDF-inversion
+// with precomputed harmonic weights. theta = 0 is uniform; larger theta is
+// more skewed.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta);
+
+  size_t Sample(Rng& rng) const;
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+}  // namespace objalloc::util
+
+#endif  // OBJALLOC_UTIL_RNG_H_

@@ -1,0 +1,75 @@
+// Streaming statistics and a simple fixed-bucket histogram for experiment
+// reporting.
+
+#ifndef OBJALLOC_UTIL_STATS_H_
+#define OBJALLOC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace objalloc::util {
+
+// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  // Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Collects samples and answers percentile queries; O(n log n) on demand.
+class PercentileTracker {
+ public:
+  void Add(double x);
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  // q in [0, 1]; nearest-rank percentile. Requires at least one sample.
+  double Percentile(double q) const;
+  double Median() const { return Percentile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-range, equal-width histogram. Out-of-range samples clamp to the
+// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  int64_t total() const { return total_; }
+  const std::vector<int64_t>& buckets() const { return counts_; }
+
+  // Multi-line ASCII rendering with proportional bars.
+  std::string Render(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace objalloc::util
+
+#endif  // OBJALLOC_UTIL_STATS_H_

@@ -1,0 +1,119 @@
+// Status / StatusOr: exception-free error propagation for fallible public
+// APIs (configuration validation, trace parsing, ...). Modeled on the
+// absl::Status / rocksdb::Status idiom.
+
+#ifndef OBJALLOC_UTIL_STATUS_H_
+#define OBJALLOC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT"...).
+const char* StatusCodeToString(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+// A value or an error. Accessing the value of a non-OK StatusOr is a fatal
+// programming error.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so callers can `return value;` / `return status;`.
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    OBJALLOC_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    OBJALLOC_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    OBJALLOC_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    OBJALLOC_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace objalloc::util
+
+// Propagates a non-OK Status from an expression, absl-style.
+#define OBJALLOC_RETURN_IF_ERROR(expr)             \
+  do {                                             \
+    ::objalloc::util::Status _status = (expr);     \
+    if (!_status.ok()) return _status;             \
+  } while (false)
+
+#endif  // OBJALLOC_UTIL_STATUS_H_

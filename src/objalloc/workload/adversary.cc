@@ -1,0 +1,66 @@
+#include "objalloc/workload/adversary.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::workload {
+
+Schedule SaNemesis::Generate(int num_processors, size_t length,
+                             uint64_t seed) const {
+  OBJALLOC_CHECK_GT(num_processors, t_)
+      << "the nemesis reader must live outside the initial scheme";
+  util::Rng rng(seed);
+  // Any fixed outside processor works; vary it with the seed so ensembles
+  // exercise different readers.
+  auto reader = static_cast<util::ProcessorId>(
+      t_ + static_cast<int>(rng.NextBounded(
+               static_cast<uint64_t>(num_processors - t_))));
+  Schedule schedule(num_processors);
+  for (size_t k = 0; k < length; ++k) schedule.AppendRead(reader);
+  return schedule;
+}
+
+Schedule DaNemesis::Generate(int num_processors, size_t length,
+                             uint64_t seed) const {
+  OBJALLOC_CHECK_GT(num_processors, t_);
+  util::Rng rng(seed);
+  const int outsiders = num_processors - t_;
+  const int k = std::min(readers_, outsiders);
+  OBJALLOC_CHECK_GT(k, 0);
+  // The writer sits inside F (processor 0) so DA's write execution set is
+  // F ∪ {p} and every joiner gets invalidated.
+  Schedule schedule(num_processors);
+  int next_reader = 0;
+  size_t emitted = 0;
+  while (emitted < length) {
+    for (int j = 0; j < k && emitted < length; ++j, ++emitted) {
+      schedule.AppendRead(t_ + next_reader);
+      next_reader = (next_reader + 1) % outsiders;
+    }
+    if (emitted < length) {
+      schedule.AppendWrite(0);
+      ++emitted;
+    }
+  }
+  return schedule;
+}
+
+Schedule WriteChurnAdversary::Generate(int num_processors, size_t length,
+                                       uint64_t seed) const {
+  OBJALLOC_CHECK_GT(num_processors, t_);
+  util::Rng rng(seed);
+  const int outsiders = num_processors - t_;
+  Schedule schedule(num_processors);
+  for (size_t m = 0; m < length; ++m) {
+    auto writer = static_cast<util::ProcessorId>(
+        t_ + static_cast<int>(m % static_cast<size_t>(outsiders)));
+    // Mostly writes; an occasional read keeps legality interesting.
+    if (rng.NextBernoulli(0.2)) {
+      schedule.AppendRead(writer);
+    } else {
+      schedule.AppendWrite(writer);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace objalloc::workload

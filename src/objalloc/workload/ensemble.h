@@ -1,0 +1,24 @@
+// Standard generator ensembles used by the competitive-analysis sweeps.
+
+#ifndef OBJALLOC_WORKLOAD_ENSEMBLE_H_
+#define OBJALLOC_WORKLOAD_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "objalloc/workload/generator.h"
+
+namespace objalloc::workload {
+
+// Adversaries plus stressful random mixes; the worst measured ratio over
+// this ensemble is the empirical estimate of an algorithm's competitive
+// factor. `t` is the availability threshold the adversaries assume
+// (initial scheme {0..t-1}).
+std::vector<std::unique_ptr<ScheduleGenerator>> WorstCaseEnsemble(int t);
+
+// Benign random workloads for average-case comparisons.
+std::vector<std::unique_ptr<ScheduleGenerator>> AverageCaseEnsemble();
+
+}  // namespace objalloc::workload
+
+#endif  // OBJALLOC_WORKLOAD_ENSEMBLE_H_

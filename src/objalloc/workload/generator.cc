@@ -1,0 +1,36 @@
+#include "objalloc/workload/generator.h"
+
+#include "objalloc/workload/adversary.h"
+#include "objalloc/workload/ensemble.h"
+#include "objalloc/workload/hotspot.h"
+#include "objalloc/workload/regime.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::workload {
+
+std::vector<std::unique_ptr<ScheduleGenerator>> WorstCaseEnsemble(int t) {
+  std::vector<std::unique_ptr<ScheduleGenerator>> out;
+  out.push_back(std::make_unique<SaNemesis>(t));
+  out.push_back(std::make_unique<DaNemesis>(t, /*readers_per_round=*/8));
+  out.push_back(std::make_unique<DaNemesis>(t, /*readers_per_round=*/2));
+  out.push_back(std::make_unique<WriteChurnAdversary>(t));
+  out.push_back(std::make_unique<UniformWorkload>(/*read_ratio=*/0.8));
+  out.push_back(std::make_unique<UniformWorkload>(/*read_ratio=*/0.3));
+  out.push_back(std::make_unique<HotspotWorkload>(/*theta=*/0.9,
+                                                  /*read_ratio=*/0.7));
+  return out;
+}
+
+std::vector<std::unique_ptr<ScheduleGenerator>> AverageCaseEnsemble() {
+  std::vector<std::unique_ptr<ScheduleGenerator>> out;
+  out.push_back(std::make_unique<UniformWorkload>(/*read_ratio=*/0.9));
+  out.push_back(std::make_unique<UniformWorkload>(/*read_ratio=*/0.5));
+  out.push_back(std::make_unique<HotspotWorkload>(/*theta=*/0.9,
+                                                  /*read_ratio=*/0.7));
+  out.push_back(std::make_unique<RegimeWorkload>(/*regime_length=*/100,
+                                                 /*hot_set_size=*/2,
+                                                 /*read_ratio=*/0.8));
+  return out;
+}
+
+}  // namespace objalloc::workload

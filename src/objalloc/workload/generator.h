@@ -1,0 +1,31 @@
+// Schedule generators: the workloads the experiments run on.
+//
+// Each generator is deterministic given its seed; competitive-analysis
+// sweeps draw many schedules per grid point by varying the seed.
+
+#ifndef OBJALLOC_WORKLOAD_GENERATOR_H_
+#define OBJALLOC_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "objalloc/model/schedule.h"
+#include "objalloc/util/rng.h"
+
+namespace objalloc::workload {
+
+using model::Schedule;
+
+class ScheduleGenerator {
+ public:
+  virtual ~ScheduleGenerator() = default;
+  virtual std::string name() const = 0;
+  // Produces a schedule of `length` requests over `num_processors`
+  // processors, deterministically derived from `seed`.
+  virtual Schedule Generate(int num_processors, size_t length,
+                            uint64_t seed) const = 0;
+};
+
+}  // namespace objalloc::workload
+
+#endif  // OBJALLOC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,36 @@
+#include "objalloc/workload/hotspot.h"
+
+#include "objalloc/util/csv.h"
+#include "objalloc/util/logging.h"
+
+namespace objalloc::workload {
+
+HotspotWorkload::HotspotWorkload(double theta, double read_ratio)
+    : theta_(theta), read_ratio_(read_ratio) {
+  OBJALLOC_CHECK_GE(theta, 0.0);
+  OBJALLOC_CHECK_GE(read_ratio, 0.0);
+  OBJALLOC_CHECK_LE(read_ratio, 1.0);
+}
+
+std::string HotspotWorkload::name() const {
+  return "hotspot(theta=" + util::FormatDouble(theta_, 2) +
+         ",r=" + util::FormatDouble(read_ratio_, 2) + ")";
+}
+
+Schedule HotspotWorkload::Generate(int num_processors, size_t length,
+                                   uint64_t seed) const {
+  util::Rng rng(seed);
+  util::ZipfSampler zipf(static_cast<size_t>(num_processors), theta_);
+  Schedule schedule(num_processors);
+  for (size_t k = 0; k < length; ++k) {
+    auto p = static_cast<util::ProcessorId>(zipf.Sample(rng));
+    if (rng.NextBernoulli(read_ratio_)) {
+      schedule.AppendRead(p);
+    } else {
+      schedule.AppendWrite(p);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace objalloc::workload

@@ -1,0 +1,30 @@
+// Hotspot workload: request issuers follow a Zipf distribution — a few
+// processors account for most of the traffic. Models the paper's electronic-
+// publishing and financial-instrument scenarios where a document has a small
+// set of heavy writers/readers and a long tail of occasional readers.
+
+#ifndef OBJALLOC_WORKLOAD_HOTSPOT_H_
+#define OBJALLOC_WORKLOAD_HOTSPOT_H_
+
+#include "objalloc/workload/generator.h"
+
+namespace objalloc::workload {
+
+class HotspotWorkload final : public ScheduleGenerator {
+ public:
+  // `theta` is the Zipf skew (0 = uniform); `read_ratio` as in
+  // UniformWorkload. Writers are drawn from the same Zipf law.
+  HotspotWorkload(double theta, double read_ratio);
+
+  std::string name() const override;
+  Schedule Generate(int num_processors, size_t length,
+                    uint64_t seed) const override;
+
+ private:
+  double theta_;
+  double read_ratio_;
+};
+
+}  // namespace objalloc::workload
+
+#endif  // OBJALLOC_WORKLOAD_HOTSPOT_H_

@@ -1,0 +1,75 @@
+#include "objalloc/workload/multi_object.h"
+
+#include "objalloc/util/logging.h"
+#include "objalloc/util/processor_set.h"
+
+namespace objalloc::workload {
+
+util::Status MultiObjectOptions::Validate() const {
+  if (num_processors < 2 || num_processors > util::kMaxProcessors) {
+    return util::Status::InvalidArgument("num_processors out of range");
+  }
+  if (num_objects < 1) {
+    return util::Status::InvalidArgument("need at least one object");
+  }
+  if (min_read_fraction < 0 || max_read_fraction > 1 ||
+      min_read_fraction > max_read_fraction) {
+    return util::Status::InvalidArgument("bad read fraction range");
+  }
+  if (locality_set < 1 || locality_set > num_processors) {
+    return util::Status::InvalidArgument("bad locality set size");
+  }
+  return util::Status::Ok();
+}
+
+MultiObjectTrace GenerateMultiObjectTrace(const MultiObjectOptions& options,
+                                          uint64_t seed) {
+  OBJALLOC_CHECK(options.Validate().ok()) << options.Validate().ToString();
+  util::Rng rng(seed);
+  util::ZipfSampler popularity(static_cast<size_t>(options.num_objects),
+                               options.popularity_skew);
+
+  // Per-object personalities.
+  std::vector<double> read_fraction(
+      static_cast<size_t>(options.num_objects));
+  std::vector<std::vector<util::ProcessorId>> home(
+      static_cast<size_t>(options.num_objects));
+  for (int object = 0; object < options.num_objects; ++object) {
+    read_fraction[static_cast<size_t>(object)] =
+        options.min_read_fraction +
+        rng.NextDouble() *
+            (options.max_read_fraction - options.min_read_fraction);
+    std::vector<util::ProcessorId> pool;
+    for (int p = 0; p < options.num_processors; ++p) pool.push_back(p);
+    auto& hot = home[static_cast<size_t>(object)];
+    for (int k = 0; k < options.locality_set; ++k) {
+      size_t pick = rng.NextBounded(pool.size());
+      hot.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
+    }
+  }
+
+  MultiObjectTrace trace;
+  trace.num_processors = options.num_processors;
+  trace.num_objects = options.num_objects;
+  trace.events.reserve(options.length);
+  for (size_t k = 0; k < options.length; ++k) {
+    auto object = static_cast<int64_t>(popularity.Sample(rng));
+    util::ProcessorId issuer;
+    const auto& hot = home[static_cast<size_t>(object)];
+    if (rng.NextBernoulli(0.8)) {
+      issuer = hot[rng.NextBounded(hot.size())];
+    } else {
+      issuer = static_cast<util::ProcessorId>(
+          rng.NextBounded(static_cast<uint64_t>(options.num_processors)));
+    }
+    model::Request request =
+        rng.NextBernoulli(read_fraction[static_cast<size_t>(object)])
+            ? model::Request::Read(issuer)
+            : model::Request::Write(issuer);
+    trace.events.push_back(MultiObjectEvent{object, request});
+  }
+  return trace;
+}
+
+}  // namespace objalloc::workload

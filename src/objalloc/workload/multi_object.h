@@ -1,0 +1,49 @@
+// Multi-object traces: an interleaved request stream over many objects with
+// Zipf-distributed object popularity and per-object read/write mixes —
+// the workload shape of a directory service (many user-location records) or
+// a document store.
+
+#ifndef OBJALLOC_WORKLOAD_MULTI_OBJECT_H_
+#define OBJALLOC_WORKLOAD_MULTI_OBJECT_H_
+
+#include <vector>
+
+#include "objalloc/model/request.h"
+#include "objalloc/util/rng.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::workload {
+
+struct MultiObjectEvent {
+  int64_t object = 0;
+  model::Request request;
+};
+
+struct MultiObjectTrace {
+  int num_processors = 0;
+  int num_objects = 0;
+  std::vector<MultiObjectEvent> events;
+};
+
+struct MultiObjectOptions {
+  int num_processors = 8;
+  int num_objects = 64;
+  size_t length = 1000;
+  double popularity_skew = 0.8;  // Zipf theta over objects
+  // Each object draws its read fraction uniformly from this range —
+  // read-mostly objects and write-mostly objects coexist in one trace.
+  double min_read_fraction = 0.5;
+  double max_read_fraction = 0.95;
+  // Each object gets a random "home" hot set of this size issuing 80% of
+  // its requests.
+  int locality_set = 3;
+
+  util::Status Validate() const;
+};
+
+MultiObjectTrace GenerateMultiObjectTrace(const MultiObjectOptions& options,
+                                          uint64_t seed);
+
+}  // namespace objalloc::workload
+
+#endif  // OBJALLOC_WORKLOAD_MULTI_OBJECT_H_

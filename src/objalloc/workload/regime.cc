@@ -1,0 +1,59 @@
+#include "objalloc/workload/regime.h"
+
+#include <vector>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::workload {
+
+RegimeWorkload::RegimeWorkload(size_t regime_length, int hot_set_size,
+                               double read_ratio)
+    : regime_length_(regime_length),
+      hot_set_size_(hot_set_size),
+      read_ratio_(read_ratio) {
+  OBJALLOC_CHECK_GT(regime_length, 0u);
+  OBJALLOC_CHECK_GT(hot_set_size, 0);
+  OBJALLOC_CHECK_GE(read_ratio, 0.0);
+  OBJALLOC_CHECK_LE(read_ratio, 1.0);
+}
+
+std::string RegimeWorkload::name() const {
+  return "regime(len=" + std::to_string(regime_length_) +
+         ",hot=" + std::to_string(hot_set_size_) + ")";
+}
+
+Schedule RegimeWorkload::Generate(int num_processors, size_t length,
+                                  uint64_t seed) const {
+  util::Rng rng(seed);
+  Schedule schedule(num_processors);
+  const int hot_size = std::min(hot_set_size_, num_processors);
+  std::vector<util::ProcessorId> hot;
+  for (size_t k = 0; k < length; ++k) {
+    if (k % regime_length_ == 0) {
+      // New regime: re-draw the hot set (sampling without replacement).
+      hot.clear();
+      std::vector<util::ProcessorId> pool;
+      for (int p = 0; p < num_processors; ++p) pool.push_back(p);
+      for (int m = 0; m < hot_size; ++m) {
+        size_t pick = rng.NextBounded(pool.size());
+        hot.push_back(pool[pick]);
+        pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
+      }
+    }
+    util::ProcessorId p;
+    if (rng.NextBernoulli(0.9)) {
+      p = hot[rng.NextBounded(hot.size())];
+    } else {
+      p = static_cast<util::ProcessorId>(
+          rng.NextBounded(static_cast<uint64_t>(num_processors)));
+    }
+    if (rng.NextBernoulli(read_ratio_)) {
+      schedule.AppendRead(p);
+    } else {
+      schedule.AppendWrite(p);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace objalloc::workload

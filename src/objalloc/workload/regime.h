@@ -1,0 +1,33 @@
+// Regime-switching workload: the "regular" access pattern of §5.1 — the
+// read-write pattern is stable for a stretch of requests, then shifts.
+// During each regime a (randomly chosen) subset of processors is hot; a
+// convergent algorithm should migrate the allocation scheme to each regime's
+// hot set, while a competitive algorithm only guarantees a worst-case bound.
+
+#ifndef OBJALLOC_WORKLOAD_REGIME_H_
+#define OBJALLOC_WORKLOAD_REGIME_H_
+
+#include "objalloc/workload/generator.h"
+
+namespace objalloc::workload {
+
+class RegimeWorkload final : public ScheduleGenerator {
+ public:
+  // Each regime lasts `regime_length` requests; within a regime, a hot set
+  // of `hot_set_size` processors issues 90% of the requests; reads occur
+  // with probability `read_ratio`.
+  RegimeWorkload(size_t regime_length, int hot_set_size, double read_ratio);
+
+  std::string name() const override;
+  Schedule Generate(int num_processors, size_t length,
+                    uint64_t seed) const override;
+
+ private:
+  size_t regime_length_;
+  int hot_set_size_;
+  double read_ratio_;
+};
+
+}  // namespace objalloc::workload
+
+#endif  // OBJALLOC_WORKLOAD_REGIME_H_

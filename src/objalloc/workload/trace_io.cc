@@ -1,0 +1,132 @@
+#include "objalloc/workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace objalloc::workload {
+
+void WriteTrace(const model::Schedule& schedule, std::ostream& os) {
+  os << "# objalloc schedule trace\n";
+  os << "processors " << schedule.num_processors() << "\n";
+  size_t column = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    std::string token = schedule[i].ToString();
+    if (column > 0 && column + token.size() + 1 > 80) {
+      os << "\n";
+      column = 0;
+    }
+    if (column > 0) {
+      os << " ";
+      ++column;
+    }
+    os << token;
+    column += token.size();
+  }
+  os << "\n";
+}
+
+util::Status WriteTraceFile(const model::Schedule& schedule,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::NotFound("cannot open for writing: " + path);
+  WriteTrace(schedule, out);
+  if (!out) return util::Status::Internal("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<model::Schedule> ReadTrace(std::istream& is) {
+  std::string line;
+  int num_processors = -1;
+  std::string body;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (num_processors < 0) {
+      std::istringstream header(line);
+      std::string keyword;
+      header >> keyword >> num_processors;
+      if (keyword != "processors" || num_processors <= 0) {
+        return util::Status::InvalidArgument("bad trace header: " + line);
+      }
+      continue;
+    }
+    body += line;
+    body += " ";
+  }
+  if (num_processors < 0) {
+    return util::Status::InvalidArgument("trace missing 'processors' header");
+  }
+  return model::Schedule::Parse(num_processors, body);
+}
+
+util::StatusOr<model::Schedule> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::NotFound("cannot open: " + path);
+  return ReadTrace(in);
+}
+
+void WriteMultiObjectTrace(const MultiObjectTrace& trace, std::ostream& os) {
+  os << "# objalloc multi-object trace\n";
+  os << "multiobject processors " << trace.num_processors << " objects "
+     << trace.num_objects << "\n";
+  for (const MultiObjectEvent& event : trace.events) {
+    os << event.object << " " << event.request.ToString() << "\n";
+  }
+}
+
+util::Status WriteMultiObjectTraceFile(const MultiObjectTrace& trace,
+                                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::NotFound("cannot open for writing: " + path);
+  WriteMultiObjectTrace(trace, out);
+  if (!out) return util::Status::Internal("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<MultiObjectTrace> ReadMultiObjectTrace(std::istream& is) {
+  MultiObjectTrace trace;
+  bool have_header = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    if (!have_header) {
+      std::string keyword, processors_kw, objects_kw;
+      tokens >> keyword >> processors_kw >> trace.num_processors >>
+          objects_kw >> trace.num_objects;
+      if (keyword != "multiobject" || processors_kw != "processors" ||
+          objects_kw != "objects" || trace.num_processors <= 0 ||
+          trace.num_objects <= 0) {
+        return util::Status::InvalidArgument("bad trace header: " + line);
+      }
+      have_header = true;
+      continue;
+    }
+    int64_t object = -1;
+    std::string request_token;
+    tokens >> object >> request_token;
+    if (object < 0 || object >= trace.num_objects) {
+      return util::Status::OutOfRange("object id out of range: " + line);
+    }
+    auto request =
+        model::Schedule::Parse(trace.num_processors, request_token);
+    if (!request.ok()) return request.status();
+    if (request->size() != 1) {
+      return util::Status::InvalidArgument("expected one request: " + line);
+    }
+    trace.events.push_back(MultiObjectEvent{object, (*request)[0]});
+  }
+  if (!have_header) {
+    return util::Status::InvalidArgument(
+        "trace missing 'multiobject' header");
+  }
+  return trace;
+}
+
+util::StatusOr<MultiObjectTrace> ReadMultiObjectTraceFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::NotFound("cannot open: " + path);
+  return ReadMultiObjectTrace(in);
+}
+
+}  // namespace objalloc::workload

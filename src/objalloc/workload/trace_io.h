@@ -1,0 +1,43 @@
+// Plain-text trace format for schedules, so workloads can be captured,
+// shared, and replayed:
+//
+//   # optional comment lines
+//   processors <n>
+//   w2 r4 w3 r1 r2 ...        (any number of request lines)
+
+#ifndef OBJALLOC_WORKLOAD_TRACE_IO_H_
+#define OBJALLOC_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "objalloc/model/schedule.h"
+#include "objalloc/util/status.h"
+#include "objalloc/workload/multi_object.h"
+
+namespace objalloc::workload {
+
+// Serializes `schedule` (wrapping request lines at ~80 columns).
+void WriteTrace(const model::Schedule& schedule, std::ostream& os);
+util::Status WriteTraceFile(const model::Schedule& schedule,
+                            const std::string& path);
+
+// Parses a trace; rejects malformed headers, tokens, and out-of-range ids.
+util::StatusOr<model::Schedule> ReadTrace(std::istream& is);
+util::StatusOr<model::Schedule> ReadTraceFile(const std::string& path);
+
+// Multi-object traces use one event per line after the header:
+//
+//   # optional comments
+//   multiobject processors <n> objects <m>
+//   <object-id> <r|w><processor>
+void WriteMultiObjectTrace(const MultiObjectTrace& trace, std::ostream& os);
+util::Status WriteMultiObjectTraceFile(const MultiObjectTrace& trace,
+                                       const std::string& path);
+util::StatusOr<MultiObjectTrace> ReadMultiObjectTrace(std::istream& is);
+util::StatusOr<MultiObjectTrace> ReadMultiObjectTraceFile(
+    const std::string& path);
+
+}  // namespace objalloc::workload
+
+#endif  // OBJALLOC_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,33 @@
+#include "objalloc/workload/uniform.h"
+
+#include "objalloc/util/csv.h"
+#include "objalloc/util/logging.h"
+
+namespace objalloc::workload {
+
+UniformWorkload::UniformWorkload(double read_ratio) : read_ratio_(read_ratio) {
+  OBJALLOC_CHECK_GE(read_ratio, 0.0);
+  OBJALLOC_CHECK_LE(read_ratio, 1.0);
+}
+
+std::string UniformWorkload::name() const {
+  return "uniform(r=" + util::FormatDouble(read_ratio_, 2) + ")";
+}
+
+Schedule UniformWorkload::Generate(int num_processors, size_t length,
+                                   uint64_t seed) const {
+  util::Rng rng(seed);
+  Schedule schedule(num_processors);
+  for (size_t k = 0; k < length; ++k) {
+    auto p = static_cast<util::ProcessorId>(
+        rng.NextBounded(static_cast<uint64_t>(num_processors)));
+    if (rng.NextBernoulli(read_ratio_)) {
+      schedule.AppendRead(p);
+    } else {
+      schedule.AppendWrite(p);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace objalloc::workload

@@ -1,0 +1,27 @@
+// Uniform workload: every request is a read with probability `read_ratio`,
+// issued by a uniformly random processor. The "chaotic" access pattern of
+// §5.1, for which competitive (rather than convergent) algorithms are
+// designed.
+
+#ifndef OBJALLOC_WORKLOAD_UNIFORM_H_
+#define OBJALLOC_WORKLOAD_UNIFORM_H_
+
+#include "objalloc/workload/generator.h"
+
+namespace objalloc::workload {
+
+class UniformWorkload final : public ScheduleGenerator {
+ public:
+  explicit UniformWorkload(double read_ratio);
+
+  std::string name() const override;
+  Schedule Generate(int num_processors, size_t length,
+                    uint64_t seed) const override;
+
+ private:
+  double read_ratio_;
+};
+
+}  // namespace objalloc::workload
+
+#endif  // OBJALLOC_WORKLOAD_UNIFORM_H_

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "objalloc/core/adaptive_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/model/legality.h"
+#include "objalloc/workload/regime.h"
+
+namespace objalloc::core {
+namespace {
+
+using model::CostModel;
+using model::Schedule;
+
+AdaptiveAllocation MakeAdaptive(const CostModel& model, int window = 64) {
+  AdaptiveOptions options;
+  options.window_size = window;
+  return AdaptiveAllocation(model, options);
+}
+
+TEST(AdaptiveAllocationTest, OptionsValidation) {
+  AdaptiveOptions bad;
+  bad.window_size = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  EXPECT_TRUE(AdaptiveOptions{}.Validate().ok());
+}
+
+TEST(AdaptiveAllocationTest, MemberReadsLocally) {
+  auto adaptive = MakeAdaptive(CostModel::StationaryComputing(0.2, 0.5));
+  adaptive.Reset(5, ProcessorSet{0, 1});
+  Decision d = adaptive.Step(Request::Read(0));
+  EXPECT_EQ(d.execution_set, ProcessorSet{0});
+  EXPECT_FALSE(d.saving);
+}
+
+TEST(AdaptiveAllocationTest, RepeatedReaderGetsPromoted) {
+  auto adaptive = MakeAdaptive(CostModel::StationaryComputing(0.2, 0.5));
+  adaptive.Reset(5, ProcessorSet{0, 1});
+  // With no writes in the window, copies are free: the first outside read
+  // already saves.
+  Decision d = adaptive.Step(Request::Read(3));
+  EXPECT_TRUE(d.saving);
+  EXPECT_TRUE(adaptive.scheme().Contains(3));
+}
+
+TEST(AdaptiveAllocationTest, WriteKeepsAvailabilityThreshold) {
+  auto adaptive = MakeAdaptive(CostModel::StationaryComputing(0.2, 0.5));
+  adaptive.Reset(6, ProcessorSet{0, 1, 2});
+  Decision d = adaptive.Step(Request::Write(4));
+  EXPECT_GE(d.execution_set.Size(), 3);
+  EXPECT_TRUE(d.execution_set.Contains(4));
+}
+
+TEST(AdaptiveAllocationTest, ColdMembersAreDroppedOnWrite) {
+  auto adaptive = MakeAdaptive(CostModel::StationaryComputing(0.1, 0.2));
+  adaptive.Reset(8, ProcessorSet{0, 1});
+  // Processor 5 reads heavily; 0 and 1 never read. After a streak of writes
+  // and reads, the scheme should track the readers.
+  for (int round = 0; round < 10; ++round) {
+    adaptive.Step(Request::Read(5));
+    adaptive.Step(Request::Read(5));
+    adaptive.Step(Request::Write(6));
+  }
+  EXPECT_TRUE(adaptive.scheme().Contains(5));
+}
+
+TEST(AdaptiveAllocationTest, ProducesLegalTAvailableSchedules) {
+  CostModel sc = CostModel::StationaryComputing(0.3, 0.6);
+  for (int t = 2; t <= 4; ++t) {
+    auto adaptive = MakeAdaptive(sc);
+    Schedule schedule =
+        Schedule::Parse(7, "r5 r6 w2 r3 w3 r0 r1 w5 r4 r4 w1 r6").value();
+    auto allocation =
+        RunAlgorithm(adaptive, schedule, ProcessorSet::FirstN(t));
+    EXPECT_TRUE(model::CheckLegalAndTAvailable(allocation, t).ok()) << t;
+  }
+}
+
+TEST(AdaptiveAllocationTest, BeatsStaticAllocationOnRegularPattern) {
+  // §5.1: convergent algorithms shine on regular read-write patterns. A
+  // stable hot set of readers far from the static scheme should favor the
+  // adaptive allocator.
+  CostModel sc = CostModel::StationaryComputing(0.2, 1.0);
+  workload::RegimeWorkload regime(/*regime_length=*/200, /*hot_set_size=*/2,
+                                  /*read_ratio=*/0.9);
+  Schedule schedule = regime.Generate(10, 600, /*seed=*/42);
+
+  auto adaptive = MakeAdaptive(sc);
+  StaticAllocation sa;
+  double adaptive_cost =
+      RunWithCost(adaptive, sc, schedule, ProcessorSet{0, 1}).cost;
+  double static_cost =
+      RunWithCost(sa, sc, schedule, ProcessorSet{0, 1}).cost;
+  EXPECT_LT(adaptive_cost, static_cost);
+}
+
+TEST(AdaptiveAllocationTest, SmallWindowStillLegal) {
+  CostModel mc = CostModel::MobileComputing(0.1, 0.4);
+  auto adaptive = MakeAdaptive(mc, /*window=*/4);
+  Schedule schedule =
+      Schedule::Parse(5, "w4 r3 r3 w0 r2 w2 r1 r1 r1 w3").value();
+  auto allocation = RunAlgorithm(adaptive, schedule, ProcessorSet{0, 1});
+  EXPECT_TRUE(model::CheckLegalAndTAvailable(allocation, 2).ok());
+}
+
+}  // namespace
+}  // namespace objalloc::core

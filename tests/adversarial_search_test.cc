@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "objalloc/analysis/adversarial_search.h"
+#include "objalloc/analysis/competitive.h"
+#include "objalloc/analysis/theorems.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::analysis {
+namespace {
+
+SearchOptions SmallSearch() {
+  SearchOptions options;
+  options.num_processors = 5;
+  options.t = 2;
+  options.schedule_length = 30;
+  options.max_length = 60;
+  options.iterations = 150;
+  options.restarts = 2;
+  return options;
+}
+
+TEST(AdversarialSearchTest, OptionsValidation) {
+  SearchOptions options = SmallSearch();
+  EXPECT_TRUE(options.Validate().ok());
+  options.t = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = SmallSearch();
+  options.max_length = 10;
+  EXPECT_FALSE(options.Validate().ok());
+  options = SmallSearch();
+  options.iterations = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(AdversarialSearchTest, FoundScheduleReproducesItsRatio) {
+  core::DynamicAllocation da;
+  model::CostModel sc = model::CostModel::StationaryComputing(0.25, 0.5);
+  SearchResult result = FindAdversarialSchedule(da, sc, SmallSearch());
+  ASSERT_GT(result.best_ratio, 1.0);
+  ASSERT_FALSE(result.best_schedule.empty());
+  double replayed = RatioOnSchedule(da, sc, result.best_schedule,
+                                    model::ProcessorSet::FirstN(2));
+  EXPECT_NEAR(replayed, result.best_ratio, 1e-9);
+}
+
+TEST(AdversarialSearchTest, BeatsTheRandomBaseline) {
+  // The climb must strictly improve on plain random sampling with the same
+  // evaluation budget.
+  core::DynamicAllocation da;
+  model::CostModel sc = model::CostModel::StationaryComputing(0.25, 0.5);
+  SearchOptions options = SmallSearch();
+  SearchResult climbed = FindAdversarialSchedule(da, sc, options);
+
+  workload::UniformWorkload uniform(0.7);
+  double random_best = 0;
+  for (int64_t k = 0; k < climbed.evaluations; ++k) {
+    model::Schedule schedule = uniform.Generate(
+        options.num_processors, options.schedule_length,
+        static_cast<uint64_t>(k) + 1);
+    random_best = std::max(
+        random_best, RatioOnSchedule(da, sc, schedule,
+                                     model::ProcessorSet::FirstN(2)));
+  }
+  EXPECT_GT(climbed.best_ratio, random_best);
+}
+
+TEST(AdversarialSearchTest, NeverExceedsTheAnalyticUpperBound) {
+  core::DynamicAllocation da;
+  for (auto [cc, cd] : {std::pair{0.1, 0.4}, {0.3, 0.5}}) {
+    model::CostModel sc = model::CostModel::StationaryComputing(cc, cd);
+    SearchResult result = FindAdversarialSchedule(da, sc, SmallSearch());
+    EXPECT_LE(result.best_ratio, DaCompetitiveFactor(sc) + 1e-9)
+        << "cc=" << cc << " cd=" << cd;
+  }
+}
+
+TEST(AdversarialSearchTest, ExceedsTheGenericLowerBoundInTheBand) {
+  // Inside the unknown band the search should at least rediscover ratios
+  // above Prop. 2's 1.5.
+  core::DynamicAllocation da;
+  model::CostModel sc = model::CostModel::StationaryComputing(0.25, 0.3);
+  SearchOptions options = SmallSearch();
+  options.iterations = 300;
+  SearchResult result = FindAdversarialSchedule(da, sc, options);
+  EXPECT_GE(result.best_ratio, kDaLowerBound);
+}
+
+TEST(AdversarialSearchTest, FindsSaTightFactorQuickly) {
+  // Against SA the climber should approach 1 + cc + cd (it can grow the
+  // nemesis seed toward max_length).
+  core::StaticAllocation sa;
+  model::CostModel sc = model::CostModel::StationaryComputing(0.5, 1.0);
+  SearchOptions options = SmallSearch();
+  options.max_length = 100;
+  SearchResult result = FindAdversarialSchedule(sa, sc, options);
+  EXPECT_GT(result.best_ratio, 2.2);  // limit 2.5
+  EXPECT_LE(result.best_ratio, 2.5);
+}
+
+TEST(AdversarialSearchTest, DeterministicPerSeed) {
+  core::DynamicAllocation da;
+  model::CostModel sc = model::CostModel::StationaryComputing(0.2, 0.4);
+  SearchResult a = FindAdversarialSchedule(da, sc, SmallSearch());
+  SearchResult b = FindAdversarialSchedule(da, sc, SmallSearch());
+  EXPECT_DOUBLE_EQ(a.best_ratio, b.best_ratio);
+  EXPECT_EQ(a.best_schedule.ToString(), b.best_schedule.ToString());
+}
+
+}  // namespace
+}  // namespace objalloc::analysis

@@ -1,0 +1,136 @@
+// §6.2: the object-allocation results apply verbatim to the append-only
+// (satellite feed / standing orders) model. These tests verify the mapping
+// and the cost-for-cost equivalence between the feed managers and the SA/DA
+// DOM algorithms.
+
+#include <gtest/gtest.h>
+
+#include "objalloc/appendonly/feed.h"
+#include "objalloc/appendonly/feed_manager.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/util/rng.h"
+
+namespace objalloc::appendonly {
+namespace {
+
+using model::CostModel;
+
+FeedSchedule RandomFeed(int stations, size_t length, uint64_t seed) {
+  util::Rng rng(seed);
+  FeedSchedule feed(stations);
+  for (size_t i = 0; i < length; ++i) {
+    auto station = static_cast<ProcessorId>(
+        rng.NextBounded(static_cast<uint64_t>(stations)));
+    if (rng.NextBernoulli(0.3)) {
+      feed.AppendGenerate(station);
+    } else {
+      feed.AppendRead(station);
+    }
+  }
+  return feed;
+}
+
+TEST(FeedScheduleTest, MappingToObjectSchedule) {
+  FeedSchedule feed(4);
+  feed.AppendGenerate(2);
+  feed.AppendRead(3);
+  feed.AppendRead(3);
+  feed.AppendGenerate(0);
+  model::Schedule schedule = feed.ToObjectSchedule();
+  EXPECT_EQ(schedule.ToString(), "w2 r3 r3 w0");
+}
+
+TEST(StaticFeedTest, GenerateTransmitsToAllStandingOrders) {
+  StaticFeedManager manager(ProcessorSet{0, 1, 2});
+  manager.OnGenerate(5);  // generator outside Q
+  EXPECT_EQ(manager.breakdown().data_messages, 3);
+  EXPECT_EQ(manager.breakdown().io_ops, 3);
+  manager.OnGenerate(0);  // generator inside Q keeps its copy locally
+  EXPECT_EQ(manager.breakdown().data_messages, 5);
+  EXPECT_EQ(manager.breakdown().io_ops, 6);
+}
+
+TEST(StaticFeedTest, ReadsLocalOrOnDemand) {
+  StaticFeedManager manager(ProcessorSet{0, 1});
+  manager.OnRead(0);
+  EXPECT_EQ(manager.breakdown().io_ops, 1);
+  EXPECT_EQ(manager.breakdown().control_messages, 0);
+  manager.OnRead(4);
+  EXPECT_EQ(manager.breakdown().control_messages, 1);
+  EXPECT_EQ(manager.breakdown().data_messages, 1);
+  EXPECT_EQ(manager.breakdown().io_ops, 2);
+}
+
+TEST(DynamicFeedTest, TemporaryStandingOrderIsCancelledByNextObject) {
+  DynamicFeedManager manager(ProcessorSet{0, 1});  // F = {0}, p = 1
+  manager.OnRead(3);  // temporary standing order at 3
+  EXPECT_TRUE(manager.holders().Contains(3));
+  int64_t ctrl = manager.breakdown().control_messages;
+  manager.OnGenerate(0);  // next object cancels 3's order
+  EXPECT_FALSE(manager.holders().Contains(3));
+  EXPECT_EQ(manager.breakdown().control_messages, ctrl + 1);
+}
+
+TEST(DynamicFeedTest, RepeatReaderKeepsLocalCopyUntilNextObject) {
+  DynamicFeedManager manager(ProcessorSet{0, 1});
+  manager.OnRead(3);
+  int64_t data = manager.breakdown().data_messages;
+  manager.OnRead(3);  // already holds the latest object
+  EXPECT_EQ(manager.breakdown().data_messages, data);
+}
+
+TEST(EquivalenceTest, StaticFeedMatchesSaCostForCost) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    FeedSchedule feed = RandomFeed(7, 150, seed);
+    StaticFeedManager manager(ProcessorSet{0, 1});
+    model::CostBreakdown feed_cost = manager.Run(feed);
+
+    core::StaticAllocation sa;
+    model::CostBreakdown dom_cost =
+        core::RunWithCost(sa, CostModel::StationaryComputing(0.5, 1.0),
+                          feed.ToObjectSchedule(), ProcessorSet{0, 1})
+            .breakdown;
+    EXPECT_EQ(feed_cost, dom_cost) << "seed " << seed;
+  }
+}
+
+TEST(EquivalenceTest, DynamicFeedMatchesDaCostForCost) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (int t = 2; t <= 3; ++t) {
+      FeedSchedule feed = RandomFeed(7, 150, seed);
+      DynamicFeedManager manager(ProcessorSet::FirstN(t));
+      model::CostBreakdown feed_cost = manager.Run(feed);
+
+      core::DynamicAllocation da;
+      model::CostBreakdown dom_cost =
+          core::RunWithCost(da, CostModel::StationaryComputing(0.5, 1.0),
+                            feed.ToObjectSchedule(), ProcessorSet::FirstN(t))
+              .breakdown;
+      EXPECT_EQ(feed_cost, dom_cost) << "seed " << seed << " t " << t;
+    }
+  }
+}
+
+TEST(EquivalenceTest, HoldsInMobileCostModelToo) {
+  // The breakdown counts are cost-model independent; scalar costs under MC
+  // therefore agree as well.
+  FeedSchedule feed = RandomFeed(6, 100, 9);
+  DynamicFeedManager manager(ProcessorSet{0, 1});
+  model::CostBreakdown feed_cost = manager.Run(feed);
+  CostModel mc = CostModel::MobileComputing(0.25, 0.75);
+  core::DynamicAllocation da;
+  double dom_cost = core::RunWithCost(da, mc, feed.ToObjectSchedule(),
+                                      ProcessorSet{0, 1})
+                        .cost;
+  EXPECT_DOUBLE_EQ(feed_cost.Cost(mc), dom_cost);
+}
+
+TEST(FeedScheduleTest, RejectsOutOfRangeStation) {
+  FeedSchedule feed(3);
+  EXPECT_DEATH(feed.AppendRead(3), "");
+}
+
+}  // namespace
+}  // namespace objalloc::appendonly

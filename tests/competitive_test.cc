@@ -1,0 +1,245 @@
+// Property tests for the paper's competitive-analysis results (Theorems 1-4,
+// Propositions 1-3): measured worst-case ratios against the exact offline
+// OPT must respect the analytic upper bounds everywhere, and the nemesis
+// workloads must drive the ratios toward the analytic lower bounds.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "objalloc/analysis/competitive.h"
+#include "objalloc/analysis/theorems.h"
+#include "objalloc/util/csv.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/workload/adversary.h"
+#include "objalloc/workload/ensemble.h"
+
+namespace objalloc::analysis {
+namespace {
+
+using core::DynamicAllocation;
+using core::StaticAllocation;
+
+struct GridCase {
+  double cc, cd;
+  int t;
+};
+
+std::string GridName(const ::testing::TestParamInfo<GridCase>& info) {
+  auto fmt = [](double v) {
+    std::string s = util::FormatDouble(v, 2);
+    for (char& c : s) {
+      if (c == '.') c = '_';
+    }
+    return s;
+  };
+  return "cc" + fmt(info.param.cc) + "_cd" + fmt(info.param.cd) + "_t" +
+         std::to_string(info.param.t);
+}
+
+RatioOptions SmallOptions(int t) {
+  RatioOptions options;
+  options.num_processors = 7;
+  options.t = t;
+  options.schedule_length = 120;
+  options.seeds_per_generator = 3;
+  return options;
+}
+
+class StationaryGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(StationaryGridTest, SaStaysWithinTheorem1Bound) {
+  const GridCase& param = GetParam();
+  CostModel sc = CostModel::StationaryComputing(param.cc, param.cd);
+  StaticAllocation sa;
+  RatioSummary summary = MeasureCompetitiveRatio(
+      sa, sc, workload::WorstCaseEnsemble(param.t), SmallOptions(param.t));
+  double bound = SaCompetitiveFactor(sc).value();
+  EXPECT_LE(summary.worst.ratio, bound + 0.05)
+      << "worst on " << summary.worst.generator << " seed "
+      << summary.worst.seed;
+}
+
+TEST_P(StationaryGridTest, DaStaysWithinTheorem2And3Bounds) {
+  const GridCase& param = GetParam();
+  CostModel sc = CostModel::StationaryComputing(param.cc, param.cd);
+  DynamicAllocation da;
+  RatioSummary summary = MeasureCompetitiveRatio(
+      da, sc, workload::WorstCaseEnsemble(param.t), SmallOptions(param.t));
+  double bound = DaCompetitiveFactor(sc);
+  EXPECT_LE(summary.worst.ratio, bound + 0.05)
+      << "worst on " << summary.worst.generator << " seed "
+      << summary.worst.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CostGrid, StationaryGridTest,
+    ::testing::Values(GridCase{0.0, 0.0, 2}, GridCase{0.1, 0.2, 2},
+                      GridCase{0.25, 0.25, 2}, GridCase{0.1, 0.6, 2},
+                      GridCase{0.5, 0.5, 2}, GridCase{0.5, 1.0, 2},
+                      GridCase{0.0, 1.5, 2}, GridCase{0.5, 2.0, 2},
+                      GridCase{1.0, 2.0, 2}, GridCase{0.1, 0.2, 3},
+                      GridCase{0.5, 1.0, 3}, GridCase{0.5, 2.0, 4}),
+    GridName);
+
+class MobileGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(MobileGridTest, DaStaysWithinTheorem4Bound) {
+  const GridCase& param = GetParam();
+  CostModel mc = CostModel::MobileComputing(param.cc, param.cd);
+  DynamicAllocation da;
+  RatioSummary summary = MeasureCompetitiveRatio(
+      da, mc, workload::WorstCaseEnsemble(param.t), SmallOptions(param.t));
+  double bound = DaCompetitiveFactor(mc);
+  EXPECT_LE(summary.worst.ratio, bound + 0.05)
+      << "worst on " << summary.worst.generator << " seed "
+      << summary.worst.seed;
+  EXPECT_LE(bound, 5.0 + 1e-9);  // the paper: at most 5 since cc <= cd
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CostGrid, MobileGridTest,
+    ::testing::Values(GridCase{0.1, 0.2, 2}, GridCase{0.25, 0.25, 2},
+                      GridCase{0.5, 1.0, 2}, GridCase{1.0, 1.0, 2},
+                      GridCase{0.2, 2.0, 2}, GridCase{0.5, 1.0, 3}),
+    GridName);
+
+// ---------------------------------------------------------- Lower bounds
+
+TEST(Proposition1Test, SaNemesisApproachesTightFactor) {
+  // SA's ratio on the nemesis tends to (1 + cc + cd) from below as the
+  // schedule grows.
+  CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  const double bound = SaCompetitiveFactor(sc).value();  // 2.5
+  workload::SaNemesis nemesis(2);
+  StaticAllocation sa;
+  ProcessorSet initial = ProcessorSet::FirstN(2);
+  double previous = 0;
+  for (size_t length : {20u, 80u, 320u}) {
+    model::Schedule schedule = nemesis.Generate(6, length, 1);
+    double ratio = RatioOnSchedule(sa, sc, schedule, initial);
+    EXPECT_GT(ratio, previous);  // monotonically approaching
+    EXPECT_LT(ratio, bound);
+    previous = ratio;
+  }
+  EXPECT_GT(previous, bound - 0.05);  // within 2% at length 320
+}
+
+TEST(Proposition2Test, DaNemesisExceedsOneAndAHalfWhereSaIsSuperior) {
+  // In the region cc + cd < 0.5 (where the paper declares SA superior via
+  // this proposition), the join-churn nemesis drives DA's ratio above 1.5.
+  for (auto [cc, cd] : {std::pair{0.0, 0.0}, {0.1, 0.2}, {0.2, 0.25}}) {
+    CostModel sc = CostModel::StationaryComputing(cc, cd);
+    workload::DaNemesis nemesis(2, /*readers_per_round=*/4);
+    DynamicAllocation da;
+    model::Schedule schedule = nemesis.Generate(7, 200, 1);
+    double ratio =
+        RatioOnSchedule(da, sc, schedule, ProcessorSet::FirstN(2));
+    EXPECT_GE(ratio, kDaLowerBound) << "cc=" << cc << " cd=" << cd;
+  }
+}
+
+TEST(Proposition3Test, SaRatioGrowsWithoutBoundInMobileComputing) {
+  // MC: local reads are free, so OPT pays once for the nemesis reader while
+  // SA pays per read — the ratio grows linearly with the schedule.
+  CostModel mc = CostModel::MobileComputing(0.25, 1.0);
+  workload::SaNemesis nemesis(2);
+  StaticAllocation sa;
+  ProcessorSet initial = ProcessorSet::FirstN(2);
+  double r100 = RatioOnSchedule(sa, mc, nemesis.Generate(6, 100, 1), initial);
+  double r200 = RatioOnSchedule(sa, mc, nemesis.Generate(6, 200, 1), initial);
+  double r400 = RatioOnSchedule(sa, mc, nemesis.Generate(6, 400, 1), initial);
+  EXPECT_GT(r200, r100 * 1.8);
+  EXPECT_GT(r400, r200 * 1.8);
+  EXPECT_GT(r400, 100.0);  // far above any constant factor
+}
+
+TEST(MobileDominanceTest, DaBeatsSaOnEveryWorkloadFamilyInMc) {
+  // Figure 2: DA is strictly superior in mobile computing.
+  CostModel mc = CostModel::MobileComputing(0.25, 1.0);
+  StaticAllocation sa;
+  DynamicAllocation da;
+  RatioOptions options = SmallOptions(2);
+  RatioSummary sa_summary = MeasureCompetitiveRatio(
+      sa, mc, workload::WorstCaseEnsemble(2), options);
+  RatioSummary da_summary = MeasureCompetitiveRatio(
+      da, mc, workload::WorstCaseEnsemble(2), options);
+  EXPECT_GT(sa_summary.worst.ratio, da_summary.worst.ratio);
+}
+
+// ------------------------------------------------------ Analytic factors
+
+TEST(TheoremFactorsTest, SaFactorMatchesTheorem1) {
+  EXPECT_DOUBLE_EQ(
+      SaCompetitiveFactor(CostModel::StationaryComputing(0.5, 1.0)).value(),
+      2.5);
+  EXPECT_FALSE(
+      SaCompetitiveFactor(CostModel::MobileComputing(0.5, 1.0)).has_value());
+}
+
+TEST(TheoremFactorsTest, DaFactorSwitchesAtCdEqualsIo) {
+  // Theorem 2 vs Theorem 3: the bound drops from 2+2cc to 2+cc when cd > 1.
+  EXPECT_DOUBLE_EQ(
+      DaCompetitiveFactor(CostModel::StationaryComputing(0.5, 0.8)), 3.0);
+  EXPECT_DOUBLE_EQ(
+      DaCompetitiveFactor(CostModel::StationaryComputing(0.5, 1.5)), 2.5);
+}
+
+TEST(TheoremFactorsTest, DaMobileFactor) {
+  EXPECT_DOUBLE_EQ(
+      DaCompetitiveFactor(CostModel::MobileComputing(0.5, 1.0)), 3.5);
+  EXPECT_DOUBLE_EQ(DaCompetitiveFactor(CostModel::MobileComputing(1.0, 1.0)),
+                   5.0);  // the maximum, at cc == cd
+}
+
+TEST(TheoremFactorsTest, FactorsAreIndependentOfT) {
+  // §2: "these competitiveness factors are independent of the integer t".
+  // The formulas take no t; verify the measured worst ratios do not grow
+  // with t either (checked more cheaply here than in the benches).
+  CostModel sc = CostModel::StationaryComputing(0.25, 0.5);
+  double bound = DaCompetitiveFactor(sc);
+  for (int t = 2; t <= 4; ++t) {
+    DynamicAllocation da;
+    RatioSummary summary = MeasureCompetitiveRatio(
+        da, sc, workload::WorstCaseEnsemble(t), SmallOptions(t));
+    EXPECT_LE(summary.worst.ratio, bound + 0.05) << "t=" << t;
+  }
+}
+
+TEST(RegionClassificationTest, MatchesFigure1) {
+  EXPECT_EQ(ClassifyStationary(1.5, 1.0), Region::kCannotBeTrue);
+  EXPECT_EQ(ClassifyStationary(0.5, 1.5), Region::kDaSuperior);
+  EXPECT_EQ(ClassifyStationary(0.1, 0.2), Region::kSaSuperior);
+  EXPECT_EQ(ClassifyStationary(0.3, 0.4), Region::kUnknown);
+  EXPECT_EQ(ClassifyStationary(0.2, 0.9), Region::kUnknown);
+}
+
+TEST(RegionClassificationTest, MatchesFigure2) {
+  EXPECT_EQ(ClassifyMobile(1.5, 1.0), Region::kCannotBeTrue);
+  EXPECT_EQ(ClassifyMobile(0.1, 0.2), Region::kDaSuperior);
+  EXPECT_EQ(ClassifyMobile(1.0, 2.0), Region::kDaSuperior);
+}
+
+TEST(RegionClassificationTest, CostModelOverloadNormalizesByIo) {
+  // cio = 2, cc = 0.4, cd = 0.5 normalizes to (0.2, 0.25): SA-superior.
+  CostModel scaled{2.0, 0.4, 0.5};
+  EXPECT_EQ(Classify(scaled), Region::kSaSuperior);
+}
+
+TEST(RatioOptionsTest, Validation) {
+  RatioOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.t = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = RatioOptions{};
+  options.num_processors = 40;  // beyond exact OPT
+  EXPECT_FALSE(options.Validate().ok());
+  options = RatioOptions{};
+  options.seeds_per_generator = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+}  // namespace
+}  // namespace objalloc::analysis

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "objalloc/core/counter_replication.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/model/legality.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::core {
+namespace {
+
+using model::CostModel;
+using model::Schedule;
+
+CounterReplication Make(int lifetime = 2) {
+  CounterReplicationOptions options;
+  options.lifetime = lifetime;
+  return CounterReplication(options);
+}
+
+TEST(CounterReplicationTest, OptionsValidation) {
+  CounterReplicationOptions bad;
+  bad.lifetime = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  EXPECT_TRUE(CounterReplicationOptions{}.Validate().ok());
+}
+
+TEST(CounterReplicationTest, ReaderJoinsWithFreshCounter) {
+  auto counter = Make(3);
+  counter.Reset(6, ProcessorSet{0, 1});
+  Decision d = counter.Step(Request::Read(4));
+  EXPECT_TRUE(d.saving);
+  EXPECT_TRUE(counter.scheme().Contains(4));
+  EXPECT_EQ(counter.CounterOf(4), 3);
+}
+
+TEST(CounterReplicationTest, ReplicaSurvivesLifetimeWrites) {
+  // With lifetime 2 the reader's copy survives one write and is evicted by
+  // the second.
+  auto counter = Make(2);
+  counter.Reset(6, ProcessorSet{0, 1, 2});  // t = 3
+  counter.Step(Request::Read(4));
+  EXPECT_TRUE(counter.scheme().Contains(4));
+  counter.Step(Request::Write(0));
+  EXPECT_TRUE(counter.scheme().Contains(4)) << "counter 1 left";
+  counter.Step(Request::Write(0));
+  EXPECT_FALSE(counter.scheme().Contains(4)) << "expired";
+}
+
+TEST(CounterReplicationTest, LocalReadRefreshesCounter) {
+  auto counter = Make(2);
+  counter.Reset(6, ProcessorSet{0, 1, 2});
+  counter.Step(Request::Read(4));
+  counter.Step(Request::Write(0));
+  counter.Step(Request::Read(4));  // local read, counter back to 2
+  counter.Step(Request::Write(0));
+  EXPECT_TRUE(counter.scheme().Contains(4));
+}
+
+TEST(CounterReplicationTest, NeverDropsBelowThreshold) {
+  auto counter = Make(1);
+  workload::UniformWorkload uniform(0.3);  // write heavy: much eviction
+  for (int t = 2; t <= 4; ++t) {
+    auto algorithm = Make(1);
+    Schedule schedule = uniform.Generate(7, 200, 99);
+    auto allocation =
+        RunAlgorithm(algorithm, schedule, ProcessorSet::FirstN(t));
+    EXPECT_TRUE(model::CheckLegalAndTAvailable(allocation, t).ok()) << t;
+  }
+}
+
+TEST(CounterReplicationTest, WriterAlwaysHoldsTheNewVersion) {
+  auto counter = Make(2);
+  counter.Reset(6, ProcessorSet{0, 1});
+  Decision d = counter.Step(Request::Write(5));
+  EXPECT_TRUE(d.execution_set.Contains(5));
+  EXPECT_TRUE(counter.scheme().Contains(5));
+}
+
+TEST(CounterReplicationTest, HeavyReaderKeptAcrossWritesUnlikeDa) {
+  // The hysteresis distinguishes Counter from DA: DA invalidates a joiner on
+  // the next write; Counter keeps it for `lifetime` writes.
+  Schedule schedule = Schedule::Parse(6, "r4 w0 r4").value();
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+
+  auto counter = Make(2);
+  DynamicAllocation da;
+  RunResult counter_run =
+      RunWithCost(counter, sc, schedule, ProcessorSet{0, 1});
+  RunResult da_run = RunWithCost(da, sc, schedule, ProcessorSet{0, 1});
+  // DA: second r4 is a remote saving-read again; Counter: local.
+  EXPECT_LT(counter_run.cost, da_run.cost);
+  EXPECT_FALSE(counter_run.allocation[2].is_saving_read());
+  EXPECT_TRUE(da_run.allocation[2].is_saving_read());
+}
+
+}  // namespace
+}  // namespace objalloc::core

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/model/cost_evaluator.h"
+#include "objalloc/model/legality.h"
+
+namespace objalloc::core {
+namespace {
+
+using model::CostModel;
+using model::Schedule;
+
+TEST(DynamicAllocationTest, SplitsInitialSchemeIntoFAndP) {
+  DynamicAllocation da;
+  da.Reset(6, ProcessorSet{0, 1, 2});
+  EXPECT_EQ(da.core_set(), (ProcessorSet{0, 1}));
+  EXPECT_EQ(da.floating_processor(), 2);
+  EXPECT_EQ(da.scheme(), (ProcessorSet{0, 1, 2}));
+}
+
+TEST(DynamicAllocationTest, DataProcessorReadsLocally) {
+  DynamicAllocation da;
+  da.Reset(5, ProcessorSet{0, 1});
+  Decision d = da.Step(Request::Read(0));
+  EXPECT_EQ(d.execution_set, ProcessorSet{0});
+  EXPECT_FALSE(d.saving);
+  EXPECT_EQ(da.scheme(), (ProcessorSet{0, 1}));
+}
+
+TEST(DynamicAllocationTest, OutsideReaderJoinsViaSavingRead) {
+  DynamicAllocation da;
+  da.Reset(5, ProcessorSet{0, 1});  // F = {0}, p = 1
+  Decision d = da.Step(Request::Read(3));
+  EXPECT_TRUE(d.saving);
+  EXPECT_EQ(d.execution_set, ProcessorSet{0});  // served by F
+  EXPECT_TRUE(da.scheme().Contains(3));
+  EXPECT_TRUE(da.JoinListOf(0).Contains(3));
+}
+
+TEST(DynamicAllocationTest, SecondReadByJoinerIsLocal) {
+  DynamicAllocation da;
+  da.Reset(5, ProcessorSet{0, 1});
+  da.Step(Request::Read(3));
+  Decision d = da.Step(Request::Read(3));
+  EXPECT_FALSE(d.saving);
+  EXPECT_EQ(d.execution_set, ProcessorSet{3});
+}
+
+TEST(DynamicAllocationTest, CoreWriteTargetsFPlusP) {
+  DynamicAllocation da;
+  da.Reset(5, ProcessorSet{0, 1});  // F = {0}, p = 1
+  EXPECT_EQ(da.Step(Request::Write(0)).execution_set, (ProcessorSet{0, 1}));
+  EXPECT_EQ(da.Step(Request::Write(1)).execution_set, (ProcessorSet{0, 1}));
+}
+
+TEST(DynamicAllocationTest, OutsideWriteTargetsFPlusWriter) {
+  DynamicAllocation da;
+  da.Reset(5, ProcessorSet{0, 1});
+  EXPECT_EQ(da.Step(Request::Write(4)).execution_set, (ProcessorSet{0, 4}));
+  EXPECT_EQ(da.scheme(), (ProcessorSet{0, 4}));
+}
+
+TEST(DynamicAllocationTest, WriteClearsJoinLists) {
+  DynamicAllocation da;
+  da.Reset(6, ProcessorSet{0, 1});
+  da.Step(Request::Read(3));
+  da.Step(Request::Read(4));
+  EXPECT_EQ(da.JoinedSinceLastWrite(), (ProcessorSet{3, 4}));
+  da.Step(Request::Write(0));
+  EXPECT_TRUE(da.JoinedSinceLastWrite().Empty());
+  EXPECT_EQ(da.scheme(), (ProcessorSet{0, 1}));
+}
+
+TEST(DynamicAllocationTest, InvalidationCostCountsJoinersAndFloater) {
+  // F = {0}, p = 1. Two joiners then a write from inside F: the write's
+  // invalidations cover both joiners (p stays in the new scheme).
+  DynamicAllocation da;
+  CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  Schedule schedule = Schedule::Parse(6, "r3 r4 w0").value();
+  RunResult result = RunWithCost(da, sc, schedule, ProcessorSet{0, 1});
+  // r3: ctrl 1, data 1, io 2 (read + save). r4 same. w0: data 1 (to p),
+  // io 2, ctrl 2 (invalidate 3 and 4).
+  EXPECT_EQ(result.breakdown.control_messages, 4);
+  EXPECT_EQ(result.breakdown.data_messages, 3);
+  EXPECT_EQ(result.breakdown.io_ops, 6);
+}
+
+TEST(DynamicAllocationTest, OutsideWriterIsNotInvalidated) {
+  // A joiner that then writes must not receive an invalidation.
+  DynamicAllocation da;
+  CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  Schedule schedule = Schedule::Parse(6, "r3 w3").value();
+  RunResult result = RunWithCost(da, sc, schedule, ProcessorSet{0, 1});
+  // r3: ctrl 1, data 1, io 2. w3: X = {0,3}; Y = {0,1,3};
+  // invalidate Y\X\{3} = {1}: ctrl 1; data 1 (to 0); io 2.
+  EXPECT_EQ(result.breakdown.control_messages, 2);
+  EXPECT_EQ(result.breakdown.data_messages, 2);
+  EXPECT_EQ(result.breakdown.io_ops, 4);
+}
+
+TEST(DynamicAllocationTest, FMembersAlwaysHoldTheObject) {
+  DynamicAllocation da;
+  Schedule schedule =
+      Schedule::Parse(8, "r5 w6 r7 w0 r3 w7 r2 w1 r6 w4").value();
+  auto allocation = RunAlgorithm(da, schedule, ProcessorSet{0, 1, 2});
+  ProcessorSet f{0, 1};
+  for (size_t i = 0; i <= allocation.size(); ++i) {
+    EXPECT_TRUE(f.IsSubsetOf(allocation.SchemeAt(i))) << "at " << i;
+  }
+}
+
+TEST(DynamicAllocationTest, ProducesLegalTAvailableSchedules) {
+  for (int t = 2; t <= 4; ++t) {
+    DynamicAllocation da;
+    Schedule schedule =
+        Schedule::Parse(7, "r5 r6 w2 r3 w3 r0 r1 w5 r4 r4 w1 r6").value();
+    auto allocation = RunAlgorithm(da, schedule, ProcessorSet::FirstN(t));
+    EXPECT_TRUE(model::CheckLegalAndTAvailable(allocation, t).ok()) << t;
+  }
+}
+
+TEST(DynamicAllocationTest, RequiresAtLeastTwoInitialCopies) {
+  DynamicAllocation da;
+  EXPECT_DEATH(da.Reset(4, ProcessorSet{0}), "t >= 2");
+}
+
+TEST(DynamicAllocationTest, RoundRobinSpreadsJoinLists) {
+  DynamicAllocation da;
+  da.Reset(8, ProcessorSet{0, 1, 2});  // F = {0,1}
+  da.Step(Request::Read(4));
+  da.Step(Request::Read(5));
+  // Two saving-reads served by different F members.
+  EXPECT_EQ(da.JoinListOf(0).Size() + da.JoinListOf(1).Size(), 2);
+  EXPECT_EQ(da.JoinListOf(0).Size(), 1);
+  EXPECT_EQ(da.JoinListOf(1).Size(), 1);
+}
+
+}  // namespace
+}  // namespace objalloc::core

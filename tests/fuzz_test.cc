@@ -1,0 +1,186 @@
+// Randomized differential and fault-injection sweeps: cheap fuzzing that
+// ties the substrates together.
+//   * Differential: the DA/SA protocol simulators against the analytic cost
+//     model (count-for-count) across many seeds, sizes, and thresholds.
+//   * Failure fuzz: random crash/recover plans that always keep a majority
+//     alive must never produce a stale read, and every request is either
+//     served or reported unavailable.
+//   * Exhaustive OPT cross-check at t = 3 (the opt_test covers t = 2).
+
+#include <gtest/gtest.h>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/model/cost_evaluator.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/opt/interval_opt.h"
+#include "objalloc/opt/relaxation_lower_bound.h"
+#include "objalloc/sim/simulator.h"
+#include "objalloc/util/rng.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc {
+namespace {
+
+using model::ProcessorSet;
+using model::Schedule;
+
+TEST(DifferentialFuzzTest, SimulatorMatchesModelAcrossConfigurations) {
+  util::Rng rng(0xd1ff);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 3 + static_cast<int>(rng.NextBounded(8));  // 3..10
+    const int t = 2 + static_cast<int>(rng.NextBounded(
+                          static_cast<uint64_t>(n - 2)));     // 2..n-1
+    const double read_ratio = 0.2 + 0.7 * rng.NextDouble();
+    const bool dynamic = rng.NextBernoulli(0.5);
+    workload::UniformWorkload uniform(read_ratio);
+    Schedule schedule = uniform.Generate(n, 120, rng.Next());
+    ProcessorSet initial = ProcessorSet::FirstN(t);
+
+    model::CostBreakdown analytic;
+    if (dynamic) {
+      core::DynamicAllocation da;
+      analytic = core::RunWithCost(
+                     da, model::CostModel::StationaryComputing(0.5, 1.0),
+                     schedule, initial)
+                     .breakdown;
+    } else {
+      core::StaticAllocation sa;
+      analytic = core::RunWithCost(
+                     sa, model::CostModel::StationaryComputing(0.5, 1.0),
+                     schedule, initial)
+                     .breakdown;
+    }
+
+    sim::SimulatorOptions options;
+    options.protocol = dynamic ? sim::ProtocolKind::kDynamic
+                               : sim::ProtocolKind::kStatic;
+    options.num_processors = n;
+    options.initial_scheme = initial;
+    sim::Simulator simulator(options);
+    auto report = simulator.RunSchedule(schedule);
+    ASSERT_EQ(report.metrics.ToBreakdown(), analytic)
+        << "trial " << trial << " n=" << n << " t=" << t
+        << " dynamic=" << dynamic << "\nschedule: " << schedule.ToString();
+    ASSERT_EQ(report.stale_reads, 0);
+  }
+}
+
+TEST(FailureFuzzTest, MajorityAliveMeansNoStaleReadsEver) {
+  util::Rng rng(0xfa17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 5 + static_cast<int>(rng.NextBounded(4));  // 5..8
+    workload::UniformWorkload uniform(0.6 + 0.3 * rng.NextDouble());
+    Schedule schedule = uniform.Generate(n, 150, rng.Next());
+
+    // Random plan: crash/recover events that never take down more than a
+    // minority simultaneously.
+    sim::FailurePlan plan;
+    std::vector<bool> down(static_cast<size_t>(n), false);
+    int down_count = 0;
+    const int max_down = (n - 1) / 2;
+    size_t position = 0;
+    while (position < schedule.size()) {
+      position += 10 + rng.NextBounded(30);
+      if (position >= schedule.size()) break;
+      auto p = static_cast<util::ProcessorId>(rng.NextBounded(
+          static_cast<uint64_t>(n)));
+      if (down[static_cast<size_t>(p)]) {
+        plan.events.push_back(sim::FailureEvent::Recover(position, p));
+        down[static_cast<size_t>(p)] = false;
+        --down_count;
+      } else if (down_count < max_down) {
+        plan.events.push_back(sim::FailureEvent::Crash(position, p));
+        down[static_cast<size_t>(p)] = true;
+        ++down_count;
+      }
+    }
+
+    sim::SimulatorOptions options;
+    options.protocol = sim::ProtocolKind::kDynamic;
+    options.num_processors = n;
+    options.initial_scheme = ProcessorSet{0, 1};
+    sim::Simulator simulator(options);
+    auto report = simulator.RunSchedule(schedule, plan);
+    ASSERT_EQ(report.stale_reads, 0)
+        << "trial " << trial << " n=" << n
+        << " events=" << plan.events.size();
+    ASSERT_EQ(report.served + report.unavailable,
+              static_cast<int64_t>(schedule.size()));
+  }
+}
+
+TEST(FailureFuzzTest, QuorumProtocolUnderTheSamePlans) {
+  util::Rng rng(0x9b0b);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 5;
+    workload::UniformWorkload uniform(0.7);
+    Schedule schedule = uniform.Generate(n, 120, rng.Next());
+    sim::FailurePlan plan;
+    // One minority crash and one recovery at random positions.
+    size_t crash_at = 10 + rng.NextBounded(40);
+    size_t recover_at = crash_at + 10 + rng.NextBounded(40);
+    auto p = static_cast<util::ProcessorId>(rng.NextBounded(n));
+    plan.events.push_back(sim::FailureEvent::Crash(crash_at, p));
+    plan.events.push_back(sim::FailureEvent::Recover(recover_at, p));
+
+    sim::SimulatorOptions options;
+    options.protocol = sim::ProtocolKind::kQuorum;
+    options.num_processors = n;
+    options.initial_scheme = ProcessorSet{0, 1};
+    sim::Simulator simulator(options);
+    auto report = simulator.RunSchedule(schedule, plan);
+    ASSERT_EQ(report.stale_reads, 0) << "trial " << trial;
+  }
+}
+
+TEST(OptFuzzTest, BracketsHoldAtHigherThresholds) {
+  util::Rng rng(0x7777);
+  model::CostModel models[] = {
+      model::CostModel::StationaryComputing(0.3, 0.9),
+      model::CostModel::MobileComputing(0.3, 0.9),
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 5 + static_cast<int>(rng.NextBounded(3));
+    const int t = 2 + static_cast<int>(rng.NextBounded(3));  // 2..4
+    workload::UniformWorkload uniform(0.65);
+    Schedule schedule = uniform.Generate(n, 60, rng.Next());
+    ProcessorSet initial = ProcessorSet::FirstN(t);
+    const model::CostModel& cm = models[trial % 2];
+
+    double lb = opt::RelaxationLowerBound(cm, schedule, initial);
+    double exact = opt::ExactOptCost(cm, schedule, initial);
+    double ub = opt::IntervalOptCost(cm, schedule, initial);
+    ASSERT_LE(lb, exact + 1e-9) << schedule.ToString();
+    ASSERT_LE(exact, ub + 1e-9) << schedule.ToString();
+
+    core::DynamicAllocation da;
+    core::StaticAllocation sa;
+    ASSERT_LE(exact,
+              core::RunWithCost(da, cm, schedule, initial).cost + 1e-9);
+    ASSERT_LE(exact,
+              core::RunWithCost(sa, cm, schedule, initial).cost + 1e-9);
+  }
+}
+
+TEST(LegalityFuzzTest, AllAlgorithmsProduceValidSchedulesOnAllWorkloads) {
+  util::Rng rng(0x1e6a1);
+  workload::UniformWorkload mixes[] = {
+      workload::UniformWorkload(0.0), workload::UniformWorkload(0.5),
+      workload::UniformWorkload(1.0)};
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 4 + static_cast<int>(rng.NextBounded(6));
+    const int t = 2 + static_cast<int>(
+                          rng.NextBounded(static_cast<uint64_t>(n - 2)));
+    Schedule schedule = mixes[trial % 3].Generate(n, 100, rng.Next());
+    // RunAlgorithm CHECK-fails on any legality or availability violation.
+    core::StaticAllocation sa;
+    core::DynamicAllocation da;
+    core::RunAlgorithm(sa, schedule, ProcessorSet::FirstN(t));
+    core::RunAlgorithm(da, schedule, ProcessorSet::FirstN(t));
+  }
+}
+
+}  // namespace
+}  // namespace objalloc

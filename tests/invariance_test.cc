@@ -1,0 +1,100 @@
+// §3.1: "Our analysis using the model applies almost verbatim even if reads
+// between two consecutive writes are partially ordered." Operationally:
+// permuting the reads inside any write interval must not change the cost of
+// SA, DA, Counter, the offline bounds, or the exact OPT. (The windowed
+// Adaptive allocator is order-sensitive by design and is excluded.)
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "objalloc/core/counter_replication.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/opt/interval_opt.h"
+#include "objalloc/opt/relaxation_lower_bound.h"
+#include "objalloc/util/rng.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc {
+namespace {
+
+using model::ProcessorSet;
+using model::Schedule;
+
+// Shuffles the reads within each maximal run of reads (write positions and
+// identities stay fixed).
+Schedule PermuteReadsWithinIntervals(const Schedule& schedule,
+                                     util::Rng& rng) {
+  std::vector<model::Request> requests = schedule.requests();
+  size_t begin = 0;
+  while (begin < requests.size()) {
+    size_t end = begin;
+    while (end < requests.size() && requests[end].is_read()) ++end;
+    // Fisher-Yates over [begin, end).
+    for (size_t k = end; k > begin + 1; --k) {
+      size_t pick = begin + rng.NextBounded(k - begin);
+      std::swap(requests[k - 1], requests[pick]);
+    }
+    begin = end + 1;
+  }
+  return Schedule(schedule.num_processors(), std::move(requests));
+}
+
+class ReadPermutationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReadPermutationTest, OnlineAlgorithmCostsAreInvariant) {
+  util::Rng rng(GetParam());
+  workload::UniformWorkload uniform(0.8);
+  Schedule original = uniform.Generate(7, 160, GetParam());
+  Schedule permuted = PermuteReadsWithinIntervals(original, rng);
+  ASSERT_EQ(original.CountReads(), permuted.CountReads());
+
+  model::CostModel models[] = {
+      model::CostModel::StationaryComputing(0.25, 1.0),
+      model::CostModel::MobileComputing(0.25, 1.0),
+  };
+  ProcessorSet initial{0, 1};
+  for (const auto& cost_model : models) {
+    core::StaticAllocation sa_a, sa_b;
+    EXPECT_DOUBLE_EQ(
+        core::RunWithCost(sa_a, cost_model, original, initial).cost,
+        core::RunWithCost(sa_b, cost_model, permuted, initial).cost);
+
+    core::DynamicAllocation da_a, da_b;
+    EXPECT_DOUBLE_EQ(
+        core::RunWithCost(da_a, cost_model, original, initial).cost,
+        core::RunWithCost(da_b, cost_model, permuted, initial).cost);
+
+    core::CounterReplication counter_a(core::CounterReplicationOptions{});
+    core::CounterReplication counter_b(core::CounterReplicationOptions{});
+    EXPECT_DOUBLE_EQ(
+        core::RunWithCost(counter_a, cost_model, original, initial).cost,
+        core::RunWithCost(counter_b, cost_model, permuted, initial).cost);
+  }
+}
+
+TEST_P(ReadPermutationTest, OfflineCostsAreInvariant) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  workload::UniformWorkload uniform(0.75);
+  Schedule original = uniform.Generate(6, 80, GetParam());
+  Schedule permuted = PermuteReadsWithinIntervals(original, rng);
+
+  model::CostModel sc = model::CostModel::StationaryComputing(0.3, 0.9);
+  ProcessorSet initial{0, 1};
+  EXPECT_NEAR(opt::ExactOptCost(sc, original, initial),
+              opt::ExactOptCost(sc, permuted, initial), 1e-9);
+  EXPECT_NEAR(opt::RelaxationLowerBound(sc, original, initial),
+              opt::RelaxationLowerBound(sc, permuted, initial), 1e-9);
+  EXPECT_NEAR(opt::IntervalOptCost(sc, original, initial),
+              opt::IntervalOptCost(sc, permuted, initial), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReadPermutationTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace objalloc

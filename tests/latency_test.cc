@@ -1,0 +1,124 @@
+// Virtual-time latency accounting: known critical paths for simple
+// operations, distribution plumbing, and protocol comparisons.
+
+#include <gtest/gtest.h>
+
+#include "objalloc/sim/simulator.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::sim {
+namespace {
+
+using util::ProcessorSet;
+
+SimulatorOptions MakeOptions(ProtocolKind kind, LatencyModel latency) {
+  SimulatorOptions options;
+  options.protocol = kind;
+  options.num_processors = 6;
+  options.initial_scheme = ProcessorSet{0, 1};
+  options.latency = latency;
+  return options;
+}
+
+constexpr LatencyModel kLatency{1.0, 3.0, 5.0};  // control, data, io
+
+TEST(LatencyTest, LocalReadIsOneIo) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, kLatency));
+  RequestOutcome outcome = sim.SubmitRead(0);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_DOUBLE_EQ(outcome.latency, 5.0);
+}
+
+TEST(LatencyTest, SaRemoteReadIsRequestIoReply) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, kLatency));
+  RequestOutcome outcome = sim.SubmitRead(4);
+  ASSERT_TRUE(outcome.ok);
+  // control (1) + source input (5) + data reply (3).
+  EXPECT_DOUBLE_EQ(outcome.latency, 1 + 5 + 3);
+}
+
+TEST(LatencyTest, DaSavingReadAddsTheLocalStore) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, kLatency));
+  RequestOutcome outcome = sim.SubmitRead(4);
+  ASSERT_TRUE(outcome.ok);
+  // control + source input + data reply + save.
+  EXPECT_DOUBLE_EQ(outcome.latency, 1 + 5 + 3 + 5);
+  // Second read is local.
+  EXPECT_DOUBLE_EQ(sim.SubmitRead(4).latency, 5.0);
+}
+
+TEST(LatencyTest, SaWritePropagatesInParallel) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, kLatency));
+  RequestOutcome outcome = sim.SubmitWrite(0, 1);
+  ASSERT_TRUE(outcome.ok);
+  // Writer's own Put (5) overlaps the transfer to the other member
+  // (3 + 5 = 8): the settle time is the slowest branch.
+  EXPECT_DOUBLE_EQ(outcome.latency, 8.0);
+}
+
+TEST(LatencyTest, OutsideWriterPaysTransferPlusStore) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, kLatency));
+  RequestOutcome outcome = sim.SubmitWrite(4, 1);
+  ASSERT_TRUE(outcome.ok);
+  // Both members receive the object in parallel: 3 + 5.
+  EXPECT_DOUBLE_EQ(outcome.latency, 8.0);
+}
+
+TEST(LatencyTest, DaWriteIncludesInvalidationSettling) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, kLatency));
+  ASSERT_TRUE(sim.SubmitRead(4).ok);  // 4 joins via F member 0
+  RequestOutcome outcome = sim.SubmitWrite(0, 9);
+  ASSERT_TRUE(outcome.ok);
+  // Branches from the writer (0, an F member): propagate to p (3+5 = 8);
+  // own Put then invalidate joiner 4: the invalidation leaves after the
+  // local Put (5) and lands at 5+1 = 6. Slowest branch: 8.
+  EXPECT_DOUBLE_EQ(outcome.latency, 8.0);
+}
+
+TEST(LatencyTest, QuorumReadPaysTwoRounds) {
+  Simulator sim(MakeOptions(ProtocolKind::kQuorum, kLatency));
+  RequestOutcome outcome = sim.SubmitRead(4);
+  ASSERT_TRUE(outcome.ok);
+  // Version round (1 + 1) then fetch (1 + 5 + 3) from the freshest holder.
+  EXPECT_DOUBLE_EQ(outcome.latency, 1 + 1 + 1 + 5 + 3);
+}
+
+TEST(LatencyTest, ReportCollectsDistributions) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, kLatency));
+  workload::UniformWorkload uniform(0.7);
+  auto report = sim.RunSchedule(uniform.Generate(6, 200, 3));
+  EXPECT_GT(report.read_latency.count(), 0);
+  EXPECT_GT(report.write_latency.count(), 0);
+  EXPECT_GE(report.read_latency.Percentile(0.99),
+            report.read_latency.Median());
+  // Every DA read is local (5) or fetch-and-save (14).
+  EXPECT_GE(report.read_latency.Median(), 5.0);
+  EXPECT_LE(report.read_latency.Percentile(1.0), 14.0);
+}
+
+TEST(LatencyTest, DaReadLatencyBeatsSaUnderRepeatReaders) {
+  // Repeat readers: DA serves them locally after the first fetch; SA pays
+  // the remote round trip every time.
+  model::Schedule schedule(6);
+  for (int round = 0; round < 50; ++round) {
+    schedule.AppendRead(4);
+    schedule.AppendRead(5);
+  }
+  Simulator da(MakeOptions(ProtocolKind::kDynamic, kLatency));
+  Simulator sa(MakeOptions(ProtocolKind::kStatic, kLatency));
+  auto da_report = da.RunSchedule(schedule);
+  auto sa_report = sa.RunSchedule(schedule);
+  EXPECT_LT(da_report.read_latency.Median(),
+            sa_report.read_latency.Median());
+}
+
+TEST(LatencyTest, ZeroLatencyModelYieldsZeroLatencies) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, LatencyModel{0, 0, 0}));
+  workload::UniformWorkload uniform(0.5);
+  auto report = sim.RunSchedule(uniform.Generate(6, 50, 1));
+  EXPECT_DOUBLE_EQ(report.read_latency.Percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(report.write_latency.Percentile(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace objalloc::sim

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/lookahead_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/model/legality.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::core {
+namespace {
+
+using model::CostModel;
+using model::Schedule;
+
+TEST(LookaheadTest, FullLookaheadEqualsOfflineOpt) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  workload::UniformWorkload uniform(0.7);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Schedule schedule = uniform.Generate(6, 50, seed);
+    LookaheadAllocation oracle(sc, static_cast<int>(schedule.size()));
+    oracle.Prime(schedule);
+    double cost = RunWithCost(oracle, sc, schedule, ProcessorSet{0, 1}).cost;
+    EXPECT_NEAR(cost, opt::ExactOptCost(sc, schedule, ProcessorSet{0, 1}),
+                1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(LookaheadTest, ProducesLegalTAvailableSchedules) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  workload::UniformWorkload uniform(0.6);
+  for (int k : {1, 2, 8}) {
+    Schedule schedule = uniform.Generate(6, 60, 9);
+    LookaheadAllocation lookahead(sc, k);
+    lookahead.Prime(schedule);
+    auto allocation = RunAlgorithm(lookahead, schedule, ProcessorSet{0, 1});
+    EXPECT_TRUE(model::CheckLegalAndTAvailable(allocation, 2).ok())
+        << "k=" << k;
+  }
+}
+
+TEST(LookaheadTest, CostNeverBelowOpt) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  workload::UniformWorkload uniform(0.7);
+  Schedule schedule = uniform.Generate(6, 60, 4);
+  double opt = opt::ExactOptCost(sc, schedule, ProcessorSet{0, 1});
+  for (int k : {1, 2, 4, 16}) {
+    LookaheadAllocation lookahead(sc, k);
+    lookahead.Prime(schedule);
+    double cost =
+        RunWithCost(lookahead, sc, schedule, ProcessorSet{0, 1}).cost;
+    EXPECT_GE(cost, opt - 1e-9) << "k=" << k;
+  }
+}
+
+TEST(LookaheadTest, MoreLookaheadHelpsOnAverage) {
+  // Per-schedule monotonicity does not hold for receding-horizon control,
+  // but averaged over an ensemble more foresight must not hurt much and
+  // the extremes must order strictly.
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  workload::UniformWorkload uniform(0.7);
+  double total_k1 = 0, total_k8 = 0, total_full = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Schedule schedule = uniform.Generate(6, 60, seed);
+    auto cost_at = [&](int k) {
+      LookaheadAllocation lookahead(sc, k);
+      lookahead.Prime(schedule);
+      return RunWithCost(lookahead, sc, schedule, ProcessorSet{0, 1}).cost;
+    };
+    total_k1 += cost_at(1);
+    total_k8 += cost_at(8);
+    total_full += cost_at(60);
+  }
+  EXPECT_GE(total_k1, total_k8);
+  EXPECT_GE(total_k8, total_full);
+  EXPECT_GT(total_k1, total_full);
+}
+
+TEST(LookaheadTest, WindowOptBeatsPlainDaOnItsNemesis) {
+  // The join-churn pattern that hurts DA is transparent to even modest
+  // lookahead: the allocator sees the write coming and skips the save.
+  CostModel sc = CostModel::StationaryComputing(0.1, 0.2);
+  Schedule schedule(6);
+  for (int round = 0; round < 15; ++round) {
+    schedule.AppendRead(2);
+    schedule.AppendRead(3);
+    schedule.AppendRead(4);
+    schedule.AppendWrite(0);
+  }
+  LookaheadAllocation lookahead(sc, 5);
+  lookahead.Prime(schedule);
+  DynamicAllocation da;
+  double lookahead_cost =
+      RunWithCost(lookahead, sc, schedule, ProcessorSet{0, 1}).cost;
+  double da_cost = RunWithCost(da, sc, schedule, ProcessorSet{0, 1}).cost;
+  EXPECT_LT(lookahead_cost, da_cost);
+}
+
+TEST(LookaheadTest, RejectsMismatchedReplay) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  Schedule primed = Schedule::Parse(4, "r1 w2").value();
+  LookaheadAllocation lookahead(sc, 2);
+  lookahead.Prime(primed);
+  lookahead.Reset(4, ProcessorSet{0, 1});
+  EXPECT_DEATH(lookahead.Step(model::Request::Read(3)),
+               "different schedule");
+}
+
+}  // namespace
+}  // namespace objalloc::core

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "objalloc/model/allocation_schedule.h"
+#include "objalloc/model/cost_evaluator.h"
+#include "objalloc/model/cost_model.h"
+#include "objalloc/model/legality.h"
+#include "objalloc/model/request.h"
+#include "objalloc/model/schedule.h"
+
+namespace objalloc::model {
+namespace {
+
+using util::ProcessorSet;
+
+// ------------------------------------------------------------- CostModel
+
+TEST(CostModelTest, Factories) {
+  CostModel sc = CostModel::StationaryComputing(0.1, 0.5);
+  EXPECT_EQ(sc.io, 1.0);
+  EXPECT_FALSE(sc.is_mobile());
+  CostModel mc = CostModel::MobileComputing(0.1, 0.5);
+  EXPECT_EQ(mc.io, 0.0);
+  EXPECT_TRUE(mc.is_mobile());
+}
+
+TEST(CostModelTest, ValidationRejectsControlAboveData) {
+  EXPECT_FALSE(CostModel::StationaryComputing(0.6, 0.5).Validate().ok());
+  EXPECT_TRUE(CostModel::StationaryComputing(0.5, 0.5).Validate().ok());
+}
+
+TEST(CostModelTest, ValidationRejectsNegative) {
+  EXPECT_FALSE((CostModel{-1, 0, 0}).Validate().ok());
+  EXPECT_FALSE((CostModel{1, -0.1, 0}).Validate().ok());
+  EXPECT_FALSE((CostModel{1, 0, -0.1}).Validate().ok());
+}
+
+// -------------------------------------------------------------- Schedule
+
+TEST(ScheduleTest, ParseRoundTrip) {
+  auto parsed = Schedule::Parse(5, "w2 r4 w3 r1 r2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 5u);
+  EXPECT_EQ(parsed->ToString(), "w2 r4 w3 r1 r2");
+  EXPECT_EQ((*parsed)[0], Request::Write(2));
+  EXPECT_EQ((*parsed)[1], Request::Read(4));
+}
+
+TEST(ScheduleTest, ParseRejectsBadToken) {
+  EXPECT_FALSE(Schedule::Parse(5, "x2").ok());
+  EXPECT_FALSE(Schedule::Parse(5, "r").ok());
+  EXPECT_FALSE(Schedule::Parse(5, "rr1").ok());
+}
+
+TEST(ScheduleTest, ParseRejectsOutOfRangeProcessor) {
+  EXPECT_FALSE(Schedule::Parse(3, "r3").ok());
+  EXPECT_TRUE(Schedule::Parse(4, "r3").ok());
+}
+
+TEST(ScheduleTest, Counts) {
+  auto schedule = Schedule::Parse(4, "r1 r2 w0 r3 w1").value();
+  EXPECT_EQ(schedule.CountReads(), 3u);
+  EXPECT_EQ(schedule.CountWrites(), 2u);
+}
+
+// --------------------------------------------------- AllocationSchedule
+
+TEST(AllocationScheduleTest, SchemeEvolution) {
+  // The paper's example: tau'_0 = w2{2,3}, r4{1,2}, w3{2,3},
+  // r1{1,2} as a saving-read, r2{2}; initial scheme {3,4}.
+  AllocationSchedule tau(5, ProcessorSet{3, 4});
+  tau.Append(Request::Write(2), ProcessorSet{2, 3});
+  tau.Append(Request::Read(4), ProcessorSet{1, 2}, /*saving=*/false);
+  tau.Append(Request::Write(3), ProcessorSet{2, 3});
+  tau.Append(Request::Read(1), ProcessorSet{1, 2}, /*saving=*/true);
+  tau.Append(Request::Read(2), ProcessorSet{2});
+
+  EXPECT_EQ(tau.SchemeAt(0), (ProcessorSet{3, 4}));
+  EXPECT_EQ(tau.SchemeAt(1), (ProcessorSet{2, 3}));
+  EXPECT_EQ(tau.SchemeAt(2), (ProcessorSet{2, 3}));
+  EXPECT_EQ(tau.SchemeAt(3), (ProcessorSet{2, 3}));
+  EXPECT_EQ(tau.SchemeAt(4), (ProcessorSet{1, 2, 3}));  // after saving-read
+  EXPECT_EQ(tau.FinalScheme(), (ProcessorSet{1, 2, 3}));
+}
+
+TEST(AllocationScheduleTest, ToScheduleDropsDecorations) {
+  AllocationSchedule tau(3, ProcessorSet{0});
+  tau.Append(Request::Read(1), ProcessorSet{0}, /*saving=*/true);
+  tau.Append(Request::Write(2), ProcessorSet{1, 2});
+  Schedule schedule = tau.ToSchedule();
+  EXPECT_EQ(schedule.ToString(), "r1 w2");
+}
+
+TEST(AllocationScheduleTest, ToStringMarksSavingReads) {
+  AllocationSchedule tau(3, ProcessorSet{0});
+  tau.Append(Request::Read(1), ProcessorSet{0}, /*saving=*/true);
+  EXPECT_EQ(tau.ToString(), "I={0} : R1{0}");
+}
+
+// --------------------------------------------------------------- Legality
+
+TEST(LegalityTest, LegalSchedulePasses) {
+  AllocationSchedule tau(5, ProcessorSet{3, 4});
+  tau.Append(Request::Write(2), ProcessorSet{2, 3});
+  tau.Append(Request::Read(4), ProcessorSet{1, 2});  // {1,2} meets {2,3}
+  EXPECT_TRUE(CheckLegal(tau).ok());
+}
+
+TEST(LegalityTest, ReadMissingSchemeIsIllegal) {
+  // The paper: tau'_0 becomes illegal if the last read r2's execution set is
+  // changed from {2} to {4}.
+  AllocationSchedule tau(5, ProcessorSet{3, 4});
+  tau.Append(Request::Write(2), ProcessorSet{2, 3});
+  tau.Append(Request::Read(2), ProcessorSet{4});  // 4 not in {2,3}
+  EXPECT_FALSE(CheckLegal(tau).ok());
+}
+
+TEST(LegalityTest, EmptyExecutionSetIsIllegal) {
+  AllocationSchedule tau(3, ProcessorSet{0});
+  tau.Append(Request::Read(1), ProcessorSet{});
+  EXPECT_FALSE(CheckLegal(tau).ok());
+}
+
+TEST(LegalityTest, TAvailabilityChecksEveryPosition) {
+  AllocationSchedule tau(4, ProcessorSet{0, 1});
+  tau.Append(Request::Write(2), ProcessorSet{2});  // shrinks to one copy
+  EXPECT_TRUE(CheckTAvailable(tau, 1).ok());
+  EXPECT_FALSE(CheckTAvailable(tau, 2).ok());
+}
+
+TEST(LegalityTest, SavingReadsOnlyGrowAvailability) {
+  AllocationSchedule tau(4, ProcessorSet{0, 1});
+  tau.Append(Request::Read(2), ProcessorSet{0}, /*saving=*/true);
+  tau.Append(Request::Write(3), ProcessorSet{3, 0});
+  EXPECT_TRUE(CheckLegalAndTAvailable(tau, 2).ok());
+}
+
+// ------------------------------------------------- Cost: SC (paper §3.2)
+
+TEST(CostScTest, LocalReadIsOneIo) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 0.75);
+  AllocatedRequest read{Request::Read(1), ProcessorSet{1}, false};
+  EXPECT_DOUBLE_EQ(RequestCost(sc, read, ProcessorSet{1, 2}), 1.0);
+}
+
+TEST(CostScTest, ReaderInsideExecutionSet) {
+  // i in X: (|X|-1)cc + |X| + (|X|-1)cd with X = {1,2}, i = 1.
+  CostModel sc = CostModel::StationaryComputing(0.25, 0.75);
+  AllocatedRequest read{Request::Read(1), ProcessorSet{1, 2}, false};
+  EXPECT_DOUBLE_EQ(RequestCost(sc, read, ProcessorSet{1, 2}),
+                   0.25 + 2 + 0.75);
+}
+
+TEST(CostScTest, ReaderOutsideExecutionSet) {
+  // i not in X: |X| * (cc + 1 + cd) with X = {2,3}, i = 1.
+  CostModel sc = CostModel::StationaryComputing(0.25, 0.75);
+  AllocatedRequest read{Request::Read(1), ProcessorSet{2, 3}, false};
+  EXPECT_DOUBLE_EQ(RequestCost(sc, read, ProcessorSet{2, 3}),
+                   2 * (0.25 + 1 + 0.75));
+}
+
+TEST(CostScTest, SavingReadAddsOneIo) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 0.75);
+  AllocatedRequest plain{Request::Read(1), ProcessorSet{2}, false};
+  AllocatedRequest saving{Request::Read(1), ProcessorSet{2}, true};
+  ProcessorSet scheme{2, 3};
+  EXPECT_DOUBLE_EQ(RequestCost(sc, saving, scheme),
+                   RequestCost(sc, plain, scheme) + 1.0);
+}
+
+TEST(CostScTest, WriterInsideExecutionSet) {
+  // i in X: |Y \ X| cc + (|X|-1) cd + |X|; Y = {3,4}, X = {1,2}, i = 1.
+  CostModel sc = CostModel::StationaryComputing(0.25, 0.75);
+  AllocatedRequest write{Request::Write(1), ProcessorSet{1, 2}, false};
+  EXPECT_DOUBLE_EQ(RequestCost(sc, write, ProcessorSet{3, 4}),
+                   2 * 0.25 + 1 * 0.75 + 2);
+}
+
+TEST(CostScTest, WriterOutsideExecutionSetSkipsOwnInvalidation) {
+  // i not in X: |Y \ X \ {i}| cc + |X| (cd + 1); Y = {1,3}, X = {2}, i = 1.
+  // The writer's own stale copy needs no invalidation message.
+  CostModel sc = CostModel::StationaryComputing(0.25, 0.75);
+  AllocatedRequest write{Request::Write(1), ProcessorSet{2}, false};
+  EXPECT_DOUBLE_EQ(RequestCost(sc, write, ProcessorSet{1, 3}),
+                   1 * 0.25 + 1 * (0.75 + 1));
+}
+
+TEST(CostScTest, WriteToUnchangedSchemeHasNoInvalidations) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 0.75);
+  AllocatedRequest write{Request::Write(1), ProcessorSet{1, 2}, false};
+  EXPECT_DOUBLE_EQ(RequestCost(sc, write, ProcessorSet{1, 2}), 0.75 + 2);
+}
+
+// ------------------------------------------------- Cost: MC (paper §3.3)
+
+TEST(CostMcTest, LocalReadIsFree) {
+  CostModel mc = CostModel::MobileComputing(0.25, 0.75);
+  AllocatedRequest read{Request::Read(1), ProcessorSet{1}, false};
+  EXPECT_DOUBLE_EQ(RequestCost(mc, read, ProcessorSet{1, 2}), 0.0);
+}
+
+TEST(CostMcTest, ReaderInsideExecutionSet) {
+  // (|X|-1)(cc + cd).
+  CostModel mc = CostModel::MobileComputing(0.25, 0.75);
+  AllocatedRequest read{Request::Read(1), ProcessorSet{1, 2, 3}, false};
+  EXPECT_DOUBLE_EQ(RequestCost(mc, read, ProcessorSet{1, 2, 3}), 2 * 1.0);
+}
+
+TEST(CostMcTest, ReaderOutsideExecutionSet) {
+  // |X| (cc + cd).
+  CostModel mc = CostModel::MobileComputing(0.25, 0.75);
+  AllocatedRequest read{Request::Read(1), ProcessorSet{2}, false};
+  EXPECT_DOUBLE_EQ(RequestCost(mc, read, ProcessorSet{2}), 1.0);
+}
+
+TEST(CostMcTest, SavingReadCostsTheSameAsPlain) {
+  CostModel mc = CostModel::MobileComputing(0.25, 0.75);
+  AllocatedRequest plain{Request::Read(1), ProcessorSet{2}, false};
+  AllocatedRequest saving{Request::Read(1), ProcessorSet{2}, true};
+  EXPECT_DOUBLE_EQ(RequestCost(mc, plain, ProcessorSet{2, 3}),
+                   RequestCost(mc, saving, ProcessorSet{2, 3}));
+}
+
+TEST(CostMcTest, WriteCosts) {
+  CostModel mc = CostModel::MobileComputing(0.25, 0.75);
+  // i in X: |Y\X| cc + (|X|-1) cd.
+  AllocatedRequest inside{Request::Write(1), ProcessorSet{1, 2}, false};
+  EXPECT_DOUBLE_EQ(RequestCost(mc, inside, ProcessorSet{3, 4}),
+                   2 * 0.25 + 0.75);
+  // i not in X: |Y\X\{i}| cc + |X| cd.
+  AllocatedRequest outside{Request::Write(1), ProcessorSet{2}, false};
+  EXPECT_DOUBLE_EQ(RequestCost(mc, outside, ProcessorSet{1, 3}),
+                   0.25 + 0.75);
+}
+
+// -------------------------------------------------------- Whole schedules
+
+TEST(ScheduleCostTest, BreakdownMatchesCost) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 0.75);
+  AllocationSchedule tau(5, ProcessorSet{3, 4});
+  tau.Append(Request::Write(2), ProcessorSet{2, 3});
+  tau.Append(Request::Read(4), ProcessorSet{1, 2}, false);
+  tau.Append(Request::Write(3), ProcessorSet{2, 3});
+  tau.Append(Request::Read(1), ProcessorSet{1, 2}, true);
+  tau.Append(Request::Read(2), ProcessorSet{2});
+  CostBreakdown breakdown = ScheduleBreakdown(tau);
+  EXPECT_DOUBLE_EQ(breakdown.Cost(sc), ScheduleCost(sc, tau));
+  EXPECT_GT(breakdown.io_ops, 0);
+}
+
+TEST(ScheduleCostTest, IntroExampleDynamicBeatsStatic) {
+  // §1.3: for r1 r1 r2 w2 r2 r2 r2 with initial scheme {1}, switching the
+  // scheme to {2} at the write beats keeping it at {1}.
+  CostModel sc = CostModel::StationaryComputing(1.0, 1.0);
+
+  AllocationSchedule fixed(3, ProcessorSet{1});
+  fixed.Append(Request::Read(1), ProcessorSet{1});
+  fixed.Append(Request::Read(1), ProcessorSet{1});
+  fixed.Append(Request::Read(2), ProcessorSet{1});
+  fixed.Append(Request::Write(2), ProcessorSet{1});
+  fixed.Append(Request::Read(2), ProcessorSet{1});
+  fixed.Append(Request::Read(2), ProcessorSet{1});
+  fixed.Append(Request::Read(2), ProcessorSet{1});
+
+  AllocationSchedule dynamic(3, ProcessorSet{1});
+  dynamic.Append(Request::Read(1), ProcessorSet{1});
+  dynamic.Append(Request::Read(1), ProcessorSet{1});
+  dynamic.Append(Request::Read(2), ProcessorSet{1});
+  dynamic.Append(Request::Write(2), ProcessorSet{2});  // invalidates 1
+  dynamic.Append(Request::Read(2), ProcessorSet{2});
+  dynamic.Append(Request::Read(2), ProcessorSet{2});
+  dynamic.Append(Request::Read(2), ProcessorSet{2});
+
+  ASSERT_TRUE(CheckLegalAndTAvailable(fixed, 1).ok());
+  ASSERT_TRUE(CheckLegalAndTAvailable(dynamic, 1).ok());
+  EXPECT_LT(ScheduleCost(sc, dynamic), ScheduleCost(sc, fixed));
+}
+
+TEST(CostBreakdownTest, Accumulation) {
+  CostBreakdown a{1, 2, 3};
+  CostBreakdown b{10, 20, 30};
+  a += b;
+  EXPECT_EQ(a, (CostBreakdown{11, 22, 33}));
+  EXPECT_EQ(a.ToString(), "{ctrl=11, data=22, io=33}");
+}
+
+}  // namespace
+}  // namespace objalloc::model

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/object_manager.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/workload/multi_object.h"
+
+namespace objalloc::core {
+namespace {
+
+using model::CostModel;
+
+ObjectManager MakeManager(int n = 8) {
+  return ObjectManager(n, CostModel::StationaryComputing(0.5, 1.0));
+}
+
+TEST(ObjectManagerTest, AddObjectValidation) {
+  ObjectManager manager = MakeManager();
+  ObjectConfig config;
+  config.initial_scheme = ProcessorSet{0, 1};
+  EXPECT_TRUE(manager.AddObject(1, config).ok());
+  EXPECT_FALSE(manager.AddObject(1, config).ok()) << "duplicate id";
+  config.initial_scheme = ProcessorSet{};
+  EXPECT_FALSE(manager.AddObject(2, config).ok()) << "empty scheme";
+  config.initial_scheme = ProcessorSet{0, 63};
+  EXPECT_FALSE(manager.AddObject(3, config).ok()) << "outside the system";
+  config.initial_scheme = ProcessorSet{0};
+  config.algorithm = AlgorithmKind::kDynamic;
+  EXPECT_FALSE(manager.AddObject(4, config).ok()) << "DA needs t >= 2";
+  config.algorithm = AlgorithmKind::kStatic;
+  EXPECT_TRUE(manager.AddObject(5, config).ok()) << "SA tolerates t = 1";
+}
+
+TEST(ObjectManagerTest, ServeUnknownObjectFails) {
+  ObjectManager manager = MakeManager();
+  auto result = manager.Serve(42, Request::Read(0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(ObjectManagerTest, ServeOutOfRangeProcessorFails) {
+  ObjectManager manager = MakeManager(4);
+  ObjectConfig config;
+  config.initial_scheme = ProcessorSet{0, 1};
+  ASSERT_TRUE(manager.AddObject(1, config).ok());
+  EXPECT_FALSE(manager.Serve(1, Request::Read(7)).ok());
+}
+
+TEST(ObjectManagerTest, PerObjectCostMatchesStandaloneRun) {
+  // One object managed through the manager must cost exactly what a
+  // standalone DA run costs.
+  CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  ObjectManager manager(8, sc);
+  ObjectConfig config;
+  config.initial_scheme = ProcessorSet{0, 1};
+  ASSERT_TRUE(manager.AddObject(7, config).ok());
+
+  model::Schedule schedule =
+      model::Schedule::Parse(8, "r5 r5 w2 r3 w0 r5").value();
+  double total = 0;
+  for (const auto& request : schedule.requests()) {
+    auto cost = manager.Serve(7, request);
+    ASSERT_TRUE(cost.ok());
+    total += *cost;
+  }
+  DynamicAllocation da;
+  RunResult reference = RunWithCost(da, sc, schedule, ProcessorSet{0, 1});
+  EXPECT_DOUBLE_EQ(total, reference.cost);
+  auto stats = manager.StatsFor(7);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->breakdown, reference.breakdown);
+  EXPECT_EQ(stats->scheme, reference.allocation.FinalScheme());
+}
+
+TEST(ObjectManagerTest, ObjectsAreIsolated) {
+  ObjectManager manager = MakeManager();
+  ObjectConfig config;
+  config.initial_scheme = ProcessorSet{0, 1};
+  ASSERT_TRUE(manager.AddObject(1, config).ok());
+  ASSERT_TRUE(manager.AddObject(2, config).ok());
+  // A write to object 1 must not invalidate object 2's replicas.
+  ASSERT_TRUE(manager.Serve(2, Request::Read(5)).ok());  // 5 joins obj 2
+  ASSERT_TRUE(manager.Serve(1, Request::Write(3)).ok());
+  auto stats2 = manager.StatsFor(2);
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_TRUE(stats2->scheme.Contains(5));
+}
+
+TEST(ObjectManagerTest, MixedAlgorithmsPerObject) {
+  ObjectManager manager = MakeManager();
+  ObjectConfig dynamic;
+  dynamic.initial_scheme = ProcessorSet{0, 1};
+  dynamic.algorithm = AlgorithmKind::kDynamic;
+  ObjectConfig fixed;
+  fixed.initial_scheme = ProcessorSet{2, 3};
+  fixed.algorithm = AlgorithmKind::kStatic;
+  ASSERT_TRUE(manager.AddObject(1, dynamic).ok());
+  ASSERT_TRUE(manager.AddObject(2, fixed).ok());
+
+  ASSERT_TRUE(manager.Serve(1, Request::Read(6)).ok());
+  ASSERT_TRUE(manager.Serve(2, Request::Read(6)).ok());
+  // DA saves at the reader, SA does not.
+  EXPECT_TRUE(manager.StatsFor(1)->scheme.Contains(6));
+  EXPECT_FALSE(manager.StatsFor(2)->scheme.Contains(6));
+}
+
+TEST(ObjectManagerTest, AggregatesAcrossObjects) {
+  ObjectManager manager = MakeManager();
+  ObjectConfig config;
+  config.initial_scheme = ProcessorSet{0, 1};
+  for (ObjectId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(manager.AddObject(id, config).ok());
+  }
+  EXPECT_EQ(manager.object_count(), 10u);
+  for (ObjectId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(manager.Serve(id, Request::Read(0)).ok());
+  }
+  EXPECT_EQ(manager.TotalRequests(), 10);
+  EXPECT_EQ(manager.TotalBreakdown().io_ops, 10);
+  EXPECT_DOUBLE_EQ(manager.TotalCost(), 10.0);
+}
+
+TEST(MultiObjectTraceTest, GeneratorValidation) {
+  workload::MultiObjectOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.num_objects = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = workload::MultiObjectOptions{};
+  options.min_read_fraction = 0.9;
+  options.max_read_fraction = 0.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options = workload::MultiObjectOptions{};
+  options.locality_set = 99;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(MultiObjectTraceTest, DeterministicAndInRange) {
+  workload::MultiObjectOptions options;
+  options.length = 500;
+  auto a = workload::GenerateMultiObjectTrace(options, 7);
+  auto b = workload::GenerateMultiObjectTrace(options, 7);
+  ASSERT_EQ(a.events.size(), 500u);
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].object, b.events[i].object);
+    EXPECT_EQ(a.events[i].request, b.events[i].request);
+    EXPECT_GE(a.events[i].object, 0);
+    EXPECT_LT(a.events[i].object, options.num_objects);
+    EXPECT_LT(a.events[i].request.processor, options.num_processors);
+  }
+}
+
+TEST(MultiObjectTraceTest, PopularityIsSkewed) {
+  workload::MultiObjectOptions options;
+  options.length = 4000;
+  options.popularity_skew = 1.0;
+  auto trace = workload::GenerateMultiObjectTrace(options, 9);
+  std::vector<int> counts(static_cast<size_t>(options.num_objects), 0);
+  for (const auto& event : trace.events) {
+    ++counts[static_cast<size_t>(event.object)];
+  }
+  EXPECT_GT(counts[0], counts[static_cast<size_t>(options.num_objects - 1)] * 3);
+}
+
+TEST(MultiObjectTraceTest, EndToEndThroughManager) {
+  workload::MultiObjectOptions options;
+  options.length = 2000;
+  auto trace = workload::GenerateMultiObjectTrace(options, 11);
+
+  ObjectManager manager(options.num_processors,
+                        CostModel::StationaryComputing(0.25, 1.0));
+  ObjectConfig config;
+  config.initial_scheme = ProcessorSet{0, 1};
+  for (int id = 0; id < options.num_objects; ++id) {
+    ASSERT_TRUE(manager.AddObject(id, config).ok());
+  }
+  for (const auto& event : trace.events) {
+    ASSERT_TRUE(manager.Serve(event.object, event.request).ok());
+  }
+  EXPECT_EQ(manager.TotalRequests(), static_cast<int64_t>(options.length));
+  EXPECT_GT(manager.TotalCost(), 0.0);
+}
+
+}  // namespace
+}  // namespace objalloc::core

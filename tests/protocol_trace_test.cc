@@ -1,0 +1,163 @@
+// Message-level protocol conformance: with tracing enabled, the simulator
+// must emit exactly the wire sequences the paper's algorithm descriptions
+// imply — request/transfer pairs for reads, propagate+invalidate fans for
+// writes, query/reply rounds for quorum consensus.
+
+#include <gtest/gtest.h>
+
+#include "objalloc/sim/simulator.h"
+
+namespace objalloc::sim {
+namespace {
+
+using util::ProcessorSet;
+
+SimulatorOptions MakeOptions(ProtocolKind kind, int n = 5) {
+  SimulatorOptions options;
+  options.protocol = kind;
+  options.num_processors = n;
+  options.initial_scheme = ProcessorSet{0, 1};
+  return options;
+}
+
+std::vector<MessageType> Types(const std::vector<Network::TraceEntry>& trace) {
+  std::vector<MessageType> types;
+  for (const auto& entry : trace) types.push_back(entry.message.type);
+  return types;
+}
+
+TEST(ProtocolTraceTest, SaLocalReadSendsNothing) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic));
+  sim.EnableMessageTrace();
+  ASSERT_TRUE(sim.SubmitRead(0).ok);
+  EXPECT_TRUE(sim.message_trace().empty());
+}
+
+TEST(ProtocolTraceTest, SaRemoteReadIsRequestThenReply) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic));
+  sim.EnableMessageTrace();
+  ASSERT_TRUE(sim.SubmitRead(3).ok);
+  const auto& trace = sim.message_trace();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].message.type, MessageType::kReadRequest);
+  EXPECT_EQ(trace[0].message.src, 3);
+  EXPECT_EQ(trace[1].message.type, MessageType::kObjectReply);
+  EXPECT_EQ(trace[1].message.dst, 3);
+  EXPECT_EQ(trace[1].message.src, trace[0].message.dst);
+}
+
+TEST(ProtocolTraceTest, SaWriteFansOutToTheScheme) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic));
+  sim.EnableMessageTrace();
+  ASSERT_TRUE(sim.SubmitWrite(3, 7).ok);
+  const auto& trace = sim.message_trace();
+  ASSERT_EQ(trace.size(), 2u);  // one kObjectPropagate per member of Q
+  for (const auto& entry : trace) {
+    EXPECT_EQ(entry.message.type, MessageType::kObjectPropagate);
+    EXPECT_EQ(entry.message.src, 3);
+    EXPECT_EQ(entry.message.version, 1);
+  }
+  EXPECT_NE(trace[0].message.dst, trace[1].message.dst);
+}
+
+TEST(ProtocolTraceTest, DaSavingReadThenInvalidateOnWrite) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic));
+  sim.EnableMessageTrace();
+  ASSERT_TRUE(sim.SubmitRead(3).ok);  // join via F = {0}
+  {
+    const auto& trace = sim.message_trace();
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].message.type, MessageType::kReadRequest);
+    EXPECT_EQ(trace[0].message.dst, 0);
+    EXPECT_EQ(trace[1].message.type, MessageType::kObjectReply);
+  }
+  sim.ClearMessageTrace();
+  ASSERT_TRUE(sim.SubmitWrite(0, 9).ok);  // F member writes
+  const auto& trace = sim.message_trace();
+  // Propagate to p (1), invalidate joiner 3 — exactly two messages.
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].message.type, MessageType::kObjectPropagate);
+  EXPECT_EQ(trace[0].message.dst, 1);
+  EXPECT_EQ(trace[1].message.type, MessageType::kInvalidate);
+  EXPECT_EQ(trace[1].message.dst, 3);
+  EXPECT_EQ(trace[1].message.origin, 0) << "invalidation names the writer";
+}
+
+TEST(ProtocolTraceTest, DaOutsideWriteInvalidatesTheFloatingMember) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic));
+  sim.EnableMessageTrace();
+  ASSERT_TRUE(sim.SubmitWrite(4, 9).ok);  // scheme {0,1} -> {0,4}
+  auto types = Types(sim.message_trace());
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], MessageType::kObjectPropagate);  // to F member 0
+  EXPECT_EQ(types[1], MessageType::kInvalidate);       // to p = 1
+  EXPECT_EQ(sim.message_trace()[1].message.dst, 1);
+}
+
+TEST(ProtocolTraceTest, QuorumReadIsScanThenFetch) {
+  Simulator sim(MakeOptions(ProtocolKind::kQuorum));
+  sim.EnableMessageTrace();
+  ASSERT_TRUE(sim.SubmitRead(4).ok);
+  auto types = Types(sim.message_trace());
+  // 4 version queries + 4 replies + request + object reply.
+  ASSERT_EQ(types.size(), 10u);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(types[static_cast<size_t>(k)], MessageType::kVersionQuery);
+  }
+  int replies = 0, requests = 0, objects = 0;
+  for (size_t k = 4; k < types.size(); ++k) {
+    replies += types[k] == MessageType::kVersionReply;
+    requests += types[k] == MessageType::kReadRequest;
+    objects += types[k] == MessageType::kObjectReply;
+  }
+  EXPECT_EQ(replies, 4);
+  EXPECT_EQ(requests, 1);
+  EXPECT_EQ(objects, 1);
+}
+
+TEST(ProtocolTraceTest, FailoverBroadcastsModeSwitchFirst) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic));
+  sim.Crash(0);  // the single F member
+  sim.EnableMessageTrace(4096);
+  ASSERT_TRUE(sim.SubmitWrite(2, 5).ok);
+  const auto& trace = sim.message_trace();
+  // After the failed propagate, the kModeSwitch broadcast must precede any
+  // quorum traffic so no node serves a stale normal-mode read.
+  size_t first_switch = trace.size(), first_query = trace.size();
+  for (size_t k = 0; k < trace.size(); ++k) {
+    if (trace[k].message.type == MessageType::kModeSwitch) {
+      first_switch = std::min(first_switch, k);
+    }
+    if (trace[k].message.type == MessageType::kVersionQuery) {
+      first_query = std::min(first_query, k);
+    }
+  }
+  ASSERT_LT(first_switch, trace.size());
+  ASSERT_LT(first_query, trace.size());
+  EXPECT_LT(first_switch, first_query);
+}
+
+TEST(ProtocolTraceTest, DroppedMessagesAreMarked) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic));
+  sim.Crash(0);
+  sim.EnableMessageTrace();
+  ASSERT_TRUE(sim.SubmitRead(3).ok);  // first try 0 (down), then 1
+  const auto& trace = sim.message_trace();
+  ASSERT_GE(trace.size(), 3u);
+  EXPECT_FALSE(trace[0].delivered);
+  EXPECT_EQ(trace[0].message.dst, 0);
+  EXPECT_TRUE(trace[1].delivered);
+}
+
+TEST(ProtocolTraceTest, TraceCapacityIsBounded) {
+  Simulator sim(MakeOptions(ProtocolKind::kQuorum));
+  sim.EnableMessageTrace(/*capacity=*/4);
+  ASSERT_TRUE(sim.SubmitRead(4).ok);  // 10 messages
+  EXPECT_EQ(sim.message_trace().size(), 4u);
+  // The retained entries are the most recent ones.
+  EXPECT_EQ(sim.message_trace().back().message.type,
+            MessageType::kObjectReply);
+}
+
+}  // namespace
+}  // namespace objalloc::sim

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "objalloc/core/quorum_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/model/legality.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::core {
+namespace {
+
+using model::CostModel;
+using model::Schedule;
+
+QuorumAllocation Make(int r = 0, int w = 0) {
+  QuorumAllocationOptions options;
+  options.read_quorum = r;
+  options.write_quorum = w;
+  return QuorumAllocation(options);
+}
+
+TEST(QuorumAllocationTest, OptionsValidation) {
+  QuorumAllocationOptions options;
+  options.read_quorum = 2;
+  options.write_quorum = 3;
+  EXPECT_FALSE(options.ValidateFor(6, 2).ok());  // r + w <= n
+  options.write_quorum = 5;
+  EXPECT_TRUE(options.ValidateFor(6, 2).ok());
+  EXPECT_FALSE(options.ValidateFor(6, 6).ok());  // w < t
+  options.read_quorum = 9;
+  EXPECT_FALSE(options.ValidateFor(6, 2).ok());  // r > n
+}
+
+TEST(QuorumAllocationTest, MajorityDefaults) {
+  auto quorum = Make();
+  quorum.Reset(7, ProcessorSet{0, 1});
+  EXPECT_EQ(quorum.read_quorum(), 4);
+  EXPECT_EQ(quorum.write_quorum(), 4);
+}
+
+TEST(QuorumAllocationTest, ReadPollsRProcessors) {
+  auto quorum = Make(3, 5);
+  quorum.Reset(7, ProcessorSet{0, 1});
+  Decision d = quorum.Step(Request::Read(6));
+  EXPECT_EQ(d.execution_set.Size(), 3);
+  EXPECT_FALSE(d.saving);
+  // Anchored on a scheme member: the poll sees the latest version.
+  EXPECT_TRUE(d.execution_set.Intersects((ProcessorSet{0, 1})));
+}
+
+TEST(QuorumAllocationTest, WriteReachesWProcessorsIncludingWriter) {
+  auto quorum = Make(3, 5);
+  quorum.Reset(7, ProcessorSet{0, 1});
+  Decision d = quorum.Step(Request::Write(6));
+  EXPECT_EQ(d.execution_set.Size(), 5);
+  EXPECT_TRUE(d.execution_set.Contains(6));
+}
+
+TEST(QuorumAllocationTest, AlwaysLegalAndTAvailable) {
+  workload::UniformWorkload uniform(0.6);
+  for (auto [r, w] : {std::pair{3, 5}, {4, 4}, {2, 6}}) {
+    auto quorum = Make(r, w);
+    Schedule schedule = uniform.Generate(7, 300, 4);
+    auto allocation = RunAlgorithm(quorum, schedule, ProcessorSet{0, 1});
+    EXPECT_TRUE(model::CheckLegalAndTAvailable(allocation, 2).ok())
+        << "r=" << r << " w=" << w;
+  }
+}
+
+TEST(QuorumAllocationTest, RotationSpreadsWriteQuorums) {
+  auto quorum = Make(3, 5);
+  quorum.Reset(7, ProcessorSet{0, 1});
+  ProcessorSet first = quorum.Step(Request::Write(0)).execution_set;
+  ProcessorSet second = quorum.Step(Request::Write(0)).execution_set;
+  EXPECT_NE(first, second);
+}
+
+TEST(QuorumAllocationTest, CheaperWritesThanRowaOnWriteHeavyTraffic) {
+  // The classical trade: w-fold writes instead of scheme-wide, r-fold reads
+  // instead of 1. With mostly writes and a large SA scheme, voting wins.
+  CostModel sc = CostModel::StationaryComputing(0.1, 1.0);
+  workload::UniformWorkload writes(0.1);
+  Schedule schedule = writes.Generate(7, 400, 8);
+  ProcessorSet initial = ProcessorSet::FirstN(5);  // t = 5: SA writes 5-wide
+
+  auto quorum = Make(3, 5);
+  StaticAllocation sa;
+  double quorum_cost = RunWithCost(quorum, sc, schedule, initial).cost;
+  double sa_cost = RunWithCost(sa, sc, schedule, initial).cost;
+  EXPECT_LT(quorum_cost, sa_cost * 1.05);
+}
+
+TEST(QuorumAllocationTest, ReadsCostRFoldEvenWhenLocal) {
+  // The §3.1 footnote semantics: a quorum read inputs r copies.
+  CostModel sc = CostModel::StationaryComputing(0.1, 1.0);
+  auto quorum = Make(3, 5);
+  Schedule schedule = Schedule::Parse(7, "r0").value();
+  RunResult result = RunWithCost(quorum, sc, schedule, ProcessorSet{0, 1});
+  EXPECT_EQ(result.breakdown.io_ops, 3);
+}
+
+}  // namespace
+}  // namespace objalloc::core

@@ -1,0 +1,81 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "objalloc/analysis/region_map.h"
+
+namespace objalloc::analysis {
+namespace {
+
+RegionSweepOptions TinySweep(bool mobile) {
+  RegionSweepOptions options;
+  options.mobile = mobile;
+  options.cd_values = {0.1, 0.6, 1.5};
+  options.cc_values = {0.05, 0.4};
+  options.ratio.num_processors = 6;
+  options.ratio.schedule_length = 60;
+  options.ratio.seeds_per_generator = 2;
+  return options;
+}
+
+TEST(RegionMapTest, SkipsInvalidHalfPlane) {
+  RegionSweepOptions options = TinySweep(false);
+  auto points = SweepRegions(options);
+  for (const RegionPoint& point : points) {
+    EXPECT_LE(point.cc, point.cd);
+  }
+  // 3x2 grid minus the (0.1, 0.4) point where cc > cd.
+  EXPECT_EQ(points.size(), 5u);
+}
+
+TEST(RegionMapTest, StationarySweepAgreesWithAnalyticRegions) {
+  auto points = SweepRegions(TinySweep(false));
+  for (const RegionPoint& point : points) {
+    if (point.analytic == Region::kSaSuperior ||
+        point.analytic == Region::kDaSuperior) {
+      EXPECT_EQ(point.empirical, point.analytic)
+          << "at cd=" << point.cd << " cc=" << point.cc;
+    }
+  }
+}
+
+TEST(RegionMapTest, MobileSweepIsAllDaSuperior) {
+  auto points = SweepRegions(TinySweep(true));
+  for (const RegionPoint& point : points) {
+    EXPECT_EQ(point.analytic, Region::kDaSuperior);
+    EXPECT_EQ(point.empirical, Region::kDaSuperior)
+        << "at cd=" << point.cd << " cc=" << point.cc;
+  }
+}
+
+TEST(RegionMapTest, TableHasOneRowPerPoint) {
+  RegionSweepOptions options = TinySweep(false);
+  auto points = SweepRegions(options);
+  util::Table table = RegionTable(points);
+  EXPECT_EQ(table.num_rows(), points.size());
+  std::ostringstream os;
+  table.WriteAligned(os);
+  EXPECT_NE(os.str().find("empirical_winner"), std::string::npos);
+  EXPECT_EQ(os.str().find(" NO"), std::string::npos)
+      << "inconsistent point:\n" << os.str();
+}
+
+TEST(RegionMapTest, AnalyticMapShowsAllRegions) {
+  std::string map = RenderAnalyticMap(RegionSweepOptions::PaperGrid(false));
+  EXPECT_NE(map.find('S'), std::string::npos);
+  EXPECT_NE(map.find('D'), std::string::npos);
+  EXPECT_NE(map.find('?'), std::string::npos);
+  EXPECT_NE(map.find('x'), std::string::npos);
+}
+
+TEST(RegionMapTest, EmpiricalMapRenders) {
+  RegionSweepOptions options = TinySweep(false);
+  auto points = SweepRegions(options);
+  std::string map = RenderEmpiricalMap(options, points);
+  EXPECT_NE(map.find('x'), std::string::npos);
+  EXPECT_TRUE(map.find('S') != std::string::npos ||
+              map.find('D') != std::string::npos);
+}
+
+}  // namespace
+}  // namespace objalloc::analysis

@@ -1,0 +1,198 @@
+// Failure-injection tests: DA degrades to quorum consensus and keeps
+// serving fresh data; strict ROWA SA blocks writes while any scheme member
+// is down; recovered processors never serve stale copies.
+
+#include <gtest/gtest.h>
+
+#include "objalloc/sim/simulator.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::sim {
+namespace {
+
+using model::Schedule;
+using util::ProcessorSet;
+
+SimulatorOptions MakeOptions(ProtocolKind kind, int n, ProcessorSet scheme) {
+  SimulatorOptions options;
+  options.protocol = kind;
+  options.num_processors = n;
+  options.initial_scheme = scheme;
+  return options;
+}
+
+// ------------------------------------------------------------------- SA
+
+TEST(SaFailureTest, ReadFailsOverToAnotherMember) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, 5, ProcessorSet{0, 1}));
+  sim.Crash(0);
+  RequestOutcome outcome = sim.SubmitRead(3);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_FALSE(outcome.stale);
+  // Two request messages (one dropped at the crashed member) + one reply.
+  EXPECT_EQ(sim.metrics().control_messages, 2);
+  EXPECT_EQ(sim.metrics().dropped_messages, 1);
+}
+
+TEST(SaFailureTest, ReadUnavailableWhenAllMembersDown) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, 5, ProcessorSet{0, 1}));
+  sim.Crash(0);
+  sim.Crash(1);
+  EXPECT_FALSE(sim.SubmitRead(3).ok);
+  EXPECT_EQ(sim.metrics().unavailable_requests, 1);
+}
+
+TEST(SaFailureTest, WriteBlocksWhileAnyMemberIsDown) {
+  // Strict read-one-write-all cannot commit without every copy.
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, 5, ProcessorSet{0, 1}));
+  sim.Crash(1);
+  EXPECT_FALSE(sim.SubmitWrite(2, 5).ok);
+  EXPECT_EQ(sim.metrics().unavailable_requests, 1);
+  // The aborted version must not be visible anywhere.
+  RequestOutcome outcome = sim.SubmitRead(3);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.version, 0);
+  EXPECT_FALSE(outcome.stale);
+}
+
+TEST(SaFailureTest, WritesResumeAfterRecovery) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, 5, ProcessorSet{0, 1}));
+  sim.Crash(1);
+  EXPECT_FALSE(sim.SubmitWrite(2, 5).ok);
+  sim.Recover(1);
+  EXPECT_TRUE(sim.SubmitWrite(2, 6).ok);
+  RequestOutcome outcome = sim.SubmitRead(4);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.value, 6u);
+}
+
+// ------------------------------------------------------------------- DA
+
+TEST(DaFailureTest, WriteTriggersFailoverAndStillCommits) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, 5, ProcessorSet{0, 1}));
+  sim.Crash(0);  // the single member of F
+  RequestOutcome outcome = sim.SubmitWrite(2, 42);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(sim.metrics().failovers, 1);
+  // Later reads (now in quorum mode) see the committed version.
+  RequestOutcome read = sim.SubmitRead(3);
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.value, 42u);
+  EXPECT_FALSE(read.stale);
+}
+
+TEST(DaFailureTest, OutsideReadTriggersFailoverWhenFIsDown) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, 5, ProcessorSet{0, 1}));
+  sim.Crash(0);
+  RequestOutcome outcome = sim.SubmitRead(4);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.version, 0);  // the initial object, via p's copy
+  EXPECT_FALSE(outcome.stale);
+  EXPECT_EQ(sim.metrics().failovers, 1);
+}
+
+TEST(DaFailureTest, NoStaleReadsAcrossFailoverAndRecovery) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, 6, ProcessorSet{0, 1}));
+  EXPECT_TRUE(sim.SubmitRead(3).ok);      // 3 joins the scheme
+  EXPECT_TRUE(sim.SubmitWrite(4, 1).ok);  // normal-mode write
+  sim.Crash(0);
+  EXPECT_TRUE(sim.SubmitWrite(5, 2).ok);  // failover
+  sim.Recover(0);
+  // The recovered F member must not serve its stale (version 1) copy.
+  RequestOutcome outcome = sim.SubmitRead(0);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.version, 2);
+  EXPECT_FALSE(outcome.stale);
+  EXPECT_EQ(sim.metrics().stale_reads, 0);
+}
+
+TEST(DaFailureTest, UnavailableWhenMajorityIsDown) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, 5, ProcessorSet{0, 1}));
+  sim.Crash(0);
+  EXPECT_TRUE(sim.SubmitWrite(2, 1).ok);  // failover, quorum 3/5 alive: 4 up
+  sim.Crash(1);
+  sim.Crash(2);
+  // Only 2 of 5 alive: below the majority write quorum.
+  EXPECT_FALSE(sim.SubmitWrite(3, 2).ok);
+  EXPECT_GT(sim.metrics().unavailable_requests, 0);
+}
+
+TEST(DaFailureTest, ServiceContinuesUnderRollingFailures) {
+  workload::UniformWorkload uniform(0.7);
+  Schedule schedule = uniform.Generate(7, 120, 5);
+  FailurePlan plan;
+  plan.events.push_back(FailureEvent::Crash(20, 0));
+  plan.events.push_back(FailureEvent::Recover(60, 0));
+  plan.events.push_back(FailureEvent::Crash(80, 3));
+  plan.events.push_back(FailureEvent::Recover(110, 3));
+
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, 7, ProcessorSet{0, 1}));
+  auto report = sim.RunSchedule(schedule, plan);
+  EXPECT_EQ(report.stale_reads, 0);
+  // Requests from crashed processors are unavailable; everything else is
+  // served (a single failover, majority always alive).
+  EXPECT_GT(report.served, 100);
+  EXPECT_EQ(report.served + report.unavailable,
+            static_cast<int64_t>(schedule.size()));
+}
+
+TEST(DaFailureTest, RequestsFromCrashedProcessorsAreRejected) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, 5, ProcessorSet{0, 1}));
+  sim.Crash(3);
+  EXPECT_FALSE(sim.SubmitRead(3).ok);
+  EXPECT_FALSE(sim.SubmitWrite(3, 1).ok);
+  EXPECT_EQ(sim.metrics().unavailable_requests, 2);
+}
+
+// --------------------------------------------------------------- Quorum
+
+TEST(QuorumFailureTest, ToleratesMinorityCrashes) {
+  Simulator sim(MakeOptions(ProtocolKind::kQuorum, 5, ProcessorSet{0, 1}));
+  EXPECT_TRUE(sim.SubmitWrite(2, 7).ok);
+  sim.Crash(0);
+  sim.Crash(2);
+  RequestOutcome outcome = sim.SubmitRead(4);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.value, 7u);
+  EXPECT_FALSE(outcome.stale);
+  EXPECT_TRUE(sim.SubmitWrite(3, 8).ok);
+}
+
+TEST(QuorumFailureTest, BlocksBelowQuorum) {
+  Simulator sim(MakeOptions(ProtocolKind::kQuorum, 5, ProcessorSet{0, 1}));
+  sim.Crash(0);
+  sim.Crash(1);
+  sim.Crash(2);
+  EXPECT_FALSE(sim.SubmitWrite(3, 1).ok);
+  EXPECT_FALSE(sim.SubmitRead(4).ok);
+}
+
+TEST(QuorumFailureTest, FreshAfterCrashRecoveryChurn) {
+  Simulator sim(MakeOptions(ProtocolKind::kQuorum, 5, ProcessorSet{0, 1}));
+  EXPECT_TRUE(sim.SubmitWrite(2, 1).ok);
+  sim.Crash(2);
+  EXPECT_TRUE(sim.SubmitWrite(3, 2).ok);
+  sim.Recover(2);
+  sim.Crash(3);
+  RequestOutcome outcome = sim.SubmitRead(2);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.value, 2u);
+  EXPECT_EQ(sim.metrics().stale_reads, 0);
+}
+
+TEST(FailurePlanTest, Validation) {
+  FailurePlan plan;
+  plan.events.push_back(FailureEvent::Crash(5, 1));
+  plan.events.push_back(FailureEvent::Recover(3, 1));  // out of order
+  EXPECT_FALSE(plan.IsValid(4));
+  plan.events.clear();
+  plan.events.push_back(FailureEvent::Crash(1, 7));
+  EXPECT_FALSE(plan.IsValid(4));  // processor out of range
+  plan.events.clear();
+  plan.events.push_back(FailureEvent::Crash(1, 2));
+  plan.events.push_back(FailureEvent::Recover(4, 2));
+  EXPECT_TRUE(plan.IsValid(4));
+}
+
+}  // namespace
+}  // namespace objalloc::sim

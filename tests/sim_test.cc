@@ -1,0 +1,188 @@
+// Failure-free simulator tests, centered on the cross-validation invariant:
+// the message-passing implementations of SA and DA must produce exactly the
+// control/data/I/O counts that the analytic cost model assigns to the
+// allocation schedules the core algorithms produce.
+
+#include <gtest/gtest.h>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/sim/simulator.h"
+#include "objalloc/util/rng.h"
+#include "objalloc/workload/hotspot.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::sim {
+namespace {
+
+using model::CostBreakdown;
+using model::Schedule;
+using util::ProcessorSet;
+
+SimulatorOptions MakeOptions(ProtocolKind kind, int n, ProcessorSet scheme) {
+  SimulatorOptions options;
+  options.protocol = kind;
+  options.num_processors = n;
+  options.initial_scheme = scheme;
+  return options;
+}
+
+TEST(SimulatorTest, OptionsValidation) {
+  SimulatorOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.num_processors = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = SimulatorOptions{};
+  options.initial_scheme = ProcessorSet{0, 63};
+  options.num_processors = 8;
+  EXPECT_FALSE(options.Validate().ok());
+  options = SimulatorOptions{};
+  options.protocol = ProtocolKind::kDynamic;
+  options.initial_scheme = ProcessorSet{0};
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(SimulatorTest, LocalReadReturnsSeededObject) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, 4, ProcessorSet{0, 1}));
+  RequestOutcome outcome = sim.SubmitRead(0);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_FALSE(outcome.stale);
+  EXPECT_EQ(outcome.version, 0);
+  EXPECT_EQ(sim.metrics().io_ops, 1);
+  EXPECT_EQ(sim.metrics().control_messages, 0);
+}
+
+TEST(SimulatorTest, RemoteReadCountsRequestIoTransfer) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, 4, ProcessorSet{0, 1}));
+  RequestOutcome outcome = sim.SubmitRead(3);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(sim.metrics().control_messages, 1);
+  EXPECT_EQ(sim.metrics().data_messages, 1);
+  EXPECT_EQ(sim.metrics().io_ops, 1);
+}
+
+TEST(SimulatorTest, WritesBumpVersionsAndReadsSeeThem) {
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, 4, ProcessorSet{0, 1}));
+  EXPECT_TRUE(sim.SubmitWrite(2, 777).ok);
+  RequestOutcome outcome = sim.SubmitRead(1);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.version, 1);
+  EXPECT_EQ(outcome.value, 777u);
+  EXPECT_FALSE(outcome.stale);
+}
+
+TEST(SimulatorTest, DaSavingReadMakesNextReadLocal) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, 5, ProcessorSet{0, 1}));
+  EXPECT_TRUE(sim.SubmitRead(3).ok);
+  // First read: 1 ctrl, 1 data, 2 io (source input + save).
+  EXPECT_EQ(sim.metrics().control_messages, 1);
+  EXPECT_EQ(sim.metrics().data_messages, 1);
+  EXPECT_EQ(sim.metrics().io_ops, 2);
+  EXPECT_TRUE(sim.SubmitRead(3).ok);
+  // Second read: local input only.
+  EXPECT_EQ(sim.metrics().io_ops, 3);
+  EXPECT_EQ(sim.metrics().control_messages, 1);
+}
+
+TEST(SimulatorTest, DaWriteInvalidatesJoiners) {
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, 6, ProcessorSet{0, 1}));
+  EXPECT_TRUE(sim.SubmitRead(3).ok);
+  EXPECT_TRUE(sim.SubmitRead(4).ok);
+  int64_t ctrl_before = sim.metrics().control_messages;
+  EXPECT_TRUE(sim.SubmitWrite(0, 9).ok);
+  // w0 (in F): data to p, invalidate joiners 3 and 4: +2 control.
+  EXPECT_EQ(sim.metrics().control_messages, ctrl_before + 2);
+  // Joiner 3 must now fetch remotely again.
+  int64_t data_before = sim.metrics().data_messages;
+  EXPECT_TRUE(sim.SubmitRead(3).ok);
+  EXPECT_EQ(sim.metrics().data_messages, data_before + 1);
+}
+
+TEST(SimulatorTest, FreshnessInvariantOnRandomSchedules) {
+  workload::UniformWorkload uniform(0.7);
+  for (auto kind : {ProtocolKind::kStatic, ProtocolKind::kDynamic,
+                    ProtocolKind::kQuorum}) {
+    Simulator sim(MakeOptions(kind, 6, ProcessorSet{0, 1}));
+    Schedule schedule = uniform.Generate(6, 150, 99);
+    auto report = sim.RunSchedule(schedule);
+    EXPECT_EQ(report.served, 150);
+    EXPECT_EQ(report.unavailable, 0);
+    EXPECT_EQ(report.stale_reads, 0);
+  }
+}
+
+// --------------------------------------------- Simulator vs cost model
+
+class CrossCheckTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossCheckTest, SaSimulatorMatchesAnalyticBreakdown) {
+  workload::UniformWorkload uniform(0.7);
+  Schedule schedule = uniform.Generate(7, 200, GetParam());
+  ProcessorSet initial{0, 1};
+
+  core::StaticAllocation sa;
+  CostBreakdown analytic =
+      core::RunWithCost(sa, model::CostModel::StationaryComputing(0.5, 1.0),
+                        schedule, initial)
+          .breakdown;
+
+  Simulator sim(MakeOptions(ProtocolKind::kStatic, 7, initial));
+  auto report = sim.RunSchedule(schedule);
+  EXPECT_EQ(report.unavailable, 0);
+  EXPECT_EQ(report.stale_reads, 0);
+  EXPECT_EQ(report.metrics.ToBreakdown(), analytic);
+}
+
+TEST_P(CrossCheckTest, DaSimulatorMatchesAnalyticBreakdown) {
+  workload::HotspotWorkload hotspot(0.8, 0.65);
+  Schedule schedule = hotspot.Generate(7, 200, GetParam());
+  ProcessorSet initial{0, 1, 2};
+
+  core::DynamicAllocation da;
+  CostBreakdown analytic =
+      core::RunWithCost(da, model::CostModel::StationaryComputing(0.5, 1.0),
+                        schedule, initial)
+          .breakdown;
+
+  Simulator sim(MakeOptions(ProtocolKind::kDynamic, 7, initial));
+  auto report = sim.RunSchedule(schedule);
+  EXPECT_EQ(report.unavailable, 0);
+  EXPECT_EQ(report.stale_reads, 0);
+  EXPECT_EQ(report.metrics.ToBreakdown(), analytic);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossCheckTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(QuorumSimulatorTest, ReadAssemblesQuorumAndFetchesFreshest) {
+  Simulator sim(MakeOptions(ProtocolKind::kQuorum, 5, ProcessorSet{0, 1}));
+  EXPECT_TRUE(sim.SubmitWrite(2, 5).ok);
+  RequestOutcome outcome = sim.SubmitRead(4);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.version, 1);
+  EXPECT_EQ(outcome.value, 5u);
+  EXPECT_FALSE(outcome.stale);
+}
+
+TEST(QuorumSimulatorTest, WriteReachesWriteQuorum) {
+  Simulator sim(MakeOptions(ProtocolKind::kQuorum, 5, ProcessorSet{0, 1}));
+  EXPECT_TRUE(sim.SubmitWrite(3, 11).ok);
+  // Majority of 5 is 3: the writer plus two propagations.
+  EXPECT_EQ(sim.metrics().data_messages, 2);
+  EXPECT_EQ(sim.metrics().io_ops, 3);
+}
+
+TEST(QuorumSimulatorTest, CustomQuorumSizesAreEnforced) {
+  SimulatorOptions options =
+      MakeOptions(ProtocolKind::kQuorum, 5, ProcessorSet{0, 1});
+  options.quorum.read_quorum = 2;
+  options.quorum.write_quorum = 4;
+  Simulator sim(options);
+  EXPECT_TRUE(sim.SubmitWrite(0, 3).ok);
+  EXPECT_EQ(sim.metrics().data_messages, 3);  // w-1 pushes
+  EXPECT_TRUE(sim.SubmitRead(4).ok);
+}
+
+}  // namespace
+}  // namespace objalloc::sim

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/model/legality.h"
+
+namespace objalloc::core {
+namespace {
+
+using model::CostModel;
+using model::Schedule;
+
+TEST(StaticAllocationTest, LocalReadUsesOwnCopy) {
+  StaticAllocation sa;
+  sa.Reset(4, ProcessorSet{0, 1});
+  Decision d = sa.Step(Request::Read(1));
+  EXPECT_EQ(d.execution_set, ProcessorSet{1});
+  EXPECT_FALSE(d.saving);
+}
+
+TEST(StaticAllocationTest, RemoteReadContactsOneMember) {
+  StaticAllocation sa;
+  sa.Reset(4, ProcessorSet{0, 1});
+  Decision d = sa.Step(Request::Read(3));
+  EXPECT_EQ(d.execution_set.Size(), 1);
+  EXPECT_TRUE(d.execution_set.IsSubsetOf((ProcessorSet{0, 1})));
+  EXPECT_FALSE(d.saving);
+}
+
+TEST(StaticAllocationTest, WritePropagatesToWholeScheme) {
+  StaticAllocation sa;
+  sa.Reset(4, ProcessorSet{0, 1});
+  EXPECT_EQ(sa.Step(Request::Write(3)).execution_set, (ProcessorSet{0, 1}));
+  EXPECT_EQ(sa.Step(Request::Write(0)).execution_set, (ProcessorSet{0, 1}));
+}
+
+TEST(StaticAllocationTest, SchemeNeverChanges) {
+  StaticAllocation sa;
+  Schedule schedule = Schedule::Parse(5, "r3 w4 r2 w0 r1 r4").value();
+  auto allocation = RunAlgorithm(sa, schedule, ProcessorSet{0, 1});
+  for (size_t i = 0; i <= allocation.size(); ++i) {
+    EXPECT_EQ(allocation.SchemeAt(i), (ProcessorSet{0, 1}));
+  }
+}
+
+TEST(StaticAllocationTest, ProducesLegalTAvailableSchedules) {
+  StaticAllocation sa;
+  Schedule schedule =
+      Schedule::Parse(6, "r5 r5 w2 r3 w3 r0 r1 w5 r4 r4 w1").value();
+  auto allocation = RunAlgorithm(sa, schedule, ProcessorSet{0, 1, 2});
+  EXPECT_TRUE(model::CheckLegalAndTAvailable(allocation, 3).ok());
+}
+
+TEST(StaticAllocationTest, CostOnKnownSchedule) {
+  // Q = {0,1}, t = 2, cc = 0.5, cd = 1 (SC). r2: cc+1+cd = 2.5;
+  // w2: |X|(cd+1) = 4; r0: 1; w1: (|X|-1)cd + |X| = 3.
+  StaticAllocation sa;
+  CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  Schedule schedule = Schedule::Parse(3, "r2 w2 r0 w1").value();
+  RunResult result = RunWithCost(sa, sc, schedule, ProcessorSet{0, 1});
+  EXPECT_DOUBLE_EQ(result.cost, 2.5 + 4 + 1 + 3);
+}
+
+TEST(StaticAllocationTest, ReadOneWriteAllBreakdown) {
+  StaticAllocation sa;
+  CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  Schedule schedule = Schedule::Parse(4, "r3 r3 w0").value();
+  RunResult result = RunWithCost(sa, sc, schedule, ProcessorSet{0, 1});
+  // Two remote reads: 2 ctrl, 2 data, 2 io. Write by member: 1 data, 2 io.
+  EXPECT_EQ(result.breakdown.control_messages, 2);
+  EXPECT_EQ(result.breakdown.data_messages, 3);
+  EXPECT_EQ(result.breakdown.io_ops, 4);
+}
+
+TEST(StaticAllocationTest, WorksWithLargerThresholds) {
+  for (int t = 2; t <= 5; ++t) {
+    StaticAllocation sa;
+    Schedule schedule = Schedule::Parse(8, "r7 w6 r5 w7 r6").value();
+    auto allocation =
+        RunAlgorithm(sa, schedule, ProcessorSet::FirstN(t));
+    EXPECT_TRUE(model::CheckLegalAndTAvailable(allocation, t).ok()) << t;
+    // Every write execution set is exactly the scheme.
+    for (const auto& entry : allocation.entries()) {
+      if (entry.request.is_write()) {
+        EXPECT_EQ(entry.execution_set, ProcessorSet::FirstN(t));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace objalloc::core

@@ -1,0 +1,169 @@
+// Validates the steady-state expected-cost models against long-run averages
+// of the real algorithms on matching synthetic workloads.
+
+#include <gtest/gtest.h>
+
+#include "objalloc/analysis/steady_state.h"
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::analysis {
+namespace {
+
+using model::CostModel;
+using model::ProcessorSet;
+
+double EmpiricalCostPerRequest(core::DomAlgorithm& algorithm,
+                               const CostModel& cost_model, int n,
+                               double read_fraction, int t, size_t length,
+                               int seeds) {
+  workload::UniformWorkload uniform(read_fraction);
+  double total = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    model::Schedule schedule = uniform.Generate(n, length, seed);
+    total += core::RunWithCost(algorithm, cost_model, schedule,
+                               ProcessorSet::FirstN(t))
+                 .cost;
+  }
+  return total / (static_cast<double>(length) * seeds);
+}
+
+TEST(SteadyStateTest, WorkloadValidation) {
+  SymmetricWorkload workload;
+  EXPECT_TRUE(workload.Validate(2).ok());
+  workload.read_fraction = 1.5;
+  EXPECT_FALSE(workload.Validate(2).ok());
+  workload = SymmetricWorkload{};
+  EXPECT_FALSE(workload.Validate(1).ok());
+  EXPECT_FALSE(workload.Validate(workload.num_processors).ok());
+}
+
+TEST(SteadyStateTest, SaClosedFormSimpleCase) {
+  // n = 4, t = 2, rho = 1 (all reads), SC(cc=0.5, cd=1):
+  // E = (2/4)*1 + (2/4)*(0.5+1+1) = 0.5 + 1.25 = 1.75.
+  CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  SymmetricWorkload workload{4, 1.0};
+  EXPECT_DOUBLE_EQ(SaExpectedCostPerRequest(sc, workload, 2), 1.75);
+}
+
+TEST(SteadyStateTest, SaAllWritesCase) {
+  // rho = 0: E = (t/n)((t-1)cd + t) + (1-t/n)(t(cd+1)).
+  CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  SymmetricWorkload workload{4, 0.0};
+  EXPECT_DOUBLE_EQ(SaExpectedCostPerRequest(sc, workload, 2),
+                   0.5 * (1.0 + 2) + 0.5 * (2 * 2.0));
+}
+
+TEST(SteadyStateTest, DaChainDegenerateAllWrites) {
+  // rho = 0: DA stays in states A_0 / B_1 forever; every write costs the
+  // base (t-1)cd + t*cio plus the expected invalidation of the previous
+  // floating member. Sanity: prediction must be finite and at least the
+  // write base.
+  CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  SymmetricWorkload workload{6, 0.0};
+  double prediction = DaExpectedCostPerRequest(sc, workload, 2);
+  EXPECT_GE(prediction, 1.0 + 2.0);  // (t-1)cd + t*cio
+  EXPECT_LT(prediction, 1.0 + 2.0 + 1.0);
+}
+
+struct SteadyCase {
+  double cc, cd, read_fraction;
+  bool mobile;
+};
+
+class SteadyStatePredictionTest
+    : public ::testing::TestWithParam<SteadyCase> {};
+
+TEST_P(SteadyStatePredictionTest, SaPredictionMatchesSimulation) {
+  const SteadyCase& param = GetParam();
+  CostModel cost_model =
+      param.mobile ? CostModel::MobileComputing(param.cc, param.cd)
+                   : CostModel::StationaryComputing(param.cc, param.cd);
+  const int n = 8, t = 2;
+  SymmetricWorkload workload{n, param.read_fraction};
+  double predicted = SaExpectedCostPerRequest(cost_model, workload, t);
+  core::StaticAllocation sa;
+  double measured = EmpiricalCostPerRequest(sa, cost_model, n,
+                                            param.read_fraction, t, 4000, 4);
+  EXPECT_NEAR(measured, predicted, 0.05 * std::max(predicted, 0.2));
+}
+
+TEST_P(SteadyStatePredictionTest, DaPredictionMatchesSimulation) {
+  const SteadyCase& param = GetParam();
+  CostModel cost_model =
+      param.mobile ? CostModel::MobileComputing(param.cc, param.cd)
+                   : CostModel::StationaryComputing(param.cc, param.cd);
+  const int n = 8, t = 2;
+  SymmetricWorkload workload{n, param.read_fraction};
+  double predicted = DaExpectedCostPerRequest(cost_model, workload, t);
+  core::DynamicAllocation da;
+  double measured = EmpiricalCostPerRequest(da, cost_model, n,
+                                            param.read_fraction, t, 4000, 4);
+  EXPECT_NEAR(measured, predicted, 0.05 * std::max(predicted, 0.2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SteadyStatePredictionTest,
+    ::testing::Values(SteadyCase{0.25, 1.0, 0.9, false},
+                      SteadyCase{0.25, 1.0, 0.6, false},
+                      SteadyCase{0.25, 1.0, 0.3, false},
+                      SteadyCase{0.5, 0.5, 0.8, false},
+                      SteadyCase{0.0, 2.0, 0.7, false},
+                      SteadyCase{0.25, 1.0, 0.8, true},
+                      SteadyCase{1.0, 1.0, 0.5, true}));
+
+TEST(BreakEvenTest, DaWinsAtBothExtremes) {
+  // The gap DA - SA is non-monotone: an outside write stores the object at
+  // the writer (one transfer fewer than read-one-write-all), and saving
+  // makes read-only traffic local — DA is cheaper at rho = 0 AND rho = 1,
+  // while SA can win in the churny middle.
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  const int n = 8, t = 2;
+  SymmetricWorkload all_writes{n, 0.0}, all_reads{n, 1.0};
+  EXPECT_LT(DaExpectedCostPerRequest(sc, all_writes, t),
+            SaExpectedCostPerRequest(sc, all_writes, t));
+  EXPECT_LT(DaExpectedCostPerRequest(sc, all_reads, t),
+            SaExpectedCostPerRequest(sc, all_reads, t));
+}
+
+TEST(BreakEvenTest, SaFavorableBandEdgesAreCrossings) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  ReadFractionInterval band = SaFavorableReadFractions(sc, 8, 2);
+  ASSERT_FALSE(band.empty);  // SA wins somewhere in the mixed middle here
+  EXPECT_LT(band.lo, band.hi);
+  auto gap = [&](double rho) {
+    SymmetricWorkload workload{8, rho};
+    return DaExpectedCostPerRequest(sc, workload, 2) -
+           SaExpectedCostPerRequest(sc, workload, 2);
+  };
+  // Inside the band SA is cheaper; just outside, DA is.
+  EXPECT_GT(gap((band.lo + band.hi) / 2), 0);
+  if (band.lo > 0) {
+    EXPECT_NEAR(gap(band.lo), 0, 1e-6);
+    EXPECT_LT(gap(band.lo * 0.5), 0);
+  }
+  if (band.hi < 1) {
+    EXPECT_NEAR(gap(band.hi), 0, 1e-6);
+    EXPECT_LT(gap(band.hi + (1 - band.hi) * 0.5), 0);
+  }
+}
+
+TEST(BreakEvenTest, CheapCommunicationShrinksOrKillsTheBand) {
+  // With nearly free messages (far inside Figure 1's SA-superior region for
+  // the worst case, cc + cd < 0.5), the *average-case* band where SA wins
+  // should be wide; with expensive data messages (cd > 1, DA-superior
+  // worst-case region) it should shrink or vanish.
+  CostModel cheap = CostModel::StationaryComputing(0.05, 0.1);
+  CostModel dear = CostModel::StationaryComputing(0.25, 2.0);
+  ReadFractionInterval cheap_band = SaFavorableReadFractions(cheap, 8, 2);
+  ReadFractionInterval dear_band = SaFavorableReadFractions(dear, 8, 2);
+  double cheap_width =
+      cheap_band.empty ? 0 : cheap_band.hi - cheap_band.lo;
+  double dear_width = dear_band.empty ? 0 : dear_band.hi - dear_band.lo;
+  EXPECT_GE(cheap_width, dear_width);
+}
+
+}  // namespace
+}  // namespace objalloc::analysis

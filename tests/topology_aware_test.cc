@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/topology_aware.h"
+#include "objalloc/model/legality.h"
+#include "objalloc/model/topology.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::core {
+namespace {
+
+using model::CostModel;
+using model::NetworkTopology;
+using model::Schedule;
+
+TEST(TopologyAwareTest, UniformTopologyCostsExactlyLikeDa) {
+  // With all multipliers 1, every source choice is equivalent: the costs
+  // must coincide with plain DA on every schedule.
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  workload::UniformWorkload uniform(0.7);
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Schedule schedule = uniform.Generate(8, 150, seed);
+    TopologyAwareAllocation topo(NetworkTopology::Uniform(8));
+    DynamicAllocation da;
+    double topo_cost =
+        RunWithCost(topo, sc, schedule, ProcessorSet{0, 1}).cost;
+    double da_cost = RunWithCost(da, sc, schedule, ProcessorSet{0, 1}).cost;
+    EXPECT_DOUBLE_EQ(topo_cost, da_cost) << "seed " << seed;
+  }
+}
+
+TEST(TopologyAwareTest, FloatingMemberIsTheLeastCentral) {
+  // Initial scheme {0, 7}: processor 7 sits in the far cluster, so it
+  // becomes p and the central processor 0 anchors F.
+  NetworkTopology clusters = NetworkTopology::TwoClusters(8, 7, 5.0);
+  TopologyAwareAllocation topo(clusters);
+  topo.Reset(8, ProcessorSet{0, 7});
+  EXPECT_EQ(topo.floating_processor(), 7);
+  EXPECT_EQ(topo.core_set(), ProcessorSet{0});
+}
+
+TEST(TopologyAwareTest, ReadsFetchFromNearestReplica) {
+  NetworkTopology clusters = NetworkTopology::TwoClusters(8, 4, 5.0);
+  TopologyAwareAllocation topo(clusters);
+  topo.Reset(8, ProcessorSet{0, 1});
+  // Reader 5 (far cluster): only far source would be a joiner; first read
+  // must cross the WAN to a scheme member.
+  Decision first = topo.Step(Request::Read(5));
+  EXPECT_TRUE(first.saving);
+  EXPECT_TRUE(first.execution_set.IsSubsetOf((ProcessorSet{0, 1})));
+  // Reader 6 can now fetch from 5, inside its own cluster.
+  Decision second = topo.Step(Request::Read(6));
+  EXPECT_EQ(second.execution_set, ProcessorSet{5});
+}
+
+TEST(TopologyAwareTest, SchemeDynamicsMatchDa) {
+  NetworkTopology star = NetworkTopology::Star(6, 0, 1.0);
+  TopologyAwareAllocation topo(star);
+  topo.Reset(6, ProcessorSet{0, 1});
+  topo.Step(Request::Read(4));
+  EXPECT_TRUE(topo.scheme().Contains(4));
+  topo.Step(Request::Write(3));
+  EXPECT_EQ(topo.scheme(), topo.core_set().WithInserted(3));
+  EXPECT_FALSE(topo.scheme().Contains(4)) << "write invalidates joiners";
+}
+
+TEST(TopologyAwareTest, ProducesLegalTAvailableSchedules) {
+  NetworkTopology clusters = NetworkTopology::TwoClusters(9, 4, 3.0);
+  workload::UniformWorkload uniform(0.6);
+  for (int t = 2; t <= 4; ++t) {
+    TopologyAwareAllocation topo(clusters);
+    Schedule schedule = uniform.Generate(9, 120, 77);
+    auto allocation =
+        RunAlgorithm(topo, schedule, ProcessorSet::FirstN(t));
+    EXPECT_TRUE(model::CheckLegalAndTAvailable(allocation, t).ok()) << t;
+  }
+}
+
+TEST(TopologyAwareTest, BeatsDaOnClusteredReads) {
+  // Far-cluster readers: after the first WAN fetch, TopoDA serves the
+  // cluster locally; DA keeps crossing to F.
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  NetworkTopology clusters = NetworkTopology::TwoClusters(8, 4, 5.0);
+  Schedule schedule(8);
+  for (int round = 0; round < 20; ++round) {
+    for (util::ProcessorId reader = 4; reader < 8; ++reader) {
+      schedule.AppendRead(reader);
+    }
+  }
+  TopologyAwareAllocation topo(clusters);
+  DynamicAllocation da;
+  auto topo_alloc = RunAlgorithm(topo, schedule, ProcessorSet{0, 1});
+  auto da_alloc = RunAlgorithm(da, schedule, ProcessorSet{0, 1});
+  EXPECT_LT(model::WeightedScheduleCost(sc, clusters, topo_alloc),
+            model::WeightedScheduleCost(sc, clusters, da_alloc));
+}
+
+TEST(TopologyAwareTest, RejectsMismatchedSystemSize) {
+  TopologyAwareAllocation topo(NetworkTopology::Uniform(4));
+  EXPECT_DEATH(topo.Reset(6, ProcessorSet{0, 1}), "");
+}
+
+}  // namespace
+}  // namespace objalloc::core

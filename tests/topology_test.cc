@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/model/cost_evaluator.h"
+#include "objalloc/model/topology.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::model {
+namespace {
+
+TEST(TopologyTest, UniformMultipliersAreOne) {
+  NetworkTopology topology = NetworkTopology::Uniform(4);
+  EXPECT_DOUBLE_EQ(topology.MessageMultiplier(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(topology.IoMultiplier(2), 1.0);
+}
+
+TEST(TopologyTest, SettersAreSymmetric) {
+  NetworkTopology topology(4);
+  topology.SetMessageMultiplier(1, 3, 2.5);
+  EXPECT_DOUBLE_EQ(topology.MessageMultiplier(1, 3), 2.5);
+  EXPECT_DOUBLE_EQ(topology.MessageMultiplier(3, 1), 2.5);
+  EXPECT_DOUBLE_EQ(topology.MessageMultiplier(1, 2), 1.0);
+}
+
+TEST(TopologyTest, TwoClustersChargeInterClusterLinks) {
+  NetworkTopology topology = NetworkTopology::TwoClusters(6, 3, 4.0);
+  EXPECT_DOUBLE_EQ(topology.MessageMultiplier(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(topology.MessageMultiplier(3, 5), 1.0);
+  EXPECT_DOUBLE_EQ(topology.MessageMultiplier(1, 4), 4.0);
+}
+
+TEST(TopologyTest, StarRelaysSpokeToSpoke) {
+  NetworkTopology topology = NetworkTopology::Star(5, 0, 0.5);
+  EXPECT_DOUBLE_EQ(topology.MessageMultiplier(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(topology.MessageMultiplier(2, 4), 2.0);
+  EXPECT_DOUBLE_EQ(topology.IoMultiplier(0), 0.5);
+  EXPECT_DOUBLE_EQ(topology.IoMultiplier(3), 1.0);
+}
+
+TEST(WeightedCostTest, UniformTopologyMatchesHomogeneousEvaluator) {
+  // The weighted evaluator must specialize exactly to the paper's cost
+  // function when every multiplier is 1.
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  NetworkTopology uniform = NetworkTopology::Uniform(7);
+  workload::UniformWorkload workload(0.6);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Schedule schedule = workload.Generate(7, 120, seed);
+    core::DynamicAllocation da;
+    AllocationSchedule allocation =
+        core::RunAlgorithm(da, schedule, ProcessorSet{0, 1});
+    EXPECT_NEAR(WeightedScheduleCost(sc, uniform, allocation),
+                ScheduleCost(sc, allocation), 1e-9);
+  }
+}
+
+TEST(WeightedCostTest, RemoteReadAcrossClustersCostsMore) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  NetworkTopology clusters = NetworkTopology::TwoClusters(6, 3, 4.0);
+  AllocatedRequest intra{Request::Read(1), ProcessorSet{0}, false};
+  AllocatedRequest inter{Request::Read(4), ProcessorSet{0}, false};
+  ProcessorSet scheme{0};
+  // Intra: (cc+cd)*1 + io. Inter: (cc+cd)*4 + io.
+  EXPECT_DOUBLE_EQ(WeightedRequestCost(sc, clusters, intra, scheme),
+                   1.25 + 1.0);
+  EXPECT_DOUBLE_EQ(WeightedRequestCost(sc, clusters, inter, scheme),
+                   1.25 * 4 + 1.0);
+}
+
+TEST(WeightedCostTest, IoMultiplierAppliesToSavingToo) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  NetworkTopology topology(4);
+  topology.SetIoMultiplier(2, 3.0);
+  AllocatedRequest saving{Request::Read(2), ProcessorSet{0}, true};
+  // cc + cd + io(source)*1 + io(save at 2)*3.
+  EXPECT_DOUBLE_EQ(WeightedRequestCost(sc, topology, saving, ProcessorSet{0}),
+                   0.25 + 1.0 + 1.0 + 3.0);
+}
+
+TEST(WeightedCostTest, WriteInvalidationsUsePairMultipliers) {
+  CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  NetworkTopology clusters = NetworkTopology::TwoClusters(6, 3, 4.0);
+  // Writer 0 (cluster 0) writes to {0, 1}; stale copies at 2 (intra) and 4
+  // (inter): invalidations 0.5*1 + 0.5*4; transfer to 1: 1*1; io 2.
+  AllocatedRequest write{Request::Write(0), ProcessorSet{0, 1}, false};
+  EXPECT_DOUBLE_EQ(
+      WeightedRequestCost(sc, clusters, write, ProcessorSet{0, 2, 4}),
+      0.5 + 2.0 + 1.0 + 2.0);
+}
+
+TEST(WeightedCostTest, DynamicAllocationExploitsClusterLocality) {
+  // Readers concentrated in the remote cluster: DA's saving-reads keep the
+  // expensive inter-cluster link mostly idle; SA pays it per read. The gap
+  // must widen as the inter-cluster multiplier grows.
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  Schedule schedule(8);
+  for (int round = 0; round < 30; ++round) {
+    schedule.AppendRead(5);
+    schedule.AppendRead(6);
+    schedule.AppendRead(7);
+  }
+  core::StaticAllocation sa;
+  core::DynamicAllocation da;
+  AllocationSchedule sa_alloc =
+      core::RunAlgorithm(sa, schedule, ProcessorSet{0, 1});
+  AllocationSchedule da_alloc =
+      core::RunAlgorithm(da, schedule, ProcessorSet{0, 1});
+  double previous_gap = -1e18;
+  for (double inter : {1.0, 2.0, 8.0}) {
+    NetworkTopology clusters = NetworkTopology::TwoClusters(8, 4, inter);
+    double gap = WeightedScheduleCost(sc, clusters, sa_alloc) -
+                 WeightedScheduleCost(sc, clusters, da_alloc);
+    EXPECT_GT(gap, previous_gap);
+    previous_gap = gap;
+  }
+  EXPECT_GT(previous_gap, 0);
+}
+
+TEST(WeightedCostTest, RejectsMismatchedSystemSizes) {
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  NetworkTopology topology(4);
+  AllocationSchedule allocation(5, ProcessorSet{0});
+  EXPECT_DEATH(WeightedScheduleCost(sc, topology, allocation), "");
+}
+
+}  // namespace
+}  // namespace objalloc::model

@@ -1,0 +1,291 @@
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "objalloc/util/ascii_plot.h"
+#include "objalloc/util/csv.h"
+#include "objalloc/util/processor_set.h"
+#include "objalloc/util/rng.h"
+#include "objalloc/util/stats.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::util {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad t");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad t");
+}
+
+TEST(StatusTest, StatusOrHoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusTest, StatusOrHoldsError) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = [](bool fail) {
+    return fail ? Status::Internal("boom") : Status::Ok();
+  };
+  auto outer = [&](bool fail) -> Status {
+    OBJALLOC_RETURN_IF_ERROR(inner(fail));
+    return Status::Ok();
+  };
+  EXPECT_TRUE(outer(false).ok());
+  EXPECT_EQ(outer(true).code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------- ProcessorSet
+
+TEST(ProcessorSetTest, EmptyByDefault) {
+  ProcessorSet set;
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.Size(), 0);
+}
+
+TEST(ProcessorSetTest, InsertEraseContains) {
+  ProcessorSet set;
+  set.Insert(3);
+  set.Insert(5);
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(4));
+  EXPECT_EQ(set.Size(), 2);
+  set.Erase(3);
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_EQ(set.Size(), 1);
+}
+
+TEST(ProcessorSetTest, InitializerList) {
+  ProcessorSet set{0, 2, 63};
+  EXPECT_EQ(set.Size(), 3);
+  EXPECT_TRUE(set.Contains(63));
+}
+
+TEST(ProcessorSetTest, FirstN) {
+  EXPECT_EQ(ProcessorSet::FirstN(0).Size(), 0);
+  EXPECT_EQ(ProcessorSet::FirstN(3), (ProcessorSet{0, 1, 2}));
+  EXPECT_EQ(ProcessorSet::FirstN(64).Size(), 64);
+}
+
+TEST(ProcessorSetTest, SetAlgebra) {
+  ProcessorSet a{0, 1, 2};
+  ProcessorSet b{2, 3};
+  EXPECT_EQ(a.Union(b), (ProcessorSet{0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), ProcessorSet{2});
+  EXPECT_EQ(a.Minus(b), (ProcessorSet{0, 1}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Minus(b).Intersects(b));
+  EXPECT_TRUE((ProcessorSet{1}).IsSubsetOf(a));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+}
+
+TEST(ProcessorSetTest, FirstAndToVector) {
+  ProcessorSet set{5, 1, 9};
+  EXPECT_EQ(set.First(), 1);
+  EXPECT_EQ(set.ToVector(), (std::vector<ProcessorId>{1, 5, 9}));
+}
+
+TEST(ProcessorSetTest, ToStringIsSorted) {
+  EXPECT_EQ((ProcessorSet{3, 0, 5}).ToString(), "{0,3,5}");
+  EXPECT_EQ(ProcessorSet().ToString(), "{}");
+}
+
+TEST(ProcessorSetTest, WithInsertedDoesNotMutate) {
+  ProcessorSet set{1};
+  ProcessorSet grown = set.WithInserted(2);
+  EXPECT_EQ(set.Size(), 1);
+  EXPECT_EQ(grown.Size(), 2);
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differ = 0;
+  for (int i = 0; i < 10; ++i) differ += a.Next() != b.Next();
+  EXPECT_GT(differ, 5);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(10), 10u);
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(7);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[rng.NextBounded(5)];
+  for (int c : counts) EXPECT_GT(c, 800);  // roughly uniform
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, WeightedSamplingRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 8000.0, 0.75, 0.05);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(23);
+  Rng b = a.Fork();
+  // The fork must not replay the parent's stream.
+  int equal = 0;
+  for (int i = 0; i < 20; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(29);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c / 8000.0, 0.25, 0.05);
+}
+
+TEST(ZipfTest, SkewFavorsLowIds) {
+  Rng rng(31);
+  ZipfSampler zipf(8, 1.2);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[7] * 3);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  RunningStats a, b, combined;
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.NextDouble() * 10;
+    (i % 2 == 0 ? a : b).Add(x);
+    combined.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+}
+
+TEST(PercentileTest, MedianAndTails) {
+  PercentileTracker tracker;
+  for (int i = 1; i <= 100; ++i) tracker.Add(i);
+  EXPECT_DOUBLE_EQ(tracker.Median(), 50);
+  EXPECT_DOUBLE_EQ(tracker.Percentile(0.99), 99);
+  EXPECT_DOUBLE_EQ(tracker.Percentile(0.0), 1);
+  EXPECT_DOUBLE_EQ(tracker.Percentile(1.0), 100);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram histogram(0, 10, 5);
+  histogram.Add(1);    // bucket 0
+  histogram.Add(9.5);  // bucket 4
+  histogram.Add(-3);   // clamps to bucket 0
+  histogram.Add(42);   // clamps to bucket 4
+  EXPECT_EQ(histogram.total(), 4);
+  EXPECT_EQ(histogram.buckets()[0], 2);
+  EXPECT_EQ(histogram.buckets()[4], 2);
+  EXPECT_FALSE(histogram.Render().empty());
+}
+
+// ------------------------------------------------------------------ CSV
+
+TEST(TableTest, AlignedAndCsvOutput) {
+  Table table({"name", "value"});
+  table.AddRow().Cell("alpha").Cell(int64_t{1});
+  table.AddRow().Cell("beta,with comma").Cell(2.5, 1);
+  std::ostringstream csv;
+  table.WriteCsv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1\n\"beta,with comma\",2.5\n");
+  std::ostringstream aligned;
+  table.WriteAligned(aligned);
+  EXPECT_NE(aligned.str().find("alpha"), std::string::npos);
+  EXPECT_NE(aligned.str().find("----"), std::string::npos);
+}
+
+TEST(TableTest, QuotesEmbeddedQuotes) {
+  Table table({"x"});
+  table.AddRow().Cell("say \"hi\"");
+  std::ostringstream csv;
+  table.WriteCsv(csv);
+  EXPECT_EQ(csv.str(), "x\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(1.5, 2), "1.50");
+  EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
+}
+
+// ----------------------------------------------------------- RegionPlot
+
+TEST(RegionPlotTest, RendersClassifierOutput) {
+  RegionPlot plot(0, 2, 0, 1, 20, 6);
+  plot.AddLegend('A', "above diagonal");
+  std::string out = plot.Render([](double x, double y) {
+    return y > x ? 'A' : 'B';
+  });
+  EXPECT_NE(out.find('A'), std::string::npos);
+  EXPECT_NE(out.find('B'), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace objalloc::util

@@ -1,0 +1,150 @@
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/runner.h"
+#include "objalloc/core/static_allocation.h"
+#include "objalloc/core/topology_aware.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/opt/weighted_opt.h"
+#include "objalloc/util/rng.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::opt {
+namespace {
+
+using model::CostModel;
+using model::NetworkTopology;
+using model::ProcessorSet;
+using model::Request;
+using model::Schedule;
+
+// Exhaustive weighted reference: every execution set and saving choice.
+double WeightedBruteForce(const CostModel& cost_model,
+                          const NetworkTopology& topology,
+                          const Schedule& schedule, int t, size_t index,
+                          ProcessorSet scheme) {
+  if (index == schedule.size()) return 0;
+  const Request& req = schedule[index];
+  const int n = schedule.num_processors();
+  double best = std::numeric_limits<double>::infinity();
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    ProcessorSet x(mask);
+    if (req.is_read()) {
+      if (!x.Intersects(scheme)) continue;
+      for (bool saving : {false, true}) {
+        model::AllocatedRequest entry{req, x, saving};
+        ProcessorSet next = model::NextScheme(scheme, entry);
+        if (next.Size() < t) continue;
+        double cost =
+            model::WeightedRequestCost(cost_model, topology, entry, scheme) +
+            WeightedBruteForce(cost_model, topology, schedule, t, index + 1,
+                               next);
+        best = std::min(best, cost);
+      }
+    } else {
+      if (x.Size() < t) continue;
+      model::AllocatedRequest entry{req, x, false};
+      double cost =
+          model::WeightedRequestCost(cost_model, topology, entry, scheme) +
+          WeightedBruteForce(cost_model, topology, schedule, t, index + 1, x);
+      best = std::min(best, cost);
+    }
+  }
+  return best;
+}
+
+NetworkTopology RandomTopology(int n, util::Rng& rng) {
+  NetworkTopology topology(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      topology.SetMessageMultiplier(a, b, 1.0 + rng.NextDouble() * 3);
+    }
+    topology.SetIoMultiplier(a, 0.5 + rng.NextDouble() * 2);
+  }
+  return topology;
+}
+
+TEST(WeightedOptTest, UniformTopologyMatchesHomogeneousDp) {
+  CostModel sc = CostModel::StationaryComputing(0.3, 0.9);
+  NetworkTopology uniform = NetworkTopology::Uniform(6);
+  workload::UniformWorkload workload(0.7);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Schedule schedule = workload.Generate(6, 60, seed);
+    EXPECT_NEAR(
+        WeightedExactOptCost(sc, uniform, schedule, ProcessorSet{0, 1}),
+        ExactOptCost(sc, schedule, ProcessorSet{0, 1}), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(WeightedOptTest, MatchesBruteForceOnTinyInstances) {
+  util::Rng rng(0x3e1);
+  CostModel models[] = {CostModel::StationaryComputing(0.25, 0.75),
+                        CostModel::MobileComputing(0.25, 0.75)};
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 3;
+    NetworkTopology topology = RandomTopology(n, rng);
+    Schedule schedule(n);
+    size_t length = 1 + rng.NextBounded(4);
+    for (size_t k = 0; k < length; ++k) {
+      auto p = static_cast<util::ProcessorId>(rng.NextBounded(n));
+      if (rng.NextBernoulli(0.6)) {
+        schedule.AppendRead(p);
+      } else {
+        schedule.AppendWrite(p);
+      }
+    }
+    const CostModel& cm = models[trial % 2];
+    ProcessorSet initial{0, 1};
+    double dp = WeightedExactOptCost(cm, topology, schedule, initial);
+    double brute =
+        WeightedBruteForce(cm, topology, schedule, 2, 0, initial);
+    EXPECT_NEAR(dp, brute, 1e-9) << schedule.ToString();
+  }
+}
+
+TEST(WeightedOptTest, LowerBoundsEveryAlgorithmUnderTopologies) {
+  util::Rng rng(0x3e2);
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  workload::UniformWorkload workload(0.7);
+  for (int trial = 0; trial < 10; ++trial) {
+    NetworkTopology topology =
+        trial % 2 == 0 ? NetworkTopology::TwoClusters(7, 3, 4.0)
+                       : RandomTopology(7, rng);
+    Schedule schedule = workload.Generate(7, 60, rng.Next());
+    ProcessorSet initial{0, 1};
+    double opt = WeightedExactOptCost(sc, topology, schedule, initial);
+
+    core::StaticAllocation sa;
+    core::DynamicAllocation da;
+    core::TopologyAwareAllocation topo(topology);
+    for (core::DomAlgorithm* algorithm :
+         std::initializer_list<core::DomAlgorithm*>{&sa, &da, &topo}) {
+      auto allocation = core::RunAlgorithm(*algorithm, schedule, initial);
+      double cost = model::WeightedScheduleCost(sc, topology, allocation);
+      EXPECT_LE(opt, cost + 1e-9) << algorithm->name();
+    }
+  }
+}
+
+TEST(WeightedOptTest, ExpensiveLinkChangesTheOptimalPlacement) {
+  // Reads from the far cluster: with a cheap WAN the optimum may serve them
+  // remotely; with an expensive WAN it must migrate a replica across.
+  CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  Schedule schedule = Schedule::Parse(6, "r4 r5 r4 r5 r4 r5").value();
+  ProcessorSet initial{0, 1};
+  double cheap = WeightedExactOptCost(
+      sc, NetworkTopology::TwoClusters(6, 3, 1.0), schedule, initial);
+  double dear = WeightedExactOptCost(
+      sc, NetworkTopology::TwoClusters(6, 3, 10.0), schedule, initial);
+  EXPECT_GT(dear, cheap);
+  // With the 10x link the optimum pays at most two crossings (one fetch
+  // into the cluster, reads then stay local): far below six remote reads.
+  double six_remote_reads = 6 * ((0.25 + 1.0) * 10 + 1.0);
+  EXPECT_LT(dear, six_remote_reads);
+}
+
+}  // namespace
+}  // namespace objalloc::opt

@@ -1,0 +1,225 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "objalloc/workload/adversary.h"
+#include "objalloc/workload/ensemble.h"
+#include "objalloc/workload/hotspot.h"
+#include "objalloc/workload/regime.h"
+#include "objalloc/workload/multi_object.h"
+#include "objalloc/workload/trace_io.h"
+#include "objalloc/workload/uniform.h"
+
+namespace objalloc::workload {
+namespace {
+
+using model::Schedule;
+
+TEST(UniformWorkloadTest, DeterministicPerSeed) {
+  UniformWorkload uniform(0.5);
+  Schedule a = uniform.Generate(6, 100, 42);
+  Schedule b = uniform.Generate(6, 100, 42);
+  EXPECT_EQ(a, b);
+  Schedule c = uniform.Generate(6, 100, 43);
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(UniformWorkloadTest, RespectsLengthAndRange) {
+  UniformWorkload uniform(0.5);
+  Schedule schedule = uniform.Generate(4, 250, 7);
+  EXPECT_EQ(schedule.size(), 250u);
+  for (const auto& request : schedule.requests()) {
+    EXPECT_GE(request.processor, 0);
+    EXPECT_LT(request.processor, 4);
+  }
+}
+
+TEST(UniformWorkloadTest, ReadRatioApproximatelyHolds) {
+  UniformWorkload uniform(0.8);
+  Schedule schedule = uniform.Generate(6, 4000, 11);
+  double ratio =
+      static_cast<double>(schedule.CountReads()) / schedule.size();
+  EXPECT_NEAR(ratio, 0.8, 0.03);
+}
+
+TEST(UniformWorkloadTest, ExtremesAreAllReadsOrAllWrites) {
+  UniformWorkload reads(1.0), writes(0.0);
+  EXPECT_EQ(reads.Generate(4, 50, 3).CountWrites(), 0u);
+  EXPECT_EQ(writes.Generate(4, 50, 3).CountReads(), 0u);
+}
+
+TEST(HotspotWorkloadTest, SkewConcentratesTraffic) {
+  HotspotWorkload hotspot(1.2, 0.7);
+  Schedule schedule = hotspot.Generate(8, 4000, 5);
+  std::vector<int> counts(8, 0);
+  for (const auto& request : schedule.requests()) {
+    ++counts[static_cast<size_t>(request.processor)];
+  }
+  EXPECT_GT(counts[0], counts[7] * 2);
+}
+
+TEST(RegimeWorkloadTest, HotSetShiftsBetweenRegimes) {
+  RegimeWorkload regime(100, 2, 0.8);
+  Schedule schedule = regime.Generate(12, 400, 17);
+  // Count issuers per regime; each regime should be dominated by few
+  // processors.
+  for (int r = 0; r < 4; ++r) {
+    std::vector<int> counts(12, 0);
+    for (int k = r * 100; k < (r + 1) * 100; ++k) {
+      ++counts[static_cast<size_t>(schedule[static_cast<size_t>(k)]
+                                       .processor)];
+    }
+    std::sort(counts.rbegin(), counts.rend());
+    EXPECT_GT(counts[0] + counts[1], 70) << "regime " << r;
+  }
+}
+
+TEST(SaNemesisTest, AllReadsFromOneOutsideProcessor) {
+  SaNemesis nemesis(2);
+  Schedule schedule = nemesis.Generate(6, 80, 9);
+  ASSERT_EQ(schedule.size(), 80u);
+  EXPECT_EQ(schedule.CountWrites(), 0u);
+  util::ProcessorId reader = schedule[0].processor;
+  EXPECT_GE(reader, 2);  // outside the initial scheme {0,1}
+  for (const auto& request : schedule.requests()) {
+    EXPECT_EQ(request.processor, reader);
+  }
+}
+
+TEST(DaNemesisTest, RoundsOfDistinctReadersThenCoreWrite) {
+  DaNemesis nemesis(2, 4);
+  Schedule schedule = nemesis.Generate(8, 15, 3);
+  // Expect r r r r w0 r r r r w0 ...
+  EXPECT_TRUE(schedule[0].is_read());
+  EXPECT_TRUE(schedule[4].is_write());
+  EXPECT_EQ(schedule[4].processor, 0);
+  EXPECT_TRUE(schedule[9].is_write());
+  // Readers within a round are distinct outsiders.
+  EXPECT_NE(schedule[0].processor, schedule[1].processor);
+  EXPECT_GE(schedule[0].processor, 2);
+}
+
+TEST(WriteChurnAdversaryTest, WritersRotateOutsideScheme) {
+  WriteChurnAdversary churn(2);
+  Schedule schedule = churn.Generate(6, 60, 21);
+  for (const auto& request : schedule.requests()) {
+    EXPECT_GE(request.processor, 2);
+  }
+  EXPECT_GT(schedule.CountWrites(), schedule.CountReads());
+}
+
+TEST(EnsembleTest, WorstCaseEnsembleIsNonEmptyAndUsable) {
+  auto generators = WorstCaseEnsemble(2);
+  EXPECT_GE(generators.size(), 5u);
+  for (const auto& generator : generators) {
+    Schedule schedule = generator->Generate(6, 30, 1);
+    EXPECT_EQ(schedule.size(), 30u) << generator->name();
+  }
+}
+
+TEST(EnsembleTest, AverageCaseEnsembleIsUsable) {
+  auto generators = AverageCaseEnsemble();
+  EXPECT_GE(generators.size(), 3u);
+  for (const auto& generator : generators) {
+    EXPECT_EQ(generator->Generate(6, 30, 1).size(), 30u);
+  }
+}
+
+// ---------------------------------------------------------------- Traces
+
+TEST(TraceIoTest, RoundTripThroughStream) {
+  UniformWorkload uniform(0.6);
+  Schedule original = uniform.Generate(9, 300, 77);
+  std::stringstream buffer;
+  WriteTrace(original, buffer);
+  auto restored = ReadTrace(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, original);
+}
+
+TEST(TraceIoTest, RejectsMissingHeader) {
+  std::stringstream buffer("r1 w2\n");
+  EXPECT_FALSE(ReadTrace(buffer).ok());
+}
+
+TEST(TraceIoTest, RejectsBadHeader) {
+  std::stringstream buffer("processors -3\nr1\n");
+  EXPECT_FALSE(ReadTrace(buffer).ok());
+}
+
+TEST(TraceIoTest, RejectsOutOfRangeRequest) {
+  std::stringstream buffer("processors 3\nr7\n");
+  EXPECT_FALSE(ReadTrace(buffer).ok());
+}
+
+TEST(TraceIoTest, SkipsComments) {
+  std::stringstream buffer("# a comment\nprocessors 3\n# another\nr1 w2\n");
+  auto restored = ReadTrace(buffer);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->ToString(), "r1 w2");
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  UniformWorkload uniform(0.5);
+  Schedule original = uniform.Generate(5, 64, 123);
+  std::string path = ::testing::TempDir() + "/objalloc_trace_test.txt";
+  ASSERT_TRUE(WriteTraceFile(original, path).ok());
+  auto restored = ReadTraceFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, original);
+}
+
+TEST(TraceIoTest, MissingFileIsNotFound) {
+  auto result = ReadTraceFile("/nonexistent/objalloc.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kNotFound);
+}
+
+
+TEST(MultiObjectTraceIoTest, RoundTripThroughStream) {
+  MultiObjectOptions options;
+  options.length = 200;
+  MultiObjectTrace original = GenerateMultiObjectTrace(options, 5);
+  std::stringstream buffer;
+  WriteMultiObjectTrace(original, buffer);
+  auto restored = ReadMultiObjectTrace(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_processors, original.num_processors);
+  EXPECT_EQ(restored->num_objects, original.num_objects);
+  ASSERT_EQ(restored->events.size(), original.events.size());
+  for (size_t k = 0; k < original.events.size(); ++k) {
+    EXPECT_EQ(restored->events[k].object, original.events[k].object);
+    EXPECT_EQ(restored->events[k].request, original.events[k].request);
+  }
+}
+
+TEST(MultiObjectTraceIoTest, RejectsMissingHeader) {
+  std::stringstream buffer("3 r1\n");
+  EXPECT_FALSE(ReadMultiObjectTrace(buffer).ok());
+}
+
+TEST(MultiObjectTraceIoTest, RejectsObjectOutOfRange) {
+  std::stringstream buffer(
+      "multiobject processors 4 objects 2\n7 r1\n");
+  EXPECT_FALSE(ReadMultiObjectTrace(buffer).ok());
+}
+
+TEST(MultiObjectTraceIoTest, RejectsBadRequestToken) {
+  std::stringstream buffer(
+      "multiobject processors 4 objects 2\n1 x1\n");
+  EXPECT_FALSE(ReadMultiObjectTrace(buffer).ok());
+}
+
+TEST(MultiObjectTraceIoTest, FileRoundTrip) {
+  MultiObjectOptions options;
+  options.length = 64;
+  MultiObjectTrace original = GenerateMultiObjectTrace(options, 9);
+  std::string path = ::testing::TempDir() + "/objalloc_multi_trace.txt";
+  ASSERT_TRUE(WriteMultiObjectTraceFile(original, path).ok());
+  auto restored = ReadMultiObjectTraceFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->events.size(), original.events.size());
+}
+
+}  // namespace
+}  // namespace objalloc::workload
