@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_t_sweep.dir/ablation_t_sweep.cc.o"
+  "CMakeFiles/ablation_t_sweep.dir/ablation_t_sweep.cc.o.d"
+  "ablation_t_sweep"
+  "ablation_t_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_t_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

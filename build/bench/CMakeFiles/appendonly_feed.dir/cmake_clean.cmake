@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendonly_feed.dir/appendonly_feed.cc.o"
+  "CMakeFiles/appendonly_feed.dir/appendonly_feed.cc.o.d"
+  "appendonly_feed"
+  "appendonly_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendonly_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

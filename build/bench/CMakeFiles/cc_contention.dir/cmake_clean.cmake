@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_contention.dir/cc_contention.cc.o"
+  "CMakeFiles/cc_contention.dir/cc_contention.cc.o.d"
+  "cc_contention"
+  "cc_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

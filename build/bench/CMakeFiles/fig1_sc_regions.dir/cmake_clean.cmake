@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sc_regions.dir/fig1_sc_regions.cc.o"
+  "CMakeFiles/fig1_sc_regions.dir/fig1_sc_regions.cc.o.d"
+  "fig1_sc_regions"
+  "fig1_sc_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sc_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_mc_regions.dir/fig2_mc_regions.cc.o"
+  "CMakeFiles/fig2_mc_regions.dir/fig2_mc_regions.cc.o.d"
+  "fig2_mc_regions"
+  "fig2_mc_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mc_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

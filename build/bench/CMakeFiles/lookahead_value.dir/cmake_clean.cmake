@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookahead_value.dir/lookahead_value.cc.o"
+  "CMakeFiles/lookahead_value.dir/lookahead_value.cc.o.d"
+  "lookahead_value"
+  "lookahead_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookahead_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_crosscheck.dir/sim_crosscheck.cc.o"
+  "CMakeFiles/sim_crosscheck.dir/sim_crosscheck.cc.o.d"
+  "sim_crosscheck"
+  "sim_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

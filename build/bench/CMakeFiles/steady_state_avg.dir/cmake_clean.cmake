@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steady_state_avg.dir/steady_state_avg.cc.o"
+  "CMakeFiles/steady_state_avg.dir/steady_state_avg.cc.o.d"
+  "steady_state_avg"
+  "steady_state_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steady_state_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

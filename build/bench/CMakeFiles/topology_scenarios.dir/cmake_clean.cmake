@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_scenarios.dir/topology_scenarios.cc.o"
+  "CMakeFiles/topology_scenarios.dir/topology_scenarios.cc.o.d"
+  "topology_scenarios"
+  "topology_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unknown_region.dir/unknown_region.cc.o"
+  "CMakeFiles/unknown_region.dir/unknown_region.cc.o.d"
+  "unknown_region"
+  "unknown_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unknown_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

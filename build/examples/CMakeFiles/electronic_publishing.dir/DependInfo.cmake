@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/electronic_publishing.cpp" "examples/CMakeFiles/electronic_publishing.dir/electronic_publishing.cpp.o" "gcc" "examples/CMakeFiles/electronic_publishing.dir/electronic_publishing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/objalloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

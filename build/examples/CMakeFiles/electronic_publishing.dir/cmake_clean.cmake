@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electronic_publishing.dir/electronic_publishing.cpp.o"
+  "CMakeFiles/electronic_publishing.dir/electronic_publishing.cpp.o.d"
+  "electronic_publishing"
+  "electronic_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electronic_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

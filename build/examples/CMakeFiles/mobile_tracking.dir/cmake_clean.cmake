@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_tracking.dir/mobile_tracking.cpp.o"
+  "CMakeFiles/mobile_tracking.dir/mobile_tracking.cpp.o.d"
+  "mobile_tracking"
+  "mobile_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

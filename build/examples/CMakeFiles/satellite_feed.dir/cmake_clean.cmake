@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_feed.dir/satellite_feed.cpp.o"
+  "CMakeFiles/satellite_feed.dir/satellite_feed.cpp.o.d"
+  "satellite_feed"
+  "satellite_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactional_store.dir/transactional_store.cpp.o"
+  "CMakeFiles/transactional_store.dir/transactional_store.cpp.o.d"
+  "transactional_store"
+  "transactional_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactional_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

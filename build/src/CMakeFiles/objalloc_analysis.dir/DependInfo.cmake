@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objalloc/analysis/adversarial_search.cc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/adversarial_search.cc.o" "gcc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/adversarial_search.cc.o.d"
+  "/root/repo/src/objalloc/analysis/competitive.cc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/competitive.cc.o" "gcc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/competitive.cc.o.d"
+  "/root/repo/src/objalloc/analysis/region_map.cc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/region_map.cc.o" "gcc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/region_map.cc.o.d"
+  "/root/repo/src/objalloc/analysis/report.cc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/report.cc.o" "gcc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/report.cc.o.d"
+  "/root/repo/src/objalloc/analysis/steady_state.cc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/steady_state.cc.o" "gcc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/steady_state.cc.o.d"
+  "/root/repo/src/objalloc/analysis/theorems.cc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/theorems.cc.o" "gcc" "src/CMakeFiles/objalloc_analysis.dir/objalloc/analysis/theorems.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/objalloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/adversarial_search.cc.o"
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/adversarial_search.cc.o.d"
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/competitive.cc.o"
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/competitive.cc.o.d"
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/region_map.cc.o"
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/region_map.cc.o.d"
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/report.cc.o"
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/report.cc.o.d"
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/steady_state.cc.o"
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/steady_state.cc.o.d"
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/theorems.cc.o"
+  "CMakeFiles/objalloc_analysis.dir/objalloc/analysis/theorems.cc.o.d"
+  "libobjalloc_analysis.a"
+  "libobjalloc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objalloc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

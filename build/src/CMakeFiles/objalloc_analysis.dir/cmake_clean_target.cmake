@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libobjalloc_analysis.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objalloc_appendonly.dir/objalloc/appendonly/feed.cc.o"
+  "CMakeFiles/objalloc_appendonly.dir/objalloc/appendonly/feed.cc.o.d"
+  "CMakeFiles/objalloc_appendonly.dir/objalloc/appendonly/feed_manager.cc.o"
+  "CMakeFiles/objalloc_appendonly.dir/objalloc/appendonly/feed_manager.cc.o.d"
+  "libobjalloc_appendonly.a"
+  "libobjalloc_appendonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objalloc_appendonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objalloc/cc/lock_manager.cc" "src/CMakeFiles/objalloc_cc.dir/objalloc/cc/lock_manager.cc.o" "gcc" "src/CMakeFiles/objalloc_cc.dir/objalloc/cc/lock_manager.cc.o.d"
+  "/root/repo/src/objalloc/cc/serializer.cc" "src/CMakeFiles/objalloc_cc.dir/objalloc/cc/serializer.cc.o" "gcc" "src/CMakeFiles/objalloc_cc.dir/objalloc/cc/serializer.cc.o.d"
+  "/root/repo/src/objalloc/cc/transaction.cc" "src/CMakeFiles/objalloc_cc.dir/objalloc/cc/transaction.cc.o" "gcc" "src/CMakeFiles/objalloc_cc.dir/objalloc/cc/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/objalloc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objalloc_cc.dir/objalloc/cc/lock_manager.cc.o"
+  "CMakeFiles/objalloc_cc.dir/objalloc/cc/lock_manager.cc.o.d"
+  "CMakeFiles/objalloc_cc.dir/objalloc/cc/serializer.cc.o"
+  "CMakeFiles/objalloc_cc.dir/objalloc/cc/serializer.cc.o.d"
+  "CMakeFiles/objalloc_cc.dir/objalloc/cc/transaction.cc.o"
+  "CMakeFiles/objalloc_cc.dir/objalloc/cc/transaction.cc.o.d"
+  "libobjalloc_cc.a"
+  "libobjalloc_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objalloc_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

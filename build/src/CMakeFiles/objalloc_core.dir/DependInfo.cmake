@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objalloc/core/adaptive_allocation.cc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/adaptive_allocation.cc.o" "gcc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/adaptive_allocation.cc.o.d"
+  "/root/repo/src/objalloc/core/counter_replication.cc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/counter_replication.cc.o" "gcc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/counter_replication.cc.o.d"
+  "/root/repo/src/objalloc/core/dom_algorithm.cc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/dom_algorithm.cc.o" "gcc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/dom_algorithm.cc.o.d"
+  "/root/repo/src/objalloc/core/dynamic_allocation.cc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/dynamic_allocation.cc.o" "gcc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/dynamic_allocation.cc.o.d"
+  "/root/repo/src/objalloc/core/lookahead_allocation.cc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/lookahead_allocation.cc.o" "gcc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/lookahead_allocation.cc.o.d"
+  "/root/repo/src/objalloc/core/object_manager.cc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/object_manager.cc.o" "gcc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/object_manager.cc.o.d"
+  "/root/repo/src/objalloc/core/quorum_allocation.cc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/quorum_allocation.cc.o" "gcc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/quorum_allocation.cc.o.d"
+  "/root/repo/src/objalloc/core/runner.cc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/runner.cc.o" "gcc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/runner.cc.o.d"
+  "/root/repo/src/objalloc/core/static_allocation.cc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/static_allocation.cc.o" "gcc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/static_allocation.cc.o.d"
+  "/root/repo/src/objalloc/core/topology_aware.cc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/topology_aware.cc.o" "gcc" "src/CMakeFiles/objalloc_core.dir/objalloc/core/topology_aware.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/objalloc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objalloc_core.dir/objalloc/core/adaptive_allocation.cc.o"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/adaptive_allocation.cc.o.d"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/counter_replication.cc.o"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/counter_replication.cc.o.d"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/dom_algorithm.cc.o"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/dom_algorithm.cc.o.d"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/dynamic_allocation.cc.o"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/dynamic_allocation.cc.o.d"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/lookahead_allocation.cc.o"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/lookahead_allocation.cc.o.d"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/object_manager.cc.o"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/object_manager.cc.o.d"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/quorum_allocation.cc.o"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/quorum_allocation.cc.o.d"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/runner.cc.o"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/runner.cc.o.d"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/static_allocation.cc.o"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/static_allocation.cc.o.d"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/topology_aware.cc.o"
+  "CMakeFiles/objalloc_core.dir/objalloc/core/topology_aware.cc.o.d"
+  "libobjalloc_core.a"
+  "libobjalloc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objalloc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

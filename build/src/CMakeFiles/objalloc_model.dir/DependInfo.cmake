@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objalloc/model/allocation_schedule.cc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/allocation_schedule.cc.o" "gcc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/allocation_schedule.cc.o.d"
+  "/root/repo/src/objalloc/model/cost_evaluator.cc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/cost_evaluator.cc.o" "gcc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/cost_evaluator.cc.o.d"
+  "/root/repo/src/objalloc/model/cost_model.cc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/cost_model.cc.o" "gcc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/cost_model.cc.o.d"
+  "/root/repo/src/objalloc/model/legality.cc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/legality.cc.o" "gcc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/legality.cc.o.d"
+  "/root/repo/src/objalloc/model/request.cc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/request.cc.o" "gcc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/request.cc.o.d"
+  "/root/repo/src/objalloc/model/schedule.cc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/schedule.cc.o" "gcc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/schedule.cc.o.d"
+  "/root/repo/src/objalloc/model/topology.cc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/topology.cc.o" "gcc" "src/CMakeFiles/objalloc_model.dir/objalloc/model/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/objalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

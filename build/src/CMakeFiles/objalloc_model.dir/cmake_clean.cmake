@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objalloc_model.dir/objalloc/model/allocation_schedule.cc.o"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/allocation_schedule.cc.o.d"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/cost_evaluator.cc.o"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/cost_evaluator.cc.o.d"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/cost_model.cc.o"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/cost_model.cc.o.d"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/legality.cc.o"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/legality.cc.o.d"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/request.cc.o"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/request.cc.o.d"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/schedule.cc.o"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/schedule.cc.o.d"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/topology.cc.o"
+  "CMakeFiles/objalloc_model.dir/objalloc/model/topology.cc.o.d"
+  "libobjalloc_model.a"
+  "libobjalloc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objalloc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

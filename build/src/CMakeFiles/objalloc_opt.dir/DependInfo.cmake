@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objalloc/opt/exact_opt.cc" "src/CMakeFiles/objalloc_opt.dir/objalloc/opt/exact_opt.cc.o" "gcc" "src/CMakeFiles/objalloc_opt.dir/objalloc/opt/exact_opt.cc.o.d"
+  "/root/repo/src/objalloc/opt/interval_opt.cc" "src/CMakeFiles/objalloc_opt.dir/objalloc/opt/interval_opt.cc.o" "gcc" "src/CMakeFiles/objalloc_opt.dir/objalloc/opt/interval_opt.cc.o.d"
+  "/root/repo/src/objalloc/opt/relaxation_lower_bound.cc" "src/CMakeFiles/objalloc_opt.dir/objalloc/opt/relaxation_lower_bound.cc.o" "gcc" "src/CMakeFiles/objalloc_opt.dir/objalloc/opt/relaxation_lower_bound.cc.o.d"
+  "/root/repo/src/objalloc/opt/weighted_opt.cc" "src/CMakeFiles/objalloc_opt.dir/objalloc/opt/weighted_opt.cc.o" "gcc" "src/CMakeFiles/objalloc_opt.dir/objalloc/opt/weighted_opt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/objalloc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

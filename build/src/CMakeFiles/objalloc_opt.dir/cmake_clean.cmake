@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objalloc_opt.dir/objalloc/opt/exact_opt.cc.o"
+  "CMakeFiles/objalloc_opt.dir/objalloc/opt/exact_opt.cc.o.d"
+  "CMakeFiles/objalloc_opt.dir/objalloc/opt/interval_opt.cc.o"
+  "CMakeFiles/objalloc_opt.dir/objalloc/opt/interval_opt.cc.o.d"
+  "CMakeFiles/objalloc_opt.dir/objalloc/opt/relaxation_lower_bound.cc.o"
+  "CMakeFiles/objalloc_opt.dir/objalloc/opt/relaxation_lower_bound.cc.o.d"
+  "CMakeFiles/objalloc_opt.dir/objalloc/opt/weighted_opt.cc.o"
+  "CMakeFiles/objalloc_opt.dir/objalloc/opt/weighted_opt.cc.o.d"
+  "libobjalloc_opt.a"
+  "libobjalloc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objalloc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

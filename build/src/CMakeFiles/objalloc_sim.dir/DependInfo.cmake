@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objalloc/sim/da_protocol.cc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/da_protocol.cc.o" "gcc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/da_protocol.cc.o.d"
+  "/root/repo/src/objalloc/sim/durable_store.cc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/durable_store.cc.o" "gcc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/durable_store.cc.o.d"
+  "/root/repo/src/objalloc/sim/failure.cc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/failure.cc.o" "gcc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/failure.cc.o.d"
+  "/root/repo/src/objalloc/sim/local_database.cc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/local_database.cc.o" "gcc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/local_database.cc.o.d"
+  "/root/repo/src/objalloc/sim/message.cc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/message.cc.o" "gcc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/message.cc.o.d"
+  "/root/repo/src/objalloc/sim/metrics.cc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/metrics.cc.o" "gcc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/metrics.cc.o.d"
+  "/root/repo/src/objalloc/sim/network.cc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/network.cc.o" "gcc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/network.cc.o.d"
+  "/root/repo/src/objalloc/sim/processor.cc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/processor.cc.o" "gcc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/processor.cc.o.d"
+  "/root/repo/src/objalloc/sim/quorum_protocol.cc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/quorum_protocol.cc.o" "gcc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/quorum_protocol.cc.o.d"
+  "/root/repo/src/objalloc/sim/sa_protocol.cc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/sa_protocol.cc.o" "gcc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/sa_protocol.cc.o.d"
+  "/root/repo/src/objalloc/sim/simulator.cc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/simulator.cc.o" "gcc" "src/CMakeFiles/objalloc_sim.dir/objalloc/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/objalloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

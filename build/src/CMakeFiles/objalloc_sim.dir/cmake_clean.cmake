@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/da_protocol.cc.o"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/da_protocol.cc.o.d"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/durable_store.cc.o"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/durable_store.cc.o.d"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/failure.cc.o"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/failure.cc.o.d"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/local_database.cc.o"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/local_database.cc.o.d"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/message.cc.o"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/message.cc.o.d"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/metrics.cc.o"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/metrics.cc.o.d"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/network.cc.o"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/network.cc.o.d"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/processor.cc.o"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/processor.cc.o.d"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/quorum_protocol.cc.o"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/quorum_protocol.cc.o.d"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/sa_protocol.cc.o"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/sa_protocol.cc.o.d"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/simulator.cc.o"
+  "CMakeFiles/objalloc_sim.dir/objalloc/sim/simulator.cc.o.d"
+  "libobjalloc_sim.a"
+  "libobjalloc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objalloc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

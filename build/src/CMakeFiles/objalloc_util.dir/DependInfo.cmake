@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objalloc/util/ascii_plot.cc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/ascii_plot.cc.o" "gcc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/ascii_plot.cc.o.d"
+  "/root/repo/src/objalloc/util/crc32.cc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/crc32.cc.o" "gcc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/crc32.cc.o.d"
+  "/root/repo/src/objalloc/util/csv.cc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/csv.cc.o" "gcc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/csv.cc.o.d"
+  "/root/repo/src/objalloc/util/logging.cc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/logging.cc.o" "gcc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/logging.cc.o.d"
+  "/root/repo/src/objalloc/util/rng.cc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/rng.cc.o" "gcc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/rng.cc.o.d"
+  "/root/repo/src/objalloc/util/stats.cc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/stats.cc.o" "gcc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/stats.cc.o.d"
+  "/root/repo/src/objalloc/util/status.cc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/status.cc.o" "gcc" "src/CMakeFiles/objalloc_util.dir/objalloc/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

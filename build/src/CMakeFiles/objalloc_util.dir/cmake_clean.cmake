@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objalloc_util.dir/objalloc/util/ascii_plot.cc.o"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/ascii_plot.cc.o.d"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/crc32.cc.o"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/crc32.cc.o.d"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/csv.cc.o"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/csv.cc.o.d"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/logging.cc.o"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/logging.cc.o.d"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/rng.cc.o"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/rng.cc.o.d"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/stats.cc.o"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/stats.cc.o.d"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/status.cc.o"
+  "CMakeFiles/objalloc_util.dir/objalloc/util/status.cc.o.d"
+  "libobjalloc_util.a"
+  "libobjalloc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objalloc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objalloc/workload/adversary.cc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/adversary.cc.o" "gcc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/adversary.cc.o.d"
+  "/root/repo/src/objalloc/workload/generator.cc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/generator.cc.o" "gcc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/generator.cc.o.d"
+  "/root/repo/src/objalloc/workload/hotspot.cc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/hotspot.cc.o" "gcc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/hotspot.cc.o.d"
+  "/root/repo/src/objalloc/workload/multi_object.cc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/multi_object.cc.o" "gcc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/multi_object.cc.o.d"
+  "/root/repo/src/objalloc/workload/regime.cc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/regime.cc.o" "gcc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/regime.cc.o.d"
+  "/root/repo/src/objalloc/workload/trace_io.cc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/trace_io.cc.o.d"
+  "/root/repo/src/objalloc/workload/uniform.cc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/uniform.cc.o" "gcc" "src/CMakeFiles/objalloc_workload.dir/objalloc/workload/uniform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/objalloc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/objalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/adversary.cc.o"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/adversary.cc.o.d"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/generator.cc.o"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/generator.cc.o.d"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/hotspot.cc.o"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/hotspot.cc.o.d"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/multi_object.cc.o"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/multi_object.cc.o.d"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/regime.cc.o"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/regime.cc.o.d"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/trace_io.cc.o"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/trace_io.cc.o.d"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/uniform.cc.o"
+  "CMakeFiles/objalloc_workload.dir/objalloc/workload/uniform.cc.o.d"
+  "libobjalloc_workload.a"
+  "libobjalloc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objalloc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

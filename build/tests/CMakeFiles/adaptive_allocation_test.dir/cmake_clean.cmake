@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_allocation_test.dir/adaptive_allocation_test.cc.o"
+  "CMakeFiles/adaptive_allocation_test.dir/adaptive_allocation_test.cc.o.d"
+  "adaptive_allocation_test"
+  "adaptive_allocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_search_test.dir/adversarial_search_test.cc.o"
+  "CMakeFiles/adversarial_search_test.dir/adversarial_search_test.cc.o.d"
+  "adversarial_search_test"
+  "adversarial_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendonly_test.dir/appendonly_test.cc.o"
+  "CMakeFiles/appendonly_test.dir/appendonly_test.cc.o.d"
+  "appendonly_test"
+  "appendonly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendonly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/competitive_test.dir/competitive_test.cc.o"
+  "CMakeFiles/competitive_test.dir/competitive_test.cc.o.d"
+  "competitive_test"
+  "competitive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/competitive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

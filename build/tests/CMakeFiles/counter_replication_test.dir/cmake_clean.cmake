@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_replication_test.dir/counter_replication_test.cc.o"
+  "CMakeFiles/counter_replication_test.dir/counter_replication_test.cc.o.d"
+  "counter_replication_test"
+  "counter_replication_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

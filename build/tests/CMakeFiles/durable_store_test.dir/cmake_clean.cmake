@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_store_test.dir/durable_store_test.cc.o"
+  "CMakeFiles/durable_store_test.dir/durable_store_test.cc.o.d"
+  "durable_store_test"
+  "durable_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

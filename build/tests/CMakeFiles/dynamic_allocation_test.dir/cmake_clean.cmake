@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_allocation_test.dir/dynamic_allocation_test.cc.o"
+  "CMakeFiles/dynamic_allocation_test.dir/dynamic_allocation_test.cc.o.d"
+  "dynamic_allocation_test"
+  "dynamic_allocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

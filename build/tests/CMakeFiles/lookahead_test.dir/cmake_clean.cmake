@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookahead_test.dir/lookahead_test.cc.o"
+  "CMakeFiles/lookahead_test.dir/lookahead_test.cc.o.d"
+  "lookahead_test"
+  "lookahead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookahead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

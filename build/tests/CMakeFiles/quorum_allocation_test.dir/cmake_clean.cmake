@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_allocation_test.dir/quorum_allocation_test.cc.o"
+  "CMakeFiles/quorum_allocation_test.dir/quorum_allocation_test.cc.o.d"
+  "quorum_allocation_test"
+  "quorum_allocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_failure_test.dir/sim_failure_test.cc.o"
+  "CMakeFiles/sim_failure_test.dir/sim_failure_test.cc.o.d"
+  "sim_failure_test"
+  "sim_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

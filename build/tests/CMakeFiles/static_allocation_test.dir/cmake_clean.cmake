@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_allocation_test.dir/static_allocation_test.cc.o"
+  "CMakeFiles/static_allocation_test.dir/static_allocation_test.cc.o.d"
+  "static_allocation_test"
+  "static_allocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

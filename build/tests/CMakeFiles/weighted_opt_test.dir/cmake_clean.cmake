@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_opt_test.dir/weighted_opt_test.cc.o"
+  "CMakeFiles/weighted_opt_test.dir/weighted_opt_test.cc.o.d"
+  "weighted_opt_test"
+  "weighted_opt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
