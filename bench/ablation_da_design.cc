@@ -50,6 +50,9 @@ class DaNoSave final : public core::DomAlgorithm {
     scheme_ = x;
     return {x, false};
   }
+  std::unique_ptr<core::DomAlgorithm> Clone() const override {
+    return std::make_unique<DaNoSave>(*this);
+  }
 
  private:
   core::ProcessorSet f_;

@@ -1,0 +1,186 @@
+// Parallel scaling of the two heaviest compute paths: the exact-OPT DP
+// (n = 16, schedule length 500) and a 32x32 (cd, cc) region-map grid.
+// Each workload runs at a sweep of thread counts; results (and the speedup
+// against threads = 1) are written as a machine-readable JSON artifact so
+// the repo's perf trajectory accumulates across PRs.
+//
+// Usage: parallel_scaling [--out=BENCH_parallel_scaling.json]
+//                         [--threads=1,2,4,8] [--repeats=3]
+//
+// Determinism is asserted, not assumed: every thread count must reproduce
+// the threads=1 result bit-for-bit or the bench aborts.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "objalloc/analysis/region_map.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/util/logging.h"
+#include "objalloc/util/parallel.h"
+#include "objalloc/workload/uniform.h"
+
+namespace {
+
+using namespace objalloc;
+
+double SecondsOfBestRun(int repeats, const std::function<double()>& run,
+                        double* result_out) {
+  double best = 0;
+  double result = 0;
+  for (int r = 0; r < repeats; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    result = run();
+    auto stop = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(stop - start).count();
+    if (r == 0 || seconds < best) best = seconds;
+  }
+  *result_out = result;
+  return best;
+}
+
+struct Measurement {
+  std::string name;
+  int threads = 0;
+  double seconds = 0;
+  double speedup_vs_serial = 0;
+};
+
+double ExactOptWorkload() {
+  workload::UniformWorkload uniform(0.7);
+  model::Schedule schedule = uniform.Generate(16, 500, 0xbe9c);
+  model::CostModel sc = model::CostModel::StationaryComputing(0.5, 1.0);
+  return opt::ExactOptCost(sc, schedule, model::ProcessorSet{0, 1});
+}
+
+double RegionGridWorkload() {
+  analysis::RegionSweepOptions options;
+  options.mobile = false;
+  options.cd_values.clear();
+  options.cc_values.clear();
+  for (int k = 0; k < 32; ++k) {
+    options.cd_values.push_back(0.05 + 1.95 * k / 31.0);
+    options.cc_values.push_back(0.02 + 0.98 * k / 31.0);
+  }
+  options.ratio.num_processors = 6;
+  options.ratio.schedule_length = 30;
+  options.ratio.seeds_per_generator = 1;
+  auto points = analysis::SweepRegions(options);
+  double checksum = 0;
+  for (const auto& point : points) {
+    checksum += point.sa_mean_ratio + point.da_mean_ratio;
+  }
+  return checksum;
+}
+
+std::vector<int> ParseThreadList(const std::string& arg) {
+  std::vector<int> threads;
+  size_t pos = 0;
+  while (pos < arg.size()) {
+    size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string token = arg.substr(pos, comma - pos);
+    int value = 0;
+    try {
+      size_t used = 0;
+      value = std::stoi(token, &used);
+      if (used != token.size()) value = 0;
+    } catch (const std::exception&) {
+      value = 0;
+    }
+    if (value <= 0) {
+      std::fprintf(stderr, "bad thread count in --threads=: '%s'\n",
+                   token.c_str());
+      std::exit(1);
+    }
+    threads.push_back(value);
+    pos = comma + 1;
+  }
+  return threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_parallel_scaling.json";
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      thread_counts = ParseThreadList(arg.substr(10));
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      try {
+        repeats = std::stoi(arg.substr(10));
+      } catch (const std::exception&) {
+        repeats = 0;
+      }
+      if (repeats <= 0) {
+        std::fprintf(stderr, "bad value for --repeats=: '%s'\n",
+                     arg.substr(10).c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  struct Workload {
+    const char* name;
+    double (*run)();
+  };
+  const Workload workloads[] = {
+      {"exact_opt_n16_L500", &ExactOptWorkload},
+      {"region_map_32x32", &RegionGridWorkload},
+  };
+
+  std::vector<Measurement> measurements;
+  for (const Workload& workload : workloads) {
+    double serial_seconds = 0;
+    double serial_result = 0;
+    for (int threads : thread_counts) {
+      util::ScopedThreads scope(threads);
+      double result = 0;
+      double seconds = SecondsOfBestRun(repeats, workload.run, &result);
+      if (threads == thread_counts.front()) {
+        serial_seconds = seconds;
+        serial_result = result;
+      }
+      OBJALLOC_CHECK_EQ(result, serial_result)
+          << workload.name << " not deterministic at threads=" << threads;
+      Measurement m;
+      m.name = workload.name;
+      m.threads = threads;
+      m.seconds = seconds;
+      m.speedup_vs_serial = seconds > 0 ? serial_seconds / seconds : 0;
+      measurements.push_back(m);
+      std::printf("%-22s threads=%-3d %8.3fs  speedup %.2fx\n", m.name.c_str(),
+                  m.threads, m.seconds, m.speedup_vs_serial);
+    }
+  }
+
+  std::ofstream out(out_path);
+  OBJALLOC_CHECK(out.good()) << "cannot write " << out_path;
+  out << "{\n  \"benchmark\": \"parallel_scaling\",\n";
+  out << "  \"hardware_concurrency\": " << util::GlobalThreads() << ",\n";
+  out << "  \"repeats\": " << repeats << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    out << "    {\"name\": \"" << m.name << "\", \"threads\": " << m.threads
+        << ", \"seconds\": " << m.seconds << ", \"speedup_vs_serial\": "
+        << m.speedup_vs_serial << "}" << (i + 1 < measurements.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

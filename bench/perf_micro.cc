@@ -1,7 +1,13 @@
 // Experiment E11 — engineering microbenchmarks (google-benchmark): online
 // step throughput of the DOM algorithms, exact-OPT DP scaling in the system
-// size, the polynomial brackets, and simulator request throughput. Not a
-// paper artifact; documents the library's own performance envelope.
+// size and in the thread count, the polynomial brackets, and simulator
+// request throughput. Not a paper artifact; documents the library's own
+// performance envelope.
+//
+// Machine-readable runs: pass the standard google-benchmark flags
+//   perf_micro --benchmark_out=BENCH_perf.json --benchmark_out_format=json
+// and check the artifact into the repo root so the perf trajectory
+// accumulates across PRs (see also bench/parallel_scaling.cc).
 
 #include <benchmark/benchmark.h>
 
@@ -13,6 +19,7 @@
 #include "objalloc/opt/interval_opt.h"
 #include "objalloc/opt/relaxation_lower_bound.h"
 #include "objalloc/sim/simulator.h"
+#include "objalloc/util/parallel.h"
 #include "objalloc/workload/uniform.h"
 
 namespace {
@@ -76,6 +83,20 @@ void BM_ExactOptDp(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 200);
 }
 BENCHMARK(BM_ExactOptDp)->DenseRange(6, 14, 2);
+
+// The DP at a size where the per-request transitions split across the pool;
+// the argument is the thread count.
+void BM_ExactOptDpParallel(benchmark::State& state) {
+  util::ScopedThreads threads(static_cast<int>(state.range(0)));
+  model::Schedule schedule = MakeSchedule(16, 100);
+  model::CostModel sc = model::CostModel::StationaryComputing(0.5, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::ExactOptCost(sc, schedule, model::ProcessorSet{0, 1}));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ExactOptDpParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_RelaxationLowerBound(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

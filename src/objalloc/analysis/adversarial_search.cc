@@ -6,6 +6,7 @@
 #include "objalloc/core/runner.h"
 #include "objalloc/opt/exact_opt.h"
 #include "objalloc/util/logging.h"
+#include "objalloc/util/parallel.h"
 #include "objalloc/util/rng.h"
 #include "objalloc/workload/adversary.h"
 #include "objalloc/workload/uniform.h"
@@ -96,50 +97,72 @@ SearchResult FindAdversarialSchedule(core::DomAlgorithm& algorithm,
   OBJALLOC_CHECK(cost_model.Validate().ok());
   const model::ProcessorSet initial =
       model::ProcessorSet::FirstN(options.t);
-  util::Rng rng(options.seed);
 
+  // Restarts are independent climbs: each derives its own RNG stream from
+  // (seed, restart index) and clones the algorithm, so they fan across the
+  // pool and the outcome is independent of the thread count.
+  std::vector<SearchResult> climbs(static_cast<size_t>(options.restarts));
+  util::ParallelFor(
+      0, climbs.size(), 1, [&](size_t lo, size_t hi) {
+        for (size_t restart = lo; restart < hi; ++restart) {
+          util::Rng rng(util::SubSeed(options.seed, restart));
+          std::unique_ptr<core::DomAlgorithm> climber = algorithm.Clone();
+          SearchResult& result = climbs[restart];
+          result.best_schedule = Schedule(options.num_processors);
+
+          auto evaluate = [&](const Schedule& schedule) {
+            ++result.evaluations;
+            if (schedule.empty()) return 0.0;
+            return RatioOnSchedule(*climber, cost_model, schedule, initial);
+          };
+
+          // Seeds: the known nemeses plus a random mix, round-robin.
+          Schedule current(options.num_processors);
+          switch (restart % 3) {
+            case 0:
+              current = workload::DaNemesis(options.t, 4).Generate(
+                  options.num_processors, options.schedule_length,
+                  rng.Next());
+              break;
+            case 1:
+              current = workload::SaNemesis(options.t).Generate(
+                  options.num_processors, options.schedule_length,
+                  rng.Next());
+              break;
+            default:
+              current = workload::UniformWorkload(0.7).Generate(
+                  options.num_processors, options.schedule_length,
+                  rng.Next());
+              break;
+          }
+          double current_ratio = evaluate(current);
+          result.best_ratio = current_ratio;
+          result.best_schedule = current;
+          for (int iteration = 0; iteration < options.iterations;
+               ++iteration) {
+            Schedule candidate = Mutate(current, options.max_length, rng);
+            double ratio = evaluate(candidate);
+            if (ratio >= current_ratio) {  // plateau moves keep the climb
+              current = std::move(candidate);
+              current_ratio = ratio;
+              if (ratio > result.best_ratio) {
+                result.best_ratio = ratio;
+                result.best_schedule = current;
+              }
+            }
+          }
+        }
+      });
+
+  // Deterministic reduction in restart order; strict '>' keeps the earliest
+  // climb on ties, matching the serial update rule.
   SearchResult result;
   result.best_schedule = Schedule(options.num_processors);
-
-  auto evaluate = [&](const Schedule& schedule) {
-    ++result.evaluations;
-    if (schedule.empty()) return 0.0;
-    return RatioOnSchedule(algorithm, cost_model, schedule, initial);
-  };
-
-  for (int restart = 0; restart < options.restarts; ++restart) {
-    // Seeds: the known nemeses plus a random mix, one per restart.
-    Schedule current(options.num_processors);
-    switch (restart % 3) {
-      case 0:
-        current = workload::DaNemesis(options.t, 4).Generate(
-            options.num_processors, options.schedule_length, rng.Next());
-        break;
-      case 1:
-        current = workload::SaNemesis(options.t).Generate(
-            options.num_processors, options.schedule_length, rng.Next());
-        break;
-      default:
-        current = workload::UniformWorkload(0.7).Generate(
-            options.num_processors, options.schedule_length, rng.Next());
-        break;
-    }
-    double current_ratio = evaluate(current);
-    if (current_ratio > result.best_ratio) {
-      result.best_ratio = current_ratio;
-      result.best_schedule = current;
-    }
-    for (int iteration = 0; iteration < options.iterations; ++iteration) {
-      Schedule candidate = Mutate(current, options.max_length, rng);
-      double ratio = evaluate(candidate);
-      if (ratio >= current_ratio) {  // plateau moves keep the climb alive
-        current = std::move(candidate);
-        current_ratio = ratio;
-        if (ratio > result.best_ratio) {
-          result.best_ratio = ratio;
-          result.best_schedule = current;
-        }
-      }
+  for (const SearchResult& climb : climbs) {
+    result.evaluations += climb.evaluations;
+    if (climb.best_ratio > result.best_ratio) {
+      result.best_ratio = climb.best_ratio;
+      result.best_schedule = climb.best_schedule;
     }
   }
   return result;

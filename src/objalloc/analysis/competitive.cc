@@ -1,9 +1,11 @@
 #include "objalloc/analysis/competitive.h"
 
 #include <limits>
+#include <utility>
 
 #include "objalloc/opt/exact_opt.h"
 #include "objalloc/util/logging.h"
+#include "objalloc/util/parallel.h"
 
 namespace objalloc::analysis {
 
@@ -50,18 +52,33 @@ RatioSummary MeasureCompetitiveRatio(
   summary.algorithm = algorithm.name();
   summary.cost_model = cost_model;
   summary.worst.ratio = -1;
-  double ratio_sum = 0;
 
+  // The seed chain is walked serially up front (it is the measurement's
+  // identity); the expensive part — one online run plus one exact-OPT DP per
+  // sample — then fans across the pool. Each unit clones the algorithm and
+  // writes only its own slot, so the summary is bit-identical at any thread
+  // count.
+  std::vector<std::pair<size_t, uint64_t>> units;  // (generator idx, seed)
   uint64_t seed_state = options.base_seed;
-  for (const auto& generator : generators) {
+  for (size_t g = 0; g < generators.size(); ++g) {
     for (int s = 0; s < options.seeds_per_generator; ++s) {
-      const uint64_t seed = util::SplitMix64(seed_state);
+      units.emplace_back(g, util::SplitMix64(seed_state));
+    }
+  }
+
+  std::vector<RatioSample> results(units.size());
+  std::vector<char> valid(units.size(), 0);
+  util::ParallelFor(0, units.size(), 1, [&](size_t lo, size_t hi) {
+    std::unique_ptr<core::DomAlgorithm> local = algorithm.Clone();
+    for (size_t u = lo; u < hi; ++u) {
+      const auto& generator = generators[units[u].first];
+      const uint64_t seed = units[u].second;
       Schedule schedule = generator->Generate(
           options.num_processors, options.schedule_length, seed);
       if (schedule.empty()) continue;
 
       core::RunResult run =
-          core::RunWithCost(algorithm, cost_model, schedule, initial);
+          core::RunWithCost(*local, cost_model, schedule, initial);
       double opt_cost = opt::ExactOptCost(cost_model, schedule, initial);
 
       RatioSample sample;
@@ -76,10 +93,17 @@ RatioSummary MeasureCompetitiveRatio(
       } else {
         sample.ratio = run.cost / opt_cost;
       }
-      ratio_sum += sample.ratio;
-      if (sample.ratio > summary.worst.ratio) summary.worst = sample;
-      summary.samples.push_back(std::move(sample));
+      results[u] = std::move(sample);
+      valid[u] = 1;
     }
+  });
+
+  double ratio_sum = 0;
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (!valid[u]) continue;
+    ratio_sum += results[u].ratio;
+    if (results[u].ratio > summary.worst.ratio) summary.worst = results[u];
+    summary.samples.push_back(std::move(results[u]));
   }
   OBJALLOC_CHECK(!summary.samples.empty());
   summary.mean_ratio = ratio_sum / static_cast<double>(summary.samples.size());

@@ -1,0 +1,91 @@
+#include "objalloc/analysis/ensemble_runner.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "objalloc/core/runner.h"
+#include "objalloc/opt/exact_opt.h"
+#include "objalloc/util/logging.h"
+#include "objalloc/util/rng.h"
+
+namespace objalloc::analysis {
+
+namespace {
+
+double RatioOf(double cost, double opt_cost) {
+  if (opt_cost == 0) {
+    return cost == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return cost / opt_cost;
+}
+
+}  // namespace
+
+EnsembleSummary RunEnsemble(const std::vector<EnsembleUnit>& units,
+                            const EnsembleOptions& options) {
+  OBJALLOC_CHECK_GT(options.replications, 0);
+  for (const EnsembleUnit& unit : units) {
+    OBJALLOC_CHECK(unit.generator != nullptr) << unit.label;
+    OBJALLOC_CHECK(unit.algorithm != nullptr) << unit.label;
+    OBJALLOC_CHECK(unit.cost_model.Validate().ok()) << unit.label;
+    OBJALLOC_CHECK_GE(unit.t, 1) << unit.label;
+    OBJALLOC_CHECK_LE(unit.t, unit.num_processors) << unit.label;
+    if (unit.measure_opt) {
+      OBJALLOC_CHECK_LE(unit.num_processors, opt::kMaxExactOptProcessors)
+          << unit.label;
+    }
+  }
+
+  const size_t reps = static_cast<size_t>(options.replications);
+  EnsembleSummary summary;
+  summary.outcomes.resize(units.size() * reps);
+
+  util::ParallelFor(
+      0, summary.outcomes.size(), 1,
+      [&](size_t lo, size_t hi) {
+        for (size_t task = lo; task < hi; ++task) {
+          const EnsembleUnit& unit = units[task / reps];
+          const uint64_t seed = util::SubSeed(options.base_seed, task);
+          const model::ProcessorSet initial =
+              model::ProcessorSet::FirstN(unit.t);
+          model::Schedule schedule = unit.generator->Generate(
+              unit.num_processors, unit.schedule_length, seed);
+
+          EnsembleOutcome& outcome = summary.outcomes[task];
+          outcome.label = unit.label;
+          outcome.seed = seed;
+          std::unique_ptr<core::DomAlgorithm> algorithm =
+              unit.algorithm->Clone();
+          outcome.cost =
+              core::RunWithCost(*algorithm, unit.cost_model, schedule,
+                                initial)
+                  .cost;
+          if (unit.measure_opt) {
+            outcome.opt_cost =
+                opt::ExactOptCost(unit.cost_model, schedule, initial);
+            outcome.ratio = RatioOf(outcome.cost, outcome.opt_cost);
+          }
+        }
+      },
+      options.parallel);
+
+  summary.aggregates.reserve(units.size());
+  for (size_t u = 0; u < units.size(); ++u) {
+    EnsembleAggregate aggregate;
+    aggregate.label = units[u].label;
+    aggregate.replications = options.replications;
+    for (size_t r = 0; r < reps; ++r) {
+      const EnsembleOutcome& outcome = summary.outcomes[u * reps + r];
+      aggregate.mean_cost += outcome.cost;
+      aggregate.mean_ratio += outcome.ratio;
+      aggregate.worst_ratio = std::max(aggregate.worst_ratio, outcome.ratio);
+    }
+    aggregate.mean_cost /= static_cast<double>(reps);
+    aggregate.mean_ratio /= static_cast<double>(reps);
+    summary.aggregates.push_back(std::move(aggregate));
+  }
+  return summary;
+}
+
+}  // namespace objalloc::analysis

@@ -1,0 +1,78 @@
+// EnsembleRunner: fans a vector of (workload × cost model × algorithm)
+// configurations across the thread pool.
+//
+// Each unit of work is one replication of one configuration: generate a
+// schedule from a sub-seed, run the algorithm over it, and (optionally)
+// compute the exact-OPT cost for a ratio. Sub-seeds are derived as
+// SubSeed(base_seed, global_replication_index), so every replication's
+// result depends only on the configuration list and the base seed — never
+// on the thread count or scheduling order. Aggregates are reduced in
+// replication order and are therefore bit-identical across thread counts.
+
+#ifndef OBJALLOC_ANALYSIS_ENSEMBLE_RUNNER_H_
+#define OBJALLOC_ANALYSIS_ENSEMBLE_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "objalloc/core/dom_algorithm.h"
+#include "objalloc/model/cost_model.h"
+#include "objalloc/util/parallel.h"
+#include "objalloc/workload/generator.h"
+
+namespace objalloc::analysis {
+
+// One configuration to replicate. `generator` and `algorithm` are non-owning
+// prototypes that must outlive RunEnsemble; the algorithm is cloned per
+// concurrent unit and never mutated.
+struct EnsembleUnit {
+  std::string label;
+  const workload::ScheduleGenerator* generator = nullptr;
+  const core::DomAlgorithm* algorithm = nullptr;
+  model::CostModel cost_model;
+  int num_processors = 6;
+  size_t schedule_length = 100;
+  int t = 2;  // initial scheme {0..t-1}
+  // Also run the exact-OPT DP per replication (bounds num_processors by
+  // opt::kMaxExactOptProcessors).
+  bool measure_opt = true;
+};
+
+struct EnsembleOptions {
+  uint64_t base_seed = 0x0b9ec7;
+  int replications = 1;  // schedules per unit
+  util::ParallelOptions parallel;
+};
+
+// One replication's measurement. `ratio` follows the library convention:
+// cost/opt, 1.0 when both are zero, +inf when only opt is zero; 0 when the
+// unit did not measure OPT.
+struct EnsembleOutcome {
+  std::string label;
+  uint64_t seed = 0;
+  double cost = 0;
+  double opt_cost = 0;
+  double ratio = 0;
+};
+
+// Per-unit reduction over its replications, in replication order.
+struct EnsembleAggregate {
+  std::string label;
+  int replications = 0;
+  double mean_cost = 0;
+  double mean_ratio = 0;   // 0 when the unit did not measure OPT
+  double worst_ratio = 0;
+};
+
+struct EnsembleSummary {
+  // Unit-major, replication-minor; outcomes[u * replications + r].
+  std::vector<EnsembleOutcome> outcomes;
+  std::vector<EnsembleAggregate> aggregates;  // one per unit
+};
+
+EnsembleSummary RunEnsemble(const std::vector<EnsembleUnit>& units,
+                            const EnsembleOptions& options);
+
+}  // namespace objalloc::analysis
+
+#endif  // OBJALLOC_ANALYSIS_ENSEMBLE_RUNNER_H_

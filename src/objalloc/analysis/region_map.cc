@@ -8,6 +8,7 @@
 #include "objalloc/opt/exact_opt.h"
 #include "objalloc/util/ascii_plot.h"
 #include "objalloc/util/logging.h"
+#include "objalloc/util/parallel.h"
 #include "objalloc/workload/ensemble.h"
 
 namespace objalloc::analysis {
@@ -41,12 +42,27 @@ std::vector<RegionPoint> SweepRegions(const RegionSweepOptions& options) {
   OBJALLOC_CHECK(options.ratio.Validate().ok())
       << options.ratio.Validate().ToString();
   const ProcessorSet initial = ProcessorSet::FirstN(options.ratio.t);
-  auto generators = workload::WorstCaseEnsemble(options.ratio.t);
 
-  std::vector<RegionPoint> points;
+  // Grid cells are independent measurements (the per-cell seed chain always
+  // restarts from base_seed), so the sweep fans cells across the pool; each
+  // cell owns its generators and algorithm instances, and writes only its
+  // own slot. Results are bit-identical at any thread count.
+  std::vector<std::pair<double, double>> cells;  // (cd, cc)
   for (double cd : options.cd_values) {
     for (double cc : options.cc_values) {
       if (cc > cd) continue;  // cannot be true
+      cells.emplace_back(cd, cc);
+    }
+  }
+
+  std::vector<RegionPoint> points(cells.size());
+  util::ParallelFor(0, cells.size(), 1, [&](size_t lo, size_t hi) {
+    auto generators = workload::WorstCaseEnsemble(options.ratio.t);
+    core::StaticAllocation sa;
+    core::DynamicAllocation da;
+    for (size_t cell = lo; cell < hi; ++cell) {
+      const double cd = cells[cell].first;
+      const double cc = cells[cell].second;
       const CostModel cost_model = options.mobile
                                        ? CostModel::MobileComputing(cc, cd)
                                        : CostModel::StationaryComputing(cc, cd);
@@ -55,8 +71,6 @@ std::vector<RegionPoint> SweepRegions(const RegionSweepOptions& options) {
       point.cd = cd;
       point.analytic = Classify(cost_model);
 
-      core::StaticAllocation sa;
-      core::DynamicAllocation da;
       double sa_worst = 0, da_worst = 0, sa_sum = 0, da_sum = 0;
       int count = 0;
       uint64_t seed_state = options.ratio.base_seed;
@@ -88,9 +102,9 @@ std::vector<RegionPoint> SweepRegions(const RegionSweepOptions& options) {
       point.da_mean_ratio = da_sum / count;
       point.empirical = sa_worst <= da_worst ? Region::kSaSuperior
                                              : Region::kDaSuperior;
-      points.push_back(point);
+      points[cell] = point;
     }
-  }
+  });
   return points;
 }
 

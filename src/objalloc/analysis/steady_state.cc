@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "objalloc/util/logging.h"
+#include "objalloc/util/parallel.h"
 #include "objalloc/util/processor_set.h"
 
 namespace objalloc::analysis {
@@ -190,12 +191,18 @@ ReadFractionInterval SaFavorableReadFractions(
   };
   // Scan for the SA-favorable band (gap > 0), then refine its edges by
   // bisection. The band is an interval in practice (gap rises through the
-  // join-churn middle and falls toward the read-heavy end).
+  // join-churn middle and falls toward the read-heavy end). Grid points are
+  // independent Markov-chain solves, so the scan fans across the pool.
   constexpr int kGrid = 64;
+  std::vector<char> positive(kGrid + 1, 0);
+  util::ParallelFor(0, kGrid + 1, 4, [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      positive[k] = gap(static_cast<double>(k) / kGrid) > 0 ? 1 : 0;
+    }
+  });
   int first = -1, last = -1;
   for (int k = 0; k <= kGrid; ++k) {
-    double rho = static_cast<double>(k) / kGrid;
-    if (gap(rho) > 0) {
+    if (positive[static_cast<size_t>(k)]) {
       if (first < 0) first = k;
       last = k;
     }

@@ -69,7 +69,7 @@ Decision AdaptiveAllocation::Step(const Request& request) {
   // Write: keep members whose windowed read rate pays for the (cd + cio)
   // refresh; always include the writer; pad with the heaviest readers to t.
   ProcessorSet keep = ProcessorSet::Singleton(i);
-  for (ProcessorId member : scheme_.ToVector()) {
+  for (ProcessorId member : scheme_) {
     if (member == i) continue;
     double reads_per_write =
         WindowReadsBy(member) / std::max(write_count_, 1.0);

@@ -48,6 +48,9 @@ class AdaptiveAllocation final : public DomAlgorithm {
   std::string name() const override { return "Adaptive"; }
   void Reset(int num_processors, ProcessorSet initial_scheme) override;
   Decision Step(const Request& request) override;
+  std::unique_ptr<DomAlgorithm> Clone() const override {
+    return std::make_unique<AdaptiveAllocation>(*this);
+  }
 
   ProcessorSet scheme() const { return scheme_; }
 

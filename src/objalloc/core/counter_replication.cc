@@ -20,7 +20,7 @@ void CounterReplication::Reset(int num_processors,
   t_ = initial_scheme.Size();
   scheme_ = initial_scheme;
   counters_.assign(static_cast<size_t>(num_processors), 0);
-  for (ProcessorId member : initial_scheme.ToVector()) {
+  for (ProcessorId member : initial_scheme) {
     counters_[static_cast<size_t>(member)] = options_.lifetime;
   }
 }
@@ -42,7 +42,7 @@ Decision CounterReplication::Step(const Request& request) {
   // Write: age the other replicas, evict the expired (respecting t).
   ProcessorSet keep = ProcessorSet::Singleton(i);
   std::vector<ProcessorId> survivors;
-  for (ProcessorId member : scheme_.ToVector()) {
+  for (ProcessorId member : scheme_) {
     if (member == i) continue;
     int& counter = counters_[static_cast<size_t>(member)];
     counter = std::max(0, counter - 1);

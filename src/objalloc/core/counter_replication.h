@@ -46,6 +46,9 @@ class CounterReplication final : public DomAlgorithm {
   std::string name() const override { return "Counter"; }
   void Reset(int num_processors, ProcessorSet initial_scheme) override;
   Decision Step(const Request& request) override;
+  std::unique_ptr<DomAlgorithm> Clone() const override {
+    return std::make_unique<CounterReplication>(*this);
+  }
 
   ProcessorSet scheme() const { return scheme_; }
   int CounterOf(ProcessorId p) const {

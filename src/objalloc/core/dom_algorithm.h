@@ -45,6 +45,12 @@ class DomAlgorithm {
 
   // Serves the next request; called strictly in schedule order after Reset.
   virtual Decision Step(const Request& request) = 0;
+
+  // An independent copy with the same configuration. Parallel drivers (the
+  // competitive sweeps, adversarial searches, and ensemble runners) clone
+  // one prototype per concurrent unit of work; clones share no state, and
+  // callers Reset() them before use.
+  virtual std::unique_ptr<DomAlgorithm> Clone() const = 0;
 };
 
 // Algorithm identifiers for factories and report labels.

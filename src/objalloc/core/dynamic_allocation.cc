@@ -12,11 +12,11 @@ void DynamicAllocation::Reset(int num_processors,
       initial_scheme.IsSubsetOf(ProcessorSet::FirstN(num_processors)));
   // F is the initial scheme minus its largest member; p is that member.
   // Any split of size (t-1, 1) is valid; this one is deterministic.
-  auto members = initial_scheme.ToVector();
-  p_ = members.back();
+  p_ = initial_scheme.Last();
   f_ = initial_scheme.WithErased(p_);
   scheme_ = initial_scheme;
-  join_lists_.assign(members.size() - 1, ProcessorSet());
+  join_lists_.assign(static_cast<size_t>(initial_scheme.Size()) - 1,
+                     ProcessorSet());
   next_f_index_ = 0;
 }
 
@@ -30,12 +30,13 @@ Decision DynamicAllocation::Step(const Request& request) {
     }
     // Non-data processor: fetch from an F member (round-robin across F so no
     // single member's join-list grows unboundedly) and save the copy.
-    auto f_members = f_.ToVector();
-    size_t idx = static_cast<size_t>(next_f_index_) % f_members.size();
-    next_f_index_ = static_cast<int>((idx + 1) % f_members.size());
+    const size_t f_size = static_cast<size_t>(f_.Size());
+    size_t idx = static_cast<size_t>(next_f_index_) % f_size;
+    next_f_index_ = static_cast<int>((idx + 1) % f_size);
     join_lists_[idx].Insert(i);
     scheme_.Insert(i);
-    return Decision{ProcessorSet::Singleton(f_members[idx]), true};
+    return Decision{
+        ProcessorSet::Singleton(f_.Nth(static_cast<int>(idx))), true};
   }
 
   // Write: propagate to F plus the writer (plus p when the writer is in
@@ -54,9 +55,10 @@ ProcessorSet DynamicAllocation::JoinedSinceLastWrite() const {
 }
 
 ProcessorSet DynamicAllocation::JoinListOf(ProcessorId u) const {
-  auto f_members = f_.ToVector();
-  for (size_t k = 0; k < f_members.size(); ++k) {
-    if (f_members[k] == u) return join_lists_[k];
+  size_t k = 0;
+  for (ProcessorId member : f_) {
+    if (member == u) return join_lists_[k];
+    ++k;
   }
   OBJALLOC_CHECK(false) << "processor " << u << " is not in F";
   return ProcessorSet();

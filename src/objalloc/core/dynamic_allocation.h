@@ -34,6 +34,9 @@ class DynamicAllocation final : public DomAlgorithm {
   std::string name() const override { return "DA"; }
   void Reset(int num_processors, ProcessorSet initial_scheme) override;
   Decision Step(const Request& request) override;
+  std::unique_ptr<DomAlgorithm> Clone() const override {
+    return std::make_unique<DynamicAllocation>(*this);
+  }
 
   ProcessorSet core_set() const { return f_; }          // F
   ProcessorId floating_processor() const { return p_; }  // p

@@ -36,6 +36,9 @@ class LookaheadAllocation final : public DomAlgorithm {
   std::string name() const override;
   void Reset(int num_processors, ProcessorSet initial_scheme) override;
   Decision Step(const Request& request) override;
+  std::unique_ptr<DomAlgorithm> Clone() const override {
+    return std::make_unique<LookaheadAllocation>(*this);
+  }
 
  private:
   model::CostModel cost_model_;

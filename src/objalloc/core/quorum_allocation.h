@@ -36,6 +36,9 @@ class QuorumAllocation final : public DomAlgorithm {
   std::string name() const override { return "QuorumVoting"; }
   void Reset(int num_processors, ProcessorSet initial_scheme) override;
   Decision Step(const Request& request) override;
+  std::unique_ptr<DomAlgorithm> Clone() const override {
+    return std::make_unique<QuorumAllocation>(*this);
+  }
 
   int read_quorum() const { return r_; }
   int write_quorum() const { return w_; }

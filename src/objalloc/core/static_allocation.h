@@ -19,6 +19,9 @@ class StaticAllocation final : public DomAlgorithm {
   std::string name() const override { return "SA"; }
   void Reset(int num_processors, ProcessorSet initial_scheme) override;
   Decision Step(const Request& request) override;
+  std::unique_ptr<DomAlgorithm> Clone() const override {
+    return std::make_unique<StaticAllocation>(*this);
+  }
 
   ProcessorSet scheme() const { return scheme_; }
 

@@ -32,7 +32,7 @@ void TopologyAwareAllocation::Reset(int num_processors,
   // the uniform topology degenerates to DA exactly.
   ProcessorId least_central = initial_scheme.First();
   double worst = -1;
-  for (ProcessorId member : initial_scheme.ToVector()) {
+  for (ProcessorId member : initial_scheme) {
     double score = Centrality(member);
     if (score >= worst) {
       worst = score;
@@ -48,7 +48,7 @@ ProcessorId TopologyAwareAllocation::NearestSchemeMember(
     ProcessorId reader) const {
   ProcessorId best = scheme_.First();
   double best_cost = std::numeric_limits<double>::infinity();
-  for (ProcessorId member : scheme_.ToVector()) {
+  for (ProcessorId member : scheme_) {
     double cost = topology_.MessageMultiplier(reader, member);
     if (cost < best_cost) {
       best_cost = cost;

@@ -27,6 +27,9 @@ class TopologyAwareAllocation final : public DomAlgorithm {
   std::string name() const override { return "TopoDA"; }
   void Reset(int num_processors, ProcessorSet initial_scheme) override;
   Decision Step(const Request& request) override;
+  std::unique_ptr<DomAlgorithm> Clone() const override {
+    return std::make_unique<TopologyAwareAllocation>(*this);
+  }
 
   ProcessorSet core_set() const { return f_; }
   ProcessorId floating_processor() const { return p_; }

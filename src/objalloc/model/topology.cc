@@ -93,7 +93,7 @@ double WeightedRequestCost(const CostModel& cost_model,
   const ProcessorSet x = entry.execution_set;
   double cost = 0;
   if (entry.request.is_read()) {
-    for (ProcessorId y : x.ToVector()) {
+    for (ProcessorId y : x) {
       cost += cost_model.io * topology.IoMultiplier(y);
       if (y != i) {
         double pair = topology.MessageMultiplier(i, y);
@@ -103,13 +103,13 @@ double WeightedRequestCost(const CostModel& cost_model,
     if (entry.saving) cost += cost_model.io * topology.IoMultiplier(i);
     return cost;
   }
-  for (ProcessorId y : x.ToVector()) {
+  for (ProcessorId y : x) {
     cost += cost_model.io * topology.IoMultiplier(y);
     if (y != i) {
       cost += cost_model.data * topology.MessageMultiplier(i, y);
     }
   }
-  for (ProcessorId stale : scheme.Minus(x).WithErased(i).ToVector()) {
+  for (ProcessorId stale : scheme.Minus(x).WithErased(i)) {
     cost += cost_model.control * topology.MessageMultiplier(i, stale);
   }
   return cost;

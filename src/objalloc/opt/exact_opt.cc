@@ -6,12 +6,17 @@
 #include <vector>
 
 #include "objalloc/util/logging.h"
+#include "objalloc/util/parallel.h"
 
 namespace objalloc::opt {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Minimum chunk of the 2^n state space per parallel task. Below two grains
+// ParallelFor runs inline, so small systems stay on the fast serial path.
+constexpr size_t kStateGrain = size_t{1} << 12;
 
 int Popcount(uint32_t mask) { return std::popcount(mask); }
 
@@ -50,32 +55,46 @@ double RunDp(const CostModel& cost_model, const Schedule& schedule,
     const uint32_t i_bit = uint32_t{1} << req.processor;
     std::vector<uint32_t>* parent =
         parents != nullptr ? &(*parents)[step] : nullptr;
-    if (parent != nullptr) parent->assign(num_states, 0);
+    if (parent != nullptr) parent->resize(num_states);
 
     if (req.is_read()) {
-      std::fill(dp_next.begin(), dp_next.end(), kInf);
+      // Gather form: every target state u is determined by dp[u] (plain
+      // read) and dp[u \ {i}] (saving-read joining the scheme), so the loop
+      // writes disjoint indices and parallelizes with bit-identical results.
+      // Tie-break matches the serial scatter: a saving-read that equals the
+      // plain-read cost wins (it was written first, and the plain read only
+      // replaced it on strict improvement).
       const double remote_read = cc + cio + cd;
       const double saving_read = cc + 2 * cio + cd;
-      for (uint32_t s = 0; s < num_states; ++s) {
-        if (dp[s] == kInf) continue;
-        const bool local = (s & i_bit) != 0;
-        // Plain read: scheme unchanged.
-        double stay = dp[s] + (local ? cio : remote_read);
-        if (stay < dp_next[s]) {
-          dp_next[s] = stay;
-          if (parent != nullptr) (*parent)[s] = s;
-        }
-        // Saving-read: reader joins the scheme.
-        if (!local) {
-          double join = dp[s] + saving_read;
-          if (join < dp_next[s | i_bit]) {
-            dp_next[s | i_bit] = join;
-            if (parent != nullptr) (*parent)[s | i_bit] = s;
+      util::ParallelFor(0, num_states, kStateGrain, [&](size_t lo,
+                                                        size_t hi) {
+        for (uint32_t u = static_cast<uint32_t>(lo); u < hi; ++u) {
+          if ((u & i_bit) == 0) {
+            dp_next[u] = dp[u] + remote_read;
+            if (parent != nullptr) (*parent)[u] = dp[u] < kInf ? u : 0;
+            continue;
+          }
+          const uint32_t v = u ^ i_bit;
+          const double stay = dp[u] + cio;
+          const double join = dp[v] + saving_read;
+          if (stay < join) {
+            dp_next[u] = stay;
+            if (parent != nullptr) (*parent)[u] = u;
+          } else if (join < kInf) {
+            dp_next[u] = join;
+            if (parent != nullptr) (*parent)[u] = v;
+          } else {
+            dp_next[u] = kInf;
+            if (parent != nullptr) (*parent)[u] = 0;
           }
         }
-      }
+      });
     } else {
       // Write transition via the two lattice sweeps described in the header.
+      // Each per-bit phase reads indices with bit j set and writes indices
+      // with bit j clear (or vice versa) — disjoint sets, so the phase body
+      // parallelizes over the state space; phases are separated by the
+      // ParallelFor barrier.
       // C[Z] = min over Y ⊇ Z of dp[Y] + cc*|Y \ Z|.
       c = dp;
       if (parent != nullptr) {
@@ -83,39 +102,55 @@ double RunDp(const CostModel& cost_model, const Schedule& schedule,
       }
       for (int j = 0; j < n; ++j) {
         const uint32_t j_bit = uint32_t{1} << j;
-        for (uint32_t z = 0; z < num_states; ++z) {
-          if ((z & j_bit) != 0) continue;
-          double via = c[z | j_bit] + cc;
-          if (via < c[z]) {
-            c[z] = via;
-            if (parent != nullptr) c_from[z] = c_from[z | j_bit];
+        util::ParallelFor(0, num_states, kStateGrain, [&](size_t lo,
+                                                          size_t hi) {
+          for (uint32_t z = static_cast<uint32_t>(lo); z < hi; ++z) {
+            if ((z & j_bit) != 0) continue;
+            double via = c[z | j_bit] + cc;
+            if (via < c[z]) {
+              c[z] = via;
+              if (parent != nullptr) c_from[z] = c_from[z | j_bit];
+            }
           }
-        }
+        });
       }
       // A[T] = min over Z ⊆ T of C[Z].
       a = c;
       if (parent != nullptr) a_from = c_from;
       for (int j = 0; j < n; ++j) {
         const uint32_t j_bit = uint32_t{1} << j;
-        for (uint32_t tmask = 0; tmask < num_states; ++tmask) {
-          if ((tmask & j_bit) == 0) continue;
-          double via = a[tmask ^ j_bit];
-          if (via < a[tmask]) {
-            a[tmask] = via;
-            if (parent != nullptr) a_from[tmask] = a_from[tmask ^ j_bit];
+        util::ParallelFor(0, num_states, kStateGrain, [&](size_t lo,
+                                                          size_t hi) {
+          for (uint32_t tmask = static_cast<uint32_t>(lo); tmask < hi;
+               ++tmask) {
+            if ((tmask & j_bit) == 0) continue;
+            double via = a[tmask ^ j_bit];
+            if (via < a[tmask]) {
+              a[tmask] = via;
+              if (parent != nullptr) a_from[tmask] = a_from[tmask ^ j_bit];
+            }
           }
+        });
+      }
+      util::ParallelFor(0, num_states, kStateGrain, [&](size_t lo,
+                                                        size_t hi) {
+        for (uint32_t x = static_cast<uint32_t>(lo); x < hi; ++x) {
+          if (Popcount(x) < t) {
+            dp_next[x] = kInf;
+            if (parent != nullptr) (*parent)[x] = 0;
+            continue;
+          }
+          const double base = a[x | i_bit];
+          if (base == kInf) {
+            dp_next[x] = kInf;
+            if (parent != nullptr) (*parent)[x] = 0;
+            continue;
+          }
+          const int transfers = Popcount(x & ~i_bit);
+          dp_next[x] = base + cd * transfers + cio * Popcount(x);
+          if (parent != nullptr) (*parent)[x] = a_from[x | i_bit];
         }
-      }
-      std::fill(dp_next.begin(), dp_next.end(), kInf);
-      for (uint32_t x = 1; x < num_states; ++x) {
-        if (Popcount(x) < t) continue;
-        const double base = a[x | i_bit];
-        if (base == kInf) continue;
-        const int transfers = Popcount(x & ~i_bit);
-        dp_next[x] =
-            base + cd * transfers + cio * Popcount(x);
-        if (parent != nullptr) (*parent)[x] = a_from[x | i_bit];
-      }
+      });
     }
     dp.swap(dp_next);
   }

@@ -37,7 +37,9 @@ using model::ProcessorSet;
 using model::Schedule;
 
 // Exact DP is O(L * n * 2^n) time and O(2^n) memory for cost-only queries.
-inline constexpr int kMaxExactOptProcessors = 18;
+// The per-request transitions parallelize over the 2^n state space (see
+// util/parallel.h), which is what makes the top of this range practical.
+inline constexpr int kMaxExactOptProcessors = 20;
 // Reconstruction stores one predecessor mask per (request, state).
 inline constexpr int kMaxExactOptReconstructProcessors = 12;
 

@@ -70,7 +70,7 @@ AllocationSchedule IntervalOptSchedule(const CostModel& cost_model,
       // Pad to the availability threshold, preferring current members: a
       // retained member costs the same push but saves one invalidation.
       if (x.Size() < t) {
-        for (ProcessorId j : scheme.ToVector()) {
+        for (ProcessorId j : scheme) {
           if (x.Size() >= t) break;
           x.Insert(j);
         }

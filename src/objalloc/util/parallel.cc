@@ -1,0 +1,196 @@
+#include "objalloc/util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::util {
+
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+thread_local bool t_in_worker = false;
+
+int HardwareThreads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int EnvThreads() {
+  static const int env = [] {
+    const char* value = std::getenv("OBJALLOC_THREADS");
+    if (value == nullptr || *value == '\0') return 0;
+    char* end = nullptr;
+    long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed <= 0) return 0;
+    return static_cast<int>(std::min<long>(parsed, kMaxThreads));
+  }();
+  return env;
+}
+
+std::atomic<int> g_threads{0};
+
+// One ParallelFor invocation. Chunk boundaries are fixed up front (static
+// chunking); participants claim chunk *indices* via an atomic counter, which
+// affects load balance only, never results. Helpers hold the block through a
+// shared_ptr so a late-waking worker never touches a dead frame.
+struct ForJob {
+  size_t begin = 0;
+  size_t chunk = 0;       // iterations per chunk (last chunk may be short)
+  size_t end = 0;
+  int num_chunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+
+  std::atomic<int> next{0};
+  std::atomic<int> completed{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  std::exception_ptr error;
+
+  // Runs chunks until none are left. Returns after contributing the last
+  // completion signal if this call finished the final chunk.
+  void Work() {
+    for (;;) {
+      const int c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t lo = begin + chunk * static_cast<size_t>(c);
+      const size_t hi = std::min(end, lo + chunk);
+      try {
+        (*body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done.notify_all();
+      }
+    }
+  }
+};
+
+// Global pool. Created on first parallel call and intentionally leaked so
+// worker lifetime never races static destruction.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool;
+    return *pool;
+  }
+
+  void Submit(int helpers, const std::shared_ptr<ForJob>& job) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      EnsureWorkersLocked(helpers);
+      for (int i = 0; i < helpers; ++i) queue_.push_back(job);
+    }
+    wake_.notify_all();
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void EnsureWorkersLocked(int wanted) {
+    wanted = std::min(wanted, kMaxThreads);
+    while (static_cast<int>(workers_.size()) < wanted) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    t_in_worker = true;
+    for (;;) {
+      std::shared_ptr<ForJob> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return !queue_.empty(); });
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job->Work();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::shared_ptr<ForJob>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+int GlobalThreads() {
+  const int t = g_threads.load(std::memory_order_relaxed);
+  if (t > 0) return t;
+  const int env = EnvThreads();
+  if (env > 0) return env;
+  return HardwareThreads();
+}
+
+void SetGlobalThreads(int threads) {
+  OBJALLOC_CHECK_GE(threads, 0);
+  g_threads.store(std::min(threads, kMaxThreads),
+                  std::memory_order_relaxed);
+}
+
+ScopedThreads::ScopedThreads(int threads)
+    : saved_(g_threads.load(std::memory_order_relaxed)) {
+  SetGlobalThreads(threads);
+}
+
+ScopedThreads::~ScopedThreads() {
+  g_threads.store(saved_, std::memory_order_relaxed);
+}
+
+bool InParallelWorker() { return t_in_worker; }
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 const ParallelOptions& options) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const size_t count = end - begin;
+  const int threads =
+      options.threads > 0 ? std::min(options.threads, kMaxThreads)
+                          : GlobalThreads();
+  const size_t max_chunks = (count + grain - 1) / grain;
+  const int num_chunks =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(threads),
+                                        max_chunks));
+  if (num_chunks <= 1 || t_in_worker) {
+    body(begin, end);
+    return;
+  }
+
+  auto job = std::make_shared<ForJob>();
+  job->begin = begin;
+  job->end = end;
+  job->chunk = (count + static_cast<size_t>(num_chunks) - 1) /
+               static_cast<size_t>(num_chunks);
+  job->num_chunks = num_chunks;
+  job->body = &body;
+
+  ThreadPool::Instance().Submit(num_chunks - 1, job);
+  job->Work();  // the caller is a participant, not just a waiter
+
+  {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->done.wait(lock, [&job] {
+      return job->completed.load(std::memory_order_acquire) ==
+             job->num_chunks;
+    });
+    if (job->error) std::rethrow_exception(job->error);
+  }
+}
+
+}  // namespace objalloc::util

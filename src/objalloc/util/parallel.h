@@ -1,0 +1,64 @@
+// Shared-memory parallelism for the compute layers (exact-OPT DP sweeps,
+// analysis grids, workload ensembles).
+//
+// The model is deliberately small: one lazily-created global thread pool and
+// a blocking ParallelFor with *static chunking*. Callers split [begin, end)
+// into at most `threads` contiguous chunks of at least `grain` iterations and
+// run `body(chunk_begin, chunk_end)` on each. Which thread executes which
+// chunk is unspecified; the chunk boundaries are not. The determinism
+// contract therefore is: a loop body that writes only to indices in its own
+// chunk (and reads only state fixed before the loop) produces bit-identical
+// results for every thread count, including 1.
+//
+// Nested ParallelFor calls from inside a pool worker run serially inline, so
+// outer-level parallel drivers (ensembles, grids) compose with inner-level
+// parallel kernels (the DP) without deadlock or oversubscription.
+
+#ifndef OBJALLOC_UTIL_PARALLEL_H_
+#define OBJALLOC_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace objalloc::util {
+
+// Per-call thread-count override; 0 means "use the global default".
+struct ParallelOptions {
+  int threads = 0;
+};
+
+// The global default thread count: SetGlobalThreads() if set, else the
+// OBJALLOC_THREADS environment variable, else hardware_concurrency().
+int GlobalThreads();
+
+// Overrides the global default; 0 restores the automatic choice.
+void SetGlobalThreads(int threads);
+
+// RAII override of the global default, for tests and benchmarks.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads);
+  ~ScopedThreads();
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+// Runs `body(chunk_begin, chunk_end)` over disjoint contiguous chunks that
+// partition [begin, end). Blocks until every chunk has finished. Falls back
+// to one inline call of `body(begin, end)` when the range is smaller than
+// two grains, when the effective thread count is 1, or when invoked from
+// inside a pool worker. Rethrows the first exception thrown by any chunk.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 const ParallelOptions& options = {});
+
+// True when the calling thread is a pool worker (useful for asserting that
+// code expected to stay serial really is).
+bool InParallelWorker();
+
+}  // namespace objalloc::util
+
+#endif  // OBJALLOC_UTIL_PARALLEL_H_

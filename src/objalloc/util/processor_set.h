@@ -10,6 +10,7 @@
 #define OBJALLOC_UTIL_PROCESSOR_SET_H_
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
@@ -87,15 +88,60 @@ class ProcessorSet {
     return std::countr_zero(mask_);
   }
 
-  // Member ids in increasing order.
+  // Largest member; the set must be non-empty.
+  ProcessorId Last() const {
+    OBJALLOC_CHECK(!Empty());
+    return kMaxProcessors - 1 - std::countl_zero(mask_);
+  }
+
+  // k-th smallest member (0-based); requires k < Size().
+  ProcessorId Nth(int k) const {
+    OBJALLOC_CHECK_GE(k, 0);
+    OBJALLOC_CHECK_LT(k, Size());
+    uint64_t m = mask_;
+    while (k-- > 0) m &= m - 1;
+    return std::countr_zero(m);
+  }
+
+  // Allocation-free iteration over members in increasing order:
+  //   for (ProcessorId id : set) ...
+  class iterator {
+   public:
+    using value_type = ProcessorId;
+    using difference_type = std::ptrdiff_t;
+
+    constexpr explicit iterator(uint64_t remaining)
+        : remaining_(remaining) {}
+    ProcessorId operator*() const { return std::countr_zero(remaining_); }
+    iterator& operator++() {
+      remaining_ &= remaining_ - 1;  // clear the lowest set bit
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend bool operator==(iterator a, iterator b) {
+      return a.remaining_ == b.remaining_;
+    }
+    friend bool operator!=(iterator a, iterator b) {
+      return a.remaining_ != b.remaining_;
+    }
+
+   private:
+    uint64_t remaining_;
+  };
+
+  iterator begin() const { return iterator(mask_); }
+  iterator end() const { return iterator(0); }
+
+  // Member ids in increasing order. Allocates; hot loops should iterate the
+  // set directly instead.
   std::vector<ProcessorId> ToVector() const {
     std::vector<ProcessorId> out;
     out.reserve(static_cast<size_t>(Size()));
-    uint64_t m = mask_;
-    while (m != 0) {
-      out.push_back(std::countr_zero(m));
-      m &= m - 1;
-    }
+    for (ProcessorId id : *this) out.push_back(id);
     return out;
   }
 
@@ -103,7 +149,7 @@ class ProcessorSet {
   std::string ToString() const {
     std::string out = "{";
     bool first = true;
-    for (ProcessorId id : ToVector()) {
+    for (ProcessorId id : *this) {
       if (!first) out += ",";
       out += std::to_string(id);
       first = false;

@@ -20,6 +20,14 @@ uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+uint64_t SubSeed(uint64_t base, uint64_t index) {
+  // Two dependent splitmix steps decorrelate nearby (base, index) pairs.
+  uint64_t state = base ^ (index * 0x9e3779b97f4a7c15ULL);
+  uint64_t first = SplitMix64(state);
+  state ^= first;
+  return SplitMix64(state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(sm);

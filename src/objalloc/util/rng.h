@@ -17,6 +17,12 @@ namespace objalloc::util {
 // Stateless splitmix64 step; used for seeding and for hashing seeds.
 uint64_t SplitMix64(uint64_t& state);
 
+// Deterministic sub-seed for component `index` of a run seeded by `base`.
+// Parallel drivers (ensemble runners, grid sweeps, restart searches) hand
+// each independent unit SubSeed(base, unit_index) so the result stream of a
+// unit depends only on (base, index), never on thread scheduling.
+uint64_t SubSeed(uint64_t base, uint64_t index);
+
 // xoshiro256** PRNG. Copyable; copies evolve independently.
 class Rng {
  public:
