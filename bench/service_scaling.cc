@@ -1,0 +1,271 @@
+// Throughput scaling of the sharded, batched ObjectService: events/sec over
+// a multi-object trace at a sweep of shard counts x thread counts, plus the
+// serial ObjectManager baseline. Results are written as a machine-readable
+// JSON artifact (BENCH_service_scaling.json) so the repo's perf trajectory
+// accumulates across PRs.
+//
+// Usage: service_scaling [--out=BENCH_service_scaling.json]
+//                        [--events=1000000] [--objects=512] [--processors=16]
+//                        [--shards=1,4,16,64] [--threads=1,2,4,8]
+//                        [--batch=8192] [--repeats=2]
+//
+// Determinism is asserted, not assumed: every (shards, threads) config must
+// reproduce byte-identical cost breakdowns and final allocation schemes —
+// checked via exact integer counts and a CRC32 over the sorted per-object
+// (id, scheme) table — or the bench aborts.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "objalloc/core/object_manager.h"
+#include "objalloc/core/object_service.h"
+#include "objalloc/util/crc32.h"
+#include "objalloc/util/logging.h"
+#include "objalloc/util/parallel.h"
+#include "objalloc/workload/multi_object.h"
+
+namespace {
+
+using namespace objalloc;
+
+// Exact summary of a run: integer traffic counts and the final scheme of
+// every object. Two runs are byte-identical iff their fingerprints match.
+struct Fingerprint {
+  model::CostBreakdown breakdown;
+  int64_t requests = 0;
+  uint32_t scheme_crc = 0;
+
+  bool operator==(const Fingerprint& other) const {
+    return breakdown == other.breakdown && requests == other.requests &&
+           scheme_crc == other.scheme_crc;
+  }
+};
+
+core::ObjectConfig ServiceConfig() {
+  core::ObjectConfig config;
+  config.initial_scheme = model::ProcessorSet{0, 1};
+  config.algorithm = core::AlgorithmKind::kDynamic;
+  return config;
+}
+
+uint32_t SchemeCrc(const core::ObjectService& service) {
+  uint32_t crc = 0;
+  for (core::ObjectId id : service.SortedObjectIds()) {
+    const uint64_t mask = service.StatsFor(id)->scheme.mask();
+    crc = util::Crc32(&id, sizeof(id), crc);
+    crc = util::Crc32(&mask, sizeof(mask), crc);
+  }
+  return crc;
+}
+
+std::vector<int> ParseIntList(const std::string& arg, const char* flag) {
+  std::vector<int> values;
+  size_t pos = 0;
+  while (pos <= arg.size()) {
+    size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string token = arg.substr(pos, comma - pos);
+    int value = 0;
+    try {
+      size_t used = 0;
+      value = std::stoi(token, &used);
+      if (used != token.size()) value = 0;
+    } catch (const std::exception&) {
+      value = 0;
+    }
+    if (value <= 0) {
+      std::fprintf(stderr, "bad value in %s: '%s'\n", flag, token.c_str());
+      std::exit(1);
+    }
+    values.push_back(value);
+    pos = comma + 1;
+    if (pos == arg.size() + 1) break;
+  }
+  return values;
+}
+
+struct Measurement {
+  int shards = 0;
+  int threads = 0;
+  double seconds = 0;
+  double events_per_sec = 0;
+  double speedup_vs_1thread = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_service_scaling.json";
+  size_t events = 1000000;
+  int objects = 512;
+  int processors = 16;
+  std::vector<int> shard_counts = {1, 4, 16, 64};
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  size_t batch_size = 8192;
+  int repeats = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto int_flag = [&](const char* prefix, auto* out) {
+      const size_t n = std::string(prefix).size();
+      if (arg.rfind(prefix, 0) != 0) return false;
+      long long value = std::atoll(arg.substr(n).c_str());
+      if (value <= 0) {
+        std::fprintf(stderr, "bad value: %s\n", arg.c_str());
+        std::exit(1);
+      }
+      *out = static_cast<std::decay_t<decltype(*out)>>(value);
+      return true;
+    };
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (int_flag("--events=", &events) ||
+               int_flag("--objects=", &objects) ||
+               int_flag("--processors=", &processors) ||
+               int_flag("--batch=", &batch_size) ||
+               int_flag("--repeats=", &repeats)) {
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shard_counts = ParseIntList(arg.substr(9), "--shards=");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      thread_counts = ParseIntList(arg.substr(10), "--threads=");
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  const uint64_t kSeed = 0x5eed5ca1e;
+  workload::MultiObjectOptions options;
+  options.num_processors = processors;
+  options.num_objects = objects;
+  options.length = events;
+  options.popularity_skew = 0.9;
+  std::printf("generating %zu events over %d objects, %d processors "
+              "(seed %llu)...\n",
+              events, objects, processors,
+              static_cast<unsigned long long>(kSeed));
+  const workload::MultiObjectTrace trace =
+      workload::GenerateMultiObjectTrace(options, kSeed);
+
+  // Serial baseline: the pre-refactor path, one ObjectManager::Serve call
+  // per event.
+  double baseline_eps = 0;
+  {
+    double best = 0;
+    for (int r = 0; r < repeats; ++r) {
+      core::ObjectManager manager(processors,
+                                  model::CostModel::StationaryComputing(
+                                      0.25, 1.0));
+      for (int id = 0; id < objects; ++id) {
+        OBJALLOC_CHECK(manager.AddObject(id, ServiceConfig()).ok());
+      }
+      auto start = std::chrono::steady_clock::now();
+      for (const auto& event : trace.events) {
+        OBJALLOC_CHECK(manager.Serve(event.object, event.request).ok());
+      }
+      auto stop = std::chrono::steady_clock::now();
+      double seconds = std::chrono::duration<double>(stop - start).count();
+      if (r == 0 || seconds < best) best = seconds;
+    }
+    baseline_eps = static_cast<double>(events) / best;
+    std::printf("%-28s %10.0f events/sec\n", "ObjectManager (serial)",
+                baseline_eps);
+  }
+
+  bool have_reference = false;
+  Fingerprint reference;
+  std::vector<Measurement> measurements;
+  for (int shards : shard_counts) {
+    double one_thread_seconds = 0;
+    for (int threads : thread_counts) {
+      util::ScopedThreads scope(threads);
+      double best = 0;
+      Fingerprint fingerprint;
+      for (int r = 0; r < repeats; ++r) {
+        core::ServiceOptions service_options;
+        service_options.num_shards = shards;
+        core::ObjectService service(
+            processors, model::CostModel::StationaryComputing(0.25, 1.0),
+            service_options);
+        service.ReserveObjects(static_cast<size_t>(objects));
+        for (int id = 0; id < objects; ++id) {
+          OBJALLOC_CHECK(service.AddObject(id, ServiceConfig()).ok());
+        }
+        auto start = std::chrono::steady_clock::now();
+        std::span<const workload::MultiObjectEvent> all(trace.events);
+        for (size_t pos = 0; pos < all.size(); pos += batch_size) {
+          auto batch = service.ServeBatch(
+              all.subspan(pos, std::min(batch_size, all.size() - pos)));
+          OBJALLOC_CHECK(batch.ok()) << batch.status().ToString();
+        }
+        auto stop = std::chrono::steady_clock::now();
+        double seconds = std::chrono::duration<double>(stop - start).count();
+        if (r == 0 || seconds < best) best = seconds;
+        fingerprint.breakdown = service.TotalBreakdown();
+        fingerprint.requests = service.TotalRequests();
+        fingerprint.scheme_crc = SchemeCrc(service);
+      }
+      if (!have_reference) {
+        reference = fingerprint;
+        have_reference = true;
+      }
+      OBJALLOC_CHECK(fingerprint == reference)
+          << "shards=" << shards << " threads=" << threads
+          << " diverged from the reference run: results must be "
+             "byte-identical across every configuration";
+      if (threads == thread_counts.front()) one_thread_seconds = best;
+      Measurement m;
+      m.shards = shards;
+      m.threads = threads;
+      m.seconds = best;
+      m.events_per_sec = static_cast<double>(events) / best;
+      m.speedup_vs_1thread = best > 0 ? one_thread_seconds / best : 0;
+      measurements.push_back(m);
+      std::printf("shards=%-4d threads=%-3d %8.3fs %12.0f events/sec  "
+                  "speedup %.2fx\n",
+                  m.shards, m.threads, m.seconds, m.events_per_sec,
+                  m.speedup_vs_1thread);
+    }
+  }
+  std::printf("determinism: all %zu configs byte-identical "
+              "(breakdown %lld/%lld/%lld, scheme crc %08x)\n",
+              measurements.size(),
+              static_cast<long long>(reference.breakdown.control_messages),
+              static_cast<long long>(reference.breakdown.data_messages),
+              static_cast<long long>(reference.breakdown.io_ops),
+              reference.scheme_crc);
+
+  std::ofstream out(out_path);
+  OBJALLOC_CHECK(out.good()) << "cannot write " << out_path;
+  out << "{\n  \"benchmark\": \"service_scaling\",\n";
+  out << "  \"hardware_concurrency\": " << util::GlobalThreads() << ",\n";
+  out << "  \"events\": " << events << ",\n";
+  out << "  \"objects\": " << objects << ",\n";
+  out << "  \"processors\": " << processors << ",\n";
+  out << "  \"batch_size\": " << batch_size << ",\n";
+  out << "  \"repeats\": " << repeats << ",\n";
+  out << "  \"baseline_manager_events_per_sec\": " << baseline_eps << ",\n";
+  out << "  \"fingerprint\": {\"control\": "
+      << reference.breakdown.control_messages
+      << ", \"data\": " << reference.breakdown.data_messages
+      << ", \"io\": " << reference.breakdown.io_ops
+      << ", \"scheme_crc\": " << reference.scheme_crc << "},\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    out << "    {\"shards\": " << m.shards << ", \"threads\": " << m.threads
+        << ", \"seconds\": " << m.seconds << ", \"events_per_sec\": "
+        << m.events_per_sec << ", \"speedup_vs_1thread\": "
+        << m.speedup_vs_1thread << "}"
+        << (i + 1 < measurements.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -138,6 +138,9 @@ std::vector<TransactionId> LockManager::ReleaseAll(TransactionId txn) {
   }
   wait_for_.erase(txn);
   for (auto& [waiter, blockers] : wait_for_) blockers.erase(txn);
+  // `touched` was collected in hash-table order; promote in object-id order
+  // so the grant sequence is independent of the table's bucket layout.
+  std::sort(touched.begin(), touched.end());
   for (ObjectId object : touched) PromoteWaiters(object, &newly_granted);
   return newly_granted;
 }

@@ -6,8 +6,8 @@
 #define OBJALLOC_CC_LOCK_MANAGER_H_
 
 #include <deque>
-#include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "objalloc/cc/transaction.h"
@@ -61,9 +61,13 @@ class LockManager {
   void PromoteWaiters(ObjectId object,
                       std::vector<TransactionId>* newly_granted);
 
-  std::map<ObjectId, LockState> locks_;
+  // Hash tables: lock lookups are the hot path and no caller iterates these
+  // in key order — the one order-sensitive consumer (ReleaseAll's waiter
+  // promotion) sorts the touched objects explicitly before promoting, so
+  // grant order stays deterministic.
+  std::unordered_map<ObjectId, LockState> locks_;
   // wait_for_[t] = transactions t is currently waiting on.
-  std::map<TransactionId, std::set<TransactionId>> wait_for_;
+  std::unordered_map<TransactionId, std::set<TransactionId>> wait_for_;
 };
 
 }  // namespace objalloc::cc

@@ -1,6 +1,7 @@
 #include "objalloc/cc/serializer.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "objalloc/util/logging.h"
 #include "objalloc/util/rng.h"
@@ -49,7 +50,8 @@ SerializerResult Serializer::Run(
   util::Rng rng(seed);
   LockManager locks;
   std::vector<TxnState> states(transactions.size());
-  std::map<TransactionId, size_t> index;
+  std::unordered_map<TransactionId, size_t> index;
+  index.reserve(transactions.size());
   for (size_t k = 0; k < transactions.size(); ++k) {
     states[k].txn = &transactions[k];
     index[transactions[k].id] = k;

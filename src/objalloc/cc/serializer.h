@@ -23,7 +23,11 @@ namespace objalloc::cc {
 
 struct SerializerResult {
   // Committed operations per object, in lock-grant (execution) order; the
-  // input to one DOM algorithm instance per object.
+  // input to one DOM algorithm instance per object. Deliberately an ordered
+  // map: consumers iterate it to produce deterministic reports (and break
+  // max-element ties by object id), so ordered iteration is part of the
+  // contract here — unlike the lock manager's internal tables, which are
+  // hash-based.
   std::map<ObjectId, model::Schedule> schedules;
   size_t committed = 0;
   int64_t deadlock_aborts = 0;

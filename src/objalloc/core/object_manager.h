@@ -1,65 +1,58 @@
-// ObjectManager — the multi-object layer a deployment actually uses. The
-// paper analyzes the allocation of a single object (§3.1); a database holds
-// many, each with its own access pattern, allocation scheme, and (possibly)
-// its own DOM algorithm. The manager routes an interleaved request stream
-// to per-object algorithm instances and aggregates the cost accounting.
+// ObjectManager — the single-threaded multi-object router. The paper
+// analyzes the allocation of a single object (§3.1); a database holds many,
+// each with its own access pattern, allocation scheme, and (possibly) its
+// own DOM algorithm. The manager routes an interleaved request stream to
+// per-object algorithm instances and aggregates the cost accounting.
+//
+// Since the service-layer refactor this is a thin wrapper over one
+// ObjectShard — the same state machine the sharded, batched ObjectService
+// replicates. Use ObjectService for throughput; ObjectManager remains the
+// simple serial reference (and the yardstick the service layer's
+// determinism tests compare against).
 
 #ifndef OBJALLOC_CORE_OBJECT_MANAGER_H_
 #define OBJALLOC_CORE_OBJECT_MANAGER_H_
 
-#include <map>
-#include <memory>
 #include <vector>
 
-#include "objalloc/core/dom_algorithm.h"
-#include "objalloc/model/cost_evaluator.h"
-#include "objalloc/util/status.h"
+#include "objalloc/core/object_shard.h"
 
 namespace objalloc::core {
 
-using ObjectId = int64_t;
-
-struct ObjectConfig {
-  ProcessorSet initial_scheme;               // also fixes t
-  AlgorithmKind algorithm = AlgorithmKind::kDynamic;
-};
-
 class ObjectManager {
  public:
-  ObjectManager(int num_processors, const model::CostModel& cost_model);
+  using ObjectStats = core::ObjectStats;
+
+  ObjectManager(int num_processors, const model::CostModel& cost_model)
+      : shard_(num_processors, cost_model) {}
 
   // Registers an object. Fails on duplicate ids, empty or out-of-range
   // schemes, and algorithm/threshold mismatches (DA needs t >= 2).
-  util::Status AddObject(ObjectId id, const ObjectConfig& config);
+  util::Status AddObject(ObjectId id, const ObjectConfig& config) {
+    return shard_.AddObject(id, config);
+  }
 
-  bool HasObject(ObjectId id) const { return objects_.count(id) > 0; }
-  size_t object_count() const { return objects_.size(); }
+  bool HasObject(ObjectId id) const { return shard_.HasObject(id); }
+  size_t object_count() const { return shard_.object_count(); }
 
   // Serves one request against one object, returning the request's cost.
-  util::StatusOr<double> Serve(ObjectId id, const Request& request);
+  util::StatusOr<double> Serve(ObjectId id, const Request& request) {
+    return shard_.Serve(id, request);
+  }
 
-  // Per-object and aggregate accounting.
-  struct ObjectStats {
-    int64_t requests = 0;
-    model::CostBreakdown breakdown;
-    ProcessorSet scheme;  // current allocation scheme
-  };
-  util::StatusOr<ObjectStats> StatsFor(ObjectId id) const;
-  model::CostBreakdown TotalBreakdown() const;
-  double TotalCost() const { return TotalBreakdown().Cost(cost_model_); }
-  int64_t TotalRequests() const;
+  util::StatusOr<ObjectStats> StatsFor(ObjectId id) const {
+    return shard_.StatsFor(id);
+  }
+
+  // Aggregates are maintained incrementally by the shard; both are O(1).
+  const model::CostBreakdown& TotalBreakdown() const {
+    return shard_.TotalBreakdown();
+  }
+  double TotalCost() const { return shard_.TotalCost(); }
+  int64_t TotalRequests() const { return shard_.TotalRequests(); }
 
  private:
-  struct ObjectState {
-    std::unique_ptr<DomAlgorithm> algorithm;
-    int t = 0;
-    ProcessorSet scheme;
-    ObjectStats stats;
-  };
-
-  int num_processors_;
-  model::CostModel cost_model_;
-  std::map<ObjectId, ObjectState> objects_;
+  ObjectShard shard_;
 };
 
 }  // namespace objalloc::core

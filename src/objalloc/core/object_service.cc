@@ -1,0 +1,165 @@
+#include "objalloc/core/object_service.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "objalloc/util/logging.h"
+#include "objalloc/util/parallel.h"
+
+namespace objalloc::core {
+
+util::Status ServiceOptions::Validate() const {
+  if (num_shards < 1 || num_shards > 65536) {
+    return util::Status::InvalidArgument("num_shards out of range");
+  }
+  return util::Status::Ok();
+}
+
+ObjectService::ObjectService(int num_processors,
+                             const model::CostModel& cost_model,
+                             const ServiceOptions& options)
+    : num_processors_(num_processors), cost_model_(cost_model) {
+  OBJALLOC_CHECK(options.Validate().ok()) << options.Validate().ToString();
+  shards_.reserve(static_cast<size_t>(options.num_shards));
+  for (int s = 0; s < options.num_shards; ++s) {
+    shards_.emplace_back(num_processors, cost_model);
+  }
+  shard_events_.resize(shards_.size());
+}
+
+size_t ObjectService::ShardOf(ObjectId id) const {
+  // splitmix64 finalizer: a fixed, platform-independent mix so the
+  // object -> shard map never depends on std::hash or build flavor.
+  uint64_t x = static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % shards_.size());
+}
+
+util::Status ObjectService::AddObject(ObjectId id,
+                                      const ObjectConfig& config) {
+  return shards_[ShardOf(id)].AddObject(id, config);
+}
+
+void ObjectService::ReserveObjects(size_t expected_total) {
+  // Objects spread uniformly under the hash; a little headroom avoids the
+  // last-rehash cliff without over-reserving small shards.
+  const size_t per_shard = expected_total / shards_.size() + 8;
+  for (ObjectShard& shard : shards_) shard.Reserve(per_shard);
+}
+
+bool ObjectService::HasObject(ObjectId id) const {
+  return shards_[ShardOf(id)].HasObject(id);
+}
+
+size_t ObjectService::object_count() const {
+  size_t total = 0;
+  for (const ObjectShard& shard : shards_) total += shard.object_count();
+  return total;
+}
+
+util::StatusOr<double> ObjectService::Serve(ObjectId id,
+                                            const Request& request) {
+  return shards_[ShardOf(id)].Serve(id, request);
+}
+
+util::StatusOr<BatchResult> ObjectService::ServeBatch(
+    std::span<const workload::MultiObjectEvent> events) {
+  OBJALLOC_CHECK_LE(events.size(),
+                    size_t{std::numeric_limits<uint32_t>::max()});
+  // Admission pass: validate everything (and partition by shard) before any
+  // shard state changes, so a rejected batch leaves the service untouched.
+  for (std::vector<uint32_t>& list : shard_events_) list.clear();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const workload::MultiObjectEvent& event = events[i];
+    const size_t shard = ShardOf(event.object);
+    if (!shards_[shard].HasObject(event.object)) {
+      return util::Status::NotFound(
+          "batch event " + std::to_string(i) + ": unknown object " +
+          std::to_string(event.object));
+    }
+    if (event.request.processor < 0 ||
+        event.request.processor >= num_processors_) {
+      return util::Status::OutOfRange(
+          "batch event " + std::to_string(i) + ": processor " +
+          std::to_string(event.request.processor) + " out of range");
+    }
+    shard_events_[shard].push_back(static_cast<uint32_t>(i));
+  }
+
+  BatchResult result;
+  result.costs.resize(events.size());
+  std::vector<model::CostBreakdown> shard_deltas(shards_.size());
+
+  // Fan shards across the pool. Each chunk owns shards [lo, hi) outright —
+  // their state, their events' cost slots, their delta accumulators — so
+  // bodies write disjoint data (the determinism contract of ParallelFor).
+  util::ParallelFor(0, shards_.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t s = lo; s < hi; ++s) {
+      ObjectShard& shard = shards_[s];
+      model::CostBreakdown& delta = shard_deltas[s];
+      for (uint32_t index : shard_events_[s]) {
+        const workload::MultiObjectEvent& event = events[index];
+        result.costs[index] =
+            shard.ServeAdmitted(event.object, event.request, &delta);
+      }
+    }
+  });
+
+  // Merge in fixed shard order; integer counts make the sum exact.
+  for (const model::CostBreakdown& delta : shard_deltas) {
+    result.breakdown += delta;
+  }
+  result.cost = result.breakdown.Cost(cost_model_);
+  return result;
+}
+
+util::StatusOr<StreamResult> ObjectService::ServeStream(
+    workload::EventSource& source, size_t batch_size) {
+  OBJALLOC_CHECK_GT(batch_size, 0u);
+  std::vector<workload::MultiObjectEvent> buffer(batch_size);
+  StreamResult result;
+  while (true) {
+    auto filled = source.FillBatch(buffer);
+    if (!filled.ok()) return filled.status();
+    if (*filled == 0) break;
+    auto batch = ServeBatch(
+        std::span<const workload::MultiObjectEvent>(buffer.data(), *filled));
+    if (!batch.ok()) return batch.status();
+    result.events += static_cast<int64_t>(*filled);
+    result.batches += 1;
+    result.breakdown += batch->breakdown;
+  }
+  result.cost = result.breakdown.Cost(cost_model_);
+  return result;
+}
+
+util::StatusOr<ObjectStats> ObjectService::StatsFor(ObjectId id) const {
+  return shards_[ShardOf(id)].StatsFor(id);
+}
+
+model::CostBreakdown ObjectService::TotalBreakdown() const {
+  model::CostBreakdown total;
+  for (const ObjectShard& shard : shards_) total += shard.TotalBreakdown();
+  return total;
+}
+
+int64_t ObjectService::TotalRequests() const {
+  int64_t total = 0;
+  for (const ObjectShard& shard : shards_) total += shard.TotalRequests();
+  return total;
+}
+
+std::vector<ObjectId> ObjectService::SortedObjectIds() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(object_count());
+  for (const ObjectShard& shard : shards_) {
+    std::vector<ObjectId> shard_ids = shard.SortedObjectIds();
+    ids.insert(ids.end(), shard_ids.begin(), shard_ids.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace objalloc::core

@@ -1,0 +1,127 @@
+// ObjectService — the sharded, batched multi-object serving layer.
+//
+// Objects are hash-partitioned across N ObjectShards. A batch of events is
+// admitted atomically (every event validated before any is served), split by
+// shard, fanned across the util::ParallelFor pool — one chunk of shards per
+// worker — and the per-event costs and per-shard traffic accounting are
+// merged back in submission order.
+//
+// Determinism contract (same bar as tests/parallel_test.cc): results are
+// bit-identical for every shard count and every thread count, including the
+// serial ObjectManager path. The argument has three legs:
+//   1. Objects never span shards, so each object sees its requests in
+//      submission order no matter how the batch is partitioned; a DOM
+//      algorithm's decisions depend only on its own object's prefix.
+//   2. Workers write disjoint state: a shard (and the per-event cost slots
+//      of its events) is touched by exactly one ParallelFor chunk.
+//   3. Aggregation sums integer message/IO counts (model::CostBreakdown),
+//      associative and commutative exactly — scalar costs are derived from
+//      the summed counts, never from reordered floating-point sums — and
+//      per-object listings iterate ids in explicitly sorted order.
+//
+// The service is not itself thread-safe: one caller drives it (batches are
+// the unit of internal parallelism), matching the paper's assumption of a
+// serializing concurrency-control front end (§3.1).
+
+#ifndef OBJALLOC_CORE_OBJECT_SERVICE_H_
+#define OBJALLOC_CORE_OBJECT_SERVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "objalloc/core/object_shard.h"
+#include "objalloc/workload/event_source.h"
+#include "objalloc/workload/multi_object.h"
+
+namespace objalloc::core {
+
+struct ServiceOptions {
+  // Shard count is a pure partitioning knob: any value yields identical
+  // results; more shards expose more parallelism to ServeBatch. One shard
+  // degenerates to the serial ObjectManager behavior.
+  int num_shards = 16;
+
+  util::Status Validate() const;
+};
+
+// Outcome of one admitted batch.
+struct BatchResult {
+  // Per-event scalar costs, in submission order.
+  std::vector<double> costs;
+  // Traffic of this batch alone (not the service lifetime totals).
+  model::CostBreakdown breakdown;
+  double cost = 0;
+};
+
+// Outcome of draining an EventSource.
+struct StreamResult {
+  int64_t events = 0;
+  size_t batches = 0;
+  model::CostBreakdown breakdown;
+  double cost = 0;
+};
+
+class ObjectService {
+ public:
+  static constexpr size_t kDefaultBatchSize = 4096;
+
+  ObjectService(int num_processors, const model::CostModel& cost_model,
+                const ServiceOptions& options = {});
+
+  // Registers an object with its home shard. Same validation as
+  // ObjectManager::AddObject.
+  util::Status AddObject(ObjectId id, const ObjectConfig& config);
+
+  // Pre-sizes every shard's object table for a bulk registration.
+  void ReserveObjects(size_t expected_total);
+
+  bool HasObject(ObjectId id) const;
+  size_t object_count() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_processors() const { return num_processors_; }
+
+  // Single-request path (routes to the owning shard, full validation).
+  util::StatusOr<double> Serve(ObjectId id, const Request& request);
+
+  // Batched path. Admission is atomic: if any event names an unknown object
+  // or an out-of-range processor, the whole batch is rejected (NotFound /
+  // OutOfRange, message names the offending event index) and no state
+  // changes. On success every event has been served, shards running in
+  // parallel, and the result is merged in submission order.
+  util::StatusOr<BatchResult> ServeBatch(
+      std::span<const workload::MultiObjectEvent> events);
+
+  // Streaming path: drains `source` through ServeBatch in buffers of
+  // `batch_size` events — bounded memory for unbounded traces. Stops and
+  // returns the error on the first failed batch or source error (events of
+  // earlier batches stay served; admission is atomic per batch).
+  util::StatusOr<StreamResult> ServeStream(
+      workload::EventSource& source, size_t batch_size = kDefaultBatchSize);
+
+  util::StatusOr<ObjectStats> StatsFor(ObjectId id) const;
+
+  // Lifetime aggregates, summed over shards in shard order — O(shards),
+  // exact (integer counts).
+  model::CostBreakdown TotalBreakdown() const;
+  double TotalCost() const { return TotalBreakdown().Cost(cost_model_); }
+  int64_t TotalRequests() const;
+
+  // All registered object ids, ascending — the deterministic iteration
+  // order for per-object reports.
+  std::vector<ObjectId> SortedObjectIds() const;
+
+ private:
+  size_t ShardOf(ObjectId id) const;
+
+  int num_processors_;
+  model::CostModel cost_model_;
+  std::vector<ObjectShard> shards_;
+  // Per-shard event-index lists, reused across batches to keep the
+  // admission pass allocation-free in steady state.
+  std::vector<std::vector<uint32_t>> shard_events_;
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_OBJECT_SERVICE_H_

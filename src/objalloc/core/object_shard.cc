@@ -1,19 +1,20 @@
-#include "objalloc/core/object_manager.h"
+#include "objalloc/core/object_shard.h"
+
+#include <algorithm>
 
 #include "objalloc/util/logging.h"
 
 namespace objalloc::core {
 
-ObjectManager::ObjectManager(int num_processors,
-                             const model::CostModel& cost_model)
+ObjectShard::ObjectShard(int num_processors,
+                         const model::CostModel& cost_model)
     : num_processors_(num_processors), cost_model_(cost_model) {
   OBJALLOC_CHECK_GT(num_processors, 0);
   OBJALLOC_CHECK_LE(num_processors, util::kMaxProcessors);
   OBJALLOC_CHECK(cost_model.Validate().ok()) << cost_model.ToString();
 }
 
-util::Status ObjectManager::AddObject(ObjectId id,
-                                      const ObjectConfig& config) {
+util::Status ObjectShard::AddObject(ObjectId id, const ObjectConfig& config) {
   if (objects_.count(id) > 0) {
     return util::Status::InvalidArgument("duplicate object id " +
                                          std::to_string(id));
@@ -39,16 +40,9 @@ util::Status ObjectManager::AddObject(ObjectId id,
   return util::Status::Ok();
 }
 
-util::StatusOr<double> ObjectManager::Serve(ObjectId id,
-                                            const Request& request) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
-    return util::Status::NotFound("unknown object " + std::to_string(id));
-  }
-  if (request.processor < 0 || request.processor >= num_processors_) {
-    return util::Status::OutOfRange("processor out of range");
-  }
-  ObjectState& state = it->second;
+double ObjectShard::ServeState(ObjectId id, ObjectState& state,
+                               const Request& request,
+                               model::CostBreakdown* delta) {
   Decision decision = state.algorithm->Step(request);
   model::AllocatedRequest entry{request, decision.execution_set,
                                 request.is_read() && decision.saving};
@@ -60,11 +54,32 @@ util::StatusOr<double> ObjectManager::Serve(ObjectId id,
   state.stats.requests += 1;
   state.stats.breakdown += breakdown;
   state.stats.scheme = state.scheme;
+  total_requests_ += 1;
+  total_breakdown_ += breakdown;
+  if (delta != nullptr) *delta += breakdown;
   return breakdown.Cost(cost_model_);
 }
 
-util::StatusOr<ObjectManager::ObjectStats> ObjectManager::StatsFor(
-    ObjectId id) const {
+util::StatusOr<double> ObjectShard::Serve(ObjectId id,
+                                          const Request& request) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return util::Status::NotFound("unknown object " + std::to_string(id));
+  }
+  if (request.processor < 0 || request.processor >= num_processors_) {
+    return util::Status::OutOfRange("processor out of range");
+  }
+  return ServeState(id, it->second, request, nullptr);
+}
+
+double ObjectShard::ServeAdmitted(ObjectId id, const Request& request,
+                                  model::CostBreakdown* delta) {
+  auto it = objects_.find(id);
+  OBJALLOC_CHECK(it != objects_.end()) << "unadmitted object " << id;
+  return ServeState(id, it->second, request, delta);
+}
+
+util::StatusOr<ObjectStats> ObjectShard::StatsFor(ObjectId id) const {
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return util::Status::NotFound("unknown object " + std::to_string(id));
@@ -72,16 +87,12 @@ util::StatusOr<ObjectManager::ObjectStats> ObjectManager::StatsFor(
   return it->second.stats;
 }
 
-model::CostBreakdown ObjectManager::TotalBreakdown() const {
-  model::CostBreakdown total;
-  for (const auto& [id, state] : objects_) total += state.stats.breakdown;
-  return total;
-}
-
-int64_t ObjectManager::TotalRequests() const {
-  int64_t total = 0;
-  for (const auto& [id, state] : objects_) total += state.stats.requests;
-  return total;
+std::vector<ObjectId> ObjectShard::SortedObjectIds() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, state] : objects_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 }  // namespace objalloc::core

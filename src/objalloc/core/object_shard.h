@@ -1,0 +1,104 @@
+// ObjectShard — the per-object state machine of the multi-object serving
+// path, extracted so it can be replicated: a shard owns a disjoint subset of
+// the objects (hash-partitioned by the ObjectService) and executes the
+// requests routed to it strictly in stream order. Because objects never span
+// shards, per-object request order — the only order the DOM algorithms are
+// sensitive to — is preserved no matter how many shards exist, which is the
+// heart of the service layer's determinism argument (DESIGN.md §7).
+//
+// Aggregate accounting (TotalBreakdown / TotalRequests) is maintained
+// incrementally on every served request, so the totals are O(1) reads
+// rather than an O(objects) re-summation per call.
+
+#ifndef OBJALLOC_CORE_OBJECT_SHARD_H_
+#define OBJALLOC_CORE_OBJECT_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "objalloc/core/dom_algorithm.h"
+#include "objalloc/model/cost_evaluator.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::core {
+
+using ObjectId = int64_t;
+
+struct ObjectConfig {
+  ProcessorSet initial_scheme;               // also fixes t
+  AlgorithmKind algorithm = AlgorithmKind::kDynamic;
+};
+
+// Per-object and aggregate accounting.
+struct ObjectStats {
+  int64_t requests = 0;
+  model::CostBreakdown breakdown;
+  ProcessorSet scheme;  // current allocation scheme
+};
+
+class ObjectShard {
+ public:
+  ObjectShard(int num_processors, const model::CostModel& cost_model);
+
+  // Movable so ObjectService can hold shards by value.
+  ObjectShard(ObjectShard&&) = default;
+  ObjectShard& operator=(ObjectShard&&) = default;
+
+  // Registers an object. Fails on duplicate ids, empty or out-of-range
+  // schemes, and algorithm/threshold mismatches (DA needs t >= 2).
+  util::Status AddObject(ObjectId id, const ObjectConfig& config);
+
+  // Sizes the object table ahead of a bulk registration.
+  void Reserve(size_t expected_objects) { objects_.reserve(expected_objects); }
+
+  bool HasObject(ObjectId id) const { return objects_.count(id) > 0; }
+  size_t object_count() const { return objects_.size(); }
+  int num_processors() const { return num_processors_; }
+
+  // Serves one request against one object, returning the request's cost.
+  // Requests against the same object must arrive in stream order.
+  util::StatusOr<double> Serve(ObjectId id, const Request& request);
+
+  // Validation-free hot path for the batched service layer: the caller has
+  // already admitted the batch (object exists, processor in range). The
+  // request's breakdown is additionally accumulated into `*delta` so the
+  // batch can account its own traffic without re-walking the shard.
+  double ServeAdmitted(ObjectId id, const Request& request,
+                       model::CostBreakdown* delta);
+
+  util::StatusOr<ObjectStats> StatsFor(ObjectId id) const;
+
+  // Incrementally maintained aggregates; O(1).
+  const model::CostBreakdown& TotalBreakdown() const {
+    return total_breakdown_;
+  }
+  double TotalCost() const { return total_breakdown_.Cost(cost_model_); }
+  int64_t TotalRequests() const { return total_requests_; }
+
+  // Object ids in ascending order — the explicit sort that aggregation
+  // points use to iterate deterministically over the unordered table.
+  std::vector<ObjectId> SortedObjectIds() const;
+
+ private:
+  struct ObjectState {
+    std::unique_ptr<DomAlgorithm> algorithm;
+    int t = 0;
+    ProcessorSet scheme;
+    ObjectStats stats;
+  };
+
+  double ServeState(ObjectId id, ObjectState& state, const Request& request,
+                    model::CostBreakdown* delta);
+
+  int num_processors_;
+  model::CostModel cost_model_;
+  std::unordered_map<ObjectId, ObjectState> objects_;
+  model::CostBreakdown total_breakdown_;
+  int64_t total_requests_ = 0;
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_OBJECT_SHARD_H_

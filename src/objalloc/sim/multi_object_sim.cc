@@ -1,0 +1,156 @@
+#include "objalloc/sim/multi_object_sim.h"
+
+#include <array>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::sim {
+
+util::Status MultiObjectSimOptions::Validate() const {
+  OBJALLOC_RETURN_IF_ERROR(base.Validate());
+  if (num_objects < 1) {
+    return util::Status::InvalidArgument("need at least one object");
+  }
+  if (!base.durable_dir.empty()) {
+    return util::Status::InvalidArgument(
+        "multi-object mode does not support durable stores (per-object "
+        "record files would collide)");
+  }
+  return util::Status::Ok();
+}
+
+MultiObjectSimulator::MultiObjectSimulator(
+    const MultiObjectSimOptions& options)
+    : options_(options) {
+  util::Status status = options.Validate();
+  OBJALLOC_CHECK(status.ok()) << status.ToString();
+  sims_.reserve(static_cast<size_t>(options.num_objects));
+  for (int k = 0; k < options.num_objects; ++k) {
+    sims_.push_back(std::make_unique<Simulator>(options.base));
+  }
+}
+
+void MultiObjectSimulator::Crash(util::ProcessorId p) {
+  for (auto& sim : sims_) sim->Crash(p);
+}
+
+void MultiObjectSimulator::Recover(util::ProcessorId p) {
+  for (auto& sim : sims_) sim->Recover(p);
+}
+
+bool MultiObjectSimulator::IsCrashed(util::ProcessorId p) const {
+  return sims_.front()->IsCrashed(p);
+}
+
+RequestOutcome MultiObjectSimulator::Submit(int64_t object,
+                                            const model::Request& request) {
+  OBJALLOC_CHECK_GE(object, 0);
+  OBJALLOC_CHECK_LT(object, static_cast<int64_t>(sims_.size()));
+  Simulator& sim = *sims_[static_cast<size_t>(object)];
+  ++submissions_;
+  return request.is_read()
+             ? sim.SubmitRead(request.processor)
+             : sim.SubmitWrite(request.processor,
+                               static_cast<uint64_t>(submissions_));
+}
+
+void MultiObjectSimulator::Inject(const FailureEvent& event) {
+  if (event.crash) {
+    Crash(event.processor);
+  } else {
+    Recover(event.processor);
+  }
+}
+
+util::Status MultiObjectSimulator::Step(int64_t object,
+                                        const model::Request& request,
+                                        Report* report) {
+  if (object < 0 || object >= static_cast<int64_t>(sims_.size())) {
+    return util::Status::OutOfRange("object id out of range: " +
+                                    std::to_string(object));
+  }
+  if (request.processor < 0 ||
+      request.processor >= options_.base.num_processors) {
+    return util::Status::OutOfRange("processor out of range");
+  }
+  RequestOutcome outcome = Submit(object, request);
+  if (outcome.ok) {
+    ++report->served;
+    if (outcome.stale) ++report->stale_reads;
+    (request.is_read() ? report->read_latency : report->write_latency)
+        .Add(outcome.latency);
+  } else {
+    ++report->unavailable;
+  }
+  return util::Status::Ok();
+}
+
+void MultiObjectSimulator::FinishReport(Report* report) const {
+  for (const auto& sim : sims_) {
+    const SimMetrics& m = sim->metrics();
+    report->metrics.control_messages += m.control_messages;
+    report->metrics.data_messages += m.data_messages;
+    report->metrics.io_ops += m.io_ops;
+    report->metrics.dropped_messages += m.dropped_messages;
+    report->metrics.failovers += m.failovers;
+    report->metrics.unavailable_requests += m.unavailable_requests;
+    report->metrics.stale_reads += m.stale_reads;
+  }
+}
+
+util::StatusOr<MultiObjectSimulator::Report> MultiObjectSimulator::RunTrace(
+    const workload::MultiObjectTrace& trace, const FailurePlan& plan) {
+  if (trace.num_processors != options_.base.num_processors ||
+      trace.num_objects > num_objects()) {
+    return util::Status::InvalidArgument(
+        "trace shape does not match simulator options");
+  }
+  if (!plan.IsValid(options_.base.num_processors)) {
+    return util::Status::InvalidArgument("invalid failure plan");
+  }
+  Report report;
+  size_t next_event = 0;
+  for (size_t index = 0; index <= trace.events.size(); ++index) {
+    while (next_event < plan.events.size() &&
+           plan.events[next_event].before_request == index) {
+      Inject(plan.events[next_event++]);
+    }
+    if (index == trace.events.size()) break;
+    const workload::MultiObjectEvent& event = trace.events[index];
+    OBJALLOC_RETURN_IF_ERROR(Step(event.object, event.request, &report));
+  }
+  FinishReport(&report);
+  return report;
+}
+
+util::StatusOr<MultiObjectSimulator::Report> MultiObjectSimulator::RunSource(
+    workload::EventSource& source, const FailurePlan& plan) {
+  if (!plan.IsValid(options_.base.num_processors)) {
+    return util::Status::InvalidArgument("invalid failure plan");
+  }
+  Report report;
+  size_t next_event = 0;
+  size_t index = 0;
+  std::array<workload::MultiObjectEvent, 256> buffer;
+  while (true) {
+    auto filled = source.FillBatch(buffer);
+    if (!filled.ok()) return filled.status();
+    if (*filled == 0) break;
+    for (size_t k = 0; k < *filled; ++k, ++index) {
+      while (next_event < plan.events.size() &&
+             plan.events[next_event].before_request == index) {
+        Inject(plan.events[next_event++]);
+      }
+      OBJALLOC_RETURN_IF_ERROR(
+          Step(buffer[k].object, buffer[k].request, &report));
+    }
+  }
+  // Tail events scheduled at or past the end of the stream.
+  while (next_event < plan.events.size()) {
+    Inject(plan.events[next_event++]);
+  }
+  FinishReport(&report);
+  return report;
+}
+
+}  // namespace objalloc::sim

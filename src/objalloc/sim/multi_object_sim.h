@@ -1,0 +1,89 @@
+// MultiObjectSimulator — the message-passing simulator's multi-object mode,
+// wiring failure injection and latency modeling into the multi-object
+// serving path. Each object runs its own protocol instance (its own
+// replicas, joins and invalidations are per object, exactly as in the
+// analytic service layer); processor crashes and recoveries are global
+// events applied to every object's instance, since a crashed site hosts
+// replicas of many objects at once.
+//
+// The simulator stays deliberately single-threaded (DESIGN.md §6): its
+// point is the exact message interleaving. It is the cross-check for the
+// sharded ObjectService, not its competitor — failure-free, its per-object
+// traffic must equal the analytic accounting count for count.
+
+#ifndef OBJALLOC_SIM_MULTI_OBJECT_SIM_H_
+#define OBJALLOC_SIM_MULTI_OBJECT_SIM_H_
+
+#include <memory>
+#include <vector>
+
+#include "objalloc/sim/simulator.h"
+#include "objalloc/workload/event_source.h"
+#include "objalloc/workload/multi_object.h"
+
+namespace objalloc::sim {
+
+struct MultiObjectSimOptions {
+  // Per-object protocol configuration (every object starts from the same
+  // scheme; durable_dir must stay empty — per-object stores would collide).
+  SimulatorOptions base;
+  int num_objects = 16;
+
+  util::Status Validate() const;
+};
+
+class MultiObjectSimulator {
+ public:
+  explicit MultiObjectSimulator(const MultiObjectSimOptions& options);
+
+  // Global failure injection: affects every object hosted at `p`.
+  void Crash(util::ProcessorId p);
+  void Recover(util::ProcessorId p);
+  bool IsCrashed(util::ProcessorId p) const;
+
+  // Serves one event against its object's protocol instance. Write values
+  // are derived from a global submission counter, so every committed write
+  // is distinguishable when validating freshness.
+  RequestOutcome Submit(int64_t object, const model::Request& request);
+
+  struct Report {
+    int64_t served = 0;
+    int64_t unavailable = 0;
+    int64_t stale_reads = 0;
+    SimMetrics metrics;  // summed over objects
+    util::PercentileTracker read_latency;
+    util::PercentileTracker write_latency;
+  };
+
+  // Replays a trace, firing `plan` events at their global event positions
+  // (FailureEvent::before_request indexes the interleaved stream). Events
+  // must be in range; the trace shape is validated against the options.
+  util::StatusOr<Report> RunTrace(const workload::MultiObjectTrace& trace,
+                                  const FailurePlan& plan = FailurePlan{});
+
+  // Streaming variant: drains `source` in bounded memory. The failure plan
+  // again indexes the global event stream.
+  util::StatusOr<Report> RunSource(workload::EventSource& source,
+                                   const FailurePlan& plan = FailurePlan{});
+
+  int num_objects() const { return static_cast<int>(sims_.size()); }
+  const Simulator& object_sim(int64_t object) const {
+    return *sims_[static_cast<size_t>(object)];
+  }
+
+ private:
+  void Inject(const FailureEvent& event);
+  // Serves one event and folds the outcome into `*report`.
+  util::Status Step(int64_t object, const model::Request& request,
+                    Report* report);
+  // Sums per-object simulator metrics into `*report`.
+  void FinishReport(Report* report) const;
+
+  MultiObjectSimOptions options_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  int64_t submissions_ = 0;
+};
+
+}  // namespace objalloc::sim
+
+#endif  // OBJALLOC_SIM_MULTI_OBJECT_SIM_H_

@@ -1,0 +1,114 @@
+#include "objalloc/workload/event_source.h"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+
+#include "objalloc/model/schedule.h"
+
+namespace objalloc::workload {
+
+util::StatusOr<size_t> TraceEventSource::FillBatch(
+    std::span<MultiObjectEvent> out) {
+  const size_t n =
+      std::min(out.size(), trace_->events.size() - position_);
+  std::copy_n(trace_->events.begin() + static_cast<ptrdiff_t>(position_), n,
+              out.begin());
+  position_ += n;
+  return n;
+}
+
+util::StatusOr<size_t> GeneratorEventSource::FillBatch(
+    std::span<MultiObjectEvent> out) {
+  const size_t n = std::min(out.size(), remaining_);
+  for (size_t i = 0; i < n; ++i) out[i] = generator_.Next();
+  remaining_ -= n;
+  return n;
+}
+
+util::Status TraceStreamEventSource::ReadHeader() {
+  if (have_header_) return util::Status::Ok();
+  if (failed_) {
+    return util::Status::FailedPrecondition("trace source already failed");
+  }
+  std::string line;
+  while (std::getline(*is_, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string keyword, processors_kw, objects_kw;
+    tokens >> keyword >> processors_kw >> num_processors_ >> objects_kw >>
+        num_objects_;
+    if (keyword != "multiobject" || processors_kw != "processors" ||
+        objects_kw != "objects" || num_processors_ <= 0 ||
+        num_objects_ <= 0) {
+      failed_ = true;
+      return util::Status::InvalidArgument("bad trace header: " + line);
+    }
+    have_header_ = true;
+    return util::Status::Ok();
+  }
+  failed_ = true;
+  return util::Status::InvalidArgument(
+      "trace missing 'multiobject' header");
+}
+
+util::StatusOr<bool> TraceStreamEventSource::NextEvent(
+    MultiObjectEvent* event) {
+  std::string line;
+  while (std::getline(*is_, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    int64_t object = -1;
+    std::string request_token;
+    tokens >> object >> request_token;
+    if (object < 0 || object >= num_objects_) {
+      failed_ = true;
+      return util::Status::OutOfRange("object id out of range: " + line);
+    }
+    auto request = model::Schedule::Parse(num_processors_, request_token);
+    if (!request.ok()) {
+      failed_ = true;
+      return request.status();
+    }
+    if (request->size() != 1) {
+      failed_ = true;
+      return util::Status::InvalidArgument("expected one request: " + line);
+    }
+    *event = MultiObjectEvent{object, (*request)[0]};
+    return true;
+  }
+  return false;
+}
+
+util::StatusOr<size_t> TraceStreamEventSource::FillBatch(
+    std::span<MultiObjectEvent> out) {
+  if (failed_) {
+    return util::Status::FailedPrecondition("trace source already failed");
+  }
+  OBJALLOC_RETURN_IF_ERROR(ReadHeader());
+  size_t filled = 0;
+  while (filled < out.size()) {
+    auto more = NextEvent(&out[filled]);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    ++filled;
+  }
+  return filled;
+}
+
+util::Status TraceFileEventSource::ReadHeader() {
+  if (!file_.is_open()) {
+    return util::Status::NotFound("cannot open: " + path_);
+  }
+  return stream_.ReadHeader();
+}
+
+util::StatusOr<size_t> TraceFileEventSource::FillBatch(
+    std::span<MultiObjectEvent> out) {
+  if (!file_.is_open()) {
+    return util::Status::NotFound("cannot open: " + path_);
+  }
+  return stream_.FillBatch(out);
+}
+
+}  // namespace objalloc::workload

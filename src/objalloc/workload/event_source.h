@@ -1,0 +1,123 @@
+// EventSource — the pull-based streaming interface the service layer serves
+// from. A source yields multi-object events in stream order, a batch at a
+// time, so an unbounded trace (a live feed, a huge on-disk capture, a
+// synthetic generator) can be served in bounded memory: the consumer owns
+// one fixed-size buffer and refills it until the source is exhausted.
+//
+// Adapters cover the three producers the repo already has:
+//   * TraceEventSource      — a materialized MultiObjectTrace (borrowed),
+//   * GeneratorEventSource  — MultiObjectGenerator, no materialization,
+//   * TraceStreamEventSource / TraceFileEventSource — the trace_io text
+//     format, parsed line by line (trace_io's ReadMultiObjectTrace is
+//     itself implemented on top of the stream source).
+
+#ifndef OBJALLOC_WORKLOAD_EVENT_SOURCE_H_
+#define OBJALLOC_WORKLOAD_EVENT_SOURCE_H_
+
+#include <fstream>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "objalloc/util/status.h"
+#include "objalloc/workload/multi_object.h"
+
+namespace objalloc::workload {
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  // The processor universe the events are drawn from.
+  virtual int num_processors() const = 0;
+
+  // Fills `out` with up to out.size() events in stream order; returns how
+  // many were produced. 0 means the source is exhausted (and every later
+  // call also returns 0). Errors — e.g. a malformed trace line — surface as
+  // a non-OK status; a failed source stays failed.
+  virtual util::StatusOr<size_t> FillBatch(std::span<MultiObjectEvent> out)
+      = 0;
+};
+
+// Streams a materialized trace. Borrows `trace`; the trace must outlive the
+// source and stay unmodified while streaming.
+class TraceEventSource : public EventSource {
+ public:
+  explicit TraceEventSource(const MultiObjectTrace& trace) : trace_(&trace) {}
+
+  int num_processors() const override { return trace_->num_processors; }
+  util::StatusOr<size_t> FillBatch(std::span<MultiObjectEvent> out) override;
+
+  // Rewinds to the first event (for repeated benchmark passes).
+  void Reset() { position_ = 0; }
+
+ private:
+  const MultiObjectTrace* trace_;
+  size_t position_ = 0;
+};
+
+// Streams `options.length` freshly generated events without materializing
+// them; for a given (options, seed) the stream equals the corresponding
+// GenerateMultiObjectTrace output event for event.
+class GeneratorEventSource : public EventSource {
+ public:
+  GeneratorEventSource(const MultiObjectOptions& options, uint64_t seed)
+      : generator_(options, seed), remaining_(options.length) {}
+
+  int num_processors() const override {
+    return generator_.options().num_processors;
+  }
+  util::StatusOr<size_t> FillBatch(std::span<MultiObjectEvent> out) override;
+
+ private:
+  MultiObjectGenerator generator_;
+  size_t remaining_;
+};
+
+// Streams a multi-object trace in the trace_io text format from an open
+// input stream (borrowed, not owned), one parsed line per event. The header
+// is parsed on the first FillBatch (or an explicit ReadHeader, after which
+// num_processors()/num_objects() are valid).
+class TraceStreamEventSource : public EventSource {
+ public:
+  explicit TraceStreamEventSource(std::istream& is) : is_(&is) {}
+
+  // Idempotent; parses the `multiobject processors <n> objects <m>` header.
+  util::Status ReadHeader();
+
+  int num_processors() const override { return num_processors_; }
+  int num_objects() const { return num_objects_; }
+  util::StatusOr<size_t> FillBatch(std::span<MultiObjectEvent> out) override;
+
+ private:
+  // Parses one event line into `*event`; false with OK status on EOF.
+  util::StatusOr<bool> NextEvent(MultiObjectEvent* event);
+
+  std::istream* is_;
+  bool have_header_ = false;
+  bool failed_ = false;
+  int num_processors_ = 0;
+  int num_objects_ = 0;
+};
+
+// Owning file variant of TraceStreamEventSource.
+class TraceFileEventSource : public EventSource {
+ public:
+  explicit TraceFileEventSource(const std::string& path)
+      : path_(path), file_(path), stream_(file_) {}
+
+  util::Status ReadHeader();
+
+  int num_processors() const override { return stream_.num_processors(); }
+  int num_objects() const { return stream_.num_objects(); }
+  util::StatusOr<size_t> FillBatch(std::span<MultiObjectEvent> out) override;
+
+ private:
+  std::string path_;
+  std::ifstream file_;
+  TraceStreamEventSource stream_;
+};
+
+}  // namespace objalloc::workload
+
+#endif  // OBJALLOC_WORKLOAD_EVENT_SOURCE_H_

@@ -22,52 +22,57 @@ util::Status MultiObjectOptions::Validate() const {
   return util::Status::Ok();
 }
 
-MultiObjectTrace GenerateMultiObjectTrace(const MultiObjectOptions& options,
-                                          uint64_t seed) {
+MultiObjectGenerator::MultiObjectGenerator(const MultiObjectOptions& options,
+                                           uint64_t seed)
+    : options_(options),
+      rng_(seed),
+      popularity_(static_cast<size_t>(options.num_objects),
+                  options.popularity_skew),
+      read_fraction_(static_cast<size_t>(options.num_objects)),
+      home_(static_cast<size_t>(options.num_objects)) {
   OBJALLOC_CHECK(options.Validate().ok()) << options.Validate().ToString();
-  util::Rng rng(seed);
-  util::ZipfSampler popularity(static_cast<size_t>(options.num_objects),
-                               options.popularity_skew);
-
-  // Per-object personalities.
-  std::vector<double> read_fraction(
-      static_cast<size_t>(options.num_objects));
-  std::vector<std::vector<util::ProcessorId>> home(
-      static_cast<size_t>(options.num_objects));
-  for (int object = 0; object < options.num_objects; ++object) {
-    read_fraction[static_cast<size_t>(object)] =
-        options.min_read_fraction +
-        rng.NextDouble() *
-            (options.max_read_fraction - options.min_read_fraction);
+  for (int object = 0; object < options_.num_objects; ++object) {
+    read_fraction_[static_cast<size_t>(object)] =
+        options_.min_read_fraction +
+        rng_.NextDouble() *
+            (options_.max_read_fraction - options_.min_read_fraction);
     std::vector<util::ProcessorId> pool;
-    for (int p = 0; p < options.num_processors; ++p) pool.push_back(p);
-    auto& hot = home[static_cast<size_t>(object)];
-    for (int k = 0; k < options.locality_set; ++k) {
-      size_t pick = rng.NextBounded(pool.size());
+    for (int p = 0; p < options_.num_processors; ++p) pool.push_back(p);
+    auto& hot = home_[static_cast<size_t>(object)];
+    for (int k = 0; k < options_.locality_set; ++k) {
+      size_t pick = rng_.NextBounded(pool.size());
       hot.push_back(pool[pick]);
       pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
     }
   }
+}
 
+MultiObjectEvent MultiObjectGenerator::Next() {
+  auto object = static_cast<int64_t>(popularity_.Sample(rng_));
+  util::ProcessorId issuer;
+  const auto& hot = home_[static_cast<size_t>(object)];
+  if (rng_.NextBernoulli(0.8)) {
+    issuer = hot[rng_.NextBounded(hot.size())];
+  } else {
+    issuer = static_cast<util::ProcessorId>(
+        rng_.NextBounded(static_cast<uint64_t>(options_.num_processors)));
+  }
+  model::Request request =
+      rng_.NextBernoulli(read_fraction_[static_cast<size_t>(object)])
+          ? model::Request::Read(issuer)
+          : model::Request::Write(issuer);
+  return MultiObjectEvent{object, request};
+}
+
+MultiObjectTrace GenerateMultiObjectTrace(const MultiObjectOptions& options,
+                                          uint64_t seed) {
+  MultiObjectGenerator generator(options, seed);
   MultiObjectTrace trace;
   trace.num_processors = options.num_processors;
   trace.num_objects = options.num_objects;
   trace.events.reserve(options.length);
   for (size_t k = 0; k < options.length; ++k) {
-    auto object = static_cast<int64_t>(popularity.Sample(rng));
-    util::ProcessorId issuer;
-    const auto& hot = home[static_cast<size_t>(object)];
-    if (rng.NextBernoulli(0.8)) {
-      issuer = hot[rng.NextBounded(hot.size())];
-    } else {
-      issuer = static_cast<util::ProcessorId>(
-          rng.NextBounded(static_cast<uint64_t>(options.num_processors)));
-    }
-    model::Request request =
-        rng.NextBernoulli(read_fraction[static_cast<size_t>(object)])
-            ? model::Request::Read(issuer)
-            : model::Request::Write(issuer);
-    trace.events.push_back(MultiObjectEvent{object, request});
+    trace.events.push_back(generator.Next());
   }
   return trace;
 }

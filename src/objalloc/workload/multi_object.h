@@ -2,6 +2,11 @@
 // Zipf-distributed object popularity and per-object read/write mixes —
 // the workload shape of a directory service (many user-location records) or
 // a document store.
+//
+// Two forms: GenerateMultiObjectTrace materializes a fixed-length vector;
+// MultiObjectGenerator produces the same event stream one event at a time,
+// so unbounded traces can be served in bounded memory (see event_source.h
+// for the pull-based adapter the service layer consumes).
 
 #ifndef OBJALLOC_WORKLOAD_MULTI_OBJECT_H_
 #define OBJALLOC_WORKLOAD_MULTI_OBJECT_H_
@@ -39,6 +44,29 @@ struct MultiObjectOptions {
   int locality_set = 3;
 
   util::Status Validate() const;
+};
+
+// Streams the multi-object workload event by event. For a given (options,
+// seed) the stream is identical to the events GenerateMultiObjectTrace
+// materializes; the generator itself is unbounded (`options.length` only
+// caps the materialized form).
+class MultiObjectGenerator {
+ public:
+  // Options must validate; checked fatally (generation is internal code,
+  // configs are validated at the API boundary).
+  MultiObjectGenerator(const MultiObjectOptions& options, uint64_t seed);
+
+  MultiObjectEvent Next();
+
+  const MultiObjectOptions& options() const { return options_; }
+
+ private:
+  MultiObjectOptions options_;
+  util::Rng rng_;
+  util::ZipfSampler popularity_;
+  // Per-object personalities, fixed at construction.
+  std::vector<double> read_fraction_;
+  std::vector<std::vector<util::ProcessorId>> home_;
 };
 
 MultiObjectTrace GenerateMultiObjectTrace(const MultiObjectOptions& options,

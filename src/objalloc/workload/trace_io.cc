@@ -1,7 +1,10 @@
 #include "objalloc/workload/trace_io.h"
 
+#include <array>
 #include <fstream>
 #include <sstream>
+
+#include "objalloc/workload/event_source.h"
 
 namespace objalloc::workload {
 
@@ -83,41 +86,20 @@ util::Status WriteMultiObjectTraceFile(const MultiObjectTrace& trace,
 }
 
 util::StatusOr<MultiObjectTrace> ReadMultiObjectTrace(std::istream& is) {
+  // Materialization is just the streaming reader drained into a vector, so
+  // the two paths cannot diverge on parsing or validation.
+  TraceStreamEventSource source(is);
+  OBJALLOC_RETURN_IF_ERROR(source.ReadHeader());
   MultiObjectTrace trace;
-  bool have_header = false;
-  std::string line;
-  while (std::getline(is, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream tokens(line);
-    if (!have_header) {
-      std::string keyword, processors_kw, objects_kw;
-      tokens >> keyword >> processors_kw >> trace.num_processors >>
-          objects_kw >> trace.num_objects;
-      if (keyword != "multiobject" || processors_kw != "processors" ||
-          objects_kw != "objects" || trace.num_processors <= 0 ||
-          trace.num_objects <= 0) {
-        return util::Status::InvalidArgument("bad trace header: " + line);
-      }
-      have_header = true;
-      continue;
-    }
-    int64_t object = -1;
-    std::string request_token;
-    tokens >> object >> request_token;
-    if (object < 0 || object >= trace.num_objects) {
-      return util::Status::OutOfRange("object id out of range: " + line);
-    }
-    auto request =
-        model::Schedule::Parse(trace.num_processors, request_token);
-    if (!request.ok()) return request.status();
-    if (request->size() != 1) {
-      return util::Status::InvalidArgument("expected one request: " + line);
-    }
-    trace.events.push_back(MultiObjectEvent{object, (*request)[0]});
-  }
-  if (!have_header) {
-    return util::Status::InvalidArgument(
-        "trace missing 'multiobject' header");
+  trace.num_processors = source.num_processors();
+  trace.num_objects = source.num_objects();
+  std::array<MultiObjectEvent, 256> buffer;
+  while (true) {
+    auto filled = source.FillBatch(buffer);
+    if (!filled.ok()) return filled.status();
+    if (*filled == 0) break;
+    trace.events.insert(trace.events.end(), buffer.begin(),
+                        buffer.begin() + static_cast<ptrdiff_t>(*filled));
   }
   return trace;
 }

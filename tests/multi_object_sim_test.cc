@@ -1,0 +1,140 @@
+// The simulator's multi-object mode: per-object protocol isolation, global
+// crash/recovery, the failure-free count-for-count cross-check against the
+// analytic service layer, and the streaming entry point.
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "objalloc/core/object_service.h"
+#include "objalloc/sim/multi_object_sim.h"
+#include "objalloc/workload/multi_object.h"
+
+namespace objalloc::sim {
+namespace {
+
+workload::MultiObjectTrace SmallTrace(size_t length = 400,
+                                      uint64_t seed = 31) {
+  workload::MultiObjectOptions options;
+  options.num_processors = 6;
+  options.num_objects = 8;
+  options.length = length;
+  return workload::GenerateMultiObjectTrace(options, seed);
+}
+
+MultiObjectSimOptions SimOptions(int num_objects = 8) {
+  MultiObjectSimOptions options;
+  options.base.protocol = ProtocolKind::kDynamic;
+  options.base.num_processors = 6;
+  options.base.initial_scheme = util::ProcessorSet({0, 1});
+  options.num_objects = num_objects;
+  return options;
+}
+
+TEST(MultiObjectSimTest, OptionsValidation) {
+  MultiObjectSimOptions options = SimOptions();
+  EXPECT_TRUE(options.Validate().ok());
+  options.num_objects = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = SimOptions();
+  options.base.durable_dir = "/tmp/somewhere";
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(MultiObjectSimTest, FailureFreeTrafficMatchesAnalyticServiceLayer) {
+  const workload::MultiObjectTrace trace = SmallTrace();
+  MultiObjectSimulator sim(SimOptions());
+  auto report = sim.RunTrace(trace);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->served, static_cast<int64_t>(trace.events.size()));
+  EXPECT_EQ(report->unavailable, 0);
+  EXPECT_EQ(report->stale_reads, 0);
+
+  // The analytic sharded service must account the same traffic, message for
+  // message and I/O for I/O (the multi-object extension of sim_crosscheck).
+  const model::CostModel sc = model::CostModel::StationaryComputing(0.5, 1.0);
+  core::ObjectService service(trace.num_processors, sc);
+  core::ObjectConfig config;
+  config.initial_scheme = model::ProcessorSet{0, 1};
+  for (int id = 0; id < trace.num_objects; ++id) {
+    ASSERT_TRUE(service.AddObject(id, config).ok());
+  }
+  auto batch = service.ServeBatch(trace.events);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(report->metrics.ToBreakdown(), batch->breakdown);
+}
+
+TEST(MultiObjectSimTest, RunSourceMatchesRunTrace) {
+  const workload::MultiObjectTrace trace = SmallTrace(300, 7);
+  MultiObjectSimulator by_trace(SimOptions());
+  auto want = by_trace.RunTrace(trace);
+  ASSERT_TRUE(want.ok());
+
+  MultiObjectSimulator by_source(SimOptions());
+  workload::TraceEventSource source(trace);
+  auto got = by_source.RunSource(source);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->served, want->served);
+  EXPECT_EQ(got->stale_reads, want->stale_reads);
+  EXPECT_EQ(got->metrics.ToBreakdown(), want->metrics.ToBreakdown());
+  for (int64_t object = 0; object < 8; ++object) {
+    EXPECT_EQ(by_source.object_sim(object).latest_version(),
+              by_trace.object_sim(object).latest_version())
+        << "object " << object;
+  }
+}
+
+TEST(MultiObjectSimTest, CrashAffectsEveryObjectHostedAtTheProcessor) {
+  MultiObjectSimulator sim(SimOptions(3));
+  // Writes from processor 2 against every object, then crash 2.
+  for (int64_t object = 0; object < 3; ++object) {
+    EXPECT_TRUE(sim.Submit(object, model::Request::Write(2)).ok);
+  }
+  sim.Crash(2);
+  EXPECT_TRUE(sim.IsCrashed(2));
+  for (int64_t object = 0; object < 3; ++object) {
+    EXPECT_FALSE(sim.Submit(object, model::Request::Read(2)).ok)
+        << "crashed issuer must be unavailable for object " << object;
+  }
+  sim.Recover(2);
+  EXPECT_FALSE(sim.IsCrashed(2));
+  for (int64_t object = 0; object < 3; ++object) {
+    EXPECT_TRUE(sim.Submit(object, model::Request::Read(2)).ok);
+  }
+}
+
+TEST(MultiObjectSimTest, FailurePlanInjectsAtGlobalPositions) {
+  const workload::MultiObjectTrace trace = SmallTrace(100, 99);
+  FailurePlan plan;
+  plan.events.push_back(FailureEvent::Crash(10, 3));
+  plan.events.push_back(FailureEvent::Recover(60, 3));
+  MultiObjectSimulator sim(SimOptions());
+  auto report = sim.RunTrace(trace, plan);
+  ASSERT_TRUE(report.ok());
+  // DA with quorum failover keeps serving requests from live processors;
+  // only requests issued *by* the crashed processor go unavailable.
+  int64_t from_crashed = 0;
+  for (size_t k = 10; k < 60; ++k) {
+    if (trace.events[k].request.processor == 3) ++from_crashed;
+  }
+  EXPECT_EQ(report->unavailable, from_crashed);
+  EXPECT_EQ(report->served + report->unavailable,
+            static_cast<int64_t>(trace.events.size()));
+  EXPECT_FALSE(sim.IsCrashed(3)) << "recovered by the plan";
+}
+
+TEST(MultiObjectSimTest, RejectsMismatchedTraceAndBadPlan) {
+  MultiObjectSimulator sim(SimOptions());
+  workload::MultiObjectTrace wrong = SmallTrace();
+  wrong.num_processors = 5;
+  EXPECT_FALSE(sim.RunTrace(wrong).ok());
+
+  const workload::MultiObjectTrace trace = SmallTrace();
+  FailurePlan bad;
+  bad.events.push_back(FailureEvent::Crash(0, 63));  // out of range
+  EXPECT_FALSE(sim.RunTrace(trace, bad).ok());
+}
+
+}  // namespace
+}  // namespace objalloc::sim

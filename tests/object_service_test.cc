@@ -1,0 +1,366 @@
+// The service layer's determinism contract: the sharded, batched
+// ObjectService must be bit-identical to the serial ObjectManager for every
+// shard count and every thread count, the streaming paths must equal the
+// materialized path event for event, and batch admission must be atomic.
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "objalloc/core/object_manager.h"
+#include "objalloc/core/object_service.h"
+#include "objalloc/util/parallel.h"
+#include "objalloc/workload/event_source.h"
+#include "objalloc/workload/trace_io.h"
+
+namespace objalloc::core {
+namespace {
+
+using model::CostModel;
+using util::ScopedThreads;
+using workload::MultiObjectEvent;
+using workload::MultiObjectTrace;
+
+std::vector<int> ShardCounts() { return {1, 4, 16}; }
+std::vector<int> ThreadCounts() { return {1, 2, util::GlobalThreads()}; }
+
+MultiObjectTrace TestTrace(size_t length = 3000, uint64_t seed = 1234) {
+  workload::MultiObjectOptions options;
+  options.num_processors = 8;
+  options.num_objects = 64;
+  options.length = length;
+  return workload::GenerateMultiObjectTrace(options, seed);
+}
+
+ObjectConfig TestConfig(AlgorithmKind kind = AlgorithmKind::kDynamic) {
+  ObjectConfig config;
+  config.initial_scheme = ProcessorSet{0, 1};
+  config.algorithm = kind;
+  return config;
+}
+
+void RegisterObjects(ObjectService& service, const MultiObjectTrace& trace,
+                     const ObjectConfig& config) {
+  service.ReserveObjects(static_cast<size_t>(trace.num_objects));
+  for (int id = 0; id < trace.num_objects; ++id) {
+    ASSERT_TRUE(service.AddObject(id, config).ok());
+  }
+}
+
+TEST(ObjectServiceTest, ShardedBatchedMatchesSerialBitForBit) {
+  const MultiObjectTrace trace = TestTrace();
+  const CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  const ObjectConfig config = TestConfig();
+
+  // Reference: the serial single-shard ObjectManager, request by request.
+  ObjectManager reference(trace.num_processors, sc);
+  for (int id = 0; id < trace.num_objects; ++id) {
+    ASSERT_TRUE(reference.AddObject(id, config).ok());
+  }
+  std::vector<double> reference_costs;
+  for (const auto& event : trace.events) {
+    auto cost = reference.Serve(event.object, event.request);
+    ASSERT_TRUE(cost.ok());
+    reference_costs.push_back(*cost);
+  }
+
+  for (int shards : ShardCounts()) {
+    for (int threads : ThreadCounts()) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      ScopedThreads scope(threads);
+      ServiceOptions options;
+      options.num_shards = shards;
+      ObjectService service(trace.num_processors, sc, options);
+      RegisterObjects(service, trace, config);
+
+      // Serve in a few differently sized batches to cross batch boundaries.
+      std::vector<double> costs;
+      size_t position = 0;
+      for (size_t batch_size : {1000u, 700u, 1u, 1299u}) {
+        auto result = service.ServeBatch(
+            std::span<const MultiObjectEvent>(trace.events)
+                .subspan(position, batch_size));
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        costs.insert(costs.end(), result->costs.begin(),
+                     result->costs.end());
+        position += batch_size;
+      }
+      ASSERT_EQ(position, trace.events.size());
+
+      // Per-event costs, submission order, bit-identical.
+      ASSERT_EQ(costs.size(), reference_costs.size());
+      for (size_t i = 0; i < costs.size(); ++i) {
+        ASSERT_EQ(costs[i], reference_costs[i]) << "event " << i;
+      }
+      // Aggregates.
+      EXPECT_EQ(service.TotalBreakdown(), reference.TotalBreakdown());
+      EXPECT_EQ(service.TotalCost(), reference.TotalCost());
+      EXPECT_EQ(service.TotalRequests(), reference.TotalRequests());
+      // Per-object stats and final schemes.
+      for (int id = 0; id < trace.num_objects; ++id) {
+        auto got = service.StatsFor(id);
+        auto want = reference.StatsFor(id);
+        ASSERT_TRUE(got.ok());
+        ASSERT_TRUE(want.ok());
+        EXPECT_EQ(got->requests, want->requests) << "object " << id;
+        EXPECT_EQ(got->breakdown, want->breakdown) << "object " << id;
+        EXPECT_EQ(got->scheme, want->scheme) << "object " << id;
+      }
+    }
+  }
+}
+
+TEST(ObjectServiceTest, SingleServePathMatchesManager) {
+  const MultiObjectTrace trace = TestTrace(500);
+  const CostModel mc = CostModel::MobileComputing(0.5, 1.0);
+  ObjectManager manager(trace.num_processors, mc);
+  ServiceOptions options;
+  options.num_shards = 7;  // not a divisor of anything interesting
+  ObjectService service(trace.num_processors, mc, options);
+  const ObjectConfig config = TestConfig();
+  for (int id = 0; id < trace.num_objects; ++id) {
+    ASSERT_TRUE(manager.AddObject(id, config).ok());
+    ASSERT_TRUE(service.AddObject(id, config).ok());
+  }
+  for (const auto& event : trace.events) {
+    auto want = manager.Serve(event.object, event.request);
+    auto got = service.Serve(event.object, event.request);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, *want);
+  }
+  EXPECT_EQ(service.TotalBreakdown(), manager.TotalBreakdown());
+}
+
+TEST(ObjectServiceTest, BatchRejectsUnknownObjectAtomically) {
+  const CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  ObjectService service(8, sc);
+  ASSERT_TRUE(service.AddObject(1, TestConfig()).ok());
+  // Two valid events surround the invalid one: nothing may be served.
+  std::vector<MultiObjectEvent> batch = {
+      {1, model::Request::Read(0)},
+      {99, model::Request::Read(0)},
+      {1, model::Request::Write(2)},
+  };
+  auto result = service.ServeBatch(batch);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("event 1"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(service.TotalRequests(), 0) << "rejected batch must not serve";
+}
+
+TEST(ObjectServiceTest, BatchRejectsOutOfRangeProcessorAtomically) {
+  const CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  ObjectService service(4, sc);
+  ASSERT_TRUE(service.AddObject(1, TestConfig()).ok());
+  std::vector<MultiObjectEvent> batch = {
+      {1, model::Request::Read(0)},
+      {1, model::Request::Write(7)},
+  };
+  auto result = service.ServeBatch(batch);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kOutOfRange);
+  EXPECT_EQ(service.TotalRequests(), 0);
+
+  std::vector<MultiObjectEvent> negative = {{1, model::Request::Read(-1)}};
+  auto rejected = service.ServeBatch(negative);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(ObjectServiceTest, AddObjectValidationMatchesManagerRules) {
+  ObjectService service(8, CostModel::StationaryComputing(0.5, 1.0));
+  ObjectConfig config;
+  config.initial_scheme = ProcessorSet{0, 1};
+  EXPECT_TRUE(service.AddObject(1, config).ok());
+  EXPECT_FALSE(service.AddObject(1, config).ok()) << "duplicate id";
+  config.initial_scheme = ProcessorSet{};
+  EXPECT_FALSE(service.AddObject(2, config).ok()) << "empty scheme";
+  config.initial_scheme = ProcessorSet{0, 63};
+  EXPECT_FALSE(service.AddObject(3, config).ok()) << "outside the system";
+  config.initial_scheme = ProcessorSet{0};
+  config.algorithm = AlgorithmKind::kDynamic;
+  EXPECT_FALSE(service.AddObject(4, config).ok()) << "DA needs t >= 2";
+  EXPECT_EQ(service.object_count(), 1u);
+  EXPECT_TRUE(service.HasObject(1));
+  EXPECT_FALSE(service.HasObject(4));
+}
+
+TEST(EventSourceTest, GeneratorSourceEqualsMaterializedTrace) {
+  workload::MultiObjectOptions options;
+  options.num_processors = 8;
+  options.num_objects = 32;
+  options.length = 1777;
+  const MultiObjectTrace trace =
+      workload::GenerateMultiObjectTrace(options, 42);
+
+  workload::GeneratorEventSource source(options, 42);
+  EXPECT_EQ(source.num_processors(), options.num_processors);
+  std::vector<MultiObjectEvent> streamed;
+  std::vector<MultiObjectEvent> buffer(100);
+  while (true) {
+    auto filled = source.FillBatch(buffer);
+    ASSERT_TRUE(filled.ok());
+    if (*filled == 0) break;
+    streamed.insert(streamed.end(), buffer.begin(),
+                    buffer.begin() + static_cast<ptrdiff_t>(*filled));
+  }
+  ASSERT_EQ(streamed.size(), trace.events.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].object, trace.events[i].object);
+    EXPECT_EQ(streamed[i].request, trace.events[i].request);
+  }
+  // Exhausted sources stay exhausted.
+  auto again = source.FillBatch(buffer);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+}
+
+TEST(EventSourceTest, TraceStreamRoundTripsIdenticallyToMaterializedPath) {
+  const MultiObjectTrace trace = TestTrace(800, 77);
+  std::ostringstream out;
+  workload::WriteMultiObjectTrace(trace, out);
+
+  // Materialized read-back (itself built on the stream source).
+  std::istringstream materialized_in(out.str());
+  auto materialized = workload::ReadMultiObjectTrace(materialized_in);
+  ASSERT_TRUE(materialized.ok());
+  ASSERT_EQ(materialized->events.size(), trace.events.size());
+
+  const CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  const ObjectConfig config = TestConfig();
+
+  // Path A: the whole materialized trace in one batch.
+  ObjectService batch_service(trace.num_processors, sc);
+  RegisterObjects(batch_service, trace, config);
+  auto batch = batch_service.ServeBatch(materialized->events);
+  ASSERT_TRUE(batch.ok());
+
+  // Path B: streamed from the text format with a small bounded buffer.
+  std::istringstream stream_in(out.str());
+  workload::TraceStreamEventSource source(stream_in);
+  ASSERT_TRUE(source.ReadHeader().ok());
+  EXPECT_EQ(source.num_processors(), trace.num_processors);
+  EXPECT_EQ(source.num_objects(), trace.num_objects);
+  ObjectService stream_service(trace.num_processors, sc);
+  RegisterObjects(stream_service, trace, config);
+  auto streamed = stream_service.ServeStream(source, /*batch_size=*/64);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+
+  EXPECT_EQ(streamed->events, static_cast<int64_t>(trace.events.size()));
+  EXPECT_EQ(streamed->batches, (trace.events.size() + 63) / 64);
+  EXPECT_EQ(streamed->breakdown, batch->breakdown);
+  EXPECT_EQ(streamed->cost, batch->cost);
+  EXPECT_EQ(stream_service.TotalBreakdown(), batch_service.TotalBreakdown());
+  for (int id = 0; id < trace.num_objects; ++id) {
+    EXPECT_EQ(stream_service.StatsFor(id)->scheme,
+              batch_service.StatsFor(id)->scheme);
+  }
+}
+
+TEST(EventSourceTest, TraceStreamRejectsMalformedInput) {
+  {
+    std::istringstream in("garbage header\n");
+    workload::TraceStreamEventSource source(in);
+    EXPECT_FALSE(source.ReadHeader().ok());
+    std::vector<MultiObjectEvent> buffer(4);
+    EXPECT_FALSE(source.FillBatch(buffer).ok()) << "failed source stays failed";
+  }
+  {
+    std::istringstream in("multiobject processors 4 objects 2\n5 r0\n");
+    workload::TraceStreamEventSource source(in);
+    std::vector<MultiObjectEvent> buffer(4);
+    auto filled = source.FillBatch(buffer);
+    ASSERT_FALSE(filled.ok());
+    EXPECT_EQ(filled.status().code(), util::StatusCode::kOutOfRange);
+  }
+  {
+    workload::TraceFileEventSource source("/nonexistent/trace.txt");
+    std::vector<MultiObjectEvent> buffer(4);
+    auto filled = source.FillBatch(buffer);
+    ASSERT_FALSE(filled.ok());
+    EXPECT_EQ(filled.status().code(), util::StatusCode::kNotFound);
+  }
+}
+
+TEST(ObjectServiceTest, StreamingServesGeneratorInBoundedMemory) {
+  workload::MultiObjectOptions options;
+  options.num_processors = 8;
+  options.num_objects = 48;
+  options.length = 5000;
+  const CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  const ObjectConfig config = TestConfig();
+
+  // Materialized reference.
+  const MultiObjectTrace trace =
+      workload::GenerateMultiObjectTrace(options, 9001);
+  ObjectService reference(options.num_processors, sc);
+  reference.ReserveObjects(static_cast<size_t>(options.num_objects));
+  for (int id = 0; id < options.num_objects; ++id) {
+    ASSERT_TRUE(reference.AddObject(id, config).ok());
+  }
+  auto want = reference.ServeBatch(trace.events);
+  ASSERT_TRUE(want.ok());
+
+  // Streaming run, never materializing more than 256 events.
+  workload::GeneratorEventSource source(options, 9001);
+  ServiceOptions sharded;
+  sharded.num_shards = 16;
+  ObjectService service(options.num_processors, sc, sharded);
+  service.ReserveObjects(static_cast<size_t>(options.num_objects));
+  for (int id = 0; id < options.num_objects; ++id) {
+    ASSERT_TRUE(service.AddObject(id, config).ok());
+  }
+  auto got = service.ServeStream(source, /*batch_size=*/256);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->events, static_cast<int64_t>(options.length));
+  EXPECT_EQ(got->breakdown, want->breakdown);
+  EXPECT_EQ(got->cost, want->cost);
+}
+
+TEST(ObjectServiceTest, IncrementalTotalsMatchPerObjectSums) {
+  const MultiObjectTrace trace = TestTrace(1000, 5);
+  const CostModel sc = CostModel::StationaryComputing(0.3, 0.7);
+  ServiceOptions options;
+  options.num_shards = 4;
+  ObjectService service(trace.num_processors, sc, options);
+  RegisterObjects(service, trace, TestConfig());
+  ASSERT_TRUE(service.ServeBatch(trace.events).ok());
+
+  model::CostBreakdown summed;
+  int64_t requests = 0;
+  const std::vector<ObjectId> ids = service.SortedObjectIds();
+  EXPECT_EQ(ids.size(), static_cast<size_t>(trace.num_objects));
+  for (ObjectId id : ids) {
+    auto stats = service.StatsFor(id);
+    ASSERT_TRUE(stats.ok());
+    summed += stats->breakdown;
+    requests += stats->requests;
+  }
+  EXPECT_EQ(service.TotalBreakdown(), summed);
+  EXPECT_EQ(service.TotalRequests(), requests);
+  EXPECT_EQ(service.TotalCost(), summed.Cost(sc));
+}
+
+TEST(ObjectServiceTest, MixedAlgorithmsAcrossShards) {
+  const CostModel sc = CostModel::StationaryComputing(0.5, 1.0);
+  ServiceOptions options;
+  options.num_shards = 4;
+  ObjectService service(8, sc, options);
+  ASSERT_TRUE(service.AddObject(1, TestConfig(AlgorithmKind::kDynamic)).ok());
+  ASSERT_TRUE(service.AddObject(2, TestConfig(AlgorithmKind::kStatic)).ok());
+  std::vector<MultiObjectEvent> batch = {
+      {1, model::Request::Read(6)},
+      {2, model::Request::Read(6)},
+  };
+  ASSERT_TRUE(service.ServeBatch(batch).ok());
+  // DA saves at the reader, SA does not; objects stay isolated.
+  EXPECT_TRUE(service.StatsFor(1)->scheme.Contains(6));
+  EXPECT_FALSE(service.StatsFor(2)->scheme.Contains(6));
+}
+
+}  // namespace
+}  // namespace objalloc::core
