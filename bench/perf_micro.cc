@@ -13,6 +13,7 @@
 
 #include "objalloc/core/adaptive_allocation.h"
 #include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/core/object_service.h"
 #include "objalloc/core/runner.h"
 #include "objalloc/core/static_allocation.h"
 #include "objalloc/opt/exact_opt.h"
@@ -20,6 +21,7 @@
 #include "objalloc/opt/relaxation_lower_bound.h"
 #include "objalloc/sim/simulator.h"
 #include "objalloc/util/parallel.h"
+#include "objalloc/workload/multi_object.h"
 #include "objalloc/workload/uniform.h"
 
 namespace {
@@ -121,6 +123,131 @@ void BM_IntervalOpt(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_IntervalOpt)->Arg(16)->Arg(48);
+
+// ---- Hot-path serving engine (DESIGN.md §8) -------------------------------
+
+workload::MultiObjectTrace ServiceTrace(size_t length) {
+  workload::MultiObjectOptions options;
+  options.num_processors = 16;
+  options.num_objects = 256;
+  options.length = length;
+  options.popularity_skew = 0.9;
+  return workload::GenerateMultiObjectTrace(options, 0x5eed);
+}
+
+core::ObjectConfig InlineConfig(core::AlgorithmKind kind) {
+  core::ObjectConfig config;
+  config.initial_scheme = model::ProcessorSet{0, 1};
+  config.algorithm = kind;
+  return config;
+}
+
+// The devirtualized per-request core: inline SA/DA dispatch through
+// ObjectShard::ServeSlot, no routing, no batching — the ceiling every
+// higher layer is measured against. Arg: 0 = SA, 1 = DA.
+void BM_ShardServeInline(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? core::AlgorithmKind::kStatic
+                                        : core::AlgorithmKind::kDynamic;
+  const workload::MultiObjectTrace trace = ServiceTrace(4096);
+  core::ObjectShard shard(16, model::CostModel::StationaryComputing(0.25, 1.0));
+  for (int id = 0; id < 256; ++id) {
+    if (!shard.AddObject(id, InlineConfig(kind)).ok()) std::abort();
+  }
+  for (auto _ : state) {
+    double total = 0;
+    for (const auto& event : trace.events) {
+      total += shard.ServeSlot(static_cast<uint32_t>(event.object),
+                               event.request, nullptr);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * trace.events.size());
+}
+BENCHMARK(BM_ShardServeInline)->Arg(0)->Arg(1);
+
+// Id-addressed batch path: admission hashes each event through the route
+// directory. Arg: shard count.
+void BM_ServiceBatchIdPath(benchmark::State& state) {
+  util::ScopedThreads threads(1);
+  const workload::MultiObjectTrace trace = ServiceTrace(8192);
+  core::ServiceOptions options;
+  options.num_shards = static_cast<int>(state.range(0));
+  core::ObjectService service(
+      16, model::CostModel::StationaryComputing(0.25, 1.0), options);
+  service.ReserveObjects(256);
+  for (int id = 0; id < 256; ++id) {
+    if (!service.AddObject(id, InlineConfig(core::AlgorithmKind::kDynamic))
+             .ok()) {
+      std::abort();
+    }
+  }
+  core::BatchResult result;
+  for (auto _ : state) {
+    util::Status status = service.ServeBatchInto(
+        std::span<const workload::MultiObjectEvent>(trace.events), &result);
+    if (!status.ok()) std::abort();
+    benchmark::DoNotOptimize(result.cost);
+  }
+  state.SetItemsProcessed(state.iterations() * trace.events.size());
+}
+BENCHMARK(BM_ServiceBatchIdPath)->Arg(1)->Arg(16);
+
+// Handle-addressed batch path: routes resolved once outside the loop, zero
+// hash lookups per event in steady state. Arg: shard count.
+void BM_ServiceBatchHandles(benchmark::State& state) {
+  util::ScopedThreads threads(1);
+  const workload::MultiObjectTrace trace = ServiceTrace(8192);
+  core::ServiceOptions options;
+  options.num_shards = static_cast<int>(state.range(0));
+  core::ObjectService service(
+      16, model::CostModel::StationaryComputing(0.25, 1.0), options);
+  service.ReserveObjects(256);
+  for (int id = 0; id < 256; ++id) {
+    if (!service.AddObject(id, InlineConfig(core::AlgorithmKind::kDynamic))
+             .ok()) {
+      std::abort();
+    }
+  }
+  std::vector<core::HandleEvent> events;
+  events.reserve(trace.events.size());
+  for (const auto& event : trace.events) {
+    events.push_back(
+        core::HandleEvent{*service.Resolve(event.object), event.request});
+  }
+  core::BatchResult result;
+  for (auto _ : state) {
+    util::Status status = service.ServeBatchInto(
+        std::span<const core::HandleEvent>(events), &result);
+    if (!status.ok()) std::abort();
+    benchmark::DoNotOptimize(result.cost);
+  }
+  state.SetItemsProcessed(state.iterations() * trace.events.size());
+}
+BENCHMARK(BM_ServiceBatchHandles)->Arg(1)->Arg(16);
+
+// Bulk registration cost with and without ReserveObjects: reserved
+// registration does O(1) amortized rehashes across every internal table.
+// Arg: 1 = call ReserveObjects first, 0 = grow incrementally.
+void BM_ServiceRegistration(benchmark::State& state) {
+  const bool reserve = state.range(0) != 0;
+  constexpr int kObjects = 4096;
+  core::ServiceOptions options;
+  options.num_shards = 16;
+  for (auto _ : state) {
+    core::ObjectService service(
+        16, model::CostModel::StationaryComputing(0.25, 1.0), options);
+    if (reserve) service.ReserveObjects(kObjects);
+    for (int id = 0; id < kObjects; ++id) {
+      if (!service.AddObject(id, InlineConfig(core::AlgorithmKind::kDynamic))
+               .ok()) {
+        std::abort();
+      }
+    }
+    benchmark::DoNotOptimize(service.object_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kObjects);
+}
+BENCHMARK(BM_ServiceRegistration)->Arg(0)->Arg(1);
 
 void BM_SimulatorRequests(benchmark::State& state) {
   const bool dynamic = state.range(0) != 0;

@@ -8,11 +8,20 @@
 //                        [--events=1000000] [--objects=512] [--processors=16]
 //                        [--shards=1,4,16,64] [--threads=1,2,4,8]
 //                        [--batch=8192] [--repeats=2]
+//                        [--expect_control=N] [--expect_data=N]
+//                        [--expect_io=N] [--expect_crc=N]
 //
-// Determinism is asserted, not assumed: every (shards, threads) config must
-// reproduce byte-identical cost breakdowns and final allocation schemes —
-// checked via exact integer counts and a CRC32 over the sorted per-object
-// (id, scheme) table — or the bench aborts.
+// Each configuration is measured twice: the id-addressed batch path
+// (admission hashes every event's ObjectId) and the handle-addressed hot
+// path (ObjectHandles resolved once up front, served forever) — the
+// devirtualized serving engine's two entry points (DESIGN.md §8).
+//
+// Determinism is asserted, not assumed: every (shards, threads) config and
+// both entry paths must reproduce byte-identical cost breakdowns and final
+// allocation schemes — checked via exact integer counts and a CRC32 over
+// the sorted per-object (id, scheme) table — or the bench aborts. The
+// --expect_* flags additionally pin the fingerprint to committed golden
+// values and exit non-zero on any mismatch (the CI perf-smoke gate).
 
 #include <chrono>
 #include <cstdint>
@@ -96,6 +105,7 @@ struct Measurement {
   int threads = 0;
   double seconds = 0;
   double events_per_sec = 0;
+  double handle_events_per_sec = 0;
   double speedup_vs_1thread = 0;
 };
 
@@ -110,6 +120,11 @@ int main(int argc, char** argv) {
   std::vector<int> thread_counts = {1, 2, 4, 8};
   size_t batch_size = 8192;
   int repeats = 2;
+  // Golden fingerprint values; -1 = unchecked.
+  long long expect_control = -1;
+  long long expect_data = -1;
+  long long expect_io = -1;
+  long long expect_crc = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto int_flag = [&](const char* prefix, auto* out) {
@@ -129,7 +144,11 @@ int main(int argc, char** argv) {
                int_flag("--objects=", &objects) ||
                int_flag("--processors=", &processors) ||
                int_flag("--batch=", &batch_size) ||
-               int_flag("--repeats=", &repeats)) {
+               int_flag("--repeats=", &repeats) ||
+               int_flag("--expect_control=", &expect_control) ||
+               int_flag("--expect_data=", &expect_data) ||
+               int_flag("--expect_io=", &expect_io) ||
+               int_flag("--expect_crc=", &expect_crc)) {
     } else if (arg.rfind("--shards=", 0) == 0) {
       shard_counts = ParseIntList(arg.substr(9), "--shards=");
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -219,27 +238,101 @@ int main(int argc, char** argv) {
           << "shards=" << shards << " threads=" << threads
           << " diverged from the reference run: results must be "
              "byte-identical across every configuration";
+
+      // Handle-addressed hot path: resolve every event's route once up
+      // front (outside the timer — resolve once, serve forever), then
+      // drain the same trace through the zero-hash batch entry with one
+      // recycled BatchResult.
+      double handle_best = 0;
+      Fingerprint handle_fingerprint;
+      for (int r = 0; r < repeats; ++r) {
+        core::ServiceOptions service_options;
+        service_options.num_shards = shards;
+        core::ObjectService service(
+            processors, model::CostModel::StationaryComputing(0.25, 1.0),
+            service_options);
+        service.ReserveObjects(static_cast<size_t>(objects));
+        for (int id = 0; id < objects; ++id) {
+          OBJALLOC_CHECK(service.AddObject(id, ServiceConfig()).ok());
+        }
+        std::vector<core::ObjectHandle> handles(objects);
+        for (int id = 0; id < objects; ++id) {
+          handles[id] = *service.Resolve(id);
+        }
+        std::vector<core::HandleEvent> handle_events;
+        handle_events.reserve(trace.events.size());
+        for (const auto& event : trace.events) {
+          handle_events.push_back(
+              core::HandleEvent{handles[event.object], event.request});
+        }
+        core::BatchResult batch;
+        auto start = std::chrono::steady_clock::now();
+        std::span<const core::HandleEvent> all(handle_events);
+        for (size_t pos = 0; pos < all.size(); pos += batch_size) {
+          util::Status status = service.ServeBatchInto(
+              all.subspan(pos, std::min(batch_size, all.size() - pos)),
+              &batch);
+          OBJALLOC_CHECK(status.ok()) << status.ToString();
+        }
+        auto stop = std::chrono::steady_clock::now();
+        double seconds = std::chrono::duration<double>(stop - start).count();
+        if (r == 0 || seconds < handle_best) handle_best = seconds;
+        handle_fingerprint.breakdown = service.TotalBreakdown();
+        handle_fingerprint.requests = service.TotalRequests();
+        handle_fingerprint.scheme_crc = SchemeCrc(service);
+      }
+      OBJALLOC_CHECK(handle_fingerprint == reference)
+          << "shards=" << shards << " threads=" << threads
+          << " handle path diverged from the id path: the two entry "
+             "points must be byte-identical";
+
       if (threads == thread_counts.front()) one_thread_seconds = best;
       Measurement m;
       m.shards = shards;
       m.threads = threads;
       m.seconds = best;
       m.events_per_sec = static_cast<double>(events) / best;
+      m.handle_events_per_sec = static_cast<double>(events) / handle_best;
       m.speedup_vs_1thread = best > 0 ? one_thread_seconds / best : 0;
       measurements.push_back(m);
       std::printf("shards=%-4d threads=%-3d %8.3fs %12.0f events/sec  "
-                  "speedup %.2fx\n",
+                  "(handles %12.0f)  speedup %.2fx\n",
                   m.shards, m.threads, m.seconds, m.events_per_sec,
-                  m.speedup_vs_1thread);
+                  m.handle_events_per_sec, m.speedup_vs_1thread);
     }
   }
-  std::printf("determinism: all %zu configs byte-identical "
-              "(breakdown %lld/%lld/%lld, scheme crc %08x)\n",
+  std::printf("determinism: all %zu configs x {id, handle} paths "
+              "byte-identical (breakdown %lld/%lld/%lld, scheme crc %08x)\n",
               measurements.size(),
               static_cast<long long>(reference.breakdown.control_messages),
               static_cast<long long>(reference.breakdown.data_messages),
               static_cast<long long>(reference.breakdown.io_ops),
               reference.scheme_crc);
+
+  // Golden-fingerprint gate (CI perf-smoke): any drift from the committed
+  // values is a correctness regression, not a perf question.
+  bool golden_ok = true;
+  auto check_golden = [&](const char* name, long long expected,
+                          long long actual) {
+    if (expected < 0) return;
+    if (expected != actual) {
+      std::fprintf(stderr,
+                   "golden fingerprint mismatch: %s expected %lld got %lld\n",
+                   name, expected, actual);
+      golden_ok = false;
+    }
+  };
+  check_golden("control", expect_control,
+               reference.breakdown.control_messages);
+  check_golden("data", expect_data, reference.breakdown.data_messages);
+  check_golden("io", expect_io, reference.breakdown.io_ops);
+  check_golden("scheme_crc", expect_crc,
+               static_cast<long long>(reference.scheme_crc));
+  if (!golden_ok) return 1;
+  if (expect_control >= 0 || expect_data >= 0 || expect_io >= 0 ||
+      expect_crc >= 0) {
+    std::printf("golden fingerprint matches expected values\n");
+  }
 
   std::ofstream out(out_path);
   OBJALLOC_CHECK(out.good()) << "cannot write " << out_path;
@@ -261,7 +354,8 @@ int main(int argc, char** argv) {
     const Measurement& m = measurements[i];
     out << "    {\"shards\": " << m.shards << ", \"threads\": " << m.threads
         << ", \"seconds\": " << m.seconds << ", \"events_per_sec\": "
-        << m.events_per_sec << ", \"speedup_vs_1thread\": "
+        << m.events_per_sec << ", \"handle_events_per_sec\": "
+        << m.handle_events_per_sec << ", \"speedup_vs_1thread\": "
         << m.speedup_vs_1thread << "}"
         << (i + 1 < measurements.size() ? "," : "") << "\n";
   }

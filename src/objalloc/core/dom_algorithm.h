@@ -62,6 +62,17 @@ enum class AlgorithmKind {
 
 const char* AlgorithmKindToString(AlgorithmKind kind);
 
+// True for the kinds whose step function ObjectShard evaluates inline (a
+// switch on AlgorithmKind over value-stored state) instead of through a
+// heap-allocated DomAlgorithm and a virtual Step() call. The two paths are
+// the same function by construction: the shard calls the classes' static
+// rule helpers (StaticAllocation::Decide, DynamicAllocation::WriteSet /
+// SplitScheme), and tests/serving_engine_test.cc asserts per-request cost
+// equality between the shard and the reference classes.
+constexpr bool IsInlinableKind(AlgorithmKind kind) {
+  return kind == AlgorithmKind::kStatic || kind == AlgorithmKind::kDynamic;
+}
+
 // Creates an algorithm instance. `model` is used only by kAdaptive (its
 // expansion/contraction tests compare communication vs I/O costs); SA and DA
 // are cost-oblivious, as in the paper.

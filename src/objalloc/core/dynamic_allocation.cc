@@ -12,8 +12,7 @@ void DynamicAllocation::Reset(int num_processors,
       initial_scheme.IsSubsetOf(ProcessorSet::FirstN(num_processors)));
   // F is the initial scheme minus its largest member; p is that member.
   // Any split of size (t-1, 1) is valid; this one is deterministic.
-  p_ = initial_scheme.Last();
-  f_ = initial_scheme.WithErased(p_);
+  SplitScheme(initial_scheme, &f_, &p_);
   scheme_ = initial_scheme;
   join_lists_.assign(static_cast<size_t>(initial_scheme.Size()) - 1,
                      ProcessorSet());
@@ -41,8 +40,7 @@ Decision DynamicAllocation::Step(const Request& request) {
 
   // Write: propagate to F plus the writer (plus p when the writer is in
   // F ∪ {p}, to keep the scheme at size t); everything else is invalidated.
-  ProcessorSet x = f_.Contains(i) || i == p_ ? f_.WithInserted(p_)
-                                             : f_.WithInserted(i);
+  ProcessorSet x = WriteSet(f_, p_, i);
   scheme_ = x;
   for (ProcessorSet& jl : join_lists_) jl.Clear();
   return Decision{x, false};

@@ -42,6 +42,24 @@ class DynamicAllocation final : public DomAlgorithm {
   ProcessorId floating_processor() const { return p_; }  // p
   ProcessorSet scheme() const { return scheme_; }
 
+  // The deterministic (F, p) split of the initial scheme: p is the largest
+  // member, F the rest. Shared with ObjectShard's inline dispatch so the
+  // devirtualized hot path and this reference class agree by construction.
+  static void SplitScheme(ProcessorSet initial_scheme, ProcessorSet* f,
+                          ProcessorId* p) {
+    *p = initial_scheme.Last();
+    *f = initial_scheme.WithErased(*p);
+  }
+
+  // Execution set of a write by `writer` — the core DA write rule: the new
+  // scheme keeps F plus p when the writer already holds a copy of the
+  // latest version's home set, otherwise F plus the writer.
+  static ProcessorSet WriteSet(ProcessorSet f, ProcessorId p,
+                               ProcessorId writer) {
+    return f.Contains(writer) || writer == p ? f.WithInserted(p)
+                                             : f.WithInserted(writer);
+  }
+
   // Union of all F members' join-lists (processors that joined the scheme by
   // saving-reads since the last write).
   ProcessorSet JoinedSinceLastWrite() const;

@@ -32,6 +32,11 @@ class ObjectManager {
     return shard_.AddObject(id, config);
   }
 
+  // Pre-sizes the directory and state vector for a bulk registration.
+  void ReserveObjects(size_t expected_total) {
+    shard_.Reserve(expected_total);
+  }
+
   bool HasObject(ObjectId id) const { return shard_.HasObject(id); }
   size_t object_count() const { return shard_.object_count(); }
 

@@ -8,6 +8,16 @@
 
 namespace objalloc::core {
 
+namespace {
+
+// Packs a resolved route so the serve pass never re-hashes: high word the
+// shard, low word the dense slot.
+inline uint64_t PackRoute(size_t shard, uint32_t slot) {
+  return (static_cast<uint64_t>(shard) << 32) | slot;
+}
+
+}  // namespace
+
 util::Status ServiceOptions::Validate() const {
   if (num_shards < 1 || num_shards > 65536) {
     return util::Status::InvalidArgument("num_shards out of range");
@@ -25,6 +35,9 @@ ObjectService::ObjectService(int num_processors,
     shards_.emplace_back(num_processors, cost_model);
   }
   shard_events_.resize(shards_.size());
+  shard_deltas_.resize(shards_.size());
+  const uint64_t n = shards_.size();
+  shard_mask_ = (n & (n - 1)) == 0 ? n - 1 : ~uint64_t{0};
 }
 
 size_t ObjectService::ShardOf(ObjectId id) const {
@@ -34,12 +47,20 @@ size_t ObjectService::ShardOf(ObjectId id) const {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   x ^= x >> 31;
-  return static_cast<size_t>(x % shards_.size());
+  return static_cast<size_t>(shard_mask_ != ~uint64_t{0}
+                                 ? x & shard_mask_
+                                 : x % shards_.size());
 }
 
 util::Status ObjectService::AddObject(ObjectId id,
                                       const ObjectConfig& config) {
-  return shards_[ShardOf(id)].AddObject(id, config);
+  const size_t shard = ShardOf(id);
+  util::Status status = shards_[shard].AddObject(id, config);
+  if (status.ok()) {
+    route_directory_.Insert(
+        id, PackRoute(shard, shards_[shard].SlotOf(id)));
+  }
+  return status;
 }
 
 void ObjectService::ReserveObjects(size_t expected_total) {
@@ -47,10 +68,11 @@ void ObjectService::ReserveObjects(size_t expected_total) {
   // last-rehash cliff without over-reserving small shards.
   const size_t per_shard = expected_total / shards_.size() + 8;
   for (ObjectShard& shard : shards_) shard.Reserve(per_shard);
+  route_directory_.Reserve(expected_total);
 }
 
 bool ObjectService::HasObject(ObjectId id) const {
-  return shards_[ShardOf(id)].HasObject(id);
+  return route_directory_.Contains(id);
 }
 
 size_t ObjectService::object_count() const {
@@ -59,25 +81,88 @@ size_t ObjectService::object_count() const {
   return total;
 }
 
-util::StatusOr<double> ObjectService::Serve(ObjectId id,
-                                            const Request& request) {
-  return shards_[ShardOf(id)].Serve(id, request);
+util::StatusOr<ObjectHandle> ObjectService::Resolve(ObjectId id) const {
+  const uint64_t route = route_directory_.Find(id);
+  if (route == util::FlatDirectory<uint64_t>::kNotFound) {
+    return util::Status::NotFound("unknown object " + std::to_string(id));
+  }
+  return ObjectHandle{static_cast<uint32_t>(route >> 32),
+                      static_cast<uint32_t>(route), id};
 }
 
-util::StatusOr<BatchResult> ObjectService::ServeBatch(
-    std::span<const workload::MultiObjectEvent> events) {
+util::StatusOr<double> ObjectService::Serve(ObjectId id,
+                                            const Request& request) {
+  const uint64_t route = route_directory_.Find(id);
+  if (route == util::FlatDirectory<uint64_t>::kNotFound) {
+    return util::Status::NotFound("unknown object " + std::to_string(id));
+  }
+  if (request.processor < 0 || request.processor >= num_processors_) {
+    return util::Status::OutOfRange("processor out of range");
+  }
+  return shards_[route >> 32].ServeSlot(static_cast<uint32_t>(route),
+                                        request, nullptr);
+}
+
+util::StatusOr<double> ObjectService::Serve(const ObjectHandle& handle,
+                                            const Request& request) {
+  if (handle.shard >= shards_.size() ||
+      handle.slot >= shards_[handle.shard].object_count() ||
+      shards_[handle.shard].IdAt(handle.slot) != handle.id) {
+    return util::Status::InvalidArgument(
+        "stale or invalid handle for object " + std::to_string(handle.id));
+  }
+  if (request.processor < 0 || request.processor >= num_processors_) {
+    return util::Status::OutOfRange("processor out of range");
+  }
+  return shards_[handle.shard].ServeSlot(handle.slot, request, nullptr);
+}
+
+template <typename EventT>
+util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
+                                           BatchResult* result) {
   OBJALLOC_CHECK_LE(events.size(),
                     size_t{std::numeric_limits<uint32_t>::max()});
-  // Admission pass: validate everything (and partition by shard) before any
-  // shard state changes, so a rejected batch leaves the service untouched.
-  for (std::vector<uint32_t>& list : shard_events_) list.clear();
+  result->costs.clear();
+  result->costs.resize(events.size());
+  result->breakdown = model::CostBreakdown();
+  result->cost = 0;
+
+  // With one worker (or one shard) the fan-out machinery would be pure
+  // overhead: skip the per-shard partition and delta merge and serve the
+  // admitted batch in place, in submission order. Per-object request order
+  // — the only order the algorithms observe — is the same either way, and
+  // breakdown counts are integers, so both modes are bit-identical.
+  const bool parallel = shards_.size() > 1 && util::GlobalThreads() > 1 &&
+                        !util::InParallelWorker();
+
+  // Admission pass: validate everything and resolve each event's (shard,
+  // slot) route exactly once, before any shard state changes, so a
+  // rejected batch leaves the service untouched.
+  routes_.resize(events.size());
+  if (parallel) {
+    for (std::vector<uint32_t>& list : shard_events_) list.clear();
+  }
   for (size_t i = 0; i < events.size(); ++i) {
-    const workload::MultiObjectEvent& event = events[i];
-    const size_t shard = ShardOf(event.object);
-    if (!shards_[shard].HasObject(event.object)) {
-      return util::Status::NotFound(
-          "batch event " + std::to_string(i) + ": unknown object " +
-          std::to_string(event.object));
+    const EventT& event = events[i];
+    uint64_t route;
+    if constexpr (std::is_same_v<EventT, workload::MultiObjectEvent>) {
+      route = route_directory_.Find(event.object);
+      if (route == util::FlatDirectory<uint64_t>::kNotFound) {
+        return util::Status::NotFound(
+            "batch event " + std::to_string(i) + ": unknown object " +
+            std::to_string(event.object));
+      }
+    } else {
+      const ObjectHandle& handle = event.handle;
+      route = PackRoute(handle.shard, handle.slot);
+      if (handle.shard >= shards_.size() ||
+          handle.slot >= shards_[handle.shard].object_count() ||
+          shards_[handle.shard].IdAt(handle.slot) != handle.id) {
+        return util::Status::InvalidArgument(
+            "batch event " + std::to_string(i) +
+            ": stale or invalid handle for object " +
+            std::to_string(handle.id));
+      }
     }
     if (event.request.processor < 0 ||
         event.request.processor >= num_processors_) {
@@ -85,51 +170,95 @@ util::StatusOr<BatchResult> ObjectService::ServeBatch(
           "batch event " + std::to_string(i) + ": processor " +
           std::to_string(event.request.processor) + " out of range");
     }
-    shard_events_[shard].push_back(static_cast<uint32_t>(i));
+    routes_[i] = route;
+    if (parallel) {
+      shard_events_[route >> 32].push_back(static_cast<uint32_t>(i));
+    }
   }
 
-  BatchResult result;
-  result.costs.resize(events.size());
-  std::vector<model::CostBreakdown> shard_deltas(shards_.size());
+  if (!parallel) {
+    // In-place serve: one pass, costs and traffic accumulated directly.
+    for (size_t i = 0; i < events.size(); ++i) {
+      const uint64_t route = routes_[i];
+      result->costs[i] =
+          shards_[route >> 32].ServeSlot(static_cast<uint32_t>(route),
+                                         events[i].request,
+                                         &result->breakdown);
+    }
+    result->cost = result->breakdown.Cost(cost_model_);
+    return util::Status::Ok();
+  }
 
   // Fan shards across the pool. Each chunk owns shards [lo, hi) outright —
   // their state, their events' cost slots, their delta accumulators — so
   // bodies write disjoint data (the determinism contract of ParallelFor).
+  std::fill(shard_deltas_.begin(), shard_deltas_.end(),
+            model::CostBreakdown());
   util::ParallelFor(0, shards_.size(), 1, [&](size_t lo, size_t hi) {
     for (size_t s = lo; s < hi; ++s) {
       ObjectShard& shard = shards_[s];
-      model::CostBreakdown& delta = shard_deltas[s];
+      model::CostBreakdown& delta = shard_deltas_[s];
       for (uint32_t index : shard_events_[s]) {
-        const workload::MultiObjectEvent& event = events[index];
-        result.costs[index] =
-            shard.ServeAdmitted(event.object, event.request, &delta);
+        result->costs[index] = shard.ServeSlot(
+            static_cast<uint32_t>(routes_[index]), events[index].request,
+            &delta);
       }
     }
   });
 
   // Merge in fixed shard order; integer counts make the sum exact.
-  for (const model::CostBreakdown& delta : shard_deltas) {
-    result.breakdown += delta;
+  for (const model::CostBreakdown& delta : shard_deltas_) {
+    result->breakdown += delta;
   }
-  result.cost = result.breakdown.Cost(cost_model_);
+  result->cost = result->breakdown.Cost(cost_model_);
+  return util::Status::Ok();
+}
+
+util::Status ObjectService::ServeBatchInto(
+    std::span<const workload::MultiObjectEvent> events, BatchResult* result) {
+  return ServeBatchImpl(events, result);
+}
+
+util::Status ObjectService::ServeBatchInto(std::span<const HandleEvent> events,
+                                           BatchResult* result) {
+  return ServeBatchImpl(events, result);
+}
+
+util::StatusOr<BatchResult> ObjectService::ServeBatch(
+    std::span<const workload::MultiObjectEvent> events) {
+  BatchResult result;
+  util::Status status = ServeBatchImpl(events, &result);
+  if (!status.ok()) return status;
+  return result;
+}
+
+util::StatusOr<BatchResult> ObjectService::ServeBatch(
+    std::span<const HandleEvent> events) {
+  BatchResult result;
+  util::Status status = ServeBatchImpl(events, &result);
+  if (!status.ok()) return status;
   return result;
 }
 
 util::StatusOr<StreamResult> ObjectService::ServeStream(
     workload::EventSource& source, size_t batch_size) {
   OBJALLOC_CHECK_GT(batch_size, 0u);
+  // One buffer and one BatchResult recycled for the whole stream: the loop
+  // body is allocation-free in steady state.
   std::vector<workload::MultiObjectEvent> buffer(batch_size);
+  BatchResult batch;
   StreamResult result;
   while (true) {
     auto filled = source.FillBatch(buffer);
     if (!filled.ok()) return filled.status();
     if (*filled == 0) break;
-    auto batch = ServeBatch(
-        std::span<const workload::MultiObjectEvent>(buffer.data(), *filled));
-    if (!batch.ok()) return batch.status();
+    util::Status status = ServeBatchInto(
+        std::span<const workload::MultiObjectEvent>(buffer.data(), *filled),
+        &batch);
+    if (!status.ok()) return status;
     result.events += static_cast<int64_t>(*filled);
     result.batches += 1;
-    result.breakdown += batch->breakdown;
+    result.breakdown += batch.breakdown;
   }
   result.cost = result.breakdown.Cost(cost_model_);
   return result;

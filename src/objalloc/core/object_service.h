@@ -1,10 +1,25 @@
 // ObjectService — the sharded, batched multi-object serving layer.
 //
 // Objects are hash-partitioned across N ObjectShards. A batch of events is
-// admitted atomically (every event validated before any is served), split by
-// shard, fanned across the util::ParallelFor pool — one chunk of shards per
-// worker — and the per-event costs and per-shard traffic accounting are
-// merged back in submission order.
+// admitted atomically (every event validated — and its (shard, slot) route
+// resolved exactly once — before any is served). With more than one worker
+// available the admitted batch is split by shard and fanned across the
+// util::ParallelFor pool, one chunk of shards per worker; with one worker
+// (or one shard) the fan-out and per-shard merge machinery is skipped
+// entirely and the batch is served in place, in submission order.
+//
+// Hot-path engineering (DESIGN.md §8):
+//   * Routing is handle-based: admission resolves ObjectId → (shard, dense
+//     slot) through the shard directory once and serving indexes the dense
+//     slot vector directly — one hash lookup per event on the id path, zero
+//     on the ObjectHandle path (Resolve once, serve forever).
+//   * All batch scratch (the per-event route array, per-shard event-index
+//     lists, per-shard CostBreakdown deltas) is owned by the service and
+//     recycled across batches: after a warm-up batch of maximal size the
+//     serial batch path performs zero allocations (asserted by
+//     tests/serving_engine_test.cc through an operator-new counting hook);
+//     the parallel fan-out adds only the O(1) ParallelFor closure.
+//     ServeBatchInto reuses the caller's BatchResult storage the same way.
 //
 // Determinism contract (same bar as tests/parallel_test.cc): results are
 // bit-identical for every shard count and every thread count, including the
@@ -31,6 +46,7 @@
 #include <vector>
 
 #include "objalloc/core/object_shard.h"
+#include "objalloc/util/flat_directory.h"
 #include "objalloc/workload/event_source.h"
 #include "objalloc/workload/multi_object.h"
 
@@ -43,6 +59,24 @@ struct ServiceOptions {
   int num_shards = 16;
 
   util::Status Validate() const;
+};
+
+// A pre-resolved route to one object: its home shard and its dense slot
+// there. Obtained from ObjectService::Resolve, valid for the lifetime of
+// the service that issued it (objects are never removed, so slots are
+// stable). Every use is still validated — a handle from another service,
+// a tampered handle, or a default-constructed one is rejected, never
+// dereferenced blindly: the stored id must match what the slot holds.
+struct ObjectHandle {
+  uint32_t shard = 0xffffffffu;
+  uint32_t slot = ObjectShard::kInvalidSlot;
+  ObjectId id = -1;
+};
+
+// One batch event addressed by handle instead of id — the zero-hash route.
+struct HandleEvent {
+  ObjectHandle handle;
+  model::Request request;
 };
 
 // Outcome of one admitted batch.
@@ -73,7 +107,9 @@ class ObjectService {
   // ObjectManager::AddObject.
   util::Status AddObject(ObjectId id, const ObjectConfig& config);
 
-  // Pre-sizes every shard's object table for a bulk registration.
+  // Pre-sizes every shard's directory and state vector for a bulk
+  // registration: registering N reserved objects does O(1) amortized
+  // rehashes (see the registration case in bench/perf_micro.cc).
   void ReserveObjects(size_t expected_total);
 
   bool HasObject(ObjectId id) const;
@@ -81,21 +117,45 @@ class ObjectService {
   int num_shards() const { return static_cast<int>(shards_.size()); }
   int num_processors() const { return num_processors_; }
 
+  // Resolves an object id to its stable (shard, slot) route. NotFound for
+  // unregistered ids.
+  util::StatusOr<ObjectHandle> Resolve(ObjectId id) const;
+
   // Single-request path (routes to the owning shard, full validation).
   util::StatusOr<double> Serve(ObjectId id, const Request& request);
+
+  // Single-request handle path: same result as Serve(handle.id, request)
+  // without the hash lookup. InvalidArgument for stale/foreign handles.
+  util::StatusOr<double> Serve(const ObjectHandle& handle,
+                               const Request& request);
 
   // Batched path. Admission is atomic: if any event names an unknown object
   // or an out-of-range processor, the whole batch is rejected (NotFound /
   // OutOfRange, message names the offending event index) and no state
-  // changes. On success every event has been served, shards running in
-  // parallel, and the result is merged in submission order.
+  // changes. On success every event has been served — in place when only
+  // one worker or shard is available, otherwise fanned across shards in
+  // parallel — and the result is merged in submission order.
   util::StatusOr<BatchResult> ServeBatch(
       std::span<const workload::MultiObjectEvent> events);
 
-  // Streaming path: drains `source` through ServeBatch in buffers of
-  // `batch_size` events — bounded memory for unbounded traces. Stops and
-  // returns the error on the first failed batch or source error (events of
-  // earlier batches stay served; admission is atomic per batch).
+  // Handle-addressed batch: identical semantics and results, but admission
+  // validates the pre-resolved routes instead of hashing ids (stale or
+  // malformed handles reject the batch atomically with InvalidArgument).
+  util::StatusOr<BatchResult> ServeBatch(std::span<const HandleEvent> events);
+
+  // Allocation-recycling variants: clear and refill `*result`, reusing its
+  // storage. A caller that keeps one BatchResult across batches pays zero
+  // steady-state allocations on the serial path.
+  util::Status ServeBatchInto(
+      std::span<const workload::MultiObjectEvent> events, BatchResult* result);
+  util::Status ServeBatchInto(std::span<const HandleEvent> events,
+                              BatchResult* result);
+
+  // Streaming path: drains `source` through the batch engine in buffers of
+  // `batch_size` events — bounded memory for unbounded traces, one buffer
+  // and one BatchResult recycled throughout. Stops and returns the error on
+  // the first failed batch or source error (events of earlier batches stay
+  // served; admission is atomic per batch).
   util::StatusOr<StreamResult> ServeStream(
       workload::EventSource& source, size_t batch_size = kDefaultBatchSize);
 
@@ -114,12 +174,29 @@ class ObjectService {
  private:
   size_t ShardOf(ObjectId id) const;
 
+  // Shared batch engine: one admission pass resolves and validates every
+  // event into routes_ (packed shard<<32 | slot), then the serve pass runs
+  // in place or fanned by shard. EventT is MultiObjectEvent or HandleEvent.
+  template <typename EventT>
+  util::Status ServeBatchImpl(std::span<const EventT> events,
+                              BatchResult* result);
+
   int num_processors_;
   model::CostModel cost_model_;
   std::vector<ObjectShard> shards_;
-  // Per-shard event-index lists, reused across batches to keep the
-  // admission pass allocation-free in steady state.
-  std::vector<std::vector<uint32_t>> shard_events_;
+  // For power-of-two shard counts the modulo in ShardOf reduces to
+  // `x & (num_shards - 1)` — the identical mapping without the per-event
+  // integer division. ~0 flags a non-power-of-two count (modulo path).
+  uint64_t shard_mask_ = 0;
+  // Service-level id → packed (shard << 32 | slot) route directory,
+  // mirrored from the shards at AddObject. Admission and Resolve route
+  // through this single table in one probe — per-event cost independent of
+  // the shard count, no per-shard directory hop, no ShardOf rehash.
+  util::FlatDirectory<uint64_t> route_directory_;
+  // Batch scratch arena, recycled across batches (see header comment).
+  std::vector<uint64_t> routes_;                    // per event: shard|slot
+  std::vector<std::vector<uint32_t>> shard_events_;  // per shard: event idxs
+  std::vector<model::CostBreakdown> shard_deltas_;   // per shard: traffic
 };
 
 }  // namespace objalloc::core

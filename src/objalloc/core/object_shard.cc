@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "objalloc/core/dynamic_allocation.h"
 #include "objalloc/util/logging.h"
 
 namespace objalloc::core {
@@ -15,7 +16,7 @@ ObjectShard::ObjectShard(int num_processors,
 }
 
 util::Status ObjectShard::AddObject(ObjectId id, const ObjectConfig& config) {
-  if (objects_.count(id) > 0) {
+  if (directory_.Contains(id)) {
     return util::Status::InvalidArgument("duplicate object id " +
                                          std::to_string(id));
   }
@@ -30,67 +31,159 @@ util::Status ObjectShard::AddObject(ObjectId id, const ObjectConfig& config) {
     return util::Status::InvalidArgument(
         "dynamic allocation needs at least two initial copies");
   }
-  ObjectState state;
-  state.algorithm = CreateAlgorithm(config.algorithm, cost_model_);
-  state.algorithm->Reset(num_processors_, config.initial_scheme);
+  SlotState state;
+  state.id = id;
+  state.kind = config.algorithm;
   state.t = config.initial_scheme.Size();
   state.scheme = config.initial_scheme;
-  state.stats.scheme = config.initial_scheme;
-  objects_.emplace(id, std::move(state));
+  const double cc = cost_model_.control;
+  const double cd = cost_model_.data;
+  const double cio = cost_model_.io;
+  state.cost_read_local = cio;  // {0,0,1}: (0 + 0) + 1*cio
+  switch (config.algorithm) {
+    case AlgorithmKind::kStatic: {
+      // Q is pinned; every per-pattern cost is a constant of |Q|.
+      const double q = static_cast<double>(state.t);
+      state.cost_read_remote = (cc + cd) + cio;           // {1,1,1}
+      state.cost_write_a = (q - 1) * cd + q * cio;        // {0,|Q|-1,|Q|}
+      state.cost_write_b = q * cd + q * cio;              // {0,|Q|,|Q|}
+      break;
+    }
+    case AlgorithmKind::kDynamic: {
+      // The scheme after every write has size t, so the data and io terms
+      // of a write are constants; only the control term (invalidations of
+      // saving-readers) varies per event.
+      const double t = static_cast<double>(state.t);
+      state.cost_read_remote = (cc + cd) + 2 * cio;       // {1,1,2} saving
+      state.cost_write_a = (t - 1) * cd;                  // data term
+      state.cost_write_b = t * cio;                       // io term
+      DynamicAllocation::SplitScheme(config.initial_scheme, &state.f,
+                                     &state.p);
+      break;
+    }
+    default: {
+      state.fallback = CreateAlgorithm(config.algorithm, cost_model_);
+      state.fallback->Reset(num_processors_, config.initial_scheme);
+      break;
+    }
+  }
+  directory_.Insert(id, static_cast<uint32_t>(slots_.size()));
+  slots_.push_back(std::move(state));
   return util::Status::Ok();
 }
 
-double ObjectShard::ServeState(ObjectId id, ObjectState& state,
-                               const Request& request,
-                               model::CostBreakdown* delta) {
-  Decision decision = state.algorithm->Step(request);
-  model::AllocatedRequest entry{request, decision.execution_set,
-                                request.is_read() && decision.saving};
-  model::CostBreakdown breakdown =
-      model::RequestBreakdown(entry, state.scheme);
-  state.scheme = model::NextScheme(state.scheme, entry);
-  OBJALLOC_CHECK_GE(state.scheme.Size(), state.t)
-      << "algorithm violated the availability threshold of object " << id;
-  state.stats.requests += 1;
-  state.stats.breakdown += breakdown;
-  state.stats.scheme = state.scheme;
+double ObjectShard::ServeSlot(uint32_t slot, const Request& request,
+                              model::CostBreakdown* delta) {
+  SlotState& state = slots_[slot];
+  const ProcessorId i = request.processor;
+  model::CostBreakdown breakdown;
+  double cost;
+  switch (state.kind) {
+    case AlgorithmKind::kStatic: {
+      // StaticAllocation::Decide specialized per branch: the scheme never
+      // changes, so the breakdown is a pure function of membership.
+      if (request.is_read()) {
+        if (state.scheme.Contains(i)) {
+          breakdown.io_ops = 1;
+          cost = state.cost_read_local;
+        } else {
+          breakdown.control_messages = 1;
+          breakdown.data_messages = 1;
+          breakdown.io_ops = 1;
+          cost = state.cost_read_remote;
+        }
+      } else {
+        // X == Q: no invalidations, |Q \ {i}| transfers, |Q| outputs.
+        const bool member = state.scheme.Contains(i);
+        breakdown.data_messages = state.t - (member ? 1 : 0);
+        breakdown.io_ops = state.t;
+        cost = member ? state.cost_write_a : state.cost_write_b;
+      }
+      break;
+    }
+    case AlgorithmKind::kDynamic: {
+      if (request.is_read()) {
+        if (state.scheme.Contains(i)) {
+          breakdown.io_ops = 1;
+          cost = state.cost_read_local;
+        } else {
+          // Saving-read via the round-robin F member: one request, one
+          // transfer, one input at the server plus the saving output at i.
+          // Which F member serves is invisible to cost and scheme, but the
+          // round-robin index is kept in lockstep with the reference class.
+          const uint32_t f_size = static_cast<uint32_t>(state.t - 1);
+          state.next_f = (state.next_f + 1) % f_size;
+          state.scheme.Insert(i);
+          breakdown.control_messages = 1;
+          breakdown.data_messages = 1;
+          breakdown.io_ops = 2;
+          cost = state.cost_read_remote;
+        }
+      } else {
+        const ProcessorSet x = DynamicAllocation::WriteSet(state.f, state.p, i);
+        // Invalidations reach the stale copies other than the writer's own.
+        const int64_t control = state.scheme.Minus(x).WithErased(i).Size();
+        breakdown.control_messages = control;
+        breakdown.data_messages = state.t - 1;
+        breakdown.io_ops = state.t;
+        cost = (static_cast<double>(control) * cost_model_.control +
+                state.cost_write_a) +
+               state.cost_write_b;
+        state.scheme = x;
+      }
+      break;
+    }
+    default: {
+      // Virtual fallback for the non-inlined kinds.
+      Decision decision = state.fallback->Step(request);
+      model::AllocatedRequest entry{request, decision.execution_set,
+                                    request.is_read() && decision.saving};
+      breakdown = model::RequestBreakdown(entry, state.scheme);
+      state.scheme = model::NextScheme(state.scheme, entry);
+      OBJALLOC_CHECK_GE(state.scheme.Size(), state.t)
+          << "algorithm violated the availability threshold of object "
+          << state.id;
+      cost = breakdown.Cost(cost_model_);
+      break;
+    }
+  }
+  state.requests += 1;
+  state.breakdown += breakdown;
   total_requests_ += 1;
   total_breakdown_ += breakdown;
   if (delta != nullptr) *delta += breakdown;
-  return breakdown.Cost(cost_model_);
+  return cost;
 }
 
 util::StatusOr<double> ObjectShard::Serve(ObjectId id,
                                           const Request& request) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
+  const uint32_t slot = SlotOf(id);
+  if (slot == kInvalidSlot) {
     return util::Status::NotFound("unknown object " + std::to_string(id));
   }
   if (request.processor < 0 || request.processor >= num_processors_) {
     return util::Status::OutOfRange("processor out of range");
   }
-  return ServeState(id, it->second, request, nullptr);
-}
-
-double ObjectShard::ServeAdmitted(ObjectId id, const Request& request,
-                                  model::CostBreakdown* delta) {
-  auto it = objects_.find(id);
-  OBJALLOC_CHECK(it != objects_.end()) << "unadmitted object " << id;
-  return ServeState(id, it->second, request, delta);
+  return ServeSlot(slot, request, nullptr);
 }
 
 util::StatusOr<ObjectStats> ObjectShard::StatsFor(ObjectId id) const {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
+  const uint32_t slot = SlotOf(id);
+  if (slot == kInvalidSlot) {
     return util::Status::NotFound("unknown object " + std::to_string(id));
   }
-  return it->second.stats;
+  const SlotState& state = slots_[slot];
+  ObjectStats stats;
+  stats.requests = state.requests;
+  stats.breakdown = state.breakdown;
+  stats.scheme = state.scheme;
+  return stats;
 }
 
 std::vector<ObjectId> ObjectShard::SortedObjectIds() const {
   std::vector<ObjectId> ids;
-  ids.reserve(objects_.size());
-  for (const auto& [id, state] : objects_) ids.push_back(id);
+  ids.reserve(slots_.size());
+  for (const SlotState& state : slots_) ids.push_back(state.id);
   std::sort(ids.begin(), ids.end());
   return ids;
 }

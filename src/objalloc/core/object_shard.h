@@ -6,6 +6,24 @@
 // sensitive to — is preserved no matter how many shards exist, which is the
 // heart of the service layer's determinism argument (DESIGN.md §7).
 //
+// The shard is the devirtualized serving engine (DESIGN.md §8):
+//
+//   * Object state lives in a dense std::vector indexed by *slot*; the
+//     unordered_map survives only as the id → slot directory. Slots are
+//     stable (objects are never removed), so a slot resolved once — an
+//     ObjectHandle at the service layer — serves forever without hashing.
+//   * The common algorithms (SA, DA) are stored as a tagged union of inline
+//     state inside the slot and dispatched by a switch on AlgorithmKind —
+//     no heap indirection, no virtual Step() call, and the per-request cost
+//     is read from per-object constants precomputed from the CostModel at
+//     registration. The std::unique_ptr<DomAlgorithm> virtual path remains
+//     only as the fallback for the non-inlined kinds (kAdaptive).
+//   * The inline transitions evaluate exactly the classes' shared rule
+//     helpers (StaticAllocation::Decide via specialization,
+//     DynamicAllocation::SplitScheme / WriteSet verbatim), so the two paths
+//     are bit-identical by construction — and asserted by
+//     tests/serving_engine_test.cc.
+//
 // Aggregate accounting (TotalBreakdown / TotalRequests) is maintained
 // incrementally on every served request, so the totals are O(1) reads
 // rather than an O(objects) re-summation per call.
@@ -15,11 +33,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "objalloc/core/dom_algorithm.h"
 #include "objalloc/model/cost_evaluator.h"
+#include "objalloc/util/flat_directory.h"
 #include "objalloc/util/status.h"
 
 namespace objalloc::core {
@@ -40,6 +58,10 @@ struct ObjectStats {
 
 class ObjectShard {
  public:
+  // Sentinel returned by SlotOf for unregistered ids.
+  static constexpr uint32_t kInvalidSlot =
+      util::FlatDirectory<uint32_t>::kNotFound;
+
   ObjectShard(int num_processors, const model::CostModel& cost_model);
 
   // Movable so ObjectService can hold shards by value.
@@ -50,23 +72,37 @@ class ObjectShard {
   // schemes, and algorithm/threshold mismatches (DA needs t >= 2).
   util::Status AddObject(ObjectId id, const ObjectConfig& config);
 
-  // Sizes the object table ahead of a bulk registration.
-  void Reserve(size_t expected_objects) { objects_.reserve(expected_objects); }
+  // Sizes every internal table (id → slot directory and the dense state
+  // vector) ahead of a bulk registration, so registering N objects does
+  // O(1) amortized rehashes and zero vector regrowth.
+  void Reserve(size_t expected_objects) {
+    directory_.Reserve(expected_objects);
+    slots_.reserve(expected_objects);
+  }
 
-  bool HasObject(ObjectId id) const { return objects_.count(id) > 0; }
-  size_t object_count() const { return objects_.size(); }
+  bool HasObject(ObjectId id) const { return directory_.Contains(id); }
+  size_t object_count() const { return slots_.size(); }
   int num_processors() const { return num_processors_; }
+
+  // Dense slot of `id`, or kInvalidSlot. One flat-directory probe —
+  // resolve once, then serve through the slot without hashing.
+  uint32_t SlotOf(ObjectId id) const { return directory_.Find(id); }
+
+  // Id stored at `slot`; requires slot < object_count(). Handle validation
+  // cross-checks this against the handle's claimed id.
+  ObjectId IdAt(uint32_t slot) const { return slots_[slot].id; }
 
   // Serves one request against one object, returning the request's cost.
   // Requests against the same object must arrive in stream order.
   util::StatusOr<double> Serve(ObjectId id, const Request& request);
 
-  // Validation-free hot path for the batched service layer: the caller has
-  // already admitted the batch (object exists, processor in range). The
-  // request's breakdown is additionally accumulated into `*delta` so the
-  // batch can account its own traffic without re-walking the shard.
-  double ServeAdmitted(ObjectId id, const Request& request,
-                       model::CostBreakdown* delta);
+  // Validation-free hot path: the caller has already resolved the slot
+  // (SlotOf / ObjectHandle) and admitted the request (processor in range).
+  // The request's breakdown is additionally accumulated into `*delta` when
+  // non-null so a batch can account its own traffic without re-walking the
+  // shard.
+  double ServeSlot(uint32_t slot, const Request& request,
+                   model::CostBreakdown* delta);
 
   util::StatusOr<ObjectStats> StatsFor(ObjectId id) const;
 
@@ -82,19 +118,38 @@ class ObjectShard {
   std::vector<ObjectId> SortedObjectIds() const;
 
  private:
-  struct ObjectState {
-    std::unique_ptr<DomAlgorithm> algorithm;
-    int t = 0;
-    ProcessorSet scheme;
-    ObjectStats stats;
+  // One dense slot: the tagged-union algorithm state plus the per-object
+  // cost constants the inline dispatch reads instead of multiplying out
+  // CostModel terms per event. The scalar constants are folded in the
+  // *same association order* as CostBreakdown::Cost — (ctrl*cc + data*cd)
+  // + io*cio — so precomputation cannot perturb a single bit.
+  struct SlotState {
+    // Hot: dispatch tag and decision state.
+    AlgorithmKind kind = AlgorithmKind::kStatic;
+    int32_t t = 0;           // availability threshold (initial scheme size)
+    ProcessorSet scheme;     // current allocation scheme
+    ProcessorSet f;          // DA: core set F
+    int32_t p = -1;          // DA: floating processor
+    uint32_t next_f = 0;     // DA: round-robin F index for saving-reads
+    // Hot: precomputed scalar costs.
+    double cost_read_local = 0;   // read by a scheme member: one input
+    double cost_read_remote = 0;  // SA remote plain read / DA saving-read
+    // SA: full cost of a write by a member / non-member of Q.
+    // DA: the (t-1)*cd data term / t*cio io term of a write (the varying
+    //     control term is added per event in canonical order).
+    double cost_write_a = 0;
+    double cost_write_b = 0;
+    // Warm: identity, accounting, and the virtual fallback.
+    ObjectId id = -1;
+    int64_t requests = 0;
+    model::CostBreakdown breakdown;
+    std::unique_ptr<DomAlgorithm> fallback;  // non-inlined kinds only
   };
-
-  double ServeState(ObjectId id, ObjectState& state, const Request& request,
-                    model::CostBreakdown* delta);
 
   int num_processors_;
   model::CostModel cost_model_;
-  std::unordered_map<ObjectId, ObjectState> objects_;
+  std::vector<SlotState> slots_;
+  util::FlatDirectory<uint32_t> directory_;  // id → slot
   model::CostBreakdown total_breakdown_;
   int64_t total_requests_ = 0;
 };

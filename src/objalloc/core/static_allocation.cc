@@ -13,15 +13,7 @@ void StaticAllocation::Reset(int num_processors, ProcessorSet initial_scheme) {
 
 Decision StaticAllocation::Step(const Request& request) {
   OBJALLOC_CHECK(!scheme_.Empty()) << "Step before Reset";
-  if (request.is_write()) {
-    return Decision{scheme_, false};
-  }
-  if (scheme_.Contains(request.processor)) {
-    return Decision{ProcessorSet::Singleton(request.processor), false};
-  }
-  // SAOS picks an arbitrary member of Q; we pick the smallest id so runs are
-  // deterministic.
-  return Decision{ProcessorSet::Singleton(scheme_.First()), false};
+  return Decide(scheme_, request);
 }
 
 }  // namespace objalloc::core

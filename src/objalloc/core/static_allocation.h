@@ -23,6 +23,22 @@ class StaticAllocation final : public DomAlgorithm {
     return std::make_unique<StaticAllocation>(*this);
   }
 
+  // The SA decision rule as a pure function of (scheme, request). Step()
+  // and ObjectShard's inline dispatch both evaluate exactly this function,
+  // so the devirtualized hot path cannot drift from the reference class
+  // (tests/serving_engine_test.cc enforces the equality).
+  static Decision Decide(ProcessorSet scheme, const Request& request) {
+    if (request.is_write()) {
+      return Decision{scheme, false};
+    }
+    if (scheme.Contains(request.processor)) {
+      return Decision{ProcessorSet::Singleton(request.processor), false};
+    }
+    // SAOS picks an arbitrary member of Q; we pick the smallest id so runs
+    // are deterministic.
+    return Decision{ProcessorSet::Singleton(scheme.First()), false};
+  }
+
   ProcessorSet scheme() const { return scheme_; }
 
  private:

@@ -23,30 +23,6 @@ bool operator==(const CostBreakdown& a, const CostBreakdown& b) {
          a.data_messages == b.data_messages && a.io_ops == b.io_ops;
 }
 
-CostBreakdown RequestBreakdown(const AllocatedRequest& entry,
-                               ProcessorSet scheme) {
-  const ProcessorId i = entry.request.processor;
-  const ProcessorSet x = entry.execution_set;
-  CostBreakdown out;
-  if (entry.request.is_read()) {
-    // Request messages to, and object transfers from, every member of X
-    // other than the reader itself; one input at each member of X.
-    const int64_t remote = x.WithErased(i).Size();
-    out.control_messages = remote;
-    out.data_messages = remote;
-    out.io_ops = x.Size();
-    if (entry.saving) ++out.io_ops;  // extra output at the reader's database
-  } else {
-    // Invalidations to stale copies (the writer needs none for itself);
-    // object transfers to every member of X other than the writer; one
-    // output at each member of X.
-    out.control_messages = scheme.Minus(x).WithErased(i).Size();
-    out.data_messages = x.WithErased(i).Size();
-    out.io_ops = x.Size();
-  }
-  return out;
-}
-
 double RequestCost(const CostModel& model, const AllocatedRequest& entry,
                    ProcessorSet scheme) {
   return RequestBreakdown(entry, scheme).Cost(model);

@@ -47,8 +47,31 @@ struct CostBreakdown {
 bool operator==(const CostBreakdown& a, const CostBreakdown& b);
 
 // Breakdown of a single request executed against allocation scheme `scheme`.
-CostBreakdown RequestBreakdown(const AllocatedRequest& entry,
-                               ProcessorSet scheme);
+// Inline: this is the per-event cost kernel of the serving hot path
+// (ObjectShard), where an out-of-line call would dominate the set algebra.
+inline CostBreakdown RequestBreakdown(const AllocatedRequest& entry,
+                                      ProcessorSet scheme) {
+  const util::ProcessorId i = entry.request.processor;
+  const ProcessorSet x = entry.execution_set;
+  CostBreakdown out;
+  if (entry.request.is_read()) {
+    // Request messages to, and object transfers from, every member of X
+    // other than the reader itself; one input at each member of X.
+    const int64_t remote = x.WithErased(i).Size();
+    out.control_messages = remote;
+    out.data_messages = remote;
+    out.io_ops = x.Size();
+    if (entry.saving) ++out.io_ops;  // extra output at the reader's database
+  } else {
+    // Invalidations to stale copies (the writer needs none for itself);
+    // object transfers to every member of X other than the writer; one
+    // output at each member of X.
+    out.control_messages = scheme.Minus(x).WithErased(i).Size();
+    out.data_messages = x.WithErased(i).Size();
+    out.io_ops = x.Size();
+  }
+  return out;
+}
 
 // Scalar cost of a single request (COST(q) in the paper).
 double RequestCost(const CostModel& model, const AllocatedRequest& entry,

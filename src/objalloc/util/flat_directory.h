@@ -1,0 +1,123 @@
+// FlatDirectory: an open-addressing int64 key → uint32 index map for the
+// serving hot path's id → dense-slot directories.
+//
+// std::unordered_map is the wrong shape for a per-event lookup: every find
+// costs an integer division (hash % bucket_count) plus a pointer chase into
+// a node allocation, and at the ~0.9 load factor a reserved map settles
+// into, random key subsets (hash-sharded object ids) build collision chains
+// of cache-missing nodes. This directory instead keeps {key, value} pairs
+// in one contiguous power-of-two array probed linearly: the splitmix64 bit
+// mix randomizes buckets for any key distribution, the capacity mask
+// replaces the division, a probe touches consecutive cache lines, and the
+// load factor is capped at 3/4. Lookups are 1-2 cache lines in the common
+// case and allocation-free always.
+//
+// Deliberately minimal: insert-only (objects are never unregistered) and
+// value-based absence (kNotFound) — exactly the contract the serving
+// engine needs. The value type is a template parameter: ObjectShard maps
+// id → uint32 slot, ObjectService maps id → uint64 packed (shard, slot)
+// route. Iteration order is intentionally not provided; deterministic
+// listings must come from the dense slot vector, never from a hash table.
+
+#ifndef OBJALLOC_UTIL_FLAT_DIRECTORY_H_
+#define OBJALLOC_UTIL_FLAT_DIRECTORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::util {
+
+template <typename Value = uint32_t>
+class FlatDirectory {
+ public:
+  // Returned by Find for absent keys; never a legal value.
+  static constexpr Value kNotFound = static_cast<Value>(-1);
+
+  FlatDirectory() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Pre-sizes the table so `expected` inserts trigger no rehash.
+  void Reserve(size_t expected) {
+    const size_t capacity = CapacityFor(expected);
+    if (capacity > entries_.size()) Rehash(capacity);
+  }
+
+  // Value stored under `key`, or kNotFound.
+  Value Find(int64_t key) const {
+    if (entries_.empty()) return kNotFound;
+    size_t i = Mix(key) & mask_;
+    while (true) {
+      const Entry& entry = entries_[i];
+      if (entry.value == kNotFound) return kNotFound;
+      if (entry.key == key) return entry.value;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool Contains(int64_t key) const { return Find(key) != kNotFound; }
+
+  // Inserts key → value. The key must be absent and the value legal;
+  // both are programming errors of the caller, checked fatally.
+  void Insert(int64_t key, Value value) {
+    OBJALLOC_CHECK_NE(value, kNotFound) << "reserved sentinel value";
+    if ((size_ + 1) * 4 > entries_.size() * 3) {
+      Rehash(CapacityFor(size_ + 1));
+    }
+    size_t i = Mix(key) & mask_;
+    while (entries_[i].value != kNotFound) {
+      OBJALLOC_CHECK_NE(entries_[i].key, key) << "duplicate key " << key;
+      i = (i + 1) & mask_;
+    }
+    entries_[i] = Entry{key, value};
+    ++size_;
+  }
+
+ private:
+  struct Entry {
+    int64_t key = 0;
+    Value value = kNotFound;  // kNotFound marks an empty bucket
+  };
+
+  // splitmix64 finalizer: a fixed, platform-independent mix (identity
+  // hashes would chain badly for the hash-sharded id subsets this
+  // directory exists to serve).
+  static uint64_t Mix(int64_t key) {
+    uint64_t x = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  // Smallest power of two holding `n` entries under the 3/4 load cap.
+  static size_t CapacityFor(size_t n) {
+    size_t capacity = 16;
+    while (capacity * 3 < n * 4) capacity <<= 1;
+    return capacity;
+  }
+
+  void Rehash(size_t capacity) {
+    std::vector<Entry> old = std::move(entries_);
+    entries_.assign(capacity, Entry{});
+    mask_ = capacity - 1;
+    for (const Entry& entry : old) {
+      if (entry.value == kNotFound) continue;
+      size_t i = Mix(entry.key) & mask_;
+      while (entries_[i].value != kNotFound) i = (i + 1) & mask_;
+      entries_[i] = entry;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace objalloc::util
+
+#endif  // OBJALLOC_UTIL_FLAT_DIRECTORY_H_
