@@ -1,0 +1,131 @@
+#include "objalloc/core/fault_injector.h"
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::core {
+
+util::Status FaultInjectorOptions::Validate(int num_processors) const {
+  if (num_processors < 1 || num_processors > util::kMaxProcessors) {
+    return util::Status::InvalidArgument("num_processors out of range");
+  }
+  for (double rate : {crash_rate, recover_rate, control_loss_rate,
+                      data_loss_rate}) {
+    if (rate < 0 || rate > 1 || rate != rate) {
+      return util::Status::InvalidArgument(
+          "fault rates must lie in [0, 1]");
+    }
+  }
+  if (max_retries < 0 || max_retries > 62) {
+    return util::Status::InvalidArgument("max_retries out of range [0, 62]");
+  }
+  if (min_live < 0 || min_live > num_processors) {
+    return util::Status::InvalidArgument(
+        "min_live out of range [0, num_processors]");
+  }
+  return util::Status::Ok();
+}
+
+FaultStats& FaultStats::operator+=(const FaultStats& other) {
+  crashes += other.crashes;
+  recoveries += other.recoveries;
+  repairs += other.repairs;
+  replicas_added += other.replicas_added;
+  lost_control += other.lost_control;
+  lost_data += other.lost_data;
+  backoff_units += other.backoff_units;
+  unavailable_requests += other.unavailable_requests;
+  rejected_batches += other.rejected_batches;
+  repair_latency.insert(repair_latency.end(), other.repair_latency.begin(),
+                        other.repair_latency.end());
+  return *this;
+}
+
+util::Status FaultInjector::ValidateSchedule(const FaultSchedule& schedule,
+                                             int num_processors) {
+  size_t last = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const FaultEvent& event = schedule[i];
+    if (event.before_event < last) {
+      return util::Status::InvalidArgument(
+          "fault schedule not sorted by before_event at entry " +
+          std::to_string(i));
+    }
+    if (event.processor < 0 || event.processor >= num_processors) {
+      return util::Status::InvalidArgument(
+          "fault schedule names processor " +
+          std::to_string(event.processor) + " out of range at entry " +
+          std::to_string(i));
+    }
+    last = event.before_event;
+  }
+  return util::Status::Ok();
+}
+
+FaultInjector::FaultInjector(int num_processors,
+                             const FaultInjectorOptions& options,
+                             FaultSchedule schedule)
+    : num_processors_(num_processors),
+      options_(options),
+      schedule_(std::move(schedule)) {
+  util::Status status = options.Validate(num_processors);
+  OBJALLOC_CHECK(status.ok()) << status.ToString();
+  status = ValidateSchedule(schedule_, num_processors);
+  OBJALLOC_CHECK(status.ok()) << status.ToString();
+}
+
+uint64_t FaultInjector::Hash(uint64_t stream, uint64_t index,
+                             uint64_t ordinal) const {
+  // Three chained splitmix64 finalizer steps over (seed, stream, index,
+  // ordinal): fixed, platform-independent, and free of sequential state.
+  auto mix = [](uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  uint64_t h = mix(options_.seed ^ (stream * 0xd1342543de82ef95ULL));
+  h = mix(h ^ index);
+  return mix(h ^ ordinal);
+}
+
+void FaultInjector::CollectFaults(util::ProcessorSet live,
+                                  std::vector<FaultEvent>* out) {
+  const size_t index = cursor_++;
+  // Scripted events due at (or skipped past — a rejected batch consumes its
+  // window) this index, in schedule order.
+  while (next_scheduled_ < schedule_.size() &&
+         schedule_[next_scheduled_].before_event <= index) {
+    out->push_back(schedule_[next_scheduled_++]);
+  }
+  // At most one random crash: only while strictly above the min_live floor.
+  if (options_.crash_rate > 0 && live.Size() > options_.min_live &&
+      UnitDouble(Hash(kCrashStream, index, 0)) < options_.crash_rate) {
+    const int k = static_cast<int>(Hash(kCrashVictimStream, index, 0) %
+                                   static_cast<uint64_t>(live.Size()));
+    out->push_back(FaultEvent::Crash(index, live.Nth(k)));
+  }
+  // At most one random recover, drawn from the currently-crashed set.
+  const util::ProcessorSet crashed =
+      util::ProcessorSet::FirstN(num_processors_).Minus(live);
+  if (options_.recover_rate > 0 && !crashed.Empty() &&
+      UnitDouble(Hash(kRecoverStream, index, 0)) < options_.recover_rate) {
+    const int k = static_cast<int>(Hash(kRecoverVictimStream, index, 0) %
+                                   static_cast<uint64_t>(crashed.Size()));
+    out->push_back(FaultEvent::Recover(index, crashed.Nth(k)));
+  }
+}
+
+int FaultInjector::Retries(double rate, uint64_t stream, size_t index,
+                           uint32_t ordinal) const {
+  if (rate <= 0) return 0;
+  int lost = 0;
+  while (lost < options_.max_retries &&
+         UnitDouble(Hash(stream, index,
+                         (static_cast<uint64_t>(ordinal) << 8) |
+                             static_cast<uint64_t>(lost))) < rate) {
+    ++lost;
+  }
+  return lost;
+}
+
+}  // namespace objalloc::core

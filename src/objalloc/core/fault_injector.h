@@ -1,0 +1,188 @@
+// FaultInjector — deterministic chaos for the serving engine (DESIGN.md §9).
+//
+// The paper's defining constraint is t-availability: every request must
+// leave at least t replicas of the latest version alive (§2). The offline
+// simulator has modeled processor death since the seed (sim/failure.h); this
+// injector brings the same scenarios to the high-throughput ObjectService
+// without giving up its determinism contract.
+//
+// Every fault is a pure function of (seed, global event index): crash and
+// recover draws, victim selection, and per-message loss draws are all keyed
+// by the *admission-stream position* of the event through a stateless
+// splitmix64 finalizer chain — never by a sequential RNG consumed in serving
+// order. Because the admission pass walks events in submission order on one
+// thread, the liveness history (and therefore every repair, retransmission
+// and rejection) is bit-identical at any shard count x thread count, the
+// same bar as the fault-free engine (DESIGN.md §7).
+//
+// Two fault sources compose:
+//   * a scripted FaultSchedule — crash/recover events pinned to event
+//     indices, the service-side twin of sim::FailurePlan (the adapter in
+//     sim/failure.h maps one to the other field for field, enabling
+//     count-for-count crosschecks between simulator and service), and
+//   * seeded random rates — per-event crash/recover probabilities with a
+//     min_live floor, plus independent control/data message-loss rates.
+//
+// Message loss is charged, not silently absorbed: each lost transmission is
+// retried (one extra message of the same type in the cost accounting) up to
+// max_retries, with exponential backoff accounted in virtual time units
+// (2^attempt per failed attempt). The retry bound models the network
+// healing: after max_retries the transmission goes through, keeping the
+// serve function total — and, crucially, keeping cost a pure function of
+// (seed, index).
+
+#ifndef OBJALLOC_CORE_FAULT_INJECTOR_H_
+#define OBJALLOC_CORE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "objalloc/util/processor_set.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::core {
+
+// One scripted fault, the service-side twin of sim::FailureEvent: fires
+// immediately before the event with admission-stream index `before_event`.
+struct FaultEvent {
+  size_t before_event = 0;
+  util::ProcessorId processor = 0;
+  bool crash = true;  // false = recover
+
+  static FaultEvent Crash(size_t before_event, util::ProcessorId p) {
+    return FaultEvent{before_event, p, true};
+  }
+  static FaultEvent Recover(size_t before_event, util::ProcessorId p) {
+    return FaultEvent{before_event, p, false};
+  }
+};
+
+// Must be sorted by before_event (ties fire in vector order). Crash of an
+// already-crashed processor and recover of a live one are no-ops, which
+// makes replaying a rejected batch's window idempotent.
+using FaultSchedule = std::vector<FaultEvent>;
+
+// One applied crash, recorded at its fault-time index. The service keeps an
+// append-only log of these (nondecreasing index) and every object slot
+// remembers its position in it: at an object's next event, members crashed
+// since its previous event are dropped *exactly in that window*, which is
+// what makes scheme state a pure function of per-object event order even
+// when a member joins and crashes within one batch. Recovery never removes
+// a record — a crashed copy is stale regardless of later recovery.
+struct CrashRecord {
+  size_t index = 0;
+  util::ProcessorId processor = 0;
+};
+using CrashLog = std::vector<CrashRecord>;
+
+struct FaultInjectorOptions {
+  uint64_t seed = 0;
+  // Per-event probability that one live processor crashes / one crashed
+  // processor recovers before the event.
+  double crash_rate = 0;
+  double recover_rate = 0;
+  // Per-transmission loss probability for control / data messages.
+  double control_loss_rate = 0;
+  double data_loss_rate = 0;
+  // Retry bound per transmission; the network is modeled as healed after
+  // this many consecutive losses (keeps serving total and deterministic).
+  int max_retries = 6;
+  // Random crashes never take the live count below this floor (scripted
+  // events and manual Crash() calls are the caller's responsibility and may
+  // go lower — that is exactly the degraded-admission scenario).
+  int min_live = 1;
+
+  util::Status Validate(int num_processors) const;
+};
+
+// Per-service fault accounting. Integer counts merged per shard in fixed
+// shard order, so totals are deterministic like the cost breakdowns.
+struct FaultStats {
+  int64_t crashes = 0;             // crash events applied
+  int64_t recoveries = 0;          // recover events applied
+  int64_t repairs = 0;             // repair episodes (scheme re-replication)
+  int64_t replicas_added = 0;      // copies re-created by repairs
+  int64_t lost_control = 0;        // control transmissions lost (retried)
+  int64_t lost_data = 0;           // data transmissions lost (retried)
+  int64_t backoff_units = 0;       // sum of 2^attempt over failed attempts
+  int64_t unavailable_requests = 0;  // events refused (issuer crashed)
+  int64_t rejected_batches = 0;      // batches refused (< t live)
+  // One virtual-latency sample per repair episode: two message hops per
+  // replica created plus the exponential backoff spent retransmitting them.
+  // Appended in deterministic (shard-merge) order; consumed by
+  // bench/availability_chaos for repair-latency percentiles.
+  std::vector<double> repair_latency;
+
+  FaultStats& operator+=(const FaultStats& other);
+};
+
+class FaultInjector {
+ public:
+  // `options` must validate against `num_processors` and `schedule` must be
+  // sorted with in-range processors; both are checked fatally here —
+  // ObjectService::EnableFaults is the Status-returning boundary.
+  FaultInjector(int num_processors, const FaultInjectorOptions& options,
+                FaultSchedule schedule = {});
+
+  const FaultInjectorOptions& options() const { return options_; }
+
+  // Next admission-stream index (one per event ever presented, including
+  // events of rejected batches: fault time moves forward monotonically, so
+  // a rejected batch can be replayed against a recovered world).
+  size_t cursor() const { return cursor_; }
+
+  // Appends the fault events due before index `cursor()` — scheduled events
+  // first (in schedule order), then at most one random crash and one random
+  // recover draw — and advances the cursor. `live` is the current live set
+  // (random victim selection is state-dependent but deterministic).
+  void CollectFaults(util::ProcessorSet live, std::vector<FaultEvent>* out);
+
+  // True when any message-loss rate is positive (lets the serve path skip
+  // all per-message draws otherwise).
+  bool has_message_loss() const {
+    return options_.control_loss_rate > 0 || options_.data_loss_rate > 0;
+  }
+
+  // Number of lost transmissions (0..max_retries) before the `ordinal`-th
+  // message of event `index` goes through. Stateless and const: safe to
+  // call from parallel shard workers.
+  int ControlRetries(size_t index, uint32_t ordinal) const {
+    return Retries(options_.control_loss_rate, kControlStream, index, ordinal);
+  }
+  int DataRetries(size_t index, uint32_t ordinal) const {
+    return Retries(options_.data_loss_rate, kDataStream, index, ordinal);
+  }
+
+  // Validates a scripted schedule: sorted by before_event, processors in
+  // [0, num_processors).
+  static util::Status ValidateSchedule(const FaultSchedule& schedule,
+                                       int num_processors);
+
+ private:
+  // Distinct draw streams so crash, recover, victim and loss sampling are
+  // independent for the same (seed, index).
+  static constexpr uint64_t kCrashStream = 0x11;
+  static constexpr uint64_t kRecoverStream = 0x22;
+  static constexpr uint64_t kCrashVictimStream = 0x33;
+  static constexpr uint64_t kRecoverVictimStream = 0x44;
+  static constexpr uint64_t kControlStream = 0x55;
+  static constexpr uint64_t kDataStream = 0x66;
+
+  uint64_t Hash(uint64_t stream, uint64_t index, uint64_t ordinal) const;
+  static double UnitDouble(uint64_t h) {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+  int Retries(double rate, uint64_t stream, size_t index,
+              uint32_t ordinal) const;
+
+  int num_processors_;
+  FaultInjectorOptions options_;
+  FaultSchedule schedule_;
+  size_t next_scheduled_ = 0;
+  size_t cursor_ = 0;
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_FAULT_INJECTOR_H_

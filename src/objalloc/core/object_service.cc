@@ -40,6 +40,19 @@ ObjectService::ObjectService(int num_processors,
   shard_mask_ = (n & (n - 1)) == 0 ? n - 1 : ~uint64_t{0};
 }
 
+util::StatusOr<ObjectService> ObjectService::Create(
+    int num_processors, const model::CostModel& cost_model,
+    const ServiceOptions& options) {
+  if (num_processors < 1 || num_processors > util::kMaxProcessors) {
+    return util::Status::InvalidArgument(
+        "num_processors out of range [1, " +
+        std::to_string(util::kMaxProcessors) + "]");
+  }
+  OBJALLOC_RETURN_IF_ERROR(cost_model.Validate());
+  OBJALLOC_RETURN_IF_ERROR(options.Validate());
+  return ObjectService(num_processors, cost_model, options);
+}
+
 size_t ObjectService::ShardOf(ObjectId id) const {
   // splitmix64 finalizer: a fixed, platform-independent mix so the
   // object -> shard map never depends on std::hash or build flavor.
@@ -54,11 +67,31 @@ size_t ObjectService::ShardOf(ObjectId id) const {
 
 util::Status ObjectService::AddObject(ObjectId id,
                                       const ObjectConfig& config) {
+  if (injector_ != nullptr) [[unlikely]] {
+    // Registrations under fault mode must respect the fault layer's two
+    // preconditions: inlinable algorithm kind, and no replica born on a
+    // crashed processor (scheme ⊆ live is the scrub invariant).
+    if (config.algorithm != AlgorithmKind::kStatic &&
+        config.algorithm != AlgorithmKind::kDynamic) {
+      return util::Status::FailedPrecondition(
+          "fault mode supports only the inlined algorithm kinds");
+    }
+    if (!config.initial_scheme.IsSubsetOf(live_)) {
+      return util::Status::FailedPrecondition(
+          "initial scheme " + config.initial_scheme.ToString() +
+          " includes crashed processors (live " + live_.ToString() + ")");
+    }
+  }
   const size_t shard = ShardOf(id);
   util::Status status = shards_[shard].AddObject(id, config);
   if (status.ok()) {
-    route_directory_.Insert(
-        id, PackRoute(shard, shards_[shard].SlotOf(id)));
+    const uint32_t slot = shards_[shard].SlotOf(id);
+    route_directory_.Insert(id, PackRoute(shard, slot));
+    if (injector_ != nullptr) [[unlikely]] {
+      // Born now: crashes already in the log predate this scheme (it was
+      // validated against the current live set above) and must not apply.
+      shards_[shard].SetCrashLogStart(slot, crash_log_.size());
+    }
   }
   return status;
 }
@@ -92,11 +125,17 @@ util::StatusOr<ObjectHandle> ObjectService::Resolve(ObjectId id) const {
 
 util::StatusOr<double> ObjectService::Serve(ObjectId id,
                                             const Request& request) {
+  if (injector_ != nullptr) [[unlikely]] {
+    return util::Status::FailedPrecondition(
+        "single-request Serve bypasses fault time; use ServeBatch in "
+        "fault mode");
+  }
   const uint64_t route = route_directory_.Find(id);
-  if (route == util::FlatDirectory<uint64_t>::kNotFound) {
+  if (route == util::FlatDirectory<uint64_t>::kNotFound) [[unlikely]] {
     return util::Status::NotFound("unknown object " + std::to_string(id));
   }
-  if (request.processor < 0 || request.processor >= num_processors_) {
+  if (request.processor < 0 || request.processor >= num_processors_)
+      [[unlikely]] {
     return util::Status::OutOfRange("processor out of range");
   }
   return shards_[route >> 32].ServeSlot(static_cast<uint32_t>(route),
@@ -105,13 +144,19 @@ util::StatusOr<double> ObjectService::Serve(ObjectId id,
 
 util::StatusOr<double> ObjectService::Serve(const ObjectHandle& handle,
                                             const Request& request) {
+  if (injector_ != nullptr) [[unlikely]] {
+    return util::Status::FailedPrecondition(
+        "single-request Serve bypasses fault time; use ServeBatch in "
+        "fault mode");
+  }
   if (handle.shard >= shards_.size() ||
       handle.slot >= shards_[handle.shard].object_count() ||
-      shards_[handle.shard].IdAt(handle.slot) != handle.id) {
+      shards_[handle.shard].IdAt(handle.slot) != handle.id) [[unlikely]] {
     return util::Status::InvalidArgument(
         "stale or invalid handle for object " + std::to_string(handle.id));
   }
-  if (request.processor < 0 || request.processor >= num_processors_) {
+  if (request.processor < 0 || request.processor >= num_processors_)
+      [[unlikely]] {
     return util::Status::OutOfRange("processor out of range");
   }
   return shards_[handle.shard].ServeSlot(handle.slot, request, nullptr);
@@ -120,12 +165,17 @@ util::StatusOr<double> ObjectService::Serve(const ObjectHandle& handle,
 template <typename EventT>
 util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
                                            BatchResult* result) {
-  OBJALLOC_CHECK_LE(events.size(),
-                    size_t{std::numeric_limits<uint32_t>::max()});
+  if (events.size() > size_t{std::numeric_limits<uint32_t>::max()})
+      [[unlikely]] {
+    return util::Status::InvalidArgument(
+        "batch exceeds 2^32 - 1 events; split it");
+  }
   result->costs.clear();
   result->costs.resize(events.size());
   result->breakdown = model::CostBreakdown();
   result->cost = 0;
+  result->served.clear();
+  result->unavailable = 0;
 
   // With one worker (or one shard) the fan-out machinery would be pure
   // overhead: skip the per-shard partition and delta merge and serve the
@@ -176,6 +226,13 @@ util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
     }
   }
 
+  if (injector_ != nullptr) [[unlikely]] {
+    // Fault mode: same admitted routes, chaos-aware serve passes. A batch
+    // that fails the *validation* above never advances fault time (it is a
+    // caller bug, not a fault); from here on, every presented event does.
+    return ServeBatchFaultyTail(events, result, parallel);
+  }
+
   if (!parallel) {
     // In-place serve: one pass, costs and traffic accumulated directly.
     for (size_t i = 0; i < events.size(); ++i) {
@@ -214,6 +271,197 @@ util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
   return util::Status::Ok();
 }
 
+template <typename EventT>
+util::Status ObjectService::ServeBatchFaultyTail(std::span<const EventT> events,
+                                                 BatchResult* result,
+                                                 bool parallel) {
+  result->served.assign(events.size(), 1);
+  live_masks_.resize(events.size());
+
+  // Serial fault pass: one tick of fault time per event. Scripted and random
+  // crash/recover events fire here (in admission order — the only order
+  // fault time knows), the live set at each event is recorded for the serve
+  // pass, and degraded admission runs: an object needing more live
+  // processors than exist rejects the whole batch (fault time keeps the
+  // consumed window, so a replay meets the recovered world); a crashed
+  // issuer refuses just its own event.
+  const size_t base_index = injector_->cursor();
+  bool reject = false;
+  size_t reject_index = 0;
+  int reject_live = 0;
+  int32_t reject_t = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    fault_buffer_.clear();
+    injector_->CollectFaults(live_, &fault_buffer_);
+    for (const FaultEvent& fault : fault_buffer_) ApplyFault(fault);
+    live_masks_[i] = live_;
+    if (reject) continue;  // still ticking fault time for the window
+    const uint64_t route = routes_[i];
+    const int32_t t =
+        shards_[route >> 32].ThresholdAt(static_cast<uint32_t>(route));
+    if (live_.Size() < t) {
+      reject = true;
+      reject_index = i;
+      reject_live = live_.Size();
+      reject_t = t;
+    } else if (!live_.Contains(events[i].request.processor)) {
+      result->served[i] = 0;
+    }
+  }
+  if (reject) {
+    fault_stats_.rejected_batches += 1;
+    return util::Status::Unavailable(
+        "batch event " + std::to_string(reject_index) + ": only " +
+        std::to_string(reject_live) +
+        " processor(s) live, object needs t=" + std::to_string(reject_t) +
+        "; replay the batch after recovery");
+  }
+
+  if (!parallel) {
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (!result->served[i]) {
+        result->costs[i] = 0;
+        result->unavailable += 1;
+        continue;
+      }
+      const uint64_t route = routes_[i];
+      result->costs[i] = shards_[route >> 32].ServeSlotFaulty(
+          static_cast<uint32_t>(route), events[i].request, base_index + i,
+          live_masks_[i], crash_log_, *injector_, &result->breakdown,
+          &fault_stats_, check_invariant_);
+    }
+    fault_stats_.unavailable_requests += result->unavailable;
+    result->cost = result->breakdown.Cost(cost_model_);
+    return util::Status::Ok();
+  }
+
+  // Parallel serve: identical to the plain fan-out, with per-shard
+  // FaultStats scratch merged in fixed shard order (integer counts — exact;
+  // repair-latency samples land in shard order, a deterministic multiset).
+  std::fill(shard_deltas_.begin(), shard_deltas_.end(),
+            model::CostBreakdown());
+  shard_fault_stats_.assign(shards_.size(), FaultStats());
+  util::ParallelFor(0, shards_.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t s = lo; s < hi; ++s) {
+      ObjectShard& shard = shards_[s];
+      model::CostBreakdown& delta = shard_deltas_[s];
+      FaultStats& stats = shard_fault_stats_[s];
+      for (uint32_t index : shard_events_[s]) {
+        if (!result->served[index]) {
+          result->costs[index] = 0;
+          continue;
+        }
+        result->costs[index] = shard.ServeSlotFaulty(
+            static_cast<uint32_t>(routes_[index]), events[index].request,
+            base_index + index, live_masks_[index], crash_log_, *injector_,
+            &delta, &stats, check_invariant_);
+      }
+    }
+  });
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    result->breakdown += shard_deltas_[s];
+    fault_stats_ += shard_fault_stats_[s];
+  }
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (!result->served[i]) result->unavailable += 1;
+  }
+  fault_stats_.unavailable_requests += result->unavailable;
+  result->cost = result->breakdown.Cost(cost_model_);
+  return util::Status::Ok();
+}
+
+void ObjectService::ApplyFault(const FaultEvent& event) {
+  if (event.crash) {
+    if (!live_.Contains(event.processor)) return;  // already crashed: no-op
+    live_.Erase(event.processor);
+    fault_stats_.crashes += 1;
+    // Scheme eviction is lazy (per-object serve timeline, via the log);
+    // only the repair registry is fed eagerly.
+    crash_log_.push_back(CrashRecord{event.before_event, event.processor});
+    for (ObjectShard& shard : shards_) shard.NoteCrash(event.processor);
+  } else {
+    if (live_.Contains(event.processor)) return;  // already live: no-op
+    live_.Insert(event.processor);
+    fault_stats_.recoveries += 1;
+    // The recovered copy is stale: it rejoins schemes only through traffic
+    // (saving-reads, repairs), never implicitly.
+  }
+}
+
+util::Status ObjectService::EnableFaults(const FaultInjectorOptions& options,
+                                         FaultSchedule schedule) {
+  OBJALLOC_RETURN_IF_ERROR(options.Validate(num_processors_));
+  OBJALLOC_RETURN_IF_ERROR(
+      FaultInjector::ValidateSchedule(schedule, num_processors_));
+  for (const ObjectShard& shard : shards_) {
+    if (shard.HasFallbackObjects()) {
+      return util::Status::FailedPrecondition(
+          "fault injection supports only the inlined algorithm kinds "
+          "(static, dynamic); a registered object uses a fallback");
+    }
+  }
+  // Apply any crash history a previous fault session left pending, so the
+  // new session starts from schemes consistent with everything that was
+  // ever applied, then restart the log and the per-slot positions.
+  for (ObjectShard& shard : shards_) shard.FlushCrashLog(crash_log_);
+  crash_log_.clear();
+  injector_ = std::make_unique<FaultInjector>(num_processors_, options,
+                                              std::move(schedule));
+  live_ = ProcessorSet::FirstN(num_processors_);
+  fault_stats_ = FaultStats();
+  return util::Status::Ok();
+}
+
+void ObjectService::DisableFaults() {
+  for (ObjectShard& shard : shards_) shard.FlushCrashLog(crash_log_);
+  crash_log_.clear();
+  injector_.reset();
+  live_ = ProcessorSet::FirstN(num_processors_);
+}
+
+util::Status ObjectService::Crash(ProcessorId p) {
+  if (injector_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "fault mode not enabled (EnableFaults first)");
+  }
+  if (p < 0 || p >= num_processors_) {
+    return util::Status::OutOfRange("processor out of range");
+  }
+  // Stamped at "now": events already served keep the member; every later
+  // event evicts it via the log.
+  ApplyFault(FaultEvent::Crash(injector_->cursor(), p));
+  return util::Status::Ok();
+}
+
+util::Status ObjectService::Recover(ProcessorId p) {
+  if (injector_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "fault mode not enabled (EnableFaults first)");
+  }
+  if (p < 0 || p >= num_processors_) {
+    return util::Status::OutOfRange("processor out of range");
+  }
+  ApplyFault(FaultEvent::Recover(0, p));
+  return util::Status::Ok();
+}
+
+int64_t ObjectService::RepairDegraded() {
+  if (injector_ == nullptr) return 0;
+  int64_t added = 0;
+  const size_t index = injector_->cursor();  // repairs happen at "now"
+  for (ObjectShard& shard : shards_) {
+    added += shard.RepairAllDegraded(live_, index, crash_log_, *injector_,
+                                     &fault_stats_, check_invariant_);
+  }
+  return added;
+}
+
+size_t ObjectService::degraded_count() const {
+  size_t total = 0;
+  for (const ObjectShard& shard : shards_) total += shard.degraded_count();
+  return total;
+}
+
 util::Status ObjectService::ServeBatchInto(
     std::span<const workload::MultiObjectEvent> events, BatchResult* result) {
   return ServeBatchImpl(events, result);
@@ -242,7 +490,9 @@ util::StatusOr<BatchResult> ObjectService::ServeBatch(
 
 util::StatusOr<StreamResult> ObjectService::ServeStream(
     workload::EventSource& source, size_t batch_size) {
-  OBJALLOC_CHECK_GT(batch_size, 0u);
+  if (batch_size == 0) [[unlikely]] {
+    return util::Status::InvalidArgument("batch_size must be positive");
+  }
   // One buffer and one BatchResult recycled for the whole stream: the loop
   // body is allocation-free in steady state.
   std::vector<workload::MultiObjectEvent> buffer(batch_size);
@@ -259,6 +509,7 @@ util::StatusOr<StreamResult> ObjectService::ServeStream(
     result.events += static_cast<int64_t>(*filled);
     result.batches += 1;
     result.breakdown += batch.breakdown;
+    result.unavailable += batch.unavailable;
   }
   result.cost = result.breakdown.Cost(cost_model_);
   return result;

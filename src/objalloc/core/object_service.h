@@ -37,14 +37,31 @@
 // The service is not itself thread-safe: one caller drives it (batches are
 // the unit of internal parallelism), matching the paper's assumption of a
 // serializing concurrency-control front end (§3.1).
+//
+// Fault mode (DESIGN.md §9): EnableFaults arms a deterministic FaultInjector.
+// Faults are applied during the *serial* admission pass — each event's global
+// admission index advances fault time by one, scripted and random
+// crash/recover events fire there, and the live set at each event is recorded
+// — so the parallel serve pass stays embarrassingly parallel and the whole
+// fault history is bit-identical at any shard x thread count. Admission
+// degrades gracefully: a batch containing an event whose object needs more
+// live processors than exist is rejected atomically with kUnavailable
+// (replayable — fault time still advances, so a retry runs against the
+// recovered world); an event whose issuer is crashed is refused individually
+// (costs[i] = 0, served[i] = 0), matching the simulator's semantics. Repairs
+// happen lazily at serve time (ObjectShard::ServeSlotFaulty) or eagerly via
+// RepairDegraded. The zero-fault chaos path is bit-identical to the plain
+// engine; the plain path pays one predicted-not-taken branch per batch.
 
 #ifndef OBJALLOC_CORE_OBJECT_SERVICE_H_
 #define OBJALLOC_CORE_OBJECT_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "objalloc/core/fault_injector.h"
 #include "objalloc/core/object_shard.h"
 #include "objalloc/util/flat_directory.h"
 #include "objalloc/workload/event_source.h"
@@ -86,6 +103,11 @@ struct BatchResult {
   // Traffic of this batch alone (not the service lifetime totals).
   model::CostBreakdown breakdown;
   double cost = 0;
+  // Fault mode only (empty / zero on the fault-free path): served[i] == 0
+  // marks an event refused because its issuer was crashed — cost 0, no
+  // traffic, counted in `unavailable`.
+  std::vector<uint8_t> served;
+  int64_t unavailable = 0;
 };
 
 // Outcome of draining an EventSource.
@@ -94,6 +116,7 @@ struct StreamResult {
   size_t batches = 0;
   model::CostBreakdown breakdown;
   double cost = 0;
+  int64_t unavailable = 0;  // fault mode: events refused (issuer crashed)
 };
 
 class ObjectService {
@@ -102,6 +125,13 @@ class ObjectService {
 
   ObjectService(int num_processors, const model::CostModel& cost_model,
                 const ServiceOptions& options = {});
+
+  // Status-returning construction boundary: the constructor CHECK-fails on
+  // bad arguments, Create reports them instead (processor count out of
+  // [1, kMaxProcessors], invalid cost model or options).
+  static util::StatusOr<ObjectService> Create(
+      int num_processors, const model::CostModel& cost_model,
+      const ServiceOptions& options = {});
 
   // Registers an object with its home shard. Same validation as
   // ObjectManager::AddObject.
@@ -159,6 +189,52 @@ class ObjectService {
   util::StatusOr<StreamResult> ServeStream(
       workload::EventSource& source, size_t batch_size = kDefaultBatchSize);
 
+  // --- Fault mode -----------------------------------------------------
+
+  // Arms the fault layer: subsequent batches run through the chaos path
+  // under `options` (validated against the processor count) and the
+  // scripted `schedule` (sorted, in-range — the service-side twin of a
+  // sim::FailurePlan). The live set resets to all-live and fault time and
+  // stats restart. FailedPrecondition if any registered object uses a
+  // non-inlined algorithm kind (no defined failure semantics).
+  util::Status EnableFaults(const FaultInjectorOptions& options,
+                            FaultSchedule schedule = {});
+
+  // Disarms the fault layer. Liveness resets to all-live; schemes stay as
+  // the fault history left them (every object that saw traffic is back at t
+  // replicas by the repair invariant). Stats remain readable.
+  void DisableFaults();
+
+  bool faults_enabled() const { return injector_ != nullptr; }
+
+  // Manual liveness control (fault mode only; FailedPrecondition
+  // otherwise). Crash records the eviction in the crash log — schemes drop
+  // the dead member lazily at each object's next event (or eagerly via
+  // RepairDegraded); Recover only restores liveness — the recovered copy is
+  // stale and rejoins schemes through traffic, never implicitly. Crash of a
+  // crashed processor / recover of a live one are Ok no-ops.
+  util::Status Crash(ProcessorId p);
+  util::Status Recover(ProcessorId p);
+
+  // Eagerly repairs every degraded object that can reach t live replicas
+  // (shards in order, lowest slots first). Returns replicas created.
+  // Objects whose t exceeds the live count stay degraded.
+  int64_t RepairDegraded();
+
+  // Objects currently below their availability threshold (crashed replicas
+  // not yet repaired — they heal lazily on their next event).
+  size_t degraded_count() const;
+
+  ProcessorSet live_processors() const { return live_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  // AvailabilityInvariant (|scheme ∩ live| >= t after every served event,
+  // checked fatally): always on in debug builds, opt-in for release.
+  void set_check_invariant(bool on) { check_invariant_ = on; }
+  bool check_invariant() const { return check_invariant_; }
+
+  // --------------------------------------------------------------------
+
   util::StatusOr<ObjectStats> StatsFor(ObjectId id) const;
 
   // Lifetime aggregates, summed over shards in shard order — O(shards),
@@ -181,6 +257,20 @@ class ObjectService {
   util::Status ServeBatchImpl(std::span<const EventT> events,
                               BatchResult* result);
 
+  // Fault-mode tail of ServeBatchImpl, entered after the common admission
+  // pass validated routes: advances fault time once per event (serial),
+  // records per-event live sets, applies degraded admission, then serves
+  // through ServeSlotFaulty (in place or fanned by shard).
+  template <typename EventT>
+  util::Status ServeBatchFaultyTail(std::span<const EventT> events,
+                                    BatchResult* result, bool parallel);
+
+  // Applies one crash/recover to the live set (no-op if already in that
+  // state). A crash is appended to the crash log at its fault-time index —
+  // schemes evict the member lazily on their own serve timeline — and the
+  // crash-time scheme members are registered for eager repair.
+  void ApplyFault(const FaultEvent& event);
+
   int num_processors_;
   model::CostModel cost_model_;
   std::vector<ObjectShard> shards_;
@@ -197,6 +287,29 @@ class ObjectService {
   std::vector<uint64_t> routes_;                    // per event: shard|slot
   std::vector<std::vector<uint32_t>> shard_events_;  // per shard: event idxs
   std::vector<model::CostBreakdown> shard_deltas_;   // per shard: traffic
+
+  // Fault mode (null when disarmed — the plain path pays one predicted
+  // branch per batch). Integer FaultStats merge per shard in fixed order,
+  // so totals are deterministic; repair_latency sample *order* depends on
+  // the shard/thread configuration, its multiset does not.
+  std::unique_ptr<FaultInjector> injector_;
+  ProcessorSet live_;
+  // Every applied crash at its fault-time index (nondecreasing): the lazy
+  // scrub source slots consume positionally. Append-only while armed —
+  // growth is one record per crash, which the rates keep tiny relative to
+  // event volume; flushed and cleared on EnableFaults / DisableFaults.
+  CrashLog crash_log_;
+  FaultStats fault_stats_;
+#ifndef NDEBUG
+  bool check_invariant_ = true;
+#else
+  bool check_invariant_ = false;
+#endif
+  // Fault-path batch scratch (this path is not part of the zero-allocation
+  // contract; the plain path never touches it).
+  std::vector<FaultEvent> fault_buffer_;
+  std::vector<ProcessorSet> live_masks_;        // per event: live set
+  std::vector<FaultStats> shard_fault_stats_;   // per shard scratch
 };
 
 }  // namespace objalloc::core

@@ -1,8 +1,10 @@
 #include "objalloc/core/object_shard.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "objalloc/core/dynamic_allocation.h"
+#include "objalloc/model/legality.h"
 #include "objalloc/util/logging.h"
 
 namespace objalloc::core {
@@ -64,6 +66,7 @@ util::Status ObjectShard::AddObject(ObjectId id, const ObjectConfig& config) {
     default: {
       state.fallback = CreateAlgorithm(config.algorithm, cost_model_);
       state.fallback->Reset(num_processors_, config.initial_scheme);
+      fallback_objects_ += 1;
       break;
     }
   }
@@ -153,6 +156,273 @@ double ObjectShard::ServeSlot(uint32_t slot, const Request& request,
   total_breakdown_ += breakdown;
   if (delta != nullptr) *delta += breakdown;
   return cost;
+}
+
+void ObjectShard::ChargeMessages(bool control, int64_t count,
+                                 size_t event_index,
+                                 const FaultInjector& injector,
+                                 uint64_t* ordinal,
+                                 model::CostBreakdown* breakdown,
+                                 FaultStats* stats) const {
+  int64_t& field =
+      control ? breakdown->control_messages : breakdown->data_messages;
+  field += count;
+  if (!injector.has_message_loss()) return;
+  for (int64_t m = 0; m < count; ++m) {
+    const uint32_t ord = static_cast<uint32_t>((*ordinal)++);
+    const int lost = control ? injector.ControlRetries(event_index, ord)
+                             : injector.DataRetries(event_index, ord);
+    if (lost == 0) continue;
+    field += lost;  // one retransmission per lost attempt
+    (control ? stats->lost_control : stats->lost_data) += lost;
+    stats->backoff_units += (int64_t{1} << lost) - 1;  // sum of 2^attempt
+  }
+}
+
+void ObjectShard::MarkDegraded(uint32_t slot) {
+  if (degraded_.Contains(slot)) return;
+  degraded_.Insert(slot, 1);
+  degraded_list_.push_back(slot);
+}
+
+void ObjectShard::SyncSlotWithCrashes(SlotState* state,
+                                      const CrashLog& crash_log,
+                                      size_t up_to_index) {
+  // Log indices are nondecreasing, so stopping at the first future record
+  // consumes exactly the crashes in (previous event, up_to_index]. Erase is
+  // idempotent; a processor that crashed, recovered and rejoined is safe
+  // because rejoining happens at a serve, which consumed the crash record
+  // first.
+  size_t pos = state->crash_log_pos;
+  while (pos < crash_log.size() && crash_log[pos].index <= up_to_index) {
+    state->scheme.Erase(crash_log[pos].processor);
+    ++pos;
+  }
+  state->crash_log_pos = pos;
+}
+
+void ObjectShard::RepairScheme(SlotState* state, uint32_t slot,
+                               ProcessorSet live, size_t event_index,
+                               const FaultInjector& injector,
+                               uint64_t* ordinal,
+                               model::CostBreakdown* breakdown,
+                               FaultStats* stats) {
+  const int64_t backoff_before = stats->backoff_units;
+  // Deterministic re-replication: copy onto the lowest-id live processors
+  // outside the scheme until t replicas exist. Each copy is charged as a
+  // saving-read ({1 control, 1 data, 2 io} — the cost of creating a replica
+  // at a reader), so repair traffic and request traffic share one currency.
+  int added = 0;
+  ProcessorSet candidates = live.Minus(state->scheme);
+  while (static_cast<int32_t>(state->scheme.Size()) < state->t &&
+         !candidates.Empty()) {
+    const ProcessorId target = candidates.First();
+    candidates.Erase(target);
+    state->scheme.Insert(target);
+    ChargeMessages(/*control=*/true, 1, event_index, injector, ordinal,
+                   breakdown, stats);
+    ChargeMessages(/*control=*/false, 1, event_index, injector, ordinal,
+                   breakdown, stats);
+    breakdown->io_ops += 2;
+    ++added;
+  }
+  OBJALLOC_CHECK_GE(static_cast<int32_t>(state->scheme.Size()), state->t)
+      << "repair of object " << state->id
+      << " could not reach t live replicas (caller must admit |live| >= t)";
+  if (added > 0) {
+    stats->repairs += 1;
+    stats->replicas_added += added;
+    // Virtual repair latency: two message hops per replica plus the backoff
+    // spent retransmitting them.
+    stats->repair_latency.push_back(static_cast<double>(
+        2 * added + (stats->backoff_units - backoff_before)));
+  }
+  if (state->kind == AlgorithmKind::kDynamic) {
+    // Re-derive (F, p) from the t lowest members of the repaired scheme and
+    // restart the round-robin read index — the same deterministic split a
+    // fresh registration would produce.
+    ProcessorSet base;
+    int taken = 0;
+    for (const ProcessorId member : state->scheme) {
+      if (taken == state->t) break;
+      base.Insert(member);
+      ++taken;
+    }
+    DynamicAllocation::SplitScheme(base, &state->f, &state->p);
+    state->next_f = 0;
+  }
+  degraded_.Erase(slot);
+}
+
+double ObjectShard::ServeSlotFaulty(uint32_t slot, const Request& request,
+                                    size_t event_index, ProcessorSet live,
+                                    const CrashLog& crash_log,
+                                    const FaultInjector& injector,
+                                    model::CostBreakdown* delta,
+                                    FaultStats* stats, bool check_invariant) {
+  SlotState& state = slots_[slot];
+  const ProcessorId i = request.processor;
+  model::CostBreakdown breakdown;
+  uint64_t ordinal = 0;
+  // Lazy scrub: evict members crashed since the object's previous event.
+  SyncSlotWithCrashes(&state, crash_log, event_index);
+  // Entry repair: those crashes may have left the scheme below t or broken
+  // DA's core set. Restore t live replicas before the decision rule runs so
+  // it always sees a t-available scheme.
+  if (static_cast<int32_t>(state.scheme.Size()) < state.t ||
+      (state.kind == AlgorithmKind::kDynamic &&
+       !state.f.IsSubsetOf(state.scheme))) [[unlikely]] {
+    RepairScheme(&state, slot, live, event_index, injector, &ordinal,
+                 &breakdown, stats);
+  }
+  switch (state.kind) {
+    case AlgorithmKind::kStatic: {
+      if (request.is_read()) {
+        if (state.scheme.Contains(i)) {
+          breakdown.io_ops += 1;
+        } else {
+          ChargeMessages(/*control=*/true, 1, event_index, injector, &ordinal,
+                         &breakdown, stats);
+          ChargeMessages(/*control=*/false, 1, event_index, injector,
+                         &ordinal, &breakdown, stats);
+          breakdown.io_ops += 1;
+        }
+      } else {
+        // X = the (live) scheme: the lazy scrub evicted crashed members and
+        // entry repair restored |Q| = t, so the full-replication write rule
+        // is unchanged — only its transmissions can be lost.
+        const bool member = state.scheme.Contains(i);
+        const int64_t copies = state.scheme.Size();
+        ChargeMessages(/*control=*/false, copies - (member ? 1 : 0),
+                       event_index, injector, &ordinal, &breakdown, stats);
+        breakdown.io_ops += copies;
+      }
+      break;
+    }
+    case AlgorithmKind::kDynamic: {
+      if (request.is_read()) {
+        if (state.scheme.Contains(i)) {
+          breakdown.io_ops += 1;
+        } else {
+          // Saving-read, as in ServeSlot; the serving F member is live by
+          // the scheme ⊆ live invariant.
+          const uint32_t f_size = static_cast<uint32_t>(state.t - 1);
+          state.next_f = (state.next_f + 1) % f_size;
+          state.scheme.Insert(i);
+          ChargeMessages(/*control=*/true, 1, event_index, injector, &ordinal,
+                         &breakdown, stats);
+          ChargeMessages(/*control=*/false, 1, event_index, injector,
+                         &ordinal, &breakdown, stats);
+          breakdown.io_ops += 2;
+        }
+      } else {
+        // The rule's execution set intersected with the live world: the
+        // floating processor p is not part of the scheme between writes, so
+        // it can be dead without a preceding scrub — drop it here.
+        const ProcessorSet x =
+            DynamicAllocation::WriteSet(state.f, state.p, i).Intersect(live);
+        const int64_t control = state.scheme.Minus(x).WithErased(i).Size();
+        ChargeMessages(/*control=*/true, control, event_index, injector,
+                       &ordinal, &breakdown, stats);
+        ChargeMessages(/*control=*/false,
+                       static_cast<int64_t>(x.WithErased(i).Size()),
+                       event_index, injector, &ordinal, &breakdown, stats);
+        breakdown.io_ops += x.Size();
+        state.scheme = x;
+        // Exit repair: the write itself may have shrunk the scheme below t
+        // (dead floating processor). Re-replicate before the event ends so
+        // the invariant holds at every event boundary.
+        if (static_cast<int32_t>(state.scheme.Size()) < state.t)
+            [[unlikely]] {
+          RepairScheme(&state, slot, live, event_index, injector, &ordinal,
+                       &breakdown, stats);
+        }
+      }
+      break;
+    }
+    default:
+      OBJALLOC_CHECK(false)
+          << "fault injection supports only inlined algorithm kinds (object "
+          << state.id << ")";
+  }
+  if (check_invariant) {
+    const util::Status avail =
+        model::CheckSchemeAvailable(state.scheme, live, state.t);
+    OBJALLOC_CHECK(avail.ok())
+        << "object " << state.id << ": " << avail.ToString();
+  }
+  const double cost = breakdown.Cost(cost_model_);
+  state.requests += 1;
+  state.breakdown += breakdown;
+  total_requests_ += 1;
+  total_breakdown_ += breakdown;
+  if (delta != nullptr) *delta += breakdown;
+  return cost;
+}
+
+void ObjectShard::NoteCrash(ProcessorId p) {
+  // Advisory registry only: membership is tested against the scheme as last
+  // synchronized (possibly lagging the crash log), and the scheme is left
+  // untouched — eviction belongs to the serve timeline. RepairAllDegraded
+  // re-checks after applying pending records, so an over-mark heals to a
+  // no-op repair.
+  for (uint32_t slot = 0; slot < static_cast<uint32_t>(slots_.size());
+       ++slot) {
+    if (slots_[slot].scheme.Contains(p)) MarkDegraded(slot);
+  }
+}
+
+void ObjectShard::FlushCrashLog(const CrashLog& crash_log) {
+  for (SlotState& state : slots_) {
+    SyncSlotWithCrashes(&state, crash_log,
+                        std::numeric_limits<size_t>::max());
+    state.crash_log_pos = 0;
+  }
+  for (const uint32_t slot : degraded_list_) degraded_.Erase(slot);
+  degraded_list_.clear();
+}
+
+int64_t ObjectShard::RepairAllDegraded(ProcessorSet live, size_t event_index,
+                                       const CrashLog& crash_log,
+                                       const FaultInjector& injector,
+                                       FaultStats* stats,
+                                       bool check_invariant) {
+  if (degraded_list_.empty()) return 0;
+  // Lowest slots first; dedupe re-marks that accumulated after lazy repairs.
+  std::sort(degraded_list_.begin(), degraded_list_.end());
+  degraded_list_.erase(
+      std::unique(degraded_list_.begin(), degraded_list_.end()),
+      degraded_list_.end());
+  std::vector<uint32_t> remaining;
+  const int64_t before = stats->replicas_added;
+  for (const uint32_t slot : degraded_list_) {
+    if (!degraded_.Contains(slot)) continue;  // already repaired lazily
+    SlotState& state = slots_[slot];
+    if (static_cast<int32_t>(live.Size()) < state.t) {
+      remaining.push_back(slot);  // cannot reach t now; stays degraded
+      continue;
+    }
+    // Apply pending crash records first: the mark was taken against a
+    // possibly-lagging scheme, and repairing before eviction could top up
+    // to t while a dead member lingers.
+    SyncSlotWithCrashes(&state, crash_log, event_index);
+    model::CostBreakdown breakdown;
+    // Ordinal space partitioned by slot: repairs of distinct objects at the
+    // same fault-time index draw independent loss samples.
+    uint64_t ordinal = static_cast<uint64_t>(slot) * 128;
+    RepairScheme(&state, slot, live, event_index, injector, &ordinal,
+                 &breakdown, stats);
+    state.breakdown += breakdown;
+    total_breakdown_ += breakdown;
+    if (check_invariant) {
+      const util::Status avail =
+          model::CheckSchemeAvailable(state.scheme, live, state.t);
+      OBJALLOC_CHECK(avail.ok())
+          << "object " << state.id << ": " << avail.ToString();
+    }
+  }
+  degraded_list_ = std::move(remaining);
+  return stats->replicas_added - before;
 }
 
 util::StatusOr<double> ObjectShard::Serve(ObjectId id,

@@ -27,6 +27,24 @@
 // Aggregate accounting (TotalBreakdown / TotalRequests) is maintained
 // incrementally on every served request, so the totals are O(1) reads
 // rather than an O(objects) re-summation per call.
+//
+// Fault tolerance (DESIGN.md §9): the shard additionally owns the per-object
+// half of the failure model. Crashes scrub schemes *lazily*: the service
+// appends every applied crash to an append-only CrashLog, each slot keeps
+// its position in that log, and ServeSlotFaulty starts by dropping members
+// crashed at fault-time indices in the window since the object's previous
+// event — exactly that window, which keeps scheme state a pure function of
+// per-object event order even when a member joins and crashes inside one
+// batch (an eager scrub at crash time would run against pre-batch schemes
+// and miss, or mis-order, such members). A crashed copy is stale on
+// recovery — erasure is never undone by a later recover, matching the
+// simulator's recover-with-invalidated-copy semantics. NoteCrash registers
+// crash-time scheme members in a degraded-slot directory for eager repair;
+// ServeSlotFaulty itself is the liveness-aware twin of ServeSlot —
+// execution sets intersected with the live set, t-availability repaired by
+// deterministic re-replication charged as saving-reads, message loss
+// retried with exponential-backoff accounting — that is bit-identical to
+// ServeSlot when no fault fires.
 
 #ifndef OBJALLOC_CORE_OBJECT_SHARD_H_
 #define OBJALLOC_CORE_OBJECT_SHARD_H_
@@ -36,6 +54,7 @@
 #include <vector>
 
 #include "objalloc/core/dom_algorithm.h"
+#include "objalloc/core/fault_injector.h"
 #include "objalloc/model/cost_evaluator.h"
 #include "objalloc/util/flat_directory.h"
 #include "objalloc/util/status.h"
@@ -92,6 +111,16 @@ class ObjectShard {
   // cross-checks this against the handle's claimed id.
   ObjectId IdAt(uint32_t slot) const { return slots_[slot].id; }
 
+  // Availability threshold / algorithm of the object at `slot` (degraded
+  // admission checks |live| >= t per event without re-hashing the id).
+  int32_t ThresholdAt(uint32_t slot) const { return slots_[slot].t; }
+  AlgorithmKind KindAt(uint32_t slot) const { return slots_[slot].kind; }
+
+  // True when any registered object runs through the virtual fallback
+  // (kAdaptive): those algorithms have no defined failure semantics, so the
+  // fault layer refuses to engage while one exists.
+  bool HasFallbackObjects() const { return fallback_objects_ > 0; }
+
   // Serves one request against one object, returning the request's cost.
   // Requests against the same object must arrive in stream order.
   util::StatusOr<double> Serve(ObjectId id, const Request& request);
@@ -103,6 +132,59 @@ class ObjectShard {
   // shard.
   double ServeSlot(uint32_t slot, const Request& request,
                    model::CostBreakdown* delta);
+
+  // Liveness-aware twin of ServeSlot for the fault-injection path. The
+  // caller guarantees the issuer is live and |live| >= t for this object
+  // (degraded admission), and that `crash_log` holds every applied crash at
+  // a nondecreasing fault-time index. First scrubs members crashed since
+  // the object's previous event (records in (last event, event_index]),
+  // then repairs the scheme to t live replicas before the request runs (and
+  // again after a write whose execution set lost members), charges
+  // deterministic message-loss retries, and — when `check_invariant` —
+  // asserts |scheme ∩ live| >= t afterwards. With an all-live set and no
+  // loss draws this computes bit-identical costs and state transitions to
+  // ServeSlot (asserted by tests/fault_injection_test). Only inlinable
+  // kinds (SA, DA) are supported.
+  double ServeSlotFaulty(uint32_t slot, const Request& request,
+                         size_t event_index, ProcessorSet live,
+                         const CrashLog& crash_log,
+                         const FaultInjector& injector,
+                         model::CostBreakdown* delta, FaultStats* stats,
+                         bool check_invariant);
+
+  // Registers every object whose scheme holds crashed processor `p` in the
+  // degraded directory for eager repair. The scheme itself is *not*
+  // mutated here: eviction happens lazily from the crash log on the
+  // object's serve timeline (see ServeSlotFaulty), the only order in which
+  // in-batch joins and crashes compose correctly.
+  void NoteCrash(ProcessorId p);
+
+  // Eagerly repairs every degraded object that can reach t live replicas
+  // (lowest slots first — deterministic): pending crash-log records are
+  // applied first, then the scheme is re-replicated up to t, charged into
+  // the lifetime accounting. Objects whose t exceeds |live| stay degraded.
+  // Returns the number of replicas created.
+  int64_t RepairAllDegraded(ProcessorSet live, size_t event_index,
+                            const CrashLog& crash_log,
+                            const FaultInjector& injector, FaultStats* stats,
+                            bool check_invariant);
+
+  // Applies every remaining crash-log record to every slot and resets the
+  // per-slot log positions and the degraded registry. Called when the
+  // service arms or disarms fault mode, so schemes reflect the full crash
+  // history before the log is discarded.
+  void FlushCrashLog(const CrashLog& crash_log);
+
+  // Marks the object at `slot` as born after the first `pos` crash-log
+  // records: crashes recorded before registration (its scheme was validated
+  // against the then-live set) never apply to it.
+  void SetCrashLogStart(uint32_t slot, size_t pos) {
+    slots_[slot].crash_log_pos = pos;
+  }
+
+  // Objects currently registered as degraded (|scheme| < t or broken DA
+  // core set after crashes) and not yet repaired.
+  size_t degraded_count() const { return degraded_.size(); }
 
   util::StatusOr<ObjectStats> StatsFor(ObjectId id) const;
 
@@ -141,10 +223,40 @@ class ObjectShard {
     double cost_write_b = 0;
     // Warm: identity, accounting, and the virtual fallback.
     ObjectId id = -1;
+    // Crash-log records below this position are already applied to the
+    // scheme; monotone per slot (per-object event indices only grow).
+    size_t crash_log_pos = 0;
     int64_t requests = 0;
     model::CostBreakdown breakdown;
     std::unique_ptr<DomAlgorithm> fallback;  // non-inlined kinds only
   };
+
+  // Registers `slot` as degraded (idempotent).
+  void MarkDegraded(uint32_t slot);
+
+  // Erases from `state`'s scheme every crash-log member recorded at a
+  // fault-time index <= `up_to_index` that the slot has not yet applied,
+  // and advances the slot's log position past them.
+  void SyncSlotWithCrashes(SlotState* state, const CrashLog& crash_log,
+                           size_t up_to_index);
+
+  // Re-replicates `state`'s scheme up to t from the lowest-id live
+  // processors, each copy charged as a saving-read ({1 control, 1 data,
+  // 2 io}) with loss retries; re-derives DA's (F, p) split from the t
+  // lowest members of the repaired scheme; clears the degraded mark and
+  // records a repair-latency sample (virtual units) in `*stats`.
+  void RepairScheme(SlotState* state, uint32_t slot, ProcessorSet live,
+                    size_t event_index, const FaultInjector& injector,
+                    uint64_t* ordinal, model::CostBreakdown* breakdown,
+                    FaultStats* stats);
+
+  // Adds `count` transmissions of one message type to `*breakdown` plus the
+  // deterministic loss retries of each (one duplicate message per lost
+  // attempt, exponential backoff accounted in stats).
+  void ChargeMessages(bool control, int64_t count, size_t event_index,
+                      const FaultInjector& injector, uint64_t* ordinal,
+                      model::CostBreakdown* breakdown,
+                      FaultStats* stats) const;
 
   int num_processors_;
   model::CostModel cost_model_;
@@ -152,6 +264,13 @@ class ObjectShard {
   util::FlatDirectory<uint32_t> directory_;  // id → slot
   model::CostBreakdown total_breakdown_;
   int64_t total_requests_ = 0;
+  size_t fallback_objects_ = 0;  // objects on the virtual fallback path
+  // Degraded-object registry: slot → 1 while |scheme| < t (or DA's core
+  // set is broken) after a crash. The directory dedupes (erased on repair —
+  // the FlatDirectory tombstone path); the list gives deterministic
+  // iteration order and is compacted by RepairAllDegraded.
+  util::FlatDirectory<uint32_t> degraded_;
+  std::vector<uint32_t> degraded_list_;
 };
 
 }  // namespace objalloc::core

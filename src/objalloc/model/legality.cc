@@ -41,4 +41,16 @@ util::Status CheckLegalAndTAvailable(const AllocationSchedule& schedule,
   return CheckTAvailable(schedule, t);
 }
 
+util::Status CheckSchemeAvailable(ProcessorSet scheme, ProcessorSet live,
+                                  int t) {
+  const int alive = scheme.Intersect(live).Size();
+  if (alive < t) {
+    return util::Status::FailedPrecondition(
+        "availability invariant violated: scheme " + scheme.ToString() +
+        " has " + std::to_string(alive) + " live member(s) (live set " +
+        live.ToString() + "), needs t=" + std::to_string(t));
+  }
+  return util::Status::Ok();
+}
+
 }  // namespace objalloc::model

@@ -24,6 +24,14 @@ util::Status CheckTAvailable(const AllocationSchedule& schedule, int t);
 // Both checks.
 util::Status CheckLegalAndTAvailable(const AllocationSchedule& schedule, int t);
 
+// t-availability under failures: at least t *live* replicas of the latest
+// version must exist, i.e. |scheme ∩ live| >= t. This is the per-event
+// AvailabilityInvariant the fault-tolerant serving engine asserts after
+// every served request (DESIGN.md §9); the offline CheckTAvailable above is
+// its failure-free specialization (live = all processors).
+util::Status CheckSchemeAvailable(ProcessorSet scheme, ProcessorSet live,
+                                  int t);
+
 }  // namespace objalloc::model
 
 #endif  // OBJALLOC_MODEL_LEGALITY_H_

@@ -1,17 +1,67 @@
 #include "objalloc/sim/failure.h"
 
+#include <algorithm>
+
 namespace objalloc::sim {
 
 bool FailurePlan::IsValid(int num_processors) const {
   size_t last = 0;
+  util::ProcessorSet crashed;
+  util::ProcessorSet touched;  // processors named at the current index
   for (const FailureEvent& event : events) {
     if (event.before_request < last) return false;
     if (event.processor < 0 || event.processor >= num_processors) {
       return false;
     }
+    if (event.before_request != last) touched.Clear();
     last = event.before_request;
+    if (touched.Contains(event.processor)) return false;  // duplicate pair
+    touched.Insert(event.processor);
+    if (event.crash == crashed.Contains(event.processor)) {
+      return false;  // crash of crashed / recover of live
+    }
+    if (event.crash) {
+      crashed.Insert(event.processor);
+    } else {
+      crashed.Erase(event.processor);
+    }
   }
   return true;
+}
+
+void FailurePlan::Normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FailureEvent& a, const FailureEvent& b) {
+                     return a.before_request < b.before_request;
+                   });
+  size_t last = 0;
+  util::ProcessorSet crashed;
+  util::ProcessorSet touched;
+  size_t kept = 0;
+  for (const FailureEvent& event : events) {
+    if (event.before_request != last) touched.Clear();
+    last = event.before_request;
+    if (touched.Contains(event.processor)) continue;  // duplicate pair
+    if (event.crash == crashed.Contains(event.processor)) continue;  // no-op
+    touched.Insert(event.processor);
+    if (event.crash) {
+      crashed.Insert(event.processor);
+    } else {
+      crashed.Erase(event.processor);
+    }
+    events[kept++] = event;
+  }
+  events.resize(kept);
+}
+
+core::FaultSchedule ToFaultSchedule(const FailurePlan& plan) {
+  core::FaultSchedule schedule;
+  schedule.reserve(plan.events.size());
+  for (const FailureEvent& event : plan.events) {
+    schedule.push_back(core::FaultEvent{event.before_request, event.processor,
+                                        event.crash});
+  }
+  return schedule;
 }
 
 }  // namespace objalloc::sim

@@ -1,5 +1,11 @@
 // Failure plans: crash/recover events injected between requests of a
 // schedule run.
+//
+// A plan is the offline description of a fault history. The same plan can
+// drive the discrete-event simulator (sim::Simulator / MultiObjectSim) and —
+// through ToFaultSchedule — the high-throughput serving engine's
+// FaultInjector, which is what makes count-for-count crosschecks between the
+// two possible (tests/fault_injection_test.cc).
 
 #ifndef OBJALLOC_SIM_FAILURE_H_
 #define OBJALLOC_SIM_FAILURE_H_
@@ -7,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "objalloc/core/fault_injector.h"
 #include "objalloc/util/processor_set.h"
 
 namespace objalloc::sim {
@@ -30,9 +37,27 @@ struct FailurePlan {
   std::vector<FailureEvent> events;  // must be sorted by before_request
 
   bool empty() const { return events.empty(); }
-  // Validates ordering and processor ranges.
+
+  // Validates the plan against a world that starts all-live:
+  //   * events sorted by before_request, processors in range;
+  //   * no duplicate (before_request, processor) pair — a processor changes
+  //     state at most once per request boundary;
+  //   * no crash of an already-crashed processor and no recover of a live
+  //     one (state is tracked across the whole plan).
   bool IsValid(int num_processors) const;
+
+  // Rewrites the plan into valid form: stable-sorts by before_request, then
+  // drops no-op transitions (crash of crashed, recover of live) and any
+  // later event naming an (index, processor) pair already used. The result
+  // passes IsValid and has the same effect on an all-live world.
+  void Normalize();
 };
+
+// Field-for-field mapping of a failure plan onto the serving engine's
+// scripted fault schedule (before_request becomes the global admission-
+// stream index). The plan should be valid; the injector treats residual
+// no-op transitions as no-ops either way.
+core::FaultSchedule ToFaultSchedule(const FailurePlan& plan);
 
 }  // namespace objalloc::sim
 

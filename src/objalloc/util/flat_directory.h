@@ -12,12 +12,20 @@
 // load factor is capped at 3/4. Lookups are 1-2 cache lines in the common
 // case and allocation-free always.
 //
-// Deliberately minimal: insert-only (objects are never unregistered) and
-// value-based absence (kNotFound) — exactly the contract the serving
-// engine needs. The value type is a template parameter: ObjectShard maps
-// id → uint32 slot, ObjectService maps id → uint64 packed (shard, slot)
-// route. Iteration order is intentionally not provided; deterministic
-// listings must come from the dense slot vector, never from a hash table.
+// Deliberately minimal: value-based absence (kNotFound) — exactly the
+// contract the serving engine needs. The value type is a template
+// parameter: ObjectShard maps id → uint32 slot, ObjectService maps id →
+// uint64 packed (shard, slot) route. Iteration order is intentionally not
+// provided; deterministic listings must come from the dense slot vector,
+// never from a hash table.
+//
+// Erase support uses tombstones (the fault-tolerance layer's per-shard
+// degraded-object registry inserts an object when a crash drops its scheme
+// below t and erases it once repaired): an erased bucket keeps its place in
+// every probe chain that stepped over it, so Find never terminates early
+// past a deletion. Tombstones count toward the load cap — a rehash (which
+// drops them) is triggered by the same 3/4 bound, so churn-heavy
+// erase/insert cycles cannot degenerate probe chains unboundedly.
 
 #ifndef OBJALLOC_UTIL_FLAT_DIRECTORY_H_
 #define OBJALLOC_UTIL_FLAT_DIRECTORY_H_
@@ -36,6 +44,9 @@ class FlatDirectory {
  public:
   // Returned by Find for absent keys; never a legal value.
   static constexpr Value kNotFound = static_cast<Value>(-1);
+  // Marks an erased bucket; also never a legal value. Probe chains treat a
+  // tombstone as occupied (keep probing) while Find reports the key absent.
+  static constexpr Value kTombstone = static_cast<Value>(-2);
 
   FlatDirectory() = default;
 
@@ -55,7 +66,7 @@ class FlatDirectory {
     while (true) {
       const Entry& entry = entries_[i];
       if (entry.value == kNotFound) return kNotFound;
-      if (entry.key == key) return entry.value;
+      if (entry.value != kTombstone && entry.key == key) return entry.value;
       i = (i + 1) & mask_;
     }
   }
@@ -63,19 +74,48 @@ class FlatDirectory {
   bool Contains(int64_t key) const { return Find(key) != kNotFound; }
 
   // Inserts key → value. The key must be absent and the value legal;
-  // both are programming errors of the caller, checked fatally.
+  // both are programming errors of the caller, checked fatally. Reuses the
+  // first tombstone on the probe chain (after confirming the key is indeed
+  // absent further down the chain).
   void Insert(int64_t key, Value value) {
     OBJALLOC_CHECK_NE(value, kNotFound) << "reserved sentinel value";
-    if ((size_ + 1) * 4 > entries_.size() * 3) {
+    OBJALLOC_CHECK_NE(value, kTombstone) << "reserved sentinel value";
+    if ((used_ + 1) * 4 > entries_.size() * 3) {
       Rehash(CapacityFor(size_ + 1));
     }
     size_t i = Mix(key) & mask_;
+    size_t place = entries_.size();  // first tombstone seen, if any
     while (entries_[i].value != kNotFound) {
-      OBJALLOC_CHECK_NE(entries_[i].key, key) << "duplicate key " << key;
+      if (entries_[i].value == kTombstone) {
+        if (place == entries_.size()) place = i;
+      } else {
+        OBJALLOC_CHECK_NE(entries_[i].key, key) << "duplicate key " << key;
+      }
       i = (i + 1) & mask_;
     }
-    entries_[i] = Entry{key, value};
+    if (place == entries_.size()) {
+      place = i;
+      ++used_;  // a tombstone was already counted as used
+    }
+    entries_[place] = Entry{key, value};
     ++size_;
+  }
+
+  // Erases `key` if present, leaving a tombstone so probe chains through
+  // this bucket stay intact. Returns whether the key was present.
+  bool Erase(int64_t key) {
+    if (entries_.empty()) return false;
+    size_t i = Mix(key) & mask_;
+    while (true) {
+      Entry& entry = entries_[i];
+      if (entry.value == kNotFound) return false;
+      if (entry.value != kTombstone && entry.key == key) {
+        entry.value = kTombstone;
+        --size_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
   }
 
  private:
@@ -101,21 +141,24 @@ class FlatDirectory {
     return capacity;
   }
 
+  // Rebuilds at `capacity`, dropping tombstones (live entries only).
   void Rehash(size_t capacity) {
     std::vector<Entry> old = std::move(entries_);
     entries_.assign(capacity, Entry{});
     mask_ = capacity - 1;
     for (const Entry& entry : old) {
-      if (entry.value == kNotFound) continue;
+      if (entry.value == kNotFound || entry.value == kTombstone) continue;
       size_t i = Mix(entry.key) & mask_;
       while (entries_[i].value != kNotFound) i = (i + 1) & mask_;
       entries_[i] = entry;
     }
+    used_ = size_;
   }
 
   std::vector<Entry> entries_;
   size_t mask_ = 0;
-  size_t size_ = 0;
+  size_t size_ = 0;  // live entries
+  size_t used_ = 0;  // live entries + tombstones (load-factor accounting)
 };
 
 }  // namespace objalloc::util

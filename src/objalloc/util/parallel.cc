@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -29,6 +30,9 @@ int EnvThreads() {
   static const int env = [] {
     const char* value = std::getenv("OBJALLOC_THREADS");
     if (value == nullptr || *value == '\0') return 0;
+    // "hw" explicitly requests hardware concurrency — the spelling CI uses
+    // to mean "whatever this runner has" without baking in a count.
+    if (std::strcmp(value, "hw") == 0) return HardwareThreads();
     char* end = nullptr;
     long parsed = std::strtol(value, &end, 10);
     if (end == value || *end != '\0' || parsed <= 0) return 0;

@@ -21,6 +21,7 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  kUnavailable = 7,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT"...).
@@ -52,6 +53,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  // Transient refusal: the system cannot serve the request *now* (too few
+  // live processors to preserve t-availability); retrying after recovery
+  // can succeed, unlike the permanent-error codes above.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -194,5 +194,78 @@ TEST(FailurePlanTest, Validation) {
   EXPECT_TRUE(plan.IsValid(4));
 }
 
+TEST(FailurePlanTest, RejectsDuplicatePairsAndRedundantTransitions) {
+  // Duplicate (before_request, processor) pair — even as crash + recover.
+  FailurePlan plan;
+  plan.events.push_back(FailureEvent::Crash(2, 1));
+  plan.events.push_back(FailureEvent::Recover(2, 1));
+  EXPECT_FALSE(plan.IsValid(4));
+
+  // Crash of an already-crashed processor.
+  plan.events.clear();
+  plan.events.push_back(FailureEvent::Crash(1, 0));
+  plan.events.push_back(FailureEvent::Crash(3, 0));
+  EXPECT_FALSE(plan.IsValid(4));
+
+  // Recover of a processor that never crashed.
+  plan.events.clear();
+  plan.events.push_back(FailureEvent::Recover(1, 2));
+  EXPECT_FALSE(plan.IsValid(4));
+
+  // The same pair at *different* indices is a legal churn sequence.
+  plan.events.clear();
+  plan.events.push_back(FailureEvent::Crash(1, 2));
+  plan.events.push_back(FailureEvent::Recover(3, 2));
+  plan.events.push_back(FailureEvent::Crash(5, 2));
+  EXPECT_TRUE(plan.IsValid(4));
+
+  // Distinct processors at one index are independent transitions.
+  plan.events.clear();
+  plan.events.push_back(FailureEvent::Crash(2, 0));
+  plan.events.push_back(FailureEvent::Crash(2, 1));
+  EXPECT_TRUE(plan.IsValid(4));
+}
+
+TEST(FailurePlanTest, NormalizeSortsAndDropsRedundancy) {
+  FailurePlan plan;
+  plan.events.push_back(FailureEvent::Crash(6, 1));     // out of order
+  plan.events.push_back(FailureEvent::Crash(2, 0));
+  plan.events.push_back(FailureEvent::Crash(2, 0));     // duplicate pair
+  plan.events.push_back(FailureEvent::Recover(4, 2));   // recover-of-live
+  plan.events.push_back(FailureEvent::Recover(8, 0));
+  plan.events.push_back(FailureEvent::Crash(8, 0));     // dup pair, dropped
+  EXPECT_FALSE(plan.IsValid(4));
+  plan.Normalize();
+  EXPECT_TRUE(plan.IsValid(4));
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.events[0].before_request, 2u);
+  EXPECT_EQ(plan.events[0].processor, 0);
+  EXPECT_TRUE(plan.events[0].crash);
+  EXPECT_EQ(plan.events[1].before_request, 6u);
+  EXPECT_EQ(plan.events[1].processor, 1);
+  EXPECT_EQ(plan.events[2].before_request, 8u);
+  EXPECT_EQ(plan.events[2].processor, 0);
+  EXPECT_FALSE(plan.events[2].crash);
+  // Normalizing a normalized plan is the identity.
+  FailurePlan again = plan;
+  again.Normalize();
+  ASSERT_EQ(again.events.size(), plan.events.size());
+}
+
+TEST(FailurePlanTest, ToFaultScheduleMapsFieldForField) {
+  FailurePlan plan;
+  plan.events.push_back(FailureEvent::Crash(3, 1));
+  plan.events.push_back(FailureEvent::Recover(9, 1));
+  plan.events.push_back(FailureEvent::Crash(12, 0));
+  const core::FaultSchedule schedule = ToFaultSchedule(plan);
+  ASSERT_EQ(schedule.size(), plan.events.size());
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i].before_event, plan.events[i].before_request);
+    EXPECT_EQ(schedule[i].processor, plan.events[i].processor);
+    EXPECT_EQ(schedule[i].crash, plan.events[i].crash);
+  }
+  EXPECT_TRUE(core::FaultInjector::ValidateSchedule(schedule, 4).ok());
+}
+
 }  // namespace
 }  // namespace objalloc::sim

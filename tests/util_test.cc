@@ -7,6 +7,7 @@
 
 #include "objalloc/util/ascii_plot.h"
 #include "objalloc/util/csv.h"
+#include "objalloc/util/flat_directory.h"
 #include "objalloc/util/processor_set.h"
 #include "objalloc/util/rng.h"
 #include "objalloc/util/stats.h"
@@ -181,6 +182,93 @@ TEST(RngTest, ForkIsIndependent) {
   int equal = 0;
   for (int i = 0; i < 20; ++i) equal += a.Next() == b.Next();
   EXPECT_LT(equal, 3);
+}
+
+// ------------------------------------------------------- FlatDirectory
+
+TEST(FlatDirectoryTest, HeavyGrowthKeepsEveryMapping) {
+  // 50k sparse keys through repeated rehashes: every mapping must survive,
+  // and keys never inserted must stay absent.
+  FlatDirectory<uint32_t> directory;
+  Rng rng(41);
+  std::vector<int64_t> keys;
+  keys.reserve(50000);
+  while (keys.size() < 50000) {
+    const auto key = static_cast<int64_t>(rng.Next() >> 1);
+    if (directory.Contains(key)) continue;
+    directory.Insert(key, static_cast<uint32_t>(keys.size()));
+    keys.push_back(key);
+  }
+  EXPECT_EQ(directory.size(), 50000u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(directory.Find(keys[i]), static_cast<uint32_t>(i))
+        << "key " << keys[i];
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto absent = static_cast<int64_t>(-2 - i);
+    EXPECT_EQ(directory.Find(absent), FlatDirectory<uint32_t>::kNotFound);
+  }
+}
+
+TEST(FlatDirectoryTest, EraseLeavesProbeChainsIntact) {
+  // Keys that collide into shared probe chains: erasing one in the middle
+  // must not hide the ones that probed past it.
+  FlatDirectory<uint32_t> directory;
+  for (int64_t key = 0; key < 64; ++key) {
+    directory.Insert(key, static_cast<uint32_t>(key + 100));
+  }
+  // Erase every third key, then verify all survivors resolve.
+  for (int64_t key = 0; key < 64; key += 3) {
+    EXPECT_TRUE(directory.Erase(key));
+    EXPECT_FALSE(directory.Erase(key));  // second erase: already gone
+  }
+  EXPECT_EQ(directory.size(), 64u - 22u);
+  for (int64_t key = 0; key < 64; ++key) {
+    if (key % 3 == 0) {
+      EXPECT_EQ(directory.Find(key), FlatDirectory<uint32_t>::kNotFound);
+    } else {
+      EXPECT_EQ(directory.Find(key), static_cast<uint32_t>(key + 100));
+    }
+  }
+  // Erased keys can rejoin (tombstone reuse on the same chain).
+  for (int64_t key = 0; key < 64; key += 3) {
+    directory.Insert(key, static_cast<uint32_t>(key + 500));
+  }
+  EXPECT_EQ(directory.size(), 64u);
+  for (int64_t key = 0; key < 64; key += 3) {
+    EXPECT_EQ(directory.Find(key), static_cast<uint32_t>(key + 500));
+  }
+}
+
+TEST(FlatDirectoryTest, InsertEraseChurnMatchesReferenceMap) {
+  // Randomized churn over a small key universe forces heavy tombstone
+  // traffic and tombstone-dropping rehashes; a reference map arbitrates.
+  FlatDirectory<uint32_t> directory;
+  std::vector<int64_t> live_value(512, -1);  // -1 = absent, else value
+  Rng rng(43);
+  for (int step = 0; step < 200000; ++step) {
+    const auto key = static_cast<int64_t>(rng.NextBounded(512));
+    if (live_value[static_cast<size_t>(key)] >= 0) {
+      EXPECT_TRUE(directory.Erase(key));
+      live_value[static_cast<size_t>(key)] = -1;
+    } else {
+      const auto value = static_cast<uint32_t>(rng.NextBounded(1 << 20));
+      directory.Insert(key, value);
+      live_value[static_cast<size_t>(key)] = value;
+    }
+    if (step % 4096 == 0) {
+      for (int64_t k = 0; k < 512; ++k) {
+        const int64_t expected = live_value[static_cast<size_t>(k)];
+        ASSERT_EQ(directory.Find(k),
+                  expected < 0 ? FlatDirectory<uint32_t>::kNotFound
+                               : static_cast<uint32_t>(expected))
+            << "step " << step << " key " << k;
+      }
+    }
+  }
+  size_t live = 0;
+  for (const int64_t v : live_value) live += v >= 0;
+  EXPECT_EQ(directory.size(), live);
 }
 
 TEST(ZipfTest, ThetaZeroIsUniform) {
