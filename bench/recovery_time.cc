@@ -1,0 +1,319 @@
+// Recovery-time benchmark for the durability layer (DESIGN.md §10).
+//
+// Three questions, one table:
+//   1. What does durability cost while serving? (events/sec with the WAL
+//      attached vs the plain engine — the zero-durability row, which must
+//      also reproduce the committed golden fingerprint bit for bit.)
+//   2. How fast does recovery replay? (replayed events/sec through the
+//      deterministic serving engine.)
+//   3. How does the checkpoint interval trade serving overhead against
+//      recovery time? (Longer WAL tail => cheaper serving, slower recovery.)
+//
+// Every durable run and every recovery is asserted bit-identical to the
+// plain run's fingerprint — a recovery that is fast but wrong fails the
+// bench, not just the numbers.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "objalloc/core/object_service.h"
+#include "objalloc/util/crc32.h"
+#include "objalloc/util/io.h"
+#include "objalloc/util/logging.h"
+#include "objalloc/workload/multi_object.h"
+
+namespace {
+
+using namespace objalloc;
+
+struct Fingerprint {
+  model::CostBreakdown breakdown;
+  int64_t requests = 0;
+  uint32_t scheme_crc = 0;
+
+  bool operator==(const Fingerprint& other) const {
+    return breakdown == other.breakdown && requests == other.requests &&
+           scheme_crc == other.scheme_crc;
+  }
+};
+
+core::ObjectConfig ServiceConfig() {
+  core::ObjectConfig config;
+  config.initial_scheme = model::ProcessorSet{0, 1};
+  config.algorithm = core::AlgorithmKind::kDynamic;
+  return config;
+}
+
+Fingerprint Capture(const core::ObjectService& service) {
+  Fingerprint fingerprint;
+  fingerprint.breakdown = service.TotalBreakdown();
+  fingerprint.requests = service.TotalRequests();
+  uint32_t crc = 0;
+  for (core::ObjectId id : service.SortedObjectIds()) {
+    const uint64_t mask = service.StatsFor(id)->scheme.mask();
+    crc = util::Crc32(&id, sizeof(id), crc);
+    crc = util::Crc32(&mask, sizeof(mask), crc);
+  }
+  fingerprint.scheme_crc = crc;
+  return fingerprint;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point stop) {
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+struct Row {
+  size_t checkpoint_interval = 0;
+  double serve_seconds = 0;
+  double durable_events_per_sec = 0;
+  double overhead_vs_plain = 0;  // serve time ratio, 1.0 = free
+  uint64_t checkpoints_taken = 0;
+  uint64_t wal_tail_events = 0;
+  uint64_t wal_tail_bytes = 0;
+  double recover_seconds = 0;
+  double replay_events_per_sec = 0;
+};
+
+std::vector<size_t> ParseSizeList(const std::string& arg, const char* flag) {
+  std::vector<size_t> values;
+  size_t pos = 0;
+  while (pos <= arg.size()) {
+    size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string token = arg.substr(pos, comma - pos);
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      std::fprintf(stderr, "bad value in %s: '%s'\n", flag, token.c_str());
+      std::exit(1);
+    }
+    values.push_back(static_cast<size_t>(value));
+    pos = comma + 1;
+    if (pos == arg.size() + 1) break;
+  }
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_recovery.json";
+  std::string dir_root =
+      (std::filesystem::temp_directory_path() / "objalloc_recovery_bench")
+          .string();
+  size_t events = 100000;
+  int objects = 512;
+  int processors = 16;
+  size_t batch_size = 8192;
+  int repeats = 2;
+  // 0 = no auto-checkpoint: the WAL tail is the whole history.
+  std::vector<size_t> intervals = {0, 25000, 100000};
+  long long expect_control = -1, expect_data = -1, expect_io = -1,
+            expect_crc = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto int_flag = [&](const char* prefix, auto* out) {
+      const size_t n = std::string(prefix).size();
+      if (arg.rfind(prefix, 0) != 0) return false;
+      long long value = std::atoll(arg.substr(n).c_str());
+      if (value <= 0) {
+        std::fprintf(stderr, "bad value: %s\n", arg.c_str());
+        std::exit(1);
+      }
+      *out = static_cast<std::decay_t<decltype(*out)>>(value);
+      return true;
+    };
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      dir_root = arg.substr(6);
+    } else if (arg.rfind("--intervals=", 0) == 0) {
+      intervals = ParseSizeList(arg.substr(12), "--intervals=");
+    } else if (int_flag("--events=", &events) ||
+               int_flag("--objects=", &objects) ||
+               int_flag("--processors=", &processors) ||
+               int_flag("--batch=", &batch_size) ||
+               int_flag("--repeats=", &repeats) ||
+               int_flag("--expect_control=", &expect_control) ||
+               int_flag("--expect_data=", &expect_data) ||
+               int_flag("--expect_io=", &expect_io) ||
+               int_flag("--expect_crc=", &expect_crc)) {
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  const uint64_t kSeed = 0x5eed5ca1e;  // same trace as service_scaling
+  workload::MultiObjectOptions options;
+  options.num_processors = processors;
+  options.num_objects = objects;
+  options.length = events;
+  options.popularity_skew = 0.9;
+  std::printf("generating %zu events over %d objects, %d processors...\n",
+              events, objects, processors);
+  const workload::MultiObjectTrace trace =
+      workload::GenerateMultiObjectTrace(options, kSeed);
+  const std::span<const workload::MultiObjectEvent> all(trace.events);
+  const model::CostModel sc = model::CostModel::StationaryComputing(0.25, 1.0);
+
+  auto serve_all = [&](core::ObjectService& service) {
+    for (size_t pos = 0; pos < all.size(); pos += batch_size) {
+      const size_t n = std::min(batch_size, all.size() - pos);
+      auto result = service.ServeBatch(all.subspan(pos, n));
+      OBJALLOC_CHECK(result.ok()) << result.status().ToString();
+    }
+  };
+
+  // --- Zero-durability row: the plain engine, golden-checked -----------
+  Fingerprint plain;
+  double plain_seconds = 0;
+  {
+    double best = 0;
+    for (int r = 0; r < repeats; ++r) {
+      core::ObjectService service(processors, sc);
+      service.ReserveObjects(static_cast<size_t>(objects));
+      for (int id = 0; id < objects; ++id) {
+        OBJALLOC_CHECK(service.AddObject(id, ServiceConfig()).ok());
+      }
+      auto start = std::chrono::steady_clock::now();
+      serve_all(service);
+      auto stop = std::chrono::steady_clock::now();
+      const double seconds = Seconds(start, stop);
+      if (r == 0 || seconds < best) best = seconds;
+      plain = Capture(service);
+    }
+    plain_seconds = best;
+    std::printf("%-32s %12.0f events/sec   fingerprint control=%lld "
+                "data=%lld io=%lld crc=%u\n",
+                "plain engine (durability off)",
+                static_cast<double>(events) / best,
+                static_cast<long long>(plain.breakdown.control_messages),
+                static_cast<long long>(plain.breakdown.data_messages),
+                static_cast<long long>(plain.breakdown.io_ops),
+                plain.scheme_crc);
+  }
+  auto check_golden = [](const char* name, long long expect, long long got) {
+    if (expect >= 0 && expect != got) {
+      std::fprintf(stderr,
+                   "GOLDEN MISMATCH: %s expected %lld, got %lld\n", name,
+                   expect, got);
+      std::exit(1);
+    }
+  };
+  check_golden("control", expect_control,
+               plain.breakdown.control_messages);
+  check_golden("data", expect_data, plain.breakdown.data_messages);
+  check_golden("io", expect_io, plain.breakdown.io_ops);
+  check_golden("scheme_crc", expect_crc,
+               static_cast<long long>(plain.scheme_crc));
+
+  // --- Durable rows: serve with WAL attached, then recover -------------
+  std::vector<Row> rows;
+  for (size_t interval : intervals) {
+    const std::string dir =
+        dir_root + "/interval_" + std::to_string(interval);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    Row row;
+    row.checkpoint_interval = interval;
+    core::DurabilityOptions durability;
+    durability.checkpoint_interval_events = interval;
+    {
+      core::ObjectService service(processors, sc);
+      service.ReserveObjects(static_cast<size_t>(objects));
+      for (int id = 0; id < objects; ++id) {
+        OBJALLOC_CHECK(service.AddObject(id, ServiceConfig()).ok());
+      }
+      OBJALLOC_CHECK(service.EnableDurability(dir, durability).ok());
+      auto start = std::chrono::steady_clock::now();
+      serve_all(service);
+      OBJALLOC_CHECK(service.SyncDurable().ok());
+      auto stop = std::chrono::steady_clock::now();
+      row.serve_seconds = Seconds(start, stop);
+      const Fingerprint durable = Capture(service);
+      OBJALLOC_CHECK(durable == plain)
+          << "durable serving diverged from the plain engine";
+      // The service dies here; the directory is the crash image.
+    }
+    row.durable_events_per_sec =
+        static_cast<double>(events) / row.serve_seconds;
+    row.overhead_vs_plain = row.serve_seconds / plain_seconds;
+
+    double best_recover = 0;
+    core::RecoveryReport report;
+    for (int r = 0; r < repeats; ++r) {
+      auto start = std::chrono::steady_clock::now();
+      auto recovered = core::ObjectService::Recover(dir, durability, &report);
+      auto stop = std::chrono::steady_clock::now();
+      OBJALLOC_CHECK(recovered.ok()) << recovered.status().ToString();
+      const double seconds = Seconds(start, stop);
+      if (r == 0 || seconds < best_recover) best_recover = seconds;
+      const Fingerprint after = Capture(*recovered);
+      OBJALLOC_CHECK(after == plain)
+          << "recovery diverged from the plain engine";
+    }
+    row.recover_seconds = best_recover;
+    row.checkpoints_taken = report.checkpoint_sequence - 1;
+    row.wal_tail_events = report.events_replayed;
+    auto wal_size = util::FileSize(
+        dir + "/" + core::WalFileName(report.checkpoint_sequence));
+    row.wal_tail_bytes = wal_size.ok() ? *wal_size : 0;
+    row.replay_events_per_sec =
+        row.wal_tail_events == 0
+            ? 0
+            : static_cast<double>(row.wal_tail_events) / best_recover;
+    rows.push_back(row);
+    std::printf("interval=%-8zu serve %6.3fs (%5.2fx plain)  "
+                "tail %7llu events %9llu bytes  recover %7.4fs  "
+                "replay %10.0f events/sec\n",
+                interval, row.serve_seconds, row.overhead_vs_plain,
+                static_cast<unsigned long long>(row.wal_tail_events),
+                static_cast<unsigned long long>(row.wal_tail_bytes),
+                row.recover_seconds, row.replay_events_per_sec);
+    std::filesystem::remove_all(dir);
+  }
+
+  std::ofstream out(out_path);
+  OBJALLOC_CHECK(out.good()) << "cannot open " << out_path;
+  out << "{\n";
+  out << "  \"benchmark\": \"recovery_time\",\n";
+  out << "  \"events\": " << events << ",\n";
+  out << "  \"objects\": " << objects << ",\n";
+  out << "  \"processors\": " << processors << ",\n";
+  out << "  \"batch_size\": " << batch_size << ",\n";
+  out << "  \"repeats\": " << repeats << ",\n";
+  out << "  \"plain_events_per_sec\": "
+      << static_cast<double>(events) / plain_seconds << ",\n";
+  out << "  \"fingerprint\": {\"control\": "
+      << plain.breakdown.control_messages
+      << ", \"data\": " << plain.breakdown.data_messages
+      << ", \"io\": " << plain.breakdown.io_ops
+      << ", \"scheme_crc\": " << plain.scheme_crc << "},\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"checkpoint_interval\": " << row.checkpoint_interval
+        << ", \"serve_seconds\": " << row.serve_seconds
+        << ", \"durable_events_per_sec\": " << row.durable_events_per_sec
+        << ", \"overhead_vs_plain\": " << row.overhead_vs_plain
+        << ", \"checkpoints_taken\": " << row.checkpoints_taken
+        << ", \"wal_tail_events\": " << row.wal_tail_events
+        << ", \"wal_tail_bytes\": " << row.wal_tail_bytes
+        << ", \"recover_seconds\": " << row.recover_seconds
+        << ", \"replay_events_per_sec\": " << row.replay_events_per_sec
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,352 @@
+#include "objalloc/core/checkpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "objalloc/util/io.h"
+#include "objalloc/util/record_io.h"
+
+namespace objalloc::core {
+
+using util::AppendRecord;
+using util::AppendScalar;
+using util::PayloadReader;
+using util::RecordCursor;
+using util::RecordView;
+
+std::string CheckpointFileName(uint64_t sequence) {
+  return "checkpoint-" + std::to_string(sequence) + ".ckpt";
+}
+
+util::Status DurabilityOptions::Validate() const {
+  if (keep_generations < 2) {
+    return util::Status::InvalidArgument(
+        "keep_generations must be >= 2 (recovery falls back one snapshot)");
+  }
+  return util::Status::Ok();
+}
+
+std::string RecoveryReport::ToString() const {
+  std::string out = "recovered generation " +
+                    std::to_string(checkpoint_sequence) + " (manifest " +
+                    std::to_string(manifest_sequence) + ")";
+  if (manifest_missing) out += ", manifest missing";
+  if (manifest_corrupt) out += ", manifest corrupt";
+  if (fell_back) out += ", fell back to previous snapshot";
+  out += ": " + std::to_string(objects_restored) + " objects, " +
+         std::to_string(wal_files_replayed) + " WAL file(s), " +
+         std::to_string(records_replayed) + " records, " +
+         std::to_string(batches_replayed) + " batches, " +
+         std::to_string(events_replayed) + " events replayed";
+  if (torn_tail) {
+    out += ", torn tail truncated (" + std::to_string(torn_bytes_truncated) +
+           " bytes)";
+  }
+  for (const std::string& warning : warnings) out += "\n  warning: " + warning;
+  return out;
+}
+
+void ServiceStateImage::AppendTo(std::string* out) const {
+  AppendScalar<uint8_t>(faults_enabled ? 1 : 0, out);
+  AppendScalar(injector_options.seed, out);
+  AppendScalar(injector_options.crash_rate, out);
+  AppendScalar(injector_options.recover_rate, out);
+  AppendScalar(injector_options.control_loss_rate, out);
+  AppendScalar(injector_options.data_loss_rate, out);
+  AppendScalar(static_cast<int32_t>(injector_options.max_retries), out);
+  AppendScalar(static_cast<int32_t>(injector_options.min_live), out);
+  AppendScalar(static_cast<uint32_t>(schedule.size()), out);
+  for (const FaultEvent& event : schedule) {
+    AppendScalar(static_cast<uint64_t>(event.before_event), out);
+    AppendScalar(static_cast<int32_t>(event.processor), out);
+    AppendScalar(static_cast<uint8_t>(event.crash ? 1 : 0), out);
+  }
+  AppendScalar(injector_cursor, out);
+  AppendScalar(live_mask, out);
+  AppendScalar(static_cast<uint32_t>(crash_log.size()), out);
+  for (const CrashRecord& record : crash_log) {
+    AppendScalar(static_cast<uint64_t>(record.index), out);
+    AppendScalar(static_cast<int32_t>(record.processor), out);
+  }
+  AppendScalar(stats.crashes, out);
+  AppendScalar(stats.recoveries, out);
+  AppendScalar(stats.repairs, out);
+  AppendScalar(stats.replicas_added, out);
+  AppendScalar(stats.lost_control, out);
+  AppendScalar(stats.lost_data, out);
+  AppendScalar(stats.backoff_units, out);
+  AppendScalar(stats.unavailable_requests, out);
+  AppendScalar(stats.rejected_batches, out);
+  AppendScalar(static_cast<uint32_t>(stats.repair_latency.size()), out);
+  for (const double sample : stats.repair_latency) AppendScalar(sample, out);
+}
+
+util::StatusOr<ServiceStateImage> ServiceStateImage::Parse(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  ServiceStateImage image;
+  uint8_t enabled = 0;
+  int32_t max_retries = 0, min_live = 0;
+  uint32_t count = 0;
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&enabled));
+  image.faults_enabled = enabled != 0;
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.injector_options.seed));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.injector_options.crash_rate));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.injector_options.recover_rate));
+  OBJALLOC_RETURN_IF_ERROR(
+      reader.Read(&image.injector_options.control_loss_rate));
+  OBJALLOC_RETURN_IF_ERROR(
+      reader.Read(&image.injector_options.data_loss_rate));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&max_retries));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&min_live));
+  image.injector_options.max_retries = max_retries;
+  image.injector_options.min_live = min_live;
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&count));
+  constexpr size_t kScheduleEntryBytes = 8 + 4 + 1;
+  if (reader.remaining() < static_cast<size_t>(count) * kScheduleEntryBytes) {
+    return util::Status::Internal("service state: schedule truncated");
+  }
+  image.schedule.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t before_event = 0;
+    int32_t processor = 0;
+    uint8_t crash = 0;
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&before_event));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&processor));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&crash));
+    image.schedule.push_back(
+        FaultEvent{static_cast<size_t>(before_event), processor, crash != 0});
+  }
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.injector_cursor));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.live_mask));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&count));
+  constexpr size_t kCrashRecordBytes = 8 + 4;
+  if (reader.remaining() < static_cast<size_t>(count) * kCrashRecordBytes) {
+    return util::Status::Internal("service state: crash log truncated");
+  }
+  image.crash_log.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t index = 0;
+    int32_t processor = 0;
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&index));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&processor));
+    image.crash_log.push_back(
+        CrashRecord{static_cast<size_t>(index), processor});
+  }
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.stats.crashes));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.stats.recoveries));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.stats.repairs));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.stats.replicas_added));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.stats.lost_control));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.stats.lost_data));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.stats.backoff_units));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.stats.unavailable_requests));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&image.stats.rejected_batches));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&count));
+  if (reader.remaining() != static_cast<size_t>(count) * sizeof(double)) {
+    return util::Status::Internal("service state: latency samples truncated");
+  }
+  image.stats.repair_latency.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    double sample = 0;
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&sample));
+    image.stats.repair_latency.push_back(sample);
+  }
+  return image;
+}
+
+util::Status WriteManifest(const std::string& dir, const Manifest& manifest) {
+  std::string payload;
+  AppendScalar(kManifestMagic, &payload);
+  AppendScalar(kDurabilityFormatVersion, &payload);
+  AppendScalar(manifest.sequence, &payload);
+  manifest.config.AppendTo(&payload);
+  std::string framed;
+  AppendRecord(static_cast<uint8_t>(CheckpointRecordType::kManifest), payload,
+               &framed);
+  return util::WriteFileAtomic(dir + "/" + kManifestFileName, framed);
+}
+
+util::StatusOr<Manifest> ReadManifest(const std::string& dir) {
+  auto buffer = util::ReadFileToString(dir + "/" + kManifestFileName);
+  if (!buffer.ok()) return buffer.status();
+  RecordCursor cursor(*buffer);
+  RecordView record;
+  if (!cursor.Next(&record)) {
+    if (!cursor.status().ok()) return cursor.status();
+    return util::Status::Internal("manifest: empty or truncated");
+  }
+  if (record.type != static_cast<uint8_t>(CheckpointRecordType::kManifest)) {
+    return util::Status::Internal("manifest: unexpected record type");
+  }
+  PayloadReader reader(record.payload);
+  uint32_t magic = 0, version = 0;
+  Manifest manifest;
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&magic));
+  if (magic != kManifestMagic) {
+    return util::Status::Internal("manifest: bad magic");
+  }
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&version));
+  if (version != kDurabilityFormatVersion) {
+    return util::Status::Internal("manifest: unsupported format version " +
+                                  std::to_string(version));
+  }
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&manifest.sequence));
+  auto config = DurableConfig::Parse(&reader);
+  if (!config.ok()) return config.status();
+  manifest.config = *config;
+  if (manifest.sequence == 0) {
+    return util::Status::Internal("manifest: zero sequence");
+  }
+  return manifest;
+}
+
+void BeginCheckpoint(uint64_t sequence, const DurableConfig& config,
+                     std::string* out) {
+  std::string payload;
+  AppendScalar(kCheckpointMagic, &payload);
+  AppendScalar(kDurabilityFormatVersion, &payload);
+  AppendScalar(sequence, &payload);
+  config.AppendTo(&payload);
+  AppendRecord(static_cast<uint8_t>(CheckpointRecordType::kCkptHeader),
+               payload, out);
+}
+
+void AppendServiceStateRecord(const ServiceStateImage& image,
+                              std::string* out) {
+  std::string payload;
+  image.AppendTo(&payload);
+  AppendRecord(static_cast<uint8_t>(CheckpointRecordType::kServiceState),
+               payload, out);
+}
+
+void AppendShardRecord(std::string_view shard_payload, std::string* out) {
+  AppendRecord(static_cast<uint8_t>(CheckpointRecordType::kShard),
+               shard_payload, out);
+}
+
+void FinishCheckpoint(uint32_t shard_count, std::string* out) {
+  std::string payload;
+  AppendScalar(shard_count, &payload);
+  AppendRecord(static_cast<uint8_t>(CheckpointRecordType::kCkptFooter),
+               payload, out);
+}
+
+util::StatusOr<LoadedCheckpoint> ParseCheckpoint(std::string_view buffer) {
+  RecordCursor cursor(buffer);
+  RecordView record;
+  LoadedCheckpoint loaded;
+  // Header.
+  if (!cursor.Next(&record)) {
+    if (!cursor.status().ok()) return cursor.status();
+    return util::Status::Internal("checkpoint: empty or truncated header");
+  }
+  if (record.type != static_cast<uint8_t>(CheckpointRecordType::kCkptHeader)) {
+    return util::Status::Internal("checkpoint: missing header record");
+  }
+  {
+    PayloadReader reader(record.payload);
+    uint32_t magic = 0, version = 0;
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&magic));
+    if (magic != kCheckpointMagic) {
+      return util::Status::Internal("checkpoint: bad magic");
+    }
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&version));
+    if (version != kDurabilityFormatVersion) {
+      return util::Status::Internal(
+          "checkpoint: unsupported format version " + std::to_string(version));
+    }
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&loaded.sequence));
+    auto config = DurableConfig::Parse(&reader);
+    if (!config.ok()) return config.status();
+    loaded.config = *config;
+  }
+  // Service state.
+  if (!cursor.Next(&record)) {
+    if (!cursor.status().ok()) return cursor.status();
+    return util::Status::Internal("checkpoint: missing service state record");
+  }
+  if (record.type !=
+      static_cast<uint8_t>(CheckpointRecordType::kServiceState)) {
+    return util::Status::Internal("checkpoint: missing service state record");
+  }
+  auto state = ServiceStateImage::Parse(record.payload);
+  if (!state.ok()) return state.status();
+  loaded.state = std::move(*state);
+  // Shards, then the footer.
+  bool saw_footer = false;
+  uint32_t footer_count = 0;
+  while (cursor.Next(&record)) {
+    if (record.type == static_cast<uint8_t>(CheckpointRecordType::kShard)) {
+      if (saw_footer) {
+        return util::Status::Internal("checkpoint: shard record after footer");
+      }
+      loaded.shards.push_back(record.payload);
+    } else if (record.type ==
+               static_cast<uint8_t>(CheckpointRecordType::kCkptFooter)) {
+      if (saw_footer) {
+        return util::Status::Internal("checkpoint: duplicate footer");
+      }
+      PayloadReader reader(record.payload);
+      OBJALLOC_RETURN_IF_ERROR(reader.Read(&footer_count));
+      saw_footer = true;
+    } else {
+      return util::Status::Internal("checkpoint: unexpected record type " +
+                                    std::to_string(record.type));
+    }
+  }
+  if (!cursor.status().ok()) return cursor.status();
+  if (cursor.tail_bytes() != 0) {
+    // Checkpoints are published atomically, so a short file is corruption,
+    // never an acceptable torn tail.
+    return util::Status::Internal("checkpoint: truncated (torn tail of " +
+                                  std::to_string(cursor.tail_bytes()) +
+                                  " bytes)");
+  }
+  if (!saw_footer) {
+    return util::Status::Internal("checkpoint: missing footer record");
+  }
+  if (footer_count != loaded.shards.size()) {
+    return util::Status::Internal(
+        "checkpoint: footer shard count mismatch (footer says " +
+        std::to_string(footer_count) + ", found " +
+        std::to_string(loaded.shards.size()) + ")");
+  }
+  if (loaded.shards.size() !=
+      static_cast<size_t>(loaded.config.num_shards)) {
+    return util::Status::Internal(
+        "checkpoint: shard record count does not match the config");
+  }
+  return loaded;
+}
+
+util::StatusOr<std::vector<uint64_t>> ListCheckpointSequences(
+    const std::string& dir) {
+  auto names = util::ListDir(dir);
+  if (!names.ok()) return names.status();
+  constexpr std::string_view kPrefix = "checkpoint-";
+  constexpr std::string_view kSuffix = ".ckpt";
+  std::vector<uint64_t> sequences;
+  for (const std::string& name : *names) {
+    if (name.size() <= kPrefix.size() + kSuffix.size()) continue;
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+        0) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    char* end = nullptr;
+    const uint64_t sequence = std::strtoull(digits.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || sequence == 0) continue;
+    sequences.push_back(sequence);
+  }
+  std::sort(sequences.begin(), sequences.end());
+  return sequences;
+}
+
+}  // namespace objalloc::core

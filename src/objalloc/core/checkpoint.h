@@ -1,0 +1,149 @@
+// Checkpointing and crash-consistent recovery for the ObjectService
+// (DESIGN.md §10).
+//
+// A durability directory holds, per *generation* g:
+//
+//   checkpoint-<g>.ckpt   full-state snapshot: every shard's slot table
+//                         (schemes, DA core sets, per-object accounting,
+//                         crash-log cursors) plus the service-level fault
+//                         state (live set, crash journal, injector cursor,
+//                         fault stats) — written via temp file + fsync +
+//                         atomic rename
+//   wal-<g>.log           the admission-stream WAL appended since that
+//                         snapshot (core/wal.h)
+//   MANIFEST              atomically-replaced pointer {format version,
+//                         current generation, service config}
+//
+// state(checkpoint g+1) == state(checkpoint g) + replay(wal-<g>), so the
+// newest generation recovers from its snapshot plus its WAL tail, and a
+// corrupt snapshot degrades gracefully: fall back to generation g-1 and
+// replay two WALs instead of one. Torn WAL tails (crash mid-append) are
+// truncated at the last whole record; recovery is therefore always a
+// *prefix* of the admitted history — and because serving is a pure
+// function of admission order, the recovered state is bit-identical to an
+// uninterrupted run over that prefix (asserted by tests/durability_test).
+//
+// All failure modes surface as util::Status plus a RecoveryReport (the
+// fsck-style account of what was read, replayed, truncated, and skipped);
+// nothing in this layer aborts on bad bytes.
+
+#ifndef OBJALLOC_CORE_CHECKPOINT_H_
+#define OBJALLOC_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "objalloc/core/wal.h"
+
+namespace objalloc::core {
+
+// On-disk record types of checkpoint and manifest files (persisted values;
+// disjoint from WalRecordType so a misfiled buffer is caught immediately).
+enum class CheckpointRecordType : uint8_t {
+  kCkptHeader = 16,
+  kServiceState = 17,
+  kShard = 18,
+  kCkptFooter = 19,
+  kManifest = 32,
+};
+
+inline constexpr uint32_t kCheckpointMagic = 0x4b43414f;  // "OACK"
+inline constexpr uint32_t kManifestMagic = 0x464d414f;    // "OAMF"
+inline constexpr char kManifestFileName[] = "MANIFEST";
+
+std::string CheckpointFileName(uint64_t sequence);
+
+// Durability knobs (validated by ObjectService::EnableDurability).
+struct DurabilityOptions {
+  // fsync the WAL after every admitted batch (full write-ahead durability)
+  // or only at checkpoints / explicit SyncDurable() calls (group commit —
+  // a crash may lose the un-synced suffix, never consistency).
+  bool sync_every_batch = false;
+  // Take a checkpoint automatically after this many logged events
+  // (0 = only on explicit Checkpoint() calls).
+  size_t checkpoint_interval_events = 0;
+  // Generations kept on disk; >= 2 so recovery can fall back one snapshot.
+  int keep_generations = 2;
+
+  util::Status Validate() const;
+};
+
+// The fsck-style account of a recovery (or dry-run verification) pass.
+struct RecoveryReport {
+  uint64_t manifest_sequence = 0;    // generation the manifest named
+  uint64_t checkpoint_sequence = 0;  // generation actually loaded
+  bool manifest_missing = false;
+  bool manifest_corrupt = false;
+  bool fell_back = false;            // newest snapshot unusable, used older
+  size_t wal_files_replayed = 0;
+  size_t records_replayed = 0;       // WAL records applied
+  size_t batches_replayed = 0;
+  size_t events_replayed = 0;
+  size_t objects_restored = 0;
+  bool torn_tail = false;            // newest WAL ended mid-record
+  uint64_t torn_bytes_truncated = 0;
+  std::vector<std::string> warnings;
+
+  std::string ToString() const;
+};
+
+// Serializable image of the service-level fault/durability state (the
+// parts of ObjectService outside the shards). Captured into a checkpoint's
+// kServiceState record and restored on recovery.
+struct ServiceStateImage {
+  bool faults_enabled = false;
+  FaultInjectorOptions injector_options;
+  FaultSchedule schedule;
+  uint64_t injector_cursor = 0;
+  uint64_t live_mask = 0;
+  CrashLog crash_log;
+  FaultStats stats;
+
+  void AppendTo(std::string* out) const;
+  static util::StatusOr<ServiceStateImage> Parse(std::string_view payload);
+};
+
+// --- Manifest ----------------------------------------------------------
+
+struct Manifest {
+  uint64_t sequence = 0;
+  DurableConfig config;
+};
+
+util::Status WriteManifest(const std::string& dir, const Manifest& manifest);
+util::StatusOr<Manifest> ReadManifest(const std::string& dir);
+
+// --- Checkpoint file assembly / parsing --------------------------------
+// The service assembles a checkpoint into one buffer (header record,
+// service-state record, one record per shard, footer with the shard count
+// so truncation at a record boundary is still detected), then publishes it
+// with util::WriteFileAtomic.
+
+void BeginCheckpoint(uint64_t sequence, const DurableConfig& config,
+                     std::string* out);
+void AppendServiceStateRecord(const ServiceStateImage& image,
+                              std::string* out);
+void AppendShardRecord(std::string_view shard_payload, std::string* out);
+void FinishCheckpoint(uint32_t shard_count, std::string* out);
+
+struct LoadedCheckpoint {
+  uint64_t sequence = 0;
+  DurableConfig config;
+  ServiceStateImage state;
+  // One serialized payload per shard, in shard order; views into the
+  // buffer passed to ParseCheckpoint (which must outlive them).
+  std::vector<std::string_view> shards;
+};
+
+util::StatusOr<LoadedCheckpoint> ParseCheckpoint(std::string_view buffer);
+
+// Durable generation files present in `dir` (by checkpoint file name),
+// ascending. Used when the manifest itself is unreadable.
+util::StatusOr<std::vector<uint64_t>> ListCheckpointSequences(
+    const std::string& dir);
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_CHECKPOINT_H_

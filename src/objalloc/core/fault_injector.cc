@@ -73,6 +73,17 @@ FaultInjector::FaultInjector(int num_processors,
   OBJALLOC_CHECK(status.ok()) << status.ToString();
 }
 
+void FaultInjector::FastForward(size_t cursor) {
+  cursor_ = cursor;
+  next_scheduled_ = 0;
+  // CollectFaults at index i fires schedule entries with before_event <= i,
+  // so entries with before_event < cursor were consumed by indices 0..cursor-1.
+  while (next_scheduled_ < schedule_.size() &&
+         schedule_[next_scheduled_].before_event < cursor) {
+    ++next_scheduled_;
+  }
+}
+
 uint64_t FaultInjector::Hash(uint64_t stream, uint64_t index,
                              uint64_t ordinal) const {
   // Three chained splitmix64 finalizer steps over (seed, stream, index,

@@ -126,11 +126,19 @@ class FaultInjector {
                 FaultSchedule schedule = {});
 
   const FaultInjectorOptions& options() const { return options_; }
+  const FaultSchedule& schedule() const { return schedule_; }
 
   // Next admission-stream index (one per event ever presented, including
   // events of rejected batches: fault time moves forward monotonically, so
   // a rejected batch can be replayed against a recovered world).
   size_t cursor() const { return cursor_; }
+
+  // Restores the injector to admission-stream position `cursor` (durability
+  // recovery): scheduled events whose windows were consumed before that
+  // position are skipped, so the next CollectFaults call behaves exactly as
+  // it would have in the original run. Draws are stateless functions of
+  // (seed, index), so no other state needs restoring.
+  void FastForward(size_t cursor);
 
   // Appends the fault events due before index `cursor()` — scheduled events
   // first (in schedule order), then at most one random crash and one random

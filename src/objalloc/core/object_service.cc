@@ -82,6 +82,26 @@ util::Status ObjectService::AddObject(ObjectId id,
           " includes crashed processors (live " + live_.ToString() + ")");
     }
   }
+  if (durability_ != nullptr) [[unlikely]] {
+    // Write-ahead: the registration record reaches the log before the shard
+    // mutates, so it must be validated *here* — a logged AddObject may never
+    // fail on replay.
+    if (config.algorithm != AlgorithmKind::kStatic &&
+        config.algorithm != AlgorithmKind::kDynamic) {
+      return util::Status::FailedPrecondition(
+          "durability supports only the inlined algorithm kinds (static, "
+          "dynamic)");
+    }
+    if (route_directory_.Contains(id)) {
+      return util::Status::InvalidArgument("duplicate object id " +
+                                           std::to_string(id));
+    }
+    OBJALLOC_RETURN_IF_ERROR(
+        ObjectShard::ValidateConfig(config, num_processors_));
+    std::string payload;
+    EncodeAddObject(id, config, &payload);
+    OBJALLOC_RETURN_IF_ERROR(LogOp(WalRecordType::kAddObject, payload));
+  }
   const size_t shard = ShardOf(id);
   util::Status status = shards_[shard].AddObject(id, config);
   if (status.ok()) {
@@ -138,8 +158,13 @@ util::StatusOr<double> ObjectService::Serve(ObjectId id,
       [[unlikely]] {
     return util::Status::OutOfRange("processor out of range");
   }
-  return shards_[route >> 32].ServeSlot(static_cast<uint32_t>(route),
-                                        request, nullptr);
+  if (durability_ != nullptr) [[unlikely]] {
+    OBJALLOC_RETURN_IF_ERROR(LogSingle(id, request));
+  }
+  const double cost = shards_[route >> 32].ServeSlot(
+      static_cast<uint32_t>(route), request, nullptr);
+  OBJALLOC_RETURN_IF_ERROR(FinishBatch());
+  return cost;
 }
 
 util::StatusOr<double> ObjectService::Serve(const ObjectHandle& handle,
@@ -159,7 +184,13 @@ util::StatusOr<double> ObjectService::Serve(const ObjectHandle& handle,
       [[unlikely]] {
     return util::Status::OutOfRange("processor out of range");
   }
-  return shards_[handle.shard].ServeSlot(handle.slot, request, nullptr);
+  if (durability_ != nullptr) [[unlikely]] {
+    OBJALLOC_RETURN_IF_ERROR(LogSingle(handle.id, request));
+  }
+  const double cost = shards_[handle.shard].ServeSlot(handle.slot, request,
+                                                      nullptr);
+  OBJALLOC_RETURN_IF_ERROR(FinishBatch());
+  return cost;
 }
 
 template <typename EventT>
@@ -226,11 +257,26 @@ util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
     }
   }
 
+  if (durability_ != nullptr) [[unlikely]] {
+    // Write-ahead: the admitted batch reaches the log before any shard
+    // state changes. An append failure rejects the batch with no state
+    // change (and detaches durability — see LogBatch).
+    OBJALLOC_RETURN_IF_ERROR(LogBatch(events));
+  }
+
   if (injector_ != nullptr) [[unlikely]] {
     // Fault mode: same admitted routes, chaos-aware serve passes. A batch
     // that fails the *validation* above never advances fault time (it is a
     // caller bug, not a fault); from here on, every presented event does.
-    return ServeBatchFaultyTail(events, result, parallel);
+    util::Status status = ServeBatchFaultyTail(events, result, parallel);
+    if (durability_ != nullptr) [[unlikely]] {
+      // An UNAVAILABLE-rejected batch was logged and consumed fault-time
+      // windows, so the checkpoint interval advances for it too; its
+      // rejection status outranks a checkpoint error.
+      const util::Status finish = FinishBatchDurable();
+      if (status.ok()) status = finish;
+    }
+    return status;
   }
 
   if (!parallel) {
@@ -243,7 +289,7 @@ util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
                                          &result->breakdown);
     }
     result->cost = result->breakdown.Cost(cost_model_);
-    return util::Status::Ok();
+    return FinishBatch();
   }
 
   // Fan shards across the pool. Each chunk owns shards [lo, hi) outright —
@@ -268,7 +314,7 @@ util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
     result->breakdown += delta;
   }
   result->cost = result->breakdown.Cost(cost_model_);
-  return util::Status::Ok();
+  return FinishBatch();
 }
 
 template <typename EventT>
@@ -400,6 +446,13 @@ util::Status ObjectService::EnableFaults(const FaultInjectorOptions& options,
           "(static, dynamic); a registered object uses a fallback");
     }
   }
+  if (durability_ != nullptr) [[unlikely]] {
+    // All validation passed; from here the arm cannot fail, so the record
+    // is safe to write ahead (before `schedule` is moved away).
+    std::string payload;
+    EncodeEnableFaults(options, schedule, &payload);
+    OBJALLOC_RETURN_IF_ERROR(LogOp(WalRecordType::kEnableFaults, payload));
+  }
   // Apply any crash history a previous fault session left pending, so the
   // new session starts from schemes consistent with everything that was
   // ever applied, then restart the log and the per-slot positions.
@@ -413,6 +466,11 @@ util::Status ObjectService::EnableFaults(const FaultInjectorOptions& options,
 }
 
 void ObjectService::DisableFaults() {
+  if (durability_ != nullptr) [[unlikely]] {
+    // Best effort: an append failure detaches durability (the on-disk state
+    // stays a consistent prefix); the disable itself always proceeds.
+    (void)LogOp(WalRecordType::kDisableFaults, {});
+  }
   for (ObjectShard& shard : shards_) shard.FlushCrashLog(crash_log_);
   crash_log_.clear();
   injector_.reset();
@@ -426,6 +484,11 @@ util::Status ObjectService::Crash(ProcessorId p) {
   }
   if (p < 0 || p >= num_processors_) {
     return util::Status::OutOfRange("processor out of range");
+  }
+  if (durability_ != nullptr) [[unlikely]] {
+    std::string payload;
+    EncodeProcessor(p, &payload);
+    OBJALLOC_RETURN_IF_ERROR(LogOp(WalRecordType::kCrash, payload));
   }
   // Stamped at "now": events already served keep the member; every later
   // event evicts it via the log.
@@ -441,12 +504,22 @@ util::Status ObjectService::Recover(ProcessorId p) {
   if (p < 0 || p >= num_processors_) {
     return util::Status::OutOfRange("processor out of range");
   }
+  if (durability_ != nullptr) [[unlikely]] {
+    std::string payload;
+    EncodeProcessor(p, &payload);
+    OBJALLOC_RETURN_IF_ERROR(LogOp(WalRecordType::kRecover, payload));
+  }
   ApplyFault(FaultEvent::Recover(0, p));
   return util::Status::Ok();
 }
 
 int64_t ObjectService::RepairDegraded() {
   if (injector_ == nullptr) return 0;
+  if (durability_ != nullptr) [[unlikely]] {
+    // Best effort, as in DisableFaults: an append failure detaches
+    // durability but never blocks the repair.
+    (void)LogOp(WalRecordType::kRepairDegraded, {});
+  }
   int64_t added = 0;
   const size_t index = injector_->cursor();  // repairs happen at "now"
   for (ObjectShard& shard : shards_) {
@@ -540,6 +613,559 @@ std::vector<ObjectId> ObjectService::SortedObjectIds() const {
   }
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+// --- Durability ---------------------------------------------------------
+
+template <typename EventT>
+util::Status ObjectService::LogBatch(std::span<const EventT> events) {
+  Durability& d = *durability_;
+  util::Status status;
+  if constexpr (std::is_same_v<EventT, workload::MultiObjectEvent>) {
+    status = d.wal.AppendBatch(events);
+  } else {
+    // Handle-addressed events log id-addressed: the two entry points are
+    // bit-identical, so replay through the id path reproduces the state.
+    d.batch_scratch.clear();
+    d.batch_scratch.reserve(events.size());
+    for (const EventT& event : events) {
+      d.batch_scratch.push_back(
+          workload::MultiObjectEvent{event.handle.id, event.request});
+    }
+    status = d.wal.AppendBatch(d.batch_scratch);
+  }
+  if (status.ok() && d.options.sync_every_batch) status = d.wal.Sync();
+  if (!status.ok()) {
+    // A failed (possibly partial) append must not be followed by more
+    // appends — that would turn a truncatable torn tail into mid-file
+    // garbage. Detach; the on-disk state stays a consistent prefix.
+    durability_.reset();
+    return status;
+  }
+  d.events_since_checkpoint += events.size();
+  return util::Status::Ok();
+}
+
+util::Status ObjectService::LogOp(WalRecordType type,
+                                  std::string_view payload) {
+  Durability& d = *durability_;
+  util::Status status = d.wal.Append(type, payload);
+  if (status.ok() && d.options.sync_every_batch) status = d.wal.Sync();
+  if (!status.ok()) durability_.reset();
+  return status;
+}
+
+util::Status ObjectService::LogSingle(ObjectId id, const Request& request) {
+  durability_->batch_scratch.assign(1,
+                                    workload::MultiObjectEvent{id, request});
+  return LogBatch(std::span<const workload::MultiObjectEvent>(
+      durability_->batch_scratch.data(), 1));
+}
+
+util::Status ObjectService::FinishBatchDurable() {
+  Durability& d = *durability_;
+  if (d.options.checkpoint_interval_events > 0 &&
+      d.events_since_checkpoint >= d.options.checkpoint_interval_events) {
+    return Checkpoint();
+  }
+  return util::Status::Ok();
+}
+
+ServiceStateImage ObjectService::CaptureServiceState() const {
+  ServiceStateImage image;
+  image.faults_enabled = injector_ != nullptr;
+  if (injector_ != nullptr) {
+    image.injector_options = injector_->options();
+    image.schedule = injector_->schedule();
+    image.injector_cursor = injector_->cursor();
+  }
+  image.live_mask = live_.mask();
+  image.crash_log = crash_log_;
+  image.stats = fault_stats_;
+  return image;
+}
+
+util::Status ObjectService::RestoreServiceState(
+    const ServiceStateImage& image) {
+  const ProcessorSet world = ProcessorSet::FirstN(num_processors_);
+  live_ = ProcessorSet(image.live_mask);
+  if (!live_.IsSubsetOf(world)) {
+    return util::Status::Internal("service state: live set out of range");
+  }
+  size_t last = 0;
+  for (const CrashRecord& record : image.crash_log) {
+    if (record.processor < 0 || record.processor >= num_processors_ ||
+        record.index < last) {
+      return util::Status::Internal("service state: malformed crash log");
+    }
+    last = record.index;
+  }
+  crash_log_ = image.crash_log;
+  fault_stats_ = image.stats;
+  if (image.faults_enabled) {
+    OBJALLOC_RETURN_IF_ERROR(
+        image.injector_options.Validate(num_processors_));
+    OBJALLOC_RETURN_IF_ERROR(
+        FaultInjector::ValidateSchedule(image.schedule, num_processors_));
+    injector_ = std::make_unique<FaultInjector>(
+        num_processors_, image.injector_options, image.schedule);
+    injector_->FastForward(static_cast<size_t>(image.injector_cursor));
+  } else {
+    injector_.reset();
+  }
+  return util::Status::Ok();
+}
+
+void ObjectService::BuildCheckpointBlob(uint64_t sequence,
+                                        std::string* out) const {
+  BeginCheckpoint(sequence, durability_->config, out);
+  AppendServiceStateRecord(CaptureServiceState(), out);
+  std::string shard_payload;
+  for (const ObjectShard& shard : shards_) {
+    shard_payload.clear();
+    shard.AppendSnapshot(&shard_payload);
+    AppendShardRecord(shard_payload, out);
+  }
+  FinishCheckpoint(static_cast<uint32_t>(shards_.size()), out);
+}
+
+util::Status ObjectService::EnableDurability(const std::string& dir,
+                                             const DurabilityOptions& options) {
+  if (durability_ != nullptr) {
+    return util::Status::FailedPrecondition("durability already enabled");
+  }
+  OBJALLOC_RETURN_IF_ERROR(options.Validate());
+  for (const ObjectShard& shard : shards_) {
+    if (shard.HasFallbackObjects()) {
+      return util::Status::FailedPrecondition(
+          "durability supports only the inlined algorithm kinds (static, "
+          "dynamic); a registered object uses a fallback");
+    }
+  }
+  OBJALLOC_RETURN_IF_ERROR(util::EnsureDir(dir));
+  // This call *starts* a durable history; durable files left by a previous
+  // incarnation (including their temp files) are removed so a manifest-less
+  // scan can never resurrect them.
+  auto names = util::ListDir(dir);
+  if (!names.ok()) return names.status();
+  for (const std::string& name : *names) {
+    if (name.rfind(kManifestFileName, 0) == 0 ||
+        name.rfind("checkpoint-", 0) == 0 || name.rfind("wal-", 0) == 0) {
+      OBJALLOC_RETURN_IF_ERROR(util::RemoveFile(dir + "/" + name));
+    }
+  }
+  auto d = std::make_unique<Durability>();
+  d->dir = dir;
+  d->options = options;
+  d->config =
+      DurableConfig{num_processors_, static_cast<int32_t>(shards_.size()),
+                    cost_model_};
+  d->sequence = 1;
+  durability_ = std::move(d);
+  // Generation 1: a snapshot of the current state (empty service or one
+  // mid-life — both are just states) + a fresh WAL + the manifest.
+  std::string blob;
+  BuildCheckpointBlob(1, &blob);
+  util::Status status = util::WriteFileAtomic(
+      durability_->dir + "/" + CheckpointFileName(1), blob);
+  if (status.ok()) {
+    auto wal = WalWriter::Create(durability_->dir + "/" + WalFileName(1), 1,
+                                 durability_->config);
+    if (wal.ok()) {
+      durability_->wal = std::move(*wal);
+      status =
+          WriteManifest(durability_->dir, Manifest{1, durability_->config});
+    } else {
+      status = wal.status();
+    }
+  }
+  if (!status.ok()) durability_.reset();
+  return status;
+}
+
+util::Status ObjectService::DisableDurability() {
+  if (durability_ == nullptr) {
+    return util::Status::FailedPrecondition("durability not enabled");
+  }
+  util::Status status = durability_->wal.Sync();
+  durability_.reset();
+  return status;
+}
+
+util::Status ObjectService::SyncDurable() {
+  if (durability_ == nullptr) {
+    return util::Status::FailedPrecondition("durability not enabled");
+  }
+  util::Status status = durability_->wal.Sync();
+  if (!status.ok()) durability_.reset();
+  return status;
+}
+
+util::Status ObjectService::Checkpoint() {
+  if (durability_ == nullptr) {
+    return util::Status::FailedPrecondition("durability not enabled");
+  }
+  Durability& d = *durability_;
+  // (1) Everything the snapshot will contain must be durable under the old
+  //     generation first: state(ckpt g+1) == state(ckpt g) + replay(wal-g)
+  //     only holds if wal-g is complete on disk.
+  util::Status status = d.wal.Sync();
+  if (!status.ok()) {
+    durability_.reset();
+    return status;
+  }
+  const uint64_t next = d.sequence + 1;
+  const std::string ckpt_path = d.dir + "/" + CheckpointFileName(next);
+  const std::string wal_path = d.dir + "/" + WalFileName(next);
+  // (2) The snapshot, atomically published under its final name.
+  std::string blob;
+  BuildCheckpointBlob(next, &blob);
+  status = util::WriteFileAtomic(ckpt_path, blob);
+  // (3) The next generation's WAL with a synced header — it must exist
+  //     before the manifest can name it.
+  util::StatusOr<WalWriter> wal = status.ok()
+                                      ? WalWriter::Create(wal_path, next,
+                                                          d.config)
+                                      : util::StatusOr<WalWriter>(status);
+  // (4) Commit point: the manifest flips to the new generation.
+  if (wal.ok()) {
+    status = WriteManifest(d.dir, Manifest{next, d.config});
+  } else {
+    status = wal.status();
+  }
+  if (!status.ok()) {
+    // Roll back the orphans so a manifest-less recovery scan cannot pick a
+    // generation whose WAL chain never went live. The current generation
+    // stays fully intact and appendable.
+    (void)util::RemoveFile(ckpt_path);
+    (void)util::RemoveFile(wal_path);
+    return status;
+  }
+  d.wal = std::move(*wal);
+  d.sequence = next;
+  d.events_since_checkpoint = 0;
+  // (5) GC, best effort: drop generations beyond keep_generations (walking
+  //     down until the names stop existing catches backlogs left by
+  //     earlier failed GCs).
+  if (next > static_cast<uint64_t>(d.options.keep_generations)) {
+    uint64_t gen = next - static_cast<uint64_t>(d.options.keep_generations);
+    while (gen >= 1) {
+      const bool had_files =
+          util::FileExists(d.dir + "/" + CheckpointFileName(gen)) ||
+          util::FileExists(d.dir + "/" + WalFileName(gen));
+      if (!had_files) break;
+      (void)util::RemoveFile(d.dir + "/" + CheckpointFileName(gen));
+      (void)util::RemoveFile(d.dir + "/" + WalFileName(gen));
+      if (gen == 1) break;
+      --gen;
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status ObjectService::RestoreFromCheckpoint(
+    const LoadedCheckpoint& loaded, RecoveryReport* report) {
+  OBJALLOC_CHECK_EQ(loaded.shards.size(), shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    OBJALLOC_RETURN_IF_ERROR(shards_[s].RestoreSnapshot(loaded.shards[s]));
+  }
+  // Rebuild the id → route mirror, verifying the partition while at it: an
+  // id must live in exactly the shard the hash assigns it, or handles and
+  // future AddObject calls would disagree with the restored layout.
+  route_directory_.Reserve(object_count());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (uint32_t slot = 0;
+         slot < static_cast<uint32_t>(shards_[s].object_count()); ++slot) {
+      const ObjectId id = shards_[s].IdAt(slot);
+      if (ShardOf(id) != s) {
+        return util::Status::Internal("checkpoint: object " +
+                                      std::to_string(id) +
+                                      " stored in the wrong shard");
+      }
+      if (route_directory_.Contains(id)) {
+        return util::Status::Internal("checkpoint: object " +
+                                      std::to_string(id) +
+                                      " appears in two shards");
+      }
+      route_directory_.Insert(id, PackRoute(s, slot));
+    }
+  }
+  report->objects_restored = object_count();
+  return RestoreServiceState(loaded.state);
+}
+
+util::Status ObjectService::ReplayWalBuffer(std::string_view buffer,
+                                            uint64_t sequence,
+                                            const DurableConfig& config,
+                                            bool is_last,
+                                            RecoveryReport* report,
+                                            size_t* valid_prefix) {
+  const std::string name = WalFileName(sequence);
+  util::RecordCursor cursor(buffer);
+  util::RecordView record;
+  bool saw_header = false;
+  std::vector<workload::MultiObjectEvent> batch;
+  BatchResult result;
+  while (cursor.Next(&record)) {
+    const WalRecordType type = static_cast<WalRecordType>(record.type);
+    if (!saw_header) {
+      if (type != WalRecordType::kWalHeader) {
+        return util::Status::Internal(name +
+                                      ": first record is not a WAL header");
+      }
+      auto header = DecodeWalHeader(record.payload);
+      if (!header.ok()) return header.status();
+      if (header->sequence != sequence) {
+        return util::Status::Internal(
+            name + ": header names generation " +
+            std::to_string(header->sequence));
+      }
+      OBJALLOC_RETURN_IF_ERROR(config.CheckMatches(header->config));
+      saw_header = true;
+      report->records_replayed += 1;
+      continue;
+    }
+    switch (type) {
+      case WalRecordType::kWalHeader:
+        return util::Status::Internal(name + ": duplicate header record");
+      case WalRecordType::kAddObject: {
+        auto decoded = DecodeAddObject(record.payload);
+        if (!decoded.ok()) return decoded.status();
+        util::Status status = AddObject(decoded->id, decoded->config);
+        if (!status.ok()) {
+          return util::Status::Internal(
+              name + ": logged registration failed on replay: " +
+              status.ToString());
+        }
+        break;
+      }
+      case WalRecordType::kBatch: {
+        OBJALLOC_RETURN_IF_ERROR(DecodeBatch(record.payload, &batch));
+        util::Status status = ServeBatchInto(
+            std::span<const workload::MultiObjectEvent>(batch.data(),
+                                                        batch.size()),
+            &result);
+        // UNAVAILABLE is a *replayed rejection* — the original run logged
+        // the batch because it consumed fault-time windows; the replay
+        // consumes the same windows and rejects identically.
+        if (!status.ok() &&
+            status.code() != util::StatusCode::kUnavailable) {
+          return util::Status::Internal(
+              name + ": logged batch failed on replay: " + status.ToString());
+        }
+        report->batches_replayed += 1;
+        report->events_replayed += batch.size();
+        break;
+      }
+      case WalRecordType::kEnableFaults: {
+        auto decoded = DecodeEnableFaults(record.payload);
+        if (!decoded.ok()) return decoded.status();
+        util::Status status =
+            EnableFaults(decoded->options, std::move(decoded->schedule));
+        if (!status.ok()) {
+          return util::Status::Internal(
+              name + ": logged EnableFaults failed on replay: " +
+              status.ToString());
+        }
+        break;
+      }
+      case WalRecordType::kDisableFaults:
+        DisableFaults();
+        break;
+      case WalRecordType::kCrash:
+      case WalRecordType::kRecover: {
+        auto processor = DecodeProcessor(record.payload);
+        if (!processor.ok()) return processor.status();
+        util::Status status = type == WalRecordType::kCrash
+                                  ? Crash(*processor)
+                                  : Recover(*processor);
+        if (!status.ok()) {
+          return util::Status::Internal(
+              name + ": logged liveness control failed on replay: " +
+              status.ToString());
+        }
+        break;
+      }
+      case WalRecordType::kRepairDegraded:
+        RepairDegraded();
+        break;
+      default:
+        return util::Status::Internal(name + ": unknown record type " +
+                                      std::to_string(record.type));
+    }
+    report->records_replayed += 1;
+  }
+  // A CRC failure inside the prefix is corruption, never a torn tail.
+  OBJALLOC_RETURN_IF_ERROR(cursor.status());
+  if (!saw_header) {
+    // Generations get a synced header before the manifest ever names them,
+    // so a header-less file in a committed chain is corruption.
+    return util::Status::Internal(name + ": no complete header record");
+  }
+  if (cursor.tail_bytes() > 0) {
+    if (!is_last) {
+      return util::Status::Internal(
+          name + ": torn tail in a non-final generation (" +
+          std::to_string(cursor.tail_bytes()) + " bytes) — " +
+          "this WAL was synced at checkpoint time and must be complete");
+    }
+    report->torn_tail = true;
+    report->torn_bytes_truncated += cursor.tail_bytes();
+  }
+  *valid_prefix = cursor.valid_prefix();
+  return util::Status::Ok();
+}
+
+util::StatusOr<ObjectService> ObjectService::RecoverInternal(
+    const std::string& dir, const DurabilityOptions& options,
+    RecoveryReport* report, bool read_only) {
+  RecoveryReport local;
+  RecoveryReport& rep = report != nullptr ? *report : local;
+  rep = RecoveryReport();
+  OBJALLOC_RETURN_IF_ERROR(options.Validate());
+
+  // The manifest names the committed generation; when it is unreadable,
+  // fall back to scanning the directory for snapshot files (every candidate
+  // is still fully CRC-verified before use).
+  uint64_t top = 0;
+  std::vector<uint64_t> candidates;
+  DurableConfig manifest_config;
+  bool have_manifest = false;
+  auto manifest = ReadManifest(dir);
+  if (manifest.ok()) {
+    have_manifest = true;
+    manifest_config = manifest->config;
+    top = manifest->sequence;
+    rep.manifest_sequence = top;
+    candidates.push_back(top);
+    if (top > 1) candidates.push_back(top - 1);
+  } else {
+    if (manifest.status().code() == util::StatusCode::kNotFound) {
+      rep.manifest_missing = true;
+    } else {
+      rep.manifest_corrupt = true;
+    }
+    rep.warnings.push_back("manifest unreadable (" +
+                           manifest.status().ToString() +
+                           "); scanning the directory");
+    auto sequences = ListCheckpointSequences(dir);
+    if (!sequences.ok()) return sequences.status();
+    if (sequences->empty()) {
+      return util::Status::NotFound("no durable state in " + dir);
+    }
+    for (auto it = sequences->rbegin(); it != sequences->rend(); ++it) {
+      candidates.push_back(*it);
+    }
+    top = candidates.front();
+  }
+
+  util::Status last_error =
+      util::Status::Internal("no usable checkpoint generation in " + dir);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const uint64_t gen = candidates[c];
+    RecoveryReport attempt;
+    attempt.manifest_sequence = rep.manifest_sequence;
+    attempt.manifest_missing = rep.manifest_missing;
+    attempt.manifest_corrupt = rep.manifest_corrupt;
+    attempt.warnings = rep.warnings;
+    auto attempt_service = [&]() -> util::StatusOr<ObjectService> {
+      auto buffer = util::ReadFileToString(dir + "/" + CheckpointFileName(gen));
+      if (!buffer.ok()) return buffer.status();
+      auto loaded = ParseCheckpoint(*buffer);
+      if (!loaded.ok()) return loaded.status();
+      if (loaded->sequence != gen) {
+        return util::Status::Internal(
+            "checkpoint file names generation " +
+            std::to_string(loaded->sequence) + ", expected " +
+            std::to_string(gen));
+      }
+      if (have_manifest) {
+        OBJALLOC_RETURN_IF_ERROR(manifest_config.CheckMatches(loaded->config));
+      }
+      ServiceOptions service_options;
+      service_options.num_shards = loaded->config.num_shards;
+      auto service = Create(loaded->config.num_processors,
+                            loaded->config.cost_model, service_options);
+      if (!service.ok()) return service.status();
+      OBJALLOC_RETURN_IF_ERROR(
+          service->RestoreFromCheckpoint(*loaded, &attempt));
+      // Replay the WAL chain gen..top; only the final generation may carry
+      // a torn tail.
+      size_t final_prefix = 0;
+      bool final_wal_exists = false;
+      for (uint64_t w = gen; w <= top; ++w) {
+        auto wal_buffer = util::ReadFileToString(dir + "/" + WalFileName(w));
+        if (!wal_buffer.ok()) {
+          if (w == top &&
+              wal_buffer.status().code() == util::StatusCode::kNotFound) {
+            // The snapshot alone is a consistent state; recover to it and
+            // warn (a committed generation always has its WAL, so this
+            // means outside interference, not a crash window).
+            attempt.warnings.push_back(
+                WalFileName(w) + " missing; recovered from the snapshot alone");
+            break;
+          }
+          return wal_buffer.status();
+        }
+        size_t prefix = 0;
+        OBJALLOC_RETURN_IF_ERROR(service->ReplayWalBuffer(
+            *wal_buffer, w, loaded->config, /*is_last=*/w == top, &attempt,
+            &prefix));
+        attempt.wal_files_replayed += 1;
+        if (w == top) {
+          final_prefix = prefix;
+          final_wal_exists = true;
+        }
+      }
+      if (!read_only) {
+        // Arm durability on generation `top`, physically truncating the
+        // torn tail (if any) so appending resumes at the last good record.
+        auto d = std::make_unique<Durability>();
+        d->dir = dir;
+        d->options = options;
+        d->config = loaded->config;
+        d->sequence = top;
+        auto wal = final_wal_exists
+                       ? WalWriter::Reopen(dir + "/" + WalFileName(top),
+                                           final_prefix)
+                       : WalWriter::Create(dir + "/" + WalFileName(top), top,
+                                           loaded->config);
+        if (!wal.ok()) return wal.status();
+        d->wal = std::move(*wal);
+        d->events_since_checkpoint = attempt.events_replayed;
+        service->durability_ = std::move(d);
+        if (!have_manifest) {
+          // Republish the commit point the next recovery will need.
+          OBJALLOC_RETURN_IF_ERROR(
+              WriteManifest(dir, Manifest{top, loaded->config}));
+        }
+      }
+      return service;
+    }();
+    if (attempt_service.ok()) {
+      attempt.checkpoint_sequence = gen;
+      attempt.fell_back = c > 0;
+      rep = std::move(attempt);
+      return attempt_service;
+    }
+    last_error = attempt_service.status();
+    rep.warnings.push_back("generation " + std::to_string(gen) +
+                           " unusable: " + last_error.ToString());
+  }
+  return last_error;
+}
+
+util::StatusOr<ObjectService> ObjectService::Recover(
+    const std::string& dir, const DurabilityOptions& options,
+    RecoveryReport* report) {
+  return RecoverInternal(dir, options, report, /*read_only=*/false);
+}
+
+util::Status ObjectService::VerifyDurableDir(const std::string& dir,
+                                             RecoveryReport* report) {
+  auto service =
+      RecoverInternal(dir, DurabilityOptions{}, report, /*read_only=*/true);
+  return service.ok() ? util::Status::Ok() : service.status();
 }
 
 }  // namespace objalloc::core

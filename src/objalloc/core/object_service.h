@@ -52,6 +52,21 @@
 // happen lazily at serve time (ObjectShard::ServeSlotFaulty) or eagerly via
 // RepairDegraded. The zero-fault chaos path is bit-identical to the plain
 // engine; the plain path pays one predicted-not-taken branch per batch.
+//
+// Durability (DESIGN.md §10): EnableDurability attaches a write-ahead log
+// and checkpoint directory. Because serving is a pure function of admission
+// order, the WAL records *inputs* — one record per admitted batch,
+// registration, or fault-control call, appended before the operation
+// mutates shard state — and recovery (ObjectService::Recover) loads the
+// newest valid snapshot, replays the WAL tail through the very same
+// ServeBatchImpl, truncates a torn final record, and reproduces
+// bit-identical state (scheme CRCs and cost fingerprints — asserted by
+// tests/durability_test.cc). Checkpoint() rotates generations: sync WAL,
+// write snapshot atomically, open the next WAL, publish the manifest, GC
+// old generations. A corrupt snapshot degrades gracefully to the previous
+// generation (two WALs replayed instead of one). With durability off the
+// hot path pays one predicted-not-taken branch per batch — the
+// zero-allocation and golden-fingerprint contracts are unchanged.
 
 #ifndef OBJALLOC_CORE_OBJECT_SERVICE_H_
 #define OBJALLOC_CORE_OBJECT_SERVICE_H_
@@ -61,8 +76,10 @@
 #include <span>
 #include <vector>
 
+#include "objalloc/core/checkpoint.h"
 #include "objalloc/core/fault_injector.h"
 #include "objalloc/core/object_shard.h"
+#include "objalloc/core/wal.h"
 #include "objalloc/util/flat_directory.h"
 #include "objalloc/workload/event_source.h"
 #include "objalloc/workload/multi_object.h"
@@ -233,6 +250,51 @@ class ObjectService {
   void set_check_invariant(bool on) { check_invariant_ = on; }
   bool check_invariant() const { return check_invariant_; }
 
+  // --- Durability -----------------------------------------------------
+
+  // Attaches a durability directory and starts generation 1: a snapshot of
+  // the current state (an empty service or one mid-life — both work) plus a
+  // fresh WAL. Durable files of a previous incarnation in `dir` are removed
+  // — this call *starts* a durable history; Recover *continues* one.
+  // FailedPrecondition while a non-inlined (kAdaptive) object is registered:
+  // its opaque algorithm state cannot be snapshotted. After a WAL I/O error
+  // the service stays correct in memory but durability detaches (the
+  // on-disk state remains a consistent prefix); re-enable to start over.
+  util::Status EnableDurability(const std::string& dir,
+                                const DurabilityOptions& options = {});
+
+  // Syncs the WAL and detaches (the directory stays recoverable).
+  util::Status DisableDurability();
+
+  bool durability_enabled() const { return durability_ != nullptr; }
+
+  // Rotates the durable generation: syncs the current WAL, writes a full
+  // snapshot atomically, opens the next WAL, publishes the manifest, and
+  // garbage-collects generations beyond DurabilityOptions::keep_generations.
+  // A crash at *any* point in this sequence recovers consistently (the
+  // manifest is the atomic commit point). FailedPrecondition when
+  // durability is off.
+  util::Status Checkpoint();
+
+  // fsyncs the WAL (group-commit boundary for sync_every_batch == false).
+  util::Status SyncDurable();
+
+  // Reconstructs a service from a durability directory: newest valid
+  // snapshot, WAL tail replayed through the serving engine, torn tail
+  // truncated. The returned service has durability *armed* on `dir` and
+  // continues appending where the log left off. `report`, when non-null,
+  // receives the fsck-style account (fallbacks, torn bytes, replay counts).
+  static util::StatusOr<ObjectService> Recover(
+      const std::string& dir, const DurabilityOptions& options = {},
+      RecoveryReport* report = nullptr);
+
+  // Read-only fsck: runs the full recovery pipeline (parse, validate,
+  // replay) without truncating the WAL or arming durability, then discards
+  // the reconstructed service. The report tells what a real Recover would
+  // do; the directory is untouched.
+  static util::Status VerifyDurableDir(const std::string& dir,
+                                       RecoveryReport* report);
+
   // --------------------------------------------------------------------
 
   util::StatusOr<ObjectStats> StatsFor(ObjectId id) const;
@@ -249,6 +311,66 @@ class ObjectService {
 
  private:
   size_t ShardOf(ObjectId id) const;
+
+  // Durability state (null when detached — the plain hot path pays one
+  // predicted branch per batch and never touches it).
+  struct Durability {
+    std::string dir;
+    DurabilityOptions options;
+    DurableConfig config;
+    uint64_t sequence = 0;  // current generation
+    WalWriter wal;
+    size_t events_since_checkpoint = 0;
+    // Scratch for logging handle-addressed batches and single requests.
+    std::vector<workload::MultiObjectEvent> batch_scratch;
+  };
+
+  // Appends one admitted batch to the WAL (id-addressed; handle events are
+  // translated through the scratch buffer), honoring the sync policy. Any
+  // failure detaches durability and is returned to the caller *before* the
+  // batch is served, so memory and disk never diverge.
+  template <typename EventT>
+  util::Status LogBatch(std::span<const EventT> events);
+
+  // Appends a non-batch operation record; on failure detaches durability
+  // and returns the error (the caller decides whether the operation already
+  // happened).
+  util::Status LogOp(WalRecordType type, std::string_view payload);
+
+  // Logs a single-request serve as a batch of one — the two entry points
+  // are bit-identical by the engine's contract, so replay through the batch
+  // path reproduces the exact state.
+  util::Status LogSingle(ObjectId id, const Request& request);
+
+  // Post-batch durability hook: auto-checkpoint when the configured event
+  // interval has elapsed. Inline no-op when durability is off.
+  util::Status FinishBatch() {
+    if (durability_ != nullptr) [[unlikely]] return FinishBatchDurable();
+    return util::Status::Ok();
+  }
+  util::Status FinishBatchDurable();
+
+  // Serializes the full service into one checkpoint blob for `sequence`.
+  void BuildCheckpointBlob(uint64_t sequence, std::string* out) const;
+  ServiceStateImage CaptureServiceState() const;
+  util::Status RestoreServiceState(const ServiceStateImage& image);
+
+  // Restores shards + route directory + service state from a parsed
+  // checkpoint; the service must be freshly constructed with the matching
+  // config.
+  util::Status RestoreFromCheckpoint(const LoadedCheckpoint& loaded,
+                                     RecoveryReport* report);
+
+  // Replays one WAL generation buffer into this service. `is_last` permits
+  // (and accounts) a torn tail; earlier generations must end cleanly.
+  util::Status ReplayWalBuffer(std::string_view buffer, uint64_t sequence,
+                               const DurableConfig& config, bool is_last,
+                               RecoveryReport* report, size_t* valid_prefix);
+
+  // Shared engine behind Recover / VerifyDurableDir.
+  static util::StatusOr<ObjectService> RecoverInternal(
+      const std::string& dir, const DurabilityOptions& options,
+      RecoveryReport* report, bool read_only);
 
   // Shared batch engine: one admission pass resolves and validates every
   // event into routes_ (packed shard<<32 | slot), then the serve pass runs
@@ -310,6 +432,8 @@ class ObjectService {
   std::vector<FaultEvent> fault_buffer_;
   std::vector<ProcessorSet> live_masks_;        // per event: live set
   std::vector<FaultStats> shard_fault_stats_;   // per shard scratch
+
+  std::unique_ptr<Durability> durability_;
 };
 
 }  // namespace objalloc::core

@@ -6,6 +6,7 @@
 #include "objalloc/core/dynamic_allocation.h"
 #include "objalloc/model/legality.h"
 #include "objalloc/util/logging.h"
+#include "objalloc/util/record_io.h"
 
 namespace objalloc::core {
 
@@ -17,52 +18,73 @@ ObjectShard::ObjectShard(int num_processors,
   OBJALLOC_CHECK(cost_model.Validate().ok()) << cost_model.ToString();
 }
 
-util::Status ObjectShard::AddObject(ObjectId id, const ObjectConfig& config) {
-  if (directory_.Contains(id)) {
-    return util::Status::InvalidArgument("duplicate object id " +
-                                         std::to_string(id));
-  }
+util::Status ObjectShard::ValidateConfig(const ObjectConfig& config,
+                                         int num_processors) {
   if (config.initial_scheme.Empty() ||
       !config.initial_scheme.IsSubsetOf(
-          ProcessorSet::FirstN(num_processors_))) {
-    return util::Status::InvalidArgument("bad initial scheme for object " +
-                                         std::to_string(id));
+          ProcessorSet::FirstN(num_processors))) {
+    return util::Status::InvalidArgument("bad initial scheme");
   }
   if (config.algorithm == AlgorithmKind::kDynamic &&
       config.initial_scheme.Size() < 2) {
     return util::Status::InvalidArgument(
         "dynamic allocation needs at least two initial copies");
   }
-  SlotState state;
-  state.id = id;
-  state.kind = config.algorithm;
-  state.t = config.initial_scheme.Size();
-  state.scheme = config.initial_scheme;
+  return util::Status::Ok();
+}
+
+void ObjectShard::InitSlotCosts(SlotState* state) const {
   const double cc = cost_model_.control;
   const double cd = cost_model_.data;
   const double cio = cost_model_.io;
-  state.cost_read_local = cio;  // {0,0,1}: (0 + 0) + 1*cio
-  switch (config.algorithm) {
+  state->cost_read_local = cio;  // {0,0,1}: (0 + 0) + 1*cio
+  switch (state->kind) {
     case AlgorithmKind::kStatic: {
       // Q is pinned; every per-pattern cost is a constant of |Q|.
-      const double q = static_cast<double>(state.t);
-      state.cost_read_remote = (cc + cd) + cio;           // {1,1,1}
-      state.cost_write_a = (q - 1) * cd + q * cio;        // {0,|Q|-1,|Q|}
-      state.cost_write_b = q * cd + q * cio;              // {0,|Q|,|Q|}
+      const double q = static_cast<double>(state->t);
+      state->cost_read_remote = (cc + cd) + cio;          // {1,1,1}
+      state->cost_write_a = (q - 1) * cd + q * cio;       // {0,|Q|-1,|Q|}
+      state->cost_write_b = q * cd + q * cio;             // {0,|Q|,|Q|}
       break;
     }
     case AlgorithmKind::kDynamic: {
       // The scheme after every write has size t, so the data and io terms
       // of a write are constants; only the control term (invalidations of
       // saving-readers) varies per event.
-      const double t = static_cast<double>(state.t);
-      state.cost_read_remote = (cc + cd) + 2 * cio;       // {1,1,2} saving
-      state.cost_write_a = (t - 1) * cd;                  // data term
-      state.cost_write_b = t * cio;                       // io term
+      const double t = static_cast<double>(state->t);
+      state->cost_read_remote = (cc + cd) + 2 * cio;      // {1,1,2} saving
+      state->cost_write_a = (t - 1) * cd;                 // data term
+      state->cost_write_b = t * cio;                      // io term
+      break;
+    }
+    default:
+      break;  // fallback kinds cost through the virtual path
+  }
+}
+
+util::Status ObjectShard::AddObject(ObjectId id, const ObjectConfig& config) {
+  if (directory_.Contains(id)) {
+    return util::Status::InvalidArgument("duplicate object id " +
+                                         std::to_string(id));
+  }
+  util::Status valid = ValidateConfig(config, num_processors_);
+  if (!valid.ok()) {
+    return util::Status(valid.code(),
+                        valid.message() + " for object " + std::to_string(id));
+  }
+  SlotState state;
+  state.id = id;
+  state.kind = config.algorithm;
+  state.t = config.initial_scheme.Size();
+  state.scheme = config.initial_scheme;
+  InitSlotCosts(&state);
+  switch (config.algorithm) {
+    case AlgorithmKind::kStatic:
+      break;
+    case AlgorithmKind::kDynamic:
       DynamicAllocation::SplitScheme(config.initial_scheme, &state.f,
                                      &state.p);
       break;
-    }
     default: {
       state.fallback = CreateAlgorithm(config.algorithm, cost_model_);
       state.fallback->Reset(num_processors_, config.initial_scheme);
@@ -456,6 +478,121 @@ std::vector<ObjectId> ObjectShard::SortedObjectIds() const {
   for (const SlotState& state : slots_) ids.push_back(state.id);
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+void ObjectShard::AppendSnapshot(std::string* out) const {
+  using util::AppendScalar;
+  AppendScalar(static_cast<uint64_t>(slots_.size()), out);
+  for (const SlotState& state : slots_) {
+    AppendScalar(state.id, out);
+    AppendScalar(static_cast<uint8_t>(state.kind), out);
+    AppendScalar(state.t, out);
+    AppendScalar(state.scheme.mask(), out);
+    AppendScalar(state.f.mask(), out);
+    AppendScalar(state.p, out);
+    AppendScalar(state.next_f, out);
+    AppendScalar(static_cast<uint64_t>(state.crash_log_pos), out);
+    AppendScalar(state.requests, out);
+    AppendScalar(state.breakdown.control_messages, out);
+    AppendScalar(state.breakdown.data_messages, out);
+    AppendScalar(state.breakdown.io_ops, out);
+  }
+  AppendScalar(total_requests_, out);
+  AppendScalar(total_breakdown_.control_messages, out);
+  AppendScalar(total_breakdown_.data_messages, out);
+  AppendScalar(total_breakdown_.io_ops, out);
+  // Degraded registry, filtered to the slots still actually registered
+  // (the list may hold entries already healed lazily). Order is irrelevant:
+  // RepairAllDegraded sorts before every sweep.
+  uint32_t degraded = 0;
+  for (const uint32_t slot : degraded_list_) {
+    if (degraded_.Contains(slot)) ++degraded;
+  }
+  AppendScalar(degraded, out);
+  for (const uint32_t slot : degraded_list_) {
+    if (degraded_.Contains(slot)) AppendScalar(slot, out);
+  }
+}
+
+util::Status ObjectShard::RestoreSnapshot(std::string_view payload) {
+  if (!slots_.empty()) {
+    return util::Status::Internal(
+        "RestoreSnapshot requires a freshly constructed shard");
+  }
+  util::PayloadReader reader(payload);
+  uint64_t count = 0;
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&count));
+  constexpr size_t kSlotBytes = 8 + 1 + 4 + 8 + 8 + 4 + 4 + 8 + 8 + 3 * 8;
+  if (reader.remaining() < count * kSlotBytes) {
+    return util::Status::Internal("shard snapshot: slot table truncated");
+  }
+  const ProcessorSet world = ProcessorSet::FirstN(num_processors_);
+  Reserve(static_cast<size_t>(count));
+  for (uint64_t s = 0; s < count; ++s) {
+    SlotState state;
+    uint8_t kind = 0;
+    uint64_t scheme_mask = 0, f_mask = 0, crash_log_pos = 0;
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.id));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&kind));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.t));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&scheme_mask));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&f_mask));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.p));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.next_f));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&crash_log_pos));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.requests));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.breakdown.control_messages));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.breakdown.data_messages));
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.breakdown.io_ops));
+    state.kind = static_cast<AlgorithmKind>(kind);
+    if (state.kind != AlgorithmKind::kStatic &&
+        state.kind != AlgorithmKind::kDynamic) {
+      return util::Status::Internal(
+          "shard snapshot: non-inlined algorithm kind " +
+          std::to_string(kind));
+    }
+    state.scheme = ProcessorSet(scheme_mask);
+    state.f = ProcessorSet(f_mask);
+    state.crash_log_pos = static_cast<size_t>(crash_log_pos);
+    if (state.t < 1 || state.t > num_processors_) {
+      return util::Status::Internal("shard snapshot: bad threshold " +
+                                    std::to_string(state.t));
+    }
+    if (!state.scheme.IsSubsetOf(world) || !state.f.IsSubsetOf(world)) {
+      return util::Status::Internal(
+          "shard snapshot: scheme names out-of-range processors");
+    }
+    if (state.p < -1 || state.p >= num_processors_) {
+      return util::Status::Internal(
+          "shard snapshot: floating processor out of range");
+    }
+    if (directory_.Contains(state.id)) {
+      return util::Status::Internal("shard snapshot: duplicate object id " +
+                                    std::to_string(state.id));
+    }
+    InitSlotCosts(&state);
+    directory_.Insert(state.id, static_cast<uint32_t>(slots_.size()));
+    slots_.push_back(std::move(state));
+  }
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&total_requests_));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&total_breakdown_.control_messages));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&total_breakdown_.data_messages));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&total_breakdown_.io_ops));
+  uint32_t degraded = 0;
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&degraded));
+  if (reader.remaining() != static_cast<size_t>(degraded) * 4) {
+    return util::Status::Internal("shard snapshot: degraded registry size");
+  }
+  for (uint32_t d = 0; d < degraded; ++d) {
+    uint32_t slot = 0;
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&slot));
+    if (slot >= slots_.size()) {
+      return util::Status::Internal(
+          "shard snapshot: degraded slot out of range");
+    }
+    MarkDegraded(slot);
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace objalloc::core

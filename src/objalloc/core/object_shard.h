@@ -91,6 +91,13 @@ class ObjectShard {
   // schemes, and algorithm/threshold mismatches (DA needs t >= 2).
   util::Status AddObject(ObjectId id, const ObjectConfig& config);
 
+  // The validation half of AddObject, minus the duplicate-id check (that
+  // needs a directory). Static so the service layer can pre-validate a
+  // registration *before* write-ahead logging it: a logged AddObject record
+  // must never fail on replay.
+  static util::Status ValidateConfig(const ObjectConfig& config,
+                                     int num_processors);
+
   // Sizes every internal table (id → slot directory and the dense state
   // vector) ahead of a bulk registration, so registering N objects does
   // O(1) amortized rehashes and zero vector regrowth.
@@ -199,6 +206,24 @@ class ObjectShard {
   // points use to iterate deterministically over the unordered table.
   std::vector<ObjectId> SortedObjectIds() const;
 
+  // --- Durability (core/checkpoint.h) ---------------------------------
+
+  // Serializes the shard's full state — slot table in slot order (identity,
+  // scheme, DA split, crash-log cursor, per-object accounting), lifetime
+  // aggregates, and the degraded registry — as one checkpoint record
+  // payload.
+  void AppendSnapshot(std::string* out) const;
+
+  // Restores a snapshot into a freshly constructed, still-empty shard built
+  // with the writer's processor count and cost model. Rebuilds the id→slot
+  // directory and re-derives the per-slot cost constants from (kind, t) via
+  // the same helper AddObject uses, so a restored slot is bit-identical to
+  // one that lived through the original run. Every field is range-checked;
+  // a payload that deserializes but violates an invariant (unknown kind,
+  // out-of-range scheme, duplicate id) is rejected as Internal — the
+  // caller falls back to an older checkpoint generation.
+  util::Status RestoreSnapshot(std::string_view payload);
+
  private:
   // One dense slot: the tagged-union algorithm state plus the per-object
   // cost constants the inline dispatch reads instead of multiplying out
@@ -233,6 +258,12 @@ class ObjectShard {
 
   // Registers `slot` as degraded (idempotent).
   void MarkDegraded(uint32_t slot);
+
+  // Fills the precomputed per-slot cost constants from (kind, t) and the
+  // shard's cost model — shared by AddObject and RestoreSnapshot so both
+  // paths fold the scalars in the identical association order (a restored
+  // slot must not differ from the original by even one rounding).
+  void InitSlotCosts(SlotState* state) const;
 
   // Erases from `state`'s scheme every crash-log member recorded at a
   // fault-time index <= `up_to_index` that the slot has not yet applied,

@@ -1,48 +1,15 @@
 #include "objalloc/sim/durable_store.h"
 
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-
-#include "objalloc/util/crc32.h"
+#include "objalloc/util/io.h"
+#include "objalloc/util/record_io.h"
 
 namespace objalloc::sim {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x0bA110c5;
-constexpr size_t kRecordSize = 4 + 1 + 3 + 8 + 8 + 4;
-
-struct PackedRecord {
-  unsigned char bytes[kRecordSize];
-
-  void Pack(int64_t version, uint64_t value, bool valid) {
-    std::memcpy(bytes, &kMagic, 4);
-    bytes[4] = valid ? 1 : 0;
-    bytes[5] = bytes[6] = bytes[7] = 0;
-    std::memcpy(bytes + 8, &version, 8);
-    std::memcpy(bytes + 16, &value, 8);
-    uint32_t crc = util::Crc32(bytes, kRecordSize - 4);
-    std::memcpy(bytes + kRecordSize - 4, &crc, 4);
-  }
-
-  util::Status Unpack(DurableObjectStore::Snapshot* out) const {
-    uint32_t magic = 0, crc = 0;
-    std::memcpy(&magic, bytes, 4);
-    if (magic != kMagic) {
-      return util::Status::Internal("bad record magic");
-    }
-    std::memcpy(&crc, bytes + kRecordSize - 4, 4);
-    if (crc != util::Crc32(bytes, kRecordSize - 4)) {
-      return util::Status::Internal("record checksum mismatch");
-    }
-    out->present = true;
-    out->valid = bytes[4] != 0;
-    std::memcpy(&out->version, bytes + 8, 8);
-    std::memcpy(&out->value, bytes + 16, 8);
-    return util::Status::Ok();
-  }
-};
+// Payload layout inside one util/record_io frame (which supplies the length
+// prefix and the CRC32): valid flag (1) | version (8) | value (8).
+constexpr uint8_t kRecordType = 1;
 
 }  // namespace
 
@@ -51,39 +18,60 @@ DurableObjectStore::DurableObjectStore(std::string path)
 
 util::Status DurableObjectStore::Persist(int64_t version, uint64_t value,
                                          bool valid) {
-  PackedRecord record;
-  record.Pack(version, value, valid);
-  const std::string temp = path_ + ".tmp";
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) return util::Status::Internal("cannot open " + temp);
-    out.write(reinterpret_cast<const char*>(record.bytes), kRecordSize);
-    out.flush();
-    if (!out) return util::Status::Internal("short write to " + temp);
-  }
-  if (std::rename(temp.c_str(), path_.c_str()) != 0) {
-    return util::Status::Internal("rename failed for " + path_);
-  }
-  return util::Status::Ok();
+  std::string payload;
+  util::AppendScalar<uint8_t>(valid ? 1 : 0, &payload);
+  util::AppendScalar<int64_t>(version, &payload);
+  util::AppendScalar<uint64_t>(value, &payload);
+  std::string framed;
+  util::AppendRecord(kRecordType, payload, &framed);
+  // WriteFileAtomic fsyncs the temp file before the rename and the directory
+  // after it, so a crash leaves either the old record or the new one — never
+  // a torn file under the final name.
+  return util::WriteFileAtomic(path_, framed);
 }
 
 util::StatusOr<DurableObjectStore::Snapshot> DurableObjectStore::Load()
     const {
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) return Snapshot{};  // no record yet
-  PackedRecord record;
-  in.read(reinterpret_cast<char*>(record.bytes), kRecordSize);
-  if (in.gcount() != static_cast<std::streamsize>(kRecordSize)) {
+  // A crash between writing `path + ".tmp"` and the rename strands the temp
+  // file; it was never published, so drop it rather than letting it shadow a
+  // future Persist or confuse directory scans.
+  (void)util::RemoveFile(path_ + ".tmp");
+  auto buffer = util::ReadFileToString(path_);
+  if (!buffer.ok()) {
+    if (buffer.status().code() == util::StatusCode::kNotFound) {
+      return Snapshot{};  // no record yet
+    }
+    return buffer.status();
+  }
+  util::RecordCursor cursor(*buffer);
+  util::RecordView record;
+  if (!cursor.Next(&record)) {
+    OBJALLOC_RETURN_IF_ERROR(cursor.status());
     return util::Status::Internal("truncated record in " + path_);
   }
+  if (record.type != kRecordType) {
+    return util::Status::Internal("bad record type in " + path_);
+  }
+  util::PayloadReader reader(record.payload);
   Snapshot snapshot;
-  OBJALLOC_RETURN_IF_ERROR(record.Unpack(&snapshot));
+  uint8_t valid = 0;
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&valid));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&snapshot.version));
+  OBJALLOC_RETURN_IF_ERROR(reader.Read(&snapshot.value));
+  if (!reader.exhausted()) {
+    return util::Status::Internal("malformed record payload in " + path_);
+  }
+  if (cursor.tail_bytes() > 0) {
+    return util::Status::Internal("trailing bytes after record in " + path_);
+  }
+  snapshot.present = true;
+  snapshot.valid = valid != 0;
   return snapshot;
 }
 
 util::Status DurableObjectStore::Remove() {
-  std::remove(path_.c_str());
-  return util::Status::Ok();
+  (void)util::RemoveFile(path_ + ".tmp");
+  return util::RemoveFile(path_);
 }
 
 }  // namespace objalloc::sim

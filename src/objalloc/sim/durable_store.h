@@ -1,12 +1,15 @@
 // DurableObjectStore — the stable storage behind a processor's local
 // database: the paper's "local database that resides on disk" made literal.
 //
-// One fixed-size record per file:
-//   magic (4) | valid flag (1) | pad (3) | version (8) | value (8) | crc (4)
+// One util/record_io frame per file (length prefix + CRC32 + payload of
+// valid flag (1) | version (8) | value (8)) — the same framing the service
+// WAL and checkpoints use, so there is exactly one torn/corrupt detector in
+// the tree.
 //
-// Writes are crash-atomic via the classic temp-file + rename protocol; the
-// CRC covers everything before it, so torn or corrupted records are detected
-// at load and reported, never silently served.
+// Writes are crash-atomic via util::WriteFileAtomic (temp file, fsync,
+// rename, directory fsync); Load sweeps any stranded temp file and verifies
+// the CRC, so torn or corrupted records are detected and reported, never
+// silently served.
 
 #ifndef OBJALLOC_SIM_DURABLE_STORE_H_
 #define OBJALLOC_SIM_DURABLE_STORE_H_

@@ -1,0 +1,216 @@
+#include "objalloc/util/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace objalloc::util {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+// fsyncs the directory containing `path` so a rename inside it is durable.
+// Best effort: some filesystems refuse O_RDONLY directory fsync; the rename
+// itself already happened, so a failure here only weakens durability, not
+// consistency.
+void SyncContainingDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("write failed for", path));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::Internal(Errno("cannot open", path));
+  }
+  std::string data;
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string message = Errno("read failed for", path);
+      ::close(fd);
+      return Status::Internal(message);
+    }
+    if (n == 0) break;
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string temp = path + ".tmp";
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal(Errno("cannot open", temp));
+  Status status = WriteAll(fd, data, temp);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Internal(Errno("fsync failed for", temp));
+  }
+  ::close(fd);
+  if (!status.ok()) {
+    ::unlink(temp.c_str());
+    return status;
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    const Status error = Status::Internal(Errno("rename failed for", path));
+    ::unlink(temp.c_str());
+    return error;
+  }
+  SyncContainingDir(path);
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal(Errno("unlink failed for", path));
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+StatusOr<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::Internal(Errno("stat failed for", path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::Internal(Errno("mkdir failed for", path));
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such directory: " + dir);
+    return Status::Internal(Errno("opendir failed for", dir));
+  }
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::Internal(Errno("truncate failed for", path));
+  }
+  return Status::Ok();
+}
+
+StatusOr<AppendFile> AppendFile::Open(const std::string& path,
+                                      uint64_t truncate_to) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return Status::Internal(Errno("cannot open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status error = Status::Internal(Errno("fstat failed for", path));
+    ::close(fd);
+    return error;
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (truncate_to != kNoTruncate && truncate_to < size) {
+    if (::ftruncate(fd, static_cast<off_t>(truncate_to)) != 0) {
+      const Status error = Status::Internal(Errno("ftruncate failed for", path));
+      ::close(fd);
+      return error;
+    }
+    size = truncate_to;
+  }
+  if (::lseek(fd, static_cast<off_t>(size), SEEK_SET) < 0) {
+    const Status error = Status::Internal(Errno("lseek failed for", path));
+    ::close(fd);
+    return error;
+  }
+  return AppendFile(fd, size, path);
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), offset_(other.offset_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.offset_ = 0;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    offset_ = other.offset_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.offset_ = 0;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+Status AppendFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("append file not open");
+  OBJALLOC_RETURN_IF_ERROR(WriteAll(fd_, data, path_));
+  offset_ += data.size();
+  return Status::Ok();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("append file not open");
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(Errno("fsync failed for", path_));
+  }
+  return Status::Ok();
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace objalloc::util

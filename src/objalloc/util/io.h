@@ -1,0 +1,85 @@
+// Durable file I/O primitives for the durability layer (DESIGN.md §10):
+// whole-file reads, crash-atomic whole-file writes (temp file + fsync +
+// rename), and an fsync-able append handle for write-ahead logging. All
+// operations report failures through util::Status — a torn disk, a missing
+// directory, or an interrupted rename is an error to handle, never an abort.
+
+#ifndef OBJALLOC_UTIL_IO_H_
+#define OBJALLOC_UTIL_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "objalloc/util/status.h"
+
+namespace objalloc::util {
+
+// Reads the whole file at `path`. NotFound when it does not exist.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Crash-atomically replaces `path` with `data`: writes `path + ".tmp"`,
+// fsyncs it, renames over `path`, then fsyncs the containing directory so
+// the rename itself is durable. A crash leaves either the old file or the
+// new one, never a mix; a stale ".tmp" from an earlier crash is replaced.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+// Removes `path`; a missing file is Ok (idempotent cleanup).
+Status RemoveFile(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+// File size in bytes; NotFound when missing.
+StatusOr<uint64_t> FileSize(const std::string& path);
+
+// Creates the directory (one level) if it does not exist.
+Status EnsureDir(const std::string& path);
+
+// Plain file names (not paths) of the entries in `dir`, sorted ascending.
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+
+// Truncates `path` to `size` bytes (used to drop a torn WAL tail).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+// An append-only file handle with explicit durability control: Append
+// buffers nothing (one write syscall), Sync fsyncs. Movable, not copyable;
+// the destructor closes without syncing (call Sync first where it matters).
+class AppendFile {
+ public:
+  // Opens `path` for appending, creating it if missing. When `truncate_to`
+  // is not npos the file is first truncated to that many bytes (recovery
+  // drops a torn tail before appending resumes).
+  static constexpr uint64_t kNoTruncate = ~uint64_t{0};
+  static StatusOr<AppendFile> Open(const std::string& path,
+                                   uint64_t truncate_to = kNoTruncate);
+
+  AppendFile() = default;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  bool is_open() const { return fd_ >= 0; }
+  // Bytes in the file (logical append offset).
+  uint64_t offset() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+  Status Append(std::string_view data);
+  Status Sync();
+  void Close();
+
+ private:
+  AppendFile(int fd, uint64_t offset, std::string path)
+      : fd_(fd), offset_(offset), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+  std::string path_;
+};
+
+}  // namespace objalloc::util
+
+#endif  // OBJALLOC_UTIL_IO_H_

@@ -1,0 +1,72 @@
+#include "objalloc/util/record_io.h"
+
+#include "objalloc/util/crc32.h"
+
+namespace objalloc::util {
+
+namespace {
+
+// Upper bound on a single record's payload: far above anything the
+// durability layer writes (a checkpoint shard record is the largest), low
+// enough that a corrupted length field cannot drive a multi-gigabyte
+// allocation before the CRC check runs.
+constexpr uint32_t kMaxPayload = 1u << 30;
+
+}  // namespace
+
+void AppendRecord(uint8_t type, std::string_view payload, std::string* out) {
+  OBJALLOC_CHECK_LE(payload.size(), kMaxPayload) << "record payload too large";
+  char header[kRecordHeaderSize] = {};
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  std::memcpy(header, &length, 4);
+  header[4] = static_cast<char>(type);
+  uint32_t crc = Crc32(header, 8);
+  crc = Crc32(payload.data(), payload.size(), crc);
+  std::memcpy(header + 8, &crc, 4);
+  out->append(header, kRecordHeaderSize);
+  out->append(payload.data(), payload.size());
+}
+
+bool RecordCursor::Next(RecordView* out) {
+  if (done_) return false;
+  if (pos_ == buffer_.size()) {
+    done_ = true;  // clean end
+    return false;
+  }
+  if (buffer_.size() - pos_ < kRecordHeaderSize) {
+    done_ = true;  // torn tail: header cut short
+    return false;
+  }
+  uint32_t length = 0, crc = 0;
+  std::memcpy(&length, buffer_.data() + pos_, 4);
+  std::memcpy(&crc, buffer_.data() + pos_ + 8, 4);
+  if (length > kMaxPayload) {
+    // A length this large is never written, so the header bytes are
+    // corrupt, not torn: report it rather than silently truncating.
+    status_ = Status::Internal("record at offset " + std::to_string(pos_) +
+                               " declares absurd length " +
+                               std::to_string(length));
+    done_ = true;
+    return false;
+  }
+  if (buffer_.size() - pos_ - kRecordHeaderSize < length) {
+    done_ = true;  // torn tail: payload cut short
+    return false;
+  }
+  uint32_t actual = Crc32(buffer_.data() + pos_, 8);
+  actual = Crc32(buffer_.data() + pos_ + kRecordHeaderSize, length, actual);
+  if (actual != crc) {
+    status_ = Status::Internal("record at offset " + std::to_string(pos_) +
+                               " failed its CRC check");
+    done_ = true;
+    return false;
+  }
+  out->type = static_cast<uint8_t>(buffer_[pos_ + 4]);
+  out->payload =
+      std::string_view(buffer_.data() + pos_ + kRecordHeaderSize, length);
+  pos_ += kRecordHeaderSize + length;
+  valid_prefix_ = pos_;
+  return true;
+}
+
+}  // namespace objalloc::util

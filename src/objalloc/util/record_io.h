@@ -1,0 +1,105 @@
+// CRC32-framed, length-prefixed records — the one on-disk framing shared by
+// the write-ahead log, the checkpoint files, the durability manifest
+// (core/wal.h, core/checkpoint.h) and the simulator's DurableObjectStore.
+//
+// Frame layout (12-byte header, then the payload):
+//
+//   u32 payload_length | u8 type | u8[3] reserved (0) | u32 crc | payload
+//
+// The CRC covers the first 8 header bytes and the payload, so any bit flip
+// in length, type, or body is detected; a record cut short by a crash is a
+// *torn tail*, distinguished from corruption so recovery can truncate it
+// and keep the valid prefix. Encoding uses the native (little-endian on
+// every supported target) fixed-width layout; files are not interchanged
+// across architectures.
+
+#ifndef OBJALLOC_UTIL_RECORD_IO_H_
+#define OBJALLOC_UTIL_RECORD_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "objalloc/util/status.h"
+
+namespace objalloc::util {
+
+inline constexpr size_t kRecordHeaderSize = 12;
+
+// Appends one framed record to `*out`.
+void AppendRecord(uint8_t type, std::string_view payload, std::string* out);
+
+// A decoded record; `payload` points into the cursor's buffer.
+struct RecordView {
+  uint8_t type = 0;
+  std::string_view payload;
+};
+
+// Walks the records of a buffer. After Next returns false, exactly one of
+// three terminal states holds:
+//   * clean end:  status().ok() and valid_prefix() == buffer size,
+//   * torn tail:  status().ok() and valid_prefix() < buffer size — the
+//     bytes past valid_prefix() are an incomplete final record (crash mid
+//     append); truncating there restores a well-formed log,
+//   * corruption: !status().ok() — a complete-looking record failed its
+//     CRC (or declared an absurd length); valid_prefix() still marks the
+//     end of the last good record.
+class RecordCursor {
+ public:
+  explicit RecordCursor(std::string_view buffer) : buffer_(buffer) {}
+
+  // Advances to the next record; false at any terminal state.
+  bool Next(RecordView* out);
+
+  // Byte offset one past the last successfully decoded record.
+  size_t valid_prefix() const { return valid_prefix_; }
+  // Bytes past the valid prefix (0 on a clean end).
+  size_t tail_bytes() const { return buffer_.size() - valid_prefix_; }
+  const Status& status() const { return status_; }
+
+ private:
+  std::string_view buffer_;
+  size_t pos_ = 0;
+  size_t valid_prefix_ = 0;
+  Status status_;
+  bool done_ = false;
+};
+
+// --- Payload building helpers ------------------------------------------
+// Fixed-width scalar append/read used by every record payload in the
+// durability layer; Reader range-checks so a corrupt-but-CRC-valid payload
+// (impossible short of a CRC collision) still cannot over-read.
+
+template <typename T>
+void AppendScalar(T value, std::string* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : payload_(payload) {}
+
+  template <typename T>
+  Status Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (payload_.size() - pos_ < sizeof(T)) {
+      return Status::Internal("record payload underrun");
+    }
+    std::memcpy(out, payload_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  size_t remaining() const { return payload_.size() - pos_; }
+  bool exhausted() const { return pos_ == payload_.size(); }
+
+ private:
+  std::string_view payload_;
+  size_t pos_ = 0;
+};
+
+}  // namespace objalloc::util
+
+#endif  // OBJALLOC_UTIL_RECORD_IO_H_

@@ -33,21 +33,28 @@ util::Status TraceStreamEventSource::ReadHeader() {
   }
   std::string line;
   while (std::getline(*is_, line)) {
+    ++line_number_;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream tokens(line);
-    std::string keyword, processors_kw, objects_kw;
-    tokens >> keyword >> processors_kw >> num_processors_ >> objects_kw >>
-        num_objects_;
-    if (keyword != "multiobject" || processors_kw != "processors" ||
+    std::string keyword, processors_kw, objects_kw, extra;
+    if (!(tokens >> keyword >> processors_kw >> num_processors_ >>
+          objects_kw >> num_objects_) ||
+        keyword != "multiobject" || processors_kw != "processors" ||
         objects_kw != "objects" || num_processors_ <= 0 ||
-        num_objects_ <= 0) {
+        num_objects_ <= 0 || (tokens >> extra)) {
       failed_ = true;
-      return util::Status::InvalidArgument("bad trace header: " + line);
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_number_) +
+          ": bad trace header: " + line);
     }
     have_header_ = true;
     return util::Status::Ok();
   }
   failed_ = true;
+  if (is_->bad()) {
+    return util::Status::Internal("trace read failed after line " +
+                                  std::to_string(line_number_));
+  }
   return util::Status::InvalidArgument(
       "trace missing 'multiobject' header");
 }
@@ -56,26 +63,50 @@ util::StatusOr<bool> TraceStreamEventSource::NextEvent(
     MultiObjectEvent* event) {
   std::string line;
   while (std::getline(*is_, line)) {
+    ++line_number_;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream tokens(line);
     int64_t object = -1;
-    std::string request_token;
-    tokens >> object >> request_token;
+    std::string request_token, extra;
+    if (!(tokens >> object >> request_token)) {
+      failed_ = true;
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_number_) +
+          ": malformed event line (want '<object-id> <r|w><processor>'): " +
+          line);
+    }
+    if (tokens >> extra) {
+      failed_ = true;
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_number_) +
+          ": trailing tokens after event: " + line);
+    }
     if (object < 0 || object >= num_objects_) {
       failed_ = true;
-      return util::Status::OutOfRange("object id out of range: " + line);
+      return util::Status::OutOfRange(
+          "line " + std::to_string(line_number_) +
+          ": object id out of range: " + line);
     }
     auto request = model::Schedule::Parse(num_processors_, request_token);
     if (!request.ok()) {
       failed_ = true;
-      return request.status();
+      return util::Status(request.status().code(),
+                          "line " + std::to_string(line_number_) + ": " +
+                              request.status().message());
     }
     if (request->size() != 1) {
       failed_ = true;
-      return util::Status::InvalidArgument("expected one request: " + line);
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_number_) +
+          ": expected one request: " + line);
     }
     *event = MultiObjectEvent{object, (*request)[0]};
     return true;
+  }
+  if (is_->bad()) {
+    failed_ = true;
+    return util::Status::Internal("trace read failed after line " +
+                                  std::to_string(line_number_));
   }
   return false;
 }

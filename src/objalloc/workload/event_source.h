@@ -96,6 +96,7 @@ class TraceStreamEventSource : public EventSource {
   std::istream* is_;
   bool have_header_ = false;
   bool failed_ = false;
+  size_t line_number_ = 0;  // 1-based, for error attribution
   int num_processors_ = 0;
   int num_objects_ = 0;
 };

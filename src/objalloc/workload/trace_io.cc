@@ -38,27 +38,45 @@ util::Status WriteTraceFile(const model::Schedule& schedule,
 }
 
 util::StatusOr<model::Schedule> ReadTrace(std::istream& is) {
+  // Parse line by line so a malformed token is reported with its line
+  // number instead of pointing vaguely at the concatenated body.
   std::string line;
   int num_processors = -1;
-  std::string body;
+  size_t line_number = 0;
+  model::Schedule schedule(1);
   while (std::getline(is, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') continue;
     if (num_processors < 0) {
       std::istringstream header(line);
-      std::string keyword;
-      header >> keyword >> num_processors;
-      if (keyword != "processors" || num_processors <= 0) {
-        return util::Status::InvalidArgument("bad trace header: " + line);
+      std::string keyword, extra;
+      if (!(header >> keyword >> num_processors) || keyword != "processors" ||
+          num_processors <= 0 || (header >> extra)) {
+        return util::Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": bad trace header: " + line);
       }
+      schedule = model::Schedule(num_processors);
       continue;
     }
-    body += line;
-    body += " ";
+    auto parsed = model::Schedule::Parse(num_processors, line);
+    if (!parsed.ok()) {
+      return util::Status(parsed.status().code(),
+                          "line " + std::to_string(line_number) + ": " +
+                              std::string(parsed.status().message()));
+    }
+    for (const model::Request& request : parsed->requests()) {
+      schedule.Append(request);
+    }
+  }
+  if (is.bad()) {
+    return util::Status::Internal("read failed after line " +
+                                  std::to_string(line_number));
   }
   if (num_processors < 0) {
     return util::Status::InvalidArgument("trace missing 'processors' header");
   }
-  return model::Schedule::Parse(num_processors, body);
+  return schedule;
 }
 
 util::StatusOr<model::Schedule> ReadTraceFile(const std::string& path) {

@@ -88,6 +88,26 @@ TEST(DurableStoreTest, DetectsCorruption) {
   ASSERT_TRUE(store.Remove().ok());
 }
 
+TEST(DurableStoreTest, StaleTempFileIsSweptNotServed) {
+  // A crash between writing the temp file and the rename strands
+  // `path + ".tmp"`; Load must ignore it (the record was never published)
+  // and clean it up so it cannot shadow a later Persist.
+  std::string path = TestPath("stale_tmp.bin");
+  DurableObjectStore store(path);
+  ASSERT_TRUE(store.Persist(3, 30, true).ok());
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary | std::ios::trunc);
+    tmp << "half-written garbage";
+  }
+  auto snapshot = store.Load();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->version, 3);
+  EXPECT_EQ(snapshot->value, 30u);
+  std::ifstream check(path + ".tmp");
+  EXPECT_FALSE(check.good()) << "stale temp file must be removed";
+  ASSERT_TRUE(store.Remove().ok());
+}
+
 TEST(DurableStoreTest, DetectsTruncation) {
   std::string path = TestPath("truncated.bin");
   DurableObjectStore store(path);

@@ -210,6 +210,49 @@ TEST(MultiObjectTraceIoTest, RejectsBadRequestToken) {
   EXPECT_FALSE(ReadMultiObjectTrace(buffer).ok());
 }
 
+TEST(MultiObjectTraceIoTest, ErrorsCarryLineNumbers) {
+  // The malformed line is line 4 (comment and blank lines still count).
+  std::stringstream buffer(
+      "# header comment\nmultiobject processors 4 objects 2\n1 r1\n1 r9\n");
+  auto result = ReadMultiObjectTrace(buffer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 4"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MultiObjectTraceIoTest, RejectsTruncatedEventLine) {
+  // An object id with no request token is malformed, not silently skipped.
+  std::stringstream buffer("multiobject processors 4 objects 2\n1\n");
+  auto result = ReadMultiObjectTrace(buffer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MultiObjectTraceIoTest, RejectsTrailingTokens) {
+  std::stringstream buffer(
+      "multiobject processors 4 objects 2\n1 r1 extra\n");
+  auto result = ReadMultiObjectTrace(buffer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("trailing"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MultiObjectTraceIoTest, RejectsHeaderWithTrailingTokens) {
+  std::stringstream buffer(
+      "multiobject processors 4 objects 2 junk\n1 r1\n");
+  EXPECT_FALSE(ReadMultiObjectTrace(buffer).ok());
+}
+
+TEST(TraceIoTest, ScheduleErrorsCarryLineNumbers) {
+  std::stringstream buffer("processors 3\nr1 w2\nr1 q9\n");
+  auto result = ReadTrace(buffer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(MultiObjectTraceIoTest, FileRoundTrip) {
   MultiObjectOptions options;
   options.length = 64;
