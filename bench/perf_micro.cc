@@ -15,12 +15,14 @@
 #include "objalloc/core/dynamic_allocation.h"
 #include "objalloc/core/object_service.h"
 #include "objalloc/core/runner.h"
+#include "objalloc/core/shard_executor.h"
 #include "objalloc/core/static_allocation.h"
 #include "objalloc/opt/exact_opt.h"
 #include "objalloc/opt/interval_opt.h"
 #include "objalloc/opt/relaxation_lower_bound.h"
 #include "objalloc/sim/simulator.h"
 #include "objalloc/util/parallel.h"
+#include "objalloc/util/spsc_queue.h"
 #include "objalloc/workload/multi_object.h"
 #include "objalloc/workload/uniform.h"
 
@@ -224,6 +226,70 @@ void BM_ServiceBatchHandles(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * trace.events.size());
 }
 BENCHMARK(BM_ServiceBatchHandles)->Arg(1)->Arg(16);
+
+// ---- Shard-owned executor (DESIGN.md §11) ---------------------------------
+
+// Raw SPSC ring cost, single-threaded: push a burst, pop a burst — the
+// per-task overhead floor of the per-shard queues, with both counters
+// bouncing between the producer and consumer cache lines of one core.
+// Arg: burst size (= ring capacity).
+void BM_SpscEnqueueDequeue(benchmark::State& state) {
+  const size_t burst = static_cast<size_t>(state.range(0));
+  util::SpscQueue<core::ShardTask> queue(burst);
+  for (auto _ : state) {
+    for (size_t i = 0; i < burst; ++i) {
+      const bool pushed = queue.TryPush(
+          core::ShardTask{static_cast<uint32_t>(i), 0});
+      benchmark::DoNotOptimize(pushed);
+    }
+    core::ShardTask task;
+    while (queue.TryPop(&task)) benchmark::DoNotOptimize(task.context);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(burst));
+}
+BENCHMARK(BM_SpscEnqueueDequeue)->Arg(4)->Arg(64);
+
+// Submit -> Wait round-trip through the executor with one tiny task per
+// shard: measures the handoff machinery itself (wake, pop, completion
+// countdown), not the serving work — the fixed cost a batch must amortize
+// before shard parallelism pays. Arg: shard count (= task fan-out).
+void BM_ExecutorBatchHandoff(benchmark::State& state) {
+  const size_t shards_n = static_cast<size_t>(state.range(0));
+  const model::CostModel sc = model::CostModel::StationaryComputing(0.25, 1.0);
+  std::vector<core::ObjectShard> shards;
+  shards.reserve(shards_n);
+  for (size_t s = 0; s < shards_n; ++s) {
+    core::ObjectShard shard(16, sc);
+    if (!shard.AddObject(static_cast<core::ObjectId>(s),
+                         InlineConfig(core::AlgorithmKind::kDynamic))
+             .ok()) {
+      std::abort();
+    }
+    shards.push_back(std::move(shard));
+  }
+  core::ShardExecutor executor(shards.data(), shards.size(),
+                               util::GlobalThreads());
+  std::vector<double> costs(shards_n, 0.0);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    const uint32_t slot = executor.Acquire();
+    core::BatchContext& context = executor.context(slot);
+    context.costs = costs.data();
+    for (size_t s = 0; s < shards_n; ++s) {
+      context.ops[s].push_back(core::ShardOp{
+          static_cast<uint32_t>(s), 0,
+          n % 2 == 0 ? model::Request::Read(static_cast<int>(n % 16))
+                     : model::Request::Write(static_cast<int>(n % 16))});
+      ++n;
+    }
+    executor.Submit(slot);
+    executor.Wait(slot);
+    benchmark::DoNotOptimize(costs[0]);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(shards_n));
+}
+BENCHMARK(BM_ExecutorBatchHandoff)->Arg(4)->Arg(16);
 
 // Bulk registration cost with and without ReserveObjects: reserved
 // registration does O(1) amortized rehashes across every internal table.

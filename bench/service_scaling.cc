@@ -10,11 +10,23 @@
 //                        [--batch=8192] [--repeats=2]
 //                        [--expect_control=N] [--expect_data=N]
 //                        [--expect_io=N] [--expect_crc=N]
+//                        [--require_speedup=SHARDS,THREADS,MIN_X10]
 //
-// Each configuration is measured twice: the id-addressed batch path
-// (admission hashes every event's ObjectId) and the handle-addressed hot
-// path (ObjectHandles resolved once up front, served forever) — the
-// devirtualized serving engine's two entry points (DESIGN.md §8).
+// Each configuration is measured three ways: the id-addressed batch path
+// (admission hashes every event's ObjectId), the handle-addressed hot path
+// (ObjectHandles resolved once up front, served forever) — the
+// devirtualized serving engine's two entry points (DESIGN.md §8) — and the
+// pipelined SubmitBatch/WaitBatch path, where batch n+1 is admitted while
+// batch n is still on the shard workers (DESIGN.md §11).
+//
+// Speedup honesty: a thread count the hardware cannot actually run in
+// parallel (threads > nproc, or a 1-core host altogether) produces
+// time-slicing noise, not a measurement. Such rows are emitted with
+// "speedup_valid": false and a null speedup, each row records the nproc it
+// really had, and a 1-core host prints a loud warning. --require_speedup
+// (CI's multi-core gate; MIN_X10 is the threshold ×10, e.g. 15 = 1.5x)
+// fails the run when the named config's measured speedup is below the
+// floor — or when that config could not be validly measured at all.
 //
 // Determinism is asserted, not assumed: every (shards, threads) config and
 // both entry paths must reproduce byte-identical cost breakdowns and final
@@ -103,10 +115,13 @@ std::vector<int> ParseIntList(const std::string& arg, const char* flag) {
 struct Measurement {
   int shards = 0;
   int threads = 0;
+  int nproc = 0;  // cores this row could actually use: min(threads, hw)
   double seconds = 0;
   double events_per_sec = 0;
   double handle_events_per_sec = 0;
+  double pipelined_events_per_sec = 0;
   double speedup_vs_1thread = 0;
+  bool speedup_valid = false;
 };
 
 }  // namespace
@@ -125,6 +140,10 @@ int main(int argc, char** argv) {
   long long expect_data = -1;
   long long expect_io = -1;
   long long expect_crc = -1;
+  // Scaling gate: require speedup_vs_1thread >= min at (shards, threads).
+  int require_shards = 0;
+  int require_threads = 0;
+  double require_min_speedup = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto int_flag = [&](const char* prefix, auto* out) {
@@ -153,10 +172,31 @@ int main(int argc, char** argv) {
       shard_counts = ParseIntList(arg.substr(9), "--shards=");
     } else if (arg.rfind("--threads=", 0) == 0) {
       thread_counts = ParseIntList(arg.substr(10), "--threads=");
+    } else if (arg.rfind("--require_speedup=", 0) == 0) {
+      std::vector<int> gate =
+          ParseIntList(arg.substr(18), "--require_speedup=");
+      if (gate.size() != 3) {
+        std::fprintf(stderr,
+                     "--require_speedup wants SHARDS,THREADS,MIN_X10\n");
+        return 1;
+      }
+      require_shards = gate[0];
+      require_threads = gate[1];
+      require_min_speedup = static_cast<double>(gate[2]) / 10.0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 1;
     }
+  }
+
+  // Speedup rows are only meaningful up to the parallelism the hardware
+  // actually has — not the thread override in OBJALLOC_THREADS.
+  const int hw = util::HardwareConcurrency();
+  if (hw <= 1) {
+    std::fprintf(stderr,
+                 "WARNING: hardware_concurrency=1 — every multi-thread row "
+                 "is time-slicing noise, not a scaling measurement; all "
+                 "rows will carry \"speedup_valid\": false\n");
   }
 
   const uint64_t kSeed = 0x5eed5ca1e;
@@ -286,22 +326,76 @@ int main(int argc, char** argv) {
           << " handle path diverged from the id path: the two entry "
              "points must be byte-identical";
 
+      // Pipelined path: SubmitBatch admits + logs batch n+1 while batch n
+      // is still on the shard workers; WaitBatch double-buffers the
+      // results. Same trace, same fingerprint requirement.
+      double pipelined_best = 0;
+      Fingerprint pipelined_fingerprint;
+      for (int r = 0; r < repeats; ++r) {
+        core::ServiceOptions service_options;
+        service_options.num_shards = shards;
+        core::ObjectService service(
+            processors, model::CostModel::StationaryComputing(0.25, 1.0),
+            service_options);
+        service.ReserveObjects(static_cast<size_t>(objects));
+        for (int id = 0; id < objects; ++id) {
+          OBJALLOC_CHECK(service.AddObject(id, ServiceConfig()).ok());
+        }
+        core::BatchResult results[2];
+        core::BatchTicket tickets[2];
+        int cur = 0;
+        auto start = std::chrono::steady_clock::now();
+        std::span<const workload::MultiObjectEvent> all(trace.events);
+        for (size_t pos = 0; pos < all.size(); pos += batch_size) {
+          if (!tickets[cur].completed) {
+            util::Status status = service.WaitBatch(&tickets[cur]);
+            OBJALLOC_CHECK(status.ok()) << status.ToString();
+          }
+          util::Status status = service.SubmitBatch(
+              all.subspan(pos, std::min(batch_size, all.size() - pos)),
+              &results[cur], &tickets[cur]);
+          OBJALLOC_CHECK(status.ok()) << status.ToString();
+          if (!tickets[cur].completed) cur ^= 1;
+        }
+        util::Status drained = service.DrainBatches();
+        OBJALLOC_CHECK(drained.ok()) << drained.ToString();
+        auto stop = std::chrono::steady_clock::now();
+        double seconds = std::chrono::duration<double>(stop - start).count();
+        if (r == 0 || seconds < pipelined_best) pipelined_best = seconds;
+        pipelined_fingerprint.breakdown = service.TotalBreakdown();
+        pipelined_fingerprint.requests = service.TotalRequests();
+        pipelined_fingerprint.scheme_crc = SchemeCrc(service);
+      }
+      OBJALLOC_CHECK(pipelined_fingerprint == reference)
+          << "shards=" << shards << " threads=" << threads
+          << " pipelined path diverged from the synchronous path: "
+             "cross-batch pipelining must not change results";
+
       if (threads == thread_counts.front()) one_thread_seconds = best;
       Measurement m;
       m.shards = shards;
       m.threads = threads;
+      m.nproc = std::min(threads, hw);
       m.seconds = best;
       m.events_per_sec = static_cast<double>(events) / best;
       m.handle_events_per_sec = static_cast<double>(events) / handle_best;
+      m.pipelined_events_per_sec =
+          static_cast<double>(events) / pipelined_best;
       m.speedup_vs_1thread = best > 0 ? one_thread_seconds / best : 0;
+      m.speedup_valid = hw > 1 && threads <= hw;
       measurements.push_back(m);
-      std::printf("shards=%-4d threads=%-3d %8.3fs %12.0f events/sec  "
-                  "(handles %12.0f)  speedup %.2fx\n",
-                  m.shards, m.threads, m.seconds, m.events_per_sec,
-                  m.handle_events_per_sec, m.speedup_vs_1thread);
+      std::printf("shards=%-4d threads=%-3d (nproc %d) %8.3fs "
+                  "%12.0f events/sec  (handles %12.0f, pipelined %12.0f)  ",
+                  m.shards, m.threads, m.nproc, m.seconds, m.events_per_sec,
+                  m.handle_events_per_sec, m.pipelined_events_per_sec);
+      if (m.speedup_valid) {
+        std::printf("speedup %.2fx\n", m.speedup_vs_1thread);
+      } else {
+        std::printf("speedup n/a (nproc %d)\n", m.nproc);
+      }
     }
   }
-  std::printf("determinism: all %zu configs x {id, handle} paths "
+  std::printf("determinism: all %zu configs x {id, handle, pipelined} paths "
               "byte-identical (breakdown %lld/%lld/%lld, scheme crc %08x)\n",
               measurements.size(),
               static_cast<long long>(reference.breakdown.control_messages),
@@ -334,10 +428,50 @@ int main(int argc, char** argv) {
     std::printf("golden fingerprint matches expected values\n");
   }
 
+  // Scaling gate (CI scaling-smoke): the named config must have a *valid*
+  // speedup measurement at or above the floor. An invalid row (1-core
+  // host, or threads oversubscribing nproc) fails the gate rather than
+  // passing vacuously.
+  if (require_shards > 0) {
+    bool gate_found = false;
+    for (const Measurement& m : measurements) {
+      if (m.shards != require_shards || m.threads != require_threads) {
+        continue;
+      }
+      gate_found = true;
+      if (!m.speedup_valid) {
+        std::fprintf(stderr,
+                     "scaling gate: shards=%d threads=%d has no valid "
+                     "speedup measurement (nproc=%d)\n",
+                     m.shards, m.threads, m.nproc);
+        return 1;
+      }
+      if (m.speedup_vs_1thread < require_min_speedup) {
+        std::fprintf(stderr,
+                     "scaling gate: shards=%d threads=%d speedup %.2fx "
+                     "below required %.2fx\n",
+                     m.shards, m.threads, m.speedup_vs_1thread,
+                     require_min_speedup);
+        return 1;
+      }
+      std::printf("scaling gate: shards=%d threads=%d speedup %.2fx >= "
+                  "%.2fx\n",
+                  m.shards, m.threads, m.speedup_vs_1thread,
+                  require_min_speedup);
+    }
+    if (!gate_found) {
+      std::fprintf(stderr,
+                   "scaling gate: config shards=%d threads=%d was not in "
+                   "the sweep\n",
+                   require_shards, require_threads);
+      return 1;
+    }
+  }
+
   std::ofstream out(out_path);
   OBJALLOC_CHECK(out.good()) << "cannot write " << out_path;
   out << "{\n  \"benchmark\": \"service_scaling\",\n";
-  out << "  \"hardware_concurrency\": " << util::GlobalThreads() << ",\n";
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
   out << "  \"events\": " << events << ",\n";
   out << "  \"objects\": " << objects << ",\n";
   out << "  \"processors\": " << processors << ",\n";
@@ -353,11 +487,18 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < measurements.size(); ++i) {
     const Measurement& m = measurements[i];
     out << "    {\"shards\": " << m.shards << ", \"threads\": " << m.threads
-        << ", \"seconds\": " << m.seconds << ", \"events_per_sec\": "
-        << m.events_per_sec << ", \"handle_events_per_sec\": "
-        << m.handle_events_per_sec << ", \"speedup_vs_1thread\": "
-        << m.speedup_vs_1thread << "}"
-        << (i + 1 < measurements.size() ? "," : "") << "\n";
+        << ", \"nproc\": " << m.nproc << ", \"seconds\": " << m.seconds
+        << ", \"events_per_sec\": " << m.events_per_sec
+        << ", \"handle_events_per_sec\": " << m.handle_events_per_sec
+        << ", \"pipelined_events_per_sec\": " << m.pipelined_events_per_sec
+        << ", \"speedup_valid\": " << (m.speedup_valid ? "true" : "false")
+        << ", \"speedup_vs_1thread\": ";
+    if (m.speedup_valid) {
+      out << m.speedup_vs_1thread;
+    } else {
+      out << "null";
+    }
+    out << "}" << (i + 1 < measurements.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());

@@ -34,8 +34,6 @@ ObjectService::ObjectService(int num_processors,
   for (int s = 0; s < options.num_shards; ++s) {
     shards_.emplace_back(num_processors, cost_model);
   }
-  shard_events_.resize(shards_.size());
-  shard_deltas_.resize(shards_.size());
   const uint64_t n = shards_.size();
   shard_mask_ = (n & (n - 1)) == 0 ? n - 1 : ~uint64_t{0};
 }
@@ -67,6 +65,9 @@ size_t ObjectService::ShardOf(ObjectId id) const {
 
 util::Status ObjectService::AddObject(ObjectId id,
                                       const ObjectConfig& config) {
+  // Registration mutates a shard's slot table (possibly reallocating it):
+  // no worker may be serving while that happens.
+  FenceAsync();
   if (injector_ != nullptr) [[unlikely]] {
     // Registrations under fault mode must respect the fault layer's two
     // preconditions: inlinable algorithm kind, and no replica born on a
@@ -117,6 +118,7 @@ util::Status ObjectService::AddObject(ObjectId id,
 }
 
 void ObjectService::ReserveObjects(size_t expected_total) {
+  FenceAsync();  // reserve may reallocate live slot tables
   // Objects spread uniformly under the hash; a little headroom avoids the
   // last-rehash cliff without over-reserving small shards.
   const size_t per_shard = expected_total / shards_.size() + 8;
@@ -150,6 +152,7 @@ util::StatusOr<double> ObjectService::Serve(ObjectId id,
         "single-request Serve bypasses fault time; use ServeBatch in "
         "fault mode");
   }
+  FenceAsync();  // this thread serves the shard directly
   const uint64_t route = route_directory_.Find(id);
   if (route == util::FlatDirectory<uint64_t>::kNotFound) [[unlikely]] {
     return util::Status::NotFound("unknown object " + std::to_string(id));
@@ -174,6 +177,7 @@ util::StatusOr<double> ObjectService::Serve(const ObjectHandle& handle,
         "single-request Serve bypasses fault time; use ServeBatch in "
         "fault mode");
   }
+  FenceAsync();  // this thread serves the shard directly
   if (handle.shard >= shards_.size() ||
       handle.slot >= shards_[handle.shard].object_count() ||
       shards_[handle.shard].IdAt(handle.slot) != handle.id) [[unlikely]] {
@@ -194,8 +198,9 @@ util::StatusOr<double> ObjectService::Serve(const ObjectHandle& handle,
 }
 
 template <typename EventT>
-util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
-                                           BatchResult* result) {
+util::Status ObjectService::AdmitBatch(std::span<const EventT> events,
+                                       BatchResult* result,
+                                       BatchContext* context) {
   if (events.size() > size_t{std::numeric_limits<uint32_t>::max()})
       [[unlikely]] {
     return util::Status::InvalidArgument(
@@ -208,21 +213,13 @@ util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
   result->served.clear();
   result->unavailable = 0;
 
-  // With one worker (or one shard) the fan-out machinery would be pure
-  // overhead: skip the per-shard partition and delta merge and serve the
-  // admitted batch in place, in submission order. Per-object request order
-  // — the only order the algorithms observe — is the same either way, and
-  // breakdown counts are integers, so both modes are bit-identical.
-  const bool parallel = shards_.size() > 1 && util::GlobalThreads() > 1 &&
-                        !util::InParallelWorker();
-
   // Admission pass: validate everything and resolve each event's (shard,
   // slot) route exactly once, before any shard state changes, so a
-  // rejected batch leaves the service untouched.
+  // rejected batch leaves the service untouched. Validation reads only
+  // registration-time state (the route directory, slot identities,
+  // processor bounds) that in-flight batches never mutate — which is what
+  // makes admitting batch n+1 while batch n is still being served safe.
   routes_.resize(events.size());
-  if (parallel) {
-    for (std::vector<uint32_t>& list : shard_events_) list.clear();
-  }
   for (size_t i = 0; i < events.size(); ++i) {
     const EventT& event = events[i];
     uint64_t route;
@@ -252,34 +249,93 @@ util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
           std::to_string(event.request.processor) + " out of range");
     }
     routes_[i] = route;
-    if (parallel) {
-      shard_events_[route >> 32].push_back(static_cast<uint32_t>(i));
+    if (context != nullptr) {
+      // Partition for the executor while the route is hot: the worker gets
+      // everything it needs (slot, request, cost cell index) by value.
+      context->ops[route >> 32].push_back(ShardOp{
+          static_cast<uint32_t>(i), static_cast<uint32_t>(route),
+          event.request});
     }
   }
+  return util::Status::Ok();
+}
 
-  if (durability_ != nullptr) [[unlikely]] {
-    // Write-ahead: the admitted batch reaches the log before any shard
-    // state changes. An append failure rejects the batch with no state
-    // change (and detaches durability — see LogBatch).
-    OBJALLOC_RETURN_IF_ERROR(LogBatch(events));
+void ObjectService::EnsureExecutor() {
+  const int workers =
+      std::min(util::GlobalThreads(), static_cast<int>(shards_.size()));
+  if (executor_ != nullptr && executor_workers_ == workers) return;
+  // Thread-count change (ScopedThreads in tests, reconfiguration in
+  // benchmarks): finalize whatever the old workers still hold, then let
+  // them join before the replacement spawns.
+  FenceAsync();
+  executor_.reset();
+  executor_ = std::make_unique<ShardExecutor>(shards_.data(), shards_.size(),
+                                              workers);
+  executor_workers_ = workers;
+  async_.assign(executor_->depth(), AsyncBatch());
+  async_active_ = 0;
+}
+
+void ObjectService::MergeAsync(uint32_t index) const {
+  AsyncBatch& batch = async_[index];
+  BatchContext& context = executor_->context(index);
+  // Fixed shard order; integer counts make the sum exact (determinism
+  // contract leg 3).
+  for (const model::CostBreakdown& delta : context.deltas) {
+    batch.result->breakdown += delta;
   }
+  batch.result->cost = batch.result->breakdown.Cost(cost_model_);
+  batch.result = nullptr;
+  batch.active = false;
+  --async_active_;
+}
 
-  if (injector_ != nullptr) [[unlikely]] {
-    // Fault mode: same admitted routes, chaos-aware serve passes. A batch
-    // that fails the *validation* above never advances fault time (it is a
-    // caller bug, not a fault); from here on, every presented event does.
-    util::Status status = ServeBatchFaultyTail(events, result, parallel);
+void ObjectService::FenceAsync() const {
+  if (executor_ == nullptr || async_active_ == 0) return;
+  for (uint32_t c = 0; c < static_cast<uint32_t>(async_.size()); ++c) {
+    if (!async_[c].active) continue;
+    executor_->Wait(c);
+    MergeAsync(c);
+  }
+}
+
+template <typename EventT>
+util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
+                                           BatchResult* result) {
+  // With one worker (or one shard, or when already inside a parallel
+  // worker) the executor would be pure overhead: the serial path below
+  // serves the admitted batch in place, in submission order, and never
+  // touches a queue. Per-object request order — the only order the
+  // algorithms observe — is the same either way, and breakdown counts are
+  // integers, so both modes are bit-identical.
+  const bool parallel = shards_.size() > 1 && util::GlobalThreads() > 1 &&
+                        !util::InParallelWorker();
+
+  if (!parallel || injector_ != nullptr) [[unlikely]] {
+    // This thread is about to touch shard state directly (the serial serve,
+    // or the fault tail's serial fault pass): quiesce the pipeline first.
+    FenceAsync();
+    OBJALLOC_RETURN_IF_ERROR(AdmitBatch(events, result, nullptr));
     if (durability_ != nullptr) [[unlikely]] {
-      // An UNAVAILABLE-rejected batch was logged and consumed fault-time
-      // windows, so the checkpoint interval advances for it too; its
-      // rejection status outranks a checkpoint error.
-      const util::Status finish = FinishBatchDurable();
-      if (status.ok()) status = finish;
+      // Write-ahead: the admitted batch reaches the log before any shard
+      // state changes. An append failure rejects the batch with no state
+      // change (and detaches durability — see LogBatch).
+      OBJALLOC_RETURN_IF_ERROR(LogBatch(events));
     }
-    return status;
-  }
-
-  if (!parallel) {
+    if (injector_ != nullptr) [[unlikely]] {
+      // Fault mode: same admitted routes, chaos-aware serve passes. A batch
+      // that fails the *validation* above never advances fault time (it is a
+      // caller bug, not a fault); from here on, every presented event does.
+      util::Status status = ServeBatchFaultyTail(events, result, parallel);
+      if (durability_ != nullptr) [[unlikely]] {
+        // An UNAVAILABLE-rejected batch was logged and consumed fault-time
+        // windows, so the checkpoint interval advances for it too; its
+        // rejection status outranks a checkpoint error.
+        const util::Status finish = FinishBatchDurable();
+        if (status.ok()) status = finish;
+      }
+      return status;
+    }
     // In-place serve: one pass, costs and traffic accumulated directly.
     for (size_t i = 0; i < events.size(); ++i) {
       const uint64_t route = routes_[i];
@@ -292,29 +348,75 @@ util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
     return FinishBatch();
   }
 
-  // Fan shards across the pool. Each chunk owns shards [lo, hi) outright —
-  // their state, their events' cost slots, their delta accumulators — so
-  // bodies write disjoint data (the determinism contract of ParallelFor).
-  std::fill(shard_deltas_.begin(), shard_deltas_.end(),
-            model::CostBreakdown());
-  util::ParallelFor(0, shards_.size(), 1, [&](size_t lo, size_t hi) {
-    for (size_t s = lo; s < hi; ++s) {
-      ObjectShard& shard = shards_[s];
-      model::CostBreakdown& delta = shard_deltas_[s];
-      for (uint32_t index : shard_events_[s]) {
-        result->costs[index] = shard.ServeSlot(
-            static_cast<uint32_t>(routes_[index]), events[index].request,
-            &delta);
-      }
-    }
-  });
-
-  // Merge in fixed shard order; integer counts make the sum exact.
-  for (const model::CostBreakdown& delta : shard_deltas_) {
+  // Executor path, synchronous: acquire a pipeline context (finalizing the
+  // async batch that last used it, if any), admit straight into its
+  // per-shard op lists, enqueue, wait, merge. Earlier pipelined batches may
+  // still be in flight on other contexts — the per-shard FIFO rings
+  // guarantee this batch's sub-batches run after theirs, so waiting on this
+  // context alone is enough for this result to be final.
+  EnsureExecutor();
+  const uint32_t index = executor_->PeekNextContext();
+  if (async_[index].active) {
+    executor_->Wait(index);
+    MergeAsync(index);
+    OBJALLOC_RETURN_IF_ERROR(FinishBatch());
+  }
+  const uint32_t acquired = executor_->Acquire();
+  OBJALLOC_CHECK_EQ(acquired, index);
+  BatchContext& context = executor_->context(index);
+  OBJALLOC_RETURN_IF_ERROR(AdmitBatch(events, result, &context));
+  if (durability_ != nullptr) [[unlikely]] {
+    OBJALLOC_RETURN_IF_ERROR(LogBatch(events));
+  }
+  context.costs = result->costs.data();
+  executor_->Submit(index);
+  executor_->Wait(index);
+  for (const model::CostBreakdown& delta : context.deltas) {
     result->breakdown += delta;
   }
   result->cost = result->breakdown.Cost(cost_model_);
   return FinishBatch();
+}
+
+template <typename EventT>
+util::Status ObjectService::SubmitBatchImpl(std::span<const EventT> events,
+                                            BatchResult* result,
+                                            BatchTicket* ticket) {
+  *ticket = BatchTicket{};  // completed until proven pipelined
+  const bool parallel = shards_.size() > 1 && util::GlobalThreads() > 1 &&
+                        !util::InParallelWorker();
+  if (!parallel || injector_ != nullptr) [[unlikely]] {
+    // Serial path: queues would add nothing. Fault mode: fault time is
+    // global serial state (one tick per event in admission order), so a
+    // fault batch must fully finish before the next is admitted. Both
+    // degrade to the synchronous engine, which fences internally.
+    return ServeBatchImpl(events, result);
+  }
+  EnsureExecutor();
+  const uint32_t index = executor_->PeekNextContext();
+  if (async_[index].active) {
+    // Pipeline full (depth batches in flight): the oldest context's batch
+    // is finalized here, which is what bounds queue occupancy.
+    executor_->Wait(index);
+    MergeAsync(index);
+    OBJALLOC_RETURN_IF_ERROR(FinishBatch());
+  }
+  const uint32_t acquired = executor_->Acquire();
+  OBJALLOC_CHECK_EQ(acquired, index);
+  BatchContext& context = executor_->context(index);
+  OBJALLOC_RETURN_IF_ERROR(AdmitBatch(events, result, &context));
+  if (durability_ != nullptr) [[unlikely]] {
+    // Log at submit, ahead of any serve of this batch — the WAL's
+    // log→serve order is indifferent to how long the pipeline holds the
+    // batch afterwards.
+    OBJALLOC_RETURN_IF_ERROR(LogBatch(events));
+  }
+  context.costs = result->costs.data();
+  async_[index] = AsyncBatch{result, context.sequence, /*active=*/true};
+  ++async_active_;
+  executor_->Submit(index);
+  *ticket = BatchTicket{index, context.sequence, /*completed=*/false};
+  return util::Status::Ok();
 }
 
 template <typename EventT>
@@ -381,35 +483,41 @@ util::Status ObjectService::ServeBatchFaultyTail(std::span<const EventT> events,
     return util::Status::Ok();
   }
 
-  // Parallel serve: identical to the plain fan-out, with per-shard
-  // FaultStats scratch merged in fixed shard order (integer counts — exact;
-  // repair-latency samples land in shard order, a deterministic multiset).
-  std::fill(shard_deltas_.begin(), shard_deltas_.end(),
-            model::CostBreakdown());
-  shard_fault_stats_.assign(shards_.size(), FaultStats());
-  util::ParallelFor(0, shards_.size(), 1, [&](size_t lo, size_t hi) {
-    for (size_t s = lo; s < hi; ++s) {
-      ObjectShard& shard = shards_[s];
-      model::CostBreakdown& delta = shard_deltas_[s];
-      FaultStats& stats = shard_fault_stats_[s];
-      for (uint32_t index : shard_events_[s]) {
-        if (!result->served[index]) {
-          result->costs[index] = 0;
-          continue;
-        }
-        result->costs[index] = shard.ServeSlotFaulty(
-            static_cast<uint32_t>(routes_[index]), events[index].request,
-            base_index + index, live_masks_[index], crash_log_, *injector_,
-            &delta, &stats, check_invariant_);
-      }
-    }
-  });
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    result->breakdown += shard_deltas_[s];
-    fault_stats_ += shard_fault_stats_[s];
-  }
+  // Executor serve, synchronous: the same per-shard partition as the plain
+  // path, with per-shard FaultStats scratch merged in fixed shard order
+  // (integer counts — exact; repair-latency samples land in shard order, a
+  // deterministic multiset). Synchronous because the context points into
+  // service scratch (live_masks_, crash_log_) that the next batch recycles;
+  // the caller fenced the pipeline before entering the fault tail, so this
+  // context is free.
+  EnsureExecutor();
+  const uint32_t index = executor_->Acquire();
+  BatchContext& context = executor_->context(index);
+  context.faulty = true;
+  context.base_index = base_index;
+  context.live_masks = live_masks_.data();
+  context.crash_log = &crash_log_;
+  context.injector = injector_.get();
+  context.check_invariant = check_invariant_;
+  for (FaultStats& stats : context.fault_stats) stats = FaultStats();
   for (size_t i = 0; i < events.size(); ++i) {
-    if (!result->served[i]) result->unavailable += 1;
+    if (!result->served[i]) {
+      // Refused (issuer crashed): cost 0, no traffic, never enqueued.
+      result->costs[i] = 0;
+      result->unavailable += 1;
+      continue;
+    }
+    const uint64_t route = routes_[i];
+    context.ops[route >> 32].push_back(ShardOp{static_cast<uint32_t>(i),
+                                               static_cast<uint32_t>(route),
+                                               events[i].request});
+  }
+  context.costs = result->costs.data();
+  executor_->Submit(index);
+  executor_->Wait(index);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    result->breakdown += context.deltas[s];
+    fault_stats_ += context.fault_stats[s];
   }
   fault_stats_.unavailable_requests += result->unavailable;
   result->cost = result->breakdown.Cost(cost_model_);
@@ -436,6 +544,11 @@ void ObjectService::ApplyFault(const FaultEvent& event) {
 
 util::Status ObjectService::EnableFaults(const FaultInjectorOptions& options,
                                          FaultSchedule schedule) {
+  // Arming flushes crash history into the schemes and switches every
+  // subsequent batch to the synchronous fault engine: quiesce first. While
+  // armed, batches are always synchronous, so the fault path itself never
+  // races the pipeline.
+  FenceAsync();
   OBJALLOC_RETURN_IF_ERROR(options.Validate(num_processors_));
   OBJALLOC_RETURN_IF_ERROR(
       FaultInjector::ValidateSchedule(schedule, num_processors_));
@@ -561,44 +674,110 @@ util::StatusOr<BatchResult> ObjectService::ServeBatch(
   return result;
 }
 
+util::Status ObjectService::SubmitBatch(
+    std::span<const workload::MultiObjectEvent> events, BatchResult* result,
+    BatchTicket* ticket) {
+  return SubmitBatchImpl(events, result, ticket);
+}
+
+util::Status ObjectService::SubmitBatch(std::span<const HandleEvent> events,
+                                        BatchResult* result,
+                                        BatchTicket* ticket) {
+  return SubmitBatchImpl(events, result, ticket);
+}
+
+util::Status ObjectService::WaitBatch(BatchTicket* ticket) {
+  if (ticket->completed) return util::Status::Ok();
+  ticket->completed = true;
+  if (executor_ == nullptr || ticket->context >= async_.size()) {
+    return util::Status::Ok();
+  }
+  const AsyncBatch& batch = async_[ticket->context];
+  if (!batch.active || batch.sequence != ticket->sequence) {
+    // Already finalized — by a drain, a fence, or a later submit reusing
+    // the slot. The result was made final then.
+    return util::Status::Ok();
+  }
+  executor_->Wait(ticket->context);
+  MergeAsync(ticket->context);
+  return FinishBatch();
+}
+
+util::Status ObjectService::DrainBatches() {
+  FenceAsync();
+  return FinishBatch();
+}
+
 util::StatusOr<StreamResult> ObjectService::ServeStream(
     workload::EventSource& source, size_t batch_size) {
   if (batch_size == 0) [[unlikely]] {
     return util::Status::InvalidArgument("batch_size must be positive");
   }
-  // One buffer and one BatchResult recycled for the whole stream: the loop
-  // body is allocation-free in steady state.
+  // One buffer, recycled for the whole stream: SubmitBatch copies every
+  // event it needs at admission, so the buffer can be refilled while the
+  // previous batch is still in flight. Results and tickets are doubled —
+  // the one thing that must stay untouched until WaitBatch is the result a
+  // pipelined batch writes into. The loop body is allocation-free in
+  // steady state.
   std::vector<workload::MultiObjectEvent> buffer(batch_size);
-  BatchResult batch;
+  BatchResult batches[2];
+  BatchTicket tickets[2];
   StreamResult result;
-  while (true) {
-    auto filled = source.FillBatch(buffer);
-    if (!filled.ok()) return filled.status();
-    if (*filled == 0) break;
-    util::Status status = ServeBatchInto(
-        std::span<const workload::MultiObjectEvent>(buffer.data(), *filled),
-        &batch);
-    if (!status.ok()) return status;
-    result.events += static_cast<int64_t>(*filled);
-    result.batches += 1;
+  int cur = 0;
+  auto accumulate = [&result](const BatchResult& batch) {
     result.breakdown += batch.breakdown;
     result.unavailable += batch.unavailable;
+  };
+  auto fail = [this](util::Status status) -> util::Status {
+    // Leave the service quiescent; events of earlier batches stay served.
+    (void)DrainBatches();
+    return status;
+  };
+  while (true) {
+    auto filled = source.FillBatch(buffer);
+    if (!filled.ok()) return fail(filled.status());
+    if (*filled == 0) break;
+    if (!tickets[cur].completed) {
+      util::Status status = WaitBatch(&tickets[cur]);
+      if (!status.ok()) return fail(status);
+      accumulate(batches[cur]);
+    }
+    util::Status status = SubmitBatch(
+        std::span<const workload::MultiObjectEvent>(buffer.data(), *filled),
+        &batches[cur], &tickets[cur]);
+    if (!status.ok()) return fail(status);
+    result.events += static_cast<int64_t>(*filled);
+    result.batches += 1;
+    if (tickets[cur].completed) {
+      accumulate(batches[cur]);  // synchronous path: final already
+    } else {
+      cur ^= 1;  // pipelined: flip so batch n+1 overlaps batch n
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (tickets[i].completed) continue;
+    util::Status status = WaitBatch(&tickets[i]);
+    if (!status.ok()) return fail(status);
+    accumulate(batches[i]);
   }
   result.cost = result.breakdown.Cost(cost_model_);
   return result;
 }
 
 util::StatusOr<ObjectStats> ObjectService::StatsFor(ObjectId id) const {
+  FenceAsync();  // per-object accounting is serve-mutated state
   return shards_[ShardOf(id)].StatsFor(id);
 }
 
 model::CostBreakdown ObjectService::TotalBreakdown() const {
+  FenceAsync();
   model::CostBreakdown total;
   for (const ObjectShard& shard : shards_) total += shard.TotalBreakdown();
   return total;
 }
 
 int64_t ObjectService::TotalRequests() const {
+  FenceAsync();
   int64_t total = 0;
   for (const ObjectShard& shard : shards_) total += shard.TotalRequests();
   return total;
@@ -734,6 +913,7 @@ util::Status ObjectService::EnableDurability(const std::string& dir,
   if (durability_ != nullptr) {
     return util::Status::FailedPrecondition("durability already enabled");
   }
+  FenceAsync();  // the generation-1 snapshot reads every shard
   OBJALLOC_RETURN_IF_ERROR(options.Validate());
   for (const ObjectShard& shard : shards_) {
     if (shard.HasFallbackObjects()) {
@@ -805,6 +985,11 @@ util::Status ObjectService::Checkpoint() {
   if (durability_ == nullptr) {
     return util::Status::FailedPrecondition("durability not enabled");
   }
+  // Snapshot quiescence: every in-flight batch must be fully applied (and
+  // merged) before the shards are serialized — a checkpoint reached from
+  // WaitBatch's auto-checkpoint hook may find later pipelined batches
+  // still running.
+  FenceAsync();
   Durability& d = *durability_;
   // (1) Everything the snapshot will contain must be durable under the old
   //     generation first: state(ckpt g+1) == state(ckpt g) + replay(wal-g)

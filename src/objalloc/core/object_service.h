@@ -3,22 +3,34 @@
 // Objects are hash-partitioned across N ObjectShards. A batch of events is
 // admitted atomically (every event validated — and its (shard, slot) route
 // resolved exactly once — before any is served). With more than one worker
-// available the admitted batch is split by shard and fanned across the
-// util::ParallelFor pool, one chunk of shards per worker; with one worker
-// (or one shard) the fan-out and per-shard merge machinery is skipped
-// entirely and the batch is served in place, in submission order.
+// available the admitted batch is partitioned into per-shard sub-batches
+// and handed to the ShardExecutor (core/shard_executor.h): long-lived
+// worker threads that own fixed shard sets, fed through bounded per-shard
+// SPSC rings — no per-batch fork, no global barrier. With one worker (or
+// one shard) the executor is never built and the batch is served in place,
+// in submission order, through a queue-free serial path.
+//
+// Pipelining (DESIGN.md §11): SubmitBatch enqueues a batch and returns a
+// BatchTicket without waiting, so shard k can serve batch n+1 while shard j
+// still works on batch n; WaitBatch (or DrainBatches) finalizes the
+// ticket's result. Admission stays all-or-nothing — validation reads only
+// registration-time state (routes, processor bounds), which in-flight
+// batches never mutate — and the WAL append still happens at submit, ahead
+// of any serve, preserving log→serve order. Everything that must observe
+// or mutate quiesced shards (stats reads, registrations, checkpoints,
+// fault-mode arming, the serial path) fences the pipeline first.
 //
 // Hot-path engineering (DESIGN.md §8):
 //   * Routing is handle-based: admission resolves ObjectId → (shard, dense
 //     slot) through the shard directory once and serving indexes the dense
 //     slot vector directly — one hash lookup per event on the id path, zero
 //     on the ObjectHandle path (Resolve once, serve forever).
-//   * All batch scratch (the per-event route array, per-shard event-index
-//     lists, per-shard CostBreakdown deltas) is owned by the service and
-//     recycled across batches: after a warm-up batch of maximal size the
-//     serial batch path performs zero allocations (asserted by
-//     tests/serving_engine_test.cc through an operator-new counting hook);
-//     the parallel fan-out adds only the O(1) ParallelFor closure.
+//   * All batch scratch (the per-event route array, the executor's
+//     per-shard op lists and CostBreakdown deltas) is owned by the service
+//     or its executor and recycled across batches: after warming every
+//     pipeline context with a maximal batch, both the serial path and the
+//     executor path perform zero steady-state allocations (asserted by
+//     tests/serving_engine_test.cc through an operator-new counting hook).
 //     ServeBatchInto reuses the caller's BatchResult storage the same way.
 //
 // Determinism contract (same bar as tests/parallel_test.cc): results are
@@ -27,12 +39,15 @@
 //   1. Objects never span shards, so each object sees its requests in
 //      submission order no matter how the batch is partitioned; a DOM
 //      algorithm's decisions depend only on its own object's prefix.
-//   2. Workers write disjoint state: a shard (and the per-event cost slots
-//      of its events) is touched by exactly one ParallelFor chunk.
+//   2. Workers write disjoint state: each shard (and the per-event cost
+//      slots of its events) is owned by exactly one executor worker, and
+//      the per-shard queues are FIFO — across pipelined batches a shard
+//      applies its sub-batches in submission order.
 //   3. Aggregation sums integer message/IO counts (model::CostBreakdown),
-//      associative and commutative exactly — scalar costs are derived from
-//      the summed counts, never from reordered floating-point sums — and
-//      per-object listings iterate ids in explicitly sorted order.
+//      merged in fixed shard order — associative and commutative exactly;
+//      scalar costs are derived from the summed counts, never from
+//      reordered floating-point sums — and per-object listings iterate ids
+//      in explicitly sorted order.
 //
 // The service is not itself thread-safe: one caller drives it (batches are
 // the unit of internal parallelism), matching the paper's assumption of a
@@ -79,6 +94,7 @@
 #include "objalloc/core/checkpoint.h"
 #include "objalloc/core/fault_injector.h"
 #include "objalloc/core/object_shard.h"
+#include "objalloc/core/shard_executor.h"
 #include "objalloc/core/wal.h"
 #include "objalloc/util/flat_directory.h"
 #include "objalloc/workload/event_source.h"
@@ -125,6 +141,19 @@ struct BatchResult {
   // traffic, counted in `unavailable`.
   std::vector<uint8_t> served;
   int64_t unavailable = 0;
+};
+
+// Receipt for a batch handed to SubmitBatch. `completed == true` means the
+// batch already finished synchronously (serial path, fault mode, or empty
+// pipeline budget) and its BatchResult is final; otherwise WaitBatch (or
+// DrainBatches) must run before the result — or the event storage backing
+// it — is touched. Tickets are cheap values; waiting on a stale ticket
+// (its batch already finalized by a drain or a later submit) is an Ok
+// no-op.
+struct BatchTicket {
+  uint32_t context = 0;
+  uint64_t sequence = 0;
+  bool completed = true;
 };
 
 // Outcome of draining an EventSource.
@@ -198,11 +227,38 @@ class ObjectService {
   util::Status ServeBatchInto(std::span<const HandleEvent> events,
                               BatchResult* result);
 
+  // Pipelined batch entry: admits and logs the batch, enqueues its
+  // per-shard work, and returns without waiting for the serve. The caller
+  // must keep `*result` alive and untouched until WaitBatch(ticket) (or
+  // DrainBatches) returns; `events` may be reused immediately — admission
+  // copies everything the workers need. Order across SubmitBatch calls is
+  // submission order per shard (FIFO queues), so results are bit-identical
+  // to back-to-back ServeBatch calls. Falls back to synchronous execution
+  // (ticket->completed == true) on the serial path and in fault mode —
+  // fault time is global serial state. An admission error rejects the
+  // batch with no state change, like ServeBatch.
+  util::Status SubmitBatch(std::span<const workload::MultiObjectEvent> events,
+                           BatchResult* result, BatchTicket* ticket);
+  util::Status SubmitBatch(std::span<const HandleEvent> events,
+                           BatchResult* result, BatchTicket* ticket);
+
+  // Blocks until the ticket's batch has fully completed and finalizes its
+  // BatchResult (per-shard deltas merged in fixed shard order, scalar cost
+  // derived). Ok no-op for completed or stale tickets. Any durability
+  // follow-up (auto-checkpoint) runs here.
+  util::Status WaitBatch(BatchTicket* ticket);
+
+  // Waits for and finalizes every in-flight SubmitBatch — the pipeline
+  // fence. All previously returned tickets become stale/completed.
+  util::Status DrainBatches();
+
   // Streaming path: drains `source` through the batch engine in buffers of
   // `batch_size` events — bounded memory for unbounded traces, one buffer
-  // and one BatchResult recycled throughout. Stops and returns the error on
-  // the first failed batch or source error (events of earlier batches stay
-  // served; admission is atomic per batch).
+  // and two recycled BatchResults. Batches are pipelined through
+  // SubmitBatch double-buffered: batch n+1 is admitted and enqueued while
+  // batch n is still being served, overlapping admission with shard work.
+  // Stops and returns the error on the first failed batch or source error
+  // (events of earlier batches stay served; admission is atomic per batch).
   util::StatusOr<StreamResult> ServeStream(
       workload::EventSource& source, size_t batch_size = kDefaultBatchSize);
 
@@ -374,10 +430,44 @@ class ObjectService {
 
   // Shared batch engine: one admission pass resolves and validates every
   // event into routes_ (packed shard<<32 | slot), then the serve pass runs
-  // in place or fanned by shard. EventT is MultiObjectEvent or HandleEvent.
+  // in place or through the shard executor (synchronously — submit, wait).
+  // EventT is MultiObjectEvent or HandleEvent.
   template <typename EventT>
   util::Status ServeBatchImpl(std::span<const EventT> events,
                               BatchResult* result);
+
+  // The pipelined twin: same admission and logging, but the executor is
+  // handed the batch without waiting. Degrades to ServeBatchImpl on the
+  // serial path and in fault mode.
+  template <typename EventT>
+  util::Status SubmitBatchImpl(std::span<const EventT> events,
+                               BatchResult* result, BatchTicket* ticket);
+
+  // Admission pass shared by both engines: validates every event, resolves
+  // its route into routes_, sizes `*result`, and — when `context` is
+  // non-null — additionally partitions the batch into the context's
+  // per-shard op lists. Rejects with no state change.
+  template <typename EventT>
+  util::Status AdmitBatch(std::span<const EventT> events, BatchResult* result,
+                          BatchContext* context);
+
+  // Builds (or rebuilds, after a thread-count change) the shard executor;
+  // any in-flight batches of the old executor are merged first. Only called
+  // on the parallel path, where min(GlobalThreads(), shards) >= 2.
+  void EnsureExecutor();
+
+  // Merges the finished async batch held by pipeline context `index` into
+  // its caller's BatchResult (fixed shard order) and releases the slot.
+  // The executor's Wait(index) must have returned first. Durability
+  // follow-ups are deliberately *not* run here — const read fences use this
+  // too; FinishBatch runs on the non-const entry points.
+  void MergeAsync(uint32_t index) const;
+
+  // Waits for and merges every in-flight async batch. Const so read-only
+  // accessors (StatsFor, TotalBreakdown, ...) can quiesce the shards before
+  // touching serve-mutated state; only pipeline bookkeeping (mutable) and
+  // caller-owned results change.
+  void FenceAsync() const;
 
   // Fault-mode tail of ServeBatchImpl, entered after the common admission
   // pass validated routes: advances fault time once per event (serial),
@@ -406,9 +496,8 @@ class ObjectService {
   // the shard count, no per-shard directory hop, no ShardOf rehash.
   util::FlatDirectory<uint64_t> route_directory_;
   // Batch scratch arena, recycled across batches (see header comment).
-  std::vector<uint64_t> routes_;                    // per event: shard|slot
-  std::vector<std::vector<uint32_t>> shard_events_;  // per shard: event idxs
-  std::vector<model::CostBreakdown> shard_deltas_;   // per shard: traffic
+  // Per-shard partition scratch lives inside the executor's BatchContexts.
+  std::vector<uint64_t> routes_;  // per event: shard|slot
 
   // Fault mode (null when disarmed — the plain path pays one predicted
   // branch per batch). Integer FaultStats merge per shard in fixed order,
@@ -430,10 +519,28 @@ class ObjectService {
   // Fault-path batch scratch (this path is not part of the zero-allocation
   // contract; the plain path never touches it).
   std::vector<FaultEvent> fault_buffer_;
-  std::vector<ProcessorSet> live_masks_;        // per event: live set
-  std::vector<FaultStats> shard_fault_stats_;   // per shard scratch
+  std::vector<ProcessorSet> live_masks_;  // per event: live set
 
   std::unique_ptr<Durability> durability_;
+
+  // One in-flight SubmitBatch per executor pipeline context: the caller's
+  // result to finalize into and the sequence its ticket names (so a stale
+  // ticket — slot since recycled — waits as an Ok no-op). Mutable because
+  // const read paths fence the pipeline (see FenceAsync).
+  struct AsyncBatch {
+    BatchResult* result = nullptr;
+    uint64_t sequence = 0;
+    bool active = false;
+  };
+  mutable std::vector<AsyncBatch> async_;
+  mutable size_t async_active_ = 0;
+  int executor_workers_ = 0;
+
+  // Declared last: destroyed first, so the worker threads drain and join
+  // while shards_ (whose data() they hold) is still alive. The pointer into
+  // shards_ survives moves of the service — vector moves transfer the heap
+  // buffer, never relocate it.
+  std::unique_ptr<ShardExecutor> executor_;
 };
 
 }  // namespace objalloc::core

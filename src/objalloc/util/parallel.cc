@@ -158,6 +158,10 @@ ScopedThreads::~ScopedThreads() {
 
 bool InParallelWorker() { return t_in_worker; }
 
+void MarkParallelWorker() { t_in_worker = true; }
+
+int HardwareConcurrency() { return HardwareThreads(); }
+
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body,
                  const ParallelOptions& options) {

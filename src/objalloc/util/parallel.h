@@ -59,6 +59,18 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
 // code expected to stay serial really is).
 bool InParallelWorker();
 
+// Marks the calling thread as a pool-style worker for the lifetime of the
+// thread, so nested ParallelFor calls run serially inline. The shard
+// executor's long-lived workers (core/shard_executor.h) call this once at
+// startup — they are the parallelism; anything they invoke must not fan out
+// again.
+void MarkParallelWorker();
+
+// Physical hardware concurrency of this host (>= 1), independent of
+// OBJALLOC_THREADS and SetGlobalThreads. Benchmarks use it to tell a real
+// speedup measurement from time-slicing on an undersized machine.
+int HardwareConcurrency();
+
 }  // namespace objalloc::util
 
 #endif  // OBJALLOC_UTIL_PARALLEL_H_

@@ -1,0 +1,104 @@
+// SpscQueue — a bounded lock-free single-producer / single-consumer ring.
+//
+// The shard executor (core/shard_executor.h) feeds each shard-owning worker
+// through one of these per shard: the serving thread is the only producer
+// and the shard's owning worker the only consumer, so the queue needs no
+// CAS loops — one release store per side, with cached counter mirrors so
+// the common push/pop touches a single shared cache line. FIFO order is
+// the executor's determinism backbone: sub-batches of consecutive batches
+// drain per shard in exactly the order they were enqueued.
+//
+// The capacity is exact (a queue built with capacity 3 holds 3 elements,
+// never 2), while storage is rounded up to a power of two so the ring
+// index is a mask, not a modulo. Counters are monotonically increasing
+// 64-bit positions — at one push per nanosecond they wrap after ~584
+// years, so wraparound of the *ring* (positions masked into the buffer)
+// is exercised constantly and wraparound of the counters never is.
+//
+// TryPush/TryPop never block and never allocate; blocking, parking, and
+// shutdown are the executor's job, not the queue's. T must be trivially
+// copyable in spirit (it is copied in and out by value); the executor's
+// ShardTask is two 32-bit ints.
+
+#ifndef OBJALLOC_UTIL_SPSC_QUEUE_H_
+#define OBJALLOC_UTIL_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::util {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity)
+      : capacity_(capacity), mask_(RoundUpPow2(capacity) - 1),
+        buffer_(mask_ + 1) {
+    OBJALLOC_CHECK_GE(capacity, size_t{1});
+  }
+
+  // Single-owner resource (the atomics pin it in place).
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // Producer side. False when the queue holds `capacity` elements.
+  bool TryPush(const T& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
+    buffer_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. False when the queue is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = buffer_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Element count as seen from outside both roles: exact while the queue is
+  // quiescent, a snapshot otherwise (each side's own Try* is the authority).
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::vector<T> buffer_;
+  // Producer-owned line: the tail position plus its stale view of head.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t head_cache_ = 0;
+  // Consumer-owned line: the head position plus its stale view of tail.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t tail_cache_ = 0;
+};
+
+}  // namespace objalloc::util
+
+#endif  // OBJALLOC_UTIL_SPSC_QUEUE_H_

@@ -1,0 +1,293 @@
+// Concurrency stress for the shard-owned worker layer, written to be run
+// under ThreadSanitizer (CI's tsan job): the SPSC ring under real
+// cross-thread traffic, executor submit/wait/shutdown races, and the
+// service-level pipeline (SubmitBatch/WaitBatch) against the synchronous
+// path. Functional determinism of the executor path is covered by
+// object_service_test; this file exists to put the synchronization itself
+// under load.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "objalloc/core/object_service.h"
+#include "objalloc/core/shard_executor.h"
+#include "objalloc/util/parallel.h"
+#include "objalloc/util/spsc_queue.h"
+#include "objalloc/workload/multi_object.h"
+
+namespace objalloc::core {
+namespace {
+
+using util::ScopedThreads;
+using util::SpscQueue;
+using workload::MultiObjectEvent;
+using workload::MultiObjectTrace;
+
+// ----------------------------------------------------------- SpscQueue
+
+// One producer, one consumer, a deliberately tiny ring: every item crosses
+// the full/empty boundary many times, so both cache-refresh paths and the
+// release/acquire pairs are exercised continuously.
+TEST(SpscQueueStressTest, CrossThreadFifoUnderBackpressure) {
+  constexpr uint64_t kItems = 200000;
+  SpscQueue<uint64_t> queue(4);
+  std::thread producer([&queue] {
+    for (uint64_t i = 0; i < kItems; ++i) {
+      while (!queue.TryPush(i)) std::this_thread::yield();
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kItems) {
+    uint64_t value = 0;
+    if (queue.TryPop(&value)) {
+      ASSERT_EQ(value, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(queue.EmptyApprox());
+}
+
+// Many disjoint producer/consumer pairs, one ring each — the executor's
+// actual topology (every shard queue has exactly one producer, the
+// submitter, and one consumer, the owning worker).
+TEST(SpscQueueStressTest, ManyPairsStayIndependent) {
+  constexpr int kPairs = 8;
+  constexpr uint64_t kItems = 50000;
+  std::vector<std::unique_ptr<SpscQueue<uint64_t>>> queues;
+  for (int p = 0; p < kPairs; ++p) {
+    queues.push_back(std::make_unique<SpscQueue<uint64_t>>(2));
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kPairs; ++p) {
+    SpscQueue<uint64_t>* queue = queues[p].get();
+    // Tag items with the pair id: a cross-queue leak would surface as a
+    // mismatched tag, not just a reordering.
+    const uint64_t tag = static_cast<uint64_t>(p) << 32;
+    threads.emplace_back([queue, tag] {
+      for (uint64_t i = 0; i < kItems; ++i) {
+        while (!queue->TryPush(tag | i)) std::this_thread::yield();
+      }
+    });
+    threads.emplace_back([queue, tag, &failures] {
+      for (uint64_t i = 0; i < kItems; ++i) {
+        uint64_t value = 0;
+        while (!queue->TryPop(&value)) std::this_thread::yield();
+        if (value != (tag | i)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ----------------------------------------------------------- ShardExecutor
+
+ObjectConfig TestConfig() {
+  ObjectConfig config;
+  config.initial_scheme = ProcessorSet{0, 1};
+  config.algorithm = AlgorithmKind::kDynamic;
+  return config;
+}
+
+// Builds shards with `per_shard` objects each, all slots registered.
+std::vector<ObjectShard> MakeShards(size_t num_shards, int per_shard) {
+  const model::CostModel sc = model::CostModel::StationaryComputing(0.25, 1.0);
+  std::vector<ObjectShard> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    ObjectShard shard(8, sc);
+    for (int i = 0; i < per_shard; ++i) {
+      EXPECT_TRUE(
+          shard.AddObject(static_cast<ObjectId>(s * 1000 + i), TestConfig())
+              .ok());
+    }
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+// Deterministic request stream without an RNG: cycles kinds & processors.
+model::Request NthRequest(uint64_t n) {
+  return n % 3 == 0 ? model::Request::Write(static_cast<int>(n % 8))
+                    : model::Request::Read(static_cast<int>(n % 8));
+}
+
+// Drives the executor directly, pipelining `depth` contexts back to back
+// for many rounds, and checks every cost against an identical serial run.
+// Workers keep shard state across batches, so any lost task, duplicated
+// task, or reordering shows up as a cost divergence downstream.
+TEST(ShardExecutorStressTest, PipelinedRoundsMatchSerialServe) {
+  constexpr size_t kShards = 8;
+  constexpr int kPerShard = 4;
+  constexpr int kRounds = 400;
+  constexpr uint32_t kOpsPerShard = 3;
+
+  std::vector<ObjectShard> serial = MakeShards(kShards, kPerShard);
+  std::vector<ObjectShard> shards = MakeShards(kShards, kPerShard);
+  ShardExecutor executor(shards.data(), shards.size(), 4);
+  ASSERT_GE(executor.depth(), size_t{2});
+
+  const uint32_t batch_events =
+      static_cast<uint32_t>(kShards) * kOpsPerShard;
+  std::vector<std::vector<double>> costs(executor.depth());
+  std::vector<std::vector<double>> expected(executor.depth());
+  auto fill = [&](BatchContext& context, std::vector<double>* out,
+                  int round) {
+    out->assign(batch_events, 0.0);
+    context.costs = out->data();
+    uint32_t index = 0;
+    for (size_t s = 0; s < kShards; ++s) {
+      for (uint32_t k = 0; k < kOpsPerShard; ++k) {
+        const uint64_t n = static_cast<uint64_t>(round) * batch_events + index;
+        context.ops[s].push_back(
+            ShardOp{index, (index + static_cast<uint32_t>(round)) % kPerShard,
+                    NthRequest(n)});
+        ++index;
+      }
+    }
+  };
+
+  for (int round = 0; round < kRounds; ++round) {
+    const uint32_t slot = executor.Acquire();
+    fill(executor.context(slot), &costs[slot], round);
+
+    // Serial reference for the same ops, against the twin shard set.
+    expected[slot].assign(batch_events, 0.0);
+    for (size_t s = 0; s < kShards; ++s) {
+      model::CostBreakdown delta;
+      for (const ShardOp& op : executor.context(slot).ops[s]) {
+        expected[slot][op.index] =
+            serial[s].ServeSlot(op.slot, op.request, &delta);
+      }
+    }
+    executor.Submit(slot);
+    // No Wait here: up to `depth` rounds ride the pipeline concurrently;
+    // Acquire blocks on the oldest context when the ring is full.
+  }
+  executor.DrainAll();
+  for (size_t c = 0; c < executor.depth(); ++c) {
+    EXPECT_EQ(costs[c], expected[c]) << "context " << c;
+  }
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(shards[s].TotalBreakdown(), serial[s].TotalBreakdown())
+        << "shard " << s;
+    EXPECT_EQ(shards[s].TotalRequests(), serial[s].TotalRequests())
+        << "shard " << s;
+  }
+}
+
+// Construction/destruction races: executors torn down idle, and torn down
+// with a just-submitted batch still on the rings (the destructor must
+// drain, then stop, then join — never strand a task or a worker).
+TEST(ShardExecutorStressTest, ShutdownRacesSubmittedWork) {
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::vector<ObjectShard> shards = MakeShards(4, 2);
+    std::vector<double> costs(8, 0.0);
+    ShardExecutor executor(shards.data(), shards.size(), 4);
+    const uint32_t slot = executor.Acquire();
+    BatchContext& context = executor.context(slot);
+    context.costs = costs.data();
+    uint32_t index = 0;
+    for (size_t s = 0; s < shards.size(); ++s) {
+      context.ops[s].push_back(ShardOp{index, index % 2, NthRequest(index)});
+      ++index;
+      context.ops[s].push_back(ShardOp{index, index % 2, NthRequest(index)});
+      ++index;
+    }
+    executor.Submit(slot);
+    // Destructor runs with the batch possibly still in flight.
+  }
+  // Idle teardown: never submitted anything.
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::vector<ObjectShard> shards = MakeShards(4, 2);
+    ShardExecutor idle(shards.data(), shards.size(), 3);
+  }
+}
+
+// ----------------------------------------------------------- Service pipeline
+
+// The full stack under threads: pipelined SubmitBatch/WaitBatch against the
+// synchronous ServeBatch path over the same trace must agree on every
+// aggregate. Small batches maximize handoff frequency (the racy part).
+TEST(ServicePipelineStressTest, PipelinedEqualsSynchronous) {
+  workload::MultiObjectOptions options;
+  options.num_processors = 8;
+  options.num_objects = 64;
+  options.length = 20000;
+  const MultiObjectTrace trace =
+      workload::GenerateMultiObjectTrace(options, 77);
+  const model::CostModel sc = model::CostModel::StationaryComputing(0.25, 1.0);
+  constexpr size_t kBatch = 64;
+
+  ScopedThreads threads(4);
+  ServiceOptions service_options;
+  service_options.num_shards = 16;
+
+  ObjectService sync_service(trace.num_processors, sc, service_options);
+  ObjectService pipe_service(trace.num_processors, sc, service_options);
+  for (int id = 0; id < trace.num_objects; ++id) {
+    ASSERT_TRUE(sync_service.AddObject(id, TestConfig()).ok());
+    ASSERT_TRUE(pipe_service.AddObject(id, TestConfig()).ok());
+  }
+
+  std::span<const MultiObjectEvent> all(trace.events);
+  BatchResult results[2];
+  BatchTicket tickets[2];
+  int cur = 0;
+  double sync_cost = 0;
+  double pipe_cost = 0;
+  for (size_t pos = 0; pos < all.size(); pos += kBatch) {
+    auto span = all.subspan(pos, std::min(kBatch, all.size() - pos));
+    auto sync_batch = sync_service.ServeBatch(span);
+    ASSERT_TRUE(sync_batch.ok());
+    sync_cost += sync_batch->cost;
+
+    if (!tickets[cur].completed) {
+      ASSERT_TRUE(pipe_service.WaitBatch(&tickets[cur]).ok());
+      pipe_cost += results[cur].cost;
+    }
+    ASSERT_TRUE(
+        pipe_service.SubmitBatch(span, &results[cur], &tickets[cur]).ok());
+    if (tickets[cur].completed) {
+      pipe_cost += results[cur].cost;
+    } else {
+      cur ^= 1;
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (!tickets[i].completed) {
+      ASSERT_TRUE(pipe_service.WaitBatch(&tickets[i]).ok());
+      pipe_cost += results[i].cost;
+    }
+  }
+
+  EXPECT_EQ(pipe_service.TotalBreakdown(), sync_service.TotalBreakdown());
+  EXPECT_EQ(pipe_service.TotalRequests(), sync_service.TotalRequests());
+  EXPECT_DOUBLE_EQ(pipe_cost, sync_cost);
+  for (int id = 0; id < trace.num_objects; ++id) {
+    EXPECT_EQ(pipe_service.StatsFor(id)->scheme.mask(),
+              sync_service.StatsFor(id)->scheme.mask())
+        << "object " << id;
+  }
+
+  // Waiting an already-completed (stale) ticket is a harmless no-op.
+  BatchTicket stale = tickets[0];
+  EXPECT_TRUE(pipe_service.WaitBatch(&stale).ok());
+  EXPECT_TRUE(pipe_service.DrainBatches().ok());
+}
+
+}  // namespace
+}  // namespace objalloc::core

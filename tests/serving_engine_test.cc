@@ -303,6 +303,61 @@ TEST(ServingEngineTest, SteadyStateBatchesDoNotAllocate) {
       << "steady-state ServeBatchInto must not touch the heap";
 }
 
+// The same contract on the shard-executor path (threads > 1): once the
+// worker pool is up and every pipeline context has served the maximal
+// batch, both the synchronous entry and the pipelined SubmitBatch/WaitBatch
+// entry are allocation-free — the per-shard op lists, the per-context
+// scratch, and the SPSC rings are all warm fixed-capacity storage.
+TEST(ServingEngineTest, SteadyStateExecutorBatchesDoNotAllocate) {
+  const MultiObjectTrace trace = TestTrace(2048);
+  const CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  ScopedThreads scope(2);  // engages the executor path
+
+  ObjectService service(trace.num_processors, sc,
+                        ServiceOptions{.num_shards = 4});
+  RegisterObjects(service, trace, TestConfig());
+  const std::vector<HandleEvent> handle_events = ResolveAll(service, trace);
+
+  std::span<const MultiObjectEvent> id_span(trace.events);
+  std::span<const HandleEvent> handle_span(handle_events);
+  BatchResult result;
+  BatchResult results[2];
+  BatchTicket tickets[2];
+  // Warm-up: spin up the executor, then cycle every pipeline context
+  // twice through the maximal batch on both entries so each context's
+  // per-shard op lists reach steady capacity (contexts are visited
+  // round-robin, so 2 x depth batches guarantee two visits each).
+  ASSERT_TRUE(service.ServeBatchInto(id_span, &result).ok());
+  const size_t rounds = 2 * ShardExecutor::kDefaultDepth;
+  for (size_t round = 0; round < rounds; ++round) {
+    ASSERT_TRUE(service.ServeBatchInto(id_span, &result).ok());
+    ASSERT_TRUE(service.ServeBatchInto(handle_span, &result).ok());
+    const int cur = static_cast<int>(round % 2);
+    if (!tickets[cur].completed) {
+      ASSERT_TRUE(service.WaitBatch(&tickets[cur]).ok());
+    }
+    ASSERT_TRUE(
+        service.SubmitBatch(id_span, &results[cur], &tickets[cur]).ok());
+  }
+  ASSERT_TRUE(service.DrainBatches().ok());
+
+  const int64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(service.ServeBatchInto(id_span, &result).ok());
+    ASSERT_TRUE(service.ServeBatchInto(handle_span, &result).ok());
+    const int cur = round % 2;
+    if (!tickets[cur].completed) {
+      ASSERT_TRUE(service.WaitBatch(&tickets[cur]).ok());
+    }
+    ASSERT_TRUE(
+        service.SubmitBatch(id_span, &results[cur], &tickets[cur]).ok());
+  }
+  ASSERT_TRUE(service.DrainBatches().ok());
+  const int64_t after = g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "steady-state executor batches must not touch the heap";
+}
+
 // ReserveObjects is a pure capacity hint: identical results with and
 // without it.
 TEST(ServingEngineTest, ReserveObjectsDoesNotChangeResults) {

@@ -10,6 +10,7 @@
 #include "objalloc/util/flat_directory.h"
 #include "objalloc/util/processor_set.h"
 #include "objalloc/util/rng.h"
+#include "objalloc/util/spsc_queue.h"
 #include "objalloc/util/stats.h"
 #include "objalloc/util/status.h"
 
@@ -360,6 +361,75 @@ TEST(TableTest, QuotesEmbeddedQuotes) {
 TEST(FormatDoubleTest, FixedPrecision) {
   EXPECT_EQ(FormatDouble(1.5, 2), "1.50");
   EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
+}
+
+// ----------------------------------------------------------- SpscQueue
+
+TEST(SpscQueueTest, StartsEmpty) {
+  SpscQueue<int> queue(4);
+  EXPECT_TRUE(queue.EmptyApprox());
+  EXPECT_EQ(queue.SizeApprox(), 0u);
+  int value = -1;
+  EXPECT_FALSE(queue.TryPop(&value));
+  EXPECT_EQ(value, -1);
+}
+
+TEST(SpscQueueTest, FifoOrderWithinCapacity) {
+  SpscQueue<int> queue(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.TryPush(i));
+  EXPECT_EQ(queue.SizeApprox(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    int value = -1;
+    EXPECT_TRUE(queue.TryPop(&value));
+    EXPECT_EQ(value, i);
+  }
+  EXPECT_TRUE(queue.EmptyApprox());
+}
+
+TEST(SpscQueueTest, RejectsPushWhenFullUntilPop) {
+  SpscQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // exact capacity, not the pow2 storage
+  int value = 0;
+  EXPECT_TRUE(queue.TryPop(&value));
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_FALSE(queue.TryPush(4));
+}
+
+TEST(SpscQueueTest, CapacityOneAlternates) {
+  SpscQueue<int> queue(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(queue.TryPush(i));
+    EXPECT_FALSE(queue.TryPush(i + 1000));
+    int value = -1;
+    EXPECT_TRUE(queue.TryPop(&value));
+    EXPECT_EQ(value, i);
+    EXPECT_FALSE(queue.TryPop(&value));
+  }
+}
+
+TEST(SpscQueueTest, WraparoundPreservesOrder) {
+  // Non-pow2 capacity forces the mask to cover a larger storage array;
+  // push/pop in unequal strides so head and tail lap the ring repeatedly.
+  SpscQueue<int> queue(3);
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (queue.TryPush(next_push)) ++next_push;
+    int value = -1;
+    ASSERT_TRUE(queue.TryPop(&value));
+    ASSERT_EQ(value, next_pop);
+    ++next_pop;
+    if (round % 3 == 0) {
+      while (queue.TryPop(&value)) {
+        ASSERT_EQ(value, next_pop);
+        ++next_pop;
+      }
+    }
+  }
+  EXPECT_GT(next_push, 1000);  // the ring really did wrap many times
 }
 
 // ----------------------------------------------------------- RegionPlot
