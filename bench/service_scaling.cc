@@ -17,7 +17,9 @@
 // (ObjectHandles resolved once up front, served forever) — the
 // devirtualized serving engine's two entry points (DESIGN.md §8) — and the
 // pipelined SubmitBatch/WaitBatch path, where batch n+1 is admitted while
-// batch n is still on the shard workers (DESIGN.md §11).
+// batch n is still on the shard workers (DESIGN.md §11). Each row also
+// reports the service's measured footprint (MemoryUsageBytes / objects)
+// and the process's high-water RSS so far (DESIGN.md §12).
 //
 // Speedup honesty: a thread count the hardware cannot actually run in
 // parallel (threads > nproc, or a 1-core host altogether) produces
@@ -34,6 +36,8 @@
 // the sorted per-object (id, scheme) table — or the bench aborts. The
 // --expect_* flags additionally pin the fingerprint to committed golden
 // values and exit non-zero on any mismatch (the CI perf-smoke gate).
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdint>
@@ -86,6 +90,14 @@ uint32_t SchemeCrc(const core::ObjectService& service) {
   return crc;
 }
 
+// High-water RSS of this process so far (ru_maxrss is KiB on Linux).
+// Monotonic across the run: a row reports the peak up to its completion.
+size_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
+
 std::vector<int> ParseIntList(const std::string& arg, const char* flag) {
   std::vector<int> values;
   size_t pos = 0;
@@ -122,6 +134,9 @@ struct Measurement {
   double pipelined_events_per_sec = 0;
   double speedup_vs_1thread = 0;
   bool speedup_valid = false;
+  size_t memory_bytes = 0;     // ObjectService::MemoryUsageBytes() post-run
+  double bytes_per_object = 0;
+  size_t peak_rss_bytes = 0;   // process high-water RSS after this row
 };
 
 }  // namespace
@@ -246,6 +261,7 @@ int main(int argc, char** argv) {
       util::ScopedThreads scope(threads);
       double best = 0;
       Fingerprint fingerprint;
+      size_t memory_bytes = 0;
       for (int r = 0; r < repeats; ++r) {
         core::ServiceOptions service_options;
         service_options.num_shards = shards;
@@ -269,6 +285,7 @@ int main(int argc, char** argv) {
         fingerprint.breakdown = service.TotalBreakdown();
         fingerprint.requests = service.TotalRequests();
         fingerprint.scheme_crc = SchemeCrc(service);
+        memory_bytes = service.MemoryUsageBytes();
       }
       if (!have_reference) {
         reference = fingerprint;
@@ -383,11 +400,17 @@ int main(int argc, char** argv) {
           static_cast<double>(events) / pipelined_best;
       m.speedup_vs_1thread = best > 0 ? one_thread_seconds / best : 0;
       m.speedup_valid = hw > 1 && threads <= hw;
+      m.memory_bytes = memory_bytes;
+      m.bytes_per_object =
+          static_cast<double>(memory_bytes) / static_cast<double>(objects);
+      m.peak_rss_bytes = PeakRssBytes();
       measurements.push_back(m);
       std::printf("shards=%-4d threads=%-3d (nproc %d) %8.3fs "
-                  "%12.0f events/sec  (handles %12.0f, pipelined %12.0f)  ",
+                  "%12.0f events/sec  (handles %12.0f, pipelined %12.0f)  "
+                  "%7.1f B/obj  rss %zu MB  ",
                   m.shards, m.threads, m.nproc, m.seconds, m.events_per_sec,
-                  m.handle_events_per_sec, m.pipelined_events_per_sec);
+                  m.handle_events_per_sec, m.pipelined_events_per_sec,
+                  m.bytes_per_object, m.peak_rss_bytes >> 20);
       if (m.speedup_valid) {
         std::printf("speedup %.2fx\n", m.speedup_vs_1thread);
       } else {
@@ -491,6 +514,9 @@ int main(int argc, char** argv) {
         << ", \"events_per_sec\": " << m.events_per_sec
         << ", \"handle_events_per_sec\": " << m.handle_events_per_sec
         << ", \"pipelined_events_per_sec\": " << m.pipelined_events_per_sec
+        << ", \"memory_bytes\": " << m.memory_bytes
+        << ", \"bytes_per_object\": " << m.bytes_per_object
+        << ", \"peak_rss_bytes\": " << m.peak_rss_bytes
         << ", \"speedup_valid\": " << (m.speedup_valid ? "true" : "false")
         << ", \"speedup_vs_1thread\": ";
     if (m.speedup_valid) {

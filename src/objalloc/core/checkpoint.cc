@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
+#include "objalloc/util/crc32.h"
 #include "objalloc/util/io.h"
 #include "objalloc/util/record_io.h"
 
@@ -187,7 +189,8 @@ util::StatusOr<Manifest> ReadManifest(const std::string& dir) {
     return util::Status::Internal("manifest: bad magic");
   }
   OBJALLOC_RETURN_IF_ERROR(reader.Read(&version));
-  if (version != kDurabilityFormatVersion) {
+  if (version < kMinDurabilityFormatVersion ||
+      version > kDurabilityFormatVersion) {
     return util::Status::Internal("manifest: unsupported format version " +
                                   std::to_string(version));
   }
@@ -202,10 +205,10 @@ util::StatusOr<Manifest> ReadManifest(const std::string& dir) {
 }
 
 void BeginCheckpoint(uint64_t sequence, const DurableConfig& config,
-                     std::string* out) {
+                     std::string* out, uint32_t version) {
   std::string payload;
   AppendScalar(kCheckpointMagic, &payload);
-  AppendScalar(kDurabilityFormatVersion, &payload);
+  AppendScalar(version, &payload);
   AppendScalar(sequence, &payload);
   config.AppendTo(&payload);
   AppendRecord(static_cast<uint8_t>(CheckpointRecordType::kCkptHeader),
@@ -225,6 +228,17 @@ void AppendShardRecord(std::string_view shard_payload, std::string* out) {
                shard_payload, out);
 }
 
+void AppendShardChunkRecord(uint32_t shard_index, bool last,
+                            std::string_view bytes, std::string* out) {
+  std::string payload;
+  payload.reserve(8 + bytes.size());
+  AppendScalar(shard_index, &payload);
+  AppendScalar<uint32_t>(last ? 1 : 0, &payload);
+  payload.append(bytes.data(), bytes.size());
+  AppendRecord(static_cast<uint8_t>(CheckpointRecordType::kShardChunk),
+               payload, out);
+}
+
 void FinishCheckpoint(uint32_t shard_count, std::string* out) {
   std::string payload;
   AppendScalar(shard_count, &payload);
@@ -232,92 +246,218 @@ void FinishCheckpoint(uint32_t shard_count, std::string* out) {
                payload, out);
 }
 
-util::StatusOr<LoadedCheckpoint> ParseCheckpoint(std::string_view buffer) {
-  RecordCursor cursor(buffer);
-  RecordView record;
-  LoadedCheckpoint loaded;
-  // Header.
-  if (!cursor.Next(&record)) {
-    if (!cursor.status().ok()) return cursor.status();
-    return util::Status::Internal("checkpoint: empty or truncated header");
-  }
-  if (record.type != static_cast<uint8_t>(CheckpointRecordType::kCkptHeader)) {
+util::StatusOr<CheckpointWriter> CheckpointWriter::Open(
+    const std::string& path, uint64_t sequence, const DurableConfig& config) {
+  auto file = util::AtomicFileWriter::Open(path);
+  if (!file.ok()) return file.status();
+  CheckpointWriter writer;
+  writer.file_ = std::move(*file);
+  writer.record_.clear();
+  BeginCheckpoint(sequence, config, &writer.record_);
+  OBJALLOC_RETURN_IF_ERROR(writer.file_.Append(writer.record_));
+  return writer;
+}
+
+util::Status CheckpointWriter::AppendServiceState(
+    const ServiceStateImage& image) {
+  record_.clear();
+  AppendServiceStateRecord(image, &record_);
+  return file_.Append(record_);
+}
+
+void CheckpointWriter::BeginShard(uint32_t shard_index) {
+  OBJALLOC_CHECK(!shard_open_) << "BeginShard while a shard is open";
+  shard_index_ = shard_index;
+  shard_open_ = true;
+  chunk_.clear();
+}
+
+util::Status CheckpointWriter::AppendShardBytes(std::string_view bytes) {
+  OBJALLOC_CHECK(shard_open_) << "AppendShardBytes outside BeginShard";
+  chunk_.append(bytes.data(), bytes.size());
+  if (chunk_.size() >= kChunkBytes) return FlushChunk(/*last=*/false);
+  return util::Status::Ok();
+}
+
+util::Status CheckpointWriter::EndShard() {
+  OBJALLOC_CHECK(shard_open_) << "EndShard without BeginShard";
+  // Always emitted, even with zero pending bytes: the last flag is what
+  // tells the reader (and the restoring shard) the payload is complete.
+  util::Status status = FlushChunk(/*last=*/true);
+  shard_open_ = false;
+  return status;
+}
+
+util::Status CheckpointWriter::FlushChunk(bool last) {
+  record_.clear();
+  AppendShardChunkRecord(shard_index_, last, chunk_, &record_);
+  chunk_.clear();
+  return file_.Append(record_);
+}
+
+util::Status CheckpointWriter::Finish(uint32_t shard_count) {
+  OBJALLOC_CHECK(!shard_open_) << "Finish with an open shard";
+  record_.clear();
+  FinishCheckpoint(shard_count, &record_);
+  OBJALLOC_RETURN_IF_ERROR(file_.Append(record_));
+  return file_.Commit();
+}
+
+namespace {
+
+// Upper bound a single checkpoint record may declare before the CRC check
+// runs (mirrors record_io's cap): a v1 monolithic shard record is the
+// largest legitimate payload.
+constexpr uint32_t kMaxCheckpointPayload = 1u << 30;
+
+}  // namespace
+
+util::StatusOr<CheckpointReader> CheckpointReader::Open(
+    const std::string& path) {
+  auto file = util::FileReader::Open(path);
+  if (!file.ok()) return file.status();
+  CheckpointReader reader;
+  reader.file_ = std::move(*file);
+  uint8_t type = 0;
+  bool eof = false;
+  OBJALLOC_RETURN_IF_ERROR(reader.ReadRecord(&type, &eof));
+  if (eof || type != static_cast<uint8_t>(CheckpointRecordType::kCkptHeader)) {
     return util::Status::Internal("checkpoint: missing header record");
   }
-  {
-    PayloadReader reader(record.payload);
-    uint32_t magic = 0, version = 0;
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&magic));
-    if (magic != kCheckpointMagic) {
-      return util::Status::Internal("checkpoint: bad magic");
-    }
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&version));
-    if (version != kDurabilityFormatVersion) {
-      return util::Status::Internal(
-          "checkpoint: unsupported format version " + std::to_string(version));
-    }
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&loaded.sequence));
-    auto config = DurableConfig::Parse(&reader);
-    if (!config.ok()) return config.status();
-    loaded.config = *config;
+  PayloadReader payload(reader.payload_);
+  uint32_t magic = 0;
+  OBJALLOC_RETURN_IF_ERROR(payload.Read(&magic));
+  if (magic != kCheckpointMagic) {
+    return util::Status::Internal("checkpoint: bad magic");
   }
-  // Service state.
-  if (!cursor.Next(&record)) {
-    if (!cursor.status().ok()) return cursor.status();
-    return util::Status::Internal("checkpoint: missing service state record");
+  OBJALLOC_RETURN_IF_ERROR(payload.Read(&reader.version_));
+  if (reader.version_ < kMinDurabilityFormatVersion ||
+      reader.version_ > kDurabilityFormatVersion) {
+    return util::Status::Internal("checkpoint: unsupported format version " +
+                                  std::to_string(reader.version_));
   }
-  if (record.type !=
-      static_cast<uint8_t>(CheckpointRecordType::kServiceState)) {
-    return util::Status::Internal("checkpoint: missing service state record");
+  OBJALLOC_RETURN_IF_ERROR(payload.Read(&reader.sequence_));
+  auto config = DurableConfig::Parse(&payload);
+  if (!config.ok()) return config.status();
+  reader.config_ = *config;
+  return reader;
+}
+
+util::Status CheckpointReader::ReadRecord(uint8_t* type, bool* eof) {
+  char header[util::kRecordHeaderSize];
+  OBJALLOC_RETURN_IF_ERROR(
+      file_.ReadExact(header, util::kRecordHeaderSize, eof));
+  if (*eof) return util::Status::Ok();
+  uint32_t length = 0, crc = 0;
+  std::memcpy(&length, header, 4);
+  std::memcpy(&crc, header + 8, 4);
+  if (length > kMaxCheckpointPayload) {
+    return util::Status::Internal(
+        "checkpoint: record declares absurd length " + std::to_string(length));
   }
-  auto state = ServiceStateImage::Parse(record.payload);
-  if (!state.ok()) return state.status();
-  loaded.state = std::move(*state);
-  // Shards, then the footer.
-  bool saw_footer = false;
-  uint32_t footer_count = 0;
-  while (cursor.Next(&record)) {
-    if (record.type == static_cast<uint8_t>(CheckpointRecordType::kShard)) {
-      if (saw_footer) {
-        return util::Status::Internal("checkpoint: shard record after footer");
-      }
-      loaded.shards.push_back(record.payload);
-    } else if (record.type ==
-               static_cast<uint8_t>(CheckpointRecordType::kCkptFooter)) {
-      if (saw_footer) {
-        return util::Status::Internal("checkpoint: duplicate footer");
-      }
-      PayloadReader reader(record.payload);
-      OBJALLOC_RETURN_IF_ERROR(reader.Read(&footer_count));
-      saw_footer = true;
-    } else {
-      return util::Status::Internal("checkpoint: unexpected record type " +
-                                    std::to_string(record.type));
-    }
+  payload_.resize(length);
+  // A short payload here is corruption, not a torn tail: checkpoints are
+  // published by atomic rename, whole or not at all.
+  bool torn = false;
+  OBJALLOC_RETURN_IF_ERROR(file_.ReadExact(payload_.data(), length, &torn));
+  if (torn && length > 0) {
+    return util::Status::Internal("checkpoint: truncated record payload");
   }
-  if (!cursor.status().ok()) return cursor.status();
-  if (cursor.tail_bytes() != 0) {
-    // Checkpoints are published atomically, so a short file is corruption,
-    // never an acceptable torn tail.
-    return util::Status::Internal("checkpoint: truncated (torn tail of " +
-                                  std::to_string(cursor.tail_bytes()) +
-                                  " bytes)");
+  uint32_t actual = util::Crc32(header, 8);
+  actual = util::Crc32(payload_.data(), payload_.size(), actual);
+  if (actual != crc) {
+    return util::Status::Internal("checkpoint: record failed its CRC check");
   }
-  if (!saw_footer) {
+  *type = header[4] & 0xFF;
+  return util::Status::Ok();
+}
+
+util::Status CheckpointReader::Next(Piece* piece) {
+  *piece = Piece();
+  uint8_t type = 0;
+  bool eof = false;
+  OBJALLOC_RETURN_IF_ERROR(ReadRecord(&type, &eof));
+  if (eof) {
     return util::Status::Internal("checkpoint: missing footer record");
   }
-  if (footer_count != loaded.shards.size()) {
-    return util::Status::Internal(
-        "checkpoint: footer shard count mismatch (footer says " +
-        std::to_string(footer_count) + ", found " +
-        std::to_string(loaded.shards.size()) + ")");
+  if (!saw_state_) {
+    if (type != static_cast<uint8_t>(CheckpointRecordType::kServiceState)) {
+      return util::Status::Internal(
+          "checkpoint: missing service state record");
+    }
+    auto state = ServiceStateImage::Parse(payload_);
+    if (!state.ok()) return state.status();
+    saw_state_ = true;
+    piece->service_state = true;
+    piece->state = std::move(*state);
+    return util::Status::Ok();
   }
-  if (loaded.shards.size() !=
-      static_cast<size_t>(loaded.config.num_shards)) {
-    return util::Status::Internal(
-        "checkpoint: shard record count does not match the config");
+  if (type == static_cast<uint8_t>(CheckpointRecordType::kShard)) {
+    // v1 monolithic shard record: one whole-payload chunk. Accepted at any
+    // version so old-format snapshots restore through this same reader.
+    if (shard_open_) {
+      return util::Status::Internal(
+          "checkpoint: shard record inside a chunked shard");
+    }
+    piece->shard = next_shard_++;
+    piece->last = true;
+    piece->bytes = payload_;
+    return util::Status::Ok();
   }
-  return loaded;
+  if (type == static_cast<uint8_t>(CheckpointRecordType::kShardChunk)) {
+    if (payload_.size() < 8) {
+      return util::Status::Internal("checkpoint: short shard chunk record");
+    }
+    uint32_t shard = 0, flags = 0;
+    std::memcpy(&shard, payload_.data(), 4);
+    std::memcpy(&flags, payload_.data() + 4, 4);
+    const uint32_t expected = shard_open_ ? next_shard_ - 1 : next_shard_;
+    if (shard != expected) {
+      return util::Status::Internal(
+          "checkpoint: shard chunk out of order (names shard " +
+          std::to_string(shard) + ", expected " + std::to_string(expected) +
+          ")");
+    }
+    if (!shard_open_) {
+      shard_open_ = true;
+      ++next_shard_;
+    }
+    piece->shard = shard;
+    piece->last = (flags & 1) != 0;
+    piece->bytes = std::string_view(payload_).substr(8);
+    if (piece->last) shard_open_ = false;
+    return util::Status::Ok();
+  }
+  if (type == static_cast<uint8_t>(CheckpointRecordType::kCkptFooter)) {
+    if (shard_open_) {
+      return util::Status::Internal(
+          "checkpoint: footer inside a chunked shard");
+    }
+    PayloadReader payload(payload_);
+    uint32_t footer_count = 0;
+    OBJALLOC_RETURN_IF_ERROR(payload.Read(&footer_count));
+    if (footer_count != next_shard_) {
+      return util::Status::Internal(
+          "checkpoint: footer shard count mismatch (footer says " +
+          std::to_string(footer_count) + ", found " +
+          std::to_string(next_shard_) + ")");
+    }
+    if (next_shard_ != static_cast<uint32_t>(config_.num_shards)) {
+      return util::Status::Internal(
+          "checkpoint: shard record count does not match the config");
+    }
+    // Nothing may follow the footer.
+    uint8_t trailing = 0;
+    bool at_end = false;
+    OBJALLOC_RETURN_IF_ERROR(ReadRecord(&trailing, &at_end));
+    if (!at_end) {
+      return util::Status::Internal("checkpoint: record after the footer");
+    }
+    piece->done = true;
+    return util::Status::Ok();
+  }
+  return util::Status::Internal("checkpoint: unexpected record type " +
+                                std::to_string(int{type}));
 }
 
 util::StatusOr<std::vector<uint64_t>> ListCheckpointSequences(

@@ -44,8 +44,9 @@ namespace objalloc::core {
 enum class CheckpointRecordType : uint8_t {
   kCkptHeader = 16,
   kServiceState = 17,
-  kShard = 18,
+  kShard = 18,       // format v1: one monolithic payload per shard
   kCkptFooter = 19,
+  kShardChunk = 20,  // format v2: bounded slice of one shard's payload
   kManifest = 32,
 };
 
@@ -115,29 +116,114 @@ struct Manifest {
 util::Status WriteManifest(const std::string& dir, const Manifest& manifest);
 util::StatusOr<Manifest> ReadManifest(const std::string& dir);
 
-// --- Checkpoint file assembly / parsing --------------------------------
-// The service assembles a checkpoint into one buffer (header record,
-// service-state record, one record per shard, footer with the shard count
-// so truncation at a record boundary is still detected), then publishes it
-// with util::WriteFileAtomic.
+// --- Checkpoint record assembly (in-memory) ----------------------------
+// Building blocks of a checkpoint byte stream: header record,
+// service-state record, shard payload records, footer with the shard count
+// (so truncation at a record boundary is still detected). The service
+// streams them through CheckpointWriter below; compatibility tests use
+// these directly to craft old-format files (AppendShardRecord emits the v1
+// monolithic layout — pass version = 1 to BeginCheckpoint alongside it).
 
 void BeginCheckpoint(uint64_t sequence, const DurableConfig& config,
-                     std::string* out);
+                     std::string* out,
+                     uint32_t version = kDurabilityFormatVersion);
 void AppendServiceStateRecord(const ServiceStateImage& image,
                               std::string* out);
 void AppendShardRecord(std::string_view shard_payload, std::string* out);
+void AppendShardChunkRecord(uint32_t shard_index, bool last,
+                            std::string_view bytes, std::string* out);
 void FinishCheckpoint(uint32_t shard_count, std::string* out);
 
-struct LoadedCheckpoint {
-  uint64_t sequence = 0;
-  DurableConfig config;
-  ServiceStateImage state;
-  // One serialized payload per shard, in shard order; views into the
-  // buffer passed to ParseCheckpoint (which must outlive them).
-  std::vector<std::string_view> shards;
+// --- Streaming checkpoint writer (format v2) ---------------------------
+// Streams one checkpoint straight to disk through an AtomicFileWriter:
+// shard snapshot bytes accumulate into bounded kShardChunk records, so
+// peak memory is O(chunk) however large the shard. Commit happens in
+// Finish (rename over the final name); dropping the writer earlier
+// abandons the temp file.
+
+class CheckpointWriter {
+ public:
+  // Flush threshold for shard bytes. One slab page of slot records
+  // (~150 KiB) fits in a single chunk.
+  static constexpr size_t kChunkBytes = 256 * 1024;
+
+  static util::StatusOr<CheckpointWriter> Open(const std::string& path,
+                                               uint64_t sequence,
+                                               const DurableConfig& config);
+
+  CheckpointWriter() = default;
+  CheckpointWriter(CheckpointWriter&&) = default;
+  CheckpointWriter& operator=(CheckpointWriter&&) = default;
+
+  util::Status AppendServiceState(const ServiceStateImage& image);
+
+  // Shard payloads stream in shard order: BeginShard, any number of
+  // AppendShardBytes (flushed as chunk records at kChunkBytes), EndShard
+  // (emits the final chunk, flagged last, even when empty).
+  void BeginShard(uint32_t shard_index);
+  util::Status AppendShardBytes(std::string_view bytes);
+  util::Status EndShard();
+
+  // Footer + fsync + atomic publish.
+  util::Status Finish(uint32_t shard_count);
+
+ private:
+  util::Status FlushChunk(bool last);
+
+  util::AtomicFileWriter file_;
+  std::string chunk_;   // pending shard bytes for the open chunk
+  std::string record_;  // framed-record build buffer, recycled
+  uint32_t shard_index_ = 0;
+  bool shard_open_ = false;
 };
 
-util::StatusOr<LoadedCheckpoint> ParseCheckpoint(std::string_view buffer);
+// --- Streaming checkpoint reader ---------------------------------------
+// Reads a checkpoint file record by record through a bounded buffer,
+// accepting v1 (a monolithic kShard record is simply one chunk that
+// arrives whole) and v2 alike; enforces record order, CRCs, the footer
+// count, and a byte-exact end of file.
+
+class CheckpointReader {
+ public:
+  static util::StatusOr<CheckpointReader> Open(const std::string& path);
+
+  CheckpointReader() = default;
+  CheckpointReader(CheckpointReader&&) = default;
+  CheckpointReader& operator=(CheckpointReader&&) = default;
+
+  uint64_t sequence() const { return sequence_; }
+  uint32_t version() const { return version_; }
+  const DurableConfig& config() const { return config_; }
+
+  // One step of the stream. Exactly one of the three shapes per call:
+  // service state (`service_state` true), a shard chunk (`bytes` points
+  // into the reader's buffer, valid until the next call), or end of
+  // checkpoint (`done` true, all structural checks passed).
+  struct Piece {
+    bool done = false;
+    bool service_state = false;
+    ServiceStateImage state;
+    uint32_t shard = 0;
+    bool last = false;
+    std::string_view bytes;
+  };
+  util::Status Next(Piece* piece);
+
+ private:
+  // Reads one framed record into payload_, CRC-checked. `*eof` reports a
+  // clean end of file (torn records are corruption — checkpoints are
+  // published atomically).
+  util::Status ReadRecord(uint8_t* type, bool* eof);
+
+  util::FileReader file_;
+  std::string payload_;
+  uint64_t sequence_ = 0;
+  uint32_t version_ = 0;
+  DurableConfig config_;
+  bool saw_state_ = false;
+  bool shard_open_ = false;
+  uint32_t next_shard_ = 0;  // shards must arrive 0..n-1, each completed
+};
 
 // Durable generation files present in `dir` (by checkpoint file name),
 // ascending. Used when the manifest itself is unreadable.

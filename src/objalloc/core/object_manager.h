@@ -29,7 +29,7 @@ class ObjectManager {
   // Registers an object. Fails on duplicate ids, empty or out-of-range
   // schemes, and algorithm/threshold mismatches (DA needs t >= 2).
   util::Status AddObject(ObjectId id, const ObjectConfig& config) {
-    return shard_.AddObject(id, config);
+    return shard_.AddObject(id, config).status();
   }
 
   // Pre-sizes the directory and state vector for a bulk registration.

@@ -1,22 +1,14 @@
 #include "objalloc/core/object_service.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <limits>
 
 #include "objalloc/util/logging.h"
 #include "objalloc/util/parallel.h"
 
 namespace objalloc::core {
-
-namespace {
-
-// Packs a resolved route so the serve pass never re-hashes: high word the
-// shard, low word the dense slot.
-inline uint64_t PackRoute(size_t shard, uint32_t slot) {
-  return (static_cast<uint64_t>(shard) << 32) | slot;
-}
-
-}  // namespace
 
 util::Status ServiceOptions::Validate() const {
   if (num_shards < 1 || num_shards > 65536) {
@@ -32,10 +24,18 @@ ObjectService::ObjectService(int num_processors,
   OBJALLOC_CHECK(options.Validate().ok()) << options.Validate().ToString();
   shards_.reserve(static_cast<size_t>(options.num_shards));
   for (int s = 0; s < options.num_shards; ++s) {
-    shards_.emplace_back(num_processors, cost_model);
+    // External-directory mode: the service's route table is the single
+    // id -> (shard, slot) map; shards keep no directory of their own.
+    shards_.emplace_back(num_processors, cost_model,
+                         /*external_directory=*/true);
   }
   const uint64_t n = shards_.size();
   shard_mask_ = (n & (n - 1)) == 0 ? n - 1 : ~uint64_t{0};
+  const uint32_t shard_bits =
+      static_cast<uint32_t>(std::bit_width(n - 1));
+  route_slot_bits_ = 32 - shard_bits;
+  route_slot_mask_ =
+      static_cast<uint32_t>((uint64_t{1} << route_slot_bits_) - 1);
 }
 
 util::StatusOr<ObjectService> ObjectService::Create(
@@ -93,37 +93,67 @@ util::Status ObjectService::AddObject(ObjectId id,
           "durability supports only the inlined algorithm kinds (static, "
           "dynamic)");
     }
-    if (route_directory_.Contains(id)) {
-      return util::Status::InvalidArgument("duplicate object id " +
-                                           std::to_string(id));
-    }
+  }
+  // The shards keep no directory in external mode, so the duplicate check
+  // lives here — before the WAL write, which must never log a registration
+  // that could fail on replay.
+  if (route_directory_.Contains(id)) {
+    return util::Status::InvalidArgument("duplicate object id " +
+                                         std::to_string(id));
+  }
+  const size_t shard = ShardOf(id);
+  // The slot the shard will hand out is its current span (objects are never
+  // removed, so the free list is empty). Reject while it fits neither the
+  // packed word's slot field nor the directory's reserved sentinels.
+  const uint32_t next_slot = shards_[shard].slot_span();
+  if (next_slot > route_slot_mask_ ||
+      PackRoute(shard, next_slot) >= 0xFFFFFFFEu) [[unlikely]] {
+    return util::Status::InvalidArgument(
+        "shard " + std::to_string(shard) + " slot space exhausted (" +
+        std::to_string(next_slot) + " objects)");
+  }
+  if (durability_ != nullptr) [[unlikely]] {
     OBJALLOC_RETURN_IF_ERROR(
         ObjectShard::ValidateConfig(config, num_processors_));
     std::string payload;
     EncodeAddObject(id, config, &payload);
     OBJALLOC_RETURN_IF_ERROR(LogOp(WalRecordType::kAddObject, payload));
   }
-  const size_t shard = ShardOf(id);
-  util::Status status = shards_[shard].AddObject(id, config);
-  if (status.ok()) {
-    const uint32_t slot = shards_[shard].SlotOf(id);
-    route_directory_.Insert(id, PackRoute(shard, slot));
+  util::StatusOr<uint32_t> slot = shards_[shard].AddObject(id, config);
+  if (slot.ok()) {
+    route_directory_.Insert(id, PackRoute(shard, *slot));
     if (injector_ != nullptr) [[unlikely]] {
       // Born now: crashes already in the log predate this scheme (it was
       // validated against the current live set above) and must not apply.
-      shards_[shard].SetCrashLogStart(slot, crash_log_.size());
+      shards_[shard].SetCrashLogStart(*slot, crash_log_.size());
     }
   }
-  return status;
+  return slot.status();
 }
 
 void ObjectService::ReserveObjects(size_t expected_total) {
   FenceAsync();  // reserve may reallocate live slot tables
-  // Objects spread uniformly under the hash; a little headroom avoids the
-  // last-rehash cliff without over-reserving small shards.
-  const size_t per_shard = expected_total / shards_.size() + 8;
+  // The hash splits objects binomially across shards: mean n/s per shard
+  // with standard deviation < sqrt(mean). Four sigmas of headroom (plus a
+  // floor for tiny reservations) make a mid-burst shard overflow — and the
+  // page allocation it would cost — vanishingly unlikely, without
+  // over-reserving: headroom is O(sqrt(n)) against an O(n) reservation.
+  const size_t mean = expected_total / shards_.size();
+  const size_t per_shard =
+      mean + 4 * static_cast<size_t>(std::sqrt(static_cast<double>(mean))) +
+      16;
   for (ObjectShard& shard : shards_) shard.Reserve(per_shard);
   route_directory_.Reserve(expected_total);
+}
+
+size_t ObjectService::MemoryUsageBytes() const {
+  FenceAsync();
+  size_t total = route_directory_.MemoryUsageBytes() +
+                 routes_.capacity() * sizeof(routes_[0]) +
+                 fault_buffer_.capacity() * sizeof(fault_buffer_[0]) +
+                 live_masks_.capacity() * sizeof(live_masks_[0]);
+  for (const ObjectShard& shard : shards_) total += shard.MemoryUsageBytes();
+  return total;
 }
 
 bool ObjectService::HasObject(ObjectId id) const {
@@ -137,12 +167,12 @@ size_t ObjectService::object_count() const {
 }
 
 util::StatusOr<ObjectHandle> ObjectService::Resolve(ObjectId id) const {
-  const uint64_t route = route_directory_.Find(id);
-  if (route == util::FlatDirectory<uint64_t>::kNotFound) {
+  const uint32_t route = route_directory_.Find(id);
+  if (route == util::FlatDirectory<uint32_t>::kNotFound) {
     return util::Status::NotFound("unknown object " + std::to_string(id));
   }
-  return ObjectHandle{static_cast<uint32_t>(route >> 32),
-                      static_cast<uint32_t>(route), id};
+  return ObjectHandle{static_cast<uint32_t>(RouteShard(route)),
+                      RouteSlot(route), id};
 }
 
 util::StatusOr<double> ObjectService::Serve(ObjectId id,
@@ -153,8 +183,8 @@ util::StatusOr<double> ObjectService::Serve(ObjectId id,
         "fault mode");
   }
   FenceAsync();  // this thread serves the shard directly
-  const uint64_t route = route_directory_.Find(id);
-  if (route == util::FlatDirectory<uint64_t>::kNotFound) [[unlikely]] {
+  const uint32_t route = route_directory_.Find(id);
+  if (route == util::FlatDirectory<uint32_t>::kNotFound) [[unlikely]] {
     return util::Status::NotFound("unknown object " + std::to_string(id));
   }
   if (request.processor < 0 || request.processor >= num_processors_)
@@ -164,8 +194,8 @@ util::StatusOr<double> ObjectService::Serve(ObjectId id,
   if (durability_ != nullptr) [[unlikely]] {
     OBJALLOC_RETURN_IF_ERROR(LogSingle(id, request));
   }
-  const double cost = shards_[route >> 32].ServeSlot(
-      static_cast<uint32_t>(route), request, nullptr);
+  const double cost =
+      shards_[RouteShard(route)].ServeSlot(RouteSlot(route), request, nullptr);
   OBJALLOC_RETURN_IF_ERROR(FinishBatch());
   return cost;
 }
@@ -179,7 +209,7 @@ util::StatusOr<double> ObjectService::Serve(const ObjectHandle& handle,
   }
   FenceAsync();  // this thread serves the shard directly
   if (handle.shard >= shards_.size() ||
-      handle.slot >= shards_[handle.shard].object_count() ||
+      handle.slot >= shards_[handle.shard].slot_span() ||
       shards_[handle.shard].IdAt(handle.slot) != handle.id) [[unlikely]] {
     return util::Status::InvalidArgument(
         "stale or invalid handle for object " + std::to_string(handle.id));
@@ -222,25 +252,25 @@ util::Status ObjectService::AdmitBatch(std::span<const EventT> events,
   routes_.resize(events.size());
   for (size_t i = 0; i < events.size(); ++i) {
     const EventT& event = events[i];
-    uint64_t route;
+    uint32_t route;
     if constexpr (std::is_same_v<EventT, workload::MultiObjectEvent>) {
       route = route_directory_.Find(event.object);
-      if (route == util::FlatDirectory<uint64_t>::kNotFound) {
+      if (route == util::FlatDirectory<uint32_t>::kNotFound) {
         return util::Status::NotFound(
             "batch event " + std::to_string(i) + ": unknown object " +
             std::to_string(event.object));
       }
     } else {
       const ObjectHandle& handle = event.handle;
-      route = PackRoute(handle.shard, handle.slot);
       if (handle.shard >= shards_.size() ||
-          handle.slot >= shards_[handle.shard].object_count() ||
+          handle.slot >= shards_[handle.shard].slot_span() ||
           shards_[handle.shard].IdAt(handle.slot) != handle.id) {
         return util::Status::InvalidArgument(
             "batch event " + std::to_string(i) +
             ": stale or invalid handle for object " +
             std::to_string(handle.id));
       }
+      route = PackRoute(handle.shard, handle.slot);
     }
     if (event.request.processor < 0 ||
         event.request.processor >= num_processors_) {
@@ -252,9 +282,8 @@ util::Status ObjectService::AdmitBatch(std::span<const EventT> events,
     if (context != nullptr) {
       // Partition for the executor while the route is hot: the worker gets
       // everything it needs (slot, request, cost cell index) by value.
-      context->ops[route >> 32].push_back(ShardOp{
-          static_cast<uint32_t>(i), static_cast<uint32_t>(route),
-          event.request});
+      context->ops[RouteShard(route)].push_back(ShardOp{
+          static_cast<uint32_t>(i), RouteSlot(route), event.request});
     }
   }
   return util::Status::Ok();
@@ -338,11 +367,9 @@ util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
     }
     // In-place serve: one pass, costs and traffic accumulated directly.
     for (size_t i = 0; i < events.size(); ++i) {
-      const uint64_t route = routes_[i];
-      result->costs[i] =
-          shards_[route >> 32].ServeSlot(static_cast<uint32_t>(route),
-                                         events[i].request,
-                                         &result->breakdown);
+      const uint32_t route = routes_[i];
+      result->costs[i] = shards_[RouteShard(route)].ServeSlot(
+          RouteSlot(route), events[i].request, &result->breakdown);
     }
     result->cost = result->breakdown.Cost(cost_model_);
     return FinishBatch();
@@ -444,9 +471,8 @@ util::Status ObjectService::ServeBatchFaultyTail(std::span<const EventT> events,
     for (const FaultEvent& fault : fault_buffer_) ApplyFault(fault);
     live_masks_[i] = live_;
     if (reject) continue;  // still ticking fault time for the window
-    const uint64_t route = routes_[i];
-    const int32_t t =
-        shards_[route >> 32].ThresholdAt(static_cast<uint32_t>(route));
+    const uint32_t route = routes_[i];
+    const int32_t t = shards_[RouteShard(route)].ThresholdAt(RouteSlot(route));
     if (live_.Size() < t) {
       reject = true;
       reject_index = i;
@@ -472,11 +498,11 @@ util::Status ObjectService::ServeBatchFaultyTail(std::span<const EventT> events,
         result->unavailable += 1;
         continue;
       }
-      const uint64_t route = routes_[i];
-      result->costs[i] = shards_[route >> 32].ServeSlotFaulty(
-          static_cast<uint32_t>(route), events[i].request, base_index + i,
-          live_masks_[i], crash_log_, *injector_, &result->breakdown,
-          &fault_stats_, check_invariant_);
+      const uint32_t route = routes_[i];
+      result->costs[i] = shards_[RouteShard(route)].ServeSlotFaulty(
+          RouteSlot(route), events[i].request, base_index + i, live_masks_[i],
+          crash_log_, *injector_, &result->breakdown, &fault_stats_,
+          check_invariant_);
     }
     fault_stats_.unavailable_requests += result->unavailable;
     result->cost = result->breakdown.Cost(cost_model_);
@@ -507,10 +533,9 @@ util::Status ObjectService::ServeBatchFaultyTail(std::span<const EventT> events,
       result->unavailable += 1;
       continue;
     }
-    const uint64_t route = routes_[i];
-    context.ops[route >> 32].push_back(ShardOp{static_cast<uint32_t>(i),
-                                               static_cast<uint32_t>(route),
-                                               events[i].request});
+    const uint32_t route = routes_[i];
+    context.ops[RouteShard(route)].push_back(ShardOp{
+        static_cast<uint32_t>(i), RouteSlot(route), events[i].request});
   }
   context.costs = result->costs.data();
   executor_->Submit(index);
@@ -766,7 +791,11 @@ util::StatusOr<StreamResult> ObjectService::ServeStream(
 
 util::StatusOr<ObjectStats> ObjectService::StatsFor(ObjectId id) const {
   FenceAsync();  // per-object accounting is serve-mutated state
-  return shards_[ShardOf(id)].StatsFor(id);
+  const uint32_t route = route_directory_.Find(id);
+  if (route == util::FlatDirectory<uint32_t>::kNotFound) {
+    return util::Status::NotFound("unknown object " + std::to_string(id));
+  }
+  return shards_[RouteShard(route)].StatsAt(RouteSlot(route));
 }
 
 model::CostBreakdown ObjectService::TotalBreakdown() const {
@@ -895,17 +924,35 @@ util::Status ObjectService::RestoreServiceState(
   return util::Status::Ok();
 }
 
-void ObjectService::BuildCheckpointBlob(uint64_t sequence,
-                                        std::string* out) const {
-  BeginCheckpoint(sequence, durability_->config, out);
-  AppendServiceStateRecord(CaptureServiceState(), out);
-  std::string shard_payload;
-  for (const ObjectShard& shard : shards_) {
-    shard_payload.clear();
-    shard.AppendSnapshot(&shard_payload);
-    AppendShardRecord(shard_payload, out);
+util::Status ObjectService::WriteCheckpointFile(const std::string& path,
+                                                uint64_t sequence) const {
+  auto writer = CheckpointWriter::Open(path, sequence, durability_->config);
+  if (!writer.ok()) return writer.status();
+  OBJALLOC_RETURN_IF_ERROR(writer->AppendServiceState(CaptureServiceState()));
+  // Slot records stream out one slab page at a time; the scratch buffer
+  // and the writer's chunk buffer bound peak memory regardless of how many
+  // objects the shards hold.
+  constexpr uint32_t kSlotsPerAppend = 2048;
+  std::string scratch;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ObjectShard& shard = shards_[s];
+    writer->BeginShard(static_cast<uint32_t>(s));
+    scratch.clear();
+    shard.AppendSnapshotHeader(&scratch);
+    OBJALLOC_RETURN_IF_ERROR(writer->AppendShardBytes(scratch));
+    const uint32_t span = shard.slot_span();
+    for (uint32_t begin = 0; begin < span; begin += kSlotsPerAppend) {
+      scratch.clear();
+      shard.AppendSnapshotSlots(begin, std::min(span, begin + kSlotsPerAppend),
+                                &scratch);
+      OBJALLOC_RETURN_IF_ERROR(writer->AppendShardBytes(scratch));
+    }
+    scratch.clear();
+    shard.AppendSnapshotFooter(&scratch);
+    OBJALLOC_RETURN_IF_ERROR(writer->AppendShardBytes(scratch));
+    OBJALLOC_RETURN_IF_ERROR(writer->EndShard());
   }
-  FinishCheckpoint(static_cast<uint32_t>(shards_.size()), out);
+  return writer->Finish(static_cast<uint32_t>(shards_.size()));
 }
 
 util::Status ObjectService::EnableDurability(const std::string& dir,
@@ -944,10 +991,8 @@ util::Status ObjectService::EnableDurability(const std::string& dir,
   durability_ = std::move(d);
   // Generation 1: a snapshot of the current state (empty service or one
   // mid-life — both are just states) + a fresh WAL + the manifest.
-  std::string blob;
-  BuildCheckpointBlob(1, &blob);
-  util::Status status = util::WriteFileAtomic(
-      durability_->dir + "/" + CheckpointFileName(1), blob);
+  util::Status status =
+      WriteCheckpointFile(durability_->dir + "/" + CheckpointFileName(1), 1);
   if (status.ok()) {
     auto wal = WalWriter::Create(durability_->dir + "/" + WalFileName(1), 1,
                                  durability_->config);
@@ -1002,10 +1047,9 @@ util::Status ObjectService::Checkpoint() {
   const uint64_t next = d.sequence + 1;
   const std::string ckpt_path = d.dir + "/" + CheckpointFileName(next);
   const std::string wal_path = d.dir + "/" + WalFileName(next);
-  // (2) The snapshot, atomically published under its final name.
-  std::string blob;
-  BuildCheckpointBlob(next, &blob);
-  status = util::WriteFileAtomic(ckpt_path, blob);
+  // (2) The snapshot, streamed to a temp file and atomically published
+  //     under its final name.
+  status = WriteCheckpointFile(ckpt_path, next);
   // (3) The next generation's WAL with a synced header — it must exist
   //     before the manifest can name it.
   util::StatusOr<WalWriter> wal = status.ok()
@@ -1048,19 +1092,44 @@ util::Status ObjectService::Checkpoint() {
   return util::Status::Ok();
 }
 
-util::Status ObjectService::RestoreFromCheckpoint(
-    const LoadedCheckpoint& loaded, RecoveryReport* report) {
-  OBJALLOC_CHECK_EQ(loaded.shards.size(), shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    OBJALLOC_RETURN_IF_ERROR(shards_[s].RestoreSnapshot(loaded.shards[s]));
+util::Status ObjectService::RestoreFromCheckpointStream(
+    CheckpointReader* reader, RecoveryReport* report) {
+  OBJALLOC_CHECK_EQ(static_cast<size_t>(reader->config().num_shards),
+                    shards_.size());
+  ServiceStateImage state;
+  bool saw_state = false;
+  CheckpointReader::Piece piece;
+  for (;;) {
+    OBJALLOC_RETURN_IF_ERROR(reader->Next(&piece));
+    if (piece.done) break;
+    if (piece.service_state) {
+      state = std::move(piece.state);
+      saw_state = true;
+      continue;
+    }
+    if (piece.shard >= shards_.size()) {
+      return util::Status::Internal("checkpoint: shard index " +
+                                    std::to_string(piece.shard) +
+                                    " out of range");
+    }
+    OBJALLOC_RETURN_IF_ERROR(
+        shards_[piece.shard].RestoreSnapshotChunk(piece.bytes, piece.last));
+  }
+  if (!saw_state) {
+    return util::Status::Internal("checkpoint: missing service state record");
   }
   // Rebuild the id → route mirror, verifying the partition while at it: an
   // id must live in exactly the shard the hash assigns it, or handles and
   // future AddObject calls would disagree with the restored layout.
   route_directory_.Reserve(object_count());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    for (uint32_t slot = 0;
-         slot < static_cast<uint32_t>(shards_[s].object_count()); ++slot) {
+    for (uint32_t slot = 0; slot < shards_[s].slot_span(); ++slot) {
+      if (slot > route_slot_mask_ ||
+          PackRoute(s, slot) >= 0xFFFFFFFEu) [[unlikely]] {
+        return util::Status::Internal(
+            "checkpoint: shard " + std::to_string(s) +
+            " exceeds the routable slot space");
+      }
       const ObjectId id = shards_[s].IdAt(slot);
       if (ShardOf(id) != s) {
         return util::Status::Internal("checkpoint: object " +
@@ -1076,7 +1145,7 @@ util::Status ObjectService::RestoreFromCheckpoint(
     }
   }
   report->objects_restored = object_count();
-  return RestoreServiceState(loaded.state);
+  return RestoreServiceState(state);
 }
 
 util::Status ObjectService::ReplayWalBuffer(std::string_view buffer,
@@ -1090,7 +1159,28 @@ util::Status ObjectService::ReplayWalBuffer(std::string_view buffer,
   util::RecordView record;
   bool saw_header = false;
   std::vector<workload::MultiObjectEvent> batch;
-  BatchResult result;
+  // Logged batches replay through the pipelined engine, double-buffered:
+  // batch n+1 is decoded and admitted while batch n is still on the shard
+  // workers, so recovering a large log uses every executor thread. Two
+  // result slots alternate; a slot is waited out before reuse. Non-batch
+  // records (registrations, fault controls) fence the pipeline internally,
+  // which keeps replay order exactly the admission order of the original
+  // run. The serve outcome is re-derived state — results are write-only.
+  BatchResult results[2];
+  BatchTicket tickets[2];
+  int cur = 0;
+  auto wait_slot = [&](BatchTicket* ticket) -> util::Status {
+    util::Status status = WaitBatch(ticket);
+    // UNAVAILABLE is a *replayed rejection* — the original run logged the
+    // batch because it consumed fault-time windows; the replay consumes
+    // the same windows and rejects identically.
+    if (!status.ok() && status.code() != util::StatusCode::kUnavailable) {
+      return util::Status::Internal(
+          name + ": logged batch failed on replay: " + status.ToString());
+    }
+    return util::Status::Ok();
+  };
+  util::Status replay_status = [&]() -> util::Status {
   while (cursor.Next(&record)) {
     const WalRecordType type = static_cast<WalRecordType>(record.type);
     if (!saw_header) {
@@ -1126,18 +1216,20 @@ util::Status ObjectService::ReplayWalBuffer(std::string_view buffer,
       }
       case WalRecordType::kBatch: {
         OBJALLOC_RETURN_IF_ERROR(DecodeBatch(record.payload, &batch));
-        util::Status status = ServeBatchInto(
+        // Finalize whatever last used this slot, then hand the batch to
+        // the pipeline. SubmitBatch copies the events, so `batch` is free
+        // to take the next record immediately.
+        OBJALLOC_RETURN_IF_ERROR(wait_slot(&tickets[cur]));
+        util::Status status = SubmitBatch(
             std::span<const workload::MultiObjectEvent>(batch.data(),
                                                         batch.size()),
-            &result);
-        // UNAVAILABLE is a *replayed rejection* — the original run logged
-        // the batch because it consumed fault-time windows; the replay
-        // consumes the same windows and rejects identically.
+            &results[cur], &tickets[cur]);
         if (!status.ok() &&
             status.code() != util::StatusCode::kUnavailable) {
           return util::Status::Internal(
               name + ": logged batch failed on replay: " + status.ToString());
         }
+        cur ^= 1;
         report->batches_replayed += 1;
         report->events_replayed += batch.size();
         break;
@@ -1199,6 +1291,15 @@ util::Status ObjectService::ReplayWalBuffer(std::string_view buffer,
   }
   *valid_prefix = cursor.valid_prefix();
   return util::Status::Ok();
+  }();
+  // The in-flight tail still references the local result slots above —
+  // fence the pipeline before they go out of scope, whatever the loop
+  // decided, and surface a serve-side failure the loop didn't see.
+  util::Status tail_a = wait_slot(&tickets[0]);
+  util::Status tail_b = wait_slot(&tickets[1]);
+  OBJALLOC_RETURN_IF_ERROR(replay_status);
+  OBJALLOC_RETURN_IF_ERROR(tail_a);
+  return tail_b;
 }
 
 util::StatusOr<ObjectService> ObjectService::RecoverInternal(
@@ -1254,26 +1355,26 @@ util::StatusOr<ObjectService> ObjectService::RecoverInternal(
     attempt.manifest_corrupt = rep.manifest_corrupt;
     attempt.warnings = rep.warnings;
     auto attempt_service = [&]() -> util::StatusOr<ObjectService> {
-      auto buffer = util::ReadFileToString(dir + "/" + CheckpointFileName(gen));
-      if (!buffer.ok()) return buffer.status();
-      auto loaded = ParseCheckpoint(*buffer);
-      if (!loaded.ok()) return loaded.status();
-      if (loaded->sequence != gen) {
+      auto reader = CheckpointReader::Open(dir + "/" + CheckpointFileName(gen));
+      if (!reader.ok()) return reader.status();
+      if (reader->sequence() != gen) {
         return util::Status::Internal(
             "checkpoint file names generation " +
-            std::to_string(loaded->sequence) + ", expected " +
+            std::to_string(reader->sequence()) + ", expected " +
             std::to_string(gen));
       }
       if (have_manifest) {
-        OBJALLOC_RETURN_IF_ERROR(manifest_config.CheckMatches(loaded->config));
+        OBJALLOC_RETURN_IF_ERROR(
+            manifest_config.CheckMatches(reader->config()));
       }
+      const DurableConfig config = reader->config();
       ServiceOptions service_options;
-      service_options.num_shards = loaded->config.num_shards;
-      auto service = Create(loaded->config.num_processors,
-                            loaded->config.cost_model, service_options);
+      service_options.num_shards = config.num_shards;
+      auto service =
+          Create(config.num_processors, config.cost_model, service_options);
       if (!service.ok()) return service.status();
       OBJALLOC_RETURN_IF_ERROR(
-          service->RestoreFromCheckpoint(*loaded, &attempt));
+          service->RestoreFromCheckpointStream(&*reader, &attempt));
       // Replay the WAL chain gen..top; only the final generation may carry
       // a torn tail.
       size_t final_prefix = 0;
@@ -1294,7 +1395,7 @@ util::StatusOr<ObjectService> ObjectService::RecoverInternal(
         }
         size_t prefix = 0;
         OBJALLOC_RETURN_IF_ERROR(service->ReplayWalBuffer(
-            *wal_buffer, w, loaded->config, /*is_last=*/w == top, &attempt,
+            *wal_buffer, w, config, /*is_last=*/w == top, &attempt,
             &prefix));
         attempt.wal_files_replayed += 1;
         if (w == top) {
@@ -1308,13 +1409,13 @@ util::StatusOr<ObjectService> ObjectService::RecoverInternal(
         auto d = std::make_unique<Durability>();
         d->dir = dir;
         d->options = options;
-        d->config = loaded->config;
+        d->config = config;
         d->sequence = top;
         auto wal = final_wal_exists
                        ? WalWriter::Reopen(dir + "/" + WalFileName(top),
                                            final_prefix)
                        : WalWriter::Create(dir + "/" + WalFileName(top), top,
-                                           loaded->config);
+                                           config);
         if (!wal.ok()) return wal.status();
         d->wal = std::move(*wal);
         d->events_since_checkpoint = attempt.events_replayed;
@@ -1322,7 +1423,7 @@ util::StatusOr<ObjectService> ObjectService::RecoverInternal(
         if (!have_manifest) {
           // Republish the commit point the next recovery will need.
           OBJALLOC_RETURN_IF_ERROR(
-              WriteManifest(dir, Manifest{top, loaded->config}));
+              WriteManifest(dir, Manifest{top, config}));
         }
       }
       return service;

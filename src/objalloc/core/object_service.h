@@ -183,10 +183,16 @@ class ObjectService {
   // ObjectManager::AddObject.
   util::Status AddObject(ObjectId id, const ObjectConfig& config);
 
-  // Pre-sizes every shard's directory and state vector for a bulk
-  // registration: registering N reserved objects does O(1) amortized
-  // rehashes (see the registration case in bench/perf_micro.cc).
+  // Pre-sizes every table a registration burst touches — the service route
+  // directory and each shard's slab pages (with statistical headroom for
+  // the hash split) — so registering N reserved objects performs zero
+  // allocations (asserted in serving_engine_test) and zero rehashes.
   void ReserveObjects(size_t expected_total);
+
+  // Total heap footprint of the serving state: route directory buckets,
+  // shard slab pages, fallback side tables, and batch scratch. Excludes
+  // durability buffers (bounded, not per-object).
+  size_t MemoryUsageBytes() const;
 
   bool HasObject(ObjectId id) const;
   size_t object_count() const;
@@ -406,16 +412,19 @@ class ObjectService {
   }
   util::Status FinishBatchDurable();
 
-  // Serializes the full service into one checkpoint blob for `sequence`.
-  void BuildCheckpointBlob(uint64_t sequence, std::string* out) const;
+  // Streams the full service state into the checkpoint file for `sequence`
+  // (temp file + atomic publish): shard slot pages flow through bounded
+  // chunk records, so peak memory is O(chunk) however many objects live.
+  util::Status WriteCheckpointFile(const std::string& path,
+                                   uint64_t sequence) const;
   ServiceStateImage CaptureServiceState() const;
   util::Status RestoreServiceState(const ServiceStateImage& image);
 
-  // Restores shards + route directory + service state from a parsed
-  // checkpoint; the service must be freshly constructed with the matching
-  // config.
-  util::Status RestoreFromCheckpoint(const LoadedCheckpoint& loaded,
-                                     RecoveryReport* report);
+  // Restores shards + route directory + service state from an opened
+  // checkpoint stream (v1 monolithic or v2 chunked); the service must be
+  // freshly constructed with the matching config.
+  util::Status RestoreFromCheckpointStream(CheckpointReader* reader,
+                                           RecoveryReport* report);
 
   // Replays one WAL generation buffer into this service. `is_last` permits
   // (and accounts) a torn tail; earlier generations must end cleanly.
@@ -429,7 +438,7 @@ class ObjectService {
       RecoveryReport* report, bool read_only);
 
   // Shared batch engine: one admission pass resolves and validates every
-  // event into routes_ (packed shard<<32 | slot), then the serve pass runs
+  // event into routes_ (packed shard/slot words), then the serve pass runs
   // in place or through the shard executor (synchronously — submit, wait).
   // EventT is MultiObjectEvent or HandleEvent.
   template <typename EventT>
@@ -490,14 +499,31 @@ class ObjectService {
   // `x & (num_shards - 1)` — the identical mapping without the per-event
   // integer division. ~0 flags a non-power-of-two count (modulo path).
   uint64_t shard_mask_ = 0;
-  // Service-level id → packed (shard << 32 | slot) route directory,
-  // mirrored from the shards at AddObject. Admission and Resolve route
-  // through this single table in one probe — per-event cost independent of
-  // the shard count, no per-shard directory hop, no ShardOf rehash.
-  util::FlatDirectory<uint64_t> route_directory_;
+  // Routes pack (shard, slot) into one 32-bit word: the shard index in the
+  // high bit_width(num_shards - 1) bits, the slot below it. 32 bits keep
+  // the directory at 12 bytes/bucket (key + route) — the difference between
+  // ~89 and ~98 bytes/object at the million-object point. The top two
+  // encodings are reserved for the directory's kNotFound/kTombstone
+  // sentinels; AddObject rejects registrations that would need them.
+  // 64-bit intermediates: a one-shard service has 32 slot bits, and
+  // shifting a 32-bit word by 32 is undefined.
+  uint32_t route_slot_bits_ = 32;
+  uint32_t route_slot_mask_ = 0xFFFFFFFFu;
+  uint32_t PackRoute(size_t shard, uint32_t slot) const {
+    return static_cast<uint32_t>((uint64_t{shard} << route_slot_bits_) | slot);
+  }
+  size_t RouteShard(uint32_t route) const {
+    return static_cast<size_t>(uint64_t{route} >> route_slot_bits_);
+  }
+  uint32_t RouteSlot(uint32_t route) const { return route & route_slot_mask_; }
+  // Service-level id → packed route directory, the single source of truth
+  // for object residency (shards run in external-directory mode and keep no
+  // id map of their own). Admission and Resolve route through this one
+  // table in one probe — per-event cost independent of the shard count.
+  util::FlatDirectory<uint32_t> route_directory_;
   // Batch scratch arena, recycled across batches (see header comment).
   // Per-shard partition scratch lives inside the executor's BatchContexts.
-  std::vector<uint64_t> routes_;  // per event: shard|slot
+  std::vector<uint32_t> routes_;  // per event: packed shard/slot
 
   // Fault mode (null when disarmed — the plain path pays one predicted
   // branch per batch). Integer FaultStats merge per shard in fixed order,

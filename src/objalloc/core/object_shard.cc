@@ -10,12 +10,53 @@
 
 namespace objalloc::core {
 
+namespace {
+// Wire size of one snapshot slot record (unchanged since format v1):
+// id(8) kind(1) t(4) scheme(8) f(8) p(4) next_f(4) crash_log_pos(8)
+// requests(8) breakdown(3×8).
+constexpr size_t kSnapshotSlotBytes = 8 + 1 + 4 + 8 + 8 + 4 + 4 + 8 + 8 + 3 * 8;
+}  // namespace
+
 ObjectShard::ObjectShard(int num_processors,
-                         const model::CostModel& cost_model)
-    : num_processors_(num_processors), cost_model_(cost_model) {
+                         const model::CostModel& cost_model,
+                         bool external_directory)
+    : num_processors_(num_processors),
+      cost_model_(cost_model),
+      owns_directory_(!external_directory) {
   OBJALLOC_CHECK_GT(num_processors, 0);
   OBJALLOC_CHECK_LE(num_processors, util::kMaxProcessors);
   OBJALLOC_CHECK(cost_model.Validate().ok()) << cost_model.ToString();
+  // Fold the per-(kind, t) cost scalars once. Every expression keeps the
+  // association order of the former per-slot precomputation — (ctrl*cc +
+  // cd-term) + cio-term, matching CostBreakdown::Cost — so moving the
+  // constants from the slot to this table cannot change a single bit.
+  cost_table_.resize(3 * (util::kMaxProcessors + 1));
+  const double cc = cost_model_.control;
+  const double cd = cost_model_.data;
+  const double cio = cost_model_.io;
+  for (int t = 0; t <= num_processors; ++t) {
+    const double q = static_cast<double>(t);
+    CostEntry& sa =
+        cost_table_[static_cast<size_t>(AlgorithmKind::kStatic) *
+                        (util::kMaxProcessors + 1) +
+                    t];
+    // Q is pinned; every per-pattern cost is a constant of |Q|.
+    sa.read_local = cio;                       // {0,0,1}: (0 + 0) + 1*cio
+    sa.read_remote = (cc + cd) + cio;          // {1,1,1}
+    sa.write_a = (q - 1) * cd + q * cio;       // {0,|Q|-1,|Q|}
+    sa.write_b = q * cd + q * cio;             // {0,|Q|,|Q|}
+    CostEntry& da =
+        cost_table_[static_cast<size_t>(AlgorithmKind::kDynamic) *
+                        (util::kMaxProcessors + 1) +
+                    t];
+    // The scheme after every write has size t, so the data and io terms of
+    // a write are constants; only the control term (invalidations of
+    // saving-readers) varies per event.
+    da.read_local = cio;
+    da.read_remote = (cc + cd) + 2 * cio;      // {1,1,2} saving
+    da.write_a = (q - 1) * cd;                 // data term
+    da.write_b = q * cio;                      // io term
+  }
 }
 
 util::Status ObjectShard::ValidateConfig(const ObjectConfig& config,
@@ -33,37 +74,51 @@ util::Status ObjectShard::ValidateConfig(const ObjectConfig& config,
   return util::Status::Ok();
 }
 
-void ObjectShard::InitSlotCosts(SlotState* state) const {
-  const double cc = cost_model_.control;
-  const double cd = cost_model_.data;
-  const double cio = cost_model_.io;
-  state->cost_read_local = cio;  // {0,0,1}: (0 + 0) + 1*cio
-  switch (state->kind) {
-    case AlgorithmKind::kStatic: {
-      // Q is pinned; every per-pattern cost is a constant of |Q|.
-      const double q = static_cast<double>(state->t);
-      state->cost_read_remote = (cc + cd) + cio;          // {1,1,1}
-      state->cost_write_a = (q - 1) * cd + q * cio;       // {0,|Q|-1,|Q|}
-      state->cost_write_b = q * cd + q * cio;             // {0,|Q|,|Q|}
-      break;
+void ObjectShard::Reserve(size_t expected_objects) {
+  if (owns_directory_) directory_.Reserve(expected_objects);
+  const size_t pages_needed =
+      (expected_objects + kPageSlots - 1) >> kPageShift;
+  if (pages_needed > pages_.size()) {
+    pages_.reserve(pages_needed);
+    while (pages_.size() < pages_needed) {
+      pages_.push_back(std::make_unique<SlotRecord[]>(kPageSlots));
     }
-    case AlgorithmKind::kDynamic: {
-      // The scheme after every write has size t, so the data and io terms
-      // of a write are constants; only the control term (invalidations of
-      // saving-readers) varies per event.
-      const double t = static_cast<double>(state->t);
-      state->cost_read_remote = (cc + cd) + 2 * cio;      // {1,1,2} saving
-      state->cost_write_a = (t - 1) * cd;                 // data term
-      state->cost_write_b = t * cio;                      // io term
-      break;
-    }
-    default:
-      break;  // fallback kinds cost through the virtual path
   }
 }
 
-util::Status ObjectShard::AddObject(ObjectId id, const ObjectConfig& config) {
-  if (directory_.Contains(id)) {
+size_t ObjectShard::MemoryUsageBytes() const {
+  size_t bytes = pages_.capacity() * sizeof(pages_[0]) +
+                 pages_.size() * static_cast<size_t>(kPageSlots) *
+                     sizeof(SlotRecord);
+  bytes += free_slots_.capacity() * sizeof(uint32_t);
+  bytes += cost_table_.capacity() * sizeof(CostEntry);
+  bytes += directory_.MemoryUsageBytes();
+  bytes += fallback_index_.MemoryUsageBytes();
+  bytes += fallbacks_.capacity() * sizeof(fallbacks_[0]);
+  bytes += degraded_.MemoryUsageBytes();
+  bytes += degraded_list_.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+uint32_t ObjectShard::AllocateSlot() {
+  if (!free_slots_.empty()) [[unlikely]] {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    Slot(slot) = SlotRecord{};
+    return slot;
+  }
+  // Two sentinels ride on uint32 slots (kInvalidSlot and the directory
+  // tombstone), so the slab tops out just below them.
+  OBJALLOC_CHECK_LT(slot_count_, 0xFFFFFFFEu) << "shard slot space exhausted";
+  if ((slot_count_ >> kPageShift) == pages_.size()) {
+    pages_.push_back(std::make_unique<SlotRecord[]>(kPageSlots));
+  }
+  return slot_count_++;
+}
+
+util::StatusOr<uint32_t> ObjectShard::AddObject(ObjectId id,
+                                                const ObjectConfig& config) {
+  if (owns_directory_ && directory_.Contains(id)) {
     return util::Status::InvalidArgument("duplicate object id " +
                                          std::to_string(id));
   }
@@ -72,108 +127,122 @@ util::Status ObjectShard::AddObject(ObjectId id, const ObjectConfig& config) {
     return util::Status(valid.code(),
                         valid.message() + " for object " + std::to_string(id));
   }
-  SlotState state;
-  state.id = id;
-  state.kind = config.algorithm;
-  state.t = config.initial_scheme.Size();
-  state.scheme = config.initial_scheme;
-  InitSlotCosts(&state);
+  const uint32_t slot = AllocateSlot();
+  SlotRecord& record = Slot(slot);
+  record.id = id;
+  record.scheme_mask = config.initial_scheme.mask();
+  int32_t p = -1;
   switch (config.algorithm) {
     case AlgorithmKind::kStatic:
       break;
-    case AlgorithmKind::kDynamic:
-      DynamicAllocation::SplitScheme(config.initial_scheme, &state.f,
-                                     &state.p);
+    case AlgorithmKind::kDynamic: {
+      ProcessorSet f;
+      DynamicAllocation::SplitScheme(config.initial_scheme, &f, &p);
+      record.f_mask = f.mask();
       break;
+    }
     default: {
-      state.fallback = CreateAlgorithm(config.algorithm, cost_model_);
-      state.fallback->Reset(num_processors_, config.initial_scheme);
-      fallback_objects_ += 1;
+      auto fallback = CreateAlgorithm(config.algorithm, cost_model_);
+      fallback->Reset(num_processors_, config.initial_scheme);
+      fallback_index_.Insert(slot, static_cast<uint32_t>(fallbacks_.size()));
+      fallbacks_.push_back(std::move(fallback));
       break;
     }
   }
-  directory_.Insert(id, static_cast<uint32_t>(slots_.size()));
-  slots_.push_back(std::move(state));
-  return util::Status::Ok();
+  record.meta = SlotRecord::PackMeta(config.algorithm,
+                                     config.initial_scheme.Size(), p,
+                                     /*next_f=*/0, /*crash_log_pos=*/0);
+  if (owns_directory_) directory_.Insert(id, slot);
+  return slot;
 }
 
 double ObjectShard::ServeSlot(uint32_t slot, const Request& request,
                               model::CostBreakdown* delta) {
-  SlotState& state = slots_[slot];
+  SlotRecord& record = Slot(slot);
   const ProcessorId i = request.processor;
   model::CostBreakdown breakdown;
   double cost;
-  switch (state.kind) {
+  const AlgorithmKind kind = record.kind();
+  const int32_t t = record.t();
+  switch (kind) {
     case AlgorithmKind::kStatic: {
       // StaticAllocation::Decide specialized per branch: the scheme never
       // changes, so the breakdown is a pure function of membership.
+      const CostEntry& costs = CostsFor(kind, t);
+      const ProcessorSet scheme(record.scheme_mask);
       if (request.is_read()) {
-        if (state.scheme.Contains(i)) {
+        if (scheme.Contains(i)) {
           breakdown.io_ops = 1;
-          cost = state.cost_read_local;
+          cost = costs.read_local;
         } else {
           breakdown.control_messages = 1;
           breakdown.data_messages = 1;
           breakdown.io_ops = 1;
-          cost = state.cost_read_remote;
+          cost = costs.read_remote;
         }
       } else {
         // X == Q: no invalidations, |Q \ {i}| transfers, |Q| outputs.
-        const bool member = state.scheme.Contains(i);
-        breakdown.data_messages = state.t - (member ? 1 : 0);
-        breakdown.io_ops = state.t;
-        cost = member ? state.cost_write_a : state.cost_write_b;
+        const bool member = scheme.Contains(i);
+        breakdown.data_messages = t - (member ? 1 : 0);
+        breakdown.io_ops = t;
+        cost = member ? costs.write_a : costs.write_b;
       }
       break;
     }
     case AlgorithmKind::kDynamic: {
+      const CostEntry& costs = CostsFor(kind, t);
+      ProcessorSet scheme(record.scheme_mask);
       if (request.is_read()) {
-        if (state.scheme.Contains(i)) {
+        if (scheme.Contains(i)) {
           breakdown.io_ops = 1;
-          cost = state.cost_read_local;
+          cost = costs.read_local;
         } else {
           // Saving-read via the round-robin F member: one request, one
           // transfer, one input at the server plus the saving output at i.
           // Which F member serves is invisible to cost and scheme, but the
           // round-robin index is kept in lockstep with the reference class.
-          const uint32_t f_size = static_cast<uint32_t>(state.t - 1);
-          state.next_f = (state.next_f + 1) % f_size;
-          state.scheme.Insert(i);
+          const uint32_t f_size = static_cast<uint32_t>(t - 1);
+          record.set_next_f((record.next_f() + 1) % f_size);
+          scheme.Insert(i);
+          record.scheme_mask = scheme.mask();
           breakdown.control_messages = 1;
           breakdown.data_messages = 1;
           breakdown.io_ops = 2;
-          cost = state.cost_read_remote;
+          cost = costs.read_remote;
         }
       } else {
-        const ProcessorSet x = DynamicAllocation::WriteSet(state.f, state.p, i);
+        const ProcessorSet x = DynamicAllocation::WriteSet(
+            ProcessorSet(record.f_mask), record.p(), i);
         // Invalidations reach the stale copies other than the writer's own.
-        const int64_t control = state.scheme.Minus(x).WithErased(i).Size();
+        const int64_t control = scheme.Minus(x).WithErased(i).Size();
         breakdown.control_messages = control;
-        breakdown.data_messages = state.t - 1;
-        breakdown.io_ops = state.t;
+        breakdown.data_messages = t - 1;
+        breakdown.io_ops = t;
         cost = (static_cast<double>(control) * cost_model_.control +
-                state.cost_write_a) +
-               state.cost_write_b;
-        state.scheme = x;
+                costs.write_a) +
+               costs.write_b;
+        record.scheme_mask = x.mask();
       }
       break;
     }
     default: {
       // Virtual fallback for the non-inlined kinds.
-      Decision decision = state.fallback->Step(request);
+      Decision decision = FallbackAt(slot)->Step(request);
       model::AllocatedRequest entry{request, decision.execution_set,
                                     request.is_read() && decision.saving};
-      breakdown = model::RequestBreakdown(entry, state.scheme);
-      state.scheme = model::NextScheme(state.scheme, entry);
-      OBJALLOC_CHECK_GE(state.scheme.Size(), state.t)
+      ProcessorSet scheme(record.scheme_mask);
+      breakdown = model::RequestBreakdown(entry, scheme);
+      scheme = model::NextScheme(scheme, entry);
+      OBJALLOC_CHECK_GE(scheme.Size(), t)
           << "algorithm violated the availability threshold of object "
-          << state.id;
+          << record.id;
+      record.scheme_mask = scheme.mask();
       cost = breakdown.Cost(cost_model_);
       break;
     }
   }
-  state.requests += 1;
-  state.breakdown += breakdown;
+  record.requests += 1;
+  record.breakdown += breakdown;
   total_requests_ += 1;
   total_breakdown_ += breakdown;
   if (delta != nullptr) *delta += breakdown;
@@ -207,7 +276,7 @@ void ObjectShard::MarkDegraded(uint32_t slot) {
   degraded_list_.push_back(slot);
 }
 
-void ObjectShard::SyncSlotWithCrashes(SlotState* state,
+void ObjectShard::SyncSlotWithCrashes(SlotRecord* record,
                                       const CrashLog& crash_log,
                                       size_t up_to_index) {
   // Log indices are nondecreasing, so stopping at the first future record
@@ -215,32 +284,35 @@ void ObjectShard::SyncSlotWithCrashes(SlotState* state,
   // idempotent; a processor that crashed, recovered and rejoined is safe
   // because rejoining happens at a serve, which consumed the crash record
   // first.
-  size_t pos = state->crash_log_pos;
+  size_t pos = record->crash_log_pos();
+  ProcessorSet scheme(record->scheme_mask);
   while (pos < crash_log.size() && crash_log[pos].index <= up_to_index) {
-    state->scheme.Erase(crash_log[pos].processor);
+    scheme.Erase(crash_log[pos].processor);
     ++pos;
   }
-  state->crash_log_pos = pos;
+  record->scheme_mask = scheme.mask();
+  record->set_crash_log_pos(pos);
 }
 
-void ObjectShard::RepairScheme(SlotState* state, uint32_t slot,
+void ObjectShard::RepairScheme(SlotRecord* record, uint32_t slot,
                                ProcessorSet live, size_t event_index,
                                const FaultInjector& injector,
                                uint64_t* ordinal,
                                model::CostBreakdown* breakdown,
                                FaultStats* stats) {
   const int64_t backoff_before = stats->backoff_units;
+  const int32_t t = record->t();
+  ProcessorSet scheme(record->scheme_mask);
   // Deterministic re-replication: copy onto the lowest-id live processors
   // outside the scheme until t replicas exist. Each copy is charged as a
   // saving-read ({1 control, 1 data, 2 io} — the cost of creating a replica
   // at a reader), so repair traffic and request traffic share one currency.
   int added = 0;
-  ProcessorSet candidates = live.Minus(state->scheme);
-  while (static_cast<int32_t>(state->scheme.Size()) < state->t &&
-         !candidates.Empty()) {
+  ProcessorSet candidates = live.Minus(scheme);
+  while (static_cast<int32_t>(scheme.Size()) < t && !candidates.Empty()) {
     const ProcessorId target = candidates.First();
     candidates.Erase(target);
-    state->scheme.Insert(target);
+    scheme.Insert(target);
     ChargeMessages(/*control=*/true, 1, event_index, injector, ordinal,
                    breakdown, stats);
     ChargeMessages(/*control=*/false, 1, event_index, injector, ordinal,
@@ -248,9 +320,10 @@ void ObjectShard::RepairScheme(SlotState* state, uint32_t slot,
     breakdown->io_ops += 2;
     ++added;
   }
-  OBJALLOC_CHECK_GE(static_cast<int32_t>(state->scheme.Size()), state->t)
-      << "repair of object " << state->id
+  OBJALLOC_CHECK_GE(static_cast<int32_t>(scheme.Size()), t)
+      << "repair of object " << record->id
       << " could not reach t live replicas (caller must admit |live| >= t)";
+  record->scheme_mask = scheme.mask();
   if (added > 0) {
     stats->repairs += 1;
     stats->replicas_added += added;
@@ -259,19 +332,23 @@ void ObjectShard::RepairScheme(SlotState* state, uint32_t slot,
     stats->repair_latency.push_back(static_cast<double>(
         2 * added + (stats->backoff_units - backoff_before)));
   }
-  if (state->kind == AlgorithmKind::kDynamic) {
+  if (record->kind() == AlgorithmKind::kDynamic) {
     // Re-derive (F, p) from the t lowest members of the repaired scheme and
     // restart the round-robin read index — the same deterministic split a
     // fresh registration would produce.
     ProcessorSet base;
     int taken = 0;
-    for (const ProcessorId member : state->scheme) {
-      if (taken == state->t) break;
+    for (const ProcessorId member : scheme) {
+      if (taken == t) break;
       base.Insert(member);
       ++taken;
     }
-    DynamicAllocation::SplitScheme(base, &state->f, &state->p);
-    state->next_f = 0;
+    ProcessorSet f;
+    int32_t p = -1;
+    DynamicAllocation::SplitScheme(base, &f, &p);
+    record->f_mask = f.mask();
+    record->set_p(p);
+    record->set_next_f(0);
   }
   degraded_.Erase(slot);
 }
@@ -282,25 +359,29 @@ double ObjectShard::ServeSlotFaulty(uint32_t slot, const Request& request,
                                     const FaultInjector& injector,
                                     model::CostBreakdown* delta,
                                     FaultStats* stats, bool check_invariant) {
-  SlotState& state = slots_[slot];
+  SlotRecord& record = Slot(slot);
   const ProcessorId i = request.processor;
   model::CostBreakdown breakdown;
   uint64_t ordinal = 0;
   // Lazy scrub: evict members crashed since the object's previous event.
-  SyncSlotWithCrashes(&state, crash_log, event_index);
+  SyncSlotWithCrashes(&record, crash_log, event_index);
+  const AlgorithmKind kind = record.kind();
+  const int32_t t = record.t();
   // Entry repair: those crashes may have left the scheme below t or broken
   // DA's core set. Restore t live replicas before the decision rule runs so
   // it always sees a t-available scheme.
-  if (static_cast<int32_t>(state.scheme.Size()) < state.t ||
-      (state.kind == AlgorithmKind::kDynamic &&
-       !state.f.IsSubsetOf(state.scheme))) [[unlikely]] {
-    RepairScheme(&state, slot, live, event_index, injector, &ordinal,
+  if (static_cast<int32_t>(ProcessorSet(record.scheme_mask).Size()) < t ||
+      (kind == AlgorithmKind::kDynamic &&
+       !ProcessorSet(record.f_mask)
+            .IsSubsetOf(ProcessorSet(record.scheme_mask)))) [[unlikely]] {
+    RepairScheme(&record, slot, live, event_index, injector, &ordinal,
                  &breakdown, stats);
   }
-  switch (state.kind) {
+  switch (kind) {
     case AlgorithmKind::kStatic: {
+      const ProcessorSet scheme(record.scheme_mask);
       if (request.is_read()) {
-        if (state.scheme.Contains(i)) {
+        if (scheme.Contains(i)) {
           breakdown.io_ops += 1;
         } else {
           ChargeMessages(/*control=*/true, 1, event_index, injector, &ordinal,
@@ -313,8 +394,8 @@ double ObjectShard::ServeSlotFaulty(uint32_t slot, const Request& request,
         // X = the (live) scheme: the lazy scrub evicted crashed members and
         // entry repair restored |Q| = t, so the full-replication write rule
         // is unchanged — only its transmissions can be lost.
-        const bool member = state.scheme.Contains(i);
-        const int64_t copies = state.scheme.Size();
+        const bool member = scheme.Contains(i);
+        const int64_t copies = scheme.Size();
         ChargeMessages(/*control=*/false, copies - (member ? 1 : 0),
                        event_index, injector, &ordinal, &breakdown, stats);
         breakdown.io_ops += copies;
@@ -323,14 +404,16 @@ double ObjectShard::ServeSlotFaulty(uint32_t slot, const Request& request,
     }
     case AlgorithmKind::kDynamic: {
       if (request.is_read()) {
-        if (state.scheme.Contains(i)) {
+        ProcessorSet scheme(record.scheme_mask);
+        if (scheme.Contains(i)) {
           breakdown.io_ops += 1;
         } else {
           // Saving-read, as in ServeSlot; the serving F member is live by
           // the scheme ⊆ live invariant.
-          const uint32_t f_size = static_cast<uint32_t>(state.t - 1);
-          state.next_f = (state.next_f + 1) % f_size;
-          state.scheme.Insert(i);
+          const uint32_t f_size = static_cast<uint32_t>(t - 1);
+          record.set_next_f((record.next_f() + 1) % f_size);
+          scheme.Insert(i);
+          record.scheme_mask = scheme.mask();
           ChargeMessages(/*control=*/true, 1, event_index, injector, &ordinal,
                          &breakdown, stats);
           ChargeMessages(/*control=*/false, 1, event_index, injector,
@@ -341,22 +424,24 @@ double ObjectShard::ServeSlotFaulty(uint32_t slot, const Request& request,
         // The rule's execution set intersected with the live world: the
         // floating processor p is not part of the scheme between writes, so
         // it can be dead without a preceding scrub — drop it here.
+        const ProcessorSet scheme(record.scheme_mask);
         const ProcessorSet x =
-            DynamicAllocation::WriteSet(state.f, state.p, i).Intersect(live);
-        const int64_t control = state.scheme.Minus(x).WithErased(i).Size();
+            DynamicAllocation::WriteSet(ProcessorSet(record.f_mask),
+                                        record.p(), i)
+                .Intersect(live);
+        const int64_t control = scheme.Minus(x).WithErased(i).Size();
         ChargeMessages(/*control=*/true, control, event_index, injector,
                        &ordinal, &breakdown, stats);
         ChargeMessages(/*control=*/false,
                        static_cast<int64_t>(x.WithErased(i).Size()),
                        event_index, injector, &ordinal, &breakdown, stats);
         breakdown.io_ops += x.Size();
-        state.scheme = x;
+        record.scheme_mask = x.mask();
         // Exit repair: the write itself may have shrunk the scheme below t
         // (dead floating processor). Re-replicate before the event ends so
         // the invariant holds at every event boundary.
-        if (static_cast<int32_t>(state.scheme.Size()) < state.t)
-            [[unlikely]] {
-          RepairScheme(&state, slot, live, event_index, injector, &ordinal,
+        if (static_cast<int32_t>(x.Size()) < t) [[unlikely]] {
+          RepairScheme(&record, slot, live, event_index, injector, &ordinal,
                        &breakdown, stats);
         }
       }
@@ -365,17 +450,17 @@ double ObjectShard::ServeSlotFaulty(uint32_t slot, const Request& request,
     default:
       OBJALLOC_CHECK(false)
           << "fault injection supports only inlined algorithm kinds (object "
-          << state.id << ")";
+          << record.id << ")";
   }
   if (check_invariant) {
-    const util::Status avail =
-        model::CheckSchemeAvailable(state.scheme, live, state.t);
+    const util::Status avail = model::CheckSchemeAvailable(
+        ProcessorSet(record.scheme_mask), live, t);
     OBJALLOC_CHECK(avail.ok())
-        << "object " << state.id << ": " << avail.ToString();
+        << "object " << record.id << ": " << avail.ToString();
   }
   const double cost = breakdown.Cost(cost_model_);
-  state.requests += 1;
-  state.breakdown += breakdown;
+  record.requests += 1;
+  record.breakdown += breakdown;
   total_requests_ += 1;
   total_breakdown_ += breakdown;
   if (delta != nullptr) *delta += breakdown;
@@ -388,17 +473,21 @@ void ObjectShard::NoteCrash(ProcessorId p) {
   // untouched — eviction belongs to the serve timeline. RepairAllDegraded
   // re-checks after applying pending records, so an over-mark heals to a
   // no-op repair.
-  for (uint32_t slot = 0; slot < static_cast<uint32_t>(slots_.size());
-       ++slot) {
-    if (slots_[slot].scheme.Contains(p)) MarkDegraded(slot);
+  for (uint32_t slot = 0; slot < slot_count_; ++slot) {
+    const SlotRecord& record = Slot(slot);
+    if (record.id >= 0 && ProcessorSet(record.scheme_mask).Contains(p)) {
+      MarkDegraded(slot);
+    }
   }
 }
 
 void ObjectShard::FlushCrashLog(const CrashLog& crash_log) {
-  for (SlotState& state : slots_) {
-    SyncSlotWithCrashes(&state, crash_log,
+  for (uint32_t slot = 0; slot < slot_count_; ++slot) {
+    SlotRecord& record = Slot(slot);
+    if (record.id < 0) continue;
+    SyncSlotWithCrashes(&record, crash_log,
                         std::numeric_limits<size_t>::max());
-    state.crash_log_pos = 0;
+    record.set_crash_log_pos(0);
   }
   for (const uint32_t slot : degraded_list_) degraded_.Erase(slot);
   degraded_list_.clear();
@@ -419,28 +508,28 @@ int64_t ObjectShard::RepairAllDegraded(ProcessorSet live, size_t event_index,
   const int64_t before = stats->replicas_added;
   for (const uint32_t slot : degraded_list_) {
     if (!degraded_.Contains(slot)) continue;  // already repaired lazily
-    SlotState& state = slots_[slot];
-    if (static_cast<int32_t>(live.Size()) < state.t) {
+    SlotRecord& record = Slot(slot);
+    if (static_cast<int32_t>(live.Size()) < record.t()) {
       remaining.push_back(slot);  // cannot reach t now; stays degraded
       continue;
     }
     // Apply pending crash records first: the mark was taken against a
     // possibly-lagging scheme, and repairing before eviction could top up
     // to t while a dead member lingers.
-    SyncSlotWithCrashes(&state, crash_log, event_index);
+    SyncSlotWithCrashes(&record, crash_log, event_index);
     model::CostBreakdown breakdown;
     // Ordinal space partitioned by slot: repairs of distinct objects at the
     // same fault-time index draw independent loss samples.
     uint64_t ordinal = static_cast<uint64_t>(slot) * 128;
-    RepairScheme(&state, slot, live, event_index, injector, &ordinal,
+    RepairScheme(&record, slot, live, event_index, injector, &ordinal,
                  &breakdown, stats);
-    state.breakdown += breakdown;
+    record.breakdown += breakdown;
     total_breakdown_ += breakdown;
     if (check_invariant) {
-      const util::Status avail =
-          model::CheckSchemeAvailable(state.scheme, live, state.t);
+      const util::Status avail = model::CheckSchemeAvailable(
+          ProcessorSet(record.scheme_mask), live, record.t());
       OBJALLOC_CHECK(avail.ok())
-          << "object " << state.id << ": " << avail.ToString();
+          << "object " << record.id << ": " << avail.ToString();
     }
   }
   degraded_list_ = std::move(remaining);
@@ -464,39 +553,56 @@ util::StatusOr<ObjectStats> ObjectShard::StatsFor(ObjectId id) const {
   if (slot == kInvalidSlot) {
     return util::Status::NotFound("unknown object " + std::to_string(id));
   }
-  const SlotState& state = slots_[slot];
+  return StatsAt(slot);
+}
+
+ObjectStats ObjectShard::StatsAt(uint32_t slot) const {
+  const SlotRecord& record = Slot(slot);
   ObjectStats stats;
-  stats.requests = state.requests;
-  stats.breakdown = state.breakdown;
-  stats.scheme = state.scheme;
+  stats.requests = record.requests;
+  stats.breakdown = record.breakdown;
+  stats.scheme = ProcessorSet(record.scheme_mask);
   return stats;
 }
 
 std::vector<ObjectId> ObjectShard::SortedObjectIds() const {
   std::vector<ObjectId> ids;
-  ids.reserve(slots_.size());
-  for (const SlotState& state : slots_) ids.push_back(state.id);
+  ids.reserve(object_count());
+  for (uint32_t slot = 0; slot < slot_count_; ++slot) {
+    const ObjectId id = Slot(slot).id;
+    if (id >= 0) ids.push_back(id);
+  }
   std::sort(ids.begin(), ids.end());
   return ids;
 }
 
-void ObjectShard::AppendSnapshot(std::string* out) const {
+void ObjectShard::AppendSnapshotHeader(std::string* out) const {
+  util::AppendScalar(static_cast<uint64_t>(object_count()), out);
+}
+
+void ObjectShard::AppendSnapshotSlots(uint32_t begin, uint32_t end,
+                                      std::string* out) const {
   using util::AppendScalar;
-  AppendScalar(static_cast<uint64_t>(slots_.size()), out);
-  for (const SlotState& state : slots_) {
-    AppendScalar(state.id, out);
-    AppendScalar(static_cast<uint8_t>(state.kind), out);
-    AppendScalar(state.t, out);
-    AppendScalar(state.scheme.mask(), out);
-    AppendScalar(state.f.mask(), out);
-    AppendScalar(state.p, out);
-    AppendScalar(state.next_f, out);
-    AppendScalar(static_cast<uint64_t>(state.crash_log_pos), out);
-    AppendScalar(state.requests, out);
-    AppendScalar(state.breakdown.control_messages, out);
-    AppendScalar(state.breakdown.data_messages, out);
-    AppendScalar(state.breakdown.io_ops, out);
+  for (uint32_t slot = begin; slot < end; ++slot) {
+    const SlotRecord& record = Slot(slot);
+    if (record.id < 0) continue;  // free-listed hole
+    AppendScalar(record.id, out);
+    AppendScalar(static_cast<uint8_t>(record.kind()), out);
+    AppendScalar(record.t(), out);
+    AppendScalar(record.scheme_mask, out);
+    AppendScalar(record.f_mask, out);
+    AppendScalar(record.p(), out);
+    AppendScalar(record.next_f(), out);
+    AppendScalar(static_cast<uint64_t>(record.crash_log_pos()), out);
+    AppendScalar(record.requests, out);
+    AppendScalar(record.breakdown.control_messages, out);
+    AppendScalar(record.breakdown.data_messages, out);
+    AppendScalar(record.breakdown.io_ops, out);
   }
+}
+
+void ObjectShard::AppendSnapshotFooter(std::string* out) const {
+  using util::AppendScalar;
   AppendScalar(total_requests_, out);
   AppendScalar(total_breakdown_.control_messages, out);
   AppendScalar(total_breakdown_.data_messages, out);
@@ -514,85 +620,151 @@ void ObjectShard::AppendSnapshot(std::string* out) const {
   }
 }
 
-util::Status ObjectShard::RestoreSnapshot(std::string_view payload) {
-  if (!slots_.empty()) {
+void ObjectShard::AppendSnapshot(std::string* out) const {
+  AppendSnapshotHeader(out);
+  AppendSnapshotSlots(0, slot_count_, out);
+  AppendSnapshotFooter(out);
+}
+
+util::Status ObjectShard::RestoreSlotRecord(util::PayloadReader* reader) {
+  ObjectId id = -1;
+  uint8_t kind_raw = 0;
+  int32_t t = 0, p = -1;
+  uint64_t scheme_mask = 0, f_mask = 0, crash_log_pos = 0;
+  uint32_t next_f = 0;
+  int64_t requests = 0;
+  model::CostBreakdown breakdown;
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&id));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&kind_raw));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&t));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&scheme_mask));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&f_mask));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&p));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&next_f));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&crash_log_pos));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&requests));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&breakdown.control_messages));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&breakdown.data_messages));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&breakdown.io_ops));
+  const AlgorithmKind kind = static_cast<AlgorithmKind>(kind_raw);
+  if (kind != AlgorithmKind::kStatic && kind != AlgorithmKind::kDynamic) {
     return util::Status::Internal(
-        "RestoreSnapshot requires a freshly constructed shard");
+        "shard snapshot: non-inlined algorithm kind " +
+        std::to_string(kind_raw));
   }
-  util::PayloadReader reader(payload);
-  uint64_t count = 0;
-  OBJALLOC_RETURN_IF_ERROR(reader.Read(&count));
-  constexpr size_t kSlotBytes = 8 + 1 + 4 + 8 + 8 + 4 + 4 + 8 + 8 + 3 * 8;
-  if (reader.remaining() < count * kSlotBytes) {
-    return util::Status::Internal("shard snapshot: slot table truncated");
+  if (t < 1 || t > num_processors_) {
+    return util::Status::Internal("shard snapshot: bad threshold " +
+                                  std::to_string(t));
   }
   const ProcessorSet world = ProcessorSet::FirstN(num_processors_);
-  Reserve(static_cast<size_t>(count));
-  for (uint64_t s = 0; s < count; ++s) {
-    SlotState state;
-    uint8_t kind = 0;
-    uint64_t scheme_mask = 0, f_mask = 0, crash_log_pos = 0;
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.id));
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&kind));
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.t));
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&scheme_mask));
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&f_mask));
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.p));
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.next_f));
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&crash_log_pos));
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.requests));
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.breakdown.control_messages));
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.breakdown.data_messages));
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&state.breakdown.io_ops));
-    state.kind = static_cast<AlgorithmKind>(kind);
-    if (state.kind != AlgorithmKind::kStatic &&
-        state.kind != AlgorithmKind::kDynamic) {
-      return util::Status::Internal(
-          "shard snapshot: non-inlined algorithm kind " +
-          std::to_string(kind));
-    }
-    state.scheme = ProcessorSet(scheme_mask);
-    state.f = ProcessorSet(f_mask);
-    state.crash_log_pos = static_cast<size_t>(crash_log_pos);
-    if (state.t < 1 || state.t > num_processors_) {
-      return util::Status::Internal("shard snapshot: bad threshold " +
-                                    std::to_string(state.t));
-    }
-    if (!state.scheme.IsSubsetOf(world) || !state.f.IsSubsetOf(world)) {
-      return util::Status::Internal(
-          "shard snapshot: scheme names out-of-range processors");
-    }
-    if (state.p < -1 || state.p >= num_processors_) {
-      return util::Status::Internal(
-          "shard snapshot: floating processor out of range");
-    }
-    if (directory_.Contains(state.id)) {
-      return util::Status::Internal("shard snapshot: duplicate object id " +
-                                    std::to_string(state.id));
-    }
-    InitSlotCosts(&state);
-    directory_.Insert(state.id, static_cast<uint32_t>(slots_.size()));
-    slots_.push_back(std::move(state));
+  if (!ProcessorSet(scheme_mask).IsSubsetOf(world) ||
+      !ProcessorSet(f_mask).IsSubsetOf(world)) {
+    return util::Status::Internal(
+        "shard snapshot: scheme names out-of-range processors");
   }
-  OBJALLOC_RETURN_IF_ERROR(reader.Read(&total_requests_));
-  OBJALLOC_RETURN_IF_ERROR(reader.Read(&total_breakdown_.control_messages));
-  OBJALLOC_RETURN_IF_ERROR(reader.Read(&total_breakdown_.data_messages));
-  OBJALLOC_RETURN_IF_ERROR(reader.Read(&total_breakdown_.io_ops));
+  if (p < -1 || p >= num_processors_) {
+    return util::Status::Internal(
+        "shard snapshot: floating processor out of range");
+  }
+  // Bit-packing bounds: next_f indexes F (< t <= 64) and the crash-log
+  // cursor rides the meta word's high half.
+  if (next_f > 0x7F) {
+    return util::Status::Internal("shard snapshot: round-robin index " +
+                                  std::to_string(next_f) + " out of range");
+  }
+  if (crash_log_pos > 0xFFFFFFFFull) {
+    return util::Status::Internal("shard snapshot: crash-log cursor " +
+                                  std::to_string(crash_log_pos) +
+                                  " out of range");
+  }
+  if (owns_directory_ && directory_.Contains(id)) {
+    return util::Status::Internal("shard snapshot: duplicate object id " +
+                                  std::to_string(id));
+  }
+  const uint32_t slot = AllocateSlot();
+  SlotRecord& record = Slot(slot);
+  record.id = id;
+  record.scheme_mask = scheme_mask;
+  record.f_mask = f_mask;
+  record.meta = SlotRecord::PackMeta(kind, t, p, next_f,
+                                     static_cast<size_t>(crash_log_pos));
+  record.requests = requests;
+  record.breakdown = breakdown;
+  if (owns_directory_) directory_.Insert(id, slot);
+  return util::Status::Ok();
+}
+
+util::Status ObjectShard::RestoreSnapshotFooter(util::PayloadReader* reader) {
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&total_requests_));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&total_breakdown_.control_messages));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&total_breakdown_.data_messages));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&total_breakdown_.io_ops));
   uint32_t degraded = 0;
-  OBJALLOC_RETURN_IF_ERROR(reader.Read(&degraded));
-  if (reader.remaining() != static_cast<size_t>(degraded) * 4) {
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&degraded));
+  if (reader->remaining() != static_cast<size_t>(degraded) * 4) {
     return util::Status::Internal("shard snapshot: degraded registry size");
   }
   for (uint32_t d = 0; d < degraded; ++d) {
     uint32_t slot = 0;
-    OBJALLOC_RETURN_IF_ERROR(reader.Read(&slot));
-    if (slot >= slots_.size()) {
+    OBJALLOC_RETURN_IF_ERROR(reader->Read(&slot));
+    if (slot >= slot_count_) {
       return util::Status::Internal(
           "shard snapshot: degraded slot out of range");
     }
     MarkDegraded(slot);
   }
   return util::Status::Ok();
+}
+
+util::Status ObjectShard::RestoreSnapshotChunk(std::string_view chunk,
+                                               bool last) {
+  if (restore_.done) {
+    return util::Status::Internal("shard snapshot: chunk after final chunk");
+  }
+  if (!restore_.header_done && slot_count_ != 0) {
+    return util::Status::Internal(
+        "RestoreSnapshot requires a freshly constructed shard");
+  }
+  std::string_view data = chunk;
+  if (!restore_.carry.empty()) {
+    restore_.carry.append(chunk.data(), chunk.size());
+    data = restore_.carry;
+  }
+  util::PayloadReader reader(data);
+  if (!restore_.header_done && reader.remaining() >= sizeof(uint64_t)) {
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&restore_.expected));
+    restore_.header_done = true;
+    Reserve(static_cast<size_t>(restore_.expected));
+  }
+  if (restore_.header_done) {
+    while (restore_.restored < restore_.expected &&
+           reader.remaining() >= kSnapshotSlotBytes) {
+      OBJALLOC_RETURN_IF_ERROR(RestoreSlotRecord(&reader));
+      ++restore_.restored;
+    }
+  }
+  if (last) {
+    if (!restore_.header_done || restore_.restored < restore_.expected) {
+      return util::Status::Internal("shard snapshot: slot table truncated");
+    }
+    OBJALLOC_RETURN_IF_ERROR(RestoreSnapshotFooter(&reader));
+    restore_.carry.clear();
+    restore_.done = true;
+    return util::Status::Ok();
+  }
+  // Carry the incomplete tail (partial slot record or footer prefix) into
+  // the next chunk; bounded by one record plus the footer head.
+  std::string rest(data.substr(data.size() - reader.remaining()));
+  restore_.carry = std::move(rest);
+  return util::Status::Ok();
+}
+
+util::Status ObjectShard::RestoreSnapshot(std::string_view payload) {
+  if (slot_count_ != 0 || restore_.header_done) {
+    return util::Status::Internal(
+        "RestoreSnapshot requires a freshly constructed shard");
+  }
+  return RestoreSnapshotChunk(payload, /*last=*/true);
 }
 
 }  // namespace objalloc::core

@@ -6,23 +6,35 @@
 // sensitive to — is preserved no matter how many shards exist, which is the
 // heart of the service layer's determinism argument (DESIGN.md §7).
 //
-// The shard is the devirtualized serving engine (DESIGN.md §8):
+// The shard is the devirtualized serving engine (DESIGN.md §8), laid out for
+// millions of objects under an explicit footprint budget (DESIGN.md §12):
 //
-//   * Object state lives in a dense std::vector indexed by *slot*; the
-//     unordered_map survives only as the id → slot directory. Slots are
-//     stable (objects are never removed), so a slot resolved once — an
-//     ObjectHandle at the service layer — serves forever without hashing.
-//   * The common algorithms (SA, DA) are stored as a tagged union of inline
-//     state inside the slot and dispatched by a switch on AlgorithmKind —
-//     no heap indirection, no virtual Step() call, and the per-request cost
-//     is read from per-object constants precomputed from the CostModel at
-//     registration. The std::unique_ptr<DomAlgorithm> virtual path remains
-//     only as the fallback for the non-inlined kinds (kAdaptive).
-//   * The inline transitions evaluate exactly the classes' shared rule
-//     helpers (StaticAllocation::Decide via specialization,
-//     DynamicAllocation::SplitScheme / WriteSet verbatim), so the two paths
-//     are bit-identical by construction — and asserted by
-//     tests/serving_engine_test.cc.
+//   * Object state lives in fixed-size slab pages of 64-byte SlotRecords
+//     indexed by *slot*. Pages are allocated one at a time and never moved,
+//     so growing to the N-th object allocates O(page) — no vector-doubling
+//     copy of the whole shard, and a slot's address is stable for the
+//     shard's lifetime. Freed slots go on a free list for reuse (no
+//     removal API exists yet; the slab is built for one).
+//   * A SlotRecord bit-packs the full inline SA/DA machine: identity, the
+//     scheme and DA core-set masks, and a meta word holding the dispatch
+//     tag, availability threshold, DA floating processor and round-robin
+//     index, and the crash-log cursor, beside the per-object request count
+//     and cost breakdown — exactly 64 bytes, one cache line per object.
+//   * The per-request cost scalars previously stored per object are a pure
+//     function of (kind, t) and the shard's cost model, so they live in one
+//     per-shard table of ≤ 3×65 entries, folded at construction in the
+//     *same association order* as before — (ctrl*cc + cd-term) + cio-term —
+//     so the factoring-out cannot perturb a single result bit.
+//   * The common algorithms (SA, DA) dispatch by a switch on the packed
+//     tag — no heap indirection, no virtual Step() call. The
+//     std::unique_ptr<DomAlgorithm> virtual path remains only as the
+//     fallback for the non-inlined kinds (kAdaptive) and lives on a side
+//     table keyed by slot, so the dense common case pays it nothing.
+//   * The id → slot directory is optional: the ObjectService routes through
+//     its own global id → (shard, slot) table, so its shards skip the
+//     per-shard directory entirely (external-directory mode) instead of
+//     indexing every object twice. ObjectManager keeps the internal
+//     directory.
 //
 // Aggregate accounting (TotalBreakdown / TotalRequests) is maintained
 // incrementally on every served request, so the totals are O(1) reads
@@ -51,12 +63,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "objalloc/core/dom_algorithm.h"
 #include "objalloc/core/fault_injector.h"
 #include "objalloc/model/cost_evaluator.h"
 #include "objalloc/util/flat_directory.h"
+#include "objalloc/util/record_io.h"
 #include "objalloc/util/status.h"
 
 namespace objalloc::core {
@@ -81,15 +95,22 @@ class ObjectShard {
   static constexpr uint32_t kInvalidSlot =
       util::FlatDirectory<uint32_t>::kNotFound;
 
-  ObjectShard(int num_processors, const model::CostModel& cost_model);
+  // With `external_directory` the shard keeps no id → slot map of its own:
+  // the owner (ObjectService) resolves ids through its global route table
+  // and addresses the shard by slot only. The id-keyed calls (SlotOf,
+  // HasObject, Serve(id), StatsFor(id)) must not be used in that mode.
+  ObjectShard(int num_processors, const model::CostModel& cost_model,
+              bool external_directory = false);
 
   // Movable so ObjectService can hold shards by value.
   ObjectShard(ObjectShard&&) = default;
   ObjectShard& operator=(ObjectShard&&) = default;
 
-  // Registers an object. Fails on duplicate ids, empty or out-of-range
-  // schemes, and algorithm/threshold mismatches (DA needs t >= 2).
-  util::Status AddObject(ObjectId id, const ObjectConfig& config);
+  // Registers an object and returns its dense slot. Fails on duplicate ids
+  // (internal-directory mode only — an external directory owns that check),
+  // empty or out-of-range schemes, and algorithm/threshold mismatches (DA
+  // needs t >= 2).
+  util::StatusOr<uint32_t> AddObject(ObjectId id, const ObjectConfig& config);
 
   // The validation half of AddObject, minus the duplicate-id check (that
   // needs a directory). Static so the service layer can pre-validate a
@@ -98,38 +119,47 @@ class ObjectShard {
   static util::Status ValidateConfig(const ObjectConfig& config,
                                      int num_processors);
 
-  // Sizes every internal table (id → slot directory and the dense state
-  // vector) ahead of a bulk registration, so registering N objects does
-  // O(1) amortized rehashes and zero vector regrowth.
-  void Reserve(size_t expected_objects) {
-    directory_.Reserve(expected_objects);
-    slots_.reserve(expected_objects);
-  }
+  // Sizes every internal table ahead of a bulk registration: the id → slot
+  // directory rehashes once and the slab pages for `expected_objects` slots
+  // are allocated up front, so the registration burst itself allocates
+  // nothing.
+  void Reserve(size_t expected_objects);
 
   bool HasObject(ObjectId id) const { return directory_.Contains(id); }
-  size_t object_count() const { return slots_.size(); }
+  size_t object_count() const { return slot_count_ - free_slots_.size(); }
   int num_processors() const { return num_processors_; }
+
+  // Heap bytes held by the shard: slab pages, directories, degraded
+  // registry, and fallback side table. The per-object cost of the engine is
+  // MemoryUsageBytes() / object_count() — bench/footprint_scaling budgets
+  // it.
+  size_t MemoryUsageBytes() const;
 
   // Dense slot of `id`, or kInvalidSlot. One flat-directory probe —
   // resolve once, then serve through the slot without hashing.
   uint32_t SlotOf(ObjectId id) const { return directory_.Find(id); }
 
-  // Id stored at `slot`; requires slot < object_count(). Handle validation
+  // Id stored at `slot`; requires slot < slot_span(). Handle validation
   // cross-checks this against the handle's claimed id.
-  ObjectId IdAt(uint32_t slot) const { return slots_[slot].id; }
+  ObjectId IdAt(uint32_t slot) const { return Slot(slot).id; }
 
   // Availability threshold / algorithm of the object at `slot` (degraded
   // admission checks |live| >= t per event without re-hashing the id).
-  int32_t ThresholdAt(uint32_t slot) const { return slots_[slot].t; }
-  AlgorithmKind KindAt(uint32_t slot) const { return slots_[slot].kind; }
+  int32_t ThresholdAt(uint32_t slot) const { return Slot(slot).t(); }
+  AlgorithmKind KindAt(uint32_t slot) const { return Slot(slot).kind(); }
+
+  // One past the highest slot ever allocated (free-list holes included);
+  // the iteration bound for slot-addressed walks like the snapshot writer.
+  uint32_t slot_span() const { return slot_count_; }
 
   // True when any registered object runs through the virtual fallback
   // (kAdaptive): those algorithms have no defined failure semantics, so the
   // fault layer refuses to engage while one exists.
-  bool HasFallbackObjects() const { return fallback_objects_ > 0; }
+  bool HasFallbackObjects() const { return !fallbacks_.empty(); }
 
   // Serves one request against one object, returning the request's cost.
   // Requests against the same object must arrive in stream order.
+  // Internal-directory mode only.
   util::StatusOr<double> Serve(ObjectId id, const Request& request);
 
   // Validation-free hot path: the caller has already resolved the slot
@@ -186,14 +216,19 @@ class ObjectShard {
   // records: crashes recorded before registration (its scheme was validated
   // against the then-live set) never apply to it.
   void SetCrashLogStart(uint32_t slot, size_t pos) {
-    slots_[slot].crash_log_pos = pos;
+    Slot(slot).set_crash_log_pos(pos);
   }
 
   // Objects currently registered as degraded (|scheme| < t or broken DA
   // core set after crashes) and not yet repaired.
   size_t degraded_count() const { return degraded_.size(); }
 
+  // Internal-directory mode only; the service resolves via its route table
+  // and calls StatsAt.
   util::StatusOr<ObjectStats> StatsFor(ObjectId id) const;
+
+  // Per-object accounting of the (valid, occupied) slot.
+  ObjectStats StatsAt(uint32_t slot) const;
 
   // Incrementally maintained aggregates; O(1).
   const model::CostBreakdown& TotalBreakdown() const {
@@ -207,76 +242,154 @@ class ObjectShard {
   std::vector<ObjectId> SortedObjectIds() const;
 
   // --- Durability (core/checkpoint.h) ---------------------------------
+  //
+  // The snapshot byte format is unchanged from durability format v1: a u64
+  // slot count, one 75-byte record per slot in slot order, lifetime
+  // aggregates, then the degraded registry. What changed in v2 is the
+  // *framing*: the writer streams the same bytes as header / bounded slot
+  // ranges / footer so a checkpoint never materializes the whole shard in
+  // memory, and the reader accepts arbitrary re-chunkings of the stream —
+  // a v1 full-blob payload is simply one big chunk.
 
-  // Serializes the shard's full state — slot table in slot order (identity,
-  // scheme, DA split, crash-log cursor, per-object accounting), lifetime
-  // aggregates, and the degraded registry — as one checkpoint record
-  // payload.
+  // Serializes the shard's full state as one contiguous payload (the v1
+  // shape); equivalent to Header + Slots(0, slot_span()) + Footer.
   void AppendSnapshot(std::string* out) const;
 
+  // Streaming writer: the slot count, then any partition of
+  // [0, slot_span()) into ranges, then the aggregates + degraded registry.
+  void AppendSnapshotHeader(std::string* out) const;
+  void AppendSnapshotSlots(uint32_t begin, uint32_t end,
+                           std::string* out) const;
+  void AppendSnapshotFooter(std::string* out) const;
+
   // Restores a snapshot into a freshly constructed, still-empty shard built
-  // with the writer's processor count and cost model. Rebuilds the id→slot
-  // directory and re-derives the per-slot cost constants from (kind, t) via
-  // the same helper AddObject uses, so a restored slot is bit-identical to
-  // one that lived through the original run. Every field is range-checked;
-  // a payload that deserializes but violates an invariant (unknown kind,
-  // out-of-range scheme, duplicate id) is rejected as Internal — the
-  // caller falls back to an older checkpoint generation.
+  // with the writer's processor count and cost model, one chunk at a time
+  // and in order; `last` marks the final chunk. Chunk boundaries are
+  // arbitrary (a partial slot record is carried to the next call), so the
+  // reader accepts both the v2 streamed ranges and a v1 full blob. Restored
+  // slots re-derive their cost constants from (kind, t) via the same table
+  // AddObject reads, so a restored slot is bit-identical to one that lived
+  // through the original run. Every field is range-checked; a payload that
+  // deserializes but violates an invariant (unknown kind, out-of-range
+  // scheme, duplicate id) is rejected as Internal — the caller falls back
+  // to an older checkpoint generation. In external-directory mode the id →
+  // slot directory is not rebuilt (the owner rebuilds its route table and
+  // owns the duplicate check).
+  util::Status RestoreSnapshotChunk(std::string_view chunk, bool last);
+
+  // One-shot restore of a full payload: RestoreSnapshotChunk(payload, true).
   util::Status RestoreSnapshot(std::string_view payload);
 
  private:
-  // One dense slot: the tagged-union algorithm state plus the per-object
-  // cost constants the inline dispatch reads instead of multiplying out
-  // CostModel terms per event. The scalar constants are folded in the
-  // *same association order* as CostBreakdown::Cost — (ctrl*cc + data*cd)
-  // + io*cio — so precomputation cannot perturb a single bit.
-  struct SlotState {
-    // Hot: dispatch tag and decision state.
-    AlgorithmKind kind = AlgorithmKind::kStatic;
-    int32_t t = 0;           // availability threshold (initial scheme size)
-    ProcessorSet scheme;     // current allocation scheme
-    ProcessorSet f;          // DA: core set F
-    int32_t p = -1;          // DA: floating processor
-    uint32_t next_f = 0;     // DA: round-robin F index for saving-reads
-    // Hot: precomputed scalar costs.
-    double cost_read_local = 0;   // read by a scheme member: one input
-    double cost_read_remote = 0;  // SA remote plain read / DA saving-read
+  // One dense slot of the serving engine: the full inline SA/DA machine in
+  // exactly 64 bytes (one cache line). The dispatch tag, availability
+  // threshold, DA floating processor / round-robin index, and crash-log
+  // cursor are bit-packed into one meta word:
+  //
+  //   bits  0..3   algorithm kind            (AlgorithmKind, 3 values)
+  //   bits  4..10  t                         (1..64)
+  //   bits 11..17  p + 1                     (0 encodes "no floating proc")
+  //   bits 18..24  next_f                    (round-robin F index, < t-1)
+  //   bits 32..63  crash_log_pos             (applied crash-log prefix)
+  //
+  // Cost scalars live in the shard-level (kind, t) table, and the virtual
+  // fallback for non-inlined kinds on a slot-keyed side table, so neither
+  // widens the record.
+  struct SlotRecord {
+    ObjectId id = -1;          // -1 marks a free-listed slot
+    uint64_t scheme_mask = 0;  // current allocation scheme
+    uint64_t f_mask = 0;       // DA: core set F
+    uint64_t meta = 0;
+    int64_t requests = 0;
+    model::CostBreakdown breakdown;
+
+    AlgorithmKind kind() const {
+      return static_cast<AlgorithmKind>(meta & 0xF);
+    }
+    int32_t t() const { return static_cast<int32_t>((meta >> 4) & 0x7F); }
+    int32_t p() const {
+      return static_cast<int32_t>((meta >> 11) & 0x7F) - 1;
+    }
+    uint32_t next_f() const {
+      return static_cast<uint32_t>((meta >> 18) & 0x7F);
+    }
+    size_t crash_log_pos() const { return static_cast<size_t>(meta >> 32); }
+
+    void set_p(int32_t p) {
+      meta = (meta & ~(uint64_t{0x7F} << 11)) |
+             (static_cast<uint64_t>(p + 1) << 11);
+    }
+    void set_next_f(uint32_t next_f) {
+      meta = (meta & ~(uint64_t{0x7F} << 18)) |
+             (static_cast<uint64_t>(next_f) << 18);
+    }
+    void set_crash_log_pos(size_t pos) {
+      meta = (meta & 0xFFFFFFFFULL) | (static_cast<uint64_t>(pos) << 32);
+    }
+    static uint64_t PackMeta(AlgorithmKind kind, int32_t t, int32_t p,
+                             uint32_t next_f, size_t crash_log_pos) {
+      return (static_cast<uint64_t>(kind) & 0xF) |
+             ((static_cast<uint64_t>(t) & 0x7F) << 4) |
+             ((static_cast<uint64_t>(p + 1) & 0x7F) << 11) |
+             ((static_cast<uint64_t>(next_f) & 0x7F) << 18) |
+             (static_cast<uint64_t>(crash_log_pos) << 32);
+    }
+  };
+  static_assert(sizeof(SlotRecord) == 64,
+                "SlotRecord is budgeted at one cache line per object");
+
+  // Per-(kind, t) cost scalars, shared by every object of that shape.
+  struct CostEntry {
+    double read_local = 0;   // read by a scheme member: one input
+    double read_remote = 0;  // SA remote plain read / DA saving-read
     // SA: full cost of a write by a member / non-member of Q.
     // DA: the (t-1)*cd data term / t*cio io term of a write (the varying
     //     control term is added per event in canonical order).
-    double cost_write_a = 0;
-    double cost_write_b = 0;
-    // Warm: identity, accounting, and the virtual fallback.
-    ObjectId id = -1;
-    // Crash-log records below this position are already applied to the
-    // scheme; monotone per slot (per-object event indices only grow).
-    size_t crash_log_pos = 0;
-    int64_t requests = 0;
-    model::CostBreakdown breakdown;
-    std::unique_ptr<DomAlgorithm> fallback;  // non-inlined kinds only
+    double write_a = 0;
+    double write_b = 0;
   };
+
+  // Slab geometry: 2048 slots × 64 B = 128 KiB pages.
+  static constexpr uint32_t kPageShift = 11;
+  static constexpr uint32_t kPageSlots = 1u << kPageShift;
+  static constexpr uint32_t kPageMask = kPageSlots - 1;
+
+  SlotRecord& Slot(uint32_t slot) {
+    return pages_[slot >> kPageShift][slot & kPageMask];
+  }
+  const SlotRecord& Slot(uint32_t slot) const {
+    return pages_[slot >> kPageShift][slot & kPageMask];
+  }
+
+  const CostEntry& CostsFor(AlgorithmKind kind, int32_t t) const {
+    return cost_table_[static_cast<size_t>(kind) * (util::kMaxProcessors + 1) +
+                       static_cast<size_t>(t)];
+  }
+
+  // Pops a free-listed slot or appends one, growing the slab by whole
+  // pages; never moves existing records.
+  uint32_t AllocateSlot();
+
+  // The virtual-fallback algorithm of a non-inlined slot.
+  DomAlgorithm* FallbackAt(uint32_t slot) const {
+    return fallbacks_[fallback_index_.Find(slot)].get();
+  }
 
   // Registers `slot` as degraded (idempotent).
   void MarkDegraded(uint32_t slot);
 
-  // Fills the precomputed per-slot cost constants from (kind, t) and the
-  // shard's cost model — shared by AddObject and RestoreSnapshot so both
-  // paths fold the scalars in the identical association order (a restored
-  // slot must not differ from the original by even one rounding).
-  void InitSlotCosts(SlotState* state) const;
-
-  // Erases from `state`'s scheme every crash-log member recorded at a
+  // Erases from the record's scheme every crash-log member recorded at a
   // fault-time index <= `up_to_index` that the slot has not yet applied,
   // and advances the slot's log position past them.
-  void SyncSlotWithCrashes(SlotState* state, const CrashLog& crash_log,
+  void SyncSlotWithCrashes(SlotRecord* record, const CrashLog& crash_log,
                            size_t up_to_index);
 
-  // Re-replicates `state`'s scheme up to t from the lowest-id live
+  // Re-replicates the record's scheme up to t from the lowest-id live
   // processors, each copy charged as a saving-read ({1 control, 1 data,
   // 2 io}) with loss retries; re-derives DA's (F, p) split from the t
   // lowest members of the repaired scheme; clears the degraded mark and
   // records a repair-latency sample (virtual units) in `*stats`.
-  void RepairScheme(SlotState* state, uint32_t slot, ProcessorSet live,
+  void RepairScheme(SlotRecord* record, uint32_t slot, ProcessorSet live,
                     size_t event_index, const FaultInjector& injector,
                     uint64_t* ordinal, model::CostBreakdown* breakdown,
                     FaultStats* stats);
@@ -289,19 +402,48 @@ class ObjectShard {
                       model::CostBreakdown* breakdown,
                       FaultStats* stats) const;
 
+  // Incremental-restore cursor for RestoreSnapshotChunk.
+  struct RestoreProgress {
+    bool header_done = false;
+    bool done = false;
+    uint64_t expected = 0;
+    uint64_t restored = 0;
+    std::string carry;  // partial record spanning a chunk boundary
+  };
+
+  // Parses and installs one 75-byte snapshot slot record.
+  util::Status RestoreSlotRecord(util::PayloadReader* reader);
+  // Parses the aggregates + degraded registry that close a snapshot.
+  util::Status RestoreSnapshotFooter(util::PayloadReader* reader);
+
   int num_processors_;
   model::CostModel cost_model_;
-  std::vector<SlotState> slots_;
-  util::FlatDirectory<uint32_t> directory_;  // id → slot
+  bool owns_directory_;
+
+  // Slab storage: stable fixed-size pages of SlotRecords plus a free list.
+  std::vector<std::unique_ptr<SlotRecord[]>> pages_;
+  uint32_t slot_count_ = 0;  // slots ever allocated (span of the slab)
+  std::vector<uint32_t> free_slots_;
+
+  // (kind, t) → precomputed cost scalars; filled at construction.
+  std::vector<CostEntry> cost_table_;
+
+  util::FlatDirectory<uint32_t> directory_;  // id → slot (internal mode)
+
+  // Non-inlined kinds (kAdaptive): slot → index into the fallback vector.
+  util::FlatDirectory<uint32_t> fallback_index_;
+  std::vector<std::unique_ptr<DomAlgorithm>> fallbacks_;
+
   model::CostBreakdown total_breakdown_;
   int64_t total_requests_ = 0;
-  size_t fallback_objects_ = 0;  // objects on the virtual fallback path
   // Degraded-object registry: slot → 1 while |scheme| < t (or DA's core
   // set is broken) after a crash. The directory dedupes (erased on repair —
   // the FlatDirectory tombstone path); the list gives deterministic
   // iteration order and is compacted by RepairAllDegraded.
   util::FlatDirectory<uint32_t> degraded_;
   std::vector<uint32_t> degraded_list_;
+
+  RestoreProgress restore_;
 };
 
 }  // namespace objalloc::core

@@ -45,9 +45,9 @@ util::Status DurableConfig::CheckMatches(const DurableConfig& other) const {
 }
 
 void EncodeWalHeader(uint64_t sequence, const DurableConfig& config,
-                     std::string* out) {
+                     std::string* out, uint32_t version) {
   AppendScalar(kWalMagic, out);
-  AppendScalar(kDurabilityFormatVersion, out);
+  AppendScalar(version, out);
   AppendScalar(sequence, out);
   config.AppendTo(out);
 }
@@ -60,7 +60,8 @@ util::StatusOr<WalHeader> DecodeWalHeader(std::string_view payload) {
     return util::Status::Internal("not a WAL file (bad magic)");
   }
   OBJALLOC_RETURN_IF_ERROR(reader.Read(&version));
-  if (version != kDurabilityFormatVersion) {
+  if (version < kMinDurabilityFormatVersion ||
+      version > kDurabilityFormatVersion) {
     return util::Status::Internal("unsupported WAL format version " +
                                   std::to_string(version));
   }

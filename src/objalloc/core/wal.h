@@ -60,7 +60,13 @@ enum class WalRecordType : uint8_t {
 };
 
 inline constexpr uint32_t kWalMagic = 0x4c57414f;  // "OAWL"
-inline constexpr uint32_t kDurabilityFormatVersion = 1;
+// v1: monolithic checkpoint shard records (one full-state kShard payload
+//     per shard).
+// v2: checkpoint shard state streams through bounded kShardChunk records.
+// WAL and manifest layouts are unchanged across the bump; writers stamp
+// the current version, readers accept the full range.
+inline constexpr uint32_t kMinDurabilityFormatVersion = 1;
+inline constexpr uint32_t kDurabilityFormatVersion = 2;
 
 // The immutable service configuration a log (or checkpoint) was written
 // under. Recovery refuses to replay against a mismatched world: shard
@@ -80,8 +86,11 @@ struct DurableConfig {
 // Each Encode* appends the *payload* for its record type to `*out` (the
 // caller frames it via util::AppendRecord); each Decode* parses one.
 
+// `version` exists for compatibility tests that craft old-format files;
+// production writers always stamp the current version.
 void EncodeWalHeader(uint64_t sequence, const DurableConfig& config,
-                     std::string* out);
+                     std::string* out,
+                     uint32_t version = kDurabilityFormatVersion);
 struct WalHeader {
   uint64_t sequence = 0;
   DurableConfig config;

@@ -71,6 +71,113 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   return data;
 }
 
+StatusOr<FileReader> FileReader::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::Internal(Errno("cannot open", path));
+  }
+  return FileReader(fd, path);
+}
+
+FileReader::FileReader(FileReader&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+FileReader& FileReader::operator=(FileReader&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FileReader::~FileReader() { Close(); }
+
+StatusOr<size_t> FileReader::Read(char* buf, size_t n) {
+  while (true) {
+    const ssize_t got = ::read(fd_, buf, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("read failed for", path_));
+    }
+    return static_cast<size_t>(got);
+  }
+}
+
+Status FileReader::ReadExact(char* buf, size_t n, bool* eof) {
+  if (eof != nullptr) *eof = false;
+  size_t filled = 0;
+  while (filled < n) {
+    auto got = Read(buf + filled, n - filled);
+    if (!got.ok()) return got.status();
+    if (*got == 0) {
+      if (filled == 0 && eof != nullptr) {
+        *eof = true;
+        return Status::Ok();
+      }
+      return Status::Internal("unexpected end of file in " + path_);
+    }
+    filled += *got;
+  }
+  return Status::Ok();
+}
+
+void FileReader::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<AtomicFileWriter> AtomicFileWriter::Open(const std::string& path) {
+  auto file = AppendFile::Open(path + ".tmp", /*truncate_to=*/0);
+  if (!file.ok()) return file.status();
+  AtomicFileWriter writer;
+  writer.file_ = std::move(*file);
+  writer.final_path_ = path;
+  return writer;
+}
+
+AtomicFileWriter& AtomicFileWriter::operator=(
+    AtomicFileWriter&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    file_ = std::move(other.file_);
+    final_path_ = std::move(other.final_path_);
+    committed_ = other.committed_;
+    other.committed_ = true;  // the moved-from shell owns nothing
+  }
+  return *this;
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+Status AtomicFileWriter::Commit() {
+  if (!file_.is_open()) {
+    return Status::Internal("atomic writer: commit without an open file");
+  }
+  OBJALLOC_RETURN_IF_ERROR(file_.Sync());
+  const std::string temp = file_.path();
+  file_.Close();
+  if (::rename(temp.c_str(), final_path_.c_str()) != 0) {
+    return Status::Internal(Errno("rename failed for", final_path_));
+  }
+  committed_ = true;
+  SyncContainingDir(final_path_);
+  return Status::Ok();
+}
+
+void AtomicFileWriter::Abandon() {
+  if (committed_ || !file_.is_open()) return;
+  const std::string temp = file_.path();
+  file_.Close();
+  ::unlink(temp.c_str());
+}
+
 Status WriteFileAtomic(const std::string& path, std::string_view data) {
   const std::string temp = path + ".tmp";
   const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);

@@ -43,6 +43,40 @@ StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
 // Truncates `path` to `size` bytes (used to drop a torn WAL tail).
 Status TruncateFile(const std::string& path, uint64_t size);
 
+// A sequential binary reader for the streaming recovery path: bounded
+// buffer reads without materializing the file. Movable, not copyable.
+class FileReader {
+ public:
+  // Opens `path` for reading. NotFound when it does not exist.
+  static StatusOr<FileReader> Open(const std::string& path);
+
+  FileReader() = default;
+  FileReader(FileReader&& other) noexcept;
+  FileReader& operator=(FileReader&& other) noexcept;
+  FileReader(const FileReader&) = delete;
+  FileReader& operator=(const FileReader&) = delete;
+  ~FileReader();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Reads up to `n` bytes into `buf`; returns the count actually read
+  // (0 only at end of file).
+  StatusOr<size_t> Read(char* buf, size_t n);
+
+  // Reads exactly `n` bytes, or fails. `*eof` (optional) distinguishes a
+  // clean end of file *before any byte* from a short read mid-buffer.
+  Status ReadExact(char* buf, size_t n, bool* eof = nullptr);
+
+  void Close();
+
+ private:
+  FileReader(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
 // An append-only file handle with explicit durability control: Append
 // buffers nothing (one write syscall), Sync fsyncs. Movable, not copyable;
 // the destructor closes without syncing (call Sync first where it matters).
@@ -78,6 +112,32 @@ class AppendFile {
   int fd_ = -1;
   uint64_t offset_ = 0;
   std::string path_;
+};
+
+// The streaming twin of WriteFileAtomic: appends chunks to `path + ".tmp"`,
+// then Commit() fsyncs, renames over `path`, and fsyncs the containing
+// directory. Peak memory is one chunk regardless of total size. Destroying
+// an uncommitted writer removes the temp file, so a failed producer never
+// leaves a half-written final file *or* temp debris behind.
+class AtomicFileWriter {
+ public:
+  static StatusOr<AtomicFileWriter> Open(const std::string& path);
+
+  AtomicFileWriter() = default;
+  AtomicFileWriter(AtomicFileWriter&&) = default;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  ~AtomicFileWriter();
+
+  Status Append(std::string_view data) { return file_.Append(data); }
+  // fsync + rename + directory fsync; the writer is closed afterwards.
+  Status Commit();
+  // Drops the temp file without publishing (idempotent).
+  void Abandon();
+
+ private:
+  AppendFile file_;
+  std::string final_path_;
+  bool committed_ = false;
 };
 
 }  // namespace objalloc::util

@@ -1,0 +1,120 @@
+// Million-object Zipf workloads in O(1) generator state.
+//
+// MultiObjectGenerator (multi_object.h) materializes a personality table —
+// a read fraction and a hot processor set per object — which is fine for
+// hundreds of objects and hopeless for ten million: the table alone would
+// dwarf the storage engine it is meant to exercise, and building it walks
+// every object before the first event. ZipfObjectGenerator produces the
+// same *shape* of workload (Zipf-skewed popularity, per-object read/write
+// mixes, per-object locality sets) with state that is independent of the
+// object count:
+//
+//   * popularity is sampled by the Gray et al. analytic Zipf inversion
+//     (the YCSB "zipfian" generator) — constant work per sample after a
+//     one-time scalar pass that accumulates the harmonic normalizer, no
+//     CDF table;
+//   * each object's personality is a pure function of (seed, object id),
+//     re-derived on demand from a SplitMix64 chain — two objects never
+//     share a personality stream, and object k's personality is the same
+//     whether the generator has produced ten events or ten billion.
+//
+// The stream for a given (options, seed) is fixed: independent of batch
+// sizes, thread counts, and how many events were drawn before — which is
+// what lets footprint benches assert bit-identical serve fingerprints
+// across shard x thread grids.
+
+#ifndef OBJALLOC_WORKLOAD_ZIPF_OBJECTS_H_
+#define OBJALLOC_WORKLOAD_ZIPF_OBJECTS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "objalloc/util/processor_set.h"
+#include "objalloc/util/rng.h"
+#include "objalloc/util/status.h"
+#include "objalloc/workload/event_source.h"
+#include "objalloc/workload/multi_object.h"
+
+namespace objalloc::workload {
+
+struct ZipfObjectOptions {
+  int num_processors = 16;
+  int64_t num_objects = 1 << 20;
+  size_t length = 1000000;  // events the EventSource adapter yields
+  double skew = 0.9;        // Zipf theta over objects; 0 = uniform
+  // Each object draws its read fraction from this range (uniformly, from
+  // its own personality stream).
+  double min_read_fraction = 0.5;
+  double max_read_fraction = 0.95;
+  // Per-object hot set: `locality_set` distinct processors issue
+  // `locality_bias` of the object's requests.
+  int locality_set = 3;
+  double locality_bias = 0.8;
+
+  util::Status Validate() const;
+};
+
+class ZipfObjectGenerator {
+ public:
+  // What SplitMix64(seed ^ object) expands into for one object. Derived on
+  // demand; never stored per object.
+  struct Personality {
+    double read_fraction = 0;
+    int home_size = 0;
+    util::ProcessorId home[util::kMaxProcessors];
+
+    // The hot set as a ProcessorSet — convenient as a registration-time
+    // initial scheme for benches that want allocation to start at the
+    // object's locality.
+    util::ProcessorSet HomeSet() const;
+  };
+
+  // Options must validate; checked fatally (generation is internal code,
+  // configs are validated at the API boundary).
+  ZipfObjectGenerator(const ZipfObjectOptions& options, uint64_t seed);
+
+  MultiObjectEvent Next();
+
+  // Object `object`'s fixed personality — a pure function of the
+  // construction seed and the id, so callers can consult it before any
+  // event is drawn (e.g. to pick registration-time schemes).
+  Personality PersonalityFor(int64_t object) const;
+
+  const ZipfObjectOptions& options() const { return options_; }
+
+ private:
+  int64_t SampleObject();
+
+  ZipfObjectOptions options_;
+  uint64_t seed_;
+  util::Rng rng_;
+  // Analytic Zipf state (Gray et al.): harmonic normalizer and the derived
+  // constants of the inversion formula. All scalars — no per-object table.
+  double zetan_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+  double half_pow_theta_ = 0;
+};
+
+// Streams `options.length` generated events; the EventSource the service
+// layer's ServeStream consumes.
+class ZipfEventSource : public EventSource {
+ public:
+  ZipfEventSource(const ZipfObjectOptions& options, uint64_t seed)
+      : generator_(options, seed), remaining_(options.length) {}
+
+  int num_processors() const override {
+    return generator_.options().num_processors;
+  }
+  util::StatusOr<size_t> FillBatch(std::span<MultiObjectEvent> out) override;
+
+  const ZipfObjectGenerator& generator() const { return generator_; }
+
+ private:
+  ZipfObjectGenerator generator_;
+  size_t remaining_;
+};
+
+}  // namespace objalloc::workload
+
+#endif  // OBJALLOC_WORKLOAD_ZIPF_OBJECTS_H_

@@ -15,9 +15,12 @@
 
 #include <gtest/gtest.h>
 
+#include "objalloc/core/checkpoint.h"
 #include "objalloc/core/object_service.h"
+#include "objalloc/core/wal.h"
 #include "objalloc/util/io.h"
 #include "objalloc/util/parallel.h"
+#include "objalloc/util/record_io.h"
 #include "objalloc/workload/multi_object.h"
 
 namespace objalloc::core {
@@ -206,6 +209,131 @@ TEST(DurabilityTest, BitIdenticalAcrossShardAndThreadCounts) {
       EXPECT_EQ(Capture(*recovered), expected);
     }
   }
+}
+
+// --- Old-format compatibility -------------------------------------------
+
+// Rewrites a (v2, chunked) checkpoint file in the v1 monolithic framing:
+// the same header/state/footer payloads, each shard's chunks concatenated
+// back into one kShard record, version stamp 1. The shard payload bytes
+// are untouched — this is exactly the file a format-v1 writer produced.
+void DownConvertCheckpointToV1(const std::string& path) {
+  auto reader = CheckpointReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  std::string v1;
+  BeginCheckpoint(reader->sequence(), reader->config(), &v1, /*version=*/1);
+  std::vector<std::string> shard_payloads(reader->config().num_shards);
+  ServiceStateImage state;
+  bool saw_state = false;
+  for (;;) {
+    CheckpointReader::Piece piece;
+    auto status = reader->Next(&piece);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    if (piece.done) break;
+    if (piece.service_state) {
+      state = piece.state;
+      saw_state = true;
+      continue;
+    }
+    shard_payloads[piece.shard].append(piece.bytes);
+  }
+  ASSERT_TRUE(saw_state);
+  AppendServiceStateRecord(state, &v1);
+  for (const std::string& payload : shard_payloads) {
+    AppendShardRecord(payload, &v1);
+  }
+  FinishCheckpoint(static_cast<uint32_t>(shard_payloads.size()), &v1);
+  ASSERT_TRUE(util::WriteFileAtomic(path, v1).ok());
+}
+
+// Re-stamps a WAL's header record with format version 1 (the record layout
+// never changed across the version bump; only the stamp moves).
+void DownConvertWalToV1(const std::string& path) {
+  auto buffer = util::ReadFileToString(path);
+  ASSERT_TRUE(buffer.ok()) << buffer.status().ToString();
+  util::RecordCursor cursor(*buffer);
+  util::RecordView record;
+  ASSERT_TRUE(cursor.Next(&record));
+  ASSERT_EQ(record.type, static_cast<uint8_t>(WalRecordType::kWalHeader));
+  auto header = DecodeWalHeader(record.payload);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  std::string payload;
+  EncodeWalHeader(header->sequence, header->config, &payload, /*version=*/1);
+  std::string v1;
+  util::AppendRecord(static_cast<uint8_t>(WalRecordType::kWalHeader), payload,
+                     &v1);
+  // Everything after the header record rides along byte for byte.
+  v1.append(buffer->substr(util::kRecordHeaderSize + record.payload.size()));
+  ASSERT_TRUE(util::WriteFileAtomic(path, v1).ok());
+}
+
+// A durable directory written entirely in the old format — monolithic
+// snapshot blobs, v1 version stamps — must restore bit-identically through
+// the streaming reader, fall back across v1 generations, and keep
+// appending (the recovered service continues the history in the current
+// format).
+TEST(DurabilityTest, OldFormatV1GenerationsRestoreBitForBit) {
+  const std::string dir = FreshDir("durability_v1_compat");
+  const MultiObjectTrace trace = TestTrace(4000);
+  const CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  ServiceOptions options;
+  options.num_shards = 4;
+
+  StateImage expected;
+  {
+    ObjectService service(trace.num_processors, sc, options);
+    ASSERT_TRUE(service.EnableDurability(dir).ok());
+    RegisterObjects(service, trace.num_objects, TestConfig());
+    std::span<const MultiObjectEvent> events(trace.events);
+    ASSERT_TRUE(service.ServeBatch(events.first(2500)).ok());
+    ASSERT_TRUE(service.Checkpoint().ok());
+    ASSERT_TRUE(service.ServeBatch(events.subspan(2500)).ok());
+    expected = Capture(service);
+  }
+
+  // Rewrite every durable file the old writer would have produced: both
+  // retained snapshot generations and both WALs.
+  DownConvertCheckpointToV1(dir + "/" + CheckpointFileName(1));
+  DownConvertCheckpointToV1(dir + "/" + CheckpointFileName(2));
+  DownConvertWalToV1(dir + "/" + WalFileName(1));
+  DownConvertWalToV1(dir + "/" + WalFileName(2));
+
+  RecoveryReport report;
+  auto recovered = ObjectService::Recover(dir, {}, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Capture(*recovered), expected);
+  EXPECT_EQ(report.checkpoint_sequence, 2u);
+  EXPECT_FALSE(report.fell_back);
+
+  // Corrupt the newest v1 snapshot: recovery falls back to the older v1
+  // generation and replays both v1 WALs to the same state.
+  {
+    std::fstream file(dir + "/" + CheckpointFileName(2),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(200);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);  // guaranteed to differ
+    file.seekp(200);
+    file.write(&byte, 1);
+  }
+  auto fallback = ObjectService::Recover(dir, {}, &report);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_EQ(Capture(*fallback), expected);
+  EXPECT_EQ(report.checkpoint_sequence, 1u);
+  EXPECT_TRUE(report.fell_back);
+
+  // The recovered service keeps the history appendable in the new format.
+  ASSERT_TRUE(fallback
+                  ->ServeBatch(std::span<const MultiObjectEvent>(trace.events)
+                                   .first(300))
+                  .ok());
+  const StateImage continued = Capture(*fallback);
+  { ObjectService drop = std::move(*fallback); }
+  auto again = ObjectService::Recover(dir);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(Capture(*again), continued);
 }
 
 // --- Torn-write sweep ---------------------------------------------------

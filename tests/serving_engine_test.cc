@@ -358,6 +358,29 @@ TEST(ServingEngineTest, SteadyStateExecutorBatchesDoNotAllocate) {
       << "steady-state executor batches must not touch the heap";
 }
 
+// ReserveObjects pre-sizes every table a registration touches — the route
+// directory, each shard's slot pages, the free lists — so a registration
+// burst inside the reserved envelope never touches the heap. This is the
+// contract that makes pre-sized million-object loads O(1) allocations.
+TEST(ServingEngineTest, PostReserveRegistrationDoesNotAllocate) {
+  const CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  ScopedThreads scope(1);  // serial path: no executor to spin up
+
+  ObjectService service(8, sc, ServiceOptions{.num_shards = 4});
+  const int kObjects = 4096;
+  service.ReserveObjects(static_cast<size_t>(kObjects));
+  const ObjectConfig config = TestConfig();
+
+  const int64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+  for (int id = 0; id < kObjects; ++id) {
+    ASSERT_TRUE(service.AddObject(id, config).ok());
+  }
+  const int64_t after = g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "a post-reserve registration burst must not touch the heap";
+  EXPECT_EQ(service.object_count(), static_cast<size_t>(kObjects));
+}
+
 // ReserveObjects is a pure capacity hint: identical results with and
 // without it.
 TEST(ServingEngineTest, ReserveObjectsDoesNotChangeResults) {

@@ -272,6 +272,56 @@ TEST(FlatDirectoryTest, InsertEraseChurnMatchesReferenceMap) {
   EXPECT_EQ(directory.size(), live);
 }
 
+TEST(FlatDirectoryTest, MillionEntryGrowthErasureAndProbeLengths) {
+  // The storage engine's registration pattern at full scale: a million
+  // sequential ids through incremental growth. Every mapping must survive,
+  // memory must stay near the 12-bytes-per-bucket ideal (a migration in
+  // flight briefly holds both tables), and probe chains must stay short —
+  // long chains would silently turn every million-object serve into a
+  // cache-miss crawl.
+  FlatDirectory<uint32_t> directory;
+  constexpr int64_t kEntries = 1000000;
+  for (int64_t key = 0; key < kEntries; ++key) {
+    directory.Insert(key, static_cast<uint32_t>(key));
+  }
+  ASSERT_EQ(directory.size(), static_cast<size_t>(kEntries));
+  // 12 bytes/bucket; the worst landing spot is a freshly doubled table
+  // (~4M buckets for 1M keys) plus a migration's tail of the old one.
+  EXPECT_LE(directory.MemoryUsageBytes(),
+            static_cast<size_t>(kEntries) * 80);
+
+  size_t total_probe = 0;
+  constexpr int64_t kSample = 10000;
+  for (int64_t key = 0; key < kSample; ++key) {
+    ASSERT_EQ(directory.Find(key * (kEntries / kSample)),
+              static_cast<uint32_t>(key * (kEntries / kSample)));
+    total_probe += directory.ProbeLength(key * (kEntries / kSample));
+  }
+  EXPECT_LT(static_cast<double>(total_probe) / kSample, 4.0)
+      << "mean probe length degraded at the million-entry load";
+
+  // Erase every even key; odd keys and their probe chains must survive,
+  // and the erased half must stay gone through the tombstone traffic.
+  for (int64_t key = 0; key < kEntries; key += 2) {
+    ASSERT_TRUE(directory.Erase(key));
+  }
+  ASSERT_EQ(directory.size(), static_cast<size_t>(kEntries) / 2);
+  for (int64_t key = 1; key < kEntries; key += 1000) {
+    ASSERT_EQ(directory.Find(key), static_cast<uint32_t>(key));
+  }
+  for (int64_t key = 0; key < kEntries; key += 1000) {
+    ASSERT_EQ(directory.Find(key), FlatDirectory<uint32_t>::kNotFound);
+  }
+  // Erased ids can re-register (the engine reuses freed slots).
+  for (int64_t key = 0; key < kEntries; key += 2) {
+    directory.Insert(key, static_cast<uint32_t>(key + 1));
+  }
+  ASSERT_EQ(directory.size(), static_cast<size_t>(kEntries));
+  for (int64_t key = 0; key < kEntries; key += 1000) {
+    ASSERT_EQ(directory.Find(key), static_cast<uint32_t>(key + 1));
+  }
+}
+
 TEST(ZipfTest, ThetaZeroIsUniform) {
   Rng rng(29);
   ZipfSampler zipf(4, 0.0);
