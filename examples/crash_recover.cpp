@@ -2,9 +2,13 @@
 // built to be killed.
 //
 //   crash_recover --dir=/tmp/state --events=100000 [--kill_at=37000]
-//                 [--interval=20000] [--fsck]
+//                 [--interval=20000] [--delta] [--fsck]
 //                 [--expect_control=N --expect_data=N --expect_io=N
 //                  --expect_crc=N]
+//
+// --delta turns on delta checkpointing (chains of dirty-page snapshots
+// between full ones, DESIGN.md §13); recovery then restores the newest
+// full snapshot plus its delta chain before replaying the WAL tail.
 //
 // On a fresh directory it registers 512 objects, arms durability, and
 // serves a deterministic trace; on a directory holding durable state it
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
   size_t interval = 20000;
   size_t batch = 256;
   bool fsck = false;
+  bool delta = false;
   long long expect_control = -1, expect_data = -1, expect_io = -1,
             expect_crc = -1;
   for (int i = 1; i < argc; ++i) {
@@ -70,6 +75,8 @@ int main(int argc, char** argv) {
       dir = arg.substr(6);
     } else if (arg == "--fsck") {
       fsck = true;
+    } else if (arg == "--delta") {
+      delta = true;
     } else if (int_flag("--events=", &events) ||
                int_flag("--kill_at=", &kill_at) ||
                int_flag("--interval=", &interval) ||
@@ -105,6 +112,7 @@ int main(int argc, char** argv) {
 
   core::DurabilityOptions durability;
   durability.checkpoint_interval_events = interval;
+  if (delta) durability.delta_chain_limit = 4;
 
   core::RecoveryReport report;
   auto recovered = core::ObjectService::Recover(dir, durability, &report);

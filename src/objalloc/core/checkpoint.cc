@@ -20,6 +20,10 @@ std::string CheckpointFileName(uint64_t sequence) {
   return "checkpoint-" + std::to_string(sequence) + ".ckpt";
 }
 
+std::string DeltaCheckpointFileName(uint64_t sequence) {
+  return "checkpoint-" + std::to_string(sequence) + ".delta";
+}
+
 util::Status DurabilityOptions::Validate() const {
   if (keep_generations < 2) {
     return util::Status::InvalidArgument(
@@ -35,6 +39,10 @@ std::string RecoveryReport::ToString() const {
   if (manifest_missing) out += ", manifest missing";
   if (manifest_corrupt) out += ", manifest corrupt";
   if (fell_back) out += ", fell back to previous snapshot";
+  if (delta_checkpoints_applied > 0) {
+    out += ", " + std::to_string(delta_checkpoints_applied) +
+           " delta snapshot(s) applied";
+  }
   out += ": " + std::to_string(objects_restored) + " objects, " +
          std::to_string(wal_files_replayed) + " WAL file(s), " +
          std::to_string(records_replayed) + " records, " +
@@ -163,6 +171,10 @@ util::Status WriteManifest(const std::string& dir, const Manifest& manifest) {
   AppendScalar(kDurabilityFormatVersion, &payload);
   AppendScalar(manifest.sequence, &payload);
   manifest.config.AppendTo(&payload);
+  // Trailing so pre-delta manifests (which end at the config) still parse.
+  AppendScalar(
+      manifest.base_sequence == 0 ? manifest.sequence : manifest.base_sequence,
+      &payload);
   std::string framed;
   AppendRecord(static_cast<uint8_t>(CheckpointRecordType::kManifest), payload,
                &framed);
@@ -201,6 +213,15 @@ util::StatusOr<Manifest> ReadManifest(const std::string& dir) {
   if (manifest.sequence == 0) {
     return util::Status::Internal("manifest: zero sequence");
   }
+  if (reader.exhausted()) {
+    manifest.base_sequence = manifest.sequence;  // pre-delta manifest
+  } else {
+    OBJALLOC_RETURN_IF_ERROR(reader.Read(&manifest.base_sequence));
+    if (manifest.base_sequence == 0 ||
+        manifest.base_sequence > manifest.sequence) {
+      return util::Status::Internal("manifest: bad base sequence");
+    }
+  }
   return manifest;
 }
 
@@ -212,6 +233,19 @@ void BeginCheckpoint(uint64_t sequence, const DurableConfig& config,
   AppendScalar(sequence, &payload);
   config.AppendTo(&payload);
   AppendRecord(static_cast<uint8_t>(CheckpointRecordType::kCkptHeader),
+               payload, out);
+}
+
+void BeginDeltaCheckpoint(uint64_t sequence, uint64_t parent,
+                          const DurableConfig& config, std::string* out,
+                          uint32_t version) {
+  std::string payload;
+  AppendScalar(kCheckpointMagic, &payload);
+  AppendScalar(version, &payload);
+  AppendScalar(sequence, &payload);
+  AppendScalar(parent, &payload);
+  config.AppendTo(&payload);
+  AppendRecord(static_cast<uint8_t>(CheckpointRecordType::kDeltaHeader),
                payload, out);
 }
 
@@ -254,6 +288,19 @@ util::StatusOr<CheckpointWriter> CheckpointWriter::Open(
   writer.file_ = std::move(*file);
   writer.record_.clear();
   BeginCheckpoint(sequence, config, &writer.record_);
+  OBJALLOC_RETURN_IF_ERROR(writer.file_.Append(writer.record_));
+  return writer;
+}
+
+util::StatusOr<CheckpointWriter> CheckpointWriter::OpenDelta(
+    const std::string& path, uint64_t sequence, uint64_t parent,
+    const DurableConfig& config) {
+  auto file = util::AtomicFileWriter::Open(path);
+  if (!file.ok()) return file.status();
+  CheckpointWriter writer;
+  writer.file_ = std::move(*file);
+  writer.record_.clear();
+  BeginDeltaCheckpoint(sequence, parent, config, &writer.record_);
   OBJALLOC_RETURN_IF_ERROR(writer.file_.Append(writer.record_));
   return writer;
 }
@@ -321,9 +368,13 @@ util::StatusOr<CheckpointReader> CheckpointReader::Open(
   uint8_t type = 0;
   bool eof = false;
   OBJALLOC_RETURN_IF_ERROR(reader.ReadRecord(&type, &eof));
-  if (eof || type != static_cast<uint8_t>(CheckpointRecordType::kCkptHeader)) {
+  if (eof ||
+      (type != static_cast<uint8_t>(CheckpointRecordType::kCkptHeader) &&
+       type != static_cast<uint8_t>(CheckpointRecordType::kDeltaHeader))) {
     return util::Status::Internal("checkpoint: missing header record");
   }
+  reader.is_delta_ =
+      type == static_cast<uint8_t>(CheckpointRecordType::kDeltaHeader);
   PayloadReader payload(reader.payload_);
   uint32_t magic = 0;
   OBJALLOC_RETURN_IF_ERROR(payload.Read(&magic));
@@ -337,6 +388,13 @@ util::StatusOr<CheckpointReader> CheckpointReader::Open(
                                   std::to_string(reader.version_));
   }
   OBJALLOC_RETURN_IF_ERROR(payload.Read(&reader.sequence_));
+  if (reader.is_delta_) {
+    OBJALLOC_RETURN_IF_ERROR(payload.Read(&reader.parent_));
+    if (reader.parent_ == 0 || reader.parent_ >= reader.sequence_) {
+      return util::Status::Internal(
+          "checkpoint: delta names an impossible parent generation");
+    }
+  }
   auto config = DurableConfig::Parse(&payload);
   if (!config.ok()) return config.status();
   reader.config_ = *config;
@@ -460,22 +518,23 @@ util::Status CheckpointReader::Next(Piece* piece) {
                                 std::to_string(int{type}));
 }
 
-util::StatusOr<std::vector<uint64_t>> ListCheckpointSequences(
-    const std::string& dir) {
+namespace {
+
+util::StatusOr<std::vector<uint64_t>> ListSequencesWithSuffix(
+    const std::string& dir, std::string_view suffix) {
   auto names = util::ListDir(dir);
   if (!names.ok()) return names.status();
   constexpr std::string_view kPrefix = "checkpoint-";
-  constexpr std::string_view kSuffix = ".ckpt";
   std::vector<uint64_t> sequences;
   for (const std::string& name : *names) {
-    if (name.size() <= kPrefix.size() + kSuffix.size()) continue;
+    if (name.size() <= kPrefix.size() + suffix.size()) continue;
     if (name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
-    if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
-        0) {
+    if (name.compare(name.size() - suffix.size(), suffix.size(),
+                     suffix.data(), suffix.size()) != 0) {
       continue;
     }
     const std::string digits = name.substr(
-        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+        kPrefix.size(), name.size() - kPrefix.size() - suffix.size());
     if (digits.empty() ||
         digits.find_first_not_of("0123456789") != std::string::npos) {
       continue;
@@ -487,6 +546,18 @@ util::StatusOr<std::vector<uint64_t>> ListCheckpointSequences(
   }
   std::sort(sequences.begin(), sequences.end());
   return sequences;
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<uint64_t>> ListCheckpointSequences(
+    const std::string& dir) {
+  return ListSequencesWithSuffix(dir, ".ckpt");
+}
+
+util::StatusOr<std::vector<uint64_t>> ListDeltaCheckpointSequences(
+    const std::string& dir) {
+  return ListSequencesWithSuffix(dir, ".delta");
 }
 
 }  // namespace objalloc::core

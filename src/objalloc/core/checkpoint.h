@@ -9,10 +9,15 @@
 //                         state (live set, crash journal, injector cursor,
 //                         fault stats) — written via temp file + fsync +
 //                         atomic rename
+//   checkpoint-<g>.delta  delta snapshot (DESIGN.md §13): only the slab
+//                         pages dirtied since generation g-1, chained onto
+//                         the newest full snapshot at or below g; restoring
+//                         g means full base + deltas base+1..g in order
 //   wal-<g>.log           the admission-stream WAL appended since that
 //                         snapshot (core/wal.h)
 //   MANIFEST              atomically-replaced pointer {format version,
-//                         current generation, service config}
+//                         current generation, full base generation,
+//                         service config}
 //
 // state(checkpoint g+1) == state(checkpoint g) + replay(wal-<g>), so the
 // newest generation recovers from its snapshot plus its WAL tail, and a
@@ -36,6 +41,7 @@
 #include <vector>
 
 #include "objalloc/core/wal.h"
+#include "objalloc/util/io.h"
 
 namespace objalloc::core {
 
@@ -47,6 +53,7 @@ enum class CheckpointRecordType : uint8_t {
   kShard = 18,       // format v1: one monolithic payload per shard
   kCkptFooter = 19,
   kShardChunk = 20,  // format v2: bounded slice of one shard's payload
+  kDeltaHeader = 21, // delta snapshot header: names its parent generation
   kManifest = 32,
 };
 
@@ -55,6 +62,7 @@ inline constexpr uint32_t kManifestMagic = 0x464d414f;    // "OAMF"
 inline constexpr char kManifestFileName[] = "MANIFEST";
 
 std::string CheckpointFileName(uint64_t sequence);
+std::string DeltaCheckpointFileName(uint64_t sequence);
 
 // Durability knobs (validated by ObjectService::EnableDurability).
 struct DurabilityOptions {
@@ -67,6 +75,25 @@ struct DurabilityOptions {
   size_t checkpoint_interval_events = 0;
   // Generations kept on disk; >= 2 so recovery can fall back one snapshot.
   int keep_generations = 2;
+  // Group-commit window: longest the async log thread holds a group of
+  // WAL records open waiting for more appends before syncing it anyway
+  // (0 = sync each group as soon as the log thread picks it up).
+  uint32_t group_commit_delay_us = 500;
+  // Group-commit size threshold: a group is sealed and synced as soon as
+  // it buffers this many bytes, regardless of the delay window.
+  size_t group_commit_bytes = 1 << 20;
+  // How sealed WAL bytes are made durable (util/io.h documents the
+  // tradeoff; SyncMode::kNone is benchmark-only).
+  util::SyncMode sync_mode = util::SyncMode::kFsync;
+  // Delta checkpoints: when > 0, up to this many consecutive checkpoints
+  // are written as deltas (dirty slab pages only) chained onto the newest
+  // full snapshot before a full one is forced (0 = every checkpoint full).
+  size_t delta_chain_limit = 0;
+  // Recovery coalesces consecutive replayed WAL batches into super-batches
+  // of up to this many events and pipelines them through the shard
+  // executor (0 = replay batch-by-batch; the recovered state is
+  // bit-identical either way).
+  size_t replay_batch_events = 32768;
 
   util::Status Validate() const;
 };
@@ -78,6 +105,7 @@ struct RecoveryReport {
   bool manifest_missing = false;
   bool manifest_corrupt = false;
   bool fell_back = false;            // newest snapshot unusable, used older
+  size_t delta_checkpoints_applied = 0;  // chain links on top of the base
   size_t wal_files_replayed = 0;
   size_t records_replayed = 0;       // WAL records applied
   size_t batches_replayed = 0;
@@ -110,6 +138,12 @@ struct ServiceStateImage {
 
 struct Manifest {
   uint64_t sequence = 0;
+  // Newest *full* snapshot at or below `sequence`: recovery restores it,
+  // then applies the delta chain base+1..sequence. Equals `sequence` when
+  // the current generation's snapshot is itself full (WriteManifest treats
+  // a zero base as "same as sequence"; pre-delta manifests omit the field
+  // and parse the same way).
+  uint64_t base_sequence = 0;
   DurableConfig config;
 };
 
@@ -127,6 +161,12 @@ util::StatusOr<Manifest> ReadManifest(const std::string& dir);
 void BeginCheckpoint(uint64_t sequence, const DurableConfig& config,
                      std::string* out,
                      uint32_t version = kDurabilityFormatVersion);
+// Header of a delta snapshot: same shape plus the parent generation the
+// delta applies on top of (sequence - 1; the chain bottoms out at the full
+// snapshot the manifest names as base_sequence).
+void BeginDeltaCheckpoint(uint64_t sequence, uint64_t parent,
+                          const DurableConfig& config, std::string* out,
+                          uint32_t version = kDurabilityFormatVersion);
 void AppendServiceStateRecord(const ServiceStateImage& image,
                               std::string* out);
 void AppendShardRecord(std::string_view shard_payload, std::string* out);
@@ -150,6 +190,13 @@ class CheckpointWriter {
   static util::StatusOr<CheckpointWriter> Open(const std::string& path,
                                                uint64_t sequence,
                                                const DurableConfig& config);
+  // Same stream shape, but the header is a kDeltaHeader naming `parent`,
+  // and shard bytes carry the dirty-range delta payload
+  // (ObjectShard::AppendDeltaHeader/AppendDeltaRange) instead of a full
+  // snapshot.
+  static util::StatusOr<CheckpointWriter> OpenDelta(
+      const std::string& path, uint64_t sequence, uint64_t parent,
+      const DurableConfig& config);
 
   CheckpointWriter() = default;
   CheckpointWriter(CheckpointWriter&&) = default;
@@ -194,6 +241,10 @@ class CheckpointReader {
   uint64_t sequence() const { return sequence_; }
   uint32_t version() const { return version_; }
   const DurableConfig& config() const { return config_; }
+  // True when the file opened with a kDeltaHeader; its shard chunks then
+  // carry dirty-range delta payloads to apply on top of parent().
+  bool is_delta() const { return is_delta_; }
+  uint64_t parent() const { return parent_; }
 
   // One step of the stream. Exactly one of the three shapes per call:
   // service state (`service_state` true), a shard chunk (`bytes` points
@@ -218,7 +269,9 @@ class CheckpointReader {
   util::FileReader file_;
   std::string payload_;
   uint64_t sequence_ = 0;
+  uint64_t parent_ = 0;
   uint32_t version_ = 0;
+  bool is_delta_ = false;
   DurableConfig config_;
   bool saw_state_ = false;
   bool shard_open_ = false;
@@ -226,8 +279,15 @@ class CheckpointReader {
 };
 
 // Durable generation files present in `dir` (by checkpoint file name),
-// ascending. Used when the manifest itself is unreadable.
+// ascending. Used when the manifest itself is unreadable. Lists *full*
+// snapshots only — a delta is unusable without its base, and every delta
+// generation's state is equally reachable from the newest full snapshot
+// plus the per-generation WALs.
 util::StatusOr<std::vector<uint64_t>> ListCheckpointSequences(
+    const std::string& dir);
+
+// Delta snapshot generations present in `dir`, ascending (GC bookkeeping).
+util::StatusOr<std::vector<uint64_t>> ListDeltaCheckpointSequences(
     const std::string& dir);
 
 }  // namespace objalloc::core

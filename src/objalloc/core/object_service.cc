@@ -825,12 +825,24 @@ std::vector<ObjectId> ObjectService::SortedObjectIds() const {
 
 // --- Durability ---------------------------------------------------------
 
+namespace {
+
+AsyncWalOptions AsyncWalOptionsFrom(const DurabilityOptions& options) {
+  AsyncWalOptions out;
+  out.group_commit_delay_us = options.group_commit_delay_us;
+  out.group_commit_bytes = options.group_commit_bytes;
+  out.sync_mode = options.sync_mode;
+  return out;
+}
+
+}  // namespace
+
 template <typename EventT>
 util::Status ObjectService::LogBatch(std::span<const EventT> events) {
   Durability& d = *durability_;
-  util::Status status;
+  uint64_t lsn = 0;
   if constexpr (std::is_same_v<EventT, workload::MultiObjectEvent>) {
-    status = d.wal.AppendBatch(events);
+    lsn = d.wal->AppendBatch(events);
   } else {
     // Handle-addressed events log id-addressed: the two entry points are
     // bit-identical, so replay through the id path reproduces the state.
@@ -840,12 +852,22 @@ util::Status ObjectService::LogBatch(std::span<const EventT> events) {
       d.batch_scratch.push_back(
           workload::MultiObjectEvent{event.handle.id, event.request});
     }
-    status = d.wal.AppendBatch(d.batch_scratch);
+    lsn = d.wal->AppendBatch(d.batch_scratch);
   }
-  if (status.ok() && d.options.sync_every_batch) status = d.wal.Sync();
+  // The append itself is in-memory and cannot fail; I/O errors are sticky
+  // inside the writer. sync_every_batch waits the record out (memory and
+  // disk never diverge); the default mode only probes for a sticky error so
+  // a dead disk is noticed within one batch rather than at the next sync.
+  util::Status status = util::Status::Ok();
+  if (d.options.sync_every_batch) {
+    status = d.wal->WaitDurable(lsn);
+  } else if (!d.wal->is_open()) [[unlikely]] {
+    status = d.wal->Detach();
+    if (status.ok()) status = util::Status::Internal("WAL writer closed");
+  }
   if (!status.ok()) {
-    // A failed (possibly partial) append must not be followed by more
-    // appends — that would turn a truncatable torn tail into mid-file
+    // After a failed (possibly partial) group write nothing further may be
+    // appended — that would turn a truncatable torn tail into mid-file
     // garbage. Detach; the on-disk state stays a consistent prefix.
     durability_.reset();
     return status;
@@ -857,8 +879,14 @@ util::Status ObjectService::LogBatch(std::span<const EventT> events) {
 util::Status ObjectService::LogOp(WalRecordType type,
                                   std::string_view payload) {
   Durability& d = *durability_;
-  util::Status status = d.wal.Append(type, payload);
-  if (status.ok() && d.options.sync_every_batch) status = d.wal.Sync();
+  const uint64_t lsn = d.wal->Append(type, payload);
+  util::Status status = util::Status::Ok();
+  if (d.options.sync_every_batch) {
+    status = d.wal->WaitDurable(lsn);
+  } else if (!d.wal->is_open()) [[unlikely]] {
+    status = d.wal->Detach();
+    if (status.ok()) status = util::Status::Internal("WAL writer closed");
+  }
   if (!status.ok()) durability_.reset();
   return status;
 }
@@ -955,6 +983,49 @@ util::Status ObjectService::WriteCheckpointFile(const std::string& path,
   return writer->Finish(static_cast<uint32_t>(shards_.size()));
 }
 
+util::Status ObjectService::WriteDeltaCheckpointFile(const std::string& path,
+                                                     uint64_t sequence) const {
+  auto writer = CheckpointWriter::OpenDelta(path, sequence, sequence - 1,
+                                            durability_->config);
+  if (!writer.ok()) return writer.status();
+  OBJALLOC_RETURN_IF_ERROR(writer->AppendServiceState(CaptureServiceState()));
+  // Dirty ranges are split into bounded pieces so the scratch buffer (not
+  // the dirty span) caps peak memory, exactly like the full-snapshot path.
+  constexpr uint32_t kSlotsPerAppend = 2048;
+  std::string scratch;
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  std::vector<std::pair<uint32_t, uint32_t>> pieces;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ObjectShard& shard = shards_[s];
+    writer->BeginShard(static_cast<uint32_t>(s));
+    shard.CollectDirtyRanges(&ranges);
+    pieces.clear();
+    for (const auto& [begin, end] : ranges) {
+      // 64-bit cursor: begin + kSlotsPerAppend could wrap at the top of
+      // the 32-bit slot space.
+      for (uint64_t piece = begin; piece < end; piece += kSlotsPerAppend) {
+        pieces.emplace_back(
+            static_cast<uint32_t>(piece),
+            static_cast<uint32_t>(
+                std::min<uint64_t>(end, piece + kSlotsPerAppend)));
+      }
+    }
+    scratch.clear();
+    shard.AppendDeltaHeader(static_cast<uint32_t>(pieces.size()), &scratch);
+    OBJALLOC_RETURN_IF_ERROR(writer->AppendShardBytes(scratch));
+    for (const auto& [begin, end] : pieces) {
+      scratch.clear();
+      shard.AppendDeltaRange(begin, end, &scratch);
+      OBJALLOC_RETURN_IF_ERROR(writer->AppendShardBytes(scratch));
+    }
+    scratch.clear();
+    shard.AppendSnapshotFooter(&scratch);
+    OBJALLOC_RETURN_IF_ERROR(writer->AppendShardBytes(scratch));
+    OBJALLOC_RETURN_IF_ERROR(writer->EndShard());
+  }
+  return writer->Finish(static_cast<uint32_t>(shards_.size()));
+}
+
 util::Status ObjectService::EnableDurability(const std::string& dir,
                                              const DurabilityOptions& options) {
   if (durability_ != nullptr) {
@@ -988,6 +1059,7 @@ util::Status ObjectService::EnableDurability(const std::string& dir,
       DurableConfig{num_processors_, static_cast<int32_t>(shards_.size()),
                     cost_model_};
   d->sequence = 1;
+  d->base_sequence = 1;
   durability_ = std::move(d);
   // Generation 1: a snapshot of the current state (empty service or one
   // mid-life — both are just states) + a fresh WAL + the manifest.
@@ -997,22 +1069,39 @@ util::Status ObjectService::EnableDurability(const std::string& dir,
     auto wal = WalWriter::Create(durability_->dir + "/" + WalFileName(1), 1,
                                  durability_->config);
     if (wal.ok()) {
-      durability_->wal = std::move(*wal);
-      status =
-          WriteManifest(durability_->dir, Manifest{1, durability_->config});
+      durability_->wal = std::make_unique<AsyncWalWriter>();
+      status = durability_->wal->Attach(std::move(*wal),
+                                        AsyncWalOptionsFrom(options));
+      if (status.ok()) {
+        status =
+            WriteManifest(durability_->dir, Manifest{1, 1, durability_->config});
+      }
     } else {
       status = wal.status();
     }
   }
-  if (!status.ok()) durability_.reset();
-  return status;
+  if (!status.ok()) {
+    durability_.reset();
+    return status;
+  }
+  // Delta checkpoints need to know which slab pages each checkpoint window
+  // dirties; the generation-1 snapshot is full, so the slate starts clean.
+  for (ObjectShard& shard : shards_) {
+    if (options.delta_chain_limit > 0) {
+      shard.EnableDirtyTracking();
+      shard.ClearDirty();
+    } else {
+      shard.DisableDirtyTracking();
+    }
+  }
+  return util::Status::Ok();
 }
 
 util::Status ObjectService::DisableDurability() {
   if (durability_ == nullptr) {
     return util::Status::FailedPrecondition("durability not enabled");
   }
-  util::Status status = durability_->wal.Sync();
+  util::Status status = durability_->wal->Detach();
   durability_.reset();
   return status;
 }
@@ -1021,9 +1110,14 @@ util::Status ObjectService::SyncDurable() {
   if (durability_ == nullptr) {
     return util::Status::FailedPrecondition("durability not enabled");
   }
-  util::Status status = durability_->wal.Sync();
+  util::Status status = durability_->wal->Flush();
   if (!status.ok()) durability_.reset();
   return status;
+}
+
+WalCommitStats ObjectService::DurableCommitStats() const {
+  if (durability_ == nullptr) return WalCommitStats();
+  return durability_->wal->Stats();
 }
 
 util::Status ObjectService::Checkpoint() {
@@ -1039,26 +1133,35 @@ util::Status ObjectService::Checkpoint() {
   // (1) Everything the snapshot will contain must be durable under the old
   //     generation first: state(ckpt g+1) == state(ckpt g) + replay(wal-g)
   //     only holds if wal-g is complete on disk.
-  util::Status status = d.wal.Sync();
+  util::Status status = d.wal->Flush();
   if (!status.ok()) {
     durability_.reset();
     return status;
   }
   const uint64_t next = d.sequence + 1;
-  const std::string ckpt_path = d.dir + "/" + CheckpointFileName(next);
+  // Delta while the chain has room, full once it hits the limit (the
+  // periodic compaction that keeps recovery cost bounded).
+  const bool delta = d.options.delta_chain_limit > 0 &&
+                     d.delta_chain_length < d.options.delta_chain_limit;
+  const std::string ckpt_path =
+      d.dir + "/" +
+      (delta ? DeltaCheckpointFileName(next) : CheckpointFileName(next));
   const std::string wal_path = d.dir + "/" + WalFileName(next);
   // (2) The snapshot, streamed to a temp file and atomically published
   //     under its final name.
-  status = WriteCheckpointFile(ckpt_path, next);
+  status = delta ? WriteDeltaCheckpointFile(ckpt_path, next)
+                 : WriteCheckpointFile(ckpt_path, next);
   // (3) The next generation's WAL with a synced header — it must exist
   //     before the manifest can name it.
   util::StatusOr<WalWriter> wal = status.ok()
                                       ? WalWriter::Create(wal_path, next,
                                                           d.config)
                                       : util::StatusOr<WalWriter>(status);
-  // (4) Commit point: the manifest flips to the new generation.
+  // (4) Commit point: the manifest flips to the new generation (and names
+  //     the full snapshot its delta chain stands on).
   if (wal.ok()) {
-    status = WriteManifest(d.dir, Manifest{next, d.config});
+    status = WriteManifest(
+        d.dir, Manifest{next, delta ? d.base_sequence : next, d.config});
   } else {
     status = wal.status();
   }
@@ -1070,23 +1173,51 @@ util::Status ObjectService::Checkpoint() {
     (void)util::RemoveFile(wal_path);
     return status;
   }
-  d.wal = std::move(*wal);
+  status = d.wal->Rotate(std::move(*wal));
+  if (!status.ok()) {
+    durability_.reset();
+    return status;
+  }
   d.sequence = next;
   d.events_since_checkpoint = 0;
+  if (delta) {
+    d.delta_chain_length += 1;
+  } else {
+    d.base_sequence = next;
+    d.delta_chain_length = 0;
+  }
+  // The published snapshot covers every page dirtied so far; the next
+  // delta window starts clean. (Only after the manifest commit — a failed
+  // checkpoint must leave the pages marked for the retry.)
+  if (d.options.delta_chain_limit > 0) {
+    for (ObjectShard& shard : shards_) shard.ClearDirty();
+  }
   // (5) GC, best effort: drop generations beyond keep_generations (walking
   //     down until the names stop existing catches backlogs left by
-  //     earlier failed GCs).
+  //     earlier failed GCs). WALs fall at keep_generations exactly;
+  //     snapshot files survive further down to the full snapshot the
+  //     oldest kept generation's delta chain stands on.
   if (next > static_cast<uint64_t>(d.options.keep_generations)) {
-    uint64_t gen = next - static_cast<uint64_t>(d.options.keep_generations);
-    while (gen >= 1) {
-      const bool had_files =
-          util::FileExists(d.dir + "/" + CheckpointFileName(gen)) ||
-          util::FileExists(d.dir + "/" + WalFileName(gen));
-      if (!had_files) break;
-      (void)util::RemoveFile(d.dir + "/" + CheckpointFileName(gen));
-      (void)util::RemoveFile(d.dir + "/" + WalFileName(gen));
-      if (gen == 1) break;
-      --gen;
+    const uint64_t wal_floor =
+        next - static_cast<uint64_t>(d.options.keep_generations);
+    uint64_t ckpt_floor = wal_floor + 1;
+    while (ckpt_floor > 1 &&
+           !util::FileExists(d.dir + "/" + CheckpointFileName(ckpt_floor))) {
+      --ckpt_floor;
+    }
+    for (uint64_t gen = wal_floor;; --gen) {
+      const std::string wal_name = d.dir + "/" + WalFileName(gen);
+      const std::string full_name = d.dir + "/" + CheckpointFileName(gen);
+      const std::string delta_name = d.dir + "/" + DeltaCheckpointFileName(gen);
+      bool had_files = util::FileExists(wal_name) ||
+                       util::FileExists(full_name) ||
+                       util::FileExists(delta_name);
+      (void)util::RemoveFile(wal_name);
+      if (gen < ckpt_floor) {
+        (void)util::RemoveFile(full_name);
+        (void)util::RemoveFile(delta_name);
+      }
+      if (!had_files || gen == 1) break;
     }
   }
   return util::Status::Ok();
@@ -1096,6 +1227,10 @@ util::Status ObjectService::RestoreFromCheckpointStream(
     CheckpointReader* reader, RecoveryReport* report) {
   OBJALLOC_CHECK_EQ(static_cast<size_t>(reader->config().num_shards),
                     shards_.size());
+  if (reader->is_delta()) {
+    return util::Status::Internal(
+        "checkpoint: delta snapshot where a full snapshot was expected");
+  }
   ServiceStateImage state;
   bool saw_state = false;
   CheckpointReader::Piece piece;
@@ -1148,10 +1283,85 @@ util::Status ObjectService::RestoreFromCheckpointStream(
   return RestoreServiceState(state);
 }
 
+util::Status ObjectService::ApplyDeltaCheckpointStream(
+    CheckpointReader* reader, RecoveryReport* report) {
+  OBJALLOC_CHECK_EQ(static_cast<size_t>(reader->config().num_shards),
+                    shards_.size());
+  if (!reader->is_delta()) {
+    return util::Status::Internal(
+        "checkpoint: full snapshot where a delta was expected");
+  }
+  // Slots never move and ids never change once assigned, so applying a
+  // delta only ever *extends* each shard's slot span; the route mirror
+  // built by the base restore stays valid and just needs the new slots
+  // folded in afterwards.
+  std::vector<uint32_t> prior_span(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    prior_span[s] = shards_[s].slot_span();
+  }
+  ServiceStateImage state;
+  bool saw_state = false;
+  std::vector<uint8_t> begun(shards_.size(), 0);
+  CheckpointReader::Piece piece;
+  for (;;) {
+    OBJALLOC_RETURN_IF_ERROR(reader->Next(&piece));
+    if (piece.done) break;
+    if (piece.service_state) {
+      state = std::move(piece.state);
+      saw_state = true;
+      continue;
+    }
+    if (piece.shard >= shards_.size()) {
+      return util::Status::Internal("delta checkpoint: shard index " +
+                                    std::to_string(piece.shard) +
+                                    " out of range");
+    }
+    if (!begun[piece.shard]) {
+      shards_[piece.shard].BeginDeltaRestore();
+      begun[piece.shard] = 1;
+    }
+    OBJALLOC_RETURN_IF_ERROR(
+        shards_[piece.shard].RestoreDeltaChunk(piece.bytes, piece.last));
+  }
+  if (!saw_state) {
+    return util::Status::Internal(
+        "delta checkpoint: missing service state record");
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (uint32_t slot = prior_span[s]; slot < shards_[s].slot_span();
+         ++slot) {
+      if (slot > route_slot_mask_ ||
+          PackRoute(s, slot) >= 0xFFFFFFFEu) [[unlikely]] {
+        return util::Status::Internal(
+            "delta checkpoint: shard " + std::to_string(s) +
+            " exceeds the routable slot space");
+      }
+      const ObjectId id = shards_[s].IdAt(slot);
+      if (ShardOf(id) != s) {
+        return util::Status::Internal("delta checkpoint: object " +
+                                      std::to_string(id) +
+                                      " stored in the wrong shard");
+      }
+      if (route_directory_.Contains(id)) {
+        return util::Status::Internal("delta checkpoint: object " +
+                                      std::to_string(id) +
+                                      " appears twice");
+      }
+      route_directory_.Insert(id, PackRoute(s, slot));
+    }
+  }
+  report->objects_restored = object_count();
+  // The delta's service-state image wins outright: fault state, crash
+  // journal, and injector cursor are small and snapshotted whole in every
+  // generation, full or delta.
+  return RestoreServiceState(state);
+}
+
 util::Status ObjectService::ReplayWalBuffer(std::string_view buffer,
                                             uint64_t sequence,
                                             const DurableConfig& config,
                                             bool is_last,
+                                            size_t replay_batch_events,
                                             RecoveryReport* report,
                                             size_t* valid_prefix) {
   const std::string name = WalFileName(sequence);
@@ -1162,13 +1372,21 @@ util::Status ObjectService::ReplayWalBuffer(std::string_view buffer,
   // Logged batches replay through the pipelined engine, double-buffered:
   // batch n+1 is decoded and admitted while batch n is still on the shard
   // workers, so recovering a large log uses every executor thread. Two
-  // result slots alternate; a slot is waited out before reuse. Non-batch
-  // records (registrations, fault controls) fence the pipeline internally,
+  // result slots alternate; a slot is waited out before reuse. To amortize
+  // per-batch admission over the original run's (often small) batch sizes,
+  // consecutive logged batches are coalesced into super-batches of up to
+  // `replay_batch_events` events before submission — legal because batch
+  // boundaries are invisible to the engine outside fault mode (per-object
+  // order is all that matters, and concatenation preserves it). Coalescing
+  // stops dead while the fault injector is armed: there, a batch is the
+  // admission/rejection unit. Non-batch records (registrations, fault
+  // controls) flush the coalesce buffer and fence the pipeline internally,
   // which keeps replay order exactly the admission order of the original
   // run. The serve outcome is re-derived state — results are write-only.
   BatchResult results[2];
   BatchTicket tickets[2];
   int cur = 0;
+  std::vector<workload::MultiObjectEvent> pending;
   auto wait_slot = [&](BatchTicket* ticket) -> util::Status {
     util::Status status = WaitBatch(ticket);
     // UNAVAILABLE is a *replayed rejection* — the original run logged the
@@ -1179,6 +1397,23 @@ util::Status ObjectService::ReplayWalBuffer(std::string_view buffer,
           name + ": logged batch failed on replay: " + status.ToString());
     }
     return util::Status::Ok();
+  };
+  auto submit = [&](std::span<const workload::MultiObjectEvent> events)
+      -> util::Status {
+    OBJALLOC_RETURN_IF_ERROR(wait_slot(&tickets[cur]));
+    util::Status status = SubmitBatch(events, &results[cur], &tickets[cur]);
+    if (!status.ok() && status.code() != util::StatusCode::kUnavailable) {
+      return util::Status::Internal(
+          name + ": logged batch failed on replay: " + status.ToString());
+    }
+    cur ^= 1;
+    return util::Status::Ok();
+  };
+  auto flush_pending = [&]() -> util::Status {
+    if (pending.empty()) return util::Status::Ok();
+    util::Status status = submit(pending);
+    pending.clear();
+    return status;
   };
   util::Status replay_status = [&]() -> util::Status {
   while (cursor.Next(&record)) {
@@ -1200,6 +1435,13 @@ util::Status ObjectService::ReplayWalBuffer(std::string_view buffer,
       report->records_replayed += 1;
       continue;
     }
+    // Any non-batch record is an ordering point against the events logged
+    // before it: submit the coalesce buffer first so e.g. a replayed
+    // EnableFaults applies after exactly the events it followed on the
+    // original run.
+    if (type != WalRecordType::kBatch) {
+      OBJALLOC_RETURN_IF_ERROR(flush_pending());
+    }
     switch (type) {
       case WalRecordType::kWalHeader:
         return util::Status::Internal(name + ": duplicate header record");
@@ -1216,22 +1458,21 @@ util::Status ObjectService::ReplayWalBuffer(std::string_view buffer,
       }
       case WalRecordType::kBatch: {
         OBJALLOC_RETURN_IF_ERROR(DecodeBatch(record.payload, &batch));
-        // Finalize whatever last used this slot, then hand the batch to
-        // the pipeline. SubmitBatch copies the events, so `batch` is free
-        // to take the next record immediately.
-        OBJALLOC_RETURN_IF_ERROR(wait_slot(&tickets[cur]));
-        util::Status status = SubmitBatch(
-            std::span<const workload::MultiObjectEvent>(batch.data(),
-                                                        batch.size()),
-            &results[cur], &tickets[cur]);
-        if (!status.ok() &&
-            status.code() != util::StatusCode::kUnavailable) {
-          return util::Status::Internal(
-              name + ": logged batch failed on replay: " + status.ToString());
-        }
-        cur ^= 1;
         report->batches_replayed += 1;
         report->events_replayed += batch.size();
+        if (injector_ != nullptr || replay_batch_events == 0) {
+          // Fault mode makes batch boundaries observable (a batch is the
+          // rejection unit), so replay each logged batch exactly as
+          // admitted. SubmitBatch copies the events; `batch` and `pending`
+          // are free to take the next record immediately.
+          OBJALLOC_RETURN_IF_ERROR(flush_pending());
+          OBJALLOC_RETURN_IF_ERROR(submit(batch));
+        } else {
+          pending.insert(pending.end(), batch.begin(), batch.end());
+          if (pending.size() >= replay_batch_events) {
+            OBJALLOC_RETURN_IF_ERROR(flush_pending());
+          }
+        }
         break;
       }
       case WalRecordType::kEnableFaults: {
@@ -1289,6 +1530,7 @@ util::Status ObjectService::ReplayWalBuffer(std::string_view buffer,
     report->torn_tail = true;
     report->torn_bytes_truncated += cursor.tail_bytes();
   }
+  OBJALLOC_RETURN_IF_ERROR(flush_pending());
   *valid_prefix = cursor.valid_prefix();
   return util::Status::Ok();
   }();
@@ -1334,16 +1576,34 @@ util::StatusOr<ObjectService> ObjectService::RecoverInternal(
     rep.warnings.push_back("manifest unreadable (" +
                            manifest.status().ToString() +
                            "); scanning the directory");
-    auto sequences = ListCheckpointSequences(dir);
-    if (!sequences.ok()) return sequences.status();
-    if (sequences->empty()) {
+    // Deltas count as candidates too: each one is an openable snapshot via
+    // its chain, and skipping them down to the newest full would silently
+    // drop the WAL generations in between.
+    auto fulls = ListCheckpointSequences(dir);
+    if (!fulls.ok()) return fulls.status();
+    auto deltas = ListDeltaCheckpointSequences(dir);
+    if (!deltas.ok()) return deltas.status();
+    std::vector<uint64_t> merged = std::move(*fulls);
+    merged.insert(merged.end(), deltas->begin(), deltas->end());
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    if (merged.empty()) {
       return util::Status::NotFound("no durable state in " + dir);
     }
-    for (auto it = sequences->rbegin(); it != sequences->rend(); ++it) {
+    for (auto it = merged.rbegin(); it != merged.rend(); ++it) {
       candidates.push_back(*it);
     }
     top = candidates.front();
   }
+
+  // Newest full snapshot at or below `g` (0 when none): the bottom of the
+  // delta chain that reconstructs generation `g`'s snapshot.
+  auto resolve_base = [&dir](uint64_t g) -> uint64_t {
+    while (g > 0 && !util::FileExists(dir + "/" + CheckpointFileName(g))) {
+      --g;
+    }
+    return g;
+  };
 
   util::Status last_error =
       util::Status::Internal("no usable checkpoint generation in " + dir);
@@ -1355,13 +1615,20 @@ util::StatusOr<ObjectService> ObjectService::RecoverInternal(
     attempt.manifest_corrupt = rep.manifest_corrupt;
     attempt.warnings = rep.warnings;
     auto attempt_service = [&]() -> util::StatusOr<ObjectService> {
-      auto reader = CheckpointReader::Open(dir + "/" + CheckpointFileName(gen));
+      // Reconstruct generation `gen`'s snapshot: the newest full snapshot
+      // at or below it, then the delta chain base+1..gen in order.
+      const uint64_t base = resolve_base(gen);
+      if (base == 0) {
+        return util::Status::Internal(
+            "no full snapshot at or below generation " + std::to_string(gen));
+      }
+      auto reader = CheckpointReader::Open(dir + "/" + CheckpointFileName(base));
       if (!reader.ok()) return reader.status();
-      if (reader->sequence() != gen) {
+      if (reader->sequence() != base) {
         return util::Status::Internal(
             "checkpoint file names generation " +
             std::to_string(reader->sequence()) + ", expected " +
-            std::to_string(gen));
+            std::to_string(base));
       }
       if (have_manifest) {
         OBJALLOC_RETURN_IF_ERROR(
@@ -1375,6 +1642,30 @@ util::StatusOr<ObjectService> ObjectService::RecoverInternal(
       if (!service.ok()) return service.status();
       OBJALLOC_RETURN_IF_ERROR(
           service->RestoreFromCheckpointStream(&*reader, &attempt));
+      for (uint64_t g = base + 1; g <= gen; ++g) {
+        auto delta =
+            CheckpointReader::Open(dir + "/" + DeltaCheckpointFileName(g));
+        if (!delta.ok()) return delta.status();
+        if (!delta->is_delta() || delta->sequence() != g ||
+            delta->parent() != g - 1) {
+          return util::Status::Internal(
+              DeltaCheckpointFileName(g) +
+              " does not chain onto generation " + std::to_string(g - 1));
+        }
+        OBJALLOC_RETURN_IF_ERROR(config.CheckMatches(delta->config()));
+        OBJALLOC_RETURN_IF_ERROR(
+            service->ApplyDeltaCheckpointStream(&*delta, &attempt));
+        attempt.delta_checkpoints_applied += 1;
+      }
+      if (!read_only && options.delta_chain_limit > 0) {
+        // Arm page tracking *before* the WAL replay below: the next delta
+        // must capture every page the replayed tail re-dirties on top of
+        // this snapshot.
+        for (auto& shard : service->shards_) {
+          shard.EnableDirtyTracking();
+          shard.ClearDirty();
+        }
+      }
       // Replay the WAL chain gen..top; only the final generation may carry
       // a torn tail.
       size_t final_prefix = 0;
@@ -1395,8 +1686,8 @@ util::StatusOr<ObjectService> ObjectService::RecoverInternal(
         }
         size_t prefix = 0;
         OBJALLOC_RETURN_IF_ERROR(service->ReplayWalBuffer(
-            *wal_buffer, w, config, /*is_last=*/w == top, &attempt,
-            &prefix));
+            *wal_buffer, w, config, /*is_last=*/w == top,
+            options.replay_batch_events, &attempt, &prefix));
         attempt.wal_files_replayed += 1;
         if (w == top) {
           final_prefix = prefix;
@@ -1411,19 +1702,27 @@ util::StatusOr<ObjectService> ObjectService::RecoverInternal(
         d->options = options;
         d->config = config;
         d->sequence = top;
+        // Force the next checkpoint to be full, whatever the chain policy:
+        // if this attempt fell back past a broken snapshot, chaining a
+        // delta onto the damaged generation would leave it load-bearing.
+        d->base_sequence = base;
+        d->delta_chain_length = options.delta_chain_limit;
         auto wal = final_wal_exists
                        ? WalWriter::Reopen(dir + "/" + WalFileName(top),
                                            final_prefix)
                        : WalWriter::Create(dir + "/" + WalFileName(top), top,
                                            config);
         if (!wal.ok()) return wal.status();
-        d->wal = std::move(*wal);
+        d->wal = std::make_unique<AsyncWalWriter>();
+        OBJALLOC_RETURN_IF_ERROR(
+            d->wal->Attach(std::move(*wal), AsyncWalOptionsFrom(options)));
         d->events_since_checkpoint = attempt.events_replayed;
         service->durability_ = std::move(d);
         if (!have_manifest) {
           // Republish the commit point the next recovery will need.
-          OBJALLOC_RETURN_IF_ERROR(
-              WriteManifest(dir, Manifest{top, config}));
+          const uint64_t top_base = resolve_base(top);
+          OBJALLOC_RETURN_IF_ERROR(WriteManifest(
+              dir, Manifest{top, top_base == 0 ? top : top_base, config}));
         }
       }
       return service;

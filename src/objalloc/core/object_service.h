@@ -68,20 +68,39 @@
 // RepairDegraded. The zero-fault chaos path is bit-identical to the plain
 // engine; the plain path pays one predicted-not-taken branch per batch.
 //
-// Durability (DESIGN.md §10): EnableDurability attaches a write-ahead log
-// and checkpoint directory. Because serving is a pure function of admission
-// order, the WAL records *inputs* — one record per admitted batch,
-// registration, or fault-control call, appended before the operation
+// Durability (DESIGN.md §10, §13): EnableDurability attaches a write-ahead
+// log and checkpoint directory. Because serving is a pure function of
+// admission order, the WAL records *inputs* — one record per admitted
+// batch, registration, or fault-control call, appended before the operation
 // mutates shard state — and recovery (ObjectService::Recover) loads the
 // newest valid snapshot, replays the WAL tail through the very same
 // ServeBatchImpl, truncates a torn final record, and reproduces
 // bit-identical state (scheme CRCs and cost fingerprints — asserted by
-// tests/durability_test.cc). Checkpoint() rotates generations: sync WAL,
-// write snapshot atomically, open the next WAL, publish the manifest, GC
-// old generations. A corrupt snapshot degrades gracefully to the previous
-// generation (two WALs replayed instead of one). With durability off the
-// hot path pays one predicted-not-taken branch per batch — the
-// zero-allocation and golden-fingerprint contracts are unchanged.
+// tests/durability_test.cc).
+//
+// Logging is asynchronous (core/wal_writer.h): the serve path appends the
+// encoded record to an in-memory buffer and keeps computing; a dedicated
+// log thread group-commits sealed buffers — one write + one sync covers
+// every record since the previous sync, bounded by the group_commit_*
+// knobs. With sync_every_batch the service waits for the batch's LSN to be
+// durable before any of its effects externalize (memory and disk never
+// diverge); by default results are released immediately and a crash may
+// lose the un-synced suffix — never consistency, since the on-disk log is
+// always a record-aligned prefix of the admitted history.
+//
+// Checkpoint() rotates generations: flush the WAL, write a snapshot
+// atomically — full, or (delta_chain_limit > 0) a *delta* holding only the
+// slab pages dirtied since the previous checkpoint, chained onto the last
+// full snapshot — open the next WAL, publish the manifest, GC old
+// generations. A corrupt snapshot degrades gracefully to the previous
+// generation (two WALs replayed instead of one); a corrupt manifest falls
+// back to full snapshots only. Replay coalesces consecutive logged batches
+// into super-batches pipelined across the shard executor
+// (replay_batch_events), bit-identical to serial replay because batch
+// boundaries are invisible to the engine outside fault mode. With
+// durability off the hot path pays one predicted-not-taken branch per
+// batch — the zero-allocation and golden-fingerprint contracts are
+// unchanged.
 
 #ifndef OBJALLOC_CORE_OBJECT_SERVICE_H_
 #define OBJALLOC_CORE_OBJECT_SERVICE_H_
@@ -96,6 +115,7 @@
 #include "objalloc/core/object_shard.h"
 #include "objalloc/core/shard_executor.h"
 #include "objalloc/core/wal.h"
+#include "objalloc/core/wal_writer.h"
 #include "objalloc/util/flat_directory.h"
 #include "objalloc/workload/event_source.h"
 #include "objalloc/workload/multi_object.h"
@@ -338,8 +358,13 @@ class ObjectService {
   // durability is off.
   util::Status Checkpoint();
 
-  // fsyncs the WAL (group-commit boundary for sync_every_batch == false).
+  // Waits until every appended WAL record is durable (explicit
+  // group-commit boundary for sync_every_batch == false).
   util::Status SyncDurable();
+
+  // Commit statistics of the attached async WAL writer — group commits,
+  // bytes, commit-latency p50/p99. Zeros while durability is off.
+  WalCommitStats DurableCommitStats() const;
 
   // Reconstructs a service from a durability directory: newest valid
   // snapshot, WAL tail replayed through the serving engine, torn tail
@@ -380,17 +405,24 @@ class ObjectService {
     std::string dir;
     DurabilityOptions options;
     DurableConfig config;
-    uint64_t sequence = 0;  // current generation
-    WalWriter wal;
+    uint64_t sequence = 0;       // current generation
+    uint64_t base_sequence = 0;  // newest full snapshot generation
+    size_t delta_chain_length = 0;  // deltas since that full snapshot
+    // The async group-commit writer (unique_ptr: it owns a thread and is
+    // not movable).
+    std::unique_ptr<AsyncWalWriter> wal;
     size_t events_since_checkpoint = 0;
     // Scratch for logging handle-addressed batches and single requests.
     std::vector<workload::MultiObjectEvent> batch_scratch;
   };
 
-  // Appends one admitted batch to the WAL (id-addressed; handle events are
-  // translated through the scratch buffer), honoring the sync policy. Any
-  // failure detaches durability and is returned to the caller *before* the
-  // batch is served, so memory and disk never diverge.
+  // Appends one admitted batch to the async WAL (id-addressed; handle
+  // events are translated through the scratch buffer). With
+  // sync_every_batch the call waits for the record's LSN to be durable;
+  // either way a detected failure detaches durability and is returned to
+  // the caller *before* the batch is served. In the default mode an I/O
+  // error is asynchronous — it surfaces on the next logging call, sync, or
+  // checkpoint; the on-disk log is always a consistent prefix.
   template <typename EventT>
   util::Status LogBatch(std::span<const EventT> events);
 
@@ -417,6 +449,11 @@ class ObjectService {
   // chunk records, so peak memory is O(chunk) however many objects live.
   util::Status WriteCheckpointFile(const std::string& path,
                                    uint64_t sequence) const;
+  // Streams a delta snapshot: per shard, only the slot ranges whose slab
+  // pages were dirtied since the last checkpoint (plus the footer, which
+  // always travels whole). Requires armed dirty tracking.
+  util::Status WriteDeltaCheckpointFile(const std::string& path,
+                                        uint64_t sequence) const;
   ServiceStateImage CaptureServiceState() const;
   util::Status RestoreServiceState(const ServiceStateImage& image);
 
@@ -426,10 +463,22 @@ class ObjectService {
   util::Status RestoreFromCheckpointStream(CheckpointReader* reader,
                                            RecoveryReport* report);
 
+  // Applies one delta snapshot stream on top of the current state (the
+  // chain walks base+1..g in order), folding new slots into the route
+  // directory and replacing the service state with the delta's image.
+  util::Status ApplyDeltaCheckpointStream(CheckpointReader* reader,
+                                          RecoveryReport* report);
+
   // Replays one WAL generation buffer into this service. `is_last` permits
   // (and accounts) a torn tail; earlier generations must end cleanly.
+  // Consecutive logged batches are coalesced into super-batches of up to
+  // `replay_batch_events` events (0 = one submit per logged batch) and
+  // pipelined through the shard executor; coalescing stops at non-batch
+  // records and whenever the fault injector is armed (batch granularity is
+  // observable there).
   util::Status ReplayWalBuffer(std::string_view buffer, uint64_t sequence,
                                const DurableConfig& config, bool is_last,
+                               size_t replay_batch_events,
                                RecoveryReport* report, size_t* valid_prefix);
 
   // Shared engine behind Recover / VerifyDurableDir.

@@ -97,6 +97,7 @@ size_t ObjectShard::MemoryUsageBytes() const {
   bytes += fallbacks_.capacity() * sizeof(fallbacks_[0]);
   bytes += degraded_.MemoryUsageBytes();
   bytes += degraded_list_.capacity() * sizeof(uint32_t);
+  bytes += dirty_words_.capacity() * sizeof(uint64_t);
   return bytes;
 }
 
@@ -153,6 +154,7 @@ util::StatusOr<uint32_t> ObjectShard::AddObject(ObjectId id,
                                      config.initial_scheme.Size(), p,
                                      /*next_f=*/0, /*crash_log_pos=*/0);
   if (owns_directory_) directory_.Insert(id, slot);
+  MarkDirty(slot);
   return slot;
 }
 
@@ -245,6 +247,7 @@ double ObjectShard::ServeSlot(uint32_t slot, const Request& request,
   record.breakdown += breakdown;
   total_requests_ += 1;
   total_breakdown_ += breakdown;
+  MarkDirty(slot);
   if (delta != nullptr) *delta += breakdown;
   return cost;
 }
@@ -463,6 +466,7 @@ double ObjectShard::ServeSlotFaulty(uint32_t slot, const Request& request,
   record.breakdown += breakdown;
   total_requests_ += 1;
   total_breakdown_ += breakdown;
+  MarkDirty(slot);
   if (delta != nullptr) *delta += breakdown;
   return cost;
 }
@@ -491,6 +495,7 @@ void ObjectShard::FlushCrashLog(const CrashLog& crash_log) {
   }
   for (const uint32_t slot : degraded_list_) degraded_.Erase(slot);
   degraded_list_.clear();
+  MarkAllDirty();  // every slot's crash-log cursor was rewritten
 }
 
 int64_t ObjectShard::RepairAllDegraded(ProcessorSet live, size_t event_index,
@@ -525,6 +530,7 @@ int64_t ObjectShard::RepairAllDegraded(ProcessorSet live, size_t event_index,
                  &breakdown, stats);
     record.breakdown += breakdown;
     total_breakdown_ += breakdown;
+    MarkDirty(slot);
     if (check_invariant) {
       const util::Status avail = model::CheckSchemeAvailable(
           ProcessorSet(record.scheme_mask), live, record.t());
@@ -765,6 +771,275 @@ util::Status ObjectShard::RestoreSnapshot(std::string_view payload) {
         "RestoreSnapshot requires a freshly constructed shard");
   }
   return RestoreSnapshotChunk(payload, /*last=*/true);
+}
+
+// --- Delta checkpoints --------------------------------------------------
+
+void ObjectShard::EnableDirtyTracking() {
+  dirty_tracking_ = true;
+  MarkAllDirty();
+}
+
+void ObjectShard::DisableDirtyTracking() {
+  dirty_tracking_ = false;
+  dirty_words_.clear();
+  dirty_words_.shrink_to_fit();
+}
+
+void ObjectShard::ClearDirty() {
+  std::fill(dirty_words_.begin(), dirty_words_.end(), 0);
+}
+
+void ObjectShard::MarkAllDirty() {
+  if (!dirty_tracking_) return;
+  const uint32_t pages =
+      (slot_count_ + kPageMask) >> kPageShift;
+  const size_t words = (static_cast<size_t>(pages) + 63) / 64;
+  if (words > dirty_words_.size()) dirty_words_.resize(words, 0);
+  for (uint32_t page = 0; page < pages; ++page) {
+    dirty_words_[page >> 6] |= uint64_t{1} << (page & 63);
+  }
+}
+
+void ObjectShard::CollectDirtyRanges(
+    std::vector<std::pair<uint32_t, uint32_t>>* out) const {
+  out->clear();
+  const uint32_t pages = (slot_count_ + kPageMask) >> kPageShift;
+  uint32_t run_begin = 0;
+  bool in_run = false;
+  for (uint32_t page = 0; page < pages; ++page) {
+    const size_t word = page >> 6;
+    const bool dirty =
+        word < dirty_words_.size() &&
+        (dirty_words_[word] & (uint64_t{1} << (page & 63))) != 0;
+    if (dirty && !in_run) {
+      run_begin = page;
+      in_run = true;
+    } else if (!dirty && in_run) {
+      out->emplace_back(run_begin << kPageShift,
+                        static_cast<uint32_t>(std::min<uint64_t>(
+                            slot_count_, uint64_t{page} << kPageShift)));
+      in_run = false;
+    }
+  }
+  if (in_run) {
+    out->emplace_back(run_begin << kPageShift,
+                      static_cast<uint32_t>(std::min<uint64_t>(
+                          slot_count_, uint64_t{pages} << kPageShift)));
+  }
+}
+
+void ObjectShard::AppendDeltaHeader(uint32_t range_count,
+                                    std::string* out) const {
+  util::AppendScalar(static_cast<uint64_t>(slot_count_), out);
+  util::AppendScalar(range_count, out);
+}
+
+void ObjectShard::AppendDeltaRange(uint32_t begin, uint32_t end,
+                                   std::string* out) const {
+  using util::AppendScalar;
+  AppendScalar(begin, out);
+  AppendScalar(end, out);
+  for (uint32_t slot = begin; slot < end; ++slot) {
+    const SlotRecord& record = Slot(slot);
+    if (record.id < 0) {
+      AppendScalar(static_cast<uint8_t>(0), out);
+      continue;
+    }
+    AppendScalar(static_cast<uint8_t>(1), out);
+    AppendScalar(record.id, out);
+    AppendScalar(static_cast<uint8_t>(record.kind()), out);
+    AppendScalar(record.t(), out);
+    AppendScalar(record.scheme_mask, out);
+    AppendScalar(record.f_mask, out);
+    AppendScalar(record.p(), out);
+    AppendScalar(record.next_f(), out);
+    AppendScalar(static_cast<uint64_t>(record.crash_log_pos()), out);
+    AppendScalar(record.requests, out);
+    AppendScalar(record.breakdown.control_messages, out);
+    AppendScalar(record.breakdown.data_messages, out);
+    AppendScalar(record.breakdown.io_ops, out);
+  }
+}
+
+void ObjectShard::BeginDeltaRestore() { delta_restore_ = DeltaProgress{}; }
+
+util::Status ObjectShard::RestoreDeltaSlot(uint32_t slot,
+                                           util::PayloadReader* reader) {
+  uint8_t present = 0;
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&present));
+  SlotRecord& record = Slot(slot);
+  if (present == 0) {
+    // The slot was empty at snapshot time. With no removal API this only
+    // names never-yet-allocated slots, but handle an occupied one anyway:
+    // the delta is authoritative for every slot it covers.
+    if (record.id >= 0) {
+      if (owns_directory_) directory_.Erase(record.id);
+      record = SlotRecord{};
+      free_slots_.push_back(slot);
+    }
+    return util::Status::Ok();
+  }
+  ObjectId id = -1;
+  uint8_t kind_raw = 0;
+  int32_t t = 0, p = -1;
+  uint64_t scheme_mask = 0, f_mask = 0, crash_log_pos = 0;
+  uint32_t next_f = 0;
+  int64_t requests = 0;
+  model::CostBreakdown breakdown;
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&id));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&kind_raw));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&t));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&scheme_mask));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&f_mask));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&p));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&next_f));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&crash_log_pos));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&requests));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&breakdown.control_messages));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&breakdown.data_messages));
+  OBJALLOC_RETURN_IF_ERROR(reader->Read(&breakdown.io_ops));
+  const AlgorithmKind kind = static_cast<AlgorithmKind>(kind_raw);
+  if (kind != AlgorithmKind::kStatic && kind != AlgorithmKind::kDynamic) {
+    return util::Status::Internal("shard delta: non-inlined algorithm kind " +
+                                  std::to_string(kind_raw));
+  }
+  if (t < 1 || t > num_processors_) {
+    return util::Status::Internal("shard delta: bad threshold " +
+                                  std::to_string(t));
+  }
+  const ProcessorSet world = ProcessorSet::FirstN(num_processors_);
+  if (!ProcessorSet(scheme_mask).IsSubsetOf(world) ||
+      !ProcessorSet(f_mask).IsSubsetOf(world)) {
+    return util::Status::Internal(
+        "shard delta: scheme names out-of-range processors");
+  }
+  if (p < -1 || p >= num_processors_) {
+    return util::Status::Internal(
+        "shard delta: floating processor out of range");
+  }
+  if (next_f > 0x7F || crash_log_pos > 0xFFFFFFFFull) {
+    return util::Status::Internal("shard delta: packed field out of range");
+  }
+  if (owns_directory_) {
+    if (record.id >= 0 && record.id != id) directory_.Erase(record.id);
+    const uint32_t existing = directory_.Find(id);
+    if (existing == kInvalidSlot) {
+      directory_.Insert(id, slot);
+    } else if (existing != slot) {
+      return util::Status::Internal("shard delta: duplicate object id " +
+                                    std::to_string(id));
+    }
+  }
+  record.id = id;
+  record.scheme_mask = scheme_mask;
+  record.f_mask = f_mask;
+  record.meta = SlotRecord::PackMeta(kind, t, p, next_f,
+                                     static_cast<size_t>(crash_log_pos));
+  record.requests = requests;
+  record.breakdown = breakdown;
+  return util::Status::Ok();
+}
+
+util::Status ObjectShard::RestoreDeltaChunk(std::string_view chunk,
+                                            bool last) {
+  DeltaProgress& d = delta_restore_;
+  if (d.done) {
+    return util::Status::Internal("shard delta: chunk after final chunk");
+  }
+  std::string_view data = chunk;
+  if (!d.carry.empty()) {
+    d.carry.append(chunk.data(), chunk.size());
+    data = d.carry;
+  }
+  util::PayloadReader reader(data);
+  size_t committed = 0;  // offset of the first byte not yet consumed whole
+  if (!d.header_done) {
+    if (reader.remaining() >= sizeof(uint64_t) + sizeof(uint32_t)) {
+      uint64_t span = 0;
+      OBJALLOC_RETURN_IF_ERROR(reader.Read(&span));
+      OBJALLOC_RETURN_IF_ERROR(reader.Read(&d.ranges_total));
+      if (span < slot_count_ || span >= 0xFFFFFFFEull) {
+        return util::Status::Internal("shard delta: bad slot span " +
+                                      std::to_string(span));
+      }
+      // Grow the slab to the delta's span: the new slots were allocated
+      // during the delta window and arrive inside its dirty ranges.
+      const size_t pages_needed =
+          (static_cast<size_t>(span) + kPageSlots - 1) >> kPageShift;
+      while (pages_.size() < pages_needed) {
+        pages_.push_back(std::make_unique<SlotRecord[]>(kPageSlots));
+      }
+      slot_count_ = static_cast<uint32_t>(span);
+      d.header_done = true;
+      committed = data.size() - reader.remaining();
+    }
+  }
+  if (d.header_done) {
+    while (d.ranges_done < d.ranges_total) {
+      if (!d.in_range) {
+        if (reader.remaining() < 2 * sizeof(uint32_t)) break;
+        uint32_t begin = 0, end = 0;
+        OBJALLOC_RETURN_IF_ERROR(reader.Read(&begin));
+        OBJALLOC_RETURN_IF_ERROR(reader.Read(&end));
+        if (begin > end || end > slot_count_) {
+          return util::Status::Internal("shard delta: bad slot range");
+        }
+        d.cursor = begin;
+        d.range_end = end;
+        d.in_range = true;
+        committed = data.size() - reader.remaining();
+      }
+      bool need_more = false;
+      while (d.cursor < d.range_end) {
+        // A unit is 1 presence byte, plus the full record when present;
+        // peek the presence byte without consuming a partial unit.
+        const size_t avail = reader.remaining();
+        if (avail < 1) {
+          need_more = true;
+          break;
+        }
+        const uint8_t present =
+            static_cast<uint8_t>(data[data.size() - avail]);
+        if (present != 0 && avail < 1 + kSnapshotSlotBytes) {
+          need_more = true;
+          break;
+        }
+        OBJALLOC_RETURN_IF_ERROR(RestoreDeltaSlot(d.cursor, &reader));
+        ++d.cursor;
+        committed = data.size() - reader.remaining();
+      }
+      if (need_more) break;
+      if (d.cursor == d.range_end) {
+        d.in_range = false;
+        ++d.ranges_done;
+      }
+    }
+  }
+  if (last) {
+    if (!d.header_done || d.ranges_done < d.ranges_total || d.in_range) {
+      return util::Status::Internal("shard delta: range table truncated");
+    }
+    // The footer *replaces* the aggregates and the degraded registry.
+    for (const uint32_t slot : degraded_list_) degraded_.Erase(slot);
+    degraded_list_.clear();
+    OBJALLOC_RETURN_IF_ERROR(RestoreSnapshotFooter(&reader));
+    d.carry.clear();
+    d.done = true;
+    return util::Status::Ok();
+  }
+  // Keep everything past the last whole unit for the next chunk. When the
+  // range table is complete the remainder is the footer, which is parsed
+  // only on the final chunk.
+  if (d.ranges_done == d.ranges_total && d.header_done) {
+    committed = data.size() - reader.remaining();
+    std::string rest(data.substr(committed));
+    d.carry = std::move(rest);
+    return util::Status::Ok();
+  }
+  std::string rest(data.substr(committed));
+  d.carry = std::move(rest);
+  return util::Status::Ok();
 }
 
 }  // namespace objalloc::core

@@ -64,6 +64,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "objalloc/core/dom_algorithm.h"
@@ -217,6 +218,7 @@ class ObjectShard {
   // against the then-live set) never apply to it.
   void SetCrashLogStart(uint32_t slot, size_t pos) {
     Slot(slot).set_crash_log_pos(pos);
+    MarkDirty(slot);
   }
 
   // Objects currently registered as degraded (|scheme| < t or broken DA
@@ -279,6 +281,41 @@ class ObjectShard {
 
   // One-shot restore of a full payload: RestoreSnapshotChunk(payload, true).
   util::Status RestoreSnapshot(std::string_view payload);
+
+  // --- Delta checkpoints (DESIGN.md §13) -------------------------------
+  //
+  // When armed, the shard keeps one dirty bit per slab page, set on every
+  // slot mutation. A delta snapshot serializes only the dirty pages, as
+  // explicit [begin, end) slot ranges with a presence byte per slot,
+  // followed by the standard aggregate footer — its cost is proportional
+  // to the pages touched since the previous checkpoint, not to the shard.
+  // Restoring applies a delta *on top of* existing state (the base
+  // snapshot, or an earlier delta), overwriting exactly the serialized
+  // slots and replacing the aggregates and degraded registry.
+
+  // Arms tracking; every existing page starts dirty (the caller is expected
+  // to take a full base snapshot and then ClearDirty).
+  void EnableDirtyTracking();
+  void DisableDirtyTracking();
+  bool dirty_tracking() const { return dirty_tracking_; }
+  // Clears every dirty bit — call only after the checkpoint that captured
+  // them has durably committed.
+  void ClearDirty();
+  // The dirty pages as maximal merged [begin, end) slot ranges clipped to
+  // slot_span(), ascending.
+  void CollectDirtyRanges(
+      std::vector<std::pair<uint32_t, uint32_t>>* out) const;
+
+  // Streaming delta writer: header (slot span + range count), one call per
+  // CollectDirtyRanges entry in order, then AppendSnapshotFooter.
+  void AppendDeltaHeader(uint32_t range_count, std::string* out) const;
+  void AppendDeltaRange(uint32_t begin, uint32_t end, std::string* out) const;
+
+  // Streaming delta reader; chunk boundaries are arbitrary (partial units
+  // carry over), `last` marks the final chunk. BeginDeltaRestore resets the
+  // cursor before each delta in a chain.
+  void BeginDeltaRestore();
+  util::Status RestoreDeltaChunk(std::string_view chunk, bool last);
 
  private:
   // One dense slot of the serving engine: the full inline SA/DA machine in
@@ -411,10 +448,36 @@ class ObjectShard {
     std::string carry;  // partial record spanning a chunk boundary
   };
 
+  // Incremental-restore cursor for RestoreDeltaChunk.
+  struct DeltaProgress {
+    bool header_done = false;
+    bool done = false;
+    uint32_t ranges_total = 0;
+    uint32_t ranges_done = 0;
+    bool in_range = false;
+    uint32_t cursor = 0;     // next slot of the open range
+    uint32_t range_end = 0;  // one past the open range
+    std::string carry;       // partial unit spanning a chunk boundary
+  };
+
   // Parses and installs one 75-byte snapshot slot record.
   util::Status RestoreSlotRecord(util::PayloadReader* reader);
   // Parses the aggregates + degraded registry that close a snapshot.
   util::Status RestoreSnapshotFooter(util::PayloadReader* reader);
+  // Parses one presence-prefixed delta slot unit into absolute `slot`.
+  util::Status RestoreDeltaSlot(uint32_t slot, util::PayloadReader* reader);
+
+  // Sets the dirty bit of `slot`'s page; no-op unless tracking is armed.
+  void MarkDirty(uint32_t slot) {
+    if (!dirty_tracking_) return;
+    const uint32_t page = slot >> kPageShift;
+    const size_t word = page >> 6;
+    if (word >= dirty_words_.size()) [[unlikely]] {
+      dirty_words_.resize(word + 1, 0);
+    }
+    dirty_words_[word] |= uint64_t{1} << (page & 63);
+  }
+  void MarkAllDirty();
 
   int num_processors_;
   model::CostModel cost_model_;
@@ -444,6 +507,11 @@ class ObjectShard {
   std::vector<uint32_t> degraded_list_;
 
   RestoreProgress restore_;
+
+  // Delta-checkpoint machinery: one dirty bit per slab page while armed.
+  bool dirty_tracking_ = false;
+  std::vector<uint64_t> dirty_words_;
+  DeltaProgress delta_restore_;
 };
 
 }  // namespace objalloc::core

@@ -1,5 +1,7 @@
 #include "objalloc/core/wal.h"
 
+#include <cstring>
+
 #include "objalloc/util/record_io.h"
 
 namespace objalloc::core {
@@ -95,11 +97,23 @@ util::StatusOr<AddObjectRecord> DecodeAddObject(std::string_view payload) {
 
 void EncodeBatch(std::span<const workload::MultiObjectEvent> events,
                  std::string* out) {
-  AppendScalar(static_cast<uint32_t>(events.size()), out);
+  // This is on the serve path for every durable batch: one resize, then raw
+  // stores, instead of per-field string appends.
+  constexpr size_t kEventBytes = 8 + 1 + 4;
+  const size_t base = out->size();
+  out->resize(base + sizeof(uint32_t) + events.size() * kEventBytes);
+  char* p = out->data() + base;
+  const uint32_t count = static_cast<uint32_t>(events.size());
+  std::memcpy(p, &count, sizeof(count));
+  p += sizeof(count);
   for (const workload::MultiObjectEvent& event : events) {
-    AppendScalar(event.object, out);
-    AppendScalar(static_cast<uint8_t>(event.request.is_write() ? 1 : 0), out);
-    AppendScalar(static_cast<int32_t>(event.request.processor), out);
+    const int64_t object = event.object;
+    const uint8_t write = event.request.is_write() ? 1 : 0;
+    const int32_t processor = static_cast<int32_t>(event.request.processor);
+    std::memcpy(p, &object, sizeof(object));
+    p[8] = static_cast<char>(write);
+    std::memcpy(p + 9, &processor, sizeof(processor));
+    p += kEventBytes;
   }
 }
 

@@ -152,7 +152,15 @@ class WalWriter {
   // Convenience: encodes and appends one admitted batch.
   util::Status AppendBatch(std::span<const workload::MultiObjectEvent> events);
 
-  util::Status Sync() { return file_.Sync(); }
+  // Writes bytes that are *already* framed records (the async writer seals
+  // whole buffers of them); the caller owns the framing invariant.
+  util::Status WriteFramed(std::string_view bytes) {
+    return file_.Append(bytes);
+  }
+
+  util::Status Sync(util::SyncMode mode = util::SyncMode::kFsync) {
+    return file_.Sync(mode);
+  }
   uint64_t offset() const { return file_.offset(); }
   const std::string& path() const { return file_.path(); }
   bool is_open() const { return file_.is_open(); }

@@ -1,0 +1,198 @@
+#include "objalloc/core/wal_writer.h"
+
+#include <utility>
+
+#include "objalloc/util/record_io.h"
+
+namespace objalloc::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+AsyncWalWriter::~AsyncWalWriter() {
+  // Best effort: drain and sync whatever is buffered; a failure here has
+  // nowhere to go (the owner already observed the sticky error, or is being
+  // torn down and recovery will see a shorter durable prefix).
+  Detach();
+}
+
+util::Status AsyncWalWriter::Attach(WalWriter wal,
+                                    const AsyncWalOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return util::Status::FailedPrecondition(
+        "async WAL writer already attached");
+  }
+  if (!wal.is_open()) {
+    return util::Status::FailedPrecondition(
+        "async WAL writer needs an open generation file");
+  }
+  options_ = options;
+  if (options_.group_commit_bytes == 0) options_.group_commit_bytes = 1;
+  wal_ = std::move(wal);
+  started_ = true;
+  log_thread_ = std::thread([this] { LogThreadMain(); });
+  return util::Status::Ok();
+}
+
+uint64_t AsyncWalWriter::Append(WalRecordType type, std::string_view payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // In the sticky error state records go nowhere; the LSN still advances so
+  // WaitDurable(lsn) reports the error instead of hanging.
+  if (error_.ok() && wal_.is_open()) {
+    space_cv_.wait(lock, [&] {
+      return active_.size() < options_.max_pending_bytes || !error_.ok();
+    });
+    if (error_.ok()) {
+      const bool was_empty = active_.empty();
+      if (was_empty) group_open_ = Clock::now();
+      util::AppendRecord(static_cast<uint8_t>(type), payload, &active_);
+      ++records_appended_;
+      bytes_appended_ += payload.size() + util::kRecordHeaderSize;
+      // Wake the log thread when the group opens (arming its delay timer)
+      // or when the group crosses the size threshold.
+      if (was_empty || active_.size() >= options_.group_commit_bytes) {
+        work_cv_.notify_one();
+      }
+    }
+  }
+  return ++last_lsn_;
+}
+
+uint64_t AsyncWalWriter::AppendBatch(
+    std::span<const workload::MultiObjectEvent> events) {
+  batch_payload_.clear();
+  EncodeBatch(events, &batch_payload_);
+  return Append(WalRecordType::kBatch, batch_payload_);
+}
+
+util::Status AsyncWalWriter::WaitDurable(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (lsn > last_lsn_) lsn = last_lsn_;
+  if (lsn > sync_target_) {
+    sync_target_ = lsn;
+    work_cv_.notify_one();
+  }
+  done_cv_.wait(lock, [&] { return !error_.ok() || durable_lsn_ >= lsn; });
+  return error_;
+}
+
+util::Status AsyncWalWriter::Flush() { return WaitDurable(last_lsn()); }
+
+util::Status AsyncWalWriter::Rotate(WalWriter next) {
+  OBJALLOC_RETURN_IF_ERROR(Flush());
+  std::lock_guard<std::mutex> lock(mu_);
+  // After a successful Flush the active buffer is empty and the log thread
+  // holds no reference to wal_ (it only touches the file while a sealed
+  // group is in flight), so the swap is safe under the lock.
+  if (!next.is_open()) {
+    return util::Status::FailedPrecondition(
+        "rotate needs an open next-generation file");
+  }
+  wal_ = std::move(next);
+  return util::Status::Ok();
+}
+
+util::Status AsyncWalWriter::Detach() {
+  util::Status flushed = util::Status::Ok();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_) return error_;
+    shutdown_ = true;
+    work_cv_.notify_one();
+  }
+  if (log_thread_.joinable()) log_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+  shutdown_ = false;
+  flushed = error_;
+  if (flushed.ok() && durable_lsn_ < last_lsn_) {
+    flushed = util::Status::Internal("async WAL shutdown left a tail");
+  }
+  wal_.Close();
+  return flushed;
+}
+
+uint64_t AsyncWalWriter::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_lsn_;
+}
+
+uint64_t AsyncWalWriter::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+bool AsyncWalWriter::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && error_.ok() && wal_.is_open();
+}
+
+WalCommitStats AsyncWalWriter::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalCommitStats stats;
+  stats.records_appended = records_appended_;
+  stats.bytes_appended = bytes_appended_;
+  stats.group_commits = group_commits_;
+  stats.latency_samples = commit_latency_us_.count();
+  if (stats.latency_samples > 0) {
+    stats.commit_latency_p50_us = commit_latency_us_.Percentile(0.5);
+    stats.commit_latency_p99_us = commit_latency_us_.Percentile(0.99);
+  }
+  return stats;
+}
+
+void AsyncWalWriter::LogThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::string sealed;
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (!active_.empty() && error_.ok());
+    });
+    if (!error_.ok()) {
+      // Sticky error: nothing further can become durable; idle until
+      // shutdown so Detach can join.
+      work_cv_.wait(lock, [&] { return shutdown_; });
+      return;
+    }
+    if (active_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    // Hold the group open for the commit window unless something forces an
+    // immediate seal (size threshold, a blocked waiter, shutdown).
+    const auto deadline =
+        group_open_ + std::chrono::microseconds(options_.group_commit_delay_us);
+    while (!ForceSeal() && Clock::now() < deadline) {
+      work_cv_.wait_until(lock, deadline);
+      if (!error_.ok()) break;
+    }
+    if (!error_.ok()) continue;
+    // Seal: swap buffers; the appender immediately has an empty active
+    // buffer to fill while we write the sealed one.
+    sealed.clear();
+    sealed.swap(active_);
+    const uint64_t sealed_end = last_lsn_;
+    const auto opened = group_open_;
+    space_cv_.notify_all();
+    lock.unlock();
+    util::Status status = wal_.WriteFramed(sealed);
+    if (status.ok()) status = wal_.Sync(options_.sync_mode);
+    const auto now = Clock::now();
+    lock.lock();
+    if (!status.ok()) {
+      error_ = status;
+      done_cv_.notify_all();
+      space_cv_.notify_all();
+      continue;
+    }
+    durable_lsn_ = sealed_end;
+    ++group_commits_;
+    commit_latency_us_.Add(
+        std::chrono::duration<double, std::micro>(now - opened).count());
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace objalloc::core

@@ -1,0 +1,152 @@
+// Asynchronous, double-buffered WAL writer with group commit
+// (DESIGN.md §13).
+//
+// The serving thread appends framed records to an in-memory *active* buffer
+// and keeps computing; a dedicated log thread swaps the active buffer with
+// its sealed twin, writes the sealed bytes with one syscall, and makes them
+// durable with one sync covering every record accumulated since the
+// previous sync (group commit). Every append is assigned a log sequence
+// number (LSN, 1-based record counter); WaitDurable(lsn) blocks until that
+// record is on stable storage, which is how the service preserves the
+// log-before-externalize contract without putting write()+fsync() on the
+// serve path.
+//
+// Group-commit policy — the log thread seals and syncs when any of:
+//   (a) the active buffer reaches `group_commit_bytes`,
+//   (b) `group_commit_delay_us` has elapsed since the group's first append,
+//   (c) a caller blocks in WaitDurable/Flush for a not-yet-durable LSN,
+//   (d) rotation, detach, or shutdown.
+// One sync then covers the whole group. Commit latency (first append in the
+// group -> durable) is sampled per group for the p50/p99 stats.
+//
+// Errors are sticky: after a write or sync failure nothing further becomes
+// durable, WaitDurable/Flush return the error, and the owning service
+// detaches durability. The file always ends at a record boundary of some
+// prefix of the appended stream (plus at most one torn record after an OS
+// crash), so recovery semantics are unchanged from the synchronous writer.
+//
+// Threading contract: exactly one appender thread (the service's user
+// thread) calls Append/AppendBatch/Rotate/Detach; WaitDurable/Flush/Stats
+// may be called from the appender thread. The log thread is internal.
+
+#ifndef OBJALLOC_CORE_WAL_WRITER_H_
+#define OBJALLOC_CORE_WAL_WRITER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "objalloc/core/wal.h"
+#include "objalloc/util/io.h"
+#include "objalloc/util/stats.h"
+#include "objalloc/util/status.h"
+#include "objalloc/workload/multi_object.h"
+
+namespace objalloc::core {
+
+struct AsyncWalOptions {
+  // Longest a group is held open waiting for more appends before the log
+  // thread syncs it anyway.
+  uint32_t group_commit_delay_us = 500;
+  // Sealing threshold: a group is synced as soon as it holds this many
+  // bytes, regardless of the delay window.
+  size_t group_commit_bytes = 1 << 20;
+  // Backpressure: Append blocks while the active buffer holds this many
+  // un-sealed bytes (bounds memory when the disk falls behind).
+  size_t max_pending_bytes = 16u << 20;
+  // How the log thread makes sealed bytes durable (util/io.h for the
+  // crash-safety tradeoff; kNone is benchmark-only).
+  util::SyncMode sync_mode = util::SyncMode::kFsync;
+};
+
+// Point-in-time commit statistics (latencies in microseconds, one sample
+// per group commit).
+struct WalCommitStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t group_commits = 0;
+  int64_t latency_samples = 0;
+  double commit_latency_p50_us = 0;
+  double commit_latency_p99_us = 0;
+};
+
+class AsyncWalWriter {
+ public:
+  AsyncWalWriter() = default;
+  ~AsyncWalWriter();
+  AsyncWalWriter(const AsyncWalWriter&) = delete;
+  AsyncWalWriter& operator=(const AsyncWalWriter&) = delete;
+
+  // Takes ownership of an open generation file and starts the log thread.
+  // One Attach per writer instance; rotation swaps generations in place.
+  util::Status Attach(WalWriter wal, const AsyncWalOptions& options);
+
+  // Appends one framed record / one encoded batch to the active buffer and
+  // returns its LSN. Never touches the disk; errors surface through
+  // WaitDurable/Flush. Appender thread only.
+  uint64_t Append(WalRecordType type, std::string_view payload);
+  uint64_t AppendBatch(std::span<const workload::MultiObjectEvent> events);
+
+  // Blocks until `lsn` is durable (or the writer is in its sticky error
+  // state, which is returned). Wakes the log thread immediately rather than
+  // waiting out the group-commit delay.
+  util::Status WaitDurable(uint64_t lsn);
+
+  // WaitDurable(last_lsn()): everything appended so far is durable.
+  util::Status Flush();
+
+  // Flushes generation g, then swaps in the (already created, header
+  // written) generation g+1 file without stopping the log thread.
+  util::Status Rotate(WalWriter next);
+
+  // Flushes and closes the file; the log thread exits. Idempotent.
+  util::Status Detach();
+
+  uint64_t last_lsn() const;
+  uint64_t durable_lsn() const;
+  bool is_open() const;
+  WalCommitStats Stats() const;
+
+ private:
+  void LogThreadMain();
+  // Under mu_: true when the log thread should seal the current group now
+  // instead of waiting out the delay window.
+  bool ForceSeal() const {
+    return shutdown_ || sync_target_ > durable_lsn_ ||
+           active_.size() >= options_.group_commit_bytes;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // log thread waits for work
+  std::condition_variable done_cv_;   // waiters wait for durability
+  std::condition_variable space_cv_;  // appender waits for backpressure
+
+  AsyncWalOptions options_;
+  WalWriter wal_;                 // guarded by mu_ except during a write,
+                                  // when the log thread owns it exclusively
+  std::string active_;            // framed records not yet sealed
+  uint64_t last_lsn_ = 0;         // last appended record
+  uint64_t durable_lsn_ = 0;      // last record on stable storage
+  uint64_t sync_target_ = 0;      // highest LSN a caller is waiting on
+  std::chrono::steady_clock::time_point group_open_;
+  util::Status error_;            // sticky; Ok while healthy
+  bool shutdown_ = false;
+  bool started_ = false;
+
+  uint64_t records_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t group_commits_ = 0;
+  util::PercentileTracker commit_latency_us_;
+
+  std::string batch_payload_;  // appender-thread encode scratch
+  std::thread log_thread_;
+};
+
+}  // namespace objalloc::core
+
+#endif  // OBJALLOC_CORE_WAL_WRITER_H_

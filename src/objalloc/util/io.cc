@@ -305,12 +305,23 @@ Status AppendFile::Append(std::string_view data) {
   return Status::Ok();
 }
 
-Status AppendFile::Sync() {
+Status AppendFile::Sync(SyncMode mode) {
   if (fd_ < 0) return Status::FailedPrecondition("append file not open");
-  if (::fsync(fd_) != 0) {
-    return Status::Internal(Errno("fsync failed for", path_));
+  switch (mode) {
+    case SyncMode::kFsync:
+      if (::fsync(fd_) != 0) {
+        return Status::Internal(Errno("fsync failed for", path_));
+      }
+      return Status::Ok();
+    case SyncMode::kFdatasync:
+      if (::fdatasync(fd_) != 0) {
+        return Status::Internal(Errno("fdatasync failed for", path_));
+      }
+      return Status::Ok();
+    case SyncMode::kNone:
+      return Status::Ok();
   }
-  return Status::Ok();
+  return Status::Internal("unknown sync mode");
 }
 
 void AppendFile::Close() {

@@ -17,6 +17,18 @@
 
 namespace objalloc::util {
 
+// How Sync() makes appended bytes durable. The crash-safety tradeoff:
+//   * kFsync     — data + metadata reach stable storage (the default; what
+//                  every durability proof in DESIGN.md assumes).
+//   * kFdatasync — data reaches stable storage; file metadata (mtime, and —
+//                  on filesystems that defer it — the size) may lag. Safe
+//                  for a preallocated or append-only log on mainstream
+//                  filesystems, and measurably cheaper.
+//   * kNone      — no sync at all. ONLY for benchmarking the non-sync cost;
+//                  a crash can lose everything since the last natural
+//                  writeback. Never use where durability matters.
+enum class SyncMode : uint8_t { kFsync = 0, kFdatasync = 1, kNone = 2 };
+
 // Reads the whole file at `path`. NotFound when it does not exist.
 StatusOr<std::string> ReadFileToString(const std::string& path);
 
@@ -102,7 +114,8 @@ class AppendFile {
   const std::string& path() const { return path_; }
 
   Status Append(std::string_view data);
-  Status Sync();
+  // Makes appended bytes durable per `mode` (kNone is a no-op).
+  Status Sync(SyncMode mode = SyncMode::kFsync);
   void Close();
 
  private:

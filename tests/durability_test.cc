@@ -731,12 +731,288 @@ TEST(DurabilityTest, RecoveryReportToStringMentionsTheEssentials) {
   ASSERT_TRUE(service.EnableDurability(dir).ok());
   ASSERT_TRUE(service.AddObject(1, TestConfig()).ok());
   ASSERT_TRUE(service.Serve(1, model::Request::Read(2)).ok());
+  // The WAL is appended asynchronously; an external reader (here, the
+  // verify pass on the live directory) only sees what has been synced.
+  ASSERT_TRUE(service.SyncDurable().ok());
   RecoveryReport report;
   ASSERT_TRUE(ObjectService::VerifyDurableDir(dir, &report).ok());
   const std::string text = report.ToString();
   EXPECT_NE(text.find("generation"), std::string::npos) << text;
   EXPECT_EQ(report.events_replayed, 1u);
   EXPECT_EQ(report.objects_restored, 0u);
+}
+
+// --- Delta checkpoints --------------------------------------------------
+
+// Serve with delta checkpointing on, snapshot the directory after every
+// checkpoint, and recover every one of those crash images: each must land
+// bit-identically on the state at its checkpoint, mid-chain prefixes
+// included, and recovering must work with the manifest deleted (the scan
+// now has to find delta generations too). Each recovered service then
+// serves the rest of the trace and must match the uninterrupted run.
+TEST(DurabilityTest, DeltaChainRecoversAtEveryPrefix) {
+  const MultiObjectTrace trace = TestTrace(2400);
+  const CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  const size_t kSlice = 300;
+  const size_t slices = trace.events.size() / kSlice;
+
+  // Reference: undurable run, capturing the state at every slice boundary.
+  std::vector<StateImage> at_slice(slices);
+  StateImage final_expected;
+  {
+    ObjectService reference(trace.num_processors, sc);
+    RegisterObjects(reference, trace.num_objects, TestConfig());
+    std::span<const MultiObjectEvent> events(trace.events);
+    for (size_t i = 0; i < slices; ++i) {
+      ASSERT_TRUE(reference.ServeBatch(events.subspan(i * kSlice, kSlice))
+                      .ok());
+      at_slice[i] = Capture(reference);
+    }
+    final_expected = Capture(reference);
+  }
+
+  const std::string dir = FreshDir("durability_delta_chain");
+  DurabilityOptions durability;
+  durability.delta_chain_limit = 3;  // gen 2,3,4 delta; gen 5 full; ...
+  durability.keep_generations = 16;  // keep everything; copies stay whole
+  {
+    ObjectService service(trace.num_processors, sc);
+    RegisterObjects(service, trace.num_objects, TestConfig());
+    ASSERT_TRUE(service.EnableDurability(dir, durability).ok());
+    std::span<const MultiObjectEvent> events(trace.events);
+    for (size_t i = 0; i < slices; ++i) {
+      ASSERT_TRUE(service.ServeBatch(events.subspan(i * kSlice, kSlice))
+                      .ok());
+      ASSERT_TRUE(service.Checkpoint().ok());
+      CopyDir(dir, dir + "_at" + std::to_string(i));
+    }
+  }
+  // The chain policy must actually have produced deltas *and* compacted:
+  // with limit 3, generations 2..4 are deltas, 5 is full again.
+  EXPECT_TRUE(util::FileExists(dir + "/" + DeltaCheckpointFileName(2)));
+  EXPECT_TRUE(util::FileExists(dir + "/" + DeltaCheckpointFileName(4)));
+  EXPECT_TRUE(util::FileExists(dir + "/" + CheckpointFileName(5)));
+  EXPECT_FALSE(util::FileExists(dir + "/" + DeltaCheckpointFileName(5)));
+
+  // Pristine image for the manifest-loss scenario below — the recovery
+  // loop appends the continuation traffic into each _at copy, so take this
+  // one before any of them is recovered.
+  CopyDir(dir + "_at2", dir + "_noman");  // generation 4 = delta
+  ASSERT_TRUE(util::RemoveFile(dir + "_noman/MANIFEST").ok());
+
+  bool saw_delta_recovery = false;
+  for (size_t i = 0; i < slices; ++i) {
+    SCOPED_TRACE("checkpoint copy " + std::to_string(i));
+    const std::string copy = dir + "_at" + std::to_string(i);
+    RecoveryReport report;
+    auto recovered = ObjectService::Recover(copy, durability, &report);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(Capture(*recovered), at_slice[i]);
+    if (report.delta_checkpoints_applied > 0) saw_delta_recovery = true;
+    // Serving must continue seamlessly on the delta-restored state.
+    if ((i + 1) * kSlice < trace.events.size()) {
+      ASSERT_TRUE(recovered
+                      ->ServeBatch(std::span<const MultiObjectEvent>(
+                                       trace.events)
+                                       .subspan((i + 1) * kSlice))
+                      .ok());
+    }
+    EXPECT_EQ(Capture(*recovered), final_expected);
+  }
+  EXPECT_TRUE(saw_delta_recovery)
+      << "no copy exercised the delta-apply path";
+
+  // Manifest loss with a delta generation on top: the directory scan must
+  // offer delta generations as candidates, not just the last full one.
+  {
+    RecoveryReport report;
+    auto recovered =
+        ObjectService::Recover(dir + "_noman", durability, &report);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_TRUE(report.manifest_missing);
+    EXPECT_GT(report.delta_checkpoints_applied, 0u);
+    EXPECT_EQ(Capture(*recovered), at_slice[2]);
+  }
+}
+
+// --- Group commit under crash -------------------------------------------
+
+// sync_every_batch with the async writer: LogBatch blocks on WaitDurable
+// before the batch externalizes, so a crash image taken at any point
+// between calls (here: a literal copy of the live directory, the moral
+// equivalent of SIGKILL) contains every acknowledged batch, exactly.
+TEST(DurabilityTest, SyncEveryBatchCrashImageLosesNothing) {
+  const MultiObjectTrace trace = TestTrace(600, 31, 8);
+  const CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  const std::string dir = FreshDir("durability_synced_crash");
+  DurabilityOptions durability;
+  durability.sync_every_batch = true;
+  durability.group_commit_delay_us = 50000;  // the waiter must force seals
+
+  ObjectService service(trace.num_processors, sc);
+  RegisterObjects(service, trace.num_objects, TestConfig());
+  ASSERT_TRUE(service.EnableDurability(dir, durability).ok());
+  std::span<const MultiObjectEvent> events(trace.events);
+  for (size_t served = 0; served < events.size(); served += 150) {
+    ASSERT_TRUE(service.ServeBatch(events.subspan(served, 150)).ok());
+    const StateImage expected = Capture(service);
+    const std::string crash = dir + "_img";
+    CopyDir(dir, crash);  // the service is still live and unsynced
+    auto recovered = ObjectService::Recover(crash, durability);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(Capture(*recovered), expected)
+        << "acknowledged batches lost at event " << served + 150;
+  }
+}
+
+// Default (async group commit) mode: crash images taken mid-history are
+// allowed to miss the un-synced suffix but must always recover a monotone
+// event-count *prefix* — never a torn mixture. Tiny groups make the image
+// points land across many group-commit boundaries.
+TEST(DurabilityTest, AsyncGroupCommitCrashImagesRecoverPrefixes) {
+  const MultiObjectTrace trace = TestTrace(160, 13, 8);
+  const CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+
+  std::vector<StateImage> prefix(trace.events.size() + 1);
+  {
+    ObjectService reference(trace.num_processors, sc);
+    RegisterObjects(reference, trace.num_objects, TestConfig());
+    prefix[0] = Capture(reference);
+    for (size_t i = 0; i < trace.events.size(); ++i) {
+      ASSERT_TRUE(reference
+                      .Serve(trace.events[i].object,
+                             trace.events[i].request)
+                      .ok());
+      prefix[i + 1] = Capture(reference);
+    }
+  }
+
+  const std::string dir = FreshDir("durability_async_crash");
+  DurabilityOptions durability;
+  durability.group_commit_bytes = 128;  // a few records per group
+  durability.group_commit_delay_us = 200;
+  ObjectService service(trace.num_processors, sc);
+  RegisterObjects(service, trace.num_objects, TestConfig());
+  ASSERT_TRUE(service.EnableDurability(dir, durability).ok());
+  size_t floor_events = 0;
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    ASSERT_TRUE(
+        service.Serve(trace.events[i].object, trace.events[i].request)
+            .ok());
+    if (i % 7 != 6) continue;
+    const std::string crash = dir + "_img";
+    CopyDir(dir, crash);  // may catch the log thread mid-group
+    RecoveryReport report;
+    auto recovered = ObjectService::Recover(crash, durability, &report);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    const size_t events = report.events_replayed;
+    ASSERT_LE(events, i + 1);
+    ASSERT_GE(events, floor_events) << "durable prefix went backwards";
+    floor_events = events;
+    EXPECT_EQ(Capture(*recovered), prefix[events])
+        << "crash image after event " << i << " is not a prefix";
+  }
+  // Once synced, everything must be there.
+  ASSERT_TRUE(service.SyncDurable().ok());
+  const std::string crash = dir + "_img";
+  CopyDir(dir, crash);
+  RecoveryReport report;
+  auto recovered = ObjectService::Recover(crash, durability, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(report.events_replayed, trace.events.size());
+  EXPECT_EQ(Capture(*recovered), prefix[trace.events.size()]);
+}
+
+// --- Parallel replay ----------------------------------------------------
+
+// Replay must be bit-identical however it is scheduled: serial
+// record-by-record (replay_batch_events = 0), tiny coalesced super-batches
+// (7), and the default (32768), across shard counts and thread counts.
+TEST(DurabilityTest, ReplayCoalescingBitIdenticalAcrossShardsAndThreads) {
+  const MultiObjectTrace trace = TestTrace(3000);
+  const CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+
+  ObjectService reference(trace.num_processors, sc);
+  RegisterObjects(reference, trace.num_objects, TestConfig());
+  ASSERT_TRUE(reference
+                  .ServeBatch(std::span<const MultiObjectEvent>(trace.events)
+                                  .first(2200))
+                  .ok());
+  const StateImage expected = Capture(reference);
+
+  for (int shards : {1, 4, 16}) {
+    const std::string dir =
+        FreshDir("durability_replay_grid_" + std::to_string(shards));
+    ServiceOptions options;
+    options.num_shards = shards;
+    {
+      ObjectService service(trace.num_processors, sc, options);
+      ASSERT_TRUE(service.EnableDurability(dir).ok());
+      RegisterObjects(service, trace.num_objects, TestConfig());
+      ASSERT_TRUE(
+          service
+              .ServeBatch(std::span<const MultiObjectEvent>(trace.events)
+                              .first(2200))
+              .ok());
+      // Destructor flushes; the WAL tail is the whole 2200-event history.
+    }
+    for (int threads : {1, 2, util::GlobalThreads()}) {
+      for (size_t coalesce : {size_t{0}, size_t{7}, size_t{32768}}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) +
+                     " threads=" + std::to_string(threads) +
+                     " replay_batch_events=" + std::to_string(coalesce));
+        ScopedThreads scope(threads);
+        DurabilityOptions durability;
+        durability.replay_batch_events = coalesce;
+        auto recovered = ObjectService::Recover(dir, durability);
+        ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+        EXPECT_EQ(Capture(*recovered), expected);
+      }
+    }
+  }
+}
+
+// Coalescing stops at fault-control records and while the injector is
+// armed — batch boundaries are the rejection unit there. A history that
+// interleaves fault windows with traffic must replay identically with
+// coalescing off and on.
+TEST(DurabilityTest, FaultModeReplayCoalescingMatchesSerial) {
+  const MultiObjectTrace trace = TestTrace(1200);
+  const CostModel sc = CostModel::StationaryComputing(0.25, 1.0);
+  const std::string dir = FreshDir("durability_fault_coalesce");
+  {
+    ObjectService service(trace.num_processors, sc);
+    ASSERT_TRUE(service.EnableDurability(dir).ok());
+    RegisterObjects(service, trace.num_objects, TestConfig());
+    std::span<const MultiObjectEvent> events(trace.events);
+    ASSERT_TRUE(service.ServeBatch(events.first(400)).ok());
+    FaultInjectorOptions fault_options;
+    fault_options.seed = 1234;
+    fault_options.crash_rate = 0.02;
+    fault_options.recover_rate = 0.5;
+    fault_options.data_loss_rate = 0.05;
+    ASSERT_TRUE(service.EnableFaults(fault_options, {}).ok());
+    for (size_t pos = 400; pos < 800; pos += 50) {
+      auto result = service.ServeBatch(events.subspan(pos, 50));
+      ASSERT_TRUE(result.ok() ||
+                  result.status().code() ==
+                      util::StatusCode::kUnavailable);
+    }
+    service.DisableFaults();
+    service.RepairDegraded();
+    ASSERT_TRUE(service.ServeBatch(events.subspan(800)).ok());
+  }
+  DurabilityOptions serial;
+  serial.replay_batch_events = 0;
+  auto serial_recovered = ObjectService::Recover(dir, serial);
+  ASSERT_TRUE(serial_recovered.ok())
+      << serial_recovered.status().ToString();
+  DurabilityOptions coalesced;
+  coalesced.replay_batch_events = 32768;
+  auto coalesced_recovered = ObjectService::Recover(dir, coalesced);
+  ASSERT_TRUE(coalesced_recovered.ok())
+      << coalesced_recovered.status().ToString();
+  EXPECT_EQ(Capture(*serial_recovered), Capture(*coalesced_recovered));
 }
 
 }  // namespace
