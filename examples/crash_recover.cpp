@@ -6,6 +6,11 @@
 //                 [--expect_control=N --expect_data=N --expect_io=N
 //                  --expect_crc=N]
 //
+// --fsck scrubs the directory instead of serving: every file is walked
+// record by record against its CRCs and a read-only recovery is dry-run.
+// Exit 0 = clean, 1 = unrecoverable, 2 = recoverable with warnings (torn
+// tail, snapshot fallback, quarantined generations, stray files).
+//
 // --delta turns on delta checkpointing (chains of dirty-page snapshots
 // between full ones, DESIGN.md §13); recovery then restores the newest
 // full snapshot plus its delta chain before replaying the WAL tail.
@@ -92,11 +97,20 @@ int main(int argc, char** argv) {
   if (dir.empty()) return Fail("--dir=<durability directory> is required");
 
   if (fsck) {
-    core::RecoveryReport report;
-    util::Status status = core::ObjectService::VerifyDurableDir(dir, &report);
+    // Deep scrub: per-file CRC-walk verdicts + a read-only recovery dry
+    // run. Exit codes are script-friendly:
+    //   0  clean — every file verified, recovery needs no fallback
+    //   1  unrecoverable — Recover would fail on this directory
+    //   2  recoverable with warnings — torn tail, fallback, quarantined or
+    //      stray files; data is safe but something chewed the directory
+    core::ScrubReport report;
+    util::Status status = core::ObjectService::Scrub(dir, &report);
     std::printf("%s\n", report.ToString().c_str());
-    if (!status.ok()) return Fail("fsck: " + status.ToString());
-    return 0;
+    if (!report.recoverable) {
+      std::fprintf(stderr, "fsck: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    return report.clean ? 0 : 2;
   }
 
   // The same deterministic trace as bench/service_scaling, so the final

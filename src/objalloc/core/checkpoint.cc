@@ -29,7 +29,7 @@ util::Status DurabilityOptions::Validate() const {
     return util::Status::InvalidArgument(
         "keep_generations must be >= 2 (recovery falls back one snapshot)");
   }
-  return util::Status::Ok();
+  return retry.Validate();
 }
 
 std::string RecoveryReport::ToString() const {
@@ -53,6 +53,38 @@ std::string RecoveryReport::ToString() const {
            " bytes)";
   }
   for (const std::string& warning : warnings) out += "\n  warning: " + warning;
+  return out;
+}
+
+const char* ScrubVerdictName(ScrubVerdict verdict) {
+  switch (verdict) {
+    case ScrubVerdict::kOk:
+      return "ok";
+    case ScrubVerdict::kTornTail:
+      return "torn-tail";
+    case ScrubVerdict::kCorrupt:
+      return "CORRUPT";
+    case ScrubVerdict::kQuarantined:
+      return "quarantined";
+    case ScrubVerdict::kStray:
+      return "stray";
+  }
+  return "?";
+}
+
+std::string ScrubReport::ToString() const {
+  std::string out = "scrub: " + std::to_string(files.size()) + " file(s)";
+  for (const ScrubFileReport& file : files) {
+    out += "\n  " + file.name + ": " + ScrubVerdictName(file.verdict) + ", " +
+           std::to_string(file.bytes) + " bytes, " +
+           std::to_string(file.records) + " record(s)";
+    if (!file.detail.empty()) out += " — " + file.detail;
+  }
+  out += recoverable ? "\nrecoverable: yes" : "\nrecoverable: NO";
+  if (recoverable) {
+    out += clean ? " (clean)" : " (with warnings)";
+    out += "\n" + recovery.ToString();
+  }
   return out;
 }
 

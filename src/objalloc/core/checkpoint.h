@@ -94,6 +94,18 @@ struct DurabilityOptions {
   // executor (0 = replay batch-by-batch; the recovered state is
   // bit-identical either way).
   size_t replay_batch_events = 32768;
+  // Bounded retry with exponential backoff (util/env.h) for WAL group
+  // writes and checkpoint/manifest publication. Transient failures (EIO
+  // class) are absorbed; exhaustion or a persistent error (ENOSPC class)
+  // degrades the service to DurabilityState::kDegraded — it keeps serving,
+  // stops logging, and holds the original error until
+  // ReattachDurability(). max_attempts = 1 disables retry.
+  util::RetryPolicy retry;
+  // After ReattachDurability() publishes the fresh generation, re-open the
+  // directory read-only and verify it recovers (the "verifiable resync").
+  // Costs one full read of the new snapshot; disable for huge stores where
+  // the next scheduled scrub is enough.
+  bool verify_reattach = true;
 
   util::Status Validate() const;
 };
@@ -117,6 +129,49 @@ struct RecoveryReport {
 
   std::string ToString() const;
 };
+
+// --- Scrub (deep fsck) --------------------------------------------------
+// ObjectService::Scrub walks every file in a durability directory — the
+// manifest, each full and delta snapshot, each WAL — verifying framing and
+// CRCs record by record, then runs the read-only recovery pipeline to
+// decide overall recoverability. Per-file verdicts tell an operator *which*
+// file a bad disk chewed, not just that recovery would fall back.
+
+enum class ScrubVerdict : uint8_t {
+  kOk = 0,
+  // The file ends mid-record (crash or partial write); the valid prefix is
+  // intact and recovery truncates the tail. Only legal in the newest WAL.
+  kTornTail = 1,
+  // CRC mismatch, bad magic, or structural damage inside the valid region.
+  kCorrupt = 2,
+  // A failed generation set aside by ReattachDurability (never replayed;
+  // kept for forensics).
+  kQuarantined = 3,
+  // Leftover temp file or a name this layer never writes.
+  kStray = 4,
+};
+
+struct ScrubFileReport {
+  std::string name;
+  ScrubVerdict verdict = ScrubVerdict::kOk;
+  uint64_t bytes = 0;
+  uint64_t records = 0;  // framed records whose CRCs verified
+  std::string detail;    // what exactly is wrong (empty when kOk)
+};
+
+struct ScrubReport {
+  // The directory recovers (possibly with fallback/truncation warnings).
+  bool recoverable = false;
+  // Recoverable AND every file verdict is kOk AND recovery needed no
+  // fallback, truncation, or manifest reconstruction.
+  bool clean = false;
+  std::vector<ScrubFileReport> files;
+  RecoveryReport recovery;  // the read-only recovery account
+
+  std::string ToString() const;
+};
+
+const char* ScrubVerdictName(ScrubVerdict verdict);
 
 // Serializable image of the service-level fault/durability state (the
 // parts of ObjectService outside the shards). Captured into a checkpoint's

@@ -347,8 +347,8 @@ util::Status ObjectService::ServeBatchImpl(std::span<const EventT> events,
     OBJALLOC_RETURN_IF_ERROR(AdmitBatch(events, result, nullptr));
     if (durability_ != nullptr) [[unlikely]] {
       // Write-ahead: the admitted batch reaches the log before any shard
-      // state changes. An append failure rejects the batch with no state
-      // change (and detaches durability — see LogBatch).
+      // state changes. A persistent IO failure degrades durability and the
+      // batch proceeds undurably — see LogBatch.
       OBJALLOC_RETURN_IF_ERROR(LogBatch(events));
     }
     if (injector_ != nullptr) [[unlikely]] {
@@ -832,14 +832,32 @@ AsyncWalOptions AsyncWalOptionsFrom(const DurabilityOptions& options) {
   out.group_commit_delay_us = options.group_commit_delay_us;
   out.group_commit_bytes = options.group_commit_bytes;
   out.sync_mode = options.sync_mode;
+  out.retry = options.retry;
   return out;
 }
 
 }  // namespace
 
+util::Status ObjectService::EnterDegraded(util::Status status) {
+  Durability& d = *durability_;
+  if (d.state == DurabilityState::kDegraded) return d.degraded_error;
+  d.state = DurabilityState::kDegraded;
+  d.degraded_error = status;
+  // Join the log thread; the writer object stays alive so its final commit
+  // stats (and the original sticky error) remain readable until reattach.
+  if (d.wal != nullptr) (void)d.wal->Detach();
+  return status;
+}
+
 template <typename EventT>
 util::Status ObjectService::LogBatch(std::span<const EventT> events) {
   Durability& d = *durability_;
+  if (d.state != DurabilityState::kDurable) [[unlikely]] {
+    // Degraded: the disk is gone but the service is not. Serve the batch
+    // undurably; the reattach checkpoint will capture its effects.
+    ++d.degraded_batches;
+    return util::Status::Ok();
+  }
   uint64_t lsn = 0;
   if constexpr (std::is_same_v<EventT, workload::MultiObjectEvent>) {
     lsn = d.wal->AppendBatch(events);
@@ -855,9 +873,10 @@ util::Status ObjectService::LogBatch(std::span<const EventT> events) {
     lsn = d.wal->AppendBatch(d.batch_scratch);
   }
   // The append itself is in-memory and cannot fail; I/O errors are sticky
-  // inside the writer. sync_every_batch waits the record out (memory and
-  // disk never diverge); the default mode only probes for a sticky error so
-  // a dead disk is noticed within one batch rather than at the next sync.
+  // inside the writer (after its own rollback-and-rewrite retry gave up).
+  // sync_every_batch waits the record out (memory and disk never diverge);
+  // the default mode only probes for a sticky error so a dead disk is
+  // noticed within one batch rather than at the next sync.
   util::Status status = util::Status::Ok();
   if (d.options.sync_every_batch) {
     status = d.wal->WaitDurable(lsn);
@@ -866,11 +885,12 @@ util::Status ObjectService::LogBatch(std::span<const EventT> events) {
     if (status.ok()) status = util::Status::Internal("WAL writer closed");
   }
   if (!status.ok()) {
-    // After a failed (possibly partial) group write nothing further may be
-    // appended — that would turn a truncatable torn tail into mid-file
-    // garbage. Detach; the on-disk state stays a consistent prefix.
-    durability_.reset();
-    return status;
+    // Degrade, don't stop: the writer already rolled the file back to the
+    // last durable group boundary, so the on-disk state is a consistent
+    // prefix. The batch is served undurably.
+    (void)EnterDegraded(status);
+    ++d.degraded_batches;
+    return util::Status::Ok();
   }
   d.events_since_checkpoint += events.size();
   return util::Status::Ok();
@@ -879,6 +899,9 @@ util::Status ObjectService::LogBatch(std::span<const EventT> events) {
 util::Status ObjectService::LogOp(WalRecordType type,
                                   std::string_view payload) {
   Durability& d = *durability_;
+  if (d.state != DurabilityState::kDurable) [[unlikely]] {
+    return util::Status::Ok();  // applies in memory; reattach captures it
+  }
   const uint64_t lsn = d.wal->Append(type, payload);
   util::Status status = util::Status::Ok();
   if (d.options.sync_every_batch) {
@@ -887,8 +910,8 @@ util::Status ObjectService::LogOp(WalRecordType type,
     status = d.wal->Detach();
     if (status.ok()) status = util::Status::Internal("WAL writer closed");
   }
-  if (!status.ok()) durability_.reset();
-  return status;
+  if (!status.ok()) (void)EnterDegraded(status);
+  return util::Status::Ok();
 }
 
 util::Status ObjectService::LogSingle(ObjectId id, const Request& request) {
@@ -900,9 +923,19 @@ util::Status ObjectService::LogSingle(ObjectId id, const Request& request) {
 
 util::Status ObjectService::FinishBatchDurable() {
   Durability& d = *durability_;
+  if (d.state != DurabilityState::kDurable) [[unlikely]] {
+    return util::Status::Ok();  // no auto-checkpoints while degraded
+  }
   if (d.options.checkpoint_interval_events > 0 &&
       d.events_since_checkpoint >= d.options.checkpoint_interval_events) {
-    return Checkpoint();
+    util::Status status = Checkpoint();
+    if (!status.ok() && d.state == DurabilityState::kDegraded) {
+      // The auto-checkpoint degraded the service, but the batch that
+      // triggered it was served (and logged) fine — don't fail it; the
+      // degradation is reported through Stats / the next explicit call.
+      return util::Status::Ok();
+    }
+    return status;
   }
   return util::Status::Ok();
 }
@@ -1062,22 +1095,32 @@ util::Status ObjectService::EnableDurability(const std::string& dir,
   d->base_sequence = 1;
   durability_ = std::move(d);
   // Generation 1: a snapshot of the current state (empty service or one
-  // mid-life — both are just states) + a fresh WAL + the manifest.
-  util::Status status =
-      WriteCheckpointFile(durability_->dir + "/" + CheckpointFileName(1), 1);
+  // mid-life — both are just states) + a fresh WAL + the manifest. Each
+  // step retries transient IO failures; a persistent failure here is a
+  // clean error (durability never armed), not a degradation.
+  util::Env* env = util::CurrentEnv();
+  uint64_t* retries = &durability_->checkpoint_retries;
+  util::Status status = util::RetryIo(options.retry, env, retries, [&] {
+    return WriteCheckpointFile(durability_->dir + "/" + CheckpointFileName(1),
+                               1);
+  });
   if (status.ok()) {
-    auto wal = WalWriter::Create(durability_->dir + "/" + WalFileName(1), 1,
-                                 durability_->config);
-    if (wal.ok()) {
+    util::StatusOr<WalWriter> wal{util::Status::Internal("unattempted")};
+    status = util::RetryIo(options.retry, env, retries, [&] {
+      wal = WalWriter::Create(durability_->dir + "/" + WalFileName(1), 1,
+                              durability_->config);
+      return wal.status();
+    });
+    if (status.ok()) {
       durability_->wal = std::make_unique<AsyncWalWriter>();
       status = durability_->wal->Attach(std::move(*wal),
                                         AsyncWalOptionsFrom(options));
       if (status.ok()) {
-        status =
-            WriteManifest(durability_->dir, Manifest{1, 1, durability_->config});
+        status = util::RetryIo(options.retry, env, retries, [&] {
+          return WriteManifest(durability_->dir,
+                               Manifest{1, 1, durability_->config});
+        });
       }
-    } else {
-      status = wal.status();
     }
   }
   if (!status.ok()) {
@@ -1101,7 +1144,11 @@ util::Status ObjectService::DisableDurability() {
   if (durability_ == nullptr) {
     return util::Status::FailedPrecondition("durability not enabled");
   }
-  util::Status status = durability_->wal->Detach();
+  // A degraded detach reports the degrading error — the caller learns that
+  // a tail of history never reached disk — but detaches either way.
+  util::Status status = durability_->state == DurabilityState::kDegraded
+                            ? durability_->degraded_error
+                            : durability_->wal->Detach();
   durability_.reset();
   return status;
 }
@@ -1110,13 +1157,18 @@ util::Status ObjectService::SyncDurable() {
   if (durability_ == nullptr) {
     return util::Status::FailedPrecondition("durability not enabled");
   }
+  if (durability_->state == DurabilityState::kDegraded) {
+    return durability_->degraded_error;
+  }
   util::Status status = durability_->wal->Flush();
-  if (!status.ok()) durability_.reset();
+  if (!status.ok()) return EnterDegraded(status);
   return status;
 }
 
 WalCommitStats ObjectService::DurableCommitStats() const {
-  if (durability_ == nullptr) return WalCommitStats();
+  if (durability_ == nullptr || durability_->wal == nullptr) {
+    return WalCommitStats();
+  }
   return durability_->wal->Stats();
 }
 
@@ -1130,13 +1182,15 @@ util::Status ObjectService::Checkpoint() {
   // still running.
   FenceAsync();
   Durability& d = *durability_;
+  if (d.state == DurabilityState::kDegraded) {
+    return d.degraded_error;
+  }
   // (1) Everything the snapshot will contain must be durable under the old
   //     generation first: state(ckpt g+1) == state(ckpt g) + replay(wal-g)
   //     only holds if wal-g is complete on disk.
   util::Status status = d.wal->Flush();
   if (!status.ok()) {
-    durability_.reset();
-    return status;
+    return EnterDegraded(status);
   }
   const uint64_t next = d.sequence + 1;
   // Delta while the chain has room, full once it hits the limit (the
@@ -1147,36 +1201,47 @@ util::Status ObjectService::Checkpoint() {
       d.dir + "/" +
       (delta ? DeltaCheckpointFileName(next) : CheckpointFileName(next));
   const std::string wal_path = d.dir + "/" + WalFileName(next);
+  util::Env* env = util::CurrentEnv();
   // (2) The snapshot, streamed to a temp file and atomically published
-  //     under its final name.
-  status = delta ? WriteDeltaCheckpointFile(ckpt_path, next)
+  //     under its final name. Safe to retry whole: the temp file is
+  //     recreated from scratch each attempt.
+  status = util::RetryIo(d.options.retry, env, &d.checkpoint_retries, [&] {
+    return delta ? WriteDeltaCheckpointFile(ckpt_path, next)
                  : WriteCheckpointFile(ckpt_path, next);
+  });
   // (3) The next generation's WAL with a synced header — it must exist
-  //     before the manifest can name it.
-  util::StatusOr<WalWriter> wal = status.ok()
-                                      ? WalWriter::Create(wal_path, next,
-                                                          d.config)
-                                      : util::StatusOr<WalWriter>(status);
+  //     before the manifest can name it. Create truncates, so a retry
+  //     rewrites the header cleanly.
+  util::StatusOr<WalWriter> wal{status.ok()
+                                    ? util::Status::Internal("unattempted")
+                                    : status};
+  if (status.ok()) {
+    status = util::RetryIo(d.options.retry, env, &d.checkpoint_retries, [&] {
+      wal = WalWriter::Create(wal_path, next, d.config);
+      return wal.status();
+    });
+  }
   // (4) Commit point: the manifest flips to the new generation (and names
   //     the full snapshot its delta chain stands on).
   if (wal.ok()) {
-    status = WriteManifest(
-        d.dir, Manifest{next, delta ? d.base_sequence : next, d.config});
-  } else {
-    status = wal.status();
+    status = util::RetryIo(d.options.retry, env, &d.checkpoint_retries, [&] {
+      return WriteManifest(
+          d.dir, Manifest{next, delta ? d.base_sequence : next, d.config});
+    });
   }
   if (!status.ok()) {
     // Roll back the orphans so a manifest-less recovery scan cannot pick a
     // generation whose WAL chain never went live. The current generation
-    // stays fully intact and appendable.
+    // stays fully intact and appendable — but the disk just refused a
+    // persistent write, so the service degrades rather than pretending the
+    // next interval will fare better.
     (void)util::RemoveFile(ckpt_path);
     (void)util::RemoveFile(wal_path);
-    return status;
+    return EnterDegraded(status);
   }
   status = d.wal->Rotate(std::move(*wal));
   if (!status.ok()) {
-    durability_.reset();
-    return status;
+    return EnterDegraded(status);
   }
   d.sequence = next;
   d.events_since_checkpoint = 0;
@@ -1221,6 +1286,217 @@ util::Status ObjectService::Checkpoint() {
     }
   }
   return util::Status::Ok();
+}
+
+util::Status ObjectService::ReattachDurability() {
+  if (durability_ == nullptr) {
+    return util::Status::FailedPrecondition("durability not enabled");
+  }
+  Durability& d = *durability_;
+  if (d.state != DurabilityState::kDegraded) {
+    return util::Status::FailedPrecondition(
+        "durability is healthy — nothing to reattach");
+  }
+  // The fresh checkpoint reads every shard; quiesce first.
+  FenceAsync();
+  // The old writer is already detached (EnterDegraded joined its thread);
+  // fold its retry count into the service totals and release it.
+  if (d.wal != nullptr) {
+    d.wal_retries_detached += d.wal->Stats().write_retries;
+    d.wal.reset();
+  }
+  // Quarantine the failed generation's WAL: its durable prefix is real
+  // history, but the new checkpoint supersedes it and it must never be
+  // picked up by a manifest-less recovery scan. Renamed, not deleted —
+  // forensics beat free disk blocks right after a disk scare. NotFound is
+  // fine (the failure may have struck before the file ever existed).
+  const std::string failed_wal = d.dir + "/" + WalFileName(d.sequence);
+  util::Status status =
+      util::RenameFile(failed_wal, failed_wal + ".quarantine");
+  if (!status.ok() && status.code() != util::StatusCode::kNotFound) {
+    d.degraded_error = status;
+    return status;
+  }
+  // Fresh full generation g+1 capturing the *current* in-memory state —
+  // including every batch served while degraded — then the manifest commit
+  // names it as both the live generation and the full-snapshot base.
+  const uint64_t next = d.sequence + 1;
+  const std::string ckpt_path = d.dir + "/" + CheckpointFileName(next);
+  const std::string wal_path = d.dir + "/" + WalFileName(next);
+  util::Env* env = util::CurrentEnv();
+  status = util::RetryIo(d.options.retry, env, &d.checkpoint_retries, [&] {
+    return WriteCheckpointFile(ckpt_path, next);
+  });
+  util::StatusOr<WalWriter> wal{status.ok()
+                                    ? util::Status::Internal("unattempted")
+                                    : status};
+  if (status.ok()) {
+    status = util::RetryIo(d.options.retry, env, &d.checkpoint_retries, [&] {
+      wal = WalWriter::Create(wal_path, next, d.config);
+      return wal.status();
+    });
+  }
+  if (wal.ok()) {
+    status = util::RetryIo(d.options.retry, env, &d.checkpoint_retries, [&] {
+      return WriteManifest(d.dir, Manifest{next, next, d.config});
+    });
+  }
+  if (status.ok()) {
+    d.wal = std::make_unique<AsyncWalWriter>();
+    status = d.wal->Attach(std::move(*wal), AsyncWalOptionsFrom(d.options));
+    if (!status.ok()) d.wal.reset();
+  }
+  if (!status.ok()) {
+    // Still degraded, now holding the reattach failure; the caller can try
+    // again once the disk truly heals.
+    (void)util::RemoveFile(ckpt_path);
+    (void)util::RemoveFile(wal_path);
+    d.degraded_error = status;
+    return status;
+  }
+  d.sequence = next;
+  d.base_sequence = next;
+  d.delta_chain_length = 0;
+  d.events_since_checkpoint = 0;
+  d.state = DurabilityState::kDurable;
+  d.degraded_error = util::Status::Ok();
+  ++d.reattach_count;
+  // The published snapshot is full; the next delta window starts clean.
+  if (d.options.delta_chain_limit > 0) {
+    for (ObjectShard& shard : shards_) {
+      shard.EnableDirtyTracking();
+      shard.ClearDirty();
+    }
+  }
+  if (d.options.verify_reattach) {
+    // Verifiable resync: prove the healed directory actually recovers
+    // before reporting success. A failure here means the disk is still
+    // lying (reads don't match writes) — degrade again.
+    RecoveryReport report;
+    util::Status verify = VerifyDurableDir(d.dir, &report);
+    if (!verify.ok()) return EnterDegraded(verify);
+  }
+  return util::Status::Ok();
+}
+
+ServiceStats ObjectService::Stats() const {
+  FenceAsync();
+  ServiceStats stats;
+  stats.objects = object_count();
+  stats.total_requests = TotalRequests();
+  stats.total_breakdown = TotalBreakdown();
+  if (durability_ != nullptr) {
+    const Durability& d = *durability_;
+    stats.durability = d.state;
+    stats.durability_error = d.degraded_error;
+    stats.checkpoint_retries = d.checkpoint_retries;
+    stats.degraded_batches = d.degraded_batches;
+    stats.reattach_count = d.reattach_count;
+    stats.wal_write_retries = d.wal_retries_detached;
+    if (d.wal != nullptr) {
+      stats.commit = d.wal->Stats();
+      stats.wal_write_retries += stats.commit.write_retries;
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+// Generic framing + CRC walk shared by the scrub's WAL and checkpoint
+// passes (semantic validation is the recovery dry run's job).
+void ScrubRecordFile(const std::string& path, bool torn_tail_legal,
+                     ScrubFileReport* file) {
+  auto bytes = util::ReadFileToString(path);
+  if (!bytes.ok()) {
+    file->verdict = ScrubVerdict::kCorrupt;
+    file->detail = bytes.status().ToString();
+    return;
+  }
+  file->bytes = bytes->size();
+  util::RecordCursor cursor(*bytes);
+  util::RecordView record;
+  bool first = true;
+  while (cursor.Next(&record)) {
+    if (first && file->name.rfind("wal-", 0) == 0) {
+      // The WAL's first record must be its header; a checkpoint's
+      // structure is enforced by the recovery dry run.
+      if (record.type != static_cast<uint8_t>(WalRecordType::kWalHeader) ||
+          !DecodeWalHeader(record.payload).ok()) {
+        file->verdict = ScrubVerdict::kCorrupt;
+        file->detail = "first record is not a valid WAL header";
+        return;
+      }
+    }
+    first = false;
+    ++file->records;
+  }
+  if (!cursor.status().ok()) {
+    file->verdict = ScrubVerdict::kCorrupt;
+    file->detail = cursor.status().ToString();
+  } else if (cursor.tail_bytes() > 0) {
+    if (torn_tail_legal) {
+      file->verdict = ScrubVerdict::kTornTail;
+      file->detail = std::to_string(cursor.tail_bytes()) +
+                     " torn tail byte(s) past the valid prefix";
+    } else {
+      file->verdict = ScrubVerdict::kCorrupt;
+      file->detail = "truncated mid-record (checkpoints publish atomically)";
+    }
+  }
+}
+
+}  // namespace
+
+util::Status ObjectService::Scrub(const std::string& dir,
+                                  ScrubReport* report) {
+  *report = ScrubReport();
+  auto names = util::ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::sort(names->begin(), names->end());
+  for (const std::string& name : *names) {
+    ScrubFileReport file;
+    file.name = name;
+    const std::string path = dir + "/" + name;
+    if (auto size = util::FileSize(path); size.ok()) file.bytes = *size;
+    if (name == kManifestFileName) {
+      auto manifest = ReadManifest(dir);
+      if (manifest.ok()) {
+        file.records = 1;
+        file.detail = "generation " + std::to_string(manifest->sequence) +
+                      ", base " + std::to_string(manifest->base_sequence);
+      } else {
+        file.verdict = ScrubVerdict::kCorrupt;
+        file.detail = manifest.status().ToString();
+      }
+    } else if (name.ends_with(".quarantine")) {
+      file.verdict = ScrubVerdict::kQuarantined;
+      file.detail = "failed generation set aside by reattach (not replayed)";
+    } else if (name.ends_with(".tmp")) {
+      file.verdict = ScrubVerdict::kStray;
+      file.detail = "abandoned temp file (an interrupted atomic publish)";
+    } else if (name.rfind("checkpoint-", 0) == 0) {
+      ScrubRecordFile(path, /*torn_tail_legal=*/false, &file);
+    } else if (name.rfind("wal-", 0) == 0 && name.ends_with(".log")) {
+      ScrubRecordFile(path, /*torn_tail_legal=*/true, &file);
+    } else {
+      file.verdict = ScrubVerdict::kStray;
+      file.detail = "not a durability-layer file";
+    }
+    report->files.push_back(std::move(file));
+  }
+  // The semantic pass: would Recover succeed, and what would it do?
+  util::Status status = VerifyDurableDir(dir, &report->recovery);
+  report->recoverable = status.ok();
+  bool files_ok = true;
+  for (const ScrubFileReport& file : report->files) {
+    files_ok = files_ok && file.verdict == ScrubVerdict::kOk;
+  }
+  report->clean = report->recoverable && files_ok &&
+                  !report->recovery.fell_back && !report->recovery.torn_tail &&
+                  !report->recovery.manifest_missing &&
+                  !report->recovery.manifest_corrupt;
+  return status;
 }
 
 util::Status ObjectService::RestoreFromCheckpointStream(

@@ -101,6 +101,15 @@
 // durability off the hot path pays one predicted-not-taken branch per
 // batch — the zero-allocation and golden-fingerprint contracts are
 // unchanged.
+//
+// Disk-failure policy (DESIGN.md §14): transient IO errors are retried
+// with bounded exponential backoff (WAL groups roll back to the group
+// boundary and rewrite; checkpoint/manifest writes rerun); a persistent
+// failure degrades durability — DurabilityState::kDegraded — instead of
+// stopping the service: serving continues undurably, the directory stays a
+// consistent prefix, and ReattachDurability() heals with a fresh
+// checkpoint + WAL generation once the disk recovers. Scrub() is the
+// offline fsck: per-file CRC-walk verdicts plus a recovery dry run.
 
 #ifndef OBJALLOC_CORE_OBJECT_SERVICE_H_
 #define OBJALLOC_CORE_OBJECT_SERVICE_H_
@@ -183,6 +192,47 @@ struct StreamResult {
   model::CostBreakdown breakdown;
   double cost = 0;
   int64_t unavailable = 0;  // fault mode: events refused (issuer crashed)
+};
+
+// Durability health of a service (DESIGN.md §14).
+//   kDetached  durability was never enabled (or was cleanly disabled).
+//   kDurable   every admitted operation is being logged; recovery
+//              reproduces the full history.
+//   kDegraded  a persistent IO failure stopped logging. The service keeps
+//              serving correctly in memory; the durable directory is frozen
+//              as a consistent prefix of history. ReattachDurability()
+//              heals the state with a fresh checkpoint + WAL generation.
+enum class DurabilityState : uint8_t {
+  kDetached = 0,
+  kDurable = 1,
+  kDegraded = 2,
+};
+
+// Point-in-time service statistics (ObjectService::Stats): serving totals
+// plus the durability health surface — state, the error that degraded it,
+// and the retry/degrade counters that tell whether a bad disk was ridden
+// through (retries > 0, still kDurable) or given up on (kDegraded).
+struct ServiceStats {
+  size_t objects = 0;
+  int64_t total_requests = 0;
+  model::CostBreakdown total_breakdown;
+
+  DurabilityState durability = DurabilityState::kDetached;
+  // The failure that degraded durability; Ok in every other state.
+  util::Status durability_error;
+  // Transient WAL group write/sync failures absorbed by rollback + backoff
+  // + rewrite (durability preserved), across all writers this service has
+  // attached (reattach folds the old writer's count in).
+  uint64_t wal_write_retries = 0;
+  // Transient checkpoint/manifest write failures absorbed by retry.
+  uint64_t checkpoint_retries = 0;
+  // Batches served *without* logging while degraded — the durability gap a
+  // reattach closes (the new checkpoint captures their effects).
+  uint64_t degraded_batches = 0;
+  // Successful ReattachDurability() calls.
+  uint64_t reattach_count = 0;
+  // Commit statistics of the currently attached async WAL writer.
+  WalCommitStats commit;
 };
 
 class ObjectService {
@@ -339,16 +389,55 @@ class ObjectService {
   // fresh WAL. Durable files of a previous incarnation in `dir` are removed
   // — this call *starts* a durable history; Recover *continues* one.
   // FailedPrecondition while a non-inlined (kAdaptive) object is registered:
-  // its opaque algorithm state cannot be snapshotted. After a WAL I/O error
-  // the service stays correct in memory but durability detaches (the
-  // on-disk state remains a consistent prefix); re-enable to start over.
+  // its opaque algorithm state cannot be snapshotted.
+  //
+  // IO failure policy (DESIGN.md §14): transient failures (EIO class) are
+  // retried with exponential backoff under DurabilityOptions::retry. A
+  // persistent failure (or retry exhaustion) does NOT stop the service:
+  // durability degrades to DurabilityState::kDegraded — the service keeps
+  // serving correctly in memory, the durable directory freezes as a
+  // consistent prefix of history, and SyncDurable/Checkpoint/Stats report
+  // the original error until ReattachDurability() heals it.
   util::Status EnableDurability(const std::string& dir,
                                 const DurabilityOptions& options = {});
 
-  // Syncs the WAL and detaches (the directory stays recoverable).
+  // Syncs the WAL and detaches (the directory stays recoverable). When the
+  // service is degraded, returns the degrading error (the caller learns the
+  // tail was lost) and detaches anyway.
   util::Status DisableDurability();
 
-  bool durability_enabled() const { return durability_ != nullptr; }
+  // True only while durability is attached AND healthy; a degraded service
+  // returns false here but durability_state() == kDegraded distinguishes it
+  // from a service that never enabled durability.
+  bool durability_enabled() const {
+    return durability_ != nullptr &&
+           durability_->state == DurabilityState::kDurable;
+  }
+  DurabilityState durability_state() const {
+    return durability_ == nullptr ? DurabilityState::kDetached
+                                  : durability_->state;
+  }
+  // The failure that degraded durability; Ok in every other state.
+  util::Status durability_error() const {
+    return durability_ != nullptr ? durability_->degraded_error
+                                  : util::Status::Ok();
+  }
+
+  // Heals a degraded service back to kDurable: quarantines the failed WAL
+  // generation (renamed *.quarantine — never deleted, never replayed),
+  // writes a fresh full checkpoint of the *current* in-memory state as
+  // generation g+1, opens a new WAL, and republishes the manifest. The
+  // batches served while degraded are captured by the checkpoint, so the
+  // healed directory recovers to exactly the live state. With
+  // DurabilityOptions::verify_reattach the new directory is re-verified
+  // (read-only recovery) before the call reports success.
+  // FailedPrecondition unless currently kDegraded. On failure the service
+  // stays degraded (with the new error) and can be reattached again once
+  // the disk heals.
+  util::Status ReattachDurability();
+
+  // Point-in-time serving + durability statistics (fences the pipeline).
+  ServiceStats Stats() const;
 
   // Rotates the durable generation: syncs the current WAL, writes a full
   // snapshot atomically, opens the next WAL, publishes the manifest, and
@@ -382,6 +471,16 @@ class ObjectService {
   static util::Status VerifyDurableDir(const std::string& dir,
                                        RecoveryReport* report);
 
+  // Full read-only scrub of a durability directory: classifies every file
+  // (manifest, checkpoints, WALs, quarantined generations, strays), walks
+  // each one record by record against its CRCs, then runs the recovery
+  // pipeline. `report->recoverable` says whether Recover would succeed;
+  // `report->clean` additionally demands zero anomalies (no torn tails, no
+  // corrupt files, no fallback, no quarantine). Returns the verification
+  // status (Ok iff recoverable); per-file verdicts land in the report
+  // either way.
+  static util::Status Scrub(const std::string& dir, ScrubReport* report);
+
   // --------------------------------------------------------------------
 
   util::StatusOr<ObjectStats> StatsFor(ObjectId id) const;
@@ -400,7 +499,9 @@ class ObjectService {
   size_t ShardOf(ObjectId id) const;
 
   // Durability state (null when detached — the plain hot path pays one
-  // predicted branch per batch and never touches it).
+  // predicted branch per batch and never touches it). Survives IO failure:
+  // a persistent error flips `state` to kDegraded and the struct stays
+  // alive holding the error, the counters, and everything a reattach needs.
   struct Durability {
     std::string dir;
     DurabilityOptions options;
@@ -409,27 +510,44 @@ class ObjectService {
     uint64_t base_sequence = 0;  // newest full snapshot generation
     size_t delta_chain_length = 0;  // deltas since that full snapshot
     // The async group-commit writer (unique_ptr: it owns a thread and is
-    // not movable).
+    // not movable). While degraded the writer is detached (log thread
+    // joined) but kept for its final Stats until reattach folds them in.
     std::unique_ptr<AsyncWalWriter> wal;
     size_t events_since_checkpoint = 0;
     // Scratch for logging handle-addressed batches and single requests.
     std::vector<workload::MultiObjectEvent> batch_scratch;
+
+    DurabilityState state = DurabilityState::kDurable;
+    util::Status degraded_error;  // the failure that degraded; Ok if kDurable
+    uint64_t checkpoint_retries = 0;
+    uint64_t degraded_batches = 0;
+    uint64_t reattach_count = 0;
+    // write_retries of writers already detached (folded in at reattach).
+    uint64_t wal_retries_detached = 0;
   };
 
   // Appends one admitted batch to the async WAL (id-addressed; handle
   // events are translated through the scratch buffer). With
-  // sync_every_batch the call waits for the record's LSN to be durable;
-  // either way a detected failure detaches durability and is returned to
-  // the caller *before* the batch is served. In the default mode an I/O
-  // error is asynchronous — it surfaces on the next logging call, sync, or
-  // checkpoint; the on-disk log is always a consistent prefix.
+  // sync_every_batch the call waits for the record's LSN to be durable. A
+  // detected persistent failure (the async writer retried and gave up)
+  // *degrades* durability instead of failing the batch: the service enters
+  // DurabilityState::kDegraded, stops logging, and keeps serving — the
+  // batch proceeds, counted in degraded_batches. In the default mode an
+  // I/O error is asynchronous — it surfaces (and degrades) on a later
+  // logging call, sync, or checkpoint; the on-disk log is always a
+  // consistent prefix.
   template <typename EventT>
   util::Status LogBatch(std::span<const EventT> events);
 
-  // Appends a non-batch operation record; on failure detaches durability
-  // and returns the error (the caller decides whether the operation already
-  // happened).
+  // Appends a non-batch operation record; a persistent failure degrades
+  // durability (the operation still applies in memory and is captured by
+  // the next reattach checkpoint).
   util::Status LogOp(WalRecordType type, std::string_view payload);
+
+  // Transition into kDegraded holding `status` (first failure wins — if
+  // already degraded the stored error is returned unchanged): detaches the
+  // async writer's log thread and stops all logging until reattach.
+  util::Status EnterDegraded(util::Status status);
 
   // Logs a single-request serve as a batch of one — the two entry points
   // are bit-identical by the engine's contract, so replay through the batch

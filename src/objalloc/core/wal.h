@@ -161,6 +161,10 @@ class WalWriter {
   util::Status Sync(util::SyncMode mode = util::SyncMode::kFsync) {
     return file_.Sync(mode);
   }
+  // Rolls the file back to `size` bytes (a group boundary recorded before a
+  // failed — possibly partial — WriteFramed) so a retry rewrites the group
+  // instead of appending after mid-file garbage.
+  util::Status TruncateTo(uint64_t size) { return file_.TruncateTo(size); }
   uint64_t offset() const { return file_.offset(); }
   const std::string& path() const { return file_.path(); }
   bool is_open() const { return file_.is_open(); }

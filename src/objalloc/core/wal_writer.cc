@@ -30,6 +30,8 @@ util::Status AsyncWalWriter::Attach(WalWriter wal,
   }
   options_ = options;
   if (options_.group_commit_bytes == 0) options_.group_commit_bytes = 1;
+  if (options_.retry.max_attempts < 1) options_.retry.max_attempts = 1;
+  env_ = util::CurrentEnv();
   wal_ = std::move(wal);
   started_ = true;
   log_thread_ = std::thread([this] { LogThreadMain(); });
@@ -135,6 +137,7 @@ WalCommitStats AsyncWalWriter::Stats() const {
   stats.records_appended = records_appended_;
   stats.bytes_appended = bytes_appended_;
   stats.group_commits = group_commits_;
+  stats.write_retries = write_retries_;
   stats.latency_samples = commit_latency_us_.count();
   if (stats.latency_samples > 0) {
     stats.commit_latency_p50_us = commit_latency_us_.Percentile(0.5);
@@ -177,10 +180,42 @@ void AsyncWalWriter::LogThreadMain() {
     const auto opened = group_open_;
     space_cv_.notify_all();
     lock.unlock();
-    util::Status status = wal_.WriteFramed(sealed);
-    if (status.ok()) status = wal_.Sync(options_.sync_mode);
+    // The log thread owns wal_ exclusively while the sealed group is in
+    // flight, so the pre-write offset is a stable rollback point.
+    const uint64_t group_base = wal_.offset();
+    uint64_t backoff = options_.retry.initial_backoff_us;
+    uint64_t retries = 0;
+    util::Status status;
+    for (int attempt = 0;; ++attempt) {
+      status = wal_.WriteFramed(sealed);
+      if (status.ok()) status = wal_.Sync(options_.sync_mode);
+      if (status.ok()) break;
+      if (!util::IsTransientIoError(status) ||
+          attempt + 1 >= options_.retry.max_attempts) {
+        // Persistent or exhausted. Best effort: erase the partial group so
+        // the file ends at the last durable boundary — a recovery of the
+        // degraded directory then sees a clean prefix instead of a torn
+        // tail it would have to truncate.
+        (void)wal_.TruncateTo(group_base);
+        break;
+      }
+      // A failed write may be partial; roll back to the group boundary
+      // before rewriting, or the retry would splice garbage mid-log.
+      util::Status rollback = wal_.TruncateTo(group_base);
+      if (!rollback.ok()) {
+        status = rollback;
+        break;
+      }
+      env_->SleepMicros(backoff);
+      backoff *= options_.retry.backoff_multiplier;
+      if (backoff > options_.retry.max_backoff_us) {
+        backoff = options_.retry.max_backoff_us;
+      }
+      ++retries;
+    }
     const auto now = Clock::now();
     lock.lock();
+    write_retries_ += retries;
     if (!status.ok()) {
       error_ = status;
       done_cv_.notify_all();

@@ -19,11 +19,19 @@
 // One sync then covers the whole group. Commit latency (first append in the
 // group -> durable) is sampled per group for the p50/p99 stats.
 //
-// Errors are sticky: after a write or sync failure nothing further becomes
-// durable, WaitDurable/Flush return the error, and the owning service
-// detaches durability. The file always ends at a record boundary of some
-// prefix of the appended stream (plus at most one torn record after an OS
-// crash), so recovery semantics are unchanged from the synchronous writer.
+// Failure handling (DESIGN.md §14): a failed group write or sync is first
+// retried under AsyncWalOptions::retry — the file is rolled back to the
+// group boundary (a partial write may have landed bytes), the thread backs
+// off exponentially through the Env clock, and the whole group is
+// rewritten. Only transient errors (EIO class, util/env.h) retry;
+// exhaustion or a persistent error (ENOSPC class) becomes the *sticky*
+// error: nothing further becomes durable, WaitDurable/Flush/Detach return
+// that original Status forever after, and the owning service degrades
+// durability (ObjectService keeps serving in DurabilityState::kDegraded).
+// The file always ends at a record boundary of some prefix of the appended
+// stream (plus at most one torn record after an OS crash or a final
+// partial write), so recovery semantics are unchanged from the synchronous
+// writer.
 //
 // Threading contract: exactly one appender thread (the service's user
 // thread) calls Append/AppendBatch/Rotate/Detach; WaitDurable/Flush/Stats
@@ -62,6 +70,12 @@ struct AsyncWalOptions {
   // How the log thread makes sealed bytes durable (util/io.h for the
   // crash-safety tradeoff; kNone is benchmark-only).
   util::SyncMode sync_mode = util::SyncMode::kFsync;
+  // Bounded retry with exponential backoff for failed group writes/syncs
+  // (util/env.h). Only transient failures (EIO class) are retried; before
+  // each rewrite the file is rolled back to the group boundary, so a retry
+  // can never duplicate or splice bytes. Exhaustion or a persistent error
+  // becomes the sticky error.
+  util::RetryPolicy retry;
 };
 
 // Point-in-time commit statistics (latencies in microseconds, one sample
@@ -70,6 +84,9 @@ struct WalCommitStats {
   uint64_t records_appended = 0;
   uint64_t bytes_appended = 0;
   uint64_t group_commits = 0;
+  // Group rewrites after a transient write/sync failure (rollback + backoff
+  // + rewrite). Durability was preserved; a bad disk was ridden through.
+  uint64_t write_retries = 0;
   int64_t latency_samples = 0;
   double commit_latency_p50_us = 0;
   double commit_latency_p99_us = 0;
@@ -141,6 +158,8 @@ class AsyncWalWriter {
   uint64_t records_appended_ = 0;
   uint64_t bytes_appended_ = 0;
   uint64_t group_commits_ = 0;
+  uint64_t write_retries_ = 0;
+  util::Env* env_ = nullptr;  // captured at Attach (backoff sleeps)
   util::PercentileTracker commit_latency_us_;
 
   std::string batch_payload_;  // appender-thread encode scratch

@@ -1,0 +1,120 @@
+#include "objalloc/util/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace objalloc::util {
+
+int Env::Open(const char* path, int flags, int mode) {
+  return ::open(path, flags, mode);
+}
+
+ssize_t Env::Read(int fd, void* buf, size_t count) {
+  return ::read(fd, buf, count);
+}
+
+ssize_t Env::Write(int fd, const void* buf, size_t count) {
+  return ::write(fd, buf, count);
+}
+
+int Env::Fsync(int fd) { return ::fsync(fd); }
+
+int Env::Fdatasync(int fd) { return ::fdatasync(fd); }
+
+int Env::Close(int fd) { return ::close(fd); }
+
+int Env::Rename(const char* from, const char* to) {
+  return ::rename(from, to);
+}
+
+int Env::Unlink(const char* path) { return ::unlink(path); }
+
+int Env::Mkdir(const char* path, int mode) {
+  return ::mkdir(path, static_cast<mode_t>(mode));
+}
+
+int Env::Stat(const char* path, struct ::stat* st) {
+  return ::stat(path, st);
+}
+
+int Env::Fstat(int fd, struct ::stat* st) { return ::fstat(fd, st); }
+
+int Env::Truncate(const char* path, int64_t size) {
+  return ::truncate(path, static_cast<off_t>(size));
+}
+
+int Env::Ftruncate(int fd, int64_t size) {
+  return ::ftruncate(fd, static_cast<off_t>(size));
+}
+
+int64_t Env::Lseek(int fd, int64_t offset, int whence) {
+  return static_cast<int64_t>(::lseek(fd, static_cast<off_t>(offset), whence));
+}
+
+int Env::ListDirNames(const char* dir, std::vector<std::string>* names) {
+  DIR* d = ::opendir(dir);
+  if (d == nullptr) return -1;
+  names->clear();
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names->push_back(name);
+  }
+  ::closedir(d);
+  return 0;
+}
+
+uint64_t Env::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Env::SleepMicros(uint64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+Env* Env::Default() {
+  static Env* env = new Env();  // leaked: outlives every static destructor
+  return env;
+}
+
+namespace {
+std::atomic<Env*> g_current_env{nullptr};
+}  // namespace
+
+Env* CurrentEnv() {
+  Env* env = g_current_env.load(std::memory_order_acquire);
+  return env != nullptr ? env : Env::Default();
+}
+
+Env* SetCurrentEnv(Env* env) {
+  Env* previous = g_current_env.exchange(env, std::memory_order_acq_rel);
+  return previous != nullptr ? previous : Env::Default();
+}
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("retry policy: max_attempts must be >= 1");
+  }
+  if (backoff_multiplier < 1) {
+    return Status::InvalidArgument(
+        "retry policy: backoff_multiplier must be >= 1");
+  }
+  if (max_backoff_us < initial_backoff_us) {
+    return Status::InvalidArgument(
+        "retry policy: max_backoff_us must be >= initial_backoff_us");
+  }
+  return Status::Ok();
+}
+
+bool IsTransientIoError(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace objalloc::util

@@ -1,0 +1,138 @@
+// A pluggable filesystem-and-clock seam for everything the durability layer
+// does to the outside world (DESIGN.md §14). Every open/read/write/sync/
+// rename/truncate in util/io routes through an Env, so one injected
+// implementation can make the "disk" fail on purpose — deterministically —
+// while the production default compiles down to plain syscalls.
+//
+// The interface is deliberately POSIX-shaped (fd in, count out, errno on
+// failure) rather than Status-shaped: the seam sits *below* util/io's error
+// mapping, so a fault injected here exercises exactly the same
+// errno-to-Status classification, retry, and degradation code that a real
+// bad disk would.
+//
+// Installation is process-global (`SetCurrentEnv` / `ScopedEnv`), not
+// thread-local, on purpose: the async WAL log thread performs IO on behalf
+// of the serving thread and must see the same Env. Tests run one process
+// per test binary, so a scoped global override is race-free as long as it
+// brackets the lifetime of every service using it.
+//
+// The clock hooks (NowMicros/SleepMicros) exist for the retry/backoff path:
+// a FaultyEnv substitutes virtual time so exponential-backoff tests run in
+// microseconds of wall clock, not seconds.
+
+#ifndef OBJALLOC_UTIL_ENV_H_
+#define OBJALLOC_UTIL_ENV_H_
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "objalloc/util/status.h"
+
+namespace objalloc::util {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // --- Filesystem primitives (syscall semantics: result as the syscall
+  // returns it, errno carries the failure) ------------------------------
+  virtual int Open(const char* path, int flags, int mode);
+  virtual ssize_t Read(int fd, void* buf, size_t count);
+  virtual ssize_t Write(int fd, const void* buf, size_t count);
+  virtual int Fsync(int fd);
+  virtual int Fdatasync(int fd);
+  virtual int Close(int fd);
+  virtual int Rename(const char* from, const char* to);
+  virtual int Unlink(const char* path);
+  virtual int Mkdir(const char* path, int mode);
+  virtual int Stat(const char* path, struct ::stat* st);
+  virtual int Fstat(int fd, struct ::stat* st);
+  virtual int Truncate(const char* path, int64_t size);
+  virtual int Ftruncate(int fd, int64_t size);
+  virtual int64_t Lseek(int fd, int64_t offset, int whence);
+  // Directory listing (names only, unsorted, "." and ".." excluded).
+  // Returns 0 on success, -1 with errno on failure.
+  virtual int ListDirNames(const char* dir, std::vector<std::string>* names);
+
+  // --- Clock ------------------------------------------------------------
+  // Monotonic microseconds (for backoff arithmetic, never wall time).
+  virtual uint64_t NowMicros();
+  virtual void SleepMicros(uint64_t micros);
+
+  // The process-wide passthrough singleton. Zero overhead beyond one
+  // virtual call per IO operation — which is noise next to the syscall it
+  // wraps.
+  static Env* Default();
+};
+
+// The installed Env. Defaults to Env::Default(); never null.
+Env* CurrentEnv();
+
+// Installs `env` (nullptr restores the default) and returns the previous
+// one. See the header comment for the global-not-thread-local rationale.
+Env* SetCurrentEnv(Env* env);
+
+// RAII override: installs in the constructor, restores in the destructor.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(Env* env) : previous_(SetCurrentEnv(env)) {}
+  ~ScopedEnv() { SetCurrentEnv(previous_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  Env* previous_;
+};
+
+// --- Retry policy -------------------------------------------------------
+// Bounded retry with exponential backoff for IO operations whose failure
+// was classified transient (IsTransientIoError). Shared by the async WAL
+// writer and the checkpoint/manifest publication path.
+struct RetryPolicy {
+  // Total tries including the first; 1 disables retry entirely.
+  int max_attempts = 4;
+  uint32_t initial_backoff_us = 200;
+  uint32_t max_backoff_us = 50000;
+  uint32_t backoff_multiplier = 4;
+
+  Status Validate() const;
+};
+
+// True when `status` is an IO failure a retry can plausibly clear: util/io
+// maps the EIO class of errnos (a flaky cable, a mid-remap sector) to
+// kUnavailable, and everything persistent (ENOSPC, EROFS, EACCES, ...) to
+// kInternal. Ok and non-IO codes return false.
+bool IsTransientIoError(const Status& status);
+
+// Runs `op` (a callable returning Status) up to policy.max_attempts times,
+// sleeping the backoff schedule through `env` between attempts. Only
+// transient failures are retried; a persistent error (or exhaustion)
+// returns the last failure unchanged. `*retries` (optional) is incremented
+// once per re-attempt. The callable must be idempotent-or-self-repairing:
+// wherever a failed attempt can leave partial state behind (a half-written
+// append), the callable itself must roll back before rewriting.
+template <typename Fn>
+Status RetryIo(const RetryPolicy& policy, Env* env, uint64_t* retries,
+               Fn&& op) {
+  Status status = op();
+  uint64_t backoff = policy.initial_backoff_us;
+  for (int attempt = 1;
+       !status.ok() && IsTransientIoError(status) && attempt < policy.max_attempts;
+       ++attempt) {
+    env->SleepMicros(backoff);
+    backoff *= policy.backoff_multiplier;
+    if (backoff > policy.max_backoff_us) backoff = policy.max_backoff_us;
+    if (retries != nullptr) ++*retries;
+    status = op();
+  }
+  return status;
+}
+
+}  // namespace objalloc::util
+
+#endif  // OBJALLOC_UTIL_ENV_H_

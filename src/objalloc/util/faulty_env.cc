@@ -1,0 +1,242 @@
+#include "objalloc/util/faulty_env.h"
+
+#include <cerrno>
+
+#include "objalloc/util/rng.h"
+
+namespace objalloc::util {
+
+FaultyEnv::FaultyEnv(FaultyEnvOptions options, Env* base)
+    : options_(options),
+      base_(base != nullptr ? base : Env::Default()),
+      rng_(options.seed) {}
+
+void FaultyEnv::SetPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+}
+
+void FaultyEnv::SetRates(double error_rate, double enospc_rate,
+                         double slow_rate, uint64_t slow_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.error_rate = error_rate;
+  options_.enospc_rate = enospc_rate;
+  options_.slow_rate = slow_rate;
+  options_.slow_us = slow_us;
+}
+
+uint64_t FaultyEnv::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+uint64_t FaultyEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+FaultKind FaultyEnv::NextOp(OpClass op, uint64_t* latency_us,
+                            uint64_t* draw) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t index = ops_++;
+  *draw = SplitMix64(rng_);
+  FaultKind kind = FaultKind::kNone;
+  *latency_us = 0;
+  if (plan_.kind != FaultKind::kNone && index >= plan_.op_index &&
+      (plan_.count == FaultPlan::kForever ||
+       index - plan_.op_index < plan_.count)) {
+    kind = plan_.kind;
+    *latency_us = plan_.latency_us;
+  } else if (options_.error_rate > 0 || options_.enospc_rate > 0 ||
+             options_.slow_rate > 0) {
+    // Uniform in [0, 1) from the top 53 bits; one draw, stacked bands.
+    const double u =
+        static_cast<double>(*draw >> 11) * 0x1.0p-53;
+    if (u < options_.error_rate) {
+      kind = FaultKind::kEio;
+    } else if (u < options_.error_rate + options_.enospc_rate) {
+      kind = FaultKind::kEnospc;
+    } else if (u < options_.error_rate + options_.enospc_rate +
+                       options_.slow_rate) {
+      kind = FaultKind::kLatency;
+      *latency_us = options_.slow_us;
+    }
+  }
+  if (kind == FaultKind::kNone) return kind;
+  // Specialize the kind to the op class; a kind that cannot apply falls
+  // back to plain EIO so a scripted fault fires at *every* op index.
+  switch (kind) {
+    case FaultKind::kEnospc:
+      if (op != OpClass::kWrite && op != OpClass::kSync) kind = FaultKind::kEio;
+      break;
+    case FaultKind::kTornWrite:
+    case FaultKind::kShortWrite:
+      if (op != OpClass::kWrite) kind = FaultKind::kEio;
+      break;
+    case FaultKind::kBitFlipRead:
+      if (op != OpClass::kRead) kind = FaultKind::kEio;
+      break;
+    default:
+      break;
+  }
+  ++faults_;
+  return kind;
+}
+
+void FaultyEnv::Stall(uint64_t micros) {
+  if (options_.real_time) {
+    base_->SleepMicros(micros);
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    virtual_now_us_ += micros;
+  }
+}
+
+int FaultyEnv::Open(const char* path, int flags, int mode) {
+  uint64_t latency = 0, draw = 0;
+  switch (NextOp(OpClass::kOpen, &latency, &draw)) {
+    case FaultKind::kNone:
+      return base_->Open(path, flags, mode);
+    case FaultKind::kLatency:
+      Stall(latency);
+      return base_->Open(path, flags, mode);
+    default:
+      errno = EIO;
+      return -1;
+  }
+}
+
+ssize_t FaultyEnv::Read(int fd, void* buf, size_t count) {
+  uint64_t latency = 0, draw = 0;
+  switch (NextOp(OpClass::kRead, &latency, &draw)) {
+    case FaultKind::kNone:
+      return base_->Read(fd, buf, count);
+    case FaultKind::kLatency:
+      Stall(latency);
+      return base_->Read(fd, buf, count);
+    case FaultKind::kBitFlipRead: {
+      const ssize_t n = base_->Read(fd, buf, count);
+      if (n > 0) {
+        const uint64_t bit = draw % (static_cast<uint64_t>(n) * 8);
+        static_cast<unsigned char*>(buf)[bit / 8] ^=
+            static_cast<unsigned char>(1u << (bit % 8));
+      }
+      return n;
+    }
+    default:
+      errno = EIO;
+      return -1;
+  }
+}
+
+ssize_t FaultyEnv::Write(int fd, const void* buf, size_t count) {
+  uint64_t latency = 0, draw = 0;
+  switch (NextOp(OpClass::kWrite, &latency, &draw)) {
+    case FaultKind::kNone:
+      return base_->Write(fd, buf, count);
+    case FaultKind::kLatency:
+      Stall(latency);
+      return base_->Write(fd, buf, count);
+    case FaultKind::kEnospc:
+      errno = ENOSPC;
+      return -1;
+    case FaultKind::kShortWrite:
+      if (count > 1) return base_->Write(fd, buf, count / 2);
+      errno = EIO;
+      return -1;
+    case FaultKind::kTornWrite:
+      // The dangerous shape: bytes land, the call still fails.
+      if (count > 1) (void)base_->Write(fd, buf, count / 2);
+      errno = EIO;
+      return -1;
+    default:
+      errno = EIO;
+      return -1;
+  }
+}
+
+int FaultyEnv::Fsync(int fd) {
+  uint64_t latency = 0, draw = 0;
+  switch (NextOp(OpClass::kSync, &latency, &draw)) {
+    case FaultKind::kNone:
+      return base_->Fsync(fd);
+    case FaultKind::kLatency:
+      Stall(latency);
+      return base_->Fsync(fd);
+    case FaultKind::kEnospc:
+      errno = ENOSPC;
+      return -1;
+    default:
+      errno = EIO;
+      return -1;
+  }
+}
+
+int FaultyEnv::Fdatasync(int fd) {
+  uint64_t latency = 0, draw = 0;
+  switch (NextOp(OpClass::kSync, &latency, &draw)) {
+    case FaultKind::kNone:
+      return base_->Fdatasync(fd);
+    case FaultKind::kLatency:
+      Stall(latency);
+      return base_->Fdatasync(fd);
+    case FaultKind::kEnospc:
+      errno = ENOSPC;
+      return -1;
+    default:
+      errno = EIO;
+      return -1;
+  }
+}
+
+int FaultyEnv::Rename(const char* from, const char* to) {
+  uint64_t latency = 0, draw = 0;
+  switch (NextOp(OpClass::kOther, &latency, &draw)) {
+    case FaultKind::kNone:
+      return base_->Rename(from, to);
+    case FaultKind::kLatency:
+      Stall(latency);
+      return base_->Rename(from, to);
+    default:
+      errno = EIO;
+      return -1;
+  }
+}
+
+int FaultyEnv::Truncate(const char* path, int64_t size) {
+  uint64_t latency = 0, draw = 0;
+  switch (NextOp(OpClass::kOther, &latency, &draw)) {
+    case FaultKind::kNone:
+      return base_->Truncate(path, size);
+    case FaultKind::kLatency:
+      Stall(latency);
+      return base_->Truncate(path, size);
+    default:
+      errno = EIO;
+      return -1;
+  }
+}
+
+int FaultyEnv::Ftruncate(int fd, int64_t size) {
+  uint64_t latency = 0, draw = 0;
+  switch (NextOp(OpClass::kOther, &latency, &draw)) {
+    case FaultKind::kNone:
+      return base_->Ftruncate(fd, size);
+    case FaultKind::kLatency:
+      Stall(latency);
+      return base_->Ftruncate(fd, size);
+    default:
+      errno = EIO;
+      return -1;
+  }
+}
+
+uint64_t FaultyEnv::NowMicros() {
+  if (options_.real_time) return base_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  return virtual_now_us_;
+}
+
+void FaultyEnv::SleepMicros(uint64_t micros) { Stall(micros); }
+
+}  // namespace objalloc::util

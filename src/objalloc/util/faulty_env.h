@@ -1,0 +1,146 @@
+// A seeded, deterministic fault-injecting Env — the storage-layer sibling
+// of core/fault_injector (DESIGN.md §14). It counts the *data-path*
+// operations flowing through it (open, read, write, sync, rename,
+// truncate) and fires a scripted fault at a chosen op index, or draws
+// per-op faults from a seeded stream at configured rates. Everything else
+// (stat, close, mkdir, unlink, directory listing) passes through
+// untouched: those either have no data to corrupt or are already
+// best-effort in the callers.
+//
+// Two modes, composable:
+//   * Scripted (SetPlan): exactly one fault description — kind, the op
+//     index where it starts, and how many consecutive counted ops it
+//     covers. `count = 1` models a transient glitch a retry can clear;
+//     `kForever` models a persistently bad disk. The error-at-every-op
+//     sweep in tests/io_fault_test.cc drives this: a fault-free run counts
+//     the ops, then one run per index injects there.
+//   * Random-rate (FaultyEnvOptions::*_rate): each counted op
+//     independently fails or stalls per a splitmix64 stream; used by
+//     bench/durability_chaos to measure throughput and commit tails under
+//     a lossy disk.
+//
+// Determinism: with the same seed, plan, and caller op sequence, the same
+// ops fail the same way — which is what lets the sweep assert bit-identical
+// outcomes. Thread-safe: op accounting is mutex-guarded (the WAL log
+// thread and the serving thread both reach the Env).
+//
+// Time is virtual by default: SleepMicros advances an internal counter
+// instead of sleeping, so backoff-heavy tests cost nothing; set
+// `real_time` for benchmarks that measure actual latency under injected
+// stalls.
+
+#ifndef OBJALLOC_UTIL_FAULTY_ENV_H_
+#define OBJALLOC_UTIL_FAULTY_ENV_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "objalloc/util/env.h"
+
+namespace objalloc::util {
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  // The op fails with EIO (classified transient by util/io; retried).
+  kEio,
+  // A write/sync fails with ENOSPC (persistent: retries cannot help).
+  // On a counted op that is not a write/sync, degrades to kEio.
+  kEnospc,
+  // A torn write: roughly half the bytes reach the file, then the call
+  // reports EIO — the partial-write hazard the WAL retry path must roll
+  // back before rewriting. Non-write ops degrade to kEio.
+  kTornWrite,
+  // A short write: half the bytes are written and *reported* (POSIX allows
+  // this); a correct caller loops. Non-write ops degrade to kEio.
+  kShortWrite,
+  // The read succeeds but one seeded bit of the returned buffer is
+  // flipped — the CRC-detection case. Non-read ops degrade to kEio.
+  kBitFlipRead,
+  // The op stalls for `latency_us`, then proceeds normally.
+  kLatency,
+};
+
+struct FaultPlan {
+  static constexpr uint64_t kNever = ~uint64_t{0};
+  static constexpr uint64_t kForever = ~uint64_t{0};
+
+  // Counted-op index at which the fault starts firing (kNever disarms).
+  uint64_t op_index = kNever;
+  FaultKind kind = FaultKind::kNone;
+  // Consecutive counted ops (from op_index) the fault covers; kForever
+  // models a dead disk that never recovers.
+  uint64_t count = 1;
+  uint64_t latency_us = 0;  // for kLatency
+};
+
+struct FaultyEnvOptions {
+  uint64_t seed = 1;
+  // Random-rate mode: independent per-op probabilities on counted ops.
+  double error_rate = 0;   // EIO on read/write/sync
+  double enospc_rate = 0;  // ENOSPC on write/sync
+  double slow_rate = 0;    // latency spike of slow_us
+  uint64_t slow_us = 0;
+  // False (default): SleepMicros/latency advance a virtual clock only.
+  // True: delegate to the base Env (real sleeps; benchmark mode).
+  bool real_time = false;
+};
+
+class FaultyEnv : public Env {
+ public:
+  explicit FaultyEnv(FaultyEnvOptions options = {}, Env* base = nullptr);
+
+  // Replaces the scripted fault plan (thread-safe; takes effect on the next
+  // counted op).
+  void SetPlan(const FaultPlan& plan);
+  // "The disk was replaced": no scripted fault fires from here on.
+  void ClearPlan() { SetPlan(FaultPlan{}); }
+
+  // Replaces the random-rate profile mid-flight (thread-safe). The chaos
+  // bench mounts on a healthy disk — rates zero — then turns the rates on
+  // once durability is attached: a disk that ages in service, not one that
+  // was broken at mount. Determinism holds as long as the call sits at a
+  // deterministic point in the caller's op sequence.
+  void SetRates(double error_rate, double enospc_rate, double slow_rate,
+                uint64_t slow_us);
+
+  // Counted data-path ops so far (a fault-free run of a workload measures
+  // the sweep space).
+  uint64_t op_count() const;
+  uint64_t faults_injected() const;
+
+  int Open(const char* path, int flags, int mode) override;
+  ssize_t Read(int fd, void* buf, size_t count) override;
+  ssize_t Write(int fd, const void* buf, size_t count) override;
+  int Fsync(int fd) override;
+  int Fdatasync(int fd) override;
+  int Rename(const char* from, const char* to) override;
+  int Truncate(const char* path, int64_t size) override;
+  int Ftruncate(int fd, int64_t size) override;
+
+  uint64_t NowMicros() override;
+  void SleepMicros(uint64_t micros) override;
+
+ private:
+  enum class OpClass : uint8_t { kOpen, kRead, kWrite, kSync, kOther };
+
+  // Counts the op and decides its fate. Returns kNone for a clean op;
+  // otherwise the kind (already specialized to the op class) and, for
+  // kLatency, the stall length. Also hands out a seeded draw for the
+  // bit-flip position.
+  FaultKind NextOp(OpClass op, uint64_t* latency_us, uint64_t* draw);
+  void Stall(uint64_t micros);
+
+  FaultyEnvOptions options_;
+  Env* base_;
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  uint64_t ops_ = 0;
+  uint64_t faults_ = 0;
+  uint64_t rng_;  // splitmix64 state for rate draws and flip positions
+  uint64_t virtual_now_us_ = 0;
+};
+
+}  // namespace objalloc::util
+
+#endif  // OBJALLOC_UTIL_FAULTY_ENV_H_

@@ -1,6 +1,5 @@
 #include "objalloc/util/io.h"
 
-#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -14,31 +13,49 @@ namespace objalloc::util {
 
 namespace {
 
-std::string Errno(const std::string& what, const std::string& path) {
-  return what + " " + path + ": " + std::strerror(errno);
+Env* Resolve(Env* env) { return env != nullptr ? env : CurrentEnv(); }
+
+// errno → Status with the transient/persistent split the retry layer keys
+// off (env.h): the EIO class is kUnavailable (a retry may clear it);
+// everything persistent is kInternal. Callers special-case ENOENT→NotFound
+// where a missing file is a distinct outcome.
+Status IoError(const std::string& what, const std::string& path, int err) {
+  const std::string message = what + " " + path + ": " + std::strerror(err);
+  switch (err) {
+    case EIO:
+    case EAGAIN:
+    case EBUSY:
+    case ETIMEDOUT:
+    case ENXIO:
+      return Status::Unavailable(message);
+    default:
+      return Status::Internal(message);
+  }
 }
 
 // fsyncs the directory containing `path` so a rename inside it is durable.
 // Best effort: some filesystems refuse O_RDONLY directory fsync; the rename
 // itself already happened, so a failure here only weakens durability, not
 // consistency.
-void SyncContainingDir(const std::string& path) {
+void SyncContainingDir(const std::string& path, Env* env) {
   const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = env->Open(dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
   if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
+  env->Fsync(fd);
+  env->Close(fd);
 }
 
-Status WriteAll(int fd, std::string_view data, const std::string& path) {
+Status WriteAll(int fd, std::string_view data, const std::string& path,
+                Env* env) {
   const char* p = data.data();
   size_t left = data.size();
   while (left > 0) {
-    const ssize_t n = ::write(fd, p, left);
+    const ssize_t n = env->Write(fd, p, left);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::Internal(Errno("write failed for", path));
+      return IoError("write failed for", path, errno);
     }
     p += n;
     left -= static_cast<size_t>(n);
@@ -48,40 +65,42 @@ Status WriteAll(int fd, std::string_view data, const std::string& path) {
 
 }  // namespace
 
-StatusOr<std::string> ReadFileToString(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+StatusOr<std::string> ReadFileToString(const std::string& path, Env* env) {
+  env = Resolve(env);
+  const int fd = env->Open(path.c_str(), O_RDONLY, 0);
   if (fd < 0) {
     if (errno == ENOENT) return Status::NotFound("no such file: " + path);
-    return Status::Internal(Errno("cannot open", path));
+    return IoError("cannot open", path, errno);
   }
   std::string data;
   char buffer[1 << 16];
   while (true) {
-    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    const ssize_t n = env->Read(fd, buffer, sizeof(buffer));
     if (n < 0) {
       if (errno == EINTR) continue;
-      const std::string message = Errno("read failed for", path);
-      ::close(fd);
-      return Status::Internal(message);
+      const Status error = IoError("read failed for", path, errno);
+      env->Close(fd);
+      return error;
     }
     if (n == 0) break;
     data.append(buffer, static_cast<size_t>(n));
   }
-  ::close(fd);
+  env->Close(fd);
   return data;
 }
 
-StatusOr<FileReader> FileReader::Open(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+StatusOr<FileReader> FileReader::Open(const std::string& path, Env* env) {
+  env = Resolve(env);
+  const int fd = env->Open(path.c_str(), O_RDONLY, 0);
   if (fd < 0) {
     if (errno == ENOENT) return Status::NotFound("no such file: " + path);
-    return Status::Internal(Errno("cannot open", path));
+    return IoError("cannot open", path, errno);
   }
-  return FileReader(fd, path);
+  return FileReader(fd, path, env);
 }
 
 FileReader::FileReader(FileReader&& other) noexcept
-    : fd_(other.fd_), path_(std::move(other.path_)) {
+    : fd_(other.fd_), path_(std::move(other.path_)), env_(other.env_) {
   other.fd_ = -1;
 }
 
@@ -90,6 +109,7 @@ FileReader& FileReader::operator=(FileReader&& other) noexcept {
     Close();
     fd_ = other.fd_;
     path_ = std::move(other.path_);
+    env_ = other.env_;
     other.fd_ = -1;
   }
   return *this;
@@ -99,10 +119,10 @@ FileReader::~FileReader() { Close(); }
 
 StatusOr<size_t> FileReader::Read(char* buf, size_t n) {
   while (true) {
-    const ssize_t got = ::read(fd_, buf, n);
+    const ssize_t got = env_->Read(fd_, buf, n);
     if (got < 0) {
       if (errno == EINTR) continue;
-      return Status::Internal(Errno("read failed for", path_));
+      return IoError("read failed for", path_, errno);
     }
     return static_cast<size_t>(got);
   }
@@ -128,17 +148,33 @@ Status FileReader::ReadExact(char* buf, size_t n, bool* eof) {
 
 void FileReader::Close() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    env_->Close(fd_);
     fd_ = -1;
   }
 }
 
-StatusOr<AtomicFileWriter> AtomicFileWriter::Open(const std::string& path) {
-  auto file = AppendFile::Open(path + ".tmp", /*truncate_to=*/0);
+FileStreamBuf::int_type FileStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  if (!reader_.is_open() || !status_.ok()) return traits_type::eof();
+  auto got = reader_.Read(buffer_, sizeof(buffer_));
+  if (!got.ok()) {
+    status_ = got.status();
+    return traits_type::eof();
+  }
+  if (*got == 0) return traits_type::eof();
+  setg(buffer_, buffer_, buffer_ + *got);
+  return traits_type::to_int_type(*gptr());
+}
+
+StatusOr<AtomicFileWriter> AtomicFileWriter::Open(const std::string& path,
+                                                  Env* env) {
+  env = Resolve(env);
+  auto file = AppendFile::Open(path + ".tmp", /*truncate_to=*/0, env);
   if (!file.ok()) return file.status();
   AtomicFileWriter writer;
   writer.file_ = std::move(*file);
   writer.final_path_ = path;
+  writer.env_ = env;
   return writer;
 }
 
@@ -148,6 +184,7 @@ AtomicFileWriter& AtomicFileWriter::operator=(
     Abandon();
     file_ = std::move(other.file_);
     final_path_ = std::move(other.final_path_);
+    env_ = other.env_;
     committed_ = other.committed_;
     other.committed_ = true;  // the moved-from shell owns nothing
   }
@@ -163,11 +200,11 @@ Status AtomicFileWriter::Commit() {
   OBJALLOC_RETURN_IF_ERROR(file_.Sync());
   const std::string temp = file_.path();
   file_.Close();
-  if (::rename(temp.c_str(), final_path_.c_str()) != 0) {
-    return Status::Internal(Errno("rename failed for", final_path_));
+  if (env_->Rename(temp.c_str(), final_path_.c_str()) != 0) {
+    return IoError("rename failed for", final_path_, errno);
   }
   committed_ = true;
-  SyncContainingDir(final_path_);
+  SyncContainingDir(final_path_, env_);
   return Status::Ok();
 }
 
@@ -175,111 +212,123 @@ void AtomicFileWriter::Abandon() {
   if (committed_ || !file_.is_open()) return;
   const std::string temp = file_.path();
   file_.Close();
-  ::unlink(temp.c_str());
+  env_->Unlink(temp.c_str());
 }
 
-Status WriteFileAtomic(const std::string& path, std::string_view data) {
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       Env* env) {
+  env = Resolve(env);
   const std::string temp = path + ".tmp";
-  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Status::Internal(Errno("cannot open", temp));
-  Status status = WriteAll(fd, data, temp);
-  if (status.ok() && ::fsync(fd) != 0) {
-    status = Status::Internal(Errno("fsync failed for", temp));
+  const int fd = env->Open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoError("cannot open", temp, errno);
+  Status status = WriteAll(fd, data, temp, env);
+  if (status.ok() && env->Fsync(fd) != 0) {
+    status = IoError("fsync failed for", temp, errno);
   }
-  ::close(fd);
+  env->Close(fd);
   if (!status.ok()) {
-    ::unlink(temp.c_str());
+    env->Unlink(temp.c_str());
     return status;
   }
-  if (::rename(temp.c_str(), path.c_str()) != 0) {
-    const Status error = Status::Internal(Errno("rename failed for", path));
-    ::unlink(temp.c_str());
+  if (env->Rename(temp.c_str(), path.c_str()) != 0) {
+    const Status error = IoError("rename failed for", path, errno);
+    env->Unlink(temp.c_str());
     return error;
   }
-  SyncContainingDir(path);
+  SyncContainingDir(path, env);
   return Status::Ok();
 }
 
-Status RemoveFile(const std::string& path) {
-  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
-    return Status::Internal(Errno("unlink failed for", path));
+Status RemoveFile(const std::string& path, Env* env) {
+  env = Resolve(env);
+  if (env->Unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return IoError("unlink failed for", path, errno);
   }
   return Status::Ok();
 }
 
-bool FileExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0;
+Status RenameFile(const std::string& from, const std::string& to, Env* env) {
+  env = Resolve(env);
+  if (env->Rename(from.c_str(), to.c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + from);
+    return IoError("rename failed for", to, errno);
+  }
+  SyncContainingDir(to, env);
+  return Status::Ok();
 }
 
-StatusOr<uint64_t> FileSize(const std::string& path) {
+bool FileExists(const std::string& path, Env* env) {
   struct stat st;
-  if (::stat(path.c_str(), &st) != 0) {
+  return Resolve(env)->Stat(path.c_str(), &st) == 0;
+}
+
+StatusOr<uint64_t> FileSize(const std::string& path, Env* env) {
+  struct stat st;
+  if (Resolve(env)->Stat(path.c_str(), &st) != 0) {
     if (errno == ENOENT) return Status::NotFound("no such file: " + path);
-    return Status::Internal(Errno("stat failed for", path));
+    return IoError("stat failed for", path, errno);
   }
   return static_cast<uint64_t>(st.st_size);
 }
 
-Status EnsureDir(const std::string& path) {
-  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+Status EnsureDir(const std::string& path, Env* env) {
+  env = Resolve(env);
+  if (env->Mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
     return Status::Ok();
   }
-  return Status::Internal(Errno("mkdir failed for", path));
+  return IoError("mkdir failed for", path, errno);
 }
 
-StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
-  DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) {
-    if (errno == ENOENT) return Status::NotFound("no such directory: " + dir);
-    return Status::Internal(Errno("opendir failed for", dir));
-  }
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir, Env* env) {
   std::vector<std::string> names;
-  while (const dirent* entry = ::readdir(d)) {
-    const std::string name = entry->d_name;
-    if (name != "." && name != "..") names.push_back(name);
+  if (Resolve(env)->ListDirNames(dir.c_str(), &names) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such directory: " + dir);
+    return IoError("opendir failed for", dir, errno);
   }
-  ::closedir(d);
   std::sort(names.begin(), names.end());
   return names;
 }
 
-Status TruncateFile(const std::string& path, uint64_t size) {
-  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
-    return Status::Internal(Errno("truncate failed for", path));
+Status TruncateFile(const std::string& path, uint64_t size, Env* env) {
+  if (Resolve(env)->Truncate(path.c_str(), static_cast<int64_t>(size)) != 0) {
+    return IoError("truncate failed for", path, errno);
   }
   return Status::Ok();
 }
 
 StatusOr<AppendFile> AppendFile::Open(const std::string& path,
-                                      uint64_t truncate_to) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
-  if (fd < 0) return Status::Internal(Errno("cannot open", path));
+                                      uint64_t truncate_to, Env* env) {
+  env = Resolve(env);
+  const int fd = env->Open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return IoError("cannot open", path, errno);
   struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    const Status error = Status::Internal(Errno("fstat failed for", path));
-    ::close(fd);
+  if (env->Fstat(fd, &st) != 0) {
+    const Status error = IoError("fstat failed for", path, errno);
+    env->Close(fd);
     return error;
   }
   uint64_t size = static_cast<uint64_t>(st.st_size);
   if (truncate_to != kNoTruncate && truncate_to < size) {
-    if (::ftruncate(fd, static_cast<off_t>(truncate_to)) != 0) {
-      const Status error = Status::Internal(Errno("ftruncate failed for", path));
-      ::close(fd);
+    if (env->Ftruncate(fd, static_cast<int64_t>(truncate_to)) != 0) {
+      const Status error = IoError("ftruncate failed for", path, errno);
+      env->Close(fd);
       return error;
     }
     size = truncate_to;
   }
-  if (::lseek(fd, static_cast<off_t>(size), SEEK_SET) < 0) {
-    const Status error = Status::Internal(Errno("lseek failed for", path));
-    ::close(fd);
+  if (env->Lseek(fd, static_cast<int64_t>(size), SEEK_SET) < 0) {
+    const Status error = IoError("lseek failed for", path, errno);
+    env->Close(fd);
     return error;
   }
-  return AppendFile(fd, size, path);
+  return AppendFile(fd, size, path, env);
 }
 
 AppendFile::AppendFile(AppendFile&& other) noexcept
-    : fd_(other.fd_), offset_(other.offset_), path_(std::move(other.path_)) {
+    : fd_(other.fd_),
+      offset_(other.offset_),
+      path_(std::move(other.path_)),
+      env_(other.env_) {
   other.fd_ = -1;
   other.offset_ = 0;
 }
@@ -290,6 +339,7 @@ AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
     fd_ = other.fd_;
     offset_ = other.offset_;
     path_ = std::move(other.path_);
+    env_ = other.env_;
     other.fd_ = -1;
     other.offset_ = 0;
   }
@@ -300,7 +350,7 @@ AppendFile::~AppendFile() { Close(); }
 
 Status AppendFile::Append(std::string_view data) {
   if (fd_ < 0) return Status::FailedPrecondition("append file not open");
-  OBJALLOC_RETURN_IF_ERROR(WriteAll(fd_, data, path_));
+  OBJALLOC_RETURN_IF_ERROR(WriteAll(fd_, data, path_, env_));
   offset_ += data.size();
   return Status::Ok();
 }
@@ -309,13 +359,13 @@ Status AppendFile::Sync(SyncMode mode) {
   if (fd_ < 0) return Status::FailedPrecondition("append file not open");
   switch (mode) {
     case SyncMode::kFsync:
-      if (::fsync(fd_) != 0) {
-        return Status::Internal(Errno("fsync failed for", path_));
+      if (env_->Fsync(fd_) != 0) {
+        return IoError("fsync failed for", path_, errno);
       }
       return Status::Ok();
     case SyncMode::kFdatasync:
-      if (::fdatasync(fd_) != 0) {
-        return Status::Internal(Errno("fdatasync failed for", path_));
+      if (env_->Fdatasync(fd_) != 0) {
+        return IoError("fdatasync failed for", path_, errno);
       }
       return Status::Ok();
     case SyncMode::kNone:
@@ -324,9 +374,28 @@ Status AppendFile::Sync(SyncMode mode) {
   return Status::Internal("unknown sync mode");
 }
 
+Status AppendFile::TruncateTo(uint64_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("append file not open");
+  if (size > offset_) {
+    return Status::InvalidArgument("truncate past the append offset of " +
+                                   path_);
+  }
+  // A failed (possibly partial) write leaves the kernel file position — and
+  // possibly the file length — past `offset_`; both are reset together so
+  // the next Append lands exactly at the last good byte.
+  if (env_->Ftruncate(fd_, static_cast<int64_t>(size)) != 0) {
+    return IoError("ftruncate failed for", path_, errno);
+  }
+  if (env_->Lseek(fd_, static_cast<int64_t>(size), SEEK_SET) < 0) {
+    return IoError("lseek failed for", path_, errno);
+  }
+  offset_ = size;
+  return Status::Ok();
+}
+
 void AppendFile::Close() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    env_->Close(fd_);
     fd_ = -1;
   }
 }

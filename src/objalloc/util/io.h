@@ -3,16 +3,30 @@
 // rename), and an fsync-able append handle for write-ahead logging. All
 // operations report failures through util::Status — a torn disk, a missing
 // directory, or an interrupted rename is an error to handle, never an abort.
+//
+// Every syscall goes through a util::Env (env.h): pass one explicitly, or
+// leave the parameter null to use CurrentEnv(). Handles capture the Env at
+// Open time, so a reader/appender keeps talking to the same (possibly
+// fault-injected) environment for its whole life even if the global is
+// swapped mid-stream.
+//
+// Error classification (DESIGN.md §14): failures whose errno names a
+// transient media condition (EIO and friends) map to kUnavailable — retry
+// may help; persistent conditions (ENOSPC, EROFS, EACCES, ...) map to
+// kInternal — retry cannot help. ENOENT stays kNotFound. The retry helpers
+// in env.h key off exactly this split.
 
 #ifndef OBJALLOC_UTIL_IO_H_
 #define OBJALLOC_UTIL_IO_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <streambuf>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "objalloc/util/env.h"
 #include "objalloc/util/status.h"
 
 namespace objalloc::util {
@@ -30,37 +44,47 @@ namespace objalloc::util {
 enum class SyncMode : uint8_t { kFsync = 0, kFdatasync = 1, kNone = 2 };
 
 // Reads the whole file at `path`. NotFound when it does not exist.
-StatusOr<std::string> ReadFileToString(const std::string& path);
+StatusOr<std::string> ReadFileToString(const std::string& path,
+                                       Env* env = nullptr);
 
 // Crash-atomically replaces `path` with `data`: writes `path + ".tmp"`,
 // fsyncs it, renames over `path`, then fsyncs the containing directory so
 // the rename itself is durable. A crash leaves either the old file or the
 // new one, never a mix; a stale ".tmp" from an earlier crash is replaced.
-Status WriteFileAtomic(const std::string& path, std::string_view data);
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       Env* env = nullptr);
 
 // Removes `path`; a missing file is Ok (idempotent cleanup).
-Status RemoveFile(const std::string& path);
+Status RemoveFile(const std::string& path, Env* env = nullptr);
 
-bool FileExists(const std::string& path);
+// Renames `from` over `to` (same filesystem), then fsyncs the containing
+// directory. Used to quarantine a failed WAL generation under a new name.
+Status RenameFile(const std::string& from, const std::string& to,
+                  Env* env = nullptr);
+
+bool FileExists(const std::string& path, Env* env = nullptr);
 
 // File size in bytes; NotFound when missing.
-StatusOr<uint64_t> FileSize(const std::string& path);
+StatusOr<uint64_t> FileSize(const std::string& path, Env* env = nullptr);
 
 // Creates the directory (one level) if it does not exist.
-Status EnsureDir(const std::string& path);
+Status EnsureDir(const std::string& path, Env* env = nullptr);
 
 // Plain file names (not paths) of the entries in `dir`, sorted ascending.
-StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir,
+                                           Env* env = nullptr);
 
 // Truncates `path` to `size` bytes (used to drop a torn WAL tail).
-Status TruncateFile(const std::string& path, uint64_t size);
+Status TruncateFile(const std::string& path, uint64_t size,
+                    Env* env = nullptr);
 
 // A sequential binary reader for the streaming recovery path: bounded
 // buffer reads without materializing the file. Movable, not copyable.
 class FileReader {
  public:
   // Opens `path` for reading. NotFound when it does not exist.
-  static StatusOr<FileReader> Open(const std::string& path);
+  static StatusOr<FileReader> Open(const std::string& path,
+                                   Env* env = nullptr);
 
   FileReader() = default;
   FileReader(FileReader&& other) noexcept;
@@ -83,10 +107,33 @@ class FileReader {
   void Close();
 
  private:
-  FileReader(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  FileReader(int fd, std::string path, Env* env)
+      : fd_(fd), path_(std::move(path)), env_(env) {}
 
   int fd_ = -1;
   std::string path_;
+  Env* env_ = nullptr;
+};
+
+// Adapts a FileReader to std::streambuf so line-oriented parsers
+// (std::istream, std::getline) can stream a file through the Env seam with
+// a bounded buffer. Read-only, no seeking.
+class FileStreamBuf : public std::streambuf {
+ public:
+  explicit FileStreamBuf(FileReader reader) : reader_(std::move(reader)) {}
+
+  bool is_open() const { return reader_.is_open(); }
+  // First read failure, if any (EOF is not a failure). std::istream can
+  // only report badbit; the Status carries the real errno story.
+  const Status& status() const { return status_; }
+
+ protected:
+  int_type underflow() override;
+
+ private:
+  FileReader reader_;
+  Status status_;
+  char buffer_[1 << 16];
 };
 
 // An append-only file handle with explicit durability control: Append
@@ -99,7 +146,8 @@ class AppendFile {
   // drops a torn tail before appending resumes).
   static constexpr uint64_t kNoTruncate = ~uint64_t{0};
   static StatusOr<AppendFile> Open(const std::string& path,
-                                   uint64_t truncate_to = kNoTruncate);
+                                   uint64_t truncate_to = kNoTruncate,
+                                   Env* env = nullptr);
 
   AppendFile() = default;
   AppendFile(AppendFile&& other) noexcept;
@@ -116,15 +164,21 @@ class AppendFile {
   Status Append(std::string_view data);
   // Makes appended bytes durable per `mode` (kNone is a no-op).
   Status Sync(SyncMode mode = SyncMode::kFsync);
+  // Rolls the file back to `size` bytes (<= offset()) and repositions the
+  // append cursor there. The WAL retry path uses this to erase a partial
+  // group write before rewriting it — appending after a partial write
+  // would splice garbage into the middle of the log.
+  Status TruncateTo(uint64_t size);
   void Close();
 
  private:
-  AppendFile(int fd, uint64_t offset, std::string path)
-      : fd_(fd), offset_(offset), path_(std::move(path)) {}
+  AppendFile(int fd, uint64_t offset, std::string path, Env* env)
+      : fd_(fd), offset_(offset), path_(std::move(path)), env_(env) {}
 
   int fd_ = -1;
   uint64_t offset_ = 0;
   std::string path_;
+  Env* env_ = nullptr;
 };
 
 // The streaming twin of WriteFileAtomic: appends chunks to `path + ".tmp"`,
@@ -134,7 +188,8 @@ class AppendFile {
 // leaves a half-written final file *or* temp debris behind.
 class AtomicFileWriter {
  public:
-  static StatusOr<AtomicFileWriter> Open(const std::string& path);
+  static StatusOr<AtomicFileWriter> Open(const std::string& path,
+                                         Env* env = nullptr);
 
   AtomicFileWriter() = default;
   AtomicFileWriter(AtomicFileWriter&&) = default;
@@ -150,6 +205,7 @@ class AtomicFileWriter {
  private:
   AppendFile file_;
   std::string final_path_;
+  Env* env_ = nullptr;
   bool committed_ = false;
 };
 

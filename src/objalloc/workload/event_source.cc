@@ -127,19 +127,43 @@ util::StatusOr<size_t> TraceStreamEventSource::FillBatch(
   return filled;
 }
 
-util::Status TraceFileEventSource::ReadHeader() {
-  if (!file_.is_open()) {
-    return util::Status::NotFound("cannot open: " + path_);
+namespace {
+
+std::unique_ptr<util::FileStreamBuf> OpenTraceBuf(const std::string& path,
+                                                  util::Env* env,
+                                                  util::Status* status) {
+  auto reader = util::FileReader::Open(path, env);
+  if (!reader.ok()) {
+    *status = reader.status();
+    return nullptr;
   }
-  return stream_.ReadHeader();
+  return std::make_unique<util::FileStreamBuf>(std::move(*reader));
+}
+
+}  // namespace
+
+TraceFileEventSource::TraceFileEventSource(const std::string& path,
+                                           util::Env* env)
+    : path_(path),
+      buf_(OpenTraceBuf(path, env, &open_status_)),
+      is_(buf_.get()),  // a null streambuf sets badbit; guarded below anyway
+      stream_(is_) {}
+
+util::Status TraceFileEventSource::ReadHeader() {
+  if (buf_ == nullptr) return open_status_;
+  util::Status status = stream_.ReadHeader();
+  // The streambuf remembers the first read failure with its errno story;
+  // the istream can only say badbit.
+  if (!status.ok() && !buf_->status().ok()) return buf_->status();
+  return status;
 }
 
 util::StatusOr<size_t> TraceFileEventSource::FillBatch(
     std::span<MultiObjectEvent> out) {
-  if (!file_.is_open()) {
-    return util::Status::NotFound("cannot open: " + path_);
-  }
-  return stream_.FillBatch(out);
+  if (buf_ == nullptr) return open_status_;
+  auto filled = stream_.FillBatch(out);
+  if (!filled.ok() && !buf_->status().ok()) return buf_->status();
+  return filled;
 }
 
 }  // namespace objalloc::workload

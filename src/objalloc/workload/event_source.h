@@ -14,11 +14,13 @@
 #ifndef OBJALLOC_WORKLOAD_EVENT_SOURCE_H_
 #define OBJALLOC_WORKLOAD_EVENT_SOURCE_H_
 
-#include <fstream>
 #include <iosfwd>
+#include <istream>
+#include <memory>
 #include <span>
 #include <string>
 
+#include "objalloc/util/io.h"
 #include "objalloc/util/status.h"
 #include "objalloc/workload/multi_object.h"
 
@@ -101,11 +103,14 @@ class TraceStreamEventSource : public EventSource {
   int num_objects_ = 0;
 };
 
-// Owning file variant of TraceStreamEventSource.
+// Owning file variant of TraceStreamEventSource. The file is read through
+// the util::Env seam (util::FileStreamBuf over a util::FileReader), so an
+// injected fault environment governs trace reads the same way it governs
+// the durability layer — still streaming, one bounded buffer.
 class TraceFileEventSource : public EventSource {
  public:
-  explicit TraceFileEventSource(const std::string& path)
-      : path_(path), file_(path), stream_(file_) {}
+  explicit TraceFileEventSource(const std::string& path,
+                                util::Env* env = nullptr);
 
   util::Status ReadHeader();
 
@@ -115,7 +120,9 @@ class TraceFileEventSource : public EventSource {
 
  private:
   std::string path_;
-  std::ifstream file_;
+  util::Status open_status_;
+  std::unique_ptr<util::FileStreamBuf> buf_;  // null when the open failed
+  std::istream is_;
   TraceStreamEventSource stream_;
 };
 

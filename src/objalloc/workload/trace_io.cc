@@ -1,9 +1,9 @@
 #include "objalloc/workload/trace_io.h"
 
 #include <array>
-#include <fstream>
 #include <sstream>
 
+#include "objalloc/util/io.h"
 #include "objalloc/workload/event_source.h"
 
 namespace objalloc::workload {
@@ -29,12 +29,12 @@ void WriteTrace(const model::Schedule& schedule, std::ostream& os) {
 }
 
 util::Status WriteTraceFile(const model::Schedule& schedule,
-                            const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return util::Status::NotFound("cannot open for writing: " + path);
+                            const std::string& path, util::Env* env) {
+  // Serialize in memory, publish atomically through the Env seam — a trace
+  // file is either complete or absent, never a torn capture.
+  std::ostringstream out;
   WriteTrace(schedule, out);
-  if (!out) return util::Status::Internal("write failed: " + path);
-  return util::Status::Ok();
+  return util::WriteFileAtomic(path, out.str(), env);
 }
 
 util::StatusOr<model::Schedule> ReadTrace(std::istream& is) {
@@ -79,10 +79,17 @@ util::StatusOr<model::Schedule> ReadTrace(std::istream& is) {
   return schedule;
 }
 
-util::StatusOr<model::Schedule> ReadTraceFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return util::Status::NotFound("cannot open: " + path);
-  return ReadTrace(in);
+util::StatusOr<model::Schedule> ReadTraceFile(const std::string& path,
+                                              util::Env* env) {
+  auto reader = util::FileReader::Open(path, env);
+  if (!reader.ok()) return reader.status();
+  util::FileStreamBuf buf(std::move(*reader));
+  std::istream in(&buf);
+  auto schedule = ReadTrace(in);
+  // A mid-stream read failure surfaces as badbit; the streambuf kept the
+  // errno story.
+  if (!schedule.ok() && !buf.status().ok()) return buf.status();
+  return schedule;
 }
 
 void WriteMultiObjectTrace(const MultiObjectTrace& trace, std::ostream& os) {
@@ -95,12 +102,11 @@ void WriteMultiObjectTrace(const MultiObjectTrace& trace, std::ostream& os) {
 }
 
 util::Status WriteMultiObjectTraceFile(const MultiObjectTrace& trace,
-                                       const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return util::Status::NotFound("cannot open for writing: " + path);
+                                       const std::string& path,
+                                       util::Env* env) {
+  std::ostringstream out;
   WriteMultiObjectTrace(trace, out);
-  if (!out) return util::Status::Internal("write failed: " + path);
-  return util::Status::Ok();
+  return util::WriteFileAtomic(path, out.str(), env);
 }
 
 util::StatusOr<MultiObjectTrace> ReadMultiObjectTrace(std::istream& is) {
@@ -123,10 +129,14 @@ util::StatusOr<MultiObjectTrace> ReadMultiObjectTrace(std::istream& is) {
 }
 
 util::StatusOr<MultiObjectTrace> ReadMultiObjectTraceFile(
-    const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return util::Status::NotFound("cannot open: " + path);
-  return ReadMultiObjectTrace(in);
+    const std::string& path, util::Env* env) {
+  auto reader = util::FileReader::Open(path, env);
+  if (!reader.ok()) return reader.status();
+  util::FileStreamBuf buf(std::move(*reader));
+  std::istream in(&buf);
+  auto trace = ReadMultiObjectTrace(in);
+  if (!trace.ok() && !buf.status().ok()) return buf.status();
+  return trace;
 }
 
 }  // namespace objalloc::workload

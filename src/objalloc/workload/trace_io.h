@@ -12,19 +12,26 @@
 #include <string>
 
 #include "objalloc/model/schedule.h"
+#include "objalloc/util/env.h"
 #include "objalloc/util/status.h"
 #include "objalloc/workload/multi_object.h"
 
 namespace objalloc::workload {
 
+// The *File variants route every byte through a util::Env (null = the
+// installed CurrentEnv), so trace capture and replay obey the same fault
+// injection as the durability layer. Writes are crash-atomic (temp file +
+// rename); reads preserve NotFound for a missing file.
+
 // Serializes `schedule` (wrapping request lines at ~80 columns).
 void WriteTrace(const model::Schedule& schedule, std::ostream& os);
 util::Status WriteTraceFile(const model::Schedule& schedule,
-                            const std::string& path);
+                            const std::string& path, util::Env* env = nullptr);
 
 // Parses a trace; rejects malformed headers, tokens, and out-of-range ids.
 util::StatusOr<model::Schedule> ReadTrace(std::istream& is);
-util::StatusOr<model::Schedule> ReadTraceFile(const std::string& path);
+util::StatusOr<model::Schedule> ReadTraceFile(const std::string& path,
+                                              util::Env* env = nullptr);
 
 // Multi-object traces use one event per line after the header:
 //
@@ -33,10 +40,11 @@ util::StatusOr<model::Schedule> ReadTraceFile(const std::string& path);
 //   <object-id> <r|w><processor>
 void WriteMultiObjectTrace(const MultiObjectTrace& trace, std::ostream& os);
 util::Status WriteMultiObjectTraceFile(const MultiObjectTrace& trace,
-                                       const std::string& path);
+                                       const std::string& path,
+                                       util::Env* env = nullptr);
 util::StatusOr<MultiObjectTrace> ReadMultiObjectTrace(std::istream& is);
 util::StatusOr<MultiObjectTrace> ReadMultiObjectTraceFile(
-    const std::string& path);
+    const std::string& path, util::Env* env = nullptr);
 
 }  // namespace objalloc::workload
 

@@ -10,6 +10,8 @@
 #include "objalloc/sim/durable_store.h"
 #include "objalloc/sim/simulator.h"
 #include "objalloc/util/crc32.h"
+#include "objalloc/util/env.h"
+#include "objalloc/util/faulty_env.h"
 
 namespace objalloc::sim {
 namespace {
@@ -117,6 +119,65 @@ TEST(DurableStoreTest, DetectsTruncation) {
     file << "xyz";
   }
   EXPECT_FALSE(store.Load().ok());
+  ASSERT_TRUE(store.Remove().ok());
+}
+
+TEST(DurableStoreTest, InjectedWriteFaultSurfacesFromPersist) {
+  // The store's IO rides the util::Env seam, so a scripted disk fault
+  // surfaces as a Persist error — and the previously published record
+  // survives untouched (atomic publish: old or new, never a mix).
+  std::string path = TestPath("faulty_persist.bin");
+  util::FaultyEnv faulty;
+  util::ScopedEnv scoped(&faulty);
+  DurableObjectStore store(path);
+  ASSERT_TRUE(store.Persist(1, 10, true).ok());
+
+  faulty.SetPlan({faulty.op_count(), util::FaultKind::kEio,
+                  util::FaultPlan::kForever});
+  EXPECT_FALSE(store.Persist(2, 20, true).ok());
+
+  faulty.ClearPlan();
+  auto snapshot = store.Load();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->version, 1);
+  EXPECT_EQ(snapshot->value, 10u);
+  ASSERT_TRUE(store.Remove().ok());
+}
+
+TEST(DurableStoreTest, InjectedReadFaultSurfacesFromLoad) {
+  std::string path = TestPath("faulty_load.bin");
+  util::FaultyEnv faulty;
+  util::ScopedEnv scoped(&faulty);
+  DurableObjectStore store(path);
+  ASSERT_TRUE(store.Persist(5, 50, true).ok());
+
+  faulty.SetPlan({faulty.op_count(), util::FaultKind::kEio,
+                  util::FaultPlan::kForever});
+  EXPECT_FALSE(store.Load().ok());
+
+  faulty.ClearPlan();
+  EXPECT_TRUE(store.Load().ok());
+  ASSERT_TRUE(store.Remove().ok());
+}
+
+TEST(DurableStoreTest, BitFlipOnTheWireIsCaughtByTheCrc) {
+  // A read that silently corrupts one bit (bad cable, bad DRAM on the
+  // controller) must be indistinguishable from on-disk corruption: the
+  // record CRC rejects it.
+  std::string path = TestPath("faulty_flip.bin");
+  util::FaultyEnv faulty;
+  util::ScopedEnv scoped(&faulty);
+  DurableObjectStore store(path);
+  ASSERT_TRUE(store.Persist(6, 60, true).ok());
+
+  // The Load sequence is Open, then the data-carrying Read.
+  faulty.SetPlan({faulty.op_count() + 1, util::FaultKind::kBitFlipRead, 1});
+  EXPECT_FALSE(store.Load().ok());
+
+  faulty.ClearPlan();
+  auto snapshot = store.Load();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->version, 6);
   ASSERT_TRUE(store.Remove().ok());
 }
 
