@@ -132,6 +132,11 @@ struct Measurement {
   double events_per_sec = 0;
   double handle_events_per_sec = 0;
   double pipelined_events_per_sec = 0;
+  // Queue occupancy while pipelining, sampled with the O(1) lock-free
+  // ObjectService::Load() probe after every SubmitBatch — the same signal
+  // the net::Server backpressure gate sheds on.
+  uint64_t queue_ops_peak = 0;
+  double queue_ops_mean = 0;
   double speedup_vs_1thread = 0;
   bool speedup_valid = false;
   size_t memory_bytes = 0;     // ObjectService::MemoryUsageBytes() post-run
@@ -348,6 +353,9 @@ int main(int argc, char** argv) {
       // results. Same trace, same fingerprint requirement.
       double pipelined_best = 0;
       Fingerprint pipelined_fingerprint;
+      uint64_t queue_ops_peak = 0;
+      uint64_t queue_ops_sum = 0;
+      uint64_t queue_samples = 0;
       for (int r = 0; r < repeats; ++r) {
         core::ServiceOptions service_options;
         service_options.num_shards = shards;
@@ -372,6 +380,10 @@ int main(int argc, char** argv) {
               all.subspan(pos, std::min(batch_size, all.size() - pos)),
               &results[cur], &tickets[cur]);
           OBJALLOC_CHECK(status.ok()) << status.ToString();
+          const core::ServiceLoad load = service.Load();
+          queue_ops_peak = std::max(queue_ops_peak, load.executor_queued_ops);
+          queue_ops_sum += load.executor_queued_ops;
+          ++queue_samples;
           if (!tickets[cur].completed) cur ^= 1;
         }
         util::Status drained = service.DrainBatches();
@@ -398,6 +410,11 @@ int main(int argc, char** argv) {
       m.handle_events_per_sec = static_cast<double>(events) / handle_best;
       m.pipelined_events_per_sec =
           static_cast<double>(events) / pipelined_best;
+      m.queue_ops_peak = queue_ops_peak;
+      m.queue_ops_mean =
+          queue_samples == 0 ? 0
+                             : static_cast<double>(queue_ops_sum) /
+                                   static_cast<double>(queue_samples);
       m.speedup_vs_1thread = best > 0 ? one_thread_seconds / best : 0;
       m.speedup_valid = hw > 1 && threads <= hw;
       m.memory_bytes = memory_bytes;
@@ -406,11 +423,14 @@ int main(int argc, char** argv) {
       m.peak_rss_bytes = PeakRssBytes();
       measurements.push_back(m);
       std::printf("shards=%-4d threads=%-3d (nproc %d) %8.3fs "
-                  "%12.0f events/sec  (handles %12.0f, pipelined %12.0f)  "
+                  "%12.0f events/sec  (handles %12.0f, pipelined %12.0f, "
+                  "queue peak/mean %llu/%.0f ops)  "
                   "%7.1f B/obj  rss %zu MB  ",
                   m.shards, m.threads, m.nproc, m.seconds, m.events_per_sec,
                   m.handle_events_per_sec, m.pipelined_events_per_sec,
-                  m.bytes_per_object, m.peak_rss_bytes >> 20);
+                  static_cast<unsigned long long>(m.queue_ops_peak),
+                  m.queue_ops_mean, m.bytes_per_object,
+                  m.peak_rss_bytes >> 20);
       if (m.speedup_valid) {
         std::printf("speedup %.2fx\n", m.speedup_vs_1thread);
       } else {
@@ -514,6 +534,8 @@ int main(int argc, char** argv) {
         << ", \"events_per_sec\": " << m.events_per_sec
         << ", \"handle_events_per_sec\": " << m.handle_events_per_sec
         << ", \"pipelined_events_per_sec\": " << m.pipelined_events_per_sec
+        << ", \"queue_ops_peak\": " << m.queue_ops_peak
+        << ", \"queue_ops_mean\": " << m.queue_ops_mean
         << ", \"memory_bytes\": " << m.memory_bytes
         << ", \"bytes_per_object\": " << m.bytes_per_object
         << ", \"peak_rss_bytes\": " << m.peak_rss_bytes

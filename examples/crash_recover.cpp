@@ -27,6 +27,11 @@
 //
 // CI drives this in a loop: kill at random points, recover, repeat, then
 // finish and compare the fingerprint. See .github/workflows/ci.yml.
+//
+// SIGKILL is the crash; SIGTERM is the *graceful* path — the same
+// net::DrainSignal latch the TCP server uses (DESIGN.md §15). On SIGTERM
+// the serve loop finishes its batch, syncs durable state, and exits 0, so
+// the next run recovers with a clean tail instead of a torn one.
 
 #include <csignal>
 #include <cstdint>
@@ -36,6 +41,7 @@
 #include <string>
 
 #include "objalloc/core/object_service.h"
+#include "objalloc/net/signal_drain.h"
 #include "objalloc/util/crc32.h"
 #include "objalloc/workload/multi_object.h"
 
@@ -154,8 +160,17 @@ int main(int argc, char** argv) {
     return Fail("recovery failed: " + recovered.status().ToString());
   }
 
+  net::DrainSignal::Install(SIGTERM);
   const std::span<const workload::MultiObjectEvent> all(trace.events);
   while (position < all.size()) {
+    if (net::DrainSignal::Requested()) {
+      util::Status synced = service.SyncDurable();
+      if (!synced.ok()) return Fail(synced.ToString());
+      std::printf("drained at event %zu/%zu: durable state synced, "
+                  "exiting cleanly\n",
+                  position, events);
+      return 0;
+    }
     if (kill_at >= 0 && position >= static_cast<size_t>(kill_at)) {
       std::printf("simulating crash at event %zu\n", position);
       std::fflush(stdout);

@@ -1379,9 +1379,27 @@ util::Status ObjectService::ReattachDurability() {
   return util::Status::Ok();
 }
 
+ServiceLoad ObjectService::Load() const {
+  ServiceLoad load;
+  if (executor_ != nullptr) {
+    load.executor_queued_ops = executor_->QueuedOps();
+    load.inflight_batches = executor_->InflightBatches();
+  }
+  if (durability_ != nullptr) {
+    load.durability = durability_->state;
+    if (durability_->wal != nullptr &&
+        durability_->state == DurabilityState::kDurable) {
+      load.wal_backlog_bytes = durability_->wal->BacklogBytes();
+    }
+  }
+  return load;
+}
+
 ServiceStats ObjectService::Stats() const {
+  ServiceLoad load = Load();
   FenceAsync();
   ServiceStats stats;
+  stats.load = load;
   stats.objects = object_count();
   stats.total_requests = TotalRequests();
   stats.total_breakdown = TotalBreakdown();

@@ -208,6 +208,22 @@ enum class DurabilityState : uint8_t {
   kDegraded = 2,
 };
 
+// Live load signals (DESIGN.md §15), readable WITHOUT fencing the
+// pipeline: relaxed counter snapshots from the shard executor and the
+// async WAL writer. This is the backpressure surface a serving front-end
+// polls every loop iteration — a fencing read (Stats) would drain the very
+// queues it is trying to measure. Single-caller like the rest of the
+// service: call it from the serving thread between submits.
+struct ServiceLoad {
+  // Events enqueued on shard rings but not yet served.
+  uint64_t executor_queued_ops = 0;
+  // Batches submitted (SubmitBatch) but not yet completed.
+  uint32_t inflight_batches = 0;
+  // WAL bytes appended but not yet durable (0 when durability is off).
+  size_t wal_backlog_bytes = 0;
+  DurabilityState durability = DurabilityState::kDetached;
+};
+
 // Point-in-time service statistics (ObjectService::Stats): serving totals
 // plus the durability health surface — state, the error that degraded it,
 // and the retry/degrade counters that tell whether a bad disk was ridden
@@ -216,6 +232,11 @@ struct ServiceStats {
   size_t objects = 0;
   int64_t total_requests = 0;
   model::CostBreakdown total_breakdown;
+
+  // Occupancy at the moment Stats() was called, sampled *before* the
+  // pipeline fence the rest of the read takes (after the fence they are
+  // definitionally zero). bench/service_scaling reports these per row.
+  ServiceLoad load;
 
   DurabilityState durability = DurabilityState::kDetached;
   // The failure that degraded durability; Ok in every other state.
@@ -436,8 +457,14 @@ class ObjectService {
   // the disk heals.
   util::Status ReattachDurability();
 
-  // Point-in-time serving + durability statistics (fences the pipeline).
+  // Point-in-time serving + durability statistics (fences the pipeline;
+  // the `load` field is sampled just before the fence).
   ServiceStats Stats() const;
+
+  // Live queue/backlog occupancy without fencing the pipeline — the
+  // backpressure signal (see ServiceLoad). O(1), no locks beyond the WAL
+  // writer's stats mutex.
+  ServiceLoad Load() const;
 
   // Rotates the durable generation: syncs the current WAL, writes a full
   // snapshot atomically, opens the next WAL, publishes the manifest, and

@@ -91,10 +91,16 @@ uint32_t ShardExecutor::Acquire() {
 void ShardExecutor::Submit(uint32_t context_index) {
   BatchContext& context = *contexts_[context_index];
   uint32_t tasks = 0;
+  uint64_t total_ops = 0;
   for (size_t s = 0; s < num_shards_; ++s) {
-    if (!context.ops[s].empty()) ++tasks;
+    if (!context.ops[s].empty()) {
+      ++tasks;
+      total_ops += context.ops[s].size();
+    }
   }
   if (tasks == 0) return;  // nothing to do: in_flight stays false
+  queued_ops_.fetch_add(total_ops, std::memory_order_relaxed);
+  inflight_batches_.fetch_add(1, std::memory_order_relaxed);
 
   // Completion state before the first push: a worker that races through its
   // sub-batch immediately still decrements from the full count.
@@ -197,10 +203,12 @@ void ShardExecutor::RunTask(uint32_t context_index, uint32_t shard_index) {
           &delta, &stats, context.check_invariant);
     }
   }
+  queued_ops_.fetch_sub(ops.size(), std::memory_order_relaxed);
   // Last sub-batch completes the batch. The acq_rel decrement chains every
   // worker's writes into the final release of in_flight, which Wait's
   // acquire load picks up — the submitter then reads all shard results.
   if (context.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(done_mutex_);
     context.in_flight.store(false, std::memory_order_release);
     done_.notify_all();

@@ -151,6 +151,18 @@ class ShardExecutor {
   // True while any submitted batch has not completed.
   bool HasInflight() const;
 
+  // Occupancy introspection (DESIGN.md §15): events enqueued but not yet
+  // served, and batches submitted but not yet completed. Relaxed snapshots
+  // — readable from any thread without fencing the pipeline, which is what
+  // makes them usable as a live backpressure signal (a fencing read would
+  // drain the very queues it measures).
+  uint64_t QueuedOps() const {
+    return queued_ops_.load(std::memory_order_relaxed);
+  }
+  uint32_t InflightBatches() const {
+    return inflight_batches_.load(std::memory_order_relaxed);
+  }
+
   // Waits for every in-flight batch — the pipeline fence. After DrainAll
   // the shards are quiescent: no worker will touch them until the next
   // Submit.
@@ -180,6 +192,11 @@ class ShardExecutor {
   uint32_t next_context_ = 0;
   uint64_t next_sequence_ = 0;
   std::atomic<bool> stop_{false};
+  // Occupancy counters (see QueuedOps/InflightBatches). Producer adds at
+  // Submit, workers subtract as they serve; both relaxed — readers want a
+  // load signal, not a synchronization edge.
+  std::atomic<uint64_t> queued_ops_{0};
+  std::atomic<uint32_t> inflight_batches_{0};
   // Completion handshake (shared by all contexts; completions are rare —
   // one per sub-batch at most, one contended notify per batch).
   std::mutex done_mutex_;

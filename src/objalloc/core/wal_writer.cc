@@ -52,6 +52,7 @@ uint64_t AsyncWalWriter::Append(WalRecordType type, std::string_view payload) {
       util::AppendRecord(static_cast<uint8_t>(type), payload, &active_);
       ++records_appended_;
       bytes_appended_ += payload.size() + util::kRecordHeaderSize;
+      backlog_bytes_ += payload.size() + util::kRecordHeaderSize;
       // Wake the log thread when the group opens (arming its delay timer)
       // or when the group crosses the size threshold.
       if (was_empty || active_.size() >= options_.group_commit_bytes) {
@@ -129,6 +130,11 @@ uint64_t AsyncWalWriter::durable_lsn() const {
 bool AsyncWalWriter::is_open() const {
   std::lock_guard<std::mutex> lock(mu_);
   return started_ && error_.ok() && wal_.is_open();
+}
+
+size_t AsyncWalWriter::BacklogBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backlog_bytes_;
 }
 
 WalCommitStats AsyncWalWriter::Stats() const {
@@ -223,6 +229,8 @@ void AsyncWalWriter::LogThreadMain() {
       continue;
     }
     durable_lsn_ = sealed_end;
+    backlog_bytes_ -= sealed.size() > backlog_bytes_ ? backlog_bytes_
+                                                     : sealed.size();
     ++group_commits_;
     commit_latency_us_.Add(
         std::chrono::duration<double, std::micro>(now - opened).count());

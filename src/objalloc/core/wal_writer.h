@@ -129,6 +129,13 @@ class AsyncWalWriter {
   bool is_open() const;
   WalCommitStats Stats() const;
 
+  // Bytes appended but not yet durable (active buffer + any sealed group
+  // still being written/synced). This is the live backpressure signal a
+  // serving front-end watches (DESIGN.md §15): it grows when the disk
+  // falls behind the offered write load and drains to zero at each group
+  // commit. Any thread may call it.
+  size_t BacklogBytes() const;
+
  private:
   void LogThreadMain();
   // Under mu_: true when the log thread should seal the current group now
@@ -157,6 +164,7 @@ class AsyncWalWriter {
 
   uint64_t records_appended_ = 0;
   uint64_t bytes_appended_ = 0;
+  size_t backlog_bytes_ = 0;  // appended, not yet durable (guarded by mu_)
   uint64_t group_commits_ = 0;
   uint64_t write_retries_ = 0;
   util::Env* env_ = nullptr;  // captured at Attach (backoff sleeps)

@@ -1,0 +1,312 @@
+#include "objalloc/net/chaos.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string_view>
+
+#include "objalloc/net/client.h"
+#include "objalloc/net/wire.h"
+#include "objalloc/util/crc32.h"
+#include "objalloc/util/rng.h"
+
+namespace objalloc::net {
+
+namespace {
+
+// A raw socket wrapper that intentionally bypasses net::Client — chaos
+// needs byte-level control that a correct client never exposes.
+class RawConn {
+ public:
+  ~RawConn() { CloseHard(); }
+
+  bool Connect(const std::string& host, uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      CloseHard();
+      return false;
+    }
+    const int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  bool SendAll(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // server already dropped us — that IS the test passing
+    }
+    return true;
+  }
+
+  // Reads whatever the server says within `timeout_ms`; returns bytes
+  // received (0 on timeout), -1 when the peer closed.
+  int Receive(std::string* out, int timeout_ms) {
+    pollfd pfd = {};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    if (poll(&pfd, 1, timeout_ms) <= 0) return 0;
+    char buffer[16 * 1024];
+    const ssize_t n = read(fd_, buffer, sizeof(buffer));
+    if (n > 0) {
+      out->append(buffer, static_cast<size_t>(n));
+      return static_cast<int>(n);
+    }
+    return -1;
+  }
+
+  // Abortive close (RST instead of FIN): SO_LINGER zero. The harshest
+  // disconnect a peer can deliver mid-frame.
+  void CloseRst() {
+    if (fd_ < 0) return;
+    struct linger lg = {1, 0};
+    setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    CloseHard();
+  }
+
+  void CloseHard() {
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+// One syntactically valid serve frame against a registered object.
+std::string ValidFrame(util::Rng& rng, const ChaosOptions& options,
+                       uint64_t request_id) {
+  ServeRequest request;
+  request.object =
+      options.first_object +
+      static_cast<int64_t>(rng.NextBounded(
+          static_cast<uint64_t>(std::max<int64_t>(options.object_count, 1))));
+  request.processor = static_cast<uint32_t>(
+      rng.NextBounded(static_cast<uint64_t>(std::max(options.num_processors, 1))));
+  request.deadline_ms = 0;
+  std::string payload;
+  EncodeServe(request, &payload);
+  std::string frame;
+  AppendFrame(rng.NextDouble() < 0.5 ? MsgType::kRead : MsgType::kWrite, 0,
+              request_id, payload, &frame);
+  return frame;
+}
+
+// Counts frames in a reply byte stream, classifying ok vs error.
+void CountReplies(std::string_view bytes, ChaosReport* report) {
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    const DecodeResult result =
+        DecodeFrame(bytes.substr(offset), kDefaultMaxFrameBytes, &frame,
+                    &consumed, &error);
+    if (result != DecodeResult::kFrame) return;
+    offset += consumed;
+    if (frame.type == MsgType::kProtocolError || frame.status != 0) {
+      ++report->error_replies_seen;
+    } else {
+      ++report->ok_replies_seen;
+    }
+  }
+}
+
+}  // namespace
+
+const char* ChaosProfileName(ChaosProfile profile) {
+  switch (profile) {
+    case ChaosProfile::kMidFrameDisconnect:
+      return "mid_frame_disconnect";
+    case ChaosProfile::kByteDribble:
+      return "byte_dribble";
+    case ChaosProfile::kCorruptFrame:
+      return "corrupt_frame";
+    case ChaosProfile::kTruncatedFrame:
+      return "truncated_frame";
+    case ChaosProfile::kOversizedFrame:
+      return "oversized_frame";
+    case ChaosProfile::kWrongVersion:
+      return "wrong_version";
+    case ChaosProfile::kRandomGarbage:
+      return "random_garbage";
+    case ChaosProfile::kConnectFlood:
+      return "connect_flood";
+  }
+  return "unknown";
+}
+
+std::vector<ChaosProfile> AllChaosProfiles() {
+  return {ChaosProfile::kMidFrameDisconnect, ChaosProfile::kByteDribble,
+          ChaosProfile::kCorruptFrame,       ChaosProfile::kTruncatedFrame,
+          ChaosProfile::kOversizedFrame,     ChaosProfile::kWrongVersion,
+          ChaosProfile::kRandomGarbage,      ChaosProfile::kConnectFlood};
+}
+
+ChaosReport RunChaos(ChaosProfile profile, const ChaosOptions& options) {
+  ChaosReport report;
+  report.profile = profile;
+  util::Rng rng(options.seed);
+
+  for (int i = 0; i < options.iterations; ++i) {
+    ++report.connections_attempted;
+    RawConn conn;
+    if (!conn.Connect(options.host, options.port)) continue;
+    ++report.connections_established;
+    std::string received;
+
+    switch (profile) {
+      case ChaosProfile::kConnectFlood:
+        // Connect and leave (alternating FIN/RST) — the accept path and
+        // the idle sweep absorb the churn.
+        if (rng.NextDouble() < 0.5) {
+          conn.CloseRst();
+        } else {
+          conn.CloseHard();
+        }
+        continue;
+
+      case ChaosProfile::kMidFrameDisconnect: {
+        std::string frame = ValidFrame(rng, options, 1 + i);
+        // Cut strictly inside the frame: [1, size - 1) bytes go out.
+        const size_t cut =
+            1 + rng.NextBounded(static_cast<uint64_t>(frame.size() - 1));
+        conn.SendAll(std::string_view(frame).substr(0, cut));
+        ++report.frames_sent;
+        conn.CloseRst();
+        continue;
+      }
+
+      case ChaosProfile::kByteDribble: {
+        // A complete, valid exchange — just delivered one byte per write.
+        // The server must buffer patiently and still serve it.
+        std::string frame = ValidFrame(rng, options, 1 + i);
+        bool alive = true;
+        for (char byte : frame) {
+          if (!conn.SendAll(std::string_view(&byte, 1))) {
+            alive = false;
+            break;
+          }
+        }
+        ++report.frames_sent;
+        if (alive) {
+          while (conn.Receive(&received, options.receive_timeout_ms) > 0 &&
+                 received.size() < kFrameOverheadBytes + sizeof(double)) {
+          }
+          CountReplies(received, &report);
+        }
+        conn.CloseHard();
+        continue;
+      }
+
+      case ChaosProfile::kCorruptFrame: {
+        std::string frame = ValidFrame(rng, options, 1 + i);
+        // Flip one random bit anywhere past the length field: CRC must
+        // catch it. (Length-field flips are covered by kTruncated /
+        // kOversized below.)
+        const size_t byte =
+            4 + rng.NextBounded(static_cast<uint64_t>(frame.size() - 4));
+        frame[byte] = static_cast<char>(
+            static_cast<uint8_t>(frame[byte]) ^ (1u << rng.NextBounded(8)));
+        conn.SendAll(frame);
+        ++report.frames_sent;
+        break;
+      }
+
+      case ChaosProfile::kTruncatedFrame: {
+        std::string frame = ValidFrame(rng, options, 1 + i);
+        // Lie upward in the length field, then send the original bytes and
+        // FIN: the server waits for the promised remainder that never
+        // comes, then the disconnect lands mid-"frame".
+        uint32_t length = 0;
+        std::memcpy(&length, frame.data(), sizeof(length));
+        length += 1 + static_cast<uint32_t>(rng.NextBounded(64));
+        std::memcpy(frame.data(), &length, sizeof(length));
+        conn.SendAll(frame);
+        ++report.frames_sent;
+        break;
+      }
+
+      case ChaosProfile::kOversizedFrame: {
+        std::string frame = ValidFrame(rng, options, 1 + i);
+        const uint32_t length =
+            static_cast<uint32_t>(kDefaultMaxFrameBytes) +
+            1 + static_cast<uint32_t>(rng.NextBounded(1u << 20));
+        std::memcpy(frame.data(), &length, sizeof(length));
+        conn.SendAll(frame);
+        ++report.frames_sent;
+        break;
+      }
+
+      case ChaosProfile::kWrongVersion: {
+        std::string frame = ValidFrame(rng, options, 1 + i);
+        // Byte 8 is the version; re-seal the CRC so ONLY the version is
+        // wrong (a CRC mismatch would mask the version check).
+        uint8_t version = kWireVersion;
+        while (version == kWireVersion) {
+          version = static_cast<uint8_t>(rng.NextBounded(256));
+        }
+        frame[8] = static_cast<char>(version);
+        const uint32_t crc = util::Crc32(frame.data() + 8, frame.size() - 8);
+        std::memcpy(frame.data() + 4, &crc, sizeof(crc));
+        conn.SendAll(frame);
+        ++report.frames_sent;
+        break;
+      }
+
+      case ChaosProfile::kRandomGarbage: {
+        std::string garbage;
+        const size_t len = 1 + rng.NextBounded(512);
+        garbage.reserve(len);
+        for (size_t b = 0; b < len; ++b) {
+          garbage.push_back(static_cast<char>(rng.NextBounded(256)));
+        }
+        conn.SendAll(garbage);
+        ++report.frames_sent;
+        break;
+      }
+    }
+
+    // Malformed-input profiles fall through to here: give the server a
+    // moment to answer (kProtocolError) and/or hang up on us.
+    const int got = conn.Receive(&received, options.receive_timeout_ms);
+    CountReplies(received, &report);
+    if (got < 0 || conn.Receive(&received, options.receive_timeout_ms) < 0) {
+      ++report.peer_closes_seen;
+    }
+    conn.CloseHard();
+  }
+
+  // The verdict: is the front-end still serving fresh, well-behaved
+  // connections after the storm?
+  Client probe;
+  if (probe.Connect(options.host, options.port).ok() && probe.Ping().ok()) {
+    report.server_alive_after = true;
+  }
+  return report;
+}
+
+}  // namespace objalloc::net

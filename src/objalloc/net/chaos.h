@@ -1,0 +1,78 @@
+// net::chaos — seeded, deterministic connection-chaos profiles (DESIGN.md
+// §15): misbehaving clients distilled from the failure modes a public TCP
+// front-end actually meets. Each profile is a pure function of its seed,
+// so a failing run replays exactly; the server must survive every profile
+// with zero crashes, zero hangs, and no effect on well-formed traffic.
+//
+//   kMidFrameDisconnect  valid frame prefixes cut at a random byte, then RST
+//   kByteDribble         valid frames dribbled a byte at a time (slow client)
+//   kCorruptFrame        valid frames with one random bit flipped
+//   kTruncatedFrame      frames whose length field promises more than sent
+//   kOversizedFrame      length fields far beyond the server's max
+//   kWrongVersion        well-framed messages with an alien version byte
+//   kRandomGarbage       uniformly random bytes
+//   kConnectFlood        rapid connect/disconnect cycles, nothing sent
+//
+// RunChaos connects, misbehaves, and records what the server did about it.
+// It never asserts — callers (tests, CI) judge the ChaosReport.
+
+#ifndef OBJALLOC_NET_CHAOS_H_
+#define OBJALLOC_NET_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace objalloc::net {
+
+enum class ChaosProfile {
+  kMidFrameDisconnect,
+  kByteDribble,
+  kCorruptFrame,
+  kTruncatedFrame,
+  kOversizedFrame,
+  kWrongVersion,
+  kRandomGarbage,
+  kConnectFlood,
+};
+
+const char* ChaosProfileName(ChaosProfile profile);
+
+// Every profile, for sweep loops.
+std::vector<ChaosProfile> AllChaosProfiles();
+
+struct ChaosOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint64_t seed = 1;
+  // Connections attempted (each one misbehaves once).
+  int iterations = 32;
+  // Object ids the valid-looking frames reference (must be registered for
+  // traffic-bearing profiles to exercise the serve path).
+  int64_t first_object = 0;
+  int64_t object_count = 1;
+  int num_processors = 2;
+  // How long each connection listens for the server's reaction. Profiles
+  // the server ignores by design (e.g. truncated frames it keeps waiting
+  // on) pay the full timeout every iteration — keep it modest in tests.
+  int receive_timeout_ms = 150;
+};
+
+struct ChaosReport {
+  ChaosProfile profile = ChaosProfile::kRandomGarbage;
+  int connections_attempted = 0;
+  int connections_established = 0;
+  int frames_sent = 0;           // complete or partial injections
+  int error_replies_seen = 0;    // kProtocolError or error-status replies
+  int ok_replies_seen = 0;       // dribbled-but-valid frames that served
+  int peer_closes_seen = 0;      // server dropped us (expected for most)
+  // The liveness verdict: a clean ping on a fresh connection after the
+  // storm. False means the front-end was taken down by the profile.
+  bool server_alive_after = false;
+};
+
+ChaosReport RunChaos(ChaosProfile profile, const ChaosOptions& options);
+
+}  // namespace objalloc::net
+
+#endif  // OBJALLOC_NET_CHAOS_H_

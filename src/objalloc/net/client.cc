@@ -1,0 +1,287 @@
+#include "objalloc/net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace objalloc::net {
+
+namespace {
+
+util::Status Errno(const char* what) {
+  return util::Status::Unavailable(std::string(what) + ": " +
+                                   std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      outstanding_(other.outstanding_),
+      in_(std::move(other.in_)),
+      buffered_(std::move(other.buffered_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    outstanding_ = other.outstanding_;
+    in_ = std::move(other.in_);
+    buffered_ = std::move(other.buffered_);
+  }
+  return *this;
+}
+
+util::Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return util::Status::InvalidArgument("bad host address: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    util::Status status = Errno("connect");
+    Close();
+    return status;
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  next_id_ = 1;
+  outstanding_ = 0;
+  in_.clear();
+  buffered_.clear();
+  return util::Status::Ok();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status Client::SendFrame(MsgType type, std::string_view payload,
+                               uint64_t* id_out) {
+  if (fd_ < 0) return util::Status::Unavailable("not connected");
+  const uint64_t id = next_id_++;
+  scratch_.clear();
+  AppendFrame(type, 0, id, payload, &scratch_);
+  size_t sent = 0;
+  while (sent < scratch_.size()) {
+    // MSG_NOSIGNAL: a server that evicted us turns into a Status, not a
+    // process-killing SIGPIPE.
+    const ssize_t n = send(fd_, scratch_.data() + sent,
+                           scratch_.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    util::Status status = Errno("write");
+    Close();
+    return status;
+  }
+  ++outstanding_;
+  if (id_out != nullptr) *id_out = id;
+  return util::Status::Ok();
+}
+
+util::Status Client::ReadIntoBuffer(int timeout_ms) {
+  if (fd_ < 0) return util::Status::Unavailable("not connected");
+  pollfd pfd = {};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return util::Status::Ok();  // caller re-loops
+    return Errno("poll");
+  }
+  if (ready == 0) return util::Status::Timeout("no reply within timeout");
+  char buffer[64 * 1024];
+  const ssize_t n = read(fd_, buffer, sizeof(buffer));
+  if (n > 0) {
+    in_.append(buffer, static_cast<size_t>(n));
+    return util::Status::Ok();
+  }
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+    return util::Status::Ok();
+  }
+  Close();
+  return util::Status::Unavailable("peer closed the connection");
+}
+
+util::StatusOr<Client::Reply> Client::TakeBufferedReply(bool* found) {
+  *found = false;
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  const DecodeResult result = DecodeFrame(in_, kDefaultMaxFrameBytes, &frame,
+                                          &consumed, &error);
+  if (result == DecodeResult::kNeedMore) return Reply{};
+  if (result == DecodeResult::kError) {
+    Close();
+    return util::Status::Internal("reply framing broken: " + error);
+  }
+  Reply reply;
+  reply.request_id = frame.request_id;
+  reply.type = frame.type;
+  reply.status = StatusFromReply(frame);
+  if (reply.status.ok()) {
+    if (frame.type == MsgType::kReadReply || frame.type == MsgType::kWriteReply) {
+      util::Status parsed = ParseCost(frame.payload, &reply.cost);
+      if (!parsed.ok()) {
+        Close();
+        return parsed;
+      }
+    } else if (frame.type == MsgType::kBatchReply) {
+      util::Status parsed =
+          ParseCosts(frame.payload, 1u << 20, &reply.costs);
+      if (!parsed.ok()) {
+        Close();
+        return parsed;
+      }
+    } else if (frame.type == MsgType::kStatsReply) {
+      util::Status parsed = ParseStats(frame.payload, &reply.stats);
+      if (!parsed.ok()) {
+        Close();
+        return parsed;
+      }
+    }
+  }
+  in_.erase(0, consumed);
+  if (outstanding_ > 0) --outstanding_;
+  *found = true;
+  return reply;
+}
+
+util::StatusOr<Client::Reply> Client::WaitReply(int timeout_ms) {
+  if (!buffered_.empty()) {
+    Reply reply = std::move(buffered_.front());
+    buffered_.erase(buffered_.begin());
+    return reply;
+  }
+  while (true) {
+    bool found = false;
+    util::StatusOr<Reply> reply = TakeBufferedReply(&found);
+    if (!reply.ok()) return reply;
+    if (found) return reply;
+    util::Status io = ReadIntoBuffer(timeout_ms);
+    if (!io.ok()) return io;
+  }
+}
+
+util::StatusOr<Client::Reply> Client::WaitReplyFor(uint64_t id) {
+  while (true) {
+    util::StatusOr<Reply> reply = WaitReply(-1);
+    if (!reply.ok()) return reply;
+    if (reply->request_id == id) return reply;
+    buffered_.push_back(std::move(*reply));
+  }
+}
+
+util::Status Client::Ping() {
+  uint64_t id = 0;
+  util::Status sent = SendFrame(MsgType::kPing, {}, &id);
+  if (!sent.ok()) return sent;
+  util::StatusOr<Reply> reply = WaitReplyFor(id);
+  if (!reply.ok()) return reply.status();
+  return reply->status;
+}
+
+util::Status Client::Register(int64_t object, uint64_t scheme_mask,
+                              uint8_t algorithm) {
+  RegisterRequest request;
+  request.object = object;
+  request.scheme_mask = scheme_mask;
+  request.algorithm = algorithm;
+  scratch_.clear();
+  std::string payload;
+  EncodeRegister(request, &payload);
+  uint64_t id = 0;
+  util::Status sent = SendFrame(MsgType::kRegister, payload, &id);
+  if (!sent.ok()) return sent;
+  util::StatusOr<Reply> reply = WaitReplyFor(id);
+  if (!reply.ok()) return reply.status();
+  return reply->status;
+}
+
+util::StatusOr<double> Client::Read(int64_t object, uint32_t processor,
+                                    uint32_t deadline_ms) {
+  util::StatusOr<uint64_t> id = SendServe(false, object, processor, deadline_ms);
+  if (!id.ok()) return id.status();
+  util::StatusOr<Reply> reply = WaitReplyFor(*id);
+  if (!reply.ok()) return reply.status();
+  if (!reply->status.ok()) return reply->status;
+  return reply->cost;
+}
+
+util::StatusOr<double> Client::Write(int64_t object, uint32_t processor,
+                                     uint32_t deadline_ms) {
+  util::StatusOr<uint64_t> id = SendServe(true, object, processor, deadline_ms);
+  if (!id.ok()) return id.status();
+  util::StatusOr<Reply> reply = WaitReplyFor(*id);
+  if (!reply.ok()) return reply.status();
+  if (!reply->status.ok()) return reply->status;
+  return reply->cost;
+}
+
+util::StatusOr<std::vector<double>> Client::Batch(const BatchRequest& request) {
+  util::StatusOr<uint64_t> id = SendBatch(request);
+  if (!id.ok()) return id.status();
+  util::StatusOr<Reply> reply = WaitReplyFor(*id);
+  if (!reply.ok()) return reply.status();
+  if (!reply->status.ok()) return reply->status;
+  return std::move(reply->costs);
+}
+
+util::StatusOr<WireStats> Client::QueryStats() {
+  uint64_t id = 0;
+  util::Status sent = SendFrame(MsgType::kStats, {}, &id);
+  if (!sent.ok()) return sent;
+  util::StatusOr<Reply> reply = WaitReplyFor(id);
+  if (!reply.ok()) return reply.status();
+  if (!reply->status.ok()) return reply->status;
+  return reply->stats;
+}
+
+util::StatusOr<uint64_t> Client::SendServe(bool is_write, int64_t object,
+                                           uint32_t processor,
+                                           uint32_t deadline_ms) {
+  ServeRequest request;
+  request.object = object;
+  request.processor = processor;
+  request.deadline_ms = deadline_ms;
+  std::string payload;
+  EncodeServe(request, &payload);
+  uint64_t id = 0;
+  util::Status sent = SendFrame(is_write ? MsgType::kWrite : MsgType::kRead,
+                                payload, &id);
+  if (!sent.ok()) return sent;
+  return id;
+}
+
+util::StatusOr<uint64_t> Client::SendBatch(const BatchRequest& request) {
+  std::string payload;
+  EncodeBatch(request, &payload);
+  uint64_t id = 0;
+  util::Status sent = SendFrame(MsgType::kBatch, payload, &id);
+  if (!sent.ok()) return sent;
+  return id;
+}
+
+}  // namespace objalloc::net

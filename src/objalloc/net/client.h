@@ -1,0 +1,97 @@
+// net::Client — a blocking TCP client for the objalloc wire protocol
+// (wire.h), with optional pipelining: Send* enqueues a request and returns
+// its id without waiting, WaitReply blocks for the next reply (any id).
+// The synchronous helpers (Ping, Register, Read, ...) are Send + wait for
+// that specific id, so both styles mix freely on one connection.
+//
+// Single-threaded like the rest of the stack: one thread per Client. The
+// class never throws on connection chaos — a peer that disappears or
+// breaks framing turns into a Status (kUnavailable for a dead socket,
+// kDataLoss for broken framing), and connected() goes false.
+
+#ifndef OBJALLOC_NET_CLIENT_H_
+#define OBJALLOC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "objalloc/net/wire.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  util::Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  // The raw socket, for chaos tests that want to abuse it directly.
+  int fd() const { return fd_; }
+
+  // ---- Synchronous RPCs. The returned Status is the *reply's* status
+  // (kOverloaded when shed, kTimeout when expired, ...), or a transport
+  // error. Replies to other outstanding pipelined requests that arrive
+  // while waiting are buffered and surface through WaitReply later.
+
+  util::Status Ping();
+  util::Status Register(int64_t object, uint64_t scheme_mask,
+                        uint8_t algorithm);
+  util::StatusOr<double> Read(int64_t object, uint32_t processor,
+                              uint32_t deadline_ms = 0);
+  util::StatusOr<double> Write(int64_t object, uint32_t processor,
+                               uint32_t deadline_ms = 0);
+  util::StatusOr<std::vector<double>> Batch(const BatchRequest& request);
+  util::StatusOr<WireStats> QueryStats();
+
+  // ---- Pipelined sends: frame goes out (or is queued on a full socket),
+  // the reply arrives via WaitReply. Ids are per-connection and unique.
+
+  util::StatusOr<uint64_t> SendServe(bool is_write, int64_t object,
+                                     uint32_t processor,
+                                     uint32_t deadline_ms = 0);
+  util::StatusOr<uint64_t> SendBatch(const BatchRequest& request);
+
+  struct Reply {
+    uint64_t request_id = 0;
+    MsgType type = MsgType::kPing;
+    util::Status status = util::Status::Ok();  // the reply's status field
+    double cost = 0;                           // read/write replies
+    std::vector<double> costs;                 // batch replies
+    WireStats stats;                           // stats replies
+  };
+
+  // Blocks up to `timeout_ms` (-1 = forever) for one reply, buffered or
+  // from the wire. kUnavailable: peer closed; kDeadlineExceeded-free: a
+  // plain kTimeout Status means the *wait* timed out locally (no frame).
+  util::StatusOr<Reply> WaitReply(int timeout_ms = -1);
+
+  size_t outstanding() const { return outstanding_; }
+
+ private:
+  util::Status SendFrame(MsgType type, std::string_view payload,
+                         uint64_t* id_out);
+  util::Status ReadIntoBuffer(int timeout_ms);  // one poll+read
+  // Decodes one frame from in_ if present; kUnavailable on framing error.
+  util::StatusOr<Reply> TakeBufferedReply(bool* found);
+  util::StatusOr<Reply> WaitReplyFor(uint64_t id);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  size_t outstanding_ = 0;
+  std::string in_;
+  std::string scratch_;
+  std::vector<Reply> buffered_;  // replies taken while waiting for an id
+};
+
+}  // namespace objalloc::net
+
+#endif  // OBJALLOC_NET_CLIENT_H_

@@ -1,0 +1,912 @@
+#include "objalloc/net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "objalloc/net/signal_drain.h"
+#include "objalloc/util/crc32.h"
+#include "objalloc/util/logging.h"
+
+namespace objalloc::net {
+
+namespace {
+
+// epoll user-data tags for the non-connection fds; connection ids start
+// well above them.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+constexpr uint64_t kSignalTag = 2;
+constexpr uint64_t kFirstConnectionId = 8;
+
+util::Status Errno(const char* what) {
+  return util::Status::Internal(std::string(what) + ": " +
+                                std::strerror(errno));
+}
+
+}  // namespace
+
+util::Status ServerOptions::Validate() const {
+  if (max_frame_bytes < kFrameOverheadBytes + 64) {
+    return util::Status::InvalidArgument("max_frame_bytes too small to frame");
+  }
+  if (batch_max_events == 0) {
+    return util::Status::InvalidArgument("batch_max_events must be positive");
+  }
+  if (max_batch_items == 0 || max_batch_items > batch_max_events) {
+    return util::Status::InvalidArgument(
+        "max_batch_items must be in [1, batch_max_events] — a wire batch "
+        "enters one engine batch whole");
+  }
+  if (max_inflight_per_connection == 0 || max_inflight_global == 0) {
+    return util::Status::InvalidArgument("in-flight budgets must be positive");
+  }
+  if (max_inflight_per_connection < max_batch_items) {
+    return util::Status::InvalidArgument(
+        "per-connection budget below max_batch_items would shed every "
+        "full-size batch");
+  }
+  if (max_connections == 0) {
+    return util::Status::InvalidArgument("max_connections must be positive");
+  }
+  if (max_write_buffer_bytes < max_frame_bytes) {
+    return util::Status::InvalidArgument(
+        "max_write_buffer_bytes below max_frame_bytes cannot hold one reply");
+  }
+  return util::Status::Ok();
+}
+
+Server::Server(core::ObjectService* service, const ServerOptions& options)
+    : service_(service), options_(options) {
+  OBJALLOC_CHECK(service != nullptr) << "Server requires a service";
+}
+
+Server::~Server() {
+  for (auto& [id, conn] : connections_) {
+    if (conn->fd >= 0) close(conn->fd);
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+util::Status Server::Start() {
+  if (started_) return util::Status::FailedPrecondition("already started");
+  util::Status valid = options_.Validate();
+  if (!valid.ok()) return valid;
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("bad bind_address: " +
+                                         options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (listen(listen_fd_, options_.listen_backlog) != 0) return Errno("listen");
+
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return Errno("eventfd");
+
+  epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  ev.data.u64 = kWakeTag;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+  if (options_.drain_on_sigterm) {
+    DrainSignal::Install();
+    ev.data.u64 = kSignalTag;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, DrainSignal::fd(), &ev) != 0) {
+      return Errno("epoll_ctl(drain signal)");
+    }
+  }
+
+  for (BatchSlot& slot : slots_) {
+    slot.events.reserve(options_.batch_max_events);
+  }
+  next_connection_id_ = kFirstConnectionId;  // ids above the fd tags
+  started_ = true;
+  return util::Status::Ok();
+}
+
+void Server::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+ServerStats Server::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+util::Status Server::Run() {
+  if (!started_) return util::Status::FailedPrecondition("Start first");
+  util::Status status = RunLoop();
+  if (!status.ok()) return status;
+  DrainAndExit();
+  return util::Status::Ok();
+}
+
+util::Status Server::RunLoop() {
+  epoll_event events[64];
+  while (true) {
+    const bool drain =
+        drain_requested_.load(std::memory_order_acquire) ||
+        (options_.drain_on_sigterm && DrainSignal::Requested());
+    if (drain) return util::Status::Ok();
+
+    const int timeout = EpollTimeoutMs(Clock::now());
+    const int n =
+        epoll_wait(epoll_fd_, events, std::size(events), timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("epoll_wait");
+    }
+
+    // One load sample per iteration drives every admission decision until
+    // the next wakeup — O(1) relaxed reads, no pipeline fence.
+    last_load_ = service_->Load();
+    const TimePoint now = Clock::now();
+
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        AcceptReady();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t counter = 0;
+        while (read(wake_fd_, &counter, sizeof(counter)) > 0) {
+        }
+        continue;
+      }
+      if (tag == kSignalTag) continue;  // drain flag checked at loop top
+      auto it = connections_.find(tag);
+      if (it == connections_.end()) continue;  // closed earlier this wakeup
+      Connection* conn = it->second.get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(tag);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(conn);
+      // HandleWritable may evict; re-check liveness before reading.
+      if (connections_.find(tag) == connections_.end()) continue;
+      if (events[i].events & EPOLLIN) HandleReadable(conn);
+    }
+
+    SweepDeadlines(now);
+    MaybeSubmit(now, /*force=*/false);
+    SweepIdle(now);
+  }
+}
+
+int Server::EpollTimeoutMs(TimePoint now) const {
+  // A submitted batch needs polling (there is no completion fd), so cap
+  // the sleep; otherwise sleep until the batching window or the nearest
+  // deadline forces action.
+  int64_t timeout_ms = -1;
+  auto consider = [&](TimePoint when) {
+    if (when == TimePoint::max()) return;
+    int64_t ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     when - now)
+                     .count();
+    ms = std::max<int64_t>(ms, 0);
+    if (timeout_ms < 0 || ms < timeout_ms) timeout_ms = ms;
+  };
+  bool any_submitted = false;
+  for (const BatchSlot& slot : slots_) any_submitted |= slot.submitted;
+  if (any_submitted) return 1;
+  if (!pending_.empty()) {
+    consider(oldest_pending_ +
+             std::chrono::microseconds(options_.batch_max_delay_us));
+  }
+  consider(min_deadline_);
+  if (options_.idle_timeout_ms > 0 && !connections_.empty()) {
+    const int64_t idle_step =
+        std::max<int64_t>(options_.idle_timeout_ms / 4, 10);
+    if (timeout_ms < 0 || idle_step < timeout_ms) timeout_ms = idle_step;
+  }
+  if (timeout_ms < 0) return -1;
+  return static_cast<int>(std::min<int64_t>(timeout_ms, 1000));
+}
+
+void Server::AcceptReady() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays registered
+    }
+    if (connections_.size() >= options_.max_connections || draining_) {
+      close(fd);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_refused;
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.socket_send_buffer_bytes > 0) {
+      const int bytes = options_.socket_send_buffer_bytes;
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+    }
+
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_connection_id_++;
+    conn->fd = fd;
+    conn->last_activity = Clock::now();
+    epoll_event ev = {};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      continue;
+    }
+    connections_.emplace(conn->id, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void Server::HandleReadable(Connection* conn) {
+  // ONE bounded read per wakeup, then parse. Draining a blasting client
+  // until EAGAIN would livelock the loop (reading forever, never replying,
+  // never visiting other connections); level-triggered epoll re-delivers
+  // whatever is still queued on the next iteration.
+  char buffer[64 * 1024];
+  while (true) {
+    const ssize_t n = read(conn->fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      conn->in.append(buffer, static_cast<size_t>(n));
+      conn->last_activity = Clock::now();
+      break;
+    }
+    if (n == 0) {  // peer closed — mid-frame disconnects land here too
+      CloseConnection(conn->id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConnection(conn->id);
+    return;
+  }
+  ParseFrames(conn);
+}
+
+void Server::ParseFrames(Connection* conn) {
+  size_t offset = 0;
+  const uint64_t id = conn->id;
+  while (!conn->close_after_flush) {
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    const DecodeResult result =
+        DecodeFrame(std::string_view(conn->in).substr(offset),
+                    options_.max_frame_bytes, &frame, &consumed, &error);
+    if (result == DecodeResult::kNeedMore) break;
+    if (result == DecodeResult::kError) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      SendProtocolError(conn, 0, error);
+      // The error reply may have flushed fully and closed the connection.
+      if (connections_.find(id) == connections_.end()) return;
+      break;
+    }
+    offset += consumed;
+    HandleRequest(conn, frame);
+    // The handler may have closed the connection (eviction on reply).
+    if (connections_.find(id) == connections_.end()) return;
+  }
+  if (offset > 0) conn->in.erase(0, offset);
+  if (conn->close_after_flush) conn->in.clear();
+}
+
+void Server::HandleRequest(Connection* conn, const Frame& frame) {
+  if (!IsRequestType(static_cast<uint8_t>(frame.type))) {
+    // Framing-valid but a reply/error type from a client: protocol abuse.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+    }
+    SendProtocolError(conn, frame.request_id,
+                      "reply message type sent as a request");
+    return;
+  }
+  switch (frame.type) {
+    case MsgType::kPing:
+      ReplyOk(conn, frame.type, frame.request_id, {});
+      return;
+    case MsgType::kRegister:
+      HandleRegister(conn, frame);
+      return;
+    case MsgType::kRead:
+    case MsgType::kWrite:
+      AdmitServe(conn, frame);
+      return;
+    case MsgType::kBatch:
+      AdmitBatchOp(conn, frame);
+      return;
+    case MsgType::kStats:
+      HandleStats(conn, frame);
+      return;
+    default:
+      return;  // unreachable: IsRequestType filtered
+  }
+}
+
+void Server::HandleRegister(Connection* conn, const Frame& frame) {
+  RegisterRequest request;
+  util::Status status = ParseRegister(frame.payload, &request);
+  if (status.ok() &&
+      request.algorithm > static_cast<uint8_t>(core::AlgorithmKind::kAdaptive)) {
+    status = util::Status::InvalidArgument("unknown algorithm kind");
+  }
+  if (status.ok() && draining_) {
+    status = util::Status::Unavailable("server draining");
+  }
+  if (status.ok()) {
+    core::ObjectConfig config;
+    config.initial_scheme = model::ProcessorSet(request.scheme_mask);
+    config.algorithm = static_cast<core::AlgorithmKind>(request.algorithm);
+    status = service_->AddObject(request.object, config);
+  }
+  if (status.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.registrations;
+    }
+    ReplyOk(conn, frame.type, frame.request_id, {});
+  } else {
+    ReplyStatus(conn, frame.type, frame.request_id, status);
+  }
+}
+
+void Server::HandleStats(Connection* conn, const Frame& frame) {
+  // Engine aggregates need a quiet pipeline; finish what is in flight
+  // first (stats is a rare, diagnostic op — the stall is the price).
+  FinalizeAllSlots();
+  WireStats wire;
+  wire.objects = service_->object_count();
+  wire.total_requests = service_->TotalRequests();
+  const model::CostBreakdown breakdown = service_->TotalBreakdown();
+  wire.control_messages = breakdown.control_messages;
+  wire.data_messages = breakdown.data_messages;
+  wire.io_ops = breakdown.io_ops;
+  wire.scheme_crc = SchemeCrc();
+  wire.durability_state = static_cast<uint8_t>(last_load_.durability);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    wire.admitted_events = stats_.admitted_events;
+    wire.shed_overloaded = stats_.shed_overloaded;
+    wire.shed_timeout = stats_.shed_timeout;
+    wire.rejected_events = stats_.rejected_events;
+    wire.protocol_errors = stats_.protocol_errors;
+    wire.connections_accepted = stats_.connections_accepted;
+    wire.connections_evicted = stats_.connections_evicted;
+    wire.connections_idle_closed = stats_.connections_idle_closed;
+    wire.batches_submitted = stats_.batches_submitted;
+  }
+  encode_scratch_.clear();
+  EncodeStats(wire, &encode_scratch_);
+  ReplyOk(conn, frame.type, frame.request_id, encode_scratch_);
+}
+
+uint32_t Server::SchemeCrc() const {
+  uint32_t crc = 0;
+  for (core::ObjectId id : service_->SortedObjectIds()) {
+    const uint64_t mask = service_->StatsFor(id)->scheme.mask();
+    crc = util::Crc32(&id, sizeof(id), crc);
+    crc = util::Crc32(&mask, sizeof(mask), crc);
+  }
+  return crc;
+}
+
+util::Status Server::CheckAdmission(const Connection& conn, size_t events,
+                                    bool has_write) {
+  if (draining_) return util::Status::Unavailable("server draining");
+  if (conn.inflight_events + events > options_.max_inflight_per_connection) {
+    return util::Status::Overloaded("connection in-flight budget exceeded");
+  }
+  if (global_inflight_ + events > options_.max_inflight_global) {
+    return util::Status::Overloaded("server in-flight budget exceeded");
+  }
+  if (last_load_.executor_queued_ops > options_.shed_executor_queue_ops) {
+    return util::Status::Overloaded("shard executor backlogged");
+  }
+  if (last_load_.wal_backlog_bytes > options_.shed_wal_backlog_bytes) {
+    return util::Status::Overloaded("WAL backlogged");
+  }
+  if (has_write && options_.shed_writes_when_degraded &&
+      last_load_.durability == core::DurabilityState::kDegraded) {
+    return util::Status::Unavailable("durability degraded; writes shed");
+  }
+  return util::Status::Ok();
+}
+
+void Server::AdmitServe(Connection* conn, const Frame& frame) {
+  ServeRequest request;
+  util::Status status = ParseServe(frame.payload, &request);
+  if (!status.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_events;
+    }
+    ReplyStatus(conn, frame.type, frame.request_id, status);
+    return;
+  }
+  const bool is_write = frame.type == MsgType::kWrite;
+  status = CheckAdmission(*conn, 1, is_write);
+  if (!status.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed_overloaded;
+    }
+    ReplyStatus(conn, frame.type, frame.request_id, status);
+    return;
+  }
+  // Pre-validate so the coalesced engine batch can never be rejected by
+  // this event (ServeBatch admission is all-or-nothing across clients).
+  if (!service_->HasObject(request.object)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_events;
+    }
+    ReplyStatus(conn, frame.type, frame.request_id,
+                util::Status::NotFound("object not registered"));
+    return;
+  }
+  if (request.processor >= static_cast<uint32_t>(service_->num_processors())) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_events;
+    }
+    ReplyStatus(conn, frame.type, frame.request_id,
+                util::Status::OutOfRange("processor out of range"));
+    return;
+  }
+
+  const TimePoint now = Clock::now();
+  uint32_t deadline_ms = request.deadline_ms != 0 ? request.deadline_ms
+                                                  : options_.default_deadline_ms;
+  Pending pending;
+  pending.connection = conn->id;
+  pending.request_id = frame.request_id;
+  pending.type = frame.type;
+  pending.events = 1;
+  pending.deadline = deadline_ms == 0
+                         ? TimePoint::max()
+                         : now + std::chrono::milliseconds(deadline_ms);
+  if (pending_.empty()) oldest_pending_ = now;
+  if (pending.deadline < min_deadline_) min_deadline_ = pending.deadline;
+  pending_.push_back(pending);
+
+  workload::MultiObjectEvent event;
+  event.object = request.object;
+  event.request = is_write
+                      ? model::Request::Write(
+                            static_cast<model::ProcessorId>(request.processor))
+                      : model::Request::Read(
+                            static_cast<model::ProcessorId>(request.processor));
+  pending_events_.push_back(event);
+  conn->inflight_events += 1;
+  global_inflight_ += 1;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.admitted_events;
+  }
+}
+
+void Server::AdmitBatchOp(Connection* conn, const Frame& frame) {
+  BatchRequest request;
+  util::Status status =
+      ParseBatch(frame.payload, options_.max_batch_items, &request);
+  if (status.ok() && request.items.empty()) {
+    status = util::Status::InvalidArgument("empty batch");
+  }
+  bool has_write = false;
+  if (status.ok()) {
+    // All-or-nothing, like the library path: one bad item rejects the wire
+    // batch before anything is queued.
+    for (const BatchItem& item : request.items) {
+      if (!service_->HasObject(item.object)) {
+        status = util::Status::NotFound("object not registered");
+        break;
+      }
+      if (item.processor >=
+          static_cast<uint32_t>(service_->num_processors())) {
+        status = util::Status::OutOfRange("processor out of range");
+        break;
+      }
+      has_write |= item.is_write != 0;
+    }
+  }
+  if (!status.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.rejected_events += request.items.empty() ? 1 : request.items.size();
+    }
+    ReplyStatus(conn, frame.type, frame.request_id, status);
+    return;
+  }
+  status = CheckAdmission(*conn, request.items.size(), has_write);
+  if (!status.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.shed_overloaded += request.items.size();
+    }
+    ReplyStatus(conn, frame.type, frame.request_id, status);
+    return;
+  }
+
+  const TimePoint now = Clock::now();
+  uint32_t deadline_ms = request.deadline_ms != 0 ? request.deadline_ms
+                                                  : options_.default_deadline_ms;
+  Pending pending;
+  pending.connection = conn->id;
+  pending.request_id = frame.request_id;
+  pending.type = frame.type;
+  pending.events = static_cast<uint32_t>(request.items.size());
+  pending.deadline = deadline_ms == 0
+                         ? TimePoint::max()
+                         : now + std::chrono::milliseconds(deadline_ms);
+  if (pending_.empty()) oldest_pending_ = now;
+  if (pending.deadline < min_deadline_) min_deadline_ = pending.deadline;
+  pending_.push_back(pending);
+
+  for (const BatchItem& item : request.items) {
+    workload::MultiObjectEvent event;
+    event.object = item.object;
+    const auto processor = static_cast<model::ProcessorId>(item.processor);
+    event.request = item.is_write != 0 ? model::Request::Write(processor)
+                                       : model::Request::Read(processor);
+    pending_events_.push_back(event);
+  }
+  conn->inflight_events += request.items.size();
+  global_inflight_ += request.items.size();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.admitted_events += request.items.size();
+  }
+}
+
+void Server::SweepDeadlines(TimePoint now) {
+  if (min_deadline_ > now) return;
+  TimePoint next_min = TimePoint::max();
+  for (Pending& pending : pending_) {
+    if (pending.expired) continue;
+    if (pending.deadline <= now) {
+      pending.expired = true;
+      global_inflight_ -= pending.events;
+      auto it = connections_.find(pending.connection);
+      if (it != connections_.end()) {
+        Connection* conn = it->second.get();
+        conn->inflight_events -= pending.events;
+        ReplyStatus(conn, pending.type, pending.request_id,
+                    util::Status::Timeout("deadline elapsed in queue"));
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.shed_timeout += pending.events;
+    } else if (pending.deadline < next_min) {
+      next_min = pending.deadline;
+    }
+  }
+  min_deadline_ = next_min;
+}
+
+void Server::MaybeSubmit(TimePoint now, bool force) {
+  // Finalize whatever already completed so replies flow and slots free up:
+  // we are the engine's only caller, so fewer in-flight batches than
+  // submitted slots means the oldest slot is (or is about to be) done.
+  int submitted = 0;
+  for (const BatchSlot& slot : slots_) submitted += slot.submitted ? 1 : 0;
+  while (submitted > 0 &&
+         service_->Load().inflight_batches < static_cast<uint32_t>(submitted)) {
+    FinalizeSlot(&slots_[(next_slot_ + 2 - submitted) % 2]);
+    --submitted;
+  }
+
+  while (!pending_.empty()) {
+    const bool window_full = pending_events_.size() >= options_.batch_max_events;
+    const bool window_stale =
+        now - oldest_pending_ >=
+        std::chrono::microseconds(options_.batch_max_delay_us);
+    if (!force && !window_full && !window_stale) return;
+    BatchSlot* slot = &slots_[next_slot_];
+    if (slot->submitted) {
+      if (!force && !window_full) return;  // both slots busy; wait for stale
+      FinalizeSlot(slot);
+    }
+    SubmitPending(now);
+    if (force) {
+      // Drain path: serve to completion immediately, then keep cutting.
+      FinalizeAllSlots();
+    }
+  }
+}
+
+void Server::SubmitPending(TimePoint now) {
+  BatchSlot* slot = &slots_[next_slot_];
+  OBJALLOC_CHECK(!slot->submitted);
+  slot->events.clear();
+  slot->replies.clear();
+
+  while (!pending_.empty() &&
+         slot->events.size() < options_.batch_max_events) {
+    Pending& front = pending_.front();
+    if (!front.expired &&
+        slot->events.size() + front.events > options_.batch_max_events) {
+      break;  // batch full; the request waits whole for the next batch
+    }
+    if (front.expired) {
+      pending_events_.erase(pending_events_.begin(),
+                            pending_events_.begin() + front.events);
+      pending_.pop_front();
+      continue;
+    }
+    ReplyRef ref;
+    ref.connection = front.connection;
+    ref.request_id = front.request_id;
+    ref.type = front.type;
+    ref.first = static_cast<uint32_t>(slot->events.size());
+    ref.events = front.events;
+    slot->replies.push_back(ref);
+    slot->events.insert(slot->events.end(), pending_events_.begin(),
+                        pending_events_.begin() + front.events);
+    pending_events_.erase(pending_events_.begin(),
+                          pending_events_.begin() + front.events);
+    pending_.pop_front();
+  }
+  if (!pending_.empty()) oldest_pending_ = now;
+  if (slot->events.empty()) return;  // everything at the front had expired
+
+  util::Status status = service_->SubmitBatch(
+      std::span<const workload::MultiObjectEvent>(slot->events),
+      &slot->result, &slot->ticket);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batches_submitted;
+  }
+  if (!status.ok()) {
+    // Should be unreachable — every event was pre-validated — but a reply
+    // is owed regardless; never leave a client hanging.
+    for (const ReplyRef& ref : slot->replies) {
+      auto it = connections_.find(ref.connection);
+      if (it == connections_.end()) continue;
+      it->second->inflight_events -= ref.events;
+      ReplyStatus(it->second.get(), ref.type, ref.request_id, status);
+    }
+    global_inflight_ -= slot->events.size();
+    slot->events.clear();
+    slot->replies.clear();
+    return;
+  }
+  slot->submitted = true;
+  next_slot_ = (next_slot_ + 1) % 2;
+  if (slot->ticket.completed) FinalizeSlot(slot);
+}
+
+void Server::FinalizeSlot(BatchSlot* slot) {
+  if (!slot->submitted) return;
+  util::Status status = service_->WaitBatch(&slot->ticket);
+  slot->submitted = false;
+  global_inflight_ -= slot->events.size();
+
+  std::vector<double> costs_scratch;
+  for (const ReplyRef& ref : slot->replies) {
+    auto it = connections_.find(ref.connection);
+    if (it == connections_.end()) continue;  // peer gone; reply discarded
+    Connection* conn = it->second.get();
+    conn->inflight_events -= ref.events;
+    if (!status.ok()) {
+      ReplyStatus(conn, ref.type, ref.request_id, status);
+      continue;
+    }
+    encode_scratch_.clear();
+    if (ref.type == MsgType::kBatch) {
+      costs_scratch.assign(slot->result.costs.begin() + ref.first,
+                           slot->result.costs.begin() + ref.first + ref.events);
+      EncodeCosts(costs_scratch, &encode_scratch_);
+    } else {
+      EncodeCost(slot->result.costs[ref.first], &encode_scratch_);
+    }
+    ReplyOk(conn, ref.type, ref.request_id, encode_scratch_);
+  }
+  slot->events.clear();
+  slot->replies.clear();
+}
+
+void Server::FinalizeAllSlots() {
+  // Oldest first: next_slot_ points at the next slot to fill, so the slot
+  // after it (mod 2) was submitted earlier.
+  FinalizeSlot(&slots_[next_slot_ % 2]);
+  FinalizeSlot(&slots_[(next_slot_ + 1) % 2]);
+}
+
+void Server::ReplyStatus(Connection* conn, MsgType request_type,
+                         uint64_t request_id, const util::Status& status) {
+  const auto reply_type = static_cast<MsgType>(
+      static_cast<uint8_t>(request_type) | kReplyBit);
+  AppendFrame(reply_type, WireStatus(status.code()), request_id,
+              status.message(), &conn->out);
+  FlushConnection(conn);
+}
+
+void Server::ReplyOk(Connection* conn, MsgType request_type,
+                     uint64_t request_id, std::string_view payload) {
+  const auto reply_type = static_cast<MsgType>(
+      static_cast<uint8_t>(request_type) | kReplyBit);
+  AppendFrame(reply_type, 0, request_id, payload, &conn->out);
+  FlushConnection(conn);
+}
+
+void Server::SendProtocolError(Connection* conn, uint64_t request_id,
+                               const std::string& reason) {
+  AppendFrame(MsgType::kProtocolError,
+              WireStatus(util::StatusCode::kInvalidArgument), request_id,
+              reason, &conn->out);
+  conn->close_after_flush = true;
+  FlushConnection(conn);
+}
+
+void Server::HandleWritable(Connection* conn) {
+  conn->last_activity = Clock::now();
+  FlushConnection(conn);
+}
+
+void Server::FlushConnection(Connection* conn) {
+  while (!conn->out.empty()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as EPIPE,
+    // not a process-killing SIGPIPE.
+    const ssize_t n =
+        send(conn->fd, conn->out.data(), conn->out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn->id);  // peer reset mid-reply
+    return;
+  }
+  if (conn->out.empty() && conn->close_after_flush) {
+    CloseConnection(conn->id);
+    return;
+  }
+  if (conn->out.size() > options_.max_write_buffer_bytes) {
+    // Slow client: its unread replies may not hold the server's memory
+    // hostage. Evict — the socket close is the backpressure.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_evicted;
+    }
+    CloseConnection(conn->id);
+    return;
+  }
+  UpdateWriteInterest(conn);
+}
+
+void Server::UpdateWriteInterest(Connection* conn) {
+  const bool want = !conn->out.empty();
+  if (want == conn->want_write) return;
+  conn->want_write = want;
+  epoll_event ev = {};
+  ev.events = want ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.u64 = conn->id;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void Server::CloseConnection(uint64_t id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  // Its queued requests stay admitted and will serve; their replies are
+  // discarded at finalize when the connection lookup fails. The global
+  // budget is released then, the per-connection one dies here.
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  close(conn->fd);
+  connections_.erase(it);
+}
+
+void Server::SweepIdle(TimePoint now) {
+  if (options_.idle_timeout_ms == 0) return;
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<uint64_t> idle;
+  for (const auto& [id, conn] : connections_) {
+    if (conn->inflight_events == 0 && conn->out.empty() &&
+        now - conn->last_activity > limit) {
+      idle.push_back(id);
+    }
+  }
+  for (uint64_t id : idle) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_idle_closed;
+    }
+    CloseConnection(id);
+  }
+}
+
+void Server::DrainAndExit() {
+  draining_ = true;
+  // Close the listener outright — leaving it open would keep the kernel
+  // accepting into the backlog, stranding clients that will never be read.
+  if (listen_fd_ >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Serve everything already admitted (expired requests still get their
+  // kTimeout replies via the sweep), then quiesce the engine.
+  SweepDeadlines(Clock::now());
+  MaybeSubmit(Clock::now(), /*force=*/true);
+  FinalizeAllSlots();
+  OBJALLOC_CHECK_EQ(global_inflight_, 0u);
+
+  if (service_->Load().durability == core::DurabilityState::kDurable) {
+    (void)service_->SyncDurable();
+  }
+
+  // Bounded-grace flush of the remaining reply bytes: slow clients get
+  // half a second, then the process leaves anyway.
+  const TimePoint give_up = Clock::now() + std::chrono::milliseconds(500);
+  while (Clock::now() < give_up) {
+    bool any = false;
+    std::vector<uint64_t> ids;
+    ids.reserve(connections_.size());
+    for (const auto& [id, conn] : connections_) ids.push_back(id);
+    for (uint64_t id : ids) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      FlushConnection(it->second.get());
+      it = connections_.find(id);
+      if (it != connections_.end() && !it->second->out.empty()) any = true;
+    }
+    if (!any) break;
+    epoll_event events[16];
+    epoll_wait(epoll_fd_, events, std::size(events), 20);
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) ids.push_back(id);
+  for (uint64_t id : ids) CloseConnection(id);
+}
+
+}  // namespace objalloc::net

@@ -1,0 +1,68 @@
+#include "objalloc/net/signal_drain.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "objalloc/util/logging.h"
+
+namespace objalloc::net {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<int> g_fd{-1};
+
+void Handler(int) { DrainSignal::Request(); }
+
+}  // namespace
+
+void DrainSignal::Install(int signum) {
+  int fd = g_fd.load(std::memory_order_acquire);
+  if (fd < 0) {
+    fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    OBJALLOC_CHECK_GE(fd, 0) << "eventfd failed";
+    int expected = -1;
+    if (!g_fd.compare_exchange_strong(expected, fd,
+                                      std::memory_order_acq_rel)) {
+      close(fd);  // lost a racing Install; theirs wins
+    }
+  }
+  struct sigaction action = {};
+  action.sa_handler = Handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  OBJALLOC_CHECK_EQ(sigaction(signum, &action, nullptr), 0)
+      << "sigaction failed for signal " << signum;
+}
+
+bool DrainSignal::Requested() {
+  return g_requested.load(std::memory_order_acquire);
+}
+
+void DrainSignal::Request() {
+  g_requested.store(true, std::memory_order_release);
+  const int fd = g_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const uint64_t one = 1;
+    // write() is async-signal-safe; a full eventfd counter (EAGAIN) still
+    // leaves it readable, which is all the poller needs.
+    [[maybe_unused]] ssize_t n = write(fd, &one, sizeof(one));
+  }
+}
+
+int DrainSignal::fd() { return g_fd.load(std::memory_order_acquire); }
+
+void DrainSignal::ResetForTest() {
+  g_requested.store(false, std::memory_order_release);
+  const int fd = g_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    uint64_t drain = 0;
+    while (read(fd, &drain, sizeof(drain)) > 0) {
+    }
+  }
+}
+
+}  // namespace objalloc::net

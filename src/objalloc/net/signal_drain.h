@@ -1,0 +1,48 @@
+// DrainSignal — one process-wide "please drain and exit" latch shared by
+// every binary that shuts down gracefully (DESIGN.md §15).
+//
+// A SIGTERM handler may only do async-signal-safe work, so the latch is an
+// atomic flag plus an eventfd: the handler stores the flag and writes the
+// eventfd, nothing else. Event-loop consumers (net::Server) register fd()
+// in their poll set and wake immediately; batch-loop consumers
+// (examples/crash_recover) poll Requested() between batches. Both then run
+// their own drain: stop taking new work, flush what is in flight, sync
+// durability, exit 0.
+//
+// Install is idempotent and the latch is intentionally never reset in
+// production — a drained process exits. ResetForTest exists so tests can
+// reuse the process.
+
+#ifndef OBJALLOC_NET_SIGNAL_DRAIN_H_
+#define OBJALLOC_NET_SIGNAL_DRAIN_H_
+
+#include <csignal>
+
+namespace objalloc::net {
+
+class DrainSignal {
+ public:
+  // Installs the drain handler for `signum` (default SIGTERM) and creates
+  // the eventfd. Safe to call more than once; later signums add handlers
+  // to the same latch. Aborts on eventfd/sigaction failure (startup-time
+  // resource exhaustion, not a servable error).
+  static void Install(int signum = SIGTERM);
+
+  // True once a drain was requested (signal delivered or Request called).
+  static bool Requested();
+
+  // Marks the latch and wakes fd(). Async-signal-safe; also callable from
+  // normal code (tests, RequestDrain plumbing).
+  static void Request();
+
+  // Readable eventfd that becomes ready when the latch trips, or -1 before
+  // Install. Level semantics for poll users: the counter is left unread, so
+  // epoll (level-triggered) keeps reporting it readable while draining.
+  static int fd();
+
+  static void ResetForTest();
+};
+
+}  // namespace objalloc::net
+
+#endif  // OBJALLOC_NET_SIGNAL_DRAIN_H_

@@ -1,0 +1,302 @@
+#include "objalloc/net/wire.h"
+
+#include <cstring>
+
+#include "objalloc/util/crc32.h"
+
+namespace objalloc::net {
+
+namespace {
+
+// Little-endian byte IO through memcpy — alignment- and strict-aliasing-
+// safe on every target this builds for (the repo already assumes a
+// little-endian host for its on-disk record format, util/record_io.h).
+template <typename T>
+void AppendLe(T value, std::string* out) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+// Bounds-checked sequential reader over a payload view. Every Read
+// advances only on success; `ok` latches false forever on the first
+// short read, so callers can chain reads and test once.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  T Read() {
+    T value{};
+    if (pos_ + sizeof(T) > data_.size()) {
+      ok_ = false;
+      return value;
+    }
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+util::Status ShortPayload(const char* what) {
+  return util::Status::InvalidArgument(std::string(what) +
+                                       ": truncated or oversized payload");
+}
+
+}  // namespace
+
+bool IsRequestType(uint8_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kPing:
+    case MsgType::kRegister:
+    case MsgType::kRead:
+    case MsgType::kWrite:
+    case MsgType::kBatch:
+    case MsgType::kStats:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+bool IsKnownType(uint8_t type) {
+  if (IsRequestType(type)) return true;
+  if (type == static_cast<uint8_t>(MsgType::kProtocolError)) return true;
+  return IsRequestType(type & ~kReplyBit) && (type & kReplyBit) != 0;
+}
+
+}  // namespace
+
+DecodeResult DecodeFrame(std::string_view buffer, size_t max_frame_bytes,
+                         Frame* frame, size_t* consumed, std::string* error) {
+  if (buffer.size() < sizeof(uint32_t)) return DecodeResult::kNeedMore;
+  uint32_t length = 0;
+  std::memcpy(&length, buffer.data(), sizeof(length));
+  // Bounds come first: `length` is attacker-controlled and must never size
+  // a read or an allocation before these checks.
+  if (length < kFrameHeaderBytes) {
+    *error = "frame length below fixed header";
+    return DecodeResult::kError;
+  }
+  if (static_cast<size_t>(length) + sizeof(uint32_t) > max_frame_bytes) {
+    *error = "frame length exceeds maximum";
+    return DecodeResult::kError;
+  }
+  if (buffer.size() < sizeof(uint32_t) + length) return DecodeResult::kNeedMore;
+
+  const char* body = buffer.data() + sizeof(uint32_t);
+  uint32_t crc = 0;
+  std::memcpy(&crc, body, sizeof(crc));
+  const char* covered = body + sizeof(crc);
+  const size_t covered_len = length - sizeof(crc);
+  if (util::Crc32(covered, covered_len) != crc) {
+    *error = "frame CRC mismatch";
+    return DecodeResult::kError;
+  }
+
+  Frame out;
+  out.version = static_cast<uint8_t>(covered[0]);
+  const uint8_t type = static_cast<uint8_t>(covered[1]);
+  std::memcpy(&out.status, covered + 2, sizeof(out.status));
+  std::memcpy(&out.request_id, covered + 4, sizeof(out.request_id));
+  if (out.version != kWireVersion) {
+    *error = "unsupported wire version";
+    return DecodeResult::kError;
+  }
+  if (!IsKnownType(type)) {
+    *error = "unknown message type";
+    return DecodeResult::kError;
+  }
+  out.type = static_cast<MsgType>(type);
+  out.payload = std::string_view(covered + 12, covered_len - 12);
+  *frame = out;
+  *consumed = sizeof(uint32_t) + length;
+  return DecodeResult::kFrame;
+}
+
+void AppendFrame(MsgType type, uint16_t status, uint64_t request_id,
+                 std::string_view payload, std::string* out) {
+  const uint32_t length =
+      static_cast<uint32_t>(kFrameHeaderBytes + payload.size());
+  AppendLe(length, out);
+  const size_t crc_pos = out->size();
+  AppendLe(uint32_t{0}, out);  // CRC patched below
+  const size_t covered_pos = out->size();
+  out->push_back(static_cast<char>(kWireVersion));
+  out->push_back(static_cast<char>(type));
+  AppendLe(status, out);
+  AppendLe(request_id, out);
+  out->append(payload);
+  const uint32_t crc =
+      util::Crc32(out->data() + covered_pos, out->size() - covered_pos);
+  std::memcpy(out->data() + crc_pos, &crc, sizeof(crc));
+}
+
+void EncodeRegister(const RegisterRequest& request, std::string* out) {
+  AppendLe(request.object, out);
+  AppendLe(request.scheme_mask, out);
+  out->push_back(static_cast<char>(request.algorithm));
+}
+
+util::Status ParseRegister(std::string_view payload, RegisterRequest* out) {
+  ByteReader reader(payload);
+  out->object = reader.Read<int64_t>();
+  out->scheme_mask = reader.Read<uint64_t>();
+  out->algorithm = reader.Read<uint8_t>();
+  if (!reader.AtEnd()) return ShortPayload("register");
+  return util::Status::Ok();
+}
+
+void EncodeServe(const ServeRequest& request, std::string* out) {
+  AppendLe(request.object, out);
+  AppendLe(request.processor, out);
+  AppendLe(request.deadline_ms, out);
+}
+
+util::Status ParseServe(std::string_view payload, ServeRequest* out) {
+  ByteReader reader(payload);
+  out->object = reader.Read<int64_t>();
+  out->processor = reader.Read<uint32_t>();
+  out->deadline_ms = reader.Read<uint32_t>();
+  if (!reader.AtEnd()) return ShortPayload("serve");
+  return util::Status::Ok();
+}
+
+void EncodeBatch(const BatchRequest& request, std::string* out) {
+  AppendLe(static_cast<uint32_t>(request.items.size()), out);
+  AppendLe(request.deadline_ms, out);
+  for (const BatchItem& item : request.items) {
+    AppendLe(item.object, out);
+    AppendLe(item.processor, out);
+    out->push_back(static_cast<char>(item.is_write));
+  }
+}
+
+util::Status ParseBatch(std::string_view payload, size_t max_items,
+                        BatchRequest* out) {
+  ByteReader reader(payload);
+  const uint32_t count = reader.Read<uint32_t>();
+  out->deadline_ms = reader.Read<uint32_t>();
+  if (!reader.ok()) return ShortPayload("batch");
+  // The declared count is validated against both the cap and the actual
+  // byte length before reserve() sees it.
+  if (count > max_items) {
+    return util::Status::InvalidArgument("batch item count exceeds maximum");
+  }
+  constexpr size_t kItemBytes = 8 + 4 + 1;
+  if (payload.size() != 8 + static_cast<size_t>(count) * kItemBytes) {
+    return ShortPayload("batch");
+  }
+  out->items.clear();
+  out->items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    BatchItem item;
+    item.object = reader.Read<int64_t>();
+    item.processor = reader.Read<uint32_t>();
+    item.is_write = reader.Read<uint8_t>();
+    out->items.push_back(item);
+  }
+  if (!reader.AtEnd()) return ShortPayload("batch");
+  return util::Status::Ok();
+}
+
+void EncodeCost(double cost, std::string* out) { AppendLe(cost, out); }
+
+util::Status ParseCost(std::string_view payload, double* out) {
+  ByteReader reader(payload);
+  *out = reader.Read<double>();
+  if (!reader.AtEnd()) return ShortPayload("cost");
+  return util::Status::Ok();
+}
+
+void EncodeCosts(const std::vector<double>& costs, std::string* out) {
+  AppendLe(static_cast<uint32_t>(costs.size()), out);
+  for (double cost : costs) AppendLe(cost, out);
+}
+
+util::Status ParseCosts(std::string_view payload, size_t max_items,
+                        std::vector<double>* out) {
+  ByteReader reader(payload);
+  const uint32_t count = reader.Read<uint32_t>();
+  if (!reader.ok()) return ShortPayload("costs");
+  if (count > max_items) {
+    return util::Status::InvalidArgument("cost count exceeds maximum");
+  }
+  if (payload.size() != 4 + static_cast<size_t>(count) * sizeof(double)) {
+    return ShortPayload("costs");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) out->push_back(reader.Read<double>());
+  return util::Status::Ok();
+}
+
+void EncodeStats(const WireStats& stats, std::string* out) {
+  AppendLe(stats.objects, out);
+  AppendLe(stats.total_requests, out);
+  AppendLe(stats.control_messages, out);
+  AppendLe(stats.data_messages, out);
+  AppendLe(stats.io_ops, out);
+  AppendLe(stats.scheme_crc, out);
+  AppendLe(stats.admitted_events, out);
+  AppendLe(stats.shed_overloaded, out);
+  AppendLe(stats.shed_timeout, out);
+  AppendLe(stats.rejected_events, out);
+  AppendLe(stats.protocol_errors, out);
+  AppendLe(stats.connections_accepted, out);
+  AppendLe(stats.connections_evicted, out);
+  AppendLe(stats.connections_idle_closed, out);
+  AppendLe(stats.batches_submitted, out);
+  out->push_back(static_cast<char>(stats.durability_state));
+}
+
+util::Status ParseStats(std::string_view payload, WireStats* out) {
+  ByteReader reader(payload);
+  out->objects = reader.Read<uint64_t>();
+  out->total_requests = reader.Read<int64_t>();
+  out->control_messages = reader.Read<int64_t>();
+  out->data_messages = reader.Read<int64_t>();
+  out->io_ops = reader.Read<int64_t>();
+  out->scheme_crc = reader.Read<uint32_t>();
+  out->admitted_events = reader.Read<uint64_t>();
+  out->shed_overloaded = reader.Read<uint64_t>();
+  out->shed_timeout = reader.Read<uint64_t>();
+  out->rejected_events = reader.Read<uint64_t>();
+  out->protocol_errors = reader.Read<uint64_t>();
+  out->connections_accepted = reader.Read<uint64_t>();
+  out->connections_evicted = reader.Read<uint64_t>();
+  out->connections_idle_closed = reader.Read<uint64_t>();
+  out->batches_submitted = reader.Read<uint64_t>();
+  out->durability_state = reader.Read<uint8_t>();
+  if (!reader.AtEnd()) return ShortPayload("stats");
+  return util::Status::Ok();
+}
+
+uint16_t WireStatus(util::StatusCode code) {
+  return static_cast<uint16_t>(code);
+}
+
+util::StatusCode CodeFromWireStatus(uint16_t status) {
+  if (status > static_cast<uint16_t>(util::StatusCode::kOverloaded)) {
+    return util::StatusCode::kInternal;
+  }
+  return static_cast<util::StatusCode>(status);
+}
+
+util::Status StatusFromReply(const Frame& frame) {
+  if (frame.status == 0) return util::Status::Ok();
+  return util::Status(CodeFromWireStatus(frame.status),
+                      std::string(frame.payload));
+}
+
+}  // namespace objalloc::net

@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }

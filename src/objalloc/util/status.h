@@ -22,6 +22,8 @@ enum class StatusCode {
   kUnimplemented = 5,
   kInternal = 6,
   kUnavailable = 7,
+  kTimeout = 8,
+  kOverloaded = 9,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT"...).
@@ -60,6 +62,17 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  // The request's deadline elapsed before it was served (it was never
+  // applied — a retry with a fresh deadline is safe).
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  // Load shedding: an admission budget (in-flight requests, shard-queue
+  // depth, WAL backlog) refused the request *before* any state changed.
+  // Retrying after backing off can succeed.
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +88,36 @@ class Status {
 
 inline bool operator==(const Status& a, const Status& b) {
   return a.code() == b.code() && a.message() == b.message();
+}
+
+// Rejection taxonomy (DESIGN.md §15). Admission rejects fall in two
+// classes, and wire replies and library errors agree on them:
+//
+//   * transient — the request was refused *before* any state changed and a
+//     retry (after backoff / recovery / a fresh deadline) can succeed:
+//     kUnavailable (too few live processors, degraded durability),
+//     kOverloaded (an admission budget shed it), kTimeout (its deadline
+//     elapsed while queued).
+//   * caller error — the request itself is wrong and retrying verbatim
+//     cannot help: kInvalidArgument, kNotFound, kOutOfRange,
+//     kFailedPrecondition, kUnimplemented.
+//
+// kInternal is neither: it reports a broken invariant, not a rejection.
+inline bool IsTransientRejection(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
+         code == StatusCode::kOverloaded;
+}
+inline bool IsTransientRejection(const Status& status) {
+  return IsTransientRejection(status.code());
+}
+inline bool IsCallerError(StatusCode code) {
+  return code == StatusCode::kInvalidArgument ||
+         code == StatusCode::kNotFound || code == StatusCode::kOutOfRange ||
+         code == StatusCode::kFailedPrecondition ||
+         code == StatusCode::kUnimplemented;
+}
+inline bool IsCallerError(const Status& status) {
+  return IsCallerError(status.code());
 }
 
 // A value or an error. Accessing the value of a non-OK StatusOr is a fatal

@@ -1,0 +1,314 @@
+// Codec robustness (DESIGN.md §15): the frame decoder and every payload
+// parser must treat arbitrary bytes as data, never as trust. The fuzz-
+// style sections run the exhaustive deterministic sweeps the ISSUE asks
+// for — truncation at every offset, a bit flip at every byte — plus the
+// targeted oversized-length / wrong-version cases. Under ASan (CI's
+// address-ub-sanitizer job) these double as over-read detectors.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "objalloc/net/wire.h"
+#include "objalloc/util/crc32.h"
+#include "objalloc/util/rng.h"
+#include "objalloc/util/status.h"
+
+namespace objalloc::net {
+namespace {
+
+std::string SampleFrame() {
+  BatchRequest request;
+  request.deadline_ms = 250;
+  for (int i = 0; i < 5; ++i) {
+    BatchItem item;
+    item.object = 1000 + i;
+    item.processor = static_cast<uint32_t>(i % 3);
+    item.is_write = static_cast<uint8_t>(i % 2);
+    request.items.push_back(item);
+  }
+  std::string payload;
+  EncodeBatch(request, &payload);
+  std::string frame;
+  AppendFrame(MsgType::kBatch, 0, 0x1122334455667788ull, payload, &frame);
+  return frame;
+}
+
+TEST(WireFrameTest, RoundTrip) {
+  const std::string frame = SampleFrame();
+  Frame decoded;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(DecodeFrame(frame, kDefaultMaxFrameBytes, &decoded, &consumed,
+                        &error),
+            DecodeResult::kFrame)
+      << error;
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(decoded.version, kWireVersion);
+  EXPECT_EQ(decoded.type, MsgType::kBatch);
+  EXPECT_EQ(decoded.request_id, 0x1122334455667788ull);
+
+  BatchRequest parsed;
+  ASSERT_TRUE(ParseBatch(decoded.payload, 4096, &parsed).ok());
+  ASSERT_EQ(parsed.items.size(), 5u);
+  EXPECT_EQ(parsed.deadline_ms, 250u);
+  EXPECT_EQ(parsed.items[3].object, 1003);
+  EXPECT_EQ(parsed.items[3].processor, 0u);
+  EXPECT_EQ(parsed.items[3].is_write, 1u);
+}
+
+TEST(WireFrameTest, RoundTripAllPayloadKinds) {
+  {
+    RegisterRequest request{42, 0b1011, 1};
+    std::string payload;
+    EncodeRegister(request, &payload);
+    RegisterRequest parsed;
+    ASSERT_TRUE(ParseRegister(payload, &parsed).ok());
+    EXPECT_EQ(parsed.object, 42);
+    EXPECT_EQ(parsed.scheme_mask, 0b1011u);
+    EXPECT_EQ(parsed.algorithm, 1u);
+  }
+  {
+    ServeRequest request{-7, 3, 1500};
+    std::string payload;
+    EncodeServe(request, &payload);
+    ServeRequest parsed;
+    ASSERT_TRUE(ParseServe(payload, &parsed).ok());
+    EXPECT_EQ(parsed.object, -7);
+    EXPECT_EQ(parsed.processor, 3u);
+    EXPECT_EQ(parsed.deadline_ms, 1500u);
+  }
+  {
+    std::vector<double> costs = {0.0, 1.5, -2.25, 1e9};
+    std::string payload;
+    EncodeCosts(costs, &payload);
+    std::vector<double> parsed;
+    ASSERT_TRUE(ParseCosts(payload, 4096, &parsed).ok());
+    EXPECT_EQ(parsed, costs);
+  }
+  {
+    WireStats stats;
+    stats.objects = 17;
+    stats.total_requests = 1234;
+    stats.scheme_crc = 0xDEADBEEF;
+    stats.shed_overloaded = 99;
+    stats.durability_state = 2;
+    std::string payload;
+    EncodeStats(stats, &payload);
+    WireStats parsed;
+    ASSERT_TRUE(ParseStats(payload, &parsed).ok());
+    EXPECT_EQ(parsed.objects, 17u);
+    EXPECT_EQ(parsed.total_requests, 1234);
+    EXPECT_EQ(parsed.scheme_crc, 0xDEADBEEFu);
+    EXPECT_EQ(parsed.shed_overloaded, 99u);
+    EXPECT_EQ(parsed.durability_state, 2u);
+  }
+}
+
+// Every strict prefix of a valid frame must decode as kNeedMore — never a
+// frame, never an error (a prefix is indistinguishable from in-flight
+// delivery), and never an out-of-bounds read.
+TEST(WireFuzzTest, TruncationAtEveryOffset) {
+  const std::string frame = SampleFrame();
+  for (size_t len = 0; len < frame.size(); ++len) {
+    // Heap-exact copy so ASan red-zones sit directly past the prefix.
+    std::string prefix(frame.data(), len);
+    Frame decoded;
+    size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(DecodeFrame(prefix, kDefaultMaxFrameBytes, &decoded, &consumed,
+                          &error),
+              DecodeResult::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+// A single flipped bit anywhere must never crash, and anywhere past the
+// length field must be rejected by the CRC. Flips inside the length field
+// either resize the frame (kNeedMore/kError) or land the CRC on the wrong
+// span (kError) — decoding a *valid-looking* frame is only acceptable if
+// the CRC still holds, which a flip makes impossible outside the length.
+TEST(WireFuzzTest, BitFlipAtEveryByte) {
+  const std::string frame = SampleFrame();
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped(frame.data(), frame.size());
+      flipped[byte] = static_cast<char>(static_cast<uint8_t>(flipped[byte]) ^
+                                        (1u << bit));
+      Frame decoded;
+      size_t consumed = 0;
+      std::string error;
+      const DecodeResult result = DecodeFrame(
+          flipped, kDefaultMaxFrameBytes, &decoded, &consumed, &error);
+      if (byte < 4) {
+        // Length-field flip: any verdict but a successfully decoded frame.
+        EXPECT_NE(result, DecodeResult::kFrame)
+            << "byte " << byte << " bit " << bit;
+      } else {
+        EXPECT_EQ(result, DecodeResult::kError)
+            << "byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(WireFuzzTest, OversizedLengthRejectedBeforeBuffering) {
+  std::string frame = SampleFrame();
+  // Claim a frame far beyond the cap; only the original bytes exist.
+  const uint32_t huge = static_cast<uint32_t>(kDefaultMaxFrameBytes) + 1;
+  std::memcpy(frame.data(), &huge, sizeof(huge));
+  Frame decoded;
+  size_t consumed = 0;
+  std::string error;
+  // Even with just the 4 length bytes present the decoder must reject —
+  // waiting for 4GiB that never arrives is the hang the cap prevents.
+  std::string only_length(frame.data(), 4);
+  EXPECT_EQ(DecodeFrame(only_length, kDefaultMaxFrameBytes, &decoded,
+                        &consumed, &error),
+            DecodeResult::kError);
+  EXPECT_EQ(DecodeFrame(frame, kDefaultMaxFrameBytes, &decoded, &consumed,
+                        &error),
+            DecodeResult::kError);
+}
+
+TEST(WireFuzzTest, UndersizedLengthRejected) {
+  // length below the fixed header can never frame a message.
+  for (uint32_t length = 0; length < kFrameHeaderBytes; ++length) {
+    std::string bytes(sizeof(uint32_t) + length, '\0');
+    std::memcpy(bytes.data(), &length, sizeof(length));
+    Frame decoded;
+    size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(DecodeFrame(bytes, kDefaultMaxFrameBytes, &decoded, &consumed,
+                          &error),
+              DecodeResult::kError)
+        << "length " << length;
+  }
+}
+
+TEST(WireFuzzTest, WrongVersionRejectedWithValidCrc) {
+  for (int version = 0; version < 256; ++version) {
+    if (version == kWireVersion) continue;
+    std::string frame = SampleFrame();
+    frame[8] = static_cast<char>(version);
+    // Re-seal the CRC so the version check itself is what fires.
+    const uint32_t crc = util::Crc32(frame.data() + 8, frame.size() - 8);
+    std::memcpy(frame.data() + 4, &crc, sizeof(crc));
+    Frame decoded;
+    size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(DecodeFrame(frame, kDefaultMaxFrameBytes, &decoded, &consumed,
+                          &error),
+              DecodeResult::kError)
+        << "version " << version;
+    EXPECT_NE(error.find("version"), std::string::npos);
+  }
+}
+
+TEST(WireFuzzTest, UnknownTypeRejectedWithValidCrc) {
+  std::string frame = SampleFrame();
+  frame[9] = static_cast<char>(0x7E);  // not a request, reply, or error type
+  const uint32_t crc = util::Crc32(frame.data() + 8, frame.size() - 8);
+  std::memcpy(frame.data() + 4, &crc, sizeof(crc));
+  Frame decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(frame, kDefaultMaxFrameBytes, &decoded, &consumed,
+                        &error),
+            DecodeResult::kError);
+}
+
+// Payload parsers against every truncation and a declared count that lies
+// about the byte length — reserve() must never see an unvalidated count.
+TEST(WireFuzzTest, PayloadParsersRejectEveryTruncation) {
+  BatchRequest batch;
+  for (int i = 0; i < 3; ++i) {
+    batch.items.push_back({i, 0, 0});
+  }
+  std::string payload;
+  EncodeBatch(batch, &payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::string prefix(payload.data(), len);
+    BatchRequest out;
+    EXPECT_FALSE(ParseBatch(prefix, 4096, &out).ok()) << "length " << len;
+  }
+
+  std::string serve;
+  EncodeServe({1, 2, 3}, &serve);
+  for (size_t len = 0; len < serve.size(); ++len) {
+    std::string prefix(serve.data(), len);
+    ServeRequest out;
+    EXPECT_FALSE(ParseServe(prefix, &out).ok()) << "length " << len;
+  }
+}
+
+TEST(WireFuzzTest, BatchCountLiesRejected) {
+  BatchRequest batch;
+  batch.items.push_back({7, 1, 1});
+  std::string payload;
+  EncodeBatch(batch, &payload);
+  // Inflate the declared count without the bytes to back it.
+  uint32_t count = 1000000;
+  std::memcpy(payload.data(), &count, sizeof(count));
+  BatchRequest out;
+  EXPECT_FALSE(ParseBatch(payload, 1u << 30, &out).ok());
+  // And a count over the parser's cap, with backing bytes this time.
+  BatchRequest big;
+  for (int i = 0; i < 32; ++i) big.items.push_back({i, 0, 0});
+  payload.clear();
+  EncodeBatch(big, &payload);
+  EXPECT_FALSE(ParseBatch(payload, 16, &out).ok());
+}
+
+// Seeded random garbage through the frame decoder: whatever the bytes,
+// the only legal outcomes are kNeedMore/kError/kFrame without over-read.
+TEST(WireFuzzTest, RandomGarbageNeverCrashes) {
+  util::Rng rng(20260808);
+  for (int round = 0; round < 2000; ++round) {
+    const size_t len = rng.NextBounded(256);
+    std::string garbage;
+    garbage.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    Frame decoded;
+    size_t consumed = 0;
+    std::string error;
+    const DecodeResult result = DecodeFrame(
+        garbage, kDefaultMaxFrameBytes, &decoded, &consumed, &error);
+    if (result == DecodeResult::kFrame) {
+      // A random 16+-byte CRC collision is ~2^-32 per round; if one ever
+      // appears the decode must still be internally consistent.
+      EXPECT_LE(consumed, garbage.size());
+    }
+  }
+}
+
+TEST(WireStatusTest, TaxonomyCrossesTheWireVerbatim) {
+  for (util::StatusCode code :
+       {util::StatusCode::kOk, util::StatusCode::kNotFound,
+        util::StatusCode::kUnavailable, util::StatusCode::kTimeout,
+        util::StatusCode::kOverloaded}) {
+    EXPECT_EQ(CodeFromWireStatus(WireStatus(code)), code);
+  }
+  // Unknown future codes map to kInternal, not garbage.
+  EXPECT_EQ(CodeFromWireStatus(999), util::StatusCode::kInternal);
+
+  std::string frame_bytes;
+  AppendFrame(MsgType::kReadReply, WireStatus(util::StatusCode::kOverloaded),
+              77, "shed", &frame_bytes);
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(DecodeFrame(frame_bytes, kDefaultMaxFrameBytes, &frame, &consumed,
+                        &error),
+            DecodeResult::kFrame);
+  const util::Status status = StatusFromReply(frame);
+  EXPECT_TRUE(util::IsTransientRejection(status));
+  EXPECT_EQ(status.code(), util::StatusCode::kOverloaded);
+  EXPECT_EQ(status.message(), "shed");
+}
+
+}  // namespace
+}  // namespace objalloc::net

@@ -44,6 +44,27 @@ TEST(StatusTest, StatusOrHoldsError) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+TEST(StatusTest, RejectionTaxonomy) {
+  // Transient rejections: nothing was applied, a retry can succeed. The
+  // wire protocol (net/wire.h) and the library agree on this partition.
+  EXPECT_TRUE(IsTransientRejection(Status::Unavailable("degraded")));
+  EXPECT_TRUE(IsTransientRejection(Status::Timeout("deadline")));
+  EXPECT_TRUE(IsTransientRejection(Status::Overloaded("shed")));
+  EXPECT_FALSE(IsTransientRejection(Status::NotFound("missing")));
+  EXPECT_FALSE(IsTransientRejection(Status::Internal("bug")));
+  EXPECT_FALSE(IsTransientRejection(Status::Ok()));
+
+  // Caller errors: retrying verbatim cannot help.
+  EXPECT_TRUE(IsCallerError(Status::InvalidArgument("bad")));
+  EXPECT_TRUE(IsCallerError(Status::NotFound("missing")));
+  EXPECT_TRUE(IsCallerError(Status::OutOfRange("processor 99")));
+  EXPECT_FALSE(IsCallerError(Status::Overloaded("shed")));
+  EXPECT_FALSE(IsCallerError(Status::Internal("bug")));
+
+  EXPECT_EQ(Status::Timeout("t").ToString(), "TIMEOUT: t");
+  EXPECT_EQ(Status::Overloaded("o").ToString(), "OVERLOADED: o");
+}
+
 TEST(StatusTest, ReturnIfErrorPropagates) {
   auto inner = [](bool fail) {
     return fail ? Status::Internal("boom") : Status::Ok();
